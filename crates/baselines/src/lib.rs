@@ -1,0 +1,23 @@
+//! # gfd-baselines — the evaluation's comparison systems
+//!
+//! The three baselines of §7 of *Discovering Graph Functional
+//! Dependencies* (Fan et al., SIGMOD 2018), built from scratch:
+//!
+//! * [`amie`] — `ParAMIE`: AMIE-style closed horn rules with head coverage
+//!   and PCA confidence \[8, 22\]; no constants, wildcards, or negatives,
+//! * [`gcfd`] — `DisGCFD`: conditional dependencies over path patterns
+//!   \[16, 24\], a strict special case of GFDs,
+//! * [`split`] — `ParArab`: pattern-mining-then-FD pipeline in the style
+//!   of Arabesque \[39\], demonstrating the cost of not integrating the two
+//!   processes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod amie;
+pub mod gcfd;
+pub mod split;
+
+pub use amie::{amie_violations, mine_amie, AmieConfig, Atom, HornRule};
+pub use gcfd::{mine_gcfds, GcfdConfig};
+pub use split::{split_pipeline, SplitReport};

@@ -1,0 +1,58 @@
+//! Fig. 5(d) kernel: GFD vs GCFD vs AMIE mining cost on one KB.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gfd_baselines::{mine_amie, mine_gcfds, split_pipeline, AmieConfig, GcfdConfig};
+use gfd_bench::{bench_cfg, bench_kb, Scale};
+use gfd_core::seq_dis;
+use gfd_datagen::KbProfile;
+
+fn bench_baselines(c: &mut Criterion) {
+    let g = bench_kb(KbProfile::Yago2, Scale(0.12));
+    let cfg = bench_cfg(&g, 3);
+
+    c.bench_function("baseline/GFD (SeqDis)", |b| {
+        b.iter(|| black_box(seq_dis(&g, &cfg).gfds.len()))
+    });
+    c.bench_function("baseline/GCFD", |b| {
+        b.iter(|| {
+            black_box(
+                mine_gcfds(
+                    &g,
+                    &GcfdConfig {
+                        k: 3,
+                        sigma: cfg.sigma,
+                        max_lhs_size: cfg.max_lhs_size,
+                        values_per_attr: cfg.values_per_attr,
+                    },
+                )
+                .len(),
+            )
+        })
+    });
+    c.bench_function("baseline/AMIE", |b| {
+        b.iter(|| {
+            black_box(
+                mine_amie(
+                    &g,
+                    &AmieConfig {
+                        min_support: cfg.sigma,
+                        ..Default::default()
+                    },
+                )
+                .len(),
+            )
+        })
+    });
+    c.bench_function("baseline/split pipeline (ParArab)", |b| {
+        b.iter(|| black_box(split_pipeline(&g, &cfg).rules.len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_baselines
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Fig. 5(i–l) kernel: cover computation, grouped vs ungrouped.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gfd_bench::{bench_kb, Scale};
+use gfd_core::seq_cover;
+use gfd_datagen::{generate_gfds, GfdGenConfig, KbProfile};
+use gfd_parallel::{par_cover, ExecMode};
+
+fn bench_cover(c: &mut Criterion) {
+    let g = bench_kb(KbProfile::Yago2, Scale(0.15));
+    let mut group = c.benchmark_group("cover");
+    group.sample_size(10);
+    for count in [200usize, 400] {
+        let sigma = generate_gfds(
+            &g,
+            &GfdGenConfig {
+                count,
+                specialization_rate: 0.35,
+                ..Default::default()
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("SeqCover", count), &count, |b, _| {
+            b.iter(|| black_box(seq_cover(&sigma).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("ParCover n=4", count), &count, |b, _| {
+            b.iter(|| black_box(par_cover(&sigma, 4, ExecMode::Threads, true).cover.len()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("ParCovern n=4", count),
+            &count,
+            |b, _| b.iter(|| black_box(par_cover(&sigma, 4, ExecMode::Threads, false).cover.len())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cover);
+criterion_main!(benches);

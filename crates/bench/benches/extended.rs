@@ -1,0 +1,83 @@
+//! Ext-3 kernels: the extended-predicate solver and miner (§8).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use gfd_extended::{
+    discover_extended, entails, is_conflicting, satisfies, CmpOp, Term, XDiscoveryConfig, XGfd,
+    XLiteral, XRhs,
+};
+use gfd_graph::{AttrId, GraphBuilder, Value};
+use gfd_pattern::{PLabel, Pattern};
+
+/// The Ext-3 temporal graph at bench scale.
+fn temporal_graph() -> gfd_graph::Graph {
+    let mut b = GraphBuilder::new();
+    let mut prev = Vec::new();
+    for gen in 0..4i64 {
+        let mut cur = Vec::new();
+        for i in 0..120 {
+            let p = b.add_node("person");
+            let birth = 1880 + gen * 25 + (i % 7) as i64;
+            b.set_attr(p, "birth", birth);
+            b.set_attr(p, "death", birth + 80);
+            cur.push(p);
+        }
+        if !prev.is_empty() {
+            for (i, &c) in cur.iter().enumerate() {
+                b.add_edge(prev[i % prev.len()], c, "parent");
+            }
+        }
+        prev = cur;
+    }
+    b.build()
+}
+
+fn bench_extended(c: &mut Criterion) {
+    // Solver kernels: a difference-constraint chain with a refuted goal.
+    let t = |v: usize| Term::new(v, AttrId(0));
+    let chain: Vec<XLiteral> = (0..5)
+        .map(|i| XLiteral::cmp_terms(t(i + 1), CmpOp::Ge, t(i), 12))
+        .collect();
+    let goal = XLiteral::cmp_terms(t(5), CmpOp::Ge, t(0), 60);
+    c.bench_function("xsolver/conflict check 6 terms", |b| {
+        b.iter(|| black_box(is_conflicting(black_box(&chain))))
+    });
+    c.bench_function("xsolver/entailment 6-term chain", |b| {
+        b.iter(|| black_box(entails(black_box(&chain), black_box(&goal))))
+    });
+
+    // Validation of an arithmetic rule over the temporal graph.
+    let g = temporal_graph();
+    let person = PLabel::Is(g.interner().lookup_label("person").unwrap());
+    let parent = PLabel::Is(g.interner().lookup_label("parent").unwrap());
+    let birth = g.interner().lookup_attr("birth").unwrap();
+    let rule = XGfd::new(
+        Pattern::edge(person, parent, person),
+        vec![],
+        XRhs::Lit(XLiteral::cmp_terms(
+            Term::new(1, birth),
+            CmpOp::Ge,
+            Term::new(0, birth),
+            12,
+        )),
+    );
+    c.bench_function("xvalidate/arithmetic rule", |b| {
+        b.iter(|| black_box(satisfies(&g, &rule)))
+    });
+    let _ = Value::Int(0);
+
+    // Full extended discovery at k = 2.
+    let mut cfg = XDiscoveryConfig::new(2, 20);
+    cfg.max_lhs_size = 1;
+    c.bench_function("xdiscover/temporal k=2", |b| {
+        b.iter(|| black_box(discover_extended(&g, &cfg).len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_extended
+}
+criterion_main!(benches);

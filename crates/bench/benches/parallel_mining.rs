@@ -1,0 +1,41 @@
+//! Fig. 5(a–c) kernel: parallel mining wall time in both execution modes.
+//! The full worker sweep lives in the `experiments` binary; this bench
+//! tracks the runtime's overhead at a fixed small scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use gfd_bench::{bench_cfg, bench_kb, Scale};
+use gfd_core::seq_dis;
+use gfd_datagen::KbProfile;
+use gfd_parallel::{par_dis, ClusterConfig, ExecMode};
+
+fn bench_mining(c: &mut Criterion) {
+    let g = bench_kb(KbProfile::Yago2, Scale(0.12));
+    let cfg = bench_cfg(&g, 3);
+    let arc = Arc::clone(&g);
+
+    c.bench_function("mine/SeqDis yardstick", |b| {
+        b.iter(|| black_box(seq_dis(&g, &cfg).gfds.len()))
+    });
+    c.bench_function("mine/ParDis threads n=2", |b| {
+        b.iter(|| {
+            let ccfg = ClusterConfig::new(2, ExecMode::Threads);
+            black_box(par_dis(&arc, &cfg, &ccfg).result.gfds.len())
+        })
+    });
+    c.bench_function("mine/ParDis simulated n=8", |b| {
+        b.iter(|| {
+            let ccfg = ClusterConfig::new(8, ExecMode::Simulated);
+            black_box(par_dis(&arc, &cfg, &ccfg).result.gfds.len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_mining
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 5(e) kernel: discovery cost vs |G| on synthetic graphs.
+//!
+//! The paper sweeps (10M,20M)..(30M,60M) at fixed σ = 500 and reports a
+//! monotone cost increase. The kernel keeps σ fixed while |G| grows, so
+//! the same shape (bigger graph → more matches above threshold → longer
+//! discovery) appears at laptop scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use gfd_core::{seq_dis, DiscoveryConfig};
+use gfd_datagen::{synthetic, SyntheticConfig};
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale/|G|");
+    group.sample_size(10);
+    for nodes in [2_000usize, 2_500, 3_000] {
+        let g = synthetic(&SyntheticConfig::sized(nodes, nodes * 2));
+        let mut cfg = DiscoveryConfig::new(3, 150);
+        cfg.max_lhs_size = 1;
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| black_box(seq_dis(&g, &cfg).gfds.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

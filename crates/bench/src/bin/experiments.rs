@@ -1,0 +1,95 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation (§7).
+//!
+//! ```text
+//! cargo run -p gfd-bench --release --bin experiments -- all
+//! cargo run -p gfd-bench --release --bin experiments -- fig5a fig5d
+//! cargo run -p gfd-bench --release --bin experiments -- --scale 0.5 fig5e
+//! ```
+
+use gfd_bench::{
+    exp_ablation, exp_baselines, exp_cover, exp_extensions, exp_params, exp_parallel, exp_rules,
+    Scale,
+};
+use gfd_datagen::KbProfile;
+
+const ALL: &[&str] = &[
+    "fig5a", "fig5b", "fig5c", "fig5d", "fig5e", "fig5f", "fig5g", "fig5h", "fig5i", "fig5j",
+    "fig5k", "fig5l", "fig6", "fig7", "fig8", "ablation", "extensions",
+];
+
+fn run(name: &str, scale: Scale) {
+    let t0 = std::time::Instant::now();
+    match name {
+        "fig5a" => exp_parallel::fig5_workers(KbProfile::Dbpedia, scale).print(),
+        "fig5b" => exp_parallel::fig5_workers(KbProfile::Yago2, scale).print(),
+        "fig5c" => exp_parallel::fig5_workers(KbProfile::Imdb, scale).print(),
+        "fig5d" => exp_baselines::fig5d(scale).print(),
+        "fig5e" => exp_parallel::fig5e(scale).print(),
+        "fig5f" => exp_params::fig5f(scale).print(),
+        "fig5g" => exp_params::fig5g(scale).print(),
+        "fig5h" => exp_params::fig5h(scale).print(),
+        "fig5i" => exp_cover::fig5_cover_workers(KbProfile::Dbpedia, scale).print(),
+        "fig5j" => exp_cover::fig5_cover_workers(KbProfile::Yago2, scale).print(),
+        "fig5k" => exp_cover::fig5_cover_workers(KbProfile::Imdb, scale).print(),
+        "fig5l" => exp_cover::fig5l(scale).print(),
+        "fig6" => {
+            exp_baselines::fig6(scale).print();
+            exp_parallel::sequential_costs(scale).print();
+            exp_cover::sequential_cover(scale).print();
+        }
+        "fig7" => exp_baselines::fig7(scale).print(),
+        "fig8" => exp_rules::fig8(scale),
+        "ablation" => {
+            exp_ablation::ablation_pruning(scale).print();
+            exp_ablation::ablation_split(scale).print();
+            exp_ablation::cost_breakdown(scale).print();
+        }
+        "extensions" => {
+            exp_extensions::ext_incremental(scale).print();
+            exp_extensions::ext_confidence(scale).print();
+            exp_extensions::ext_extended(scale).print();
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`; known: {ALL:?}");
+            std::process::exit(2);
+        }
+    }
+    eprintln!("[{name} done in {:?}]", t0.elapsed());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::default();
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it
+                    .next()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--scale needs a float");
+                        std::process::exit(2);
+                    });
+                scale = Scale(v);
+            }
+            "all" => targets.extend(ALL.iter().map(|s| s.to_string())),
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        eprintln!("usage: experiments [--scale X] <all | fig5a … fig5l | fig6 | fig7 | fig8>");
+        eprintln!("known experiments: {ALL:?}");
+        std::process::exit(2);
+    }
+    println!(
+        "# GFD discovery experiment harness (scale {:.2}, {} experiments)",
+        scale.0,
+        targets.len()
+    );
+    for t in targets {
+        run(&t, scale);
+    }
+}

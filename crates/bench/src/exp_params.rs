@@ -1,0 +1,126 @@
+//! Exp-3: impact of the parameters `k`, `σ`, and `|Γ|` (Fig. 5(f–h)).
+
+use gfd_datagen::KbProfile;
+use gfd_graph::AttrId;
+use gfd_parallel::{par_dis, ClusterConfig, ExecMode};
+
+use crate::report::{f, Table};
+use crate::{bench_cfg, bench_kb, secs, Scale};
+
+/// Fig. 5(f): varying `k` (paper: 2..6) on DBpedia, n = 8.
+pub fn fig5f(scale: Scale) -> Table {
+    let g = bench_kb(KbProfile::Dbpedia, scale);
+    let mut t = Table::new(
+        "Fig 5(f) varying k (DBpedia, n=8)",
+        &["k", "DisGFD(s)", "ParGFDnb(s)", "rules"],
+    );
+    for k in 2..=5usize {
+        let cfg = bench_cfg(&g, k);
+        let mut ccfg = ClusterConfig::new(8, ExecMode::Simulated);
+        let a = par_dis(&g, &cfg, &ccfg);
+        ccfg.load_balance = false;
+        let b = par_dis(&g, &cfg, &ccfg);
+        t.row(vec![
+            k.to_string(),
+            f(secs(a.simulated)),
+            f(secs(b.simulated)),
+            a.result.gfds.len().to_string(),
+        ]);
+    }
+    t
+}
+
+/// Fig. 5(g): varying `σ` on DBpedia, n = 8. Higher σ prunes more.
+pub fn fig5g(scale: Scale) -> Table {
+    let g = bench_kb(KbProfile::Dbpedia, scale);
+    let base = bench_cfg(&g, 4);
+    let mut t = Table::new(
+        "Fig 5(g) varying σ (DBpedia, n=8, k=4)",
+        &["σ", "DisGFD(s)", "rules"],
+    );
+    for mult in [1usize, 2, 3, 4, 5] {
+        let mut cfg = base.clone();
+        cfg.sigma = base.sigma * mult;
+        let ccfg = ClusterConfig::new(8, ExecMode::Simulated);
+        let a = par_dis(&g, &cfg, &ccfg);
+        t.row(vec![
+            cfg.sigma.to_string(),
+            f(secs(a.simulated)),
+            a.result.gfds.len().to_string(),
+        ]);
+    }
+    t
+}
+
+/// Fig. 5(h): varying `|Γ|` on DBpedia, n = 8. More active attributes ⇒
+/// more literal candidates ⇒ more work.
+pub fn fig5h(scale: Scale) -> Table {
+    let g = bench_kb(KbProfile::Dbpedia, scale);
+    let base = bench_cfg(&g, 4);
+    let all_attrs: Vec<AttrId> = (0..g.interner().attr_count())
+        .map(AttrId::from_index)
+        .collect();
+    let mut t = Table::new(
+        "Fig 5(h) varying |Γ| (DBpedia, n=8, k=4)",
+        &["|Γ|", "DisGFD(s)", "rules"],
+    );
+    for m in 1..=all_attrs.len() {
+        let mut cfg = base.clone();
+        cfg.active_attrs = all_attrs[..m].to_vec();
+        let ccfg = ClusterConfig::new(8, ExecMode::Simulated);
+        let a = par_dis(&g, &cfg, &ccfg);
+        t.row(vec![
+            m.to_string(),
+            f(secs(a.simulated)),
+            a.result.gfds.len().to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_core::seq_dis;
+
+    /// Fig 5(g)'s monotonicity: higher σ ⇒ fewer (or equal) rules and
+    /// fewer candidates checked.
+    #[test]
+    fn sigma_monotonicity() {
+        let g = bench_kb(KbProfile::Dbpedia, Scale(if cfg!(debug_assertions) { 0.04 } else { 0.07 }));
+        let base = bench_cfg(&g, 3);
+        let lo = seq_dis(&g, &base);
+        let mut hi_cfg = base.clone();
+        hi_cfg.sigma *= 4;
+        let hi = seq_dis(&g, &hi_cfg);
+        assert!(hi.gfds.len() <= lo.gfds.len());
+        assert!(hi.stats.hspawn.candidates <= lo.stats.hspawn.candidates);
+    }
+
+    /// Fig 5(h)'s monotonicity: more active attributes ⇒ more candidates.
+    #[test]
+    fn gamma_monotonicity() {
+        let g = bench_kb(KbProfile::Dbpedia, Scale(if cfg!(debug_assertions) { 0.04 } else { 0.07 }));
+        let base = bench_cfg(&g, 3);
+        let all: Vec<AttrId> = (0..g.interner().attr_count())
+            .map(AttrId::from_index)
+            .collect();
+        let mut small = base.clone();
+        small.active_attrs = all[..1].to_vec();
+        let mut large = base.clone();
+        large.active_attrs = all.clone();
+        let a = seq_dis(&g, &small);
+        let b = seq_dis(&g, &large);
+        assert!(a.stats.hspawn.candidates <= b.stats.hspawn.candidates);
+    }
+
+    /// Fig 5(f)'s monotonicity: larger k explores at least as much.
+    #[test]
+    fn k_monotonicity() {
+        let g = bench_kb(KbProfile::Yago2, Scale(if cfg!(debug_assertions) { 0.04 } else { 0.07 }));
+        let a = seq_dis(&g, &bench_cfg(&g, 2));
+        let b = seq_dis(&g, &bench_cfg(&g, 3));
+        assert!(a.stats.patterns_spawned <= b.stats.patterns_spawned);
+        assert!(a.gfds.len() <= b.gfds.len());
+    }
+}

@@ -1,0 +1,123 @@
+//! Fig. 8 / "Real-world GFDs": showcase rules discovered on the YAGO2
+//! emulator — variable-only wildcard rules (GFD1), award-exclusion
+//! negatives (GFD2-style), and citizenship negatives (GFD3-style).
+
+use gfd_core::{seq_cover_discovered, seq_dis, DiscoveredGfd};
+use gfd_datagen::KbProfile;
+use gfd_graph::Graph;
+use gfd_logic::Rhs;
+use gfd_pattern::PLabel;
+
+use crate::{bench_cfg, bench_kb, Scale};
+
+/// Categorised showcase of discovered rules.
+pub struct RuleShowcase {
+    /// All cover rules.
+    pub cover: Vec<DiscoveredGfd>,
+    /// Rules whose pattern carries at least one wildcard (GFD1-style).
+    pub wildcard: Vec<usize>,
+    /// Structural negatives `Q(∅ → false)` (φ₃/GFD-with-illegal-structure).
+    pub structural_negative: Vec<usize>,
+    /// Premise negatives `Q(X → false)` (GFD2/GFD3-style).
+    pub premise_negative: Vec<usize>,
+    /// Constant-binding positives (CFD-style, φ₁-style).
+    pub constant_positive: Vec<usize>,
+    /// Variable-only positives (classic FD flavour, GFD1-style).
+    pub variable_positive: Vec<usize>,
+}
+
+/// Mines and categorises rules for the Fig. 8 discussion.
+pub fn showcase(scale: Scale) -> (std::sync::Arc<Graph>, RuleShowcase) {
+    let g = bench_kb(KbProfile::Yago2, scale);
+    let mut cfg = bench_cfg(&g, 3);
+    cfg.max_lhs_size = 2;
+    // Fig. 8 is about rule *quality*: re-enable the wildcard-root family
+    // (GFD1 is a variable-only rule on `_`-labelled nodes) and lower the
+    // upgrade threshold so `_` endpoints appear on the sparse YAGO2 shape.
+    cfg.wildcard_root = true;
+    cfg.wildcard_min_labels = 2;
+    let cover = seq_cover_discovered(&seq_dis(&g, &cfg).gfds);
+
+    let mut sc = RuleShowcase {
+        cover,
+        wildcard: Vec::new(),
+        structural_negative: Vec::new(),
+        premise_negative: Vec::new(),
+        constant_positive: Vec::new(),
+        variable_positive: Vec::new(),
+    };
+    for (i, d) in sc.cover.iter().enumerate() {
+        let q = d.gfd.pattern();
+        let has_wildcard = q.node_labels().iter().any(PLabel::is_wildcard)
+            || q.edges().iter().any(|e| e.label.is_wildcard());
+        if has_wildcard {
+            sc.wildcard.push(i);
+        }
+        match d.gfd.rhs() {
+            Rhs::False if d.gfd.lhs().is_empty() => sc.structural_negative.push(i),
+            Rhs::False => sc.premise_negative.push(i),
+            Rhs::Lit(l) => {
+                let constants = d.gfd.lhs().iter().any(|x| {
+                    matches!(x, gfd_logic::Literal::Const { .. })
+                }) || matches!(l, gfd_logic::Literal::Const { .. });
+                if constants {
+                    sc.constant_positive.push(i);
+                } else {
+                    sc.variable_positive.push(i);
+                }
+            }
+        }
+    }
+    (g, sc)
+}
+
+/// Prints the showcase in the style of the paper's Fig. 8 discussion.
+pub fn fig8(scale: Scale) {
+    let (g, sc) = showcase(scale);
+    let interner = g.interner();
+    println!("\n== Fig 8: real-world-style GFDs discovered on YAGO2 ==");
+    println!(
+        "cover: {} rules | wildcard {}, structural-negative {}, premise-negative {}, constant {}, variable-only {}",
+        sc.cover.len(),
+        sc.wildcard.len(),
+        sc.structural_negative.len(),
+        sc.premise_negative.len(),
+        sc.constant_positive.len(),
+        sc.variable_positive.len(),
+    );
+    let show = |title: &str, idx: &[usize], take: usize| {
+        println!("\n-- {title} --");
+        for &i in idx.iter().take(take) {
+            let d = &sc.cover[i];
+            println!("  [supp={:>4}] {}", d.support, d.gfd.display(interner));
+        }
+    };
+    show("GFD1-style (wildcard / variable-only)", &sc.wildcard, 4);
+    show(
+        "φ3-style (illegal structures, ∅ → false)",
+        &sc.structural_negative,
+        4,
+    );
+    show(
+        "GFD2/GFD3-style (negative with premises)",
+        &sc.premise_negative,
+        4,
+    );
+    show("φ1-style (constant bindings)", &sc.constant_positive, 4);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Fig. 8 claim: discovery yields all four rule flavours — DAG/cyclic
+    /// patterns with constants, wildcards, and `false`.
+    #[test]
+    fn all_rule_flavours_discovered() {
+        let (_, sc) = showcase(Scale(if cfg!(debug_assertions) { 0.08 } else { 0.18 }));
+        assert!(!sc.cover.is_empty());
+        assert!(!sc.structural_negative.is_empty(), "no structural negatives");
+        assert!(!sc.constant_positive.is_empty(), "no constant rules");
+        assert!(!sc.wildcard.is_empty(), "no wildcard rules");
+    }
+}

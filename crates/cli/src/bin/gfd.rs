@@ -1,0 +1,15 @@
+//! `gfd` — command-line entry point. All logic lives in `gfd_cli::run`
+//! so it stays unit-testable.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match gfd_cli::run(&args) {
+        Ok(output) => {
+            print!("{output}");
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(e.exit_code());
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Discovery configuration (the inputs of the discovery problem, §4.3,
+//! plus the practical knobs of §4.3 "Remarks").
+
+use gfd_graph::{AttrId, Graph};
+
+/// Parameters of a discovery run.
+///
+/// The formal problem takes `(G, k, σ)` and returns a cover of all
+/// `k`-bounded minimum `σ`-frequent GFDs. The remaining fields are the
+/// practical controls the paper describes: the active-attribute set `Γ`,
+/// the "5 most frequent values" per attribute, and caps that bound the
+/// pay-as-you-go cost of levelwise search.
+#[derive(Clone, Debug)]
+pub struct DiscoveryConfig {
+    /// Bound `k ≥ 2` on pattern **nodes** `|x̄|` (§4.3).
+    pub k: usize,
+    /// Support threshold `σ > 0`.
+    pub sigma: usize,
+    /// Cap on pattern **edges** (iterations of the spawning loop). Defaults
+    /// to `k·(k-1)`, the paper's `k²`-iteration bound for simple patterns.
+    pub max_edges: usize,
+    /// Active attributes `Γ` (§4.3 Remarks (1)). Empty ⇒ use every
+    /// attribute seen in the graph.
+    pub active_attrs: Vec<AttrId>,
+    /// Number of most-frequent constants kept per attribute when generating
+    /// constant literals (the paper uses 5).
+    pub values_per_attr: usize,
+    /// Cap on `|X|` per dependency. The paper's levelwise bound is
+    /// `J = i·|Γ|·(|Γ|+1)`; real rules are short, and covers remove
+    /// non-reduced rules anyway, so a small cap keeps mining tractable.
+    pub max_lhs_size: usize,
+    /// Lemma 4 pruning. Disabling reproduces the `ParGFDn` ablation, which
+    /// the paper reports as infeasible on real graphs.
+    pub enable_pruning: bool,
+    /// Discover negative GFDs (`NVSpawn`/`NHSpawn`).
+    pub mine_negative: bool,
+    /// Upgrade a spawned node's label to `_` when at least this many
+    /// distinct labels occur at the same extension point (§5.1 wildcard
+    /// upgrade); `0` disables upgrades.
+    pub wildcard_min_labels: usize,
+    /// Seed a single-`_` root pattern (reaches all-wildcard rules like
+    /// Fig. 8's GFD1, at the cost of exploring the heaviest pattern
+    /// family). Ignored when `wildcard_min_labels == 0`.
+    pub wildcard_root: bool,
+    /// Safety cap on stored matches per pattern (memory guard; `0` = no
+    /// cap). Patterns hitting the cap are not expanded further.
+    pub max_matches_per_pattern: usize,
+    /// Safety cap on verified patterns per level (`0` = no cap).
+    pub max_patterns_per_level: usize,
+    /// Cap on zero-support (negative) extension candidates verified per
+    /// pattern per level (`0` = no cap). `NVSpawn` proposals are drawn from
+    /// frequent label triples, so this bounds wasted joins.
+    pub max_negative_candidates: usize,
+    /// Cap on candidate literals per pattern (`0` = no cap): the lattice is
+    /// quadratic in the catalog, so this is §4.3's "reduce excessive
+    /// literals" knob. The most frequent literals are kept.
+    pub max_catalog_literals: usize,
+    /// Minimum confidence for a positive rule: the fraction of
+    /// `X`-satisfying matches that also satisfy `l`. At the default `1.0`
+    /// only exact rules (`G ⊨ φ`) are mined — the paper's discovery
+    /// problem. Lowering it admits *approximate* rules that tolerate dirty
+    /// data, the confidence adaptation §8 plans for knowledge bases \[36\];
+    /// approximate rules are reported with their measured confidence and
+    /// never spawn `NHSpawn` negatives (a violated base is no proof of
+    /// non-existence).
+    pub min_confidence: f64,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig {
+            k: 4,
+            sigma: 100,
+            max_edges: 12,
+            active_attrs: Vec::new(),
+            values_per_attr: 5,
+            max_lhs_size: 2,
+            enable_pruning: true,
+            mine_negative: true,
+            wildcard_min_labels: 3,
+            wildcard_root: true,
+            max_matches_per_pattern: 2_000_000,
+            max_patterns_per_level: 0,
+            max_negative_candidates: 64,
+            max_catalog_literals: 0,
+            min_confidence: 1.0,
+        }
+    }
+}
+
+impl DiscoveryConfig {
+    /// Convenience constructor for the formal inputs `(k, σ)`.
+    pub fn new(k: usize, sigma: usize) -> Self {
+        assert!(k >= 2, "the discovery problem requires k ≥ 2 (§4.3)");
+        assert!(sigma > 0, "support threshold must be positive (§4.3)");
+        DiscoveryConfig {
+            k,
+            sigma,
+            max_edges: k * (k - 1),
+            ..Default::default()
+        }
+    }
+
+    /// Sets `Γ` explicitly.
+    pub fn with_active_attrs(mut self, attrs: Vec<AttrId>) -> Self {
+        self.active_attrs = attrs;
+        self
+    }
+
+    /// Resolves `Γ`: the configured set, or every attribute of `g`.
+    pub fn resolve_active_attrs(&self, g: &Graph) -> Vec<AttrId> {
+        if !self.active_attrs.is_empty() {
+            return self.active_attrs.clone();
+        }
+        (0..g.interner().attr_count())
+            .map(AttrId::from_index)
+            .collect()
+    }
+
+    /// The edge-level ceiling actually used: `min(max_edges, k·(k-1))`
+    /// keeps simple patterns within the `k`-node bound's edge budget while
+    /// still permitting parallel edges up to the configured cap.
+    pub fn level_cap(&self) -> usize {
+        self.max_edges.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_graph::GraphBuilder;
+
+    #[test]
+    fn new_sets_edge_cap() {
+        let c = DiscoveryConfig::new(4, 50);
+        assert_eq!(c.max_edges, 12);
+        assert_eq!(c.sigma, 50);
+        assert!(c.enable_pruning);
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 2")]
+    fn k_below_two_rejected() {
+        let _ = DiscoveryConfig::new(1, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_sigma_rejected() {
+        let _ = DiscoveryConfig::new(3, 0);
+    }
+
+    #[test]
+    fn gamma_resolution() {
+        let mut b = GraphBuilder::new();
+        let n = b.add_node("t");
+        b.set_attr(n, "a", 1i64);
+        b.set_attr(n, "b", 2i64);
+        let g = b.build();
+        let all = DiscoveryConfig::new(2, 1).resolve_active_attrs(&g);
+        assert_eq!(all.len(), 2);
+        let some = DiscoveryConfig::new(2, 1)
+            .with_active_attrs(vec![AttrId(1)])
+            .resolve_active_attrs(&g);
+        assert_eq!(some, vec![AttrId(1)]);
+    }
+}

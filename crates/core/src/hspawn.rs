@@ -1,0 +1,547 @@
+//! Horizontal spawning (`HSpawn` / `NHSpawn`, §5.1): the levelwise literal
+//! lattice per pattern and RHS literal.
+//!
+//! For each candidate consequence `l`, premise sets `X` grow levelwise
+//! (`|X| = j` at level `j`, each set generated once in canonical order).
+//! Lemma 4 pruning applies:
+//!
+//! * (a) trivial candidates (conflicting `X`, or `l` derivable from `X`)
+//!   are dropped with their supersets;
+//! * (b) as soon as `G ⊨ Q(X → l)` is verified, no superset of `X` is
+//!   explored for this `l` — the set is recorded as *covered*, and covered
+//!   sets inherited from ancestor patterns prune the child's lattice too
+//!   (pattern-reduction, §4.1);
+//! * (c) branches whose upper-bound support `|Q(G, Xl, z)|` falls below `σ`
+//!   cannot become frequent (Theorem 3) and are cut.
+//!
+//! `NHSpawn`: every verified σ-frequent positive `Q(X → l)` spawns negative
+//! candidates `Q(X ∪ {l'} → false)`; those with `Q(G, X∪{l'}, z) = ∅` are
+//! negative GFDs whose support is the base's (§4.2 case (b)).
+
+use gfd_graph::FxHashMap;
+use gfd_logic::{Closure, Literal, Rhs};
+
+use crate::catalog::LiteralCatalog;
+use crate::config::DiscoveryConfig;
+use crate::support::{evaluate, lhs_satisfiable, CandidateStats};
+use crate::table::MatchTable;
+
+/// Evaluation backend for the literal lattice. The sequential miner scans
+/// one match table ([`TableEvaluator`]); `ParDis` scatters the same
+/// evaluation over fragment tables and merges the partial results, so both
+/// paths run the identical lattice logic (§6.2).
+pub trait CandidateEvaluator {
+    /// Global statistics of `X → rhs` over *all* matches of the pattern.
+    fn evaluate(&mut self, x: &[Literal], rhs: &Rhs) -> CandidateStats;
+
+    /// Whether no match satisfies `X` (the `NHSpawn` test). The default
+    /// derives it from [`Self::evaluate`]; backends may early-exit.
+    fn lhs_empty(&mut self, x: &[Literal]) -> bool {
+        self.evaluate(x, &Rhs::False).lhs_matches == 0
+    }
+}
+
+/// Sequential evaluator over one match table.
+pub struct TableEvaluator<'a>(pub &'a MatchTable);
+
+impl CandidateEvaluator for TableEvaluator<'_> {
+    fn evaluate(&mut self, x: &[Literal], rhs: &Rhs) -> CandidateStats {
+        evaluate(self.0, x, rhs)
+    }
+
+    fn lhs_empty(&mut self, x: &[Literal]) -> bool {
+        !lhs_satisfiable(self.0, x)
+    }
+}
+
+/// A dependency mined on one pattern (pattern attached by the caller).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MinedDependency {
+    /// Premises `X`.
+    pub lhs: Vec<Literal>,
+    /// Consequence (`l` or `false`).
+    pub rhs: Rhs,
+    /// `supp(φ, G)` — for negatives, the support of the base (§4.2).
+    pub support: usize,
+    /// Matches satisfying `X` when the rule was verified (`0` for
+    /// negatives, whose `X` is unmatched by construction).
+    pub lhs_matches: usize,
+    /// Matches violating `X → l` (`0` for exact and negative rules;
+    /// positive only under `min_confidence < 1`).
+    pub violations: usize,
+}
+
+impl MinedDependency {
+    /// The rule's confidence (`1.0` for exact and negative rules).
+    pub fn confidence(&self) -> f64 {
+        if self.lhs_matches == 0 {
+            1.0
+        } else {
+            (self.lhs_matches - self.violations) as f64 / self.lhs_matches as f64
+        }
+    }
+}
+
+/// Lattice-search counters (feed the experiment reports).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HSpawnStats {
+    /// Candidates evaluated against the match table.
+    pub candidates: usize,
+    /// Subtrees cut by the support bound (Lemma 4(c)).
+    pub pruned_support: usize,
+    /// Sets skipped because a covered subset exists (Lemma 4(b)).
+    pub pruned_covered: usize,
+    /// Trivial candidates dropped (Lemma 4(a)).
+    pub pruned_trivial: usize,
+    /// Negative candidates tested by `NHSpawn`.
+    pub negative_candidates: usize,
+}
+
+impl HSpawnStats {
+    /// Accumulates counters from another run.
+    pub fn merge(&mut self, other: &HSpawnStats) {
+        self.candidates += other.candidates;
+        self.pruned_support += other.pruned_support;
+        self.pruned_covered += other.pruned_covered;
+        self.pruned_trivial += other.pruned_trivial;
+        self.negative_candidates += other.negative_candidates;
+    }
+}
+
+/// A satisfied dependency signature `(X, l)`; covered sets prune supersets.
+pub type Covered = (Vec<Literal>, Literal);
+
+fn is_subset(small: &[Literal], big: &[Literal]) -> bool {
+    // Both sorted.
+    let mut it = big.iter();
+    'outer: for s in small {
+        for b in it.by_ref() {
+            match b.cmp(s) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Mines all minimum dependencies of one pattern from its match table.
+///
+/// `covered` carries the satisfied sets inherited from ancestor patterns
+/// (same variable indexing — extensions preserve variables) and is extended
+/// with the sets satisfied here, for the caller to pass down to children.
+pub fn mine_dependencies(
+    table: &MatchTable,
+    catalog: &LiteralCatalog,
+    covered: &mut Vec<Covered>,
+    cfg: &DiscoveryConfig,
+) -> (Vec<MinedDependency>, HSpawnStats) {
+    mine_dependencies_with(&mut TableEvaluator(table), catalog, covered, cfg)
+}
+
+/// [`mine_dependencies`] over an arbitrary evaluation backend.
+pub fn mine_dependencies_with<E: CandidateEvaluator>(
+    eval: &mut E,
+    catalog: &LiteralCatalog,
+    covered: &mut Vec<Covered>,
+    cfg: &DiscoveryConfig,
+) -> (Vec<MinedDependency>, HSpawnStats) {
+    let mut out: Vec<MinedDependency> = Vec::new();
+    let mut stats = HSpawnStats::default();
+    let mut negatives: FxHashMap<Vec<Literal>, usize> = FxHashMap::default();
+
+    for &l in &catalog.literals {
+        // Upper bound for every candidate with this consequence.
+        if cfg.enable_pruning {
+            let bound = eval.evaluate(&[], &Rhs::Lit(l));
+            if bound.support < cfg.sigma {
+                stats.pruned_support += 1;
+                continue;
+            }
+        }
+        mine_for_rhs(
+            eval, catalog, l, covered, cfg, &mut out, &mut negatives, &mut stats,
+        );
+    }
+
+    // Deterministic output order regardless of hash-map iteration.
+    let mut negatives: Vec<(Vec<Literal>, usize)> = negatives.into_iter().collect();
+    negatives.sort_unstable();
+    for (lhs, support) in negatives {
+        out.push(MinedDependency {
+            lhs,
+            rhs: Rhs::False,
+            support,
+            lhs_matches: 0,
+            violations: 0,
+        });
+    }
+    (out, stats)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn mine_for_rhs<E: CandidateEvaluator>(
+    eval: &mut E,
+    catalog: &LiteralCatalog,
+    l: Literal,
+    covered: &mut Vec<Covered>,
+    cfg: &DiscoveryConfig,
+    out: &mut Vec<MinedDependency>,
+    negatives: &mut FxHashMap<Vec<Literal>, usize>,
+    stats: &mut HSpawnStats,
+) {
+    let mut frontier: Vec<Vec<Literal>> = vec![Vec::new()];
+    let mut level = 0usize;
+
+    while !frontier.is_empty() && level <= cfg.max_lhs_size {
+        let mut next: Vec<Vec<Literal>> = Vec::new();
+        for x in frontier {
+            // Lemma 4(b) + pattern-reduction: skip sets covered by a
+            // satisfied subset (here or on an ancestor pattern).
+            if covered
+                .iter()
+                .any(|(cx, cl)| *cl == l && is_subset(cx, &x))
+            {
+                stats.pruned_covered += 1;
+                continue;
+            }
+            // Lemma 4(a): trivial candidates.
+            let closure = Closure::of_literals(&x);
+            if closure.is_conflicting() || closure.holds(&l) {
+                stats.pruned_trivial += 1;
+                continue;
+            }
+
+            stats.candidates += 1;
+            let s = eval.evaluate(&x, &Rhs::Lit(l));
+
+            if s.satisfied() {
+                covered.push((x.clone(), l));
+                if s.support >= cfg.sigma {
+                    out.push(MinedDependency {
+                        lhs: x.clone(),
+                        rhs: Rhs::Lit(l),
+                        support: s.support,
+                        lhs_matches: s.lhs_matches,
+                        violations: 0,
+                    });
+                    if cfg.mine_negative {
+                        nhspawn(eval, catalog, &x, l, s.support, negatives, stats);
+                    }
+                }
+                if cfg.enable_pruning {
+                    continue; // no supersets for this l
+                }
+            } else if cfg.min_confidence < 1.0
+                && s.support >= cfg.sigma
+                && s.confidence() >= cfg.min_confidence
+            {
+                // Approximate acceptance (§8's confidence adaptation):
+                // report the minimal premise set reaching the threshold
+                // and stop expanding this branch — supersets would be
+                // non-reduced. No NHSpawn: a violated base proves nothing
+                // about non-existence.
+                out.push(MinedDependency {
+                    lhs: x.clone(),
+                    rhs: Rhs::Lit(l),
+                    support: s.support,
+                    lhs_matches: s.lhs_matches,
+                    violations: s.violations,
+                });
+                continue;
+            } else if cfg.enable_pruning && s.support < cfg.sigma {
+                // Lemma 4(c): no superset can reach σ.
+                stats.pruned_support += 1;
+                continue;
+            }
+
+            if x.len() < cfg.max_lhs_size {
+                expand(&x, catalog, l, &mut next);
+            }
+        }
+        frontier = next;
+        level += 1;
+    }
+}
+
+/// Canonical expansion: append only literals greater than the current
+/// maximum so every set is generated exactly once.
+fn expand(x: &[Literal], catalog: &LiteralCatalog, l: Literal, next: &mut Vec<Vec<Literal>>) {
+    let floor = x.last().copied();
+    for &cand in &catalog.literals {
+        if cand == l {
+            continue;
+        }
+        if let Some(f) = floor {
+            if cand <= f {
+                continue;
+            }
+        }
+        let mut child = x.to_vec();
+        child.push(cand);
+        next.push(child);
+    }
+}
+
+/// `NHSpawn` (§5.1): from the σ-frequent verified base `Q(X → l)`, test
+/// `X' = X ∪ {l'}` for emptiness of `Q(G, X', z)`.
+fn nhspawn<E: CandidateEvaluator>(
+    eval: &mut E,
+    catalog: &LiteralCatalog,
+    x: &[Literal],
+    l: Literal,
+    base_support: usize,
+    negatives: &mut FxHashMap<Vec<Literal>, usize>,
+    stats: &mut HSpawnStats,
+) {
+    for &extra in &catalog.literals {
+        if extra == l || x.contains(&extra) {
+            continue;
+        }
+        let mut x2 = x.to_vec();
+        x2.push(extra);
+        x2.sort_unstable();
+        // A conflicting X' is trivially unmatchable — not a negative GFD.
+        if Closure::of_literals(&x2).is_conflicting() {
+            continue;
+        }
+        stats.negative_candidates += 1;
+        if eval.lhs_empty(&x2) {
+            let entry = negatives.entry(x2).or_insert(0);
+            *entry = (*entry).max(base_support);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_graph::{Graph, GraphBuilder, Value};
+    use gfd_pattern::{find_all, PLabel, Pattern};
+
+    /// 5 creators: 4 producers of films, 1 director of a show. No producer
+    /// ever creates a show ⇒ NHSpawn finds Q(x.type=producer ∧ y.type=show
+    /// → false)-style negatives.
+    fn setup(cfg_sigma: usize) -> (Graph, MatchTable, LiteralCatalog, DiscoveryConfig) {
+        let mut b = GraphBuilder::new();
+        for i in 0..5 {
+            let p = b.add_node("person");
+            let f = b.add_node("product");
+            if i < 4 {
+                b.set_attr(p, "type", "producer");
+                b.set_attr(f, "type", "film");
+            } else {
+                b.set_attr(p, "type", "director");
+                b.set_attr(f, "type", "show");
+            }
+            b.add_edge(p, f, "create");
+        }
+        let g = b.build();
+        let q = Pattern::edge(
+            PLabel::Is(g.interner().label("person")),
+            PLabel::Is(g.interner().label("create")),
+            PLabel::Is(g.interner().label("product")),
+        );
+        let ms = find_all(&q, &g);
+        let ty = g.interner().attr("type");
+        let table = MatchTable::build(&q, &ms, &g, &[ty]);
+        let catalog = LiteralCatalog::harvest(&table, 5, 1);
+        let mut cfg = DiscoveryConfig::new(2, cfg_sigma);
+        cfg.max_lhs_size = 2;
+        (g, table, catalog, cfg)
+    }
+
+    fn val(g: &Graph, s: &str) -> Value {
+        Value::Str(g.interner().lookup_symbol(s).unwrap())
+    }
+
+    #[test]
+    fn mines_film_implies_producer() {
+        let (g, table, catalog, mut cfg) = setup(3);
+        cfg.mine_negative = false;
+        let mut covered = Vec::new();
+        let (deps, stats) = mine_dependencies(&table, &catalog, &mut covered, &cfg);
+        let ty = g.interner().lookup_attr("type").unwrap();
+        let want = MinedDependency {
+            lhs: vec![Literal::constant(1, ty, val(&g, "film"))],
+            rhs: Rhs::Lit(Literal::constant(0, ty, val(&g, "producer"))),
+            support: 4,
+            lhs_matches: 4,
+            violations: 0,
+        };
+        assert!(deps.contains(&want), "deps: {deps:?}");
+        assert!(stats.candidates > 0);
+        // The satisfied set is recorded as covered.
+        assert!(covered
+            .iter()
+            .any(|(x, l)| x == &want.lhs && Rhs::Lit(*l) == want.rhs));
+    }
+
+    #[test]
+    fn lemma4b_blocks_supersets() {
+        let (g, table, catalog, mut cfg) = setup(3);
+        cfg.mine_negative = false;
+        let mut covered = Vec::new();
+        let (deps, _) = mine_dependencies(&table, &catalog, &mut covered, &cfg);
+        let ty = g.interner().lookup_attr("type").unwrap();
+        let film = Literal::constant(1, ty, val(&g, "film"));
+        let producer_rhs = Rhs::Lit(Literal::constant(0, ty, val(&g, "producer")));
+        // No mined dependency with consequence `producer` strictly extends
+        // the already-sufficient premise {film}.
+        for d in &deps {
+            if d.rhs == producer_rhs && d.lhs.len() > 1 {
+                assert!(!is_subset(&[film], &d.lhs), "non-reduced: {d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn inherited_covered_sets_prune() {
+        let (g, table, catalog, cfg) = setup(3);
+        let ty = g.interner().lookup_attr("type").unwrap();
+        let film = Literal::constant(1, ty, val(&g, "film"));
+        let producer = Literal::constant(0, ty, val(&g, "producer"));
+        // Pretend an ancestor already validated {film} → producer.
+        let mut covered = vec![(vec![film], producer)];
+        let (deps, stats) = mine_dependencies(&table, &catalog, &mut covered, &cfg);
+        assert!(!deps
+            .iter()
+            .any(|d| d.rhs == Rhs::Lit(producer) && d.lhs == vec![film]));
+        assert!(stats.pruned_covered > 0);
+    }
+
+    #[test]
+    fn sigma_prunes_infrequent_consequences() {
+        // σ=5 exceeds every pivot count (4 producers / 1 director).
+        let (_, table, catalog, cfg) = setup(5);
+        let mut covered = Vec::new();
+        let (deps, stats) = mine_dependencies(&table, &catalog, &mut covered, &cfg);
+        assert!(deps.is_empty());
+        assert!(stats.pruned_support > 0);
+    }
+
+    #[test]
+    fn nhspawn_finds_negative_combination() {
+        let (g, table, catalog, cfg) = setup(3);
+        let mut covered = Vec::new();
+        let (deps, stats) = mine_dependencies(&table, &catalog, &mut covered, &cfg);
+        let ty = g.interner().lookup_attr("type").unwrap();
+        // producer ∧ show never co-occurs: expect some negative with these.
+        let producer = Literal::constant(0, ty, val(&g, "producer"));
+        let show = Literal::constant(1, ty, val(&g, "show"));
+        let neg = deps.iter().find(|d| {
+            d.rhs == Rhs::False && d.lhs.contains(&producer) && d.lhs.contains(&show)
+        });
+        assert!(neg.is_some(), "negatives: {deps:?}");
+        assert!(neg.unwrap().support >= cfg.sigma);
+        assert!(stats.negative_candidates > 0);
+    }
+
+    #[test]
+    fn no_pruning_explores_supersets() {
+        let (_, table, catalog, mut cfg) = setup(3);
+        cfg.mine_negative = false;
+        let mut cov1 = Vec::new();
+        let (_, with_pruning) = mine_dependencies(&table, &catalog, &mut cov1, &cfg);
+        cfg.enable_pruning = false;
+        let mut cov2 = Vec::new();
+        let (_, without) = mine_dependencies(&table, &catalog, &mut cov2, &cfg);
+        assert!(without.candidates > with_pruning.candidates);
+    }
+
+    /// 15 creators: 9 producers + 1 actor create films, 5 directors
+    /// create shows. Exact mining loses `film → producer` to the single
+    /// dirty match; approximate mining at θ = 0.85 recovers it with
+    /// confidence 0.9. The director/show pairs keep `∅ → producer` below
+    /// the threshold (9/15), so `{film}` is the minimal premise set.
+    fn noisy_setup() -> (Graph, MatchTable, LiteralCatalog, DiscoveryConfig) {
+        let mut b = GraphBuilder::new();
+        for i in 0..15 {
+            let p = b.add_node("person");
+            let f = b.add_node("product");
+            if i < 10 {
+                b.set_attr(p, "type", if i == 0 { "actor" } else { "producer" });
+                b.set_attr(f, "type", "film");
+            } else {
+                b.set_attr(p, "type", "director");
+                b.set_attr(f, "type", "show");
+            }
+            b.add_edge(p, f, "create");
+        }
+        let g = b.build();
+        let q = Pattern::edge(
+            PLabel::Is(g.interner().label("person")),
+            PLabel::Is(g.interner().label("create")),
+            PLabel::Is(g.interner().label("product")),
+        );
+        let ms = find_all(&q, &g);
+        let ty = g.interner().attr("type");
+        let table = MatchTable::build(&q, &ms, &g, &[ty]);
+        let catalog = LiteralCatalog::harvest(&table, 5, 1);
+        let mut cfg = DiscoveryConfig::new(2, 5);
+        cfg.max_lhs_size = 2;
+        cfg.mine_negative = false;
+        (g, table, catalog, cfg)
+    }
+
+    #[test]
+    fn exact_mining_loses_dirty_rule() {
+        let (g, table, catalog, cfg) = noisy_setup();
+        let mut covered = Vec::new();
+        let (deps, _) = mine_dependencies(&table, &catalog, &mut covered, &cfg);
+        let ty = g.interner().lookup_attr("type").unwrap();
+        let producer_rhs = Rhs::Lit(Literal::constant(0, ty, val(&g, "producer")));
+        let film = Literal::constant(1, ty, val(&g, "film"));
+        assert!(
+            !deps.iter().any(|d| d.rhs == producer_rhs && d.lhs == vec![film]),
+            "exact mining must reject the violated rule"
+        );
+    }
+
+    #[test]
+    fn approximate_mining_recovers_noisy_rule() {
+        let (g, table, catalog, mut cfg) = noisy_setup();
+        cfg.min_confidence = 0.85;
+        let mut covered = Vec::new();
+        let (deps, _) = mine_dependencies(&table, &catalog, &mut covered, &cfg);
+        let ty = g.interner().lookup_attr("type").unwrap();
+        let producer_rhs = Rhs::Lit(Literal::constant(0, ty, val(&g, "producer")));
+        let film = Literal::constant(1, ty, val(&g, "film"));
+        let found = deps
+            .iter()
+            .find(|d| d.rhs == producer_rhs && d.lhs == vec![film])
+            .expect("approximate mining recovers the rule");
+        assert_eq!(found.support, 9);
+        assert_eq!(found.violations, 1);
+        assert_eq!(found.lhs_matches, 10);
+        assert!((found.confidence() - 0.9).abs() < 1e-9);
+        // Approximate rules never spawn negatives.
+        assert!(deps.iter().all(|d| d.rhs != Rhs::False));
+    }
+
+    #[test]
+    fn confidence_threshold_still_rejects_noise_below_it() {
+        let (g, table, catalog, mut cfg) = noisy_setup();
+        cfg.min_confidence = 0.95; // above the dirty rule's 0.9
+        let mut covered = Vec::new();
+        let (deps, _) = mine_dependencies(&table, &catalog, &mut covered, &cfg);
+        let ty = g.interner().lookup_attr("type").unwrap();
+        let producer_rhs = Rhs::Lit(Literal::constant(0, ty, val(&g, "producer")));
+        let film = Literal::constant(1, ty, val(&g, "film"));
+        assert!(!deps.iter().any(|d| d.rhs == producer_rhs && d.lhs == vec![film]));
+    }
+
+    #[test]
+    fn subset_helper() {
+        let a = Literal::constant(0, gfd_graph::AttrId(0), Value::Int(1));
+        let b = Literal::constant(0, gfd_graph::AttrId(0), Value::Int(2));
+        let c = Literal::constant(1, gfd_graph::AttrId(0), Value::Int(1));
+        assert!(is_subset(&[], &[a]));
+        assert!(is_subset(&[a], &[a, b]));
+        assert!(is_subset(&[a, c], &[a, b, c]));
+        assert!(!is_subset(&[b], &[a]));
+        assert!(!is_subset(&[a, b], &[a]));
+    }
+}

@@ -1,0 +1,50 @@
+//! # gfd-core — GFD discovery (the paper's primary contribution)
+//!
+//! The discovery problem of *Discovering Graph Functional Dependencies*
+//! (Fan et al., SIGMOD 2018), §4–§5: given a graph `G`, a node bound `k`
+//! and a support threshold `σ`, find a cover of all `k`-bounded minimum
+//! `σ`-frequent GFDs — positive and negative — in one integrated levelwise
+//! process:
+//!
+//! * [`config`] — run parameters `(k, σ, Γ, …)`,
+//! * [`table`] — the match table fusing pattern matching with FD mining,
+//! * [`support`] — pivoted support `supp(φ, G)` and candidate evaluation,
+//! * [`catalog`] — candidate literals from `Γ` and frequent constants,
+//! * [`gentree`] — the GFD generation tree `T` with `iso(Q)` dedup,
+//! * [`vspawn`] — vertical spawning (`VSpawn`/`NVSpawn`),
+//! * [`hspawn`] — horizontal spawning (`HSpawn`/`NHSpawn`) with Lemma 4
+//!   pruning,
+//! * [`seqdis`] — the sequential miner `SeqDis`,
+//! * [`seqcover`] — the sequential cover `SeqCover`,
+//! * [`result`] — outputs and statistics.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod catalog;
+pub mod config;
+pub mod gentree;
+pub mod hspawn;
+pub mod result;
+pub mod seqcover;
+pub mod seqdis;
+pub mod support;
+pub mod table;
+pub mod vspawn;
+
+pub use catalog::{CatalogCounts, LiteralCatalog};
+pub use config::DiscoveryConfig;
+pub use gentree::{GenNode, GenTree, Inserted, NodeState};
+pub use hspawn::{
+    mine_dependencies, mine_dependencies_with, CandidateEvaluator, Covered, HSpawnStats,
+    MinedDependency, TableEvaluator,
+};
+pub use result::{DiscoveredGfd, DiscoveryResult, DiscoveryStats};
+pub use seqcover::{cover_indices, seq_cover, seq_cover_discovered};
+pub use seqdis::{seq_dis, seq_dis_with_tree};
+pub use support::{distinct_pivots, evaluate, lhs_satisfiable, CandidateStats, PartialStats};
+pub use table::MatchTable;
+pub use vspawn::{
+    harvest, proposals_from_harvest, propose_extensions, propose_negative_extensions, Dir,
+    ExtensionProposals, RawHarvest,
+};

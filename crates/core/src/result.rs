@@ -1,0 +1,101 @@
+//! Discovery outputs: discovered GFDs with supports plus run statistics.
+
+use std::time::Duration;
+
+use gfd_graph::Interner;
+use gfd_logic::Gfd;
+
+use crate::hspawn::HSpawnStats;
+
+/// A GFD produced by discovery, with its provenance.
+#[derive(Clone, Debug)]
+pub struct DiscoveredGfd {
+    /// The dependency.
+    pub gfd: Gfd,
+    /// `supp(φ, G)`; for negative GFDs, the support of the base (§4.2).
+    pub support: usize,
+    /// Pattern level (edge count) at which it was mined.
+    pub level: usize,
+    /// Confidence at verification time: `1.0` for exact rules (the
+    /// default discovery problem); below `1.0` only when mining with
+    /// `min_confidence < 1` (§8's approximate adaptation).
+    pub confidence: f64,
+}
+
+impl DiscoveredGfd {
+    /// Renders `gfd (supp=…)`, with the confidence when approximate.
+    pub fn display(&self, interner: &Interner) -> String {
+        if self.confidence < 1.0 {
+            format!(
+                "{} (supp={}, conf={:.2})",
+                self.gfd.display(interner),
+                self.support,
+                self.confidence
+            )
+        } else {
+            format!("{} (supp={})", self.gfd.display(interner), self.support)
+        }
+    }
+}
+
+/// Counters and phase timings of one discovery run.
+#[derive(Clone, Debug, Default)]
+pub struct DiscoveryStats {
+    /// Pattern extensions proposed by vertical spawning.
+    pub patterns_spawned: usize,
+    /// Patterns verified with `supp ≥ σ`.
+    pub patterns_verified: usize,
+    /// Spawned patterns with zero matches (negative candidates, case (a)).
+    pub patterns_empty: usize,
+    /// Spawned patterns with `0 < supp < σ` (pruned by Lemma 4(c)).
+    pub patterns_infrequent: usize,
+    /// Spawned patterns merged into an existing isomorphism class.
+    pub patterns_deduped: usize,
+    /// Literal-lattice counters.
+    pub hspawn: HSpawnStats,
+    /// Positive GFDs emitted.
+    pub positive: usize,
+    /// Negative GFDs emitted.
+    pub negative: usize,
+    /// Wall time in pattern matching / joins.
+    pub matching_time: Duration,
+    /// Wall time in dependency validation (table scans).
+    pub validation_time: Duration,
+    /// Total wall time.
+    pub total_time: Duration,
+}
+
+/// The result of `SeqDis`/`ParDis`: the set `Σ` (before cover computation)
+/// and run statistics.
+#[derive(Debug, Default)]
+pub struct DiscoveryResult {
+    /// All `k`-bounded minimum `σ`-frequent GFDs found.
+    pub gfds: Vec<DiscoveredGfd>,
+    /// Run counters.
+    pub stats: DiscoveryStats,
+}
+
+impl DiscoveryResult {
+    /// The bare GFDs (for cover computation and validation).
+    pub fn rules(&self) -> Vec<Gfd> {
+        self.gfds.iter().map(|d| d.gfd.clone()).collect()
+    }
+
+    /// Count of positive rules.
+    pub fn positive_count(&self) -> usize {
+        self.gfds.iter().filter(|d| d.gfd.is_positive()).count()
+    }
+
+    /// Count of negative rules.
+    pub fn negative_count(&self) -> usize {
+        self.gfds.iter().filter(|d| d.gfd.is_negative()).count()
+    }
+
+    /// Mean support across rules (the "avg. support" column of Fig. 6).
+    pub fn avg_support(&self) -> f64 {
+        if self.gfds.is_empty() {
+            return 0.0;
+        }
+        self.gfds.iter().map(|d| d.support as f64).sum::<f64>() / self.gfds.len() as f64
+    }
+}

@@ -1,0 +1,485 @@
+//! `SeqDis` — sequential GFD mining (§5.1).
+//!
+//! The algorithm interleaves two levelwise processes over the generation
+//! tree: **vertical spawning** (grow patterns one edge at a time, verify
+//! their matches by incremental join with the parent's matches) and
+//! **horizontal spawning** (mine premise sets per pattern over the match
+//! table). Negative GFDs are discovered in the same pass: zero-match
+//! spawned patterns become `Q'(∅ → false)` (`NVSpawn`), and verified
+//! positives spawn `Q(X ∪ {l'} → false)` candidates (`NHSpawn`).
+//!
+//! Pruning (Lemma 4) cuts trivial, non-reduced, and infrequent candidates;
+//! disabling it (`cfg.enable_pruning = false`) reproduces the `ParGFDn`
+//! ablation that the paper reports as infeasible.
+
+use std::time::Instant;
+
+use gfd_graph::{triple_stats, Graph};
+use gfd_logic::{Gfd, Rhs};
+use gfd_pattern::{extend_matches, is_embedded, MatchSet, PLabel, Pattern};
+
+use crate::catalog::LiteralCatalog;
+use crate::config::DiscoveryConfig;
+use crate::gentree::{GenTree, Inserted, NodeState};
+use crate::hspawn::mine_dependencies;
+use crate::result::{DiscoveredGfd, DiscoveryResult};
+use crate::support::distinct_pivots;
+use crate::table::MatchTable;
+use crate::vspawn::{propose_extensions, propose_negative_extensions};
+
+/// Runs sequential discovery, returning the mined set `Σ` and the
+/// generation tree (consumed by cover computation and `ParCover` grouping).
+pub fn seq_dis_with_tree(g: &Graph, cfg: &DiscoveryConfig) -> (DiscoveryResult, GenTree) {
+    let started = Instant::now();
+    let attrs = cfg.resolve_active_attrs(g);
+    let triples = triple_stats(g);
+    let mut tree = GenTree::new();
+    let mut result = DiscoveryResult::default();
+    // Patterns of emitted `(∅ → false)` negatives: minimality filter.
+    let mut negative_patterns: Vec<Pattern> = Vec::new();
+
+    // Cold start (§5.1): single-node patterns for σ-frequent labels, plus
+    // the wildcard root when upgrades are enabled.
+    for (label, count) in g.node_label_frequencies() {
+        if (count as usize) < cfg.sigma && cfg.enable_pruning {
+            continue;
+        }
+        let q = Pattern::single(PLabel::Is(label));
+        let mut ms = MatchSet::new(1);
+        for &n in g.nodes_with_label(label) {
+            ms.push(&[n]);
+        }
+        seed_root(&mut tree, g, q, ms, &attrs, cfg, &mut result);
+    }
+    if cfg.wildcard_min_labels > 0
+        && cfg.wildcard_root
+        && g.node_label_frequencies().len() >= cfg.wildcard_min_labels
+        && g.node_count() >= cfg.sigma
+    {
+        let q = Pattern::single(PLabel::Wildcard);
+        let mut ms = MatchSet::new(1);
+        for n in g.nodes() {
+            ms.push(&[n]);
+        }
+        seed_root(&mut tree, g, q, ms, &attrs, cfg, &mut result);
+    }
+
+    // Levelwise expansion.
+    for level in 1..=cfg.level_cap() {
+        let parents: Vec<usize> = tree
+            .level(level - 1)
+            .iter()
+            .copied()
+            .filter(|&id| tree.node(id).state == NodeState::Frequent)
+            .collect();
+        if parents.is_empty() {
+            break;
+        }
+        let mut spawned_this_level = 0usize;
+
+        for pid in parents {
+            let (proposals, negs) = {
+                let parent = tree.node(pid);
+                let Some(ms) = parent.matches.as_ref() else {
+                    continue;
+                };
+                let t0 = Instant::now();
+                let proposals = propose_extensions(&parent.pattern, ms, g, cfg);
+                let negs = if cfg.mine_negative {
+                    propose_negative_extensions(&parent.pattern, g, &triples, &proposals.seen, cfg)
+                } else {
+                    Vec::new()
+                };
+                result.stats.matching_time += t0.elapsed();
+                (proposals, negs)
+            };
+
+            // Positive-side extensions: verify by incremental join.
+            for (ext, _count) in proposals.frequent {
+                if cfg.max_patterns_per_level > 0 && spawned_this_level >= cfg.max_patterns_per_level
+                {
+                    break;
+                }
+                result.stats.patterns_spawned += 1;
+                let child_pattern = tree.node(pid).pattern.extend(&ext);
+                match tree.insert(child_pattern, Some(pid), Some(ext)) {
+                    Inserted::Existing(_) => {
+                        result.stats.patterns_deduped += 1;
+                        continue;
+                    }
+                    Inserted::Fresh(cid) => {
+                        spawned_this_level += 1;
+                        let t0 = Instant::now();
+                        let ms = {
+                            let parent = tree.node(pid);
+                            extend_matches(
+                                &parent.pattern,
+                                parent.matches.as_ref().expect("parent matches live"),
+                                &ext,
+                                g,
+                            )
+                        };
+                        result.stats.matching_time += t0.elapsed();
+                        verify_node(
+                            &mut tree,
+                            cid,
+                            pid,
+                            ms,
+                            g,
+                            &attrs,
+                            cfg,
+                            &mut result,
+                            &mut negative_patterns,
+                        );
+                    }
+                }
+            }
+
+            // NVSpawn: guaranteed-zero-support extensions (case (a)).
+            for ext in negs {
+                result.stats.patterns_spawned += 1;
+                let child_pattern = tree.node(pid).pattern.extend(&ext);
+                match tree.insert(child_pattern.clone(), Some(pid), Some(ext)) {
+                    Inserted::Existing(_) => {
+                        result.stats.patterns_deduped += 1;
+                    }
+                    Inserted::Fresh(cid) => {
+                        tree.node_mut(cid).state = NodeState::Empty;
+                        result.stats.patterns_empty += 1;
+                        emit_negative_pattern(
+                            &tree,
+                            cid,
+                            pid,
+                            g,
+                            cfg,
+                            &mut result,
+                            &mut negative_patterns,
+                        );
+                    }
+                }
+            }
+        }
+
+        // Matches below the frontier are no longer needed.
+        if level >= 1 {
+            tree.drop_matches_below(level);
+        }
+    }
+
+    result.stats.positive = result.positive_count();
+    result.stats.negative = result.negative_count();
+    result.stats.total_time = started.elapsed();
+    (result, tree)
+}
+
+/// Runs sequential discovery (`SeqDis` of `SeqDisGFD`).
+pub fn seq_dis(g: &Graph, cfg: &DiscoveryConfig) -> DiscoveryResult {
+    seq_dis_with_tree(g, cfg).0
+}
+
+fn seed_root(
+    tree: &mut GenTree,
+    g: &Graph,
+    q: Pattern,
+    ms: MatchSet,
+    attrs: &[gfd_graph::AttrId],
+    cfg: &DiscoveryConfig,
+    result: &mut DiscoveryResult,
+) {
+    if let Inserted::Fresh(id) = tree.insert(q, None, None) {
+        let support = ms.len(); // arity-1 matches: pivots are the nodes
+        let node_state = if support >= cfg.sigma || !cfg.enable_pruning {
+            NodeState::Frequent
+        } else {
+            NodeState::Infrequent
+        };
+        tree.node_mut(id).support = support;
+        tree.node_mut(id).state = node_state;
+        if node_state == NodeState::Frequent {
+            mine_node(tree, id, &ms, g, attrs, cfg, result);
+            tree.node_mut(id).matches = Some(ms);
+            result.stats.patterns_verified += 1;
+        }
+    }
+}
+
+/// Verifies a freshly spawned pattern: records support, mines dependencies
+/// when frequent, emits a negative GFD when empty.
+#[allow(clippy::too_many_arguments)]
+fn verify_node(
+    tree: &mut GenTree,
+    cid: usize,
+    pid: usize,
+    ms: MatchSet,
+    g: &Graph,
+    attrs: &[gfd_graph::AttrId],
+    cfg: &DiscoveryConfig,
+    result: &mut DiscoveryResult,
+    negative_patterns: &mut Vec<Pattern>,
+) {
+    if ms.is_empty() {
+        tree.node_mut(cid).state = NodeState::Empty;
+        result.stats.patterns_empty += 1;
+        if cfg.mine_negative && tree.node(pid).support >= cfg.sigma {
+            emit_negative_pattern(tree, cid, pid, g, cfg, result, negative_patterns);
+        }
+        return;
+    }
+    let support = distinct_pivots(&ms, tree.node(cid).pattern.pivot());
+    tree.node_mut(cid).support = support;
+
+    if cfg.max_matches_per_pattern > 0 && ms.len() > cfg.max_matches_per_pattern {
+        // Memory guard: too many matches to mine or expand soundly — the
+        // node is retired (counted as infrequent for bookkeeping).
+        tree.node_mut(cid).state = NodeState::Infrequent;
+        result.stats.patterns_infrequent += 1;
+        return;
+    }
+    if support < cfg.sigma && cfg.enable_pruning {
+        tree.node_mut(cid).state = NodeState::Infrequent;
+        result.stats.patterns_infrequent += 1;
+        return;
+    }
+
+    tree.node_mut(cid).state = NodeState::Frequent;
+    result.stats.patterns_verified += 1;
+    // Inherit covered signatures down the primary spawn chain (extensions
+    // preserve variable indices).
+    let covered = tree.node(pid).covered.clone();
+    tree.node_mut(cid).covered = covered;
+    mine_node(tree, cid, &ms, g, attrs, cfg, result);
+    tree.node_mut(cid).matches = Some(ms);
+}
+
+/// Horizontal spawning on one verified node.
+fn mine_node(
+    tree: &mut GenTree,
+    id: usize,
+    ms: &MatchSet,
+    g: &Graph,
+    attrs: &[gfd_graph::AttrId],
+    cfg: &DiscoveryConfig,
+    result: &mut DiscoveryResult,
+) {
+    let t0 = Instant::now();
+    let pattern = tree.node(id).pattern.clone();
+    let level = pattern.edge_count();
+    let table = MatchTable::build(&pattern, ms, g, attrs);
+    let catalog = LiteralCatalog::harvest_capped(
+        &table,
+        cfg.values_per_attr,
+        cfg.sigma.min(ms.len()),
+        cfg.max_catalog_literals,
+    );
+    let mut covered = std::mem::take(&mut tree.node_mut(id).covered);
+    let (deps, hstats) = mine_dependencies(&table, &catalog, &mut covered, cfg);
+    tree.node_mut(id).covered = covered;
+    result.stats.hspawn.merge(&hstats);
+    for dep in deps {
+        let confidence = dep.confidence();
+        let gfd = Gfd::new(pattern.clone(), dep.lhs, dep.rhs);
+        debug_assert!(!gfd.is_trivial());
+        result.gfds.push(DiscoveredGfd {
+            gfd,
+            support: dep.support,
+            level,
+            confidence,
+        });
+    }
+    result.stats.validation_time += t0.elapsed();
+}
+
+/// Emits `Q'(∅ → false)` for an empty pattern unless a smaller emitted
+/// negative already embeds into it (minimal-trigger filter, §4.1).
+fn emit_negative_pattern(
+    tree: &GenTree,
+    cid: usize,
+    pid: usize,
+    _g: &Graph,
+    _cfg: &DiscoveryConfig,
+    result: &mut DiscoveryResult,
+    negative_patterns: &mut Vec<Pattern>,
+) {
+    let pattern = tree.node(cid).pattern.clone();
+    if negative_patterns
+        .iter()
+        .any(|prev| is_embedded(prev, &pattern))
+    {
+        return;
+    }
+    let support = tree.node(pid).support;
+    let level = pattern.edge_count();
+    negative_patterns.push(pattern.clone());
+    result.gfds.push(DiscoveredGfd {
+        gfd: Gfd::new(pattern, vec![], Rhs::False),
+        support,
+        level,
+        confidence: 1.0,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_graph::{GraphBuilder, Value};
+    use gfd_logic::Literal;
+
+    /// A KB where: every film *creator* is a producer (planted φ1 — not
+    /// universal: idle actors exist, so the rule needs the `create`
+    /// topology); parents are never mutual (planted φ3 negative).
+    #[allow(clippy::needless_range_loop)]
+    fn kb() -> Graph {
+        let mut b = GraphBuilder::new();
+        let mut people = Vec::new();
+        for i in 0..12 {
+            let p = b.add_node("person");
+            b.set_attr(p, "type", "producer");
+            b.set_attr(p, "surname", ["smith", "jones", "brown"][i % 3]);
+            people.push(p);
+        }
+        // Actors who create nothing: x.type=producer is false at the root.
+        for i in 0..6 {
+            let p = b.add_node("person");
+            b.set_attr(p, "type", "actor");
+            b.set_attr(p, "surname", ["smith", "jones", "brown"][i % 3]);
+        }
+        for i in 0..12 {
+            let f = b.add_node("product");
+            b.set_attr(f, "type", "film");
+            b.add_edge(people[i], f, "create");
+        }
+        // A parent chain among producers (never mutual).
+        for w in people.windows(2) {
+            b.add_edge(w[0], w[1], "parent");
+        }
+        b.build()
+    }
+
+    fn cfg() -> DiscoveryConfig {
+        let mut c = DiscoveryConfig::new(3, 4);
+        c.max_lhs_size = 1;
+        c.wildcard_min_labels = 0;
+        c.values_per_attr = 4;
+        c
+    }
+
+    #[test]
+    fn discovers_planted_positive_rule() {
+        let g = kb();
+        let result = seq_dis(&g, &cfg());
+        let i = g.interner();
+        let ty = i.lookup_attr("type").unwrap();
+        let film = Value::Str(i.lookup_symbol("film").unwrap());
+        let producer = Value::Str(i.lookup_symbol("producer").unwrap());
+        // Expect person-create->product (film → producer) or the
+        // ∅-premise variant (since all persons here are producers).
+        let found = result.gfds.iter().any(|d| {
+            d.gfd.is_positive()
+                && d.gfd.pattern().edge_count() == 1
+                && d.gfd.rhs() == Rhs::Lit(Literal::constant(0, ty, producer))
+                && (d.gfd.lhs().is_empty()
+                    || d.gfd.lhs() == [Literal::constant(1, ty, film)])
+        });
+        assert!(
+            found,
+            "rules: {:?}",
+            result
+                .gfds
+                .iter()
+                .map(|d| d.gfd.display(i))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn discovers_negative_mutual_parent() {
+        let g = kb();
+        let result = seq_dis(&g, &cfg());
+        let i = g.interner();
+        let parent = i.lookup_label("parent").unwrap();
+        let neg = result.gfds.iter().find(|d| {
+            d.gfd.is_negative()
+                && d.gfd.lhs().is_empty()
+                && d.gfd.pattern().edge_count() == 2
+                && d.gfd
+                    .pattern()
+                    .edges()
+                    .iter()
+                    .all(|e| e.label == PLabel::Is(parent))
+                && d.gfd.pattern().edges_between(0, 1).len() == 1
+                && d.gfd.pattern().edges_between(1, 0).len() == 1
+        });
+        assert!(
+            neg.is_some(),
+            "rules: {:?}",
+            result
+                .gfds
+                .iter()
+                .map(|d| d.gfd.display(i))
+                .collect::<Vec<_>>()
+        );
+        assert!(neg.unwrap().support >= 4);
+    }
+
+    #[test]
+    fn supports_respect_sigma() {
+        let g = kb();
+        let c = cfg();
+        let result = seq_dis(&g, &c);
+        assert!(result.gfds.iter().all(|d| d.support >= c.sigma));
+    }
+
+    #[test]
+    fn no_trivial_rules_emitted() {
+        let g = kb();
+        let result = seq_dis(&g, &cfg());
+        assert!(result.gfds.iter().all(|d| !d.gfd.is_trivial()));
+    }
+
+    #[test]
+    fn discovered_rules_hold_on_the_graph() {
+        let g = kb();
+        let result = seq_dis(&g, &cfg());
+        for d in &result.gfds {
+            assert!(
+                gfd_logic::satisfies(&g, &d.gfd),
+                "violated: {}",
+                d.gfd.display(g.interner())
+            );
+        }
+    }
+
+    #[test]
+    fn k_bound_respected() {
+        let g = kb();
+        let mut c = cfg();
+        c.k = 2;
+        let result = seq_dis(&g, &c);
+        assert!(result.gfds.iter().all(|d| d.gfd.k() <= 2));
+    }
+
+    #[test]
+    fn sigma_monotonicity_of_output() {
+        let g = kb();
+        let mut lo = cfg();
+        lo.sigma = 4;
+        let mut hi = cfg();
+        hi.sigma = 12;
+        let more = seq_dis(&g, &lo);
+        let fewer = seq_dis(&g, &hi);
+        assert!(fewer.gfds.len() <= more.gfds.len());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let g = kb();
+        let result = seq_dis(&g, &cfg());
+        assert!(result.stats.patterns_spawned > 0);
+        assert!(result.stats.patterns_verified > 0);
+        assert!(result.stats.hspawn.candidates > 0);
+        assert_eq!(
+            result.stats.positive + result.stats.negative,
+            result.gfds.len()
+        );
+    }
+}

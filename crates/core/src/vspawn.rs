@@ -1,0 +1,531 @@
+//! Vertical spawning (`VSpawn` / `NVSpawn` pattern proposals, §5.1).
+//!
+//! Extensions of a verified pattern `Q` are harvested **from its matches**:
+//! for every match `h` and variable `x`, each graph edge incident to `h(x)`
+//! proposes either a new-node extension (the far endpoint is outside the
+//! match) or a cycle-closing extension (the far endpoint is another bound
+//! image). Proposals are scored by the number of distinct pivots whose
+//! matches exhibit them — an upper bound on the support of the spawned
+//! pattern — and pruned at `σ` (Lemma 4(c)).
+//!
+//! The harvest is split into a raw, **mergeable** phase ([`harvest`] /
+//! [`RawHarvest::merge`]) and a finalisation phase
+//! ([`proposals_from_harvest`]) so that `ParDis` can run the raw phase per
+//! fragment and union the pivot sets at the master — yielding exactly the
+//! proposals the sequential miner would generate (§6.2).
+//!
+//! Wildcard upgrade: when one extension point sees at least
+//! `wildcard_min_labels` distinct endpoint labels (resp. edge labels), a
+//! wildcard variant is proposed so rules like `Q₆[x:_, y:_]` of Fig. 8 are
+//! reachable.
+//!
+//! `NVSpawn` proposals: schema-level label triples that occur frequently in
+//! `G` but never at the matches of `Q` yield guaranteed-zero-support
+//! extensions — the candidates for negative GFDs `Q'(∅ → false)` (§4.2
+//! case (a), e.g. the mutual-`parent` pattern Q₃ of Example 8).
+
+use gfd_graph::{FxHashMap, FxHashSet, Graph, LabelId, NodeId, TripleStat};
+use gfd_pattern::{End, Extension, MatchSet, PLabel, Pattern, Var};
+
+use crate::config::DiscoveryConfig;
+
+/// Direction of a new-node extension relative to the anchor variable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Dir {
+    /// `anchor --edge--> new node`.
+    Out,
+    /// `new node --edge--> anchor`.
+    In,
+}
+
+/// Raw per-extension pivot sets harvested from one match set. Mergeable
+/// across fragments: pivot sets union exactly (matches are disjoint across
+/// workers, pivots may repeat).
+#[derive(Debug, Default)]
+pub struct RawHarvest {
+    /// `(anchor var, direction, edge label, endpoint label)` → pivots.
+    pub new_node: FxHashMap<(Var, Dir, LabelId, LabelId), FxHashSet<NodeId>>,
+    /// `(src var, dst var, edge label)` → pivots, for cycle-closing.
+    pub closing: FxHashMap<(Var, Var, LabelId), FxHashSet<NodeId>>,
+}
+
+impl RawHarvest {
+    /// Unions another harvest into this one.
+    pub fn merge(&mut self, other: RawHarvest) {
+        for (k, v) in other.new_node {
+            self.new_node.entry(k).or_default().extend(v);
+        }
+        for (k, v) in other.closing {
+            self.closing.entry(k).or_default().extend(v);
+        }
+    }
+
+    /// Approximate shipped size in bytes (for the simulated cluster's
+    /// communication model).
+    pub fn byte_size(&self) -> usize {
+        let entries: usize = self
+            .new_node
+            .values()
+            .chain(self.closing.values())
+            .map(|s| s.len())
+            .sum();
+        entries * std::mem::size_of::<NodeId>()
+            + (self.new_node.len() + self.closing.len()) * 16
+    }
+}
+
+/// Harvested extension proposals for one pattern.
+#[derive(Debug, Default)]
+pub struct ExtensionProposals {
+    /// Extensions whose harvested pivot count reached `σ` (or every
+    /// harvested extension when pruning is disabled), with their counts.
+    pub frequent: Vec<(Extension, usize)>,
+    /// Every extension observed on at least one match — extensions *not* in
+    /// this set provably have zero matches.
+    pub seen: FxHashSet<Extension>,
+}
+
+/// Scans the matches of `q` and collects raw extension pivot sets.
+pub fn harvest(q: &Pattern, ms: &MatchSet, g: &Graph, cfg: &DiscoveryConfig) -> RawHarvest {
+    let mut raw = RawHarvest::default();
+    let can_grow = q.node_count() < cfg.k;
+    let pivot = q.pivot();
+
+    for m in ms.iter() {
+        let pv = m[pivot];
+        for (x, &node) in m.iter().enumerate() {
+            for &eid in g.out_edges(node) {
+                let e = g.edge(eid);
+                match m.iter().position(|&w| w == e.dst) {
+                    Some(y) => {
+                        if !has_pattern_edge(q, x, y, e.label) {
+                            raw.closing.entry((x, y, e.label)).or_default().insert(pv);
+                        }
+                    }
+                    None => {
+                        if can_grow {
+                            raw.new_node
+                                .entry((x, Dir::Out, e.label, g.node_label(e.dst)))
+                                .or_default()
+                                .insert(pv);
+                        }
+                    }
+                }
+            }
+            for &eid in g.in_edges(node) {
+                let e = g.edge(eid);
+                // Edges between two bound images are proposed once, from the
+                // out-edge side above.
+                if m.contains(&e.src) {
+                    continue;
+                }
+                if can_grow {
+                    raw.new_node
+                        .entry((x, Dir::In, e.label, g.node_label(e.src)))
+                        .or_default()
+                        .insert(pv);
+                }
+            }
+        }
+    }
+    raw
+}
+
+/// Label diversity + pivot accumulation per extension point (wildcard
+/// upgrade bookkeeping).
+type DiversitySlot = (FxHashSet<LabelId>, FxHashSet<NodeId>);
+
+/// Finalises a (possibly merged) harvest into ranked proposals, applying
+/// the `σ` filter and wildcard upgrades.
+pub fn proposals_from_harvest(raw: &RawHarvest, cfg: &DiscoveryConfig) -> ExtensionProposals {
+    let mut proposals = ExtensionProposals::default();
+    let threshold = if cfg.enable_pruning { cfg.sigma } else { 1 };
+
+    // Wildcard upgrades: group new-node keys by (var, dir, edge label) for
+    // endpoint-label diversity and by (var, dir, endpoint label) for
+    // edge-label diversity.
+    let mut by_edge_label: FxHashMap<(Var, Dir, LabelId), DiversitySlot> = FxHashMap::default();
+    let mut by_node_label: FxHashMap<(Var, Dir, LabelId), DiversitySlot> = FxHashMap::default();
+
+    for (&(x, dir, el, nl), pivots) in &raw.new_node {
+        let ext = make_new_node_ext(x, dir, PLabel::Is(el), PLabel::Is(nl));
+        proposals.seen.insert(ext);
+        if pivots.len() >= threshold {
+            proposals.frequent.push((ext, pivots.len()));
+        }
+        if cfg.wildcard_min_labels > 0 {
+            let slot = by_edge_label.entry((x, dir, el)).or_default();
+            slot.0.insert(nl);
+            slot.1.extend(pivots.iter().copied());
+            let slot = by_node_label.entry((x, dir, nl)).or_default();
+            slot.0.insert(el);
+            slot.1.extend(pivots.iter().copied());
+        }
+    }
+    if cfg.wildcard_min_labels > 0 {
+        for (&(x, dir, el), (labels, pivots)) in &by_edge_label {
+            if labels.len() >= cfg.wildcard_min_labels && pivots.len() >= threshold {
+                let ext = make_new_node_ext(x, dir, PLabel::Is(el), PLabel::Wildcard);
+                proposals.seen.insert(ext);
+                proposals.frequent.push((ext, pivots.len()));
+            }
+        }
+        for (&(x, dir, nl), (labels, pivots)) in &by_node_label {
+            if labels.len() >= cfg.wildcard_min_labels && pivots.len() >= threshold {
+                let ext = make_new_node_ext(x, dir, PLabel::Wildcard, PLabel::Is(nl));
+                proposals.seen.insert(ext);
+                proposals.frequent.push((ext, pivots.len()));
+            }
+        }
+    }
+
+    for (&(x, y, el), pivots) in &raw.closing {
+        let ext = Extension {
+            src: End::Var(x),
+            dst: End::Var(y),
+            label: PLabel::Is(el),
+        };
+        proposals.seen.insert(ext);
+        if pivots.len() >= threshold {
+            proposals.frequent.push((ext, pivots.len()));
+        }
+    }
+
+    // Deterministic order: highest count first, then by structure.
+    proposals
+        .frequent
+        .sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| format_key(&a.0).cmp(&format_key(&b.0))));
+    proposals
+}
+
+/// Harvests extension proposals from the matches of `q` (sequential path:
+/// harvest + finalise in one step).
+pub fn propose_extensions(
+    q: &Pattern,
+    ms: &MatchSet,
+    g: &Graph,
+    cfg: &DiscoveryConfig,
+) -> ExtensionProposals {
+    proposals_from_harvest(&harvest(q, ms, g, cfg), cfg)
+}
+
+fn make_new_node_ext(x: Var, dir: Dir, edge: PLabel, node: PLabel) -> Extension {
+    match dir {
+        Dir::Out => Extension {
+            src: End::Var(x),
+            dst: End::New(node),
+            label: edge,
+        },
+        Dir::In => Extension {
+            src: End::New(node),
+            dst: End::Var(x),
+            label: edge,
+        },
+    }
+}
+
+fn format_key(e: &Extension) -> (u8, u64, u64, u64) {
+    let end_key = |end: &End| match end {
+        End::Var(v) => (*v as u64) << 32,
+        End::New(PLabel::Is(l)) => l.0 as u64 | (1 << 40),
+        End::New(PLabel::Wildcard) => 2 << 40,
+    };
+    let lab = match e.label {
+        PLabel::Is(l) => l.0 as u64,
+        PLabel::Wildcard => u64::MAX,
+    };
+    (0, end_key(&e.src), end_key(&e.dst), lab)
+}
+
+fn has_pattern_edge(q: &Pattern, x: Var, y: Var, label: LabelId) -> bool {
+    q.edges_between(x, y)
+        .iter()
+        .any(|&e| q.edges()[e].label == PLabel::Is(label))
+}
+
+/// Proposes guaranteed-zero-support extensions for `NVSpawn` (§5.1): label
+/// triples frequent in `G` (≥ `σ` edges) that attach to a variable of `q`
+/// but never occur at its matches (`!seen`). The returned patterns
+/// `Q' = q.extend(ext)` have **no** matches, so `Q'(∅ → false)` is a
+/// negative GFD with support `supp(q, G)` (the base, §4.2).
+pub fn propose_negative_extensions(
+    q: &Pattern,
+    _g: &Graph,
+    triples: &[TripleStat],
+    seen: &FxHashSet<Extension>,
+    cfg: &DiscoveryConfig,
+) -> Vec<Extension> {
+    let mut out = Vec::new();
+    let cap = if cfg.max_negative_candidates == 0 {
+        usize::MAX
+    } else {
+        cfg.max_negative_candidates
+    };
+    let can_grow = q.node_count() < cfg.k;
+
+    'outer: for x in 0..q.node_count() {
+        let PLabel::Is(lx) = q.node_label(x) else {
+            continue; // only concrete-labelled anchors propose negatives
+        };
+        for t in triples {
+            if (t.edge_count as usize) < cfg.sigma {
+                continue;
+            }
+            // Outgoing new-node / closing candidates anchored at x.
+            if t.src_label == lx {
+                if can_grow {
+                    let ext =
+                        make_new_node_ext(x, Dir::Out, PLabel::Is(t.edge_label), PLabel::Is(t.dst_label));
+                    if !seen.contains(&ext) {
+                        out.push(ext);
+                        if out.len() >= cap {
+                            break 'outer;
+                        }
+                    }
+                }
+                for y in 0..q.node_count() {
+                    if y == x {
+                        continue;
+                    }
+                    if q.node_label(y) == PLabel::Is(t.dst_label)
+                        && !has_pattern_edge(q, x, y, t.edge_label)
+                    {
+                        let ext = Extension {
+                            src: End::Var(x),
+                            dst: End::Var(y),
+                            label: PLabel::Is(t.edge_label),
+                        };
+                        if !seen.contains(&ext) {
+                            out.push(ext);
+                            if out.len() >= cap {
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+            }
+            // Incoming new-node candidates anchored at x.
+            if t.dst_label == lx && can_grow {
+                let ext =
+                    make_new_node_ext(x, Dir::In, PLabel::Is(t.edge_label), PLabel::Is(t.src_label));
+                if !seen.contains(&ext) {
+                    out.push(ext);
+                    if out.len() >= cap {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    out.sort_unstable_by_key(format_key);
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_graph::{triple_stats, GraphBuilder};
+    use gfd_pattern::find_all;
+
+    fn cfg(sigma: usize) -> DiscoveryConfig {
+        DiscoveryConfig {
+            sigma,
+            k: 4,
+            wildcard_min_labels: 0,
+            ..DiscoveryConfig::new(4, sigma)
+        }
+    }
+
+    /// persons create films; films receive awards; one parent pair.
+    fn kb() -> Graph {
+        let mut b = GraphBuilder::new();
+        for i in 0..3 {
+            let p = b.add_node("person");
+            let f = b.add_node("product");
+            b.add_edge(p, f, "create");
+            if i < 2 {
+                let a = b.add_node("award");
+                b.add_edge(f, a, "receive");
+            }
+        }
+        let p0 = b.add_node("person");
+        let p1 = b.add_node("person");
+        b.add_edge(p0, p1, "parent");
+        b.build()
+    }
+
+    #[test]
+    fn harvest_new_node_extensions() {
+        let g = kb();
+        let q = Pattern::edge(
+            PLabel::Is(g.interner().label("person")),
+            PLabel::Is(g.interner().label("create")),
+            PLabel::Is(g.interner().label("product")),
+        );
+        let ms = find_all(&q, &g);
+        let props = propose_extensions(&q, &ms, &g, &cfg(2));
+        // product --receive--> award seen on 2 of 3 pivots.
+        let receive = g.interner().lookup_label("receive").unwrap();
+        let award = g.interner().lookup_label("award").unwrap();
+        let want = Extension {
+            src: End::Var(1),
+            dst: End::New(PLabel::Is(award)),
+            label: PLabel::Is(receive),
+        };
+        assert!(props.seen.contains(&want));
+        let freq: Vec<_> = props.frequent.iter().filter(|(e, _)| *e == want).collect();
+        assert_eq!(freq.len(), 1);
+        assert_eq!(freq[0].1, 2);
+
+        // With σ=3 the receive extension is pruned from `frequent` but
+        // remains in `seen`.
+        let props3 = propose_extensions(&q, &ms, &g, &cfg(3));
+        assert!(props3.seen.contains(&want));
+        assert!(!props3.frequent.iter().any(|(e, _)| *e == want));
+    }
+
+    #[test]
+    fn split_harvest_merge_equals_whole() {
+        let g = kb();
+        let q = Pattern::edge(
+            PLabel::Is(g.interner().label("person")),
+            PLabel::Is(g.interner().label("create")),
+            PLabel::Is(g.interner().label("product")),
+        );
+        let ms = find_all(&q, &g);
+        let c = cfg(1);
+        let whole = propose_extensions(&q, &ms, &g, &c);
+
+        let parts = ms.split(3);
+        let mut merged = RawHarvest::default();
+        for p in &parts {
+            merged.merge(harvest(&q, p, &g, &c));
+        }
+        let from_parts = proposals_from_harvest(&merged, &c);
+        assert_eq!(whole.frequent, from_parts.frequent);
+        assert_eq!(whole.seen, from_parts.seen);
+        assert!(merged.byte_size() > 0);
+    }
+
+    #[test]
+    fn harvest_closing_extension() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("person");
+        let y = b.add_node("person");
+        b.add_edge(x, y, "parent");
+        b.add_edge(y, x, "parent");
+        let g = b.build();
+        let q = Pattern::edge(
+            PLabel::Is(g.interner().label("person")),
+            PLabel::Is(g.interner().label("parent")),
+            PLabel::Is(g.interner().label("person")),
+        );
+        let ms = find_all(&q, &g);
+        let props = propose_extensions(&q, &ms, &g, &cfg(1));
+        let parent = g.interner().lookup_label("parent").unwrap();
+        let closing = Extension {
+            src: End::Var(1),
+            dst: End::Var(0),
+            label: PLabel::Is(parent),
+        };
+        assert!(props.seen.contains(&closing));
+        assert!(props.frequent.iter().any(|(e, _)| *e == closing));
+    }
+
+    #[test]
+    fn k_bound_stops_growth() {
+        let g = kb();
+        let q = Pattern::edge(
+            PLabel::Is(g.interner().label("person")),
+            PLabel::Is(g.interner().label("create")),
+            PLabel::Is(g.interner().label("product")),
+        );
+        let ms = find_all(&q, &g);
+        let mut c = cfg(1);
+        c.k = 2; // pattern already has 2 nodes: no new-node extensions
+        let props = propose_extensions(&q, &ms, &g, &c);
+        assert!(props
+            .frequent
+            .iter()
+            .all(|(e, _)| matches!((&e.src, &e.dst), (End::Var(_), End::Var(_)))));
+    }
+
+    #[test]
+    fn wildcard_upgrade_proposed_on_diverse_labels() {
+        // person --likes--> {cat, dog, bird}: endpoint diversity 3.
+        let mut b = GraphBuilder::new();
+        let p = b.add_node("person");
+        for species in ["cat", "dog", "bird"] {
+            let n = b.add_node(species);
+            b.add_edge(p, n, "likes");
+        }
+        let g = b.build();
+        let q = Pattern::single(PLabel::Is(g.interner().label("person")));
+        let ms = find_all(&q, &g);
+        let mut c = cfg(1);
+        c.wildcard_min_labels = 3;
+        let props = propose_extensions(&q, &ms, &g, &c);
+        let likes = g.interner().lookup_label("likes").unwrap();
+        let wild = Extension {
+            src: End::Var(0),
+            dst: End::New(PLabel::Wildcard),
+            label: PLabel::Is(likes),
+        };
+        assert!(props.frequent.iter().any(|(e, _)| *e == wild));
+        // Not proposed when the threshold is higher.
+        c.wildcard_min_labels = 4;
+        let props = propose_extensions(&q, &ms, &g, &c);
+        assert!(!props.frequent.iter().any(|(e, _)| *e == wild));
+    }
+
+    #[test]
+    fn negative_proposals_exclude_seen() {
+        // parent edges are frequent; the reverse-parent closing extension on
+        // a healthy chain graph is unseen → negative proposal (Example 8).
+        let mut b = GraphBuilder::new();
+        let mut prev = b.add_node("person");
+        for _ in 0..5 {
+            let next = b.add_node("person");
+            b.add_edge(prev, next, "parent");
+            prev = next;
+        }
+        let g = b.build();
+        let q = Pattern::edge(
+            PLabel::Is(g.interner().label("person")),
+            PLabel::Is(g.interner().label("parent")),
+            PLabel::Is(g.interner().label("person")),
+        );
+        let ms = find_all(&q, &g);
+        let c = cfg(2);
+        let props = propose_extensions(&q, &ms, &g, &c);
+        let triples = triple_stats(&g);
+        let negs = propose_negative_extensions(&q, &g, &triples, &props.seen, &c);
+        let parent = g.interner().lookup_label("parent").unwrap();
+        let reverse = Extension {
+            src: End::Var(1),
+            dst: End::Var(0),
+            label: PLabel::Is(parent),
+        };
+        assert!(negs.contains(&reverse));
+        // Every negative proposal is genuinely unseen.
+        assert!(negs.iter().all(|e| !props.seen.contains(e)));
+    }
+
+    #[test]
+    fn negative_cap_respected() {
+        let g = kb();
+        let q = Pattern::edge(
+            PLabel::Is(g.interner().label("person")),
+            PLabel::Is(g.interner().label("create")),
+            PLabel::Is(g.interner().label("product")),
+        );
+        let ms = find_all(&q, &g);
+        let mut c = cfg(1);
+        c.max_negative_candidates = 1;
+        let props = propose_extensions(&q, &ms, &g, &c);
+        let triples = triple_stats(&g);
+        let negs = propose_negative_extensions(&q, &g, &triples, &props.seen, &c);
+        assert!(negs.len() <= 1);
+    }
+}

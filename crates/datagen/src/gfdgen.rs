@@ -1,0 +1,277 @@
+//! GFD-set generator for implication/cover scalability experiments.
+//!
+//! The paper evaluates `ParCover` on generated rule sets `Σ` with `|Σ|` up
+//! to 10 000 and `k` up to 6, "with frequent edges and values from
+//! real-life graphs" (§7). This generator does the same: patterns are
+//! assembled from the graph's frequent label triples, literals draw the
+//! graph's attributes and frequent constants, and a configurable share of
+//! rules are *specialisations* of earlier rules (extra edge or extra
+//! premise) so the set carries genuine redundancy for covers to remove.
+
+use gfd_graph::{triple_stats, Graph, TripleStat};
+use gfd_logic::{Gfd, Literal, Rhs};
+use gfd_pattern::{End, Extension, PLabel, Pattern};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generator parameters.
+#[derive(Clone, Debug)]
+pub struct GfdGenConfig {
+    /// Number of rules `|Σ|`.
+    pub count: usize,
+    /// Pattern node bound `k`.
+    pub k: usize,
+    /// Share of rules generated as specialisations of earlier rules
+    /// (redundancy feed for cover computation).
+    pub specialization_rate: f64,
+    /// Share of rules with `false` consequences.
+    pub negative_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GfdGenConfig {
+    fn default() -> Self {
+        GfdGenConfig {
+            count: 1000,
+            k: 4,
+            specialization_rate: 0.3,
+            negative_rate: 0.1,
+            seed: 17,
+        }
+    }
+}
+
+/// Generates a rule set over the vocabulary of `g`.
+pub fn generate_gfds(g: &Graph, cfg: &GfdGenConfig) -> Vec<Gfd> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let triples = triple_stats(g);
+    assert!(
+        !triples.is_empty(),
+        "the seed graph must contain at least one edge"
+    );
+    let attr_count = g.interner().attr_count().max(1);
+    let mut out: Vec<Gfd> = Vec::with_capacity(cfg.count);
+
+    while out.len() < cfg.count {
+        let specialise = !out.is_empty() && rng.random_bool(cfg.specialization_rate);
+        let gfd = if specialise {
+            let base = &out[rng.random_range(0..out.len())];
+            specialize(base, &triples, attr_count, g, &mut rng, cfg.k)
+        } else {
+            fresh_rule(&triples, attr_count, g, &mut rng, cfg)
+        };
+        if let Some(gfd) = gfd {
+            if !gfd.is_trivial() {
+                out.push(gfd);
+            }
+        }
+    }
+    out
+}
+
+fn random_pattern(
+    triples: &[TripleStat],
+    rng: &mut StdRng,
+    k: usize,
+) -> Pattern {
+    // Grow a connected pattern from frequent triples, 1..k-1 edges.
+    let first = &triples[rng.random_range(0..triples.len().min(20))];
+    let mut q = Pattern::edge(
+        PLabel::Is(first.src_label),
+        PLabel::Is(first.edge_label),
+        PLabel::Is(first.dst_label),
+    );
+    let extra = rng.random_range(0..k.saturating_sub(1));
+    for _ in 0..extra {
+        if q.node_count() >= k {
+            break;
+        }
+        let t = &triples[rng.random_range(0..triples.len().min(40))];
+        // Attach where labels agree if possible, else anywhere.
+        let anchor = (0..q.node_count())
+            .find(|&v| q.node_label(v) == PLabel::Is(t.src_label))
+            .unwrap_or_else(|| rng.random_range(0..q.node_count()));
+        q = q.extend(&Extension {
+            src: End::Var(anchor),
+            dst: End::New(PLabel::Is(t.dst_label)),
+            label: PLabel::Is(t.edge_label),
+        });
+    }
+    q
+}
+
+fn random_literal(q: &Pattern, attr_count: usize, g: &Graph, rng: &mut StdRng) -> Literal {
+    let var = rng.random_range(0..q.node_count());
+    let attr = gfd_graph::AttrId::from_index(rng.random_range(0..attr_count));
+    if q.node_count() > 1 && rng.random_bool(0.3) {
+        let mut other = rng.random_range(0..q.node_count());
+        if other == var {
+            other = (other + 1) % q.node_count();
+        }
+        let attr2 = gfd_graph::AttrId::from_index(rng.random_range(0..attr_count));
+        if (var, attr) != (other, attr2) {
+            return Literal::var_var(var, attr, other, attr2);
+        }
+    }
+    let freq = g.attr_value_frequencies(attr);
+    let value = if freq.is_empty() {
+        gfd_graph::Value::Int(rng.random_range(0..50))
+    } else {
+        freq[rng.random_range(0..freq.len().min(5))].0
+    };
+    Literal::constant(var, attr, value)
+}
+
+fn fresh_rule(
+    triples: &[TripleStat],
+    attr_count: usize,
+    g: &Graph,
+    rng: &mut StdRng,
+    cfg: &GfdGenConfig,
+) -> Option<Gfd> {
+    let q = random_pattern(triples, rng, cfg.k);
+    let lhs_len = rng.random_range(0..=2);
+    let lhs: Vec<Literal> = (0..lhs_len)
+        .map(|_| random_literal(&q, attr_count, g, rng))
+        .collect();
+    let rhs = if rng.random_bool(cfg.negative_rate) {
+        Rhs::False
+    } else {
+        Rhs::Lit(random_literal(&q, attr_count, g, rng))
+    };
+    Some(Gfd::new(q, lhs, rhs))
+}
+
+fn specialize(
+    base: &Gfd,
+    triples: &[TripleStat],
+    attr_count: usize,
+    g: &Graph,
+    rng: &mut StdRng,
+    k: usize,
+) -> Option<Gfd> {
+    let q = base.pattern();
+    if rng.random_bool(0.5) && q.node_count() < k {
+        // Pattern specialisation: add one edge.
+        let t = &triples[rng.random_range(0..triples.len().min(40))];
+        let anchor = rng.random_range(0..q.node_count());
+        let q2 = q.extend(&Extension {
+            src: End::Var(anchor),
+            dst: End::New(PLabel::Is(t.dst_label)),
+            label: PLabel::Is(t.edge_label),
+        });
+        Some(Gfd::new(q2, base.lhs().to_vec(), base.rhs()))
+    } else {
+        // Premise specialisation: add one literal.
+        let mut lhs = base.lhs().to_vec();
+        lhs.push(random_literal(q, attr_count, g, rng));
+        Some(Gfd::new(q.clone(), lhs, base.rhs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kb::{knowledge_base, KbConfig, KbProfile};
+    use gfd_logic::implies;
+
+    fn seed_graph() -> Graph {
+        knowledge_base(&KbConfig::new(KbProfile::Yago2).with_scale(200))
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let g = seed_graph();
+        let sigma = generate_gfds(
+            &g,
+            &GfdGenConfig {
+                count: 200,
+                ..Default::default()
+            },
+        );
+        assert_eq!(sigma.len(), 200);
+        assert!(sigma.iter().all(|r| !r.is_trivial()));
+        assert!(sigma.iter().all(|r| r.k() <= 4));
+    }
+
+    #[test]
+    fn k_bound_respected() {
+        let g = seed_graph();
+        for k in [2, 3, 6] {
+            let sigma = generate_gfds(
+                &g,
+                &GfdGenConfig {
+                    count: 60,
+                    k,
+                    ..Default::default()
+                },
+            );
+            assert!(sigma.iter().all(|r| r.k() <= k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = seed_graph();
+        let a = generate_gfds(&g, &GfdGenConfig::default_with_seed(5, 100));
+        let b = generate_gfds(&g, &GfdGenConfig::default_with_seed(5, 100));
+        let disp = |s: &[Gfd]| {
+            s.iter()
+                .map(|r| r.display(g.interner()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(disp(&a), disp(&b));
+        let c = generate_gfds(&g, &GfdGenConfig::default_with_seed(6, 100));
+        assert_ne!(disp(&a), disp(&c));
+    }
+
+    #[test]
+    fn specialisations_create_redundancy() {
+        let g = seed_graph();
+        let sigma = generate_gfds(
+            &g,
+            &GfdGenConfig {
+                count: 150,
+                specialization_rate: 0.6,
+                ..Default::default()
+            },
+        );
+        // At least one rule must be implied by the rest.
+        let redundant = (0..sigma.len()).any(|i| {
+            let rest: Vec<Gfd> = sigma
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, r)| r.clone())
+                .collect();
+            implies(&rest, &sigma[i])
+        });
+        assert!(redundant);
+    }
+
+    #[test]
+    fn negative_share_present() {
+        let g = seed_graph();
+        let sigma = generate_gfds(
+            &g,
+            &GfdGenConfig {
+                count: 300,
+                negative_rate: 0.4,
+                ..Default::default()
+            },
+        );
+        let negs = sigma.iter().filter(|r| r.rhs() == Rhs::False).count();
+        assert!(negs > 30, "negatives: {negs}");
+    }
+
+    impl GfdGenConfig {
+        fn default_with_seed(seed: u64, count: usize) -> GfdGenConfig {
+            GfdGenConfig {
+                seed,
+                count,
+                ..Default::default()
+            }
+        }
+    }
+}

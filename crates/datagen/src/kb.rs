@@ -1,0 +1,398 @@
+//! Knowledge-base emulators standing in for the paper's real-life datasets.
+//!
+//! The paper evaluates on DBpedia (1.72M nodes / 200 node types / 31M
+//! edges / 160 relations), YAGO2 (1.99M / 13 / 5.65M / 36) and IMDB
+//! (3.4M / 15 / 5.1M / 5). Those dumps are not shipped here; instead each
+//! [`KbProfile`] generates a scaled graph with the same *shape* —
+//! relative density, label-alphabet richness, attribute regime (5 active
+//! attributes, ≤5 frequent values each) — and, crucially, **planted
+//! regularities with controlled violations**, so the miner can rediscover
+//! exactly the rule families the paper showcases:
+//!
+//! * φ₁ (Fig. 1): creators of films are producers — with `error_rate`
+//!   high-jumpers sneaking in (the John Winter anecdote);
+//! * φ₂: a city is located in one place — with `error_rate` doubly-located
+//!   cities (Saint Petersburg);
+//! * φ₃/Q₃: `parent` is never mutual (generation is acyclic);
+//! * GFD1 (Fig. 8): `hasChild` implies family-name inheritance;
+//! * GFD2: no film receives both the Gold Bear and the Gold Lion;
+//! * GFD3: Norwegian citizens hold no second citizenship.
+
+use gfd_graph::{Graph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Which real-life dataset to emulate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KbProfile {
+    /// Dense, many node/edge types (200/160 in the paper).
+    Dbpedia,
+    /// Sparse knowledge base, few types (13/36).
+    Yago2,
+    /// Movie domain, very few relations (15/5).
+    Imdb,
+}
+
+impl KbProfile {
+    /// Display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KbProfile::Dbpedia => "DBpedia",
+            KbProfile::Yago2 => "YAGO2",
+            KbProfile::Imdb => "IMDB",
+        }
+    }
+}
+
+/// Generator parameters.
+#[derive(Clone, Debug)]
+pub struct KbConfig {
+    /// Dataset shape.
+    pub profile: KbProfile,
+    /// Base entity count (persons / movies); total nodes ≈ 2–3×.
+    pub scale: usize,
+    /// Fraction of planted-rule instances violated (dirty data).
+    pub error_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl KbConfig {
+    /// Default laptop-scale instance of a profile.
+    pub fn new(profile: KbProfile) -> KbConfig {
+        KbConfig {
+            profile,
+            scale: 2_000,
+            error_rate: 0.02,
+            seed: 7,
+        }
+    }
+
+    /// Sets the scale.
+    pub fn with_scale(mut self, scale: usize) -> KbConfig {
+        self.scale = scale;
+        self
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> KbConfig {
+        self.seed = seed;
+        self
+    }
+}
+
+const SURNAMES: &[&str] = &[
+    "smith", "jones", "brown", "wilson", "taylor", "khan", "garcia", "mueller", "rossi", "tanaka",
+];
+const COUNTRIES: &[&str] = &[
+    "US", "Norway", "France", "Japan", "Brazil", "Kenya", "India", "Canada",
+];
+const GENRES: &[&str] = &[
+    "drama", "comedy", "thriller", "documentary", "animation", "horror", "romance", "scifi",
+];
+
+/// Generates the configured knowledge base.
+pub fn knowledge_base(cfg: &KbConfig) -> Graph {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    match cfg.profile {
+        KbProfile::Yago2 => build_yago(cfg, &mut rng, false),
+        KbProfile::Dbpedia => build_yago(cfg, &mut rng, true),
+        KbProfile::Imdb => build_imdb(cfg, &mut rng),
+    }
+}
+
+/// Shared builder for the YAGO-style knowledge base; `dense` switches on
+/// the DBpedia shape (more types, more relations, higher degree).
+#[allow(clippy::needless_range_loop)]
+fn build_yago(cfg: &KbConfig, rng: &mut StdRng, dense: bool) -> Graph {
+    let mut b = GraphBuilder::new();
+    let scale = cfg.scale.max(20);
+    let err = cfg.error_rate;
+
+    // --- entities ---
+    let mut persons = Vec::with_capacity(scale);
+    for i in 0..scale {
+        let p = b.add_node("person");
+        b.set_attr(p, "name", format!("person_{i}").as_str());
+        b.set_attr(p, "familyname", SURNAMES[rng.random_range(0..SURNAMES.len())]);
+        persons.push(p);
+    }
+    let films = scale * 3 / 5;
+    let mut products = Vec::with_capacity(films);
+    for i in 0..films {
+        let f = b.add_node("product");
+        b.set_attr(f, "name", format!("work_{i}").as_str());
+        b.set_attr(f, "type", if i % 5 == 0 { "album" } else { "film" });
+        products.push(f);
+    }
+    let mut countries = Vec::new();
+    for c in COUNTRIES {
+        let n = b.add_node("country");
+        b.set_attr(n, "name", *c);
+        countries.push(n);
+    }
+    let n_cities = (scale / 10).max(5);
+    let mut cities = Vec::with_capacity(n_cities);
+    for i in 0..n_cities {
+        let n = b.add_node("city");
+        b.set_attr(n, "name", format!("city_{i}").as_str());
+        cities.push(n);
+    }
+    let mut awards = Vec::new();
+    for name in ["Gold Bear", "Gold Lion", "Palme", "Oscar", "Bafta"] {
+        let a = b.add_node("award");
+        b.set_attr(a, "name", name);
+        awards.push(a);
+    }
+
+    // --- planted φ₁: film creators are producers (errors: high jumpers) ---
+    for (i, &f) in products.iter().enumerate() {
+        let creator = persons[rng.random_range(0..persons.len())];
+        let bad = rng.random_bool(err);
+        b.set_attr(creator, "type", if bad { "high_jumper" } else { "producer" });
+        b.add_edge(creator, f, "create");
+        // actors act in works (their type set unless already creator).
+        let actor = persons[(i * 7 + 3) % persons.len()];
+        b.add_edge(actor, products[i], "actedIn");
+    }
+
+    // --- planted φ₂: city located in exactly one place (errors: two) ---
+    for &c in &cities {
+        let home = countries[rng.random_range(0..countries.len())];
+        b.add_edge(c, home, "locatedIn");
+        if rng.random_bool(err) {
+            let other = cities[rng.random_range(0..cities.len())];
+            if other != c {
+                b.add_edge(c, other, "locatedIn");
+            }
+        }
+    }
+
+    // --- planted φ₃ + GFD1: acyclic parents, hasChild name inheritance ---
+    for i in 1..persons.len() {
+        let parent = persons[i / 2];
+        let child = persons[i];
+        b.add_edge(child, parent, "parent"); // child -> parent: acyclic
+        b.add_edge(parent, child, "hasChild");
+        if !rng.random_bool(err) {
+            // Inherit the family name (GFD1).
+            let fam = SURNAMES[(i / 2) % SURNAMES.len()];
+            b.set_attr(parent, "familyname", fam);
+            b.set_attr(child, "familyname", fam);
+        }
+    }
+
+    // --- planted GFD2: never both Gold Bear and Gold Lion ---
+    for (i, &f) in products.iter().enumerate() {
+        if i % 4 == 0 {
+            let a = awards[(i / 4) % awards.len()];
+            b.add_edge(f, a, "receive");
+            // Optionally a second, never the forbidden pair (0=Bear,1=Lion).
+            if i % 8 == 0 {
+                let second = awards[2 + (i / 8) % 3];
+                b.add_edge(f, second, "receive");
+            }
+        }
+    }
+
+    // --- planted GFD3: Norway admits no dual citizenship ---
+    for (i, &p) in persons.iter().enumerate() {
+        let c = countries[i % countries.len()];
+        b.add_edge(p, c, "citizenOf");
+        let is_norway = i % countries.len() == 1;
+        if !is_norway && i % 3 == 0 {
+            let c2 = countries[(i + 2) % countries.len()];
+            if (i + 2) % countries.len() != 1 {
+                b.add_edge(p, c2, "citizenOf");
+            }
+        }
+        // Birthplaces.
+        b.add_edge(p, cities[i % cities.len()], "wasBornIn");
+    }
+
+    // --- DBpedia shape: extra types + relations + density ---
+    if dense {
+        let orgs: Vec<NodeId> = (0..(scale / 8).max(4))
+            .map(|i| {
+                let o = b.add_node(["organization", "company", "band", "university"][i % 4]);
+                b.set_attr(o, "name", format!("org_{i}").as_str());
+                o
+            })
+            .collect();
+        for (i, &p) in persons.iter().enumerate() {
+            b.add_edge(p, orgs[i % orgs.len()], "memberOf");
+            if i % 2 == 0 {
+                b.add_edge(p, orgs[(i / 2) % orgs.len()], "worksFor");
+            }
+            if i % 5 == 0 {
+                b.add_edge(orgs[i % orgs.len()], cities[i % cities.len()], "headquarteredIn");
+            }
+        }
+        for (i, &f) in products.iter().enumerate() {
+            b.add_edge(f, orgs[i % orgs.len()], "producedBy");
+            if i % 3 == 0 {
+                b.add_edge(f, countries[i % countries.len()], "releasedIn");
+            }
+        }
+    }
+
+    b.build()
+}
+
+fn build_imdb(cfg: &KbConfig, rng: &mut StdRng) -> Graph {
+    let mut b = GraphBuilder::new();
+    let scale = cfg.scale.max(20);
+    let err = cfg.error_rate;
+
+    let mut movies = Vec::with_capacity(scale);
+    for i in 0..scale {
+        let m = b.add_node("movie");
+        b.set_attr(m, "name", format!("movie_{i}").as_str());
+        b.set_attr(m, "year", 1950 + (i % 70) as i64);
+        movies.push(m);
+    }
+    let mut actors = Vec::with_capacity(scale);
+    for i in 0..scale {
+        let a = b.add_node("actor");
+        b.set_attr(a, "name", format!("actor_{i}").as_str());
+        actors.push(a);
+    }
+    let n_dir = (scale / 10).max(3);
+    let mut directors = Vec::with_capacity(n_dir);
+    for i in 0..n_dir {
+        let d = b.add_node("director");
+        b.set_attr(d, "name", format!("director_{i}").as_str());
+        directors.push(d);
+    }
+    let mut genres = Vec::new();
+    for gname in GENRES {
+        let g = b.add_node("genre");
+        b.set_attr(g, "name", *gname);
+        genres.push(g);
+    }
+    let n_comp = (scale / 40).max(2);
+    let companies: Vec<NodeId> = (0..n_comp)
+        .map(|i| {
+            let c = b.add_node("company");
+            b.set_attr(c, "name", format!("studio_{i}").as_str());
+            c
+        })
+        .collect();
+
+    for (i, &m) in movies.iter().enumerate() {
+        // Exactly 5 relation types, as in the paper's IMDB.
+        b.add_edge(actors[i % actors.len()], m, "actedIn");
+        b.add_edge(actors[(i * 3 + 1) % actors.len()], m, "actedIn");
+        let d = directors[i % directors.len()];
+        // Planted: directors of movies carry profession=director (errors).
+        b.set_attr(
+            d,
+            "profession",
+            if rng.random_bool(err) { "actor" } else { "director" },
+        );
+        b.add_edge(d, m, "directed");
+        b.add_edge(m, companies[i % companies.len()], "producedBy");
+        b.add_edge(m, genres[i % genres.len()], "hasGenre");
+        // Planted negative: sequelOf is never mutual.
+        if i > 0 && i % 6 == 0 {
+            b.add_edge(m, movies[i - 1], "sequelOf");
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_graph::summarize;
+
+    #[test]
+    fn profiles_have_distinct_shapes() {
+        let y = knowledge_base(&KbConfig::new(KbProfile::Yago2).with_scale(500));
+        let d = knowledge_base(&KbConfig::new(KbProfile::Dbpedia).with_scale(500));
+        let i = knowledge_base(&KbConfig::new(KbProfile::Imdb).with_scale(500));
+        let (sy, sd, si) = (summarize(&y), summarize(&d), summarize(&i));
+        // DBpedia densest + richest alphabets.
+        assert!(sd.edge_labels > sy.edge_labels);
+        assert!(sd.avg_degree > sy.avg_degree);
+        // IMDB has exactly 5 relation types.
+        assert_eq!(si.edge_labels, 5);
+        assert!(sy.nodes > 0 && sd.nodes > 0 && si.nodes > 0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = knowledge_base(&KbConfig::new(KbProfile::Yago2).with_scale(200).with_seed(3));
+        let b = knowledge_base(&KbConfig::new(KbProfile::Yago2).with_scale(200).with_seed(3));
+        assert_eq!(gfd_graph::io::to_text(&a), gfd_graph::io::to_text(&b));
+    }
+
+    #[test]
+    fn parent_is_never_mutual() {
+        let g = knowledge_base(&KbConfig::new(KbProfile::Yago2).with_scale(300));
+        let parent = g.interner().lookup_label("parent").unwrap();
+        for e in g.edges() {
+            if e.label == parent {
+                assert!(!g.has_edge(e.dst, e.src, parent), "mutual parent pair");
+            }
+        }
+    }
+
+    #[test]
+    fn gold_bear_lion_exclusive() {
+        let g = knowledge_base(&KbConfig::new(KbProfile::Yago2).with_scale(400));
+        let receive = g.interner().lookup_label("receive").unwrap();
+        let name = g.interner().lookup_attr("name").unwrap();
+        let bear = g.interner().lookup_symbol("Gold Bear").unwrap();
+        let lion = g.interner().lookup_symbol("Gold Lion").unwrap();
+        for n in g.nodes() {
+            let mut has_bear = false;
+            let mut has_lion = false;
+            for &eid in g.out_edges(n) {
+                let e = g.edge(eid);
+                if e.label != receive {
+                    continue;
+                }
+                match g.attr(e.dst, name) {
+                    Some(gfd_graph::Value::Str(s)) if s == bear => has_bear = true,
+                    Some(gfd_graph::Value::Str(s)) if s == lion => has_lion = true,
+                    _ => {}
+                }
+            }
+            assert!(!(has_bear && has_lion), "film with both awards");
+        }
+    }
+
+    #[test]
+    fn errors_are_planted_at_configured_rate() {
+        let clean = knowledge_base(&KbConfig {
+            profile: KbProfile::Yago2,
+            scale: 500,
+            error_rate: 0.0,
+            seed: 1,
+        });
+        // No high jumpers when the error rate is zero.
+        let ty = clean.interner().lookup_attr("type").unwrap();
+        let hj = clean.interner().lookup_symbol("high_jumper");
+        assert!(hj.is_none() || {
+            let hj = hj.unwrap();
+            !clean
+                .nodes()
+                .any(|n| clean.attr(n, ty) == Some(gfd_graph::Value::Str(hj)))
+        });
+
+        let dirty = knowledge_base(&KbConfig {
+            profile: KbProfile::Yago2,
+            scale: 500,
+            error_rate: 0.3,
+            seed: 1,
+        });
+        let ty = dirty.interner().lookup_attr("type").unwrap();
+        let hj = dirty.interner().lookup_symbol("high_jumper").unwrap();
+        let bad = dirty
+            .nodes()
+            .filter(|&n| dirty.attr(n, ty) == Some(gfd_graph::Value::Str(hj)))
+            .count();
+        assert!(bad > 0, "expected planted φ₁ violations");
+    }
+}

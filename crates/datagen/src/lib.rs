@@ -1,0 +1,27 @@
+//! # gfd-datagen — workload generators
+//!
+//! All data inputs of the paper's evaluation (§7), generated
+//! deterministically under seeds:
+//!
+//! * [`synthetic`] — the paper's synthetic generator (`|V|`, `|E|`, 30
+//!   labels, `Γ` of 5 attributes over 1000 values) with degree skew and
+//!   label-correlated attributes,
+//! * [`kb`] — emulators for the DBpedia / YAGO2 / IMDB shapes with
+//!   planted rule families (φ₁–φ₃, GFD1–GFD3) and controlled violations,
+//! * [`noise`] — the Exp-5 noise protocol (`α`, `β`) with ground-truth
+//!   dirty-node sets,
+//! * [`gfdgen`] — random `Σ` sets (|Σ| ≤ 10⁴, k ≤ 6) with built-in
+//!   redundancy for cover experiments.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod gfdgen;
+pub mod kb;
+pub mod noise;
+pub mod synthetic;
+
+pub use gfdgen::{generate_gfds, GfdGenConfig};
+pub use kb::{knowledge_base, KbConfig, KbProfile};
+pub use noise::{detection_accuracy, inject_noise, Noised, NoiseConfig};
+pub use synthetic::{synthetic, SyntheticConfig};

@@ -1,0 +1,171 @@
+//! Synthetic graph generator (§7, "Experimental setting").
+//!
+//! Mirrors the paper's generator: graphs `G = (V, E, L, F_A)` controlled by
+//! `|V|` and `|E|`, labels drawn from an alphabet of 30, and an active
+//! attribute set `Γ` of 5 attributes whose values come from a pool of
+//! 1000. Deterministic under a seed. Two knobs beyond the paper's
+//! description keep the workload interesting for *discovery* (not just
+//! matching): a preferential-attachment exponent producing the skewed
+//! degree distributions the load balancer targets, and a label→attribute
+//! correlation so that frequent dependencies actually exist.
+
+use gfd_graph::{Graph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters of the synthetic generator.
+#[derive(Clone, Debug)]
+pub struct SyntheticConfig {
+    /// `|V|`.
+    pub nodes: usize,
+    /// `|E|`.
+    pub edges: usize,
+    /// Node-label alphabet size (paper: part of 30).
+    pub node_labels: usize,
+    /// Edge-label alphabet size (paper: part of 30).
+    pub edge_labels: usize,
+    /// Number of active attributes `Γ` (paper: 5).
+    pub attrs: usize,
+    /// Value pool per attribute (paper: 1000).
+    pub values_per_attr: usize,
+    /// Fraction of nodes whose attribute values follow their label (creates
+    /// minable dependencies); the rest draw uniformly.
+    pub correlation: f64,
+    /// Degree skew: probability mass routed to hub nodes.
+    pub skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            nodes: 10_000,
+            edges: 20_000,
+            node_labels: 15,
+            edge_labels: 15,
+            attrs: 5,
+            values_per_attr: 1000,
+            correlation: 0.8,
+            skew: 0.3,
+            seed: 42,
+        }
+    }
+}
+
+impl SyntheticConfig {
+    /// Convenience constructor fixing `(|V|, |E|)` at paper-style ratios.
+    pub fn sized(nodes: usize, edges: usize) -> SyntheticConfig {
+        SyntheticConfig {
+            nodes,
+            edges,
+            ..Default::default()
+        }
+    }
+}
+
+/// Generates a synthetic graph.
+pub fn synthetic(cfg: &SyntheticConfig) -> Graph {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = GraphBuilder::new();
+
+    let node_labels: Vec<String> = (0..cfg.node_labels.max(1))
+        .map(|i| format!("L{i}"))
+        .collect();
+    let edge_labels: Vec<String> = (0..cfg.edge_labels.max(1))
+        .map(|i| format!("r{i}"))
+        .collect();
+    let attrs: Vec<String> = (0..cfg.attrs).map(|i| format!("a{i}")).collect();
+
+    // Nodes with label-correlated attributes.
+    for _ in 0..cfg.nodes {
+        let li = rng.random_range(0..node_labels.len());
+        let n = b.add_node(&node_labels[li]);
+        for (ai, attr) in attrs.iter().enumerate() {
+            let vi = if rng.random_bool(cfg.correlation) {
+                // Deterministic function of (label, attr): minable rules.
+                (li * 31 + ai * 7) % cfg.values_per_attr.max(1)
+            } else {
+                rng.random_range(0..cfg.values_per_attr.max(1))
+            };
+            b.set_attr(n, attr, format!("v{vi}").as_str());
+        }
+    }
+
+    // Edges: preferential attachment toward a hub set for skew.
+    let hub_count = (cfg.nodes / 100).max(1);
+    for _ in 0..cfg.edges {
+        let src = pick_node(&mut rng, cfg, hub_count);
+        let mut dst = pick_node(&mut rng, cfg, hub_count);
+        if dst == src {
+            dst = NodeId(((src.0 as usize + 1) % cfg.nodes) as u32);
+        }
+        // Edge label correlated with endpoint labels so schema-level triples
+        // repeat (vertical spawning needs frequent triples).
+        let li = rng.random_range(0..edge_labels.len());
+        b.add_edge(src, dst, &edge_labels[li]);
+    }
+    b.build()
+}
+
+fn pick_node(rng: &mut StdRng, cfg: &SyntheticConfig, hubs: usize) -> NodeId {
+    if rng.random_bool(cfg.skew) {
+        NodeId(rng.random_range(0..hubs as u32))
+    } else {
+        NodeId(rng.random_range(0..cfg.nodes as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_graph::summarize;
+
+    #[test]
+    fn respects_size_parameters() {
+        let g = synthetic(&SyntheticConfig::sized(500, 1500));
+        assert_eq!(g.node_count(), 500);
+        assert_eq!(g.edge_count(), 1500);
+        let s = summarize(&g);
+        assert!(s.node_labels <= 15);
+        assert!(s.edge_labels <= 15);
+        assert_eq!(s.attr_bindings, 500 * 5);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = synthetic(&SyntheticConfig::default_scaled(300, 600, 1));
+        let b = synthetic(&SyntheticConfig::default_scaled(300, 600, 1));
+        assert_eq!(gfd_graph::io::to_text(&a), gfd_graph::io::to_text(&b));
+        let c = synthetic(&SyntheticConfig::default_scaled(300, 600, 2));
+        assert_ne!(gfd_graph::io::to_text(&a), gfd_graph::io::to_text(&c));
+    }
+
+    #[test]
+    fn skew_produces_hubs() {
+        let g = synthetic(&SyntheticConfig::sized(1000, 5000));
+        let max_deg = g.max_degree();
+        let avg = 2.0 * g.edge_count() as f64 / g.node_count() as f64;
+        assert!(max_deg as f64 > 5.0 * avg, "max {max_deg} vs avg {avg}");
+    }
+
+    #[test]
+    fn correlation_creates_frequent_values() {
+        let g = synthetic(&SyntheticConfig::sized(2000, 2000));
+        let a0 = g.interner().lookup_attr("a0").unwrap();
+        let freq = g.attr_value_frequencies(a0);
+        // Correlated values dominate: top value count far above uniform.
+        assert!(freq[0].1 as usize > 2000 / 1000 * 10);
+    }
+
+    impl SyntheticConfig {
+        fn default_scaled(n: usize, e: usize, seed: u64) -> SyntheticConfig {
+            SyntheticConfig {
+                nodes: n,
+                edges: e,
+                seed,
+                ..Default::default()
+            }
+        }
+    }
+}

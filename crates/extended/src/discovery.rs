@@ -1,0 +1,685 @@
+//! Discovery of extended GFDs (§8's future-work algorithm, realised).
+//!
+//! The miner follows the architecture of `SeqDis` (§5.1) — frequent
+//! pattern growth interleaved with levelwise dependency spawning — with a
+//! literal space widened to built-in predicates:
+//!
+//! * **threshold literals** `x.A ≤ c` / `x.A ≥ c`, with `c` drawn from
+//!   quantiles of the values observed at `(x, A)` across matches,
+//! * **order literals** `x.A ⊙ y.B` between terms that are numeric in
+//!   enough matches,
+//! * **arithmetic literals** `x.A = y.B + d`, with `d` drawn from the most
+//!   frequent observed differences, and
+//! * **equality constants** `x.A = c` (the base-GFD fragment).
+//!
+//! Support is the pivoted `|Q(G, Xl, z)|` of §4.2 (anti-monotonic under
+//! literal extension, so `σ`-pruning carries over). In addition the miner
+//! carries the *confidence* `(|X-matches satisfying l|) / |X-matches|`,
+//! the measure §8 borrows from YAGO-style KB rule mining \[36\]: with
+//! `min_confidence = 1.0` only exact rules (`G ⊨ φ`) are reported; lower
+//! values admit approximate rules that tolerate dirty data.
+//!
+//! Negative rules are spawned as in `NHSpawn` (§5.1): when extending `X`
+//! by one literal empties `Q(G, X, z)` while the base was `σ`-frequent,
+//! `Q[x̄](X → false)` is reported with the base's support.
+
+use std::ops::ControlFlow;
+
+use gfd_graph::{AttrId, FxHashMap, FxHashSet, Graph, LabelId, NodeId, Value};
+use gfd_pattern::{canonical_code, for_each_match, End, Extension, PLabel, Pattern};
+
+use crate::solver::{entails, is_conflicting};
+use crate::xgfd::{XGfd, XRhs};
+use crate::xliteral::{CmpOp, Term, XLiteral};
+
+/// Configuration of the extended miner.
+#[derive(Clone, Debug)]
+pub struct XDiscoveryConfig {
+    /// Bound `k` on pattern variables `|x̄|` (§4.3).
+    pub k: usize,
+    /// Support threshold `σ` (distinct pivots satisfying `X ∧ l`).
+    pub sigma: usize,
+    /// Maximum pattern edges (defaults to `k`).
+    pub max_edges: usize,
+    /// Maximum premises `|X|`.
+    pub max_lhs_size: usize,
+    /// Minimum confidence (`1.0` = exact rules only; see module docs).
+    pub min_confidence: f64,
+    /// Quantile thresholds generated per numeric term.
+    pub thresholds_per_attr: usize,
+    /// Frequent arithmetic offsets generated per term pair.
+    pub offsets_per_pair: usize,
+    /// Frequent equality constants generated per term.
+    pub values_per_attr: usize,
+    /// Attributes considered (`Γ`, §4.3); empty = every attribute in `G`.
+    pub active_attrs: Vec<AttrId>,
+    /// Cap on the number of patterns enumerated.
+    pub max_patterns: usize,
+    /// Cap on materialised matches per pattern (support becomes a lower
+    /// bound once hit; mining remains sound for pruning).
+    pub max_matches_per_pattern: usize,
+    /// Whether to spawn negative rules.
+    pub mine_negative: bool,
+}
+
+impl XDiscoveryConfig {
+    /// Defaults for bound `k` and support `sigma`.
+    pub fn new(k: usize, sigma: usize) -> XDiscoveryConfig {
+        XDiscoveryConfig {
+            k,
+            sigma,
+            max_edges: k,
+            max_lhs_size: 2,
+            min_confidence: 1.0,
+            thresholds_per_attr: 3,
+            offsets_per_pair: 2,
+            values_per_attr: 3,
+            active_attrs: Vec::new(),
+            max_patterns: 400,
+            max_matches_per_pattern: 200_000,
+            mine_negative: true,
+        }
+    }
+}
+
+/// A mined extended rule with its statistics.
+#[derive(Clone, Debug)]
+pub struct XDiscovered {
+    /// The rule.
+    pub gfd: XGfd,
+    /// `|Q(G, Xl, z)|` — pivoted support (§4.2); for negative rules, the
+    /// support of the base (§4.2's minimal-trigger semantics).
+    pub support: usize,
+    /// Fraction of `X`-satisfying matches that satisfy `l` (`1.0` for
+    /// exact and negative rules).
+    pub confidence: f64,
+}
+
+/// Column-oriented view of one pattern's matches.
+struct PatternTable {
+    pattern: Pattern,
+    pivots: Vec<NodeId>,
+    cols: FxHashMap<Term, Vec<Option<Value>>>,
+    rows: usize,
+}
+
+impl PatternTable {
+    fn build(q: &Pattern, g: &Graph, attrs: &[AttrId], cap: usize) -> PatternTable {
+        let n = q.node_count();
+        let mut pivots = Vec::new();
+        let mut cols: FxHashMap<Term, Vec<Option<Value>>> = FxHashMap::default();
+        for var in 0..n {
+            for &a in attrs {
+                cols.insert(Term::new(var, a), Vec::new());
+            }
+        }
+        let mut rows = 0usize;
+        let _ = for_each_match(q, g, |m| {
+            pivots.push(m[q.pivot()]);
+            for var in 0..n {
+                for &a in attrs {
+                    cols.get_mut(&Term::new(var, a))
+                        .expect("column exists")
+                        .push(g.attr(m[var], a));
+                }
+            }
+            rows += 1;
+            if cap != 0 && rows >= cap {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        PatternTable {
+            pattern: q.clone(),
+            pivots,
+            cols,
+            rows,
+        }
+    }
+
+    fn value(&self, row: usize, t: Term) -> Option<Value> {
+        self.cols.get(&t).and_then(|c| c[row])
+    }
+
+    /// Evaluates one literal on one row (same semantics as
+    /// [`XLiteral::satisfied`], against materialised columns).
+    fn lit_holds(&self, row: usize, lit: &XLiteral) -> bool {
+        let Some(a) = self.value(row, lit.lhs) else {
+            return false;
+        };
+        match lit.rhs {
+            crate::xliteral::Operand::Const(c) => match (a, c) {
+                (Value::Int(x), Value::Int(y)) => lit.op.test_int(x, y as i128),
+                _ => match lit.op {
+                    CmpOp::Eq => a == c,
+                    CmpOp::Ne => a != c,
+                    _ => false,
+                },
+            },
+            crate::xliteral::Operand::Term(t, d) => {
+                let Some(b) = self.value(row, t) else {
+                    return false;
+                };
+                match (a, b) {
+                    (Value::Int(x), Value::Int(y)) => lit.op.test_int(x, y as i128 + d as i128),
+                    _ if d == 0 => match lit.op {
+                        CmpOp::Eq => a == b,
+                        CmpOp::Ne => a != b,
+                        _ => false,
+                    },
+                    _ => false,
+                }
+            }
+        }
+    }
+
+    fn lhs_holds(&self, row: usize, x: &[XLiteral]) -> bool {
+        x.iter().all(|l| self.lit_holds(row, l))
+    }
+
+    /// `(support pivots, lhs pivots, lhs matches, violations)` of `X → l`.
+    fn evaluate(&self, x: &[XLiteral], l: &XLiteral) -> (usize, usize, usize, usize) {
+        let mut supp: FxHashSet<NodeId> = FxHashSet::default();
+        let mut lhs_pivots: FxHashSet<NodeId> = FxHashSet::default();
+        let mut lhs_matches = 0usize;
+        let mut violations = 0usize;
+        for r in 0..self.rows {
+            if !self.lhs_holds(r, x) {
+                continue;
+            }
+            lhs_matches += 1;
+            lhs_pivots.insert(self.pivots[r]);
+            if self.lit_holds(r, l) {
+                supp.insert(self.pivots[r]);
+            } else {
+                violations += 1;
+            }
+        }
+        (supp.len(), lhs_pivots.len(), lhs_matches, violations)
+    }
+
+    /// Distinct pivots satisfying `X` alone.
+    fn lhs_support(&self, x: &[XLiteral]) -> usize {
+        let mut pivots: FxHashSet<NodeId> = FxHashSet::default();
+        for r in 0..self.rows {
+            if self.lhs_holds(r, x) {
+                pivots.insert(self.pivots[r]);
+            }
+        }
+        pivots.len()
+    }
+}
+
+/// Frequent `(source label, edge label, destination label)` triples.
+fn frequent_triples(g: &Graph, sigma: usize) -> Vec<(LabelId, LabelId, LabelId)> {
+    let mut counts: FxHashMap<(LabelId, LabelId, LabelId), usize> = FxHashMap::default();
+    for e in g.edges() {
+        *counts
+            .entry((g.node_label(e.src), e.label, g.node_label(e.dst)))
+            .or_insert(0) += 1;
+    }
+    let mut out: Vec<_> = counts
+        .into_iter()
+        .filter(|(_, c)| *c >= sigma)
+        .collect();
+    out.sort_by_key(|&(t, c)| (std::cmp::Reverse(c), t));
+    out.into_iter().map(|(t, _)| t).collect()
+}
+
+/// Levelwise frequent-pattern enumeration (the `VSpawn` skeleton of §5.1,
+/// restricted to concrete labels).
+fn enumerate_patterns(g: &Graph, cfg: &XDiscoveryConfig) -> Vec<Pattern> {
+    let triples = frequent_triples(g, cfg.sigma);
+    let mut seen: FxHashSet<_> = FxHashSet::default();
+    let mut out: Vec<Pattern> = Vec::new();
+    let mut frontier: Vec<Pattern> = Vec::new();
+
+    for &(s, e, d) in &triples {
+        let q = Pattern::edge(PLabel::Is(s), PLabel::Is(e), PLabel::Is(d));
+        if seen.insert(canonical_code(&q)) && pattern_frequent(&q, g, cfg) {
+            out.push(q.clone());
+            frontier.push(q);
+        }
+        if out.len() >= cfg.max_patterns {
+            return out;
+        }
+    }
+
+    while !frontier.is_empty() && out.len() < cfg.max_patterns {
+        let mut next = Vec::new();
+        for q in &frontier {
+            if q.edge_count() >= cfg.max_edges {
+                continue;
+            }
+            for ext in extensions(q, &triples, cfg.k) {
+                let q2 = q.extend(&ext);
+                if !seen.insert(canonical_code(&q2)) {
+                    continue;
+                }
+                if pattern_frequent(&q2, g, cfg) {
+                    out.push(q2.clone());
+                    next.push(q2);
+                    if out.len() >= cfg.max_patterns {
+                        return out;
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    out
+}
+
+/// Candidate one-edge extensions of `q` from the frequent triple list:
+/// attach a new node at any variable (both directions) or close a cycle
+/// between two existing variables.
+fn extensions(
+    q: &Pattern,
+    triples: &[(LabelId, LabelId, LabelId)],
+    k: usize,
+) -> Vec<Extension> {
+    let mut out = Vec::new();
+    let grown = q.node_count() < k;
+    for v in 0..q.node_count() {
+        let PLabel::Is(vl) = q.node_label(v) else {
+            continue;
+        };
+        for &(s, e, d) in triples {
+            if grown && s == vl {
+                out.push(Extension {
+                    src: End::Var(v),
+                    dst: End::New(PLabel::Is(d)),
+                    label: PLabel::Is(e),
+                });
+            }
+            if grown && d == vl {
+                out.push(Extension {
+                    src: End::New(PLabel::Is(s)),
+                    dst: End::Var(v),
+                    label: PLabel::Is(e),
+                });
+            }
+            // Cycle-closing edges between existing variables.
+            for u in 0..q.node_count() {
+                if u == v {
+                    continue;
+                }
+                let PLabel::Is(ul) = q.node_label(u) else {
+                    continue;
+                };
+                if s == vl && d == ul && q.edges_between(v, u).is_empty() {
+                    out.push(Extension {
+                        src: End::Var(v),
+                        dst: End::Var(u),
+                        label: PLabel::Is(e),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `supp(Q, G) ≥ σ` with early exit once enough distinct pivots are seen.
+fn pattern_frequent(q: &Pattern, g: &Graph, cfg: &XDiscoveryConfig) -> bool {
+    let mut pivots: FxHashSet<NodeId> = FxHashSet::default();
+    let mut rows = 0usize;
+    let _ = for_each_match(q, g, |m| {
+        pivots.insert(m[q.pivot()]);
+        rows += 1;
+        if pivots.len() >= cfg.sigma || rows >= cfg.max_matches_per_pattern {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    pivots.len() >= cfg.sigma
+}
+
+/// Literal candidates harvested from one pattern table.
+struct Candidates {
+    /// RHS candidates (all flavours).
+    rhs: Vec<XLiteral>,
+    /// LHS candidates (thresholds, constants, order pairs — no `≠`, which
+    /// rarely discriminates and doubles the levelwise space).
+    lhs: Vec<XLiteral>,
+}
+
+fn harvest(table: &PatternTable, cfg: &XDiscoveryConfig) -> Candidates {
+    let mut rhs = Vec::new();
+    let mut lhs = Vec::new();
+    let min_rows = cfg.sigma.max(1);
+
+    // Per-term statistics.
+    let mut numeric_terms: Vec<(Term, Vec<i64>)> = Vec::new();
+    for (&t, col) in &table.cols {
+        let mut ints: Vec<i64> = Vec::new();
+        let mut freq: FxHashMap<Value, usize> = FxHashMap::default();
+        let mut present = 0usize;
+        for v in col.iter().flatten() {
+            present += 1;
+            *freq.entry(*v).or_insert(0) += 1;
+            if let Value::Int(i) = v {
+                ints.push(*i);
+            }
+        }
+        if present < min_rows {
+            continue;
+        }
+        // Equality constants: most frequent values.
+        let mut by_freq: Vec<(Value, usize)> = freq.into_iter().collect();
+        by_freq.sort_by_key(|&(v, c)| (std::cmp::Reverse(c), v));
+        for (v, c) in by_freq.into_iter().take(cfg.values_per_attr) {
+            if c >= min_rows {
+                let lit = XLiteral::cmp_const(t.var, t.attr, CmpOp::Eq, v);
+                rhs.push(lit);
+                lhs.push(lit);
+            }
+        }
+        // Threshold literals on numeric terms.
+        if ints.len() >= min_rows && cfg.thresholds_per_attr > 0 {
+            ints.sort_unstable();
+            let qs = cfg.thresholds_per_attr;
+            let mut cuts: Vec<i64> = (1..=qs)
+                .map(|i| ints[(ints.len() - 1) * i / (qs + 1)])
+                .collect();
+            cuts.dedup();
+            for c in cuts {
+                for op in [CmpOp::Le, CmpOp::Ge] {
+                    let lit = XLiteral::cmp_const(t.var, t.attr, op, Value::Int(c));
+                    rhs.push(lit);
+                    lhs.push(lit);
+                }
+            }
+            numeric_terms.push((t, ints));
+        }
+    }
+
+    // Order and arithmetic literals between numeric term pairs.
+    numeric_terms.sort_by_key(|(t, _)| *t);
+    for i in 0..numeric_terms.len() {
+        for j in (i + 1)..numeric_terms.len() {
+            let (a, _) = numeric_terms[i];
+            let (b, _) = numeric_terms[j];
+            // Paired rows where both are integers.
+            let (ca, cb) = (&table.cols[&a], &table.cols[&b]);
+            let mut diffs: FxHashMap<i64, usize> = FxHashMap::default();
+            let mut both = 0usize;
+            for r in 0..table.rows {
+                if let (Some(Value::Int(x)), Some(Value::Int(y))) = (ca[r], cb[r]) {
+                    both += 1;
+                    if let Some(d) = x.checked_sub(y) {
+                        *diffs.entry(d).or_insert(0) += 1;
+                    }
+                }
+            }
+            if both < min_rows {
+                continue;
+            }
+            for op in [CmpOp::Le, CmpOp::Lt, CmpOp::Ge, CmpOp::Gt] {
+                let lit = XLiteral::cmp_terms(a, op, b, 0);
+                rhs.push(lit);
+                lhs.push(lit);
+            }
+            rhs.push(XLiteral::cmp_terms(a, CmpOp::Eq, b, 0));
+            lhs.push(XLiteral::cmp_terms(a, CmpOp::Eq, b, 0));
+            rhs.push(XLiteral::cmp_terms(a, CmpOp::Ne, b, 0));
+            let mut by_freq: Vec<(i64, usize)> = diffs.into_iter().collect();
+            by_freq.sort_by_key(|&(d, c)| (std::cmp::Reverse(c), d));
+            for (d, c) in by_freq.into_iter().take(cfg.offsets_per_pair) {
+                if d != 0 && c >= min_rows {
+                    rhs.push(XLiteral::cmp_terms(a, CmpOp::Eq, b, d));
+                    lhs.push(XLiteral::cmp_terms(a, CmpOp::Eq, b, d));
+                }
+            }
+        }
+    }
+
+    rhs.sort_unstable();
+    rhs.dedup();
+    lhs.sort_unstable();
+    lhs.dedup();
+    Candidates { rhs, lhs }
+}
+
+/// Mines extended GFDs from `g`.
+pub fn discover_extended(g: &Graph, cfg: &XDiscoveryConfig) -> Vec<XDiscovered> {
+    let attrs: Vec<AttrId> = if cfg.active_attrs.is_empty() {
+        (0..g.interner().attr_count())
+            .map(AttrId::from_index)
+            .collect()
+    } else {
+        cfg.active_attrs.clone()
+    };
+    let mut out: Vec<XDiscovered> = Vec::new();
+
+    for q in enumerate_patterns(g, cfg) {
+        let table = PatternTable::build(&q, g, &attrs, cfg.max_matches_per_pattern);
+        if table.rows == 0 {
+            continue;
+        }
+        let cands = harvest(&table, cfg);
+        mine_pattern(&table, &cands, cfg, &mut out);
+    }
+
+    out.sort_by(|a, b| {
+        b.support
+            .cmp(&a.support)
+            .then_with(|| a.gfd.lhs().len().cmp(&b.gfd.lhs().len()))
+    });
+    out
+}
+
+/// Levelwise dependency mining over one pattern (the `HSpawn`/`NHSpawn`
+/// loop of §5.1 with extended literals).
+fn mine_pattern(
+    table: &PatternTable,
+    cands: &Candidates,
+    cfg: &XDiscoveryConfig,
+    out: &mut Vec<XDiscovered>,
+) {
+    // Negative premises found on this pattern (deduplicated across RHS
+    // branches — the same emptying X is reachable from many `l`s — and
+    // kept minimal: a superset of an emitted negative is implied by it).
+    let mut negatives: Vec<(Vec<XLiteral>, usize)> = Vec::new();
+    for &l in &cands.rhs {
+        // Accepted premise sets for this consequence (reduction check).
+        let mut accepted: Vec<Vec<XLiteral>> = Vec::new();
+        // Level 0: X = ∅.
+        let (supp, _, matches, violations) = table.evaluate(&[], &l);
+        if supp < cfg.sigma {
+            // Anti-monotone in X (Theorem 3): no extension can recover σ.
+            continue;
+        }
+        let conf = (matches - violations) as f64 / matches as f64;
+        let exact = violations == 0;
+        if conf >= cfg.min_confidence {
+            out.push(XDiscovered {
+                gfd: XGfd::new(table.pattern.clone(), vec![], XRhs::Lit(l)),
+                support: supp,
+                confidence: conf,
+            });
+            accepted.push(vec![]);
+        }
+        if exact {
+            continue; // Lemma 4(b): supersets of X are not reduced.
+        }
+
+        // Levelwise premise extension.
+        let mut frontier: Vec<Vec<XLiteral>> = vec![vec![]];
+        for _level in 1..=cfg.max_lhs_size {
+            let mut next: Vec<Vec<XLiteral>> = Vec::new();
+            for x in &frontier {
+                let start = x.last().copied();
+                for &lp in &cands.lhs {
+                    // Enforce ascending order to enumerate each set once.
+                    if let Some(prev) = start {
+                        if lp <= prev {
+                            continue;
+                        }
+                    }
+                    if lp == l {
+                        continue;
+                    }
+                    let mut x2 = x.clone();
+                    x2.push(lp);
+                    if accepted.iter().any(|a| a.iter().all(|al| x2.contains(al))) {
+                        continue; // not reduced: a subset already holds
+                    }
+                    if is_conflicting(&x2) || entails(&x2, &l) {
+                        continue; // trivial
+                    }
+                    let (supp, lhs_pivots, matches, violations) = table.evaluate(&x2, &l);
+                    if matches == 0 {
+                        // NHSpawn: X₂ empties the LHS; the base (x) was
+                        // σ-frequent, so X₂ → false is a supported
+                        // negative rule.
+                        if cfg.mine_negative {
+                            let base_supp = table.lhs_support(x);
+                            let redundant = negatives.iter().any(|(nx, _)| {
+                                nx.iter().all(|nl| x2.contains(nl))
+                            });
+                            if base_supp >= cfg.sigma && !redundant {
+                                negatives.push((x2.clone(), base_supp));
+                            }
+                        }
+                        continue;
+                    }
+                    if supp < cfg.sigma {
+                        continue; // anti-monotone prune
+                    }
+                    let conf = (matches - violations) as f64 / matches as f64;
+                    if conf >= cfg.min_confidence {
+                        out.push(XDiscovered {
+                            gfd: XGfd::new(table.pattern.clone(), x2.clone(), XRhs::Lit(l)),
+                            support: supp,
+                            confidence: conf,
+                        });
+                        accepted.push(x2.clone());
+                        if violations == 0 {
+                            continue; // exact: stop extending this branch
+                        }
+                    }
+                    let _ = lhs_pivots;
+                    next.push(x2);
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+    }
+    for (x, support) in negatives {
+        out.push(XDiscovered {
+            gfd: XGfd::new(table.pattern.clone(), x, XRhs::False),
+            support,
+            confidence: 1.0,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_graph::GraphBuilder;
+
+    /// A parent graph where every parent is exactly 25 years older than
+    /// the child, except noise.
+    fn generations(noisy: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        for i in 0..40i64 {
+            let p = b.add_node("person");
+            let c = b.add_node("person");
+            b.set_attr(p, "birth", 1940 + i);
+            let gap = if i < noisy as i64 { 1 } else { 25 };
+            b.set_attr(c, "birth", 1940 + i + gap);
+            b.add_edge(p, c, "parent");
+        }
+        b.build()
+    }
+
+    #[test]
+    fn discovers_age_gap_rule() {
+        let g = generations(0);
+        let cfg = XDiscoveryConfig::new(2, 10);
+        let rules = discover_extended(&g, &cfg);
+        assert!(!rules.is_empty());
+        let birth = g.interner().lookup_attr("birth").unwrap();
+        // The exact arithmetic rule x1.birth = x0.birth + 25 must appear
+        // (in canonical orientation: x0.birth = x1.birth − 25).
+        let want = XLiteral::cmp_terms(Term::new(0, birth), CmpOp::Eq, Term::new(1, birth), -25);
+        assert!(
+            rules.iter().any(|r| r.gfd.rhs() == XRhs::Lit(want) && r.confidence == 1.0),
+            "expected the +25 arithmetic rule; got {} rules",
+            rules.len()
+        );
+        // The order rule x0.birth < x1.birth must appear too.
+        let lt = XLiteral::cmp_terms(Term::new(0, birth), CmpOp::Lt, Term::new(1, birth), 0);
+        assert!(rules.iter().any(|r| r.gfd.rhs() == XRhs::Lit(lt)));
+        // Everything reported at confidence 1.0 must hold on G.
+        for r in rules.iter().filter(|r| r.confidence == 1.0) {
+            assert!(crate::validation::satisfies(&g, &r.gfd), "{:?}", r.gfd);
+        }
+    }
+
+    #[test]
+    fn confidence_threshold_admits_noisy_rules() {
+        let g = generations(3); // 3 of 40 edges are dirty
+        let exact = discover_extended(&g, &XDiscoveryConfig::new(2, 10));
+        let birth = g.interner().lookup_attr("birth").unwrap();
+        let want = XLiteral::cmp_terms(Term::new(0, birth), CmpOp::Eq, Term::new(1, birth), -25);
+        assert!(
+            !exact.iter().any(|r| r.gfd.rhs() == XRhs::Lit(want) && r.gfd.lhs().is_empty()),
+            "dirty data must break the exact rule"
+        );
+        let mut cfg = XDiscoveryConfig::new(2, 10);
+        cfg.min_confidence = 0.9;
+        let approx = discover_extended(&g, &cfg);
+        let found = approx
+            .iter()
+            .find(|r| r.gfd.rhs() == XRhs::Lit(want) && r.gfd.lhs().is_empty())
+            .expect("approximate mining recovers the rule");
+        assert!(found.confidence >= 0.9 && found.confidence < 1.0);
+    }
+
+    #[test]
+    fn support_threshold_prunes() {
+        let g = generations(0);
+        let cfg = XDiscoveryConfig::new(2, 1_000_000);
+        assert!(discover_extended(&g, &cfg).is_empty());
+    }
+
+    #[test]
+    fn frequent_triples_ranked() {
+        let g = generations(0);
+        let t = frequent_triples(&g, 10);
+        assert_eq!(t.len(), 1);
+        let t = frequent_triples(&g, 41);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn pattern_enumeration_respects_caps() {
+        let g = generations(0);
+        let mut cfg = XDiscoveryConfig::new(3, 5);
+        cfg.max_patterns = 2;
+        let pats = enumerate_patterns(&g, &cfg);
+        assert!(pats.len() <= 2);
+        for q in &pats {
+            assert!(q.node_count() <= 3);
+        }
+    }
+
+    #[test]
+    fn reported_support_is_pivot_count() {
+        let g = generations(0);
+        let cfg = XDiscoveryConfig::new(2, 10);
+        let rules = discover_extended(&g, &cfg);
+        for r in &rules {
+            assert!(r.support >= 10);
+            assert!(r.support <= g.node_count());
+        }
+    }
+}

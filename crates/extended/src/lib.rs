@@ -1,0 +1,40 @@
+//! # gfd-extended — GFDs with built-in predicates and arithmetic
+//!
+//! The paper's closing section (§8) announces the extension of `DisGFD`
+//! to "GFDs with built-in comparison predicates and arithmetic
+//! expressions" — the graph entity dependency (GED) line. This crate
+//! implements that extension end to end:
+//!
+//! * [`xliteral`] — literals `x.A ⊙ c` and `x.A ⊙ y.B + d` with
+//!   `⊙ ∈ {=, ≠, <, ≤, >, ≥}`,
+//! * [`solver`] — conflict/entailment reasoning (union–find over
+//!   type-agnostic equalities + difference-bound shortest paths),
+//! * [`xgfd`] — the dependency type `Q[x̄](X → l)`, lifted losslessly
+//!   from base GFDs,
+//! * [`validation`] — `G ⊨ φ` and violation enumeration,
+//! * [`implication`] — `Σ ⊨ φ` via the embedded-rule chase, and covers,
+//! * [`discovery`] — mining extended rules: numeric thresholds from value
+//!   quantiles, order/arithmetic correlations between connected entities,
+//!   with the support/confidence model of §4.2,
+//! * [`xtext`] — the round-tripping rule file format.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod discovery;
+pub mod implication;
+pub mod solver;
+pub mod validation;
+pub mod xgfd;
+pub mod xliteral;
+pub mod xtext;
+
+pub use discovery::{discover_extended, XDiscovered, XDiscoveryConfig};
+pub use implication::{xclosure_of, xcover, xcover_indices, ximplies, ximplies_refs, XClosure};
+pub use solver::{entails, entails_all, is_conflicting, is_satisfiable_set, Analysis};
+pub use validation::{
+    find_violations, match_satisfies, satisfies, satisfies_all, violating_nodes,
+};
+pub use xgfd::{XGfd, XRhs};
+pub use xliteral::{normalize_xliterals, CmpOp, Operand, Term, XLiteral};
+pub use xtext::{parse_xgfd, parse_xliteral, parse_xrules, render_xrules};

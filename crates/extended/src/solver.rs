@@ -1,0 +1,635 @@
+//! Constraint reasoning over extended literals.
+//!
+//! The fixed-parameter-tractable reasoning of §3 rests on deciding whether
+//! a literal set is *conflicting* and whether it *entails* a literal. For
+//! base GFDs equality transitivity suffices (`gfd_logic::closure`); with
+//! built-in predicates the conjunction `X` mixes
+//!
+//! * type-agnostic equalities `x.A = y.B` (union–find),
+//! * integer order and arithmetic `x.A ⊙ y.B + d`, `x.A ⊙ c` (a
+//!   difference-bound constraint graph, checked by shortest paths), and
+//! * disequalities (checked against forced values).
+//!
+//! [`is_conflicting`] is **sound**: when it reports a conflict the set has
+//! no model over present attribute values. It is complete for
+//! equality + order + arithmetic conjunctions (negative-cycle detection is
+//! exact for difference constraints over the integers); the one source of
+//! incompleteness is disequality *chains* that only conflict by counting a
+//! finite domain (e.g. `0 ≤ t ≤ 1 ∧ t ≠ 0 ∧ t ≠ 1`), which no
+//! case-split-free procedure detects. Discovery and cover computation only
+//! rely on the sound direction: a missed conflict keeps a rule that a
+//! smarter prover could have pruned — never the reverse.
+//!
+//! [`entails`] decides `X ⊨ l` by refutation (`X ∧ ¬l` conflicting),
+//! guarded by attribute presence: a literal can only be entailed when every
+//! term it mentions is forced present by `X` (§2.2's schemaless semantics —
+//! satisfaction of `Y` requires the attribute to exist).
+
+use gfd_graph::{FxHashMap, SymbolId, Value};
+
+use crate::xliteral::{CmpOp, Operand, Term, XLiteral};
+
+/// Infinity sentinel for shortest-path weights.
+const INF: i128 = i128::MAX / 4;
+
+/// The analysed form of a literal conjunction.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Whether the conjunction is unsatisfiable (sound; see module docs).
+    pub conflicting: bool,
+    terms: Vec<Term>,
+    /// Term → index into `terms`.
+    term_index: FxHashMap<Term, usize>,
+    /// Union–find parent vector over term indexes.
+    parent: Vec<usize>,
+    /// Per-root string binding.
+    str_binding: FxHashMap<usize, SymbolId>,
+    /// Per-root integer forcing: some literal of the conjunction is only
+    /// satisfiable when the class holds an integer value.
+    class_wants_int: FxHashMap<usize, bool>,
+    /// Shortest-path matrix over DBM nodes (index 0 = the zero node `Z`,
+    /// node `i + 1` = class root of `terms[i]`); empty when conflicting
+    /// was decided before the numeric phase.
+    dist: Vec<Vec<i128>>,
+    /// DBM node of each term's class root (0 = unused).
+    dbm_node: Vec<usize>,
+}
+
+impl Analysis {
+    /// Analyses a conjunction of extended literals.
+    pub fn of(lits: &[XLiteral]) -> Analysis {
+        let mut terms: Vec<Term> = Vec::new();
+        let mut index: FxHashMap<Term, usize> = FxHashMap::default();
+        let term_id = |t: Term, terms: &mut Vec<Term>, index: &mut FxHashMap<Term, usize>| {
+            *index.entry(t).or_insert_with(|| {
+                terms.push(t);
+                terms.len() - 1
+            })
+        };
+
+        // Classified constraints (term indexes).
+        let mut unions: Vec<(usize, usize)> = Vec::new();
+        let mut str_eq: Vec<(usize, SymbolId)> = Vec::new();
+        let mut str_ne: Vec<(usize, SymbolId)> = Vec::new();
+        // `(a, b, w)`: val(b) − val(a) ≤ w.
+        let mut edges: Vec<(usize, usize, i128)> = Vec::new();
+        let mut int_ne: Vec<(usize, i128)> = Vec::new();
+        let mut term_ne: Vec<(usize, usize, i128)> = Vec::new();
+        let mut wants_int: Vec<bool> = Vec::new();
+        let mut falsified = false;
+
+        const Z: usize = usize::MAX; // stands for the zero "constant" node
+
+        // Emits `val(b) − val(a) ≤ w` where `Z` encodes the constant 0.
+        let le = |a: usize, b: usize, w: i128, edges: &mut Vec<(usize, usize, i128)>| {
+            edges.push((a, b, w));
+        };
+
+        for lit in lits {
+            let t = term_id(lit.lhs, &mut terms, &mut index);
+            wants_int.resize(terms.len(), false);
+            match lit.rhs {
+                Operand::Const(Value::Str(s)) => match lit.op {
+                    CmpOp::Eq => str_eq.push((t, s)),
+                    CmpOp::Ne => str_ne.push((t, s)),
+                    // Order against a string constant is never satisfied.
+                    _ => falsified = true,
+                },
+                Operand::Const(Value::Int(c)) => {
+                    let c = c as i128;
+                    match lit.op {
+                        CmpOp::Eq => {
+                            le(Z, t, c, &mut edges);
+                            le(t, Z, -c, &mut edges);
+                            wants_int[t] = true;
+                        }
+                        // `t ≠ c` is satisfied by any string, so it does
+                        // not force an integer type.
+                        CmpOp::Ne => int_ne.push((t, c)),
+                        CmpOp::Le => {
+                            le(Z, t, c, &mut edges);
+                            wants_int[t] = true;
+                        }
+                        CmpOp::Lt => {
+                            le(Z, t, c - 1, &mut edges);
+                            wants_int[t] = true;
+                        }
+                        CmpOp::Ge => {
+                            le(t, Z, -c, &mut edges);
+                            wants_int[t] = true;
+                        }
+                        CmpOp::Gt => {
+                            le(t, Z, -(c + 1), &mut edges);
+                            wants_int[t] = true;
+                        }
+                    }
+                }
+                Operand::Term(rt, d) => {
+                    let u = term_id(rt, &mut terms, &mut index);
+                    wants_int.resize(terms.len(), false);
+                    let d = d as i128;
+                    match (lit.op, d) {
+                        (CmpOp::Eq, 0) => unions.push((t, u)),
+                        (CmpOp::Ne, 0) => term_ne.push((t, u, 0)),
+                        (CmpOp::Eq, _) => {
+                            // t = u + d  ⟺  t − u ≤ d ∧ u − t ≤ −d.
+                            le(u, t, d, &mut edges);
+                            le(t, u, -d, &mut edges);
+                            wants_int[t] = true;
+                            wants_int[u] = true;
+                        }
+                        (CmpOp::Ne, _) => {
+                            // A non-zero offset is only satisfied by two
+                            // integers, so the literal forces both types.
+                            term_ne.push((t, u, d));
+                            wants_int[t] = true;
+                            wants_int[u] = true;
+                        }
+                        (CmpOp::Le, _) => {
+                            le(u, t, d, &mut edges);
+                            wants_int[t] = true;
+                            wants_int[u] = true;
+                        }
+                        (CmpOp::Lt, _) => {
+                            le(u, t, d - 1, &mut edges);
+                            wants_int[t] = true;
+                            wants_int[u] = true;
+                        }
+                        (CmpOp::Ge, _) => {
+                            le(t, u, -d, &mut edges);
+                            wants_int[t] = true;
+                            wants_int[u] = true;
+                        }
+                        (CmpOp::Gt, _) => {
+                            le(t, u, -(d + 1), &mut edges);
+                            wants_int[t] = true;
+                            wants_int[u] = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        let n = terms.len();
+        let mut analysis = Analysis {
+            conflicting: falsified,
+            terms,
+            term_index: index,
+            parent: (0..n).collect(),
+            str_binding: FxHashMap::default(),
+            class_wants_int: FxHashMap::default(),
+            dist: Vec::new(),
+            dbm_node: vec![0; n],
+        };
+        if analysis.conflicting {
+            return analysis;
+        }
+
+        // Phase 1: union type-agnostic equalities.
+        for (a, b) in unions {
+            analysis.union(a, b);
+        }
+
+        // Phase 2: string bindings and their conflicts.
+        for t in 0..n {
+            let r = analysis.find(t);
+            *analysis.class_wants_int.entry(r).or_insert(false) |= wants_int[t];
+        }
+        let class_wants_int = analysis.class_wants_int.clone();
+        for (t, s) in str_eq {
+            let r = analysis.find(t);
+            match analysis.str_binding.get(&r) {
+                Some(&prev) if prev != s => {
+                    analysis.conflicting = true;
+                    return analysis;
+                }
+                _ => {
+                    analysis.str_binding.insert(r, s);
+                }
+            }
+        }
+        // A class cannot be both a string and an integer.
+        if analysis
+            .str_binding
+            .keys()
+            .any(|r| class_wants_int.get(r).copied().unwrap_or(false))
+        {
+            analysis.conflicting = true;
+            return analysis;
+        }
+        for (t, s) in &str_ne {
+            let r = analysis.find(*t);
+            if analysis.str_binding.get(&r) == Some(s) {
+                analysis.conflicting = true;
+                return analysis;
+            }
+        }
+        // `t ≠ t'` with both terms in one equality class can never hold.
+        for (a, b, d) in &term_ne {
+            if *d == 0 && analysis.find(*a) == analysis.find(*b) {
+                analysis.conflicting = true;
+                return analysis;
+            }
+        }
+        // Equal string bindings on both sides of a `≠`.
+        for (a, b, d) in &term_ne {
+            if *d == 0 {
+                let (ra, rb) = (analysis.find(*a), analysis.find(*b));
+                if let (Some(sa), Some(sb)) =
+                    (analysis.str_binding.get(&ra), analysis.str_binding.get(&rb))
+                {
+                    if sa == sb {
+                        analysis.conflicting = true;
+                        return analysis;
+                    }
+                }
+            }
+        }
+
+        // Phase 3: difference-bound reasoning over class representatives.
+        // Node 0 is Z; every term's class gets a node (cheap: n is the
+        // number of distinct (var, attr) terms of a small pattern).
+        let mut node_of_root: FxHashMap<usize, usize> = FxHashMap::default();
+        let mut m = 1usize;
+        for t in 0..n {
+            let r = analysis.find(t);
+            let node = *node_of_root.entry(r).or_insert_with(|| {
+                let id = m;
+                m += 1;
+                id
+            });
+            analysis.dbm_node[t] = node;
+        }
+        let mut dist = vec![vec![INF; m]; m];
+        for (i, row) in dist.iter_mut().enumerate() {
+            row[i] = 0;
+        }
+        let node = |t: usize, analysis: &Analysis| -> usize {
+            if t == Z {
+                0
+            } else {
+                analysis.dbm_node[t]
+            }
+        };
+        for (a, b, w) in &edges {
+            let (na, nb) = (node(*a, &analysis), node(*b, &analysis));
+            // val(b) − val(a) ≤ w: edge a → b with weight w.
+            if *w < dist[na][nb] {
+                dist[na][nb] = *w;
+            }
+        }
+        // Floyd–Warshall (m ≤ #terms + 1, tiny for k-bounded patterns).
+        for k in 0..m {
+            for i in 0..m {
+                if dist[i][k] == INF {
+                    continue;
+                }
+                for j in 0..m {
+                    if dist[k][j] == INF {
+                        continue;
+                    }
+                    let via = dist[i][k] + dist[k][j];
+                    if via < dist[i][j] {
+                        dist[i][j] = via;
+                    }
+                }
+            }
+        }
+        if (0..m).any(|i| dist[i][i] < 0) {
+            analysis.conflicting = true;
+            return analysis;
+        }
+
+        // Phase 4: disequalities against forced values.
+        for (t, c) in &int_ne {
+            let u = node(*t, &analysis);
+            // Conflict only when the class is integer-forced *and* pinned
+            // exactly to c (otherwise a different integer or a string
+            // satisfies the ≠).
+            let r = analysis.find(*t);
+            let forced_int = class_wants_int.get(&r).copied().unwrap_or(false);
+            if forced_int && dist[0][u] == *c && dist[u][0] == -*c {
+                analysis.conflicting = true;
+                return analysis;
+            }
+        }
+        for (a, b, d) in &term_ne {
+            let (na, nb) = (node(*a, &analysis), node(*b, &analysis));
+            if na == nb {
+                continue; // d == 0 handled above; d ≠ 0 can't pin a − a = d ≠ 0 without a cycle
+            }
+            // val(a) − val(b) forced exactly d ⇒ a = b + d everywhere.
+            if dist[nb][na] == *d && dist[na][nb] == -*d {
+                // The pin only matters if both classes are integer-typed;
+                // DBM paths between distinct nodes only exist through
+                // int-forcing edges, so a finite two-sided bound implies it.
+                analysis.conflicting = true;
+                return analysis;
+            }
+        }
+
+        analysis.dist = dist;
+        analysis
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Non-compressing find for immutable queries.
+    fn find_ref(&self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Whether the conjunction forces `t` to hold an integer value in
+    /// every model: `t`'s equality class participates in an order
+    /// comparison, a non-zero arithmetic offset, or an integer-constant
+    /// equality. Terms not mentioned by the conjunction are not forced.
+    pub fn int_forced(&self, t: Term) -> bool {
+        match self.term_index.get(&t) {
+            Some(&i) => {
+                let r = self.find_ref(i);
+                self.class_wants_int.get(&r).copied().unwrap_or(false)
+            }
+            None => false,
+        }
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[rb] = ra;
+        }
+    }
+
+    /// The terms of the analysed conjunction.
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+}
+
+/// Whether the conjunction `lits` has no model (sound; see module docs).
+pub fn is_conflicting(lits: &[XLiteral]) -> bool {
+    Analysis::of(lits).conflicting
+}
+
+/// Whether the conjunction `lits` has a model, as far as the (sound)
+/// conflict check can tell.
+pub fn is_satisfiable_set(lits: &[XLiteral]) -> bool {
+    !is_conflicting(lits)
+}
+
+/// Terms mentioned by a literal slice.
+fn term_set(lits: &[XLiteral]) -> Vec<Term> {
+    let mut out = Vec::new();
+    for l in lits {
+        out.push(l.lhs);
+        if let Operand::Term(t, _) = l.rhs {
+            out.push(t);
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Whether `X ⊨ l`: every match satisfying all of `x` also satisfies `l`.
+///
+/// Sound but not complete (inherits [`is_conflicting`]'s precision). Two
+/// guards keep refutation (`X ∧ ¬l` conflicting ⇒ `X ⊨ l`) honest under
+/// the schemaless, dynamically-typed semantics:
+///
+/// * **presence** — `l`'s terms must appear in `x`: an attribute absent
+///   from `X` can be missing on a match, and a literal over a missing
+///   attribute is never satisfied (§2.2);
+/// * **typing** — when `l` is only satisfiable on integers (an order
+///   comparison, or a non-zero arithmetic offset), `X` must force its
+///   terms to be integers. On a string value both `l` and `¬l` fail, so
+///   they are not complementary and refutation alone would over-claim.
+pub fn entails(x: &[XLiteral], l: &XLiteral) -> bool {
+    let ax = Analysis::of(x);
+    if ax.conflicting {
+        return true; // vacuous: no match satisfies X
+    }
+    // Presence guard.
+    let xt = term_set(x);
+    let mut lterms = vec![l.lhs];
+    if let Operand::Term(t, _) = l.rhs {
+        lterms.push(t);
+    }
+    if !lterms.iter().all(|t| xt.binary_search(t).is_ok()) {
+        return false;
+    }
+    // Typing guard (see above).
+    let needs_int = l.op.is_order()
+        || matches!(l.rhs, Operand::Term(_, d) if d != 0);
+    if needs_int && !lterms.iter().all(|&t| ax.int_forced(t)) {
+        return false;
+    }
+    // A literal that can never be satisfied is not entailed by a
+    // satisfiable X.
+    if is_conflicting(std::slice::from_ref(l)) {
+        return false;
+    }
+    let mut refut: Vec<XLiteral> = x.to_vec();
+    refut.push(l.negate());
+    is_conflicting(&refut)
+}
+
+/// Whether `X ⊨ l` for every `l` in `ls`.
+pub fn entails_all(x: &[XLiteral], ls: &[XLiteral]) -> bool {
+    ls.iter().all(|l| entails(x, l))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_graph::{AttrId, Interner};
+
+    fn t(var: usize, attr: u16) -> Term {
+        Term::new(var, AttrId(attr))
+    }
+
+    fn int(c: i64) -> Value {
+        Value::Int(c)
+    }
+
+    #[test]
+    fn order_chain_conflict() {
+        // a < b, b < c, c < a is a negative cycle.
+        let x = vec![
+            XLiteral::cmp_terms(t(0, 0), CmpOp::Lt, t(1, 0), 0),
+            XLiteral::cmp_terms(t(1, 0), CmpOp::Lt, t(2, 0), 0),
+            XLiteral::cmp_terms(t(2, 0), CmpOp::Lt, t(0, 0), 0),
+        ];
+        assert!(is_conflicting(&x));
+        // Dropping one edge is satisfiable.
+        assert!(is_satisfiable_set(&x[..2]));
+    }
+
+    #[test]
+    fn integer_tightening() {
+        // a < b ∧ b < a + 2 forces b = a + 1 over the integers: satisfiable,
+        // but adding b ≠ a + 1 conflicts.
+        let mut x = vec![
+            XLiteral::cmp_terms(t(0, 0), CmpOp::Lt, t(1, 0), 0),
+            XLiteral::cmp_terms(t(1, 0), CmpOp::Lt, t(0, 0), 2),
+        ];
+        assert!(is_satisfiable_set(&x));
+        x.push(XLiteral::cmp_terms(t(1, 0), CmpOp::Ne, t(0, 0), 1));
+        assert!(is_conflicting(&x));
+    }
+
+    #[test]
+    fn constant_window_conflicts() {
+        let x = vec![
+            XLiteral::cmp_const(0, AttrId(0), CmpOp::Ge, int(10)),
+            XLiteral::cmp_const(0, AttrId(0), CmpOp::Lt, int(10)),
+        ];
+        assert!(is_conflicting(&x));
+        let y = vec![
+            XLiteral::cmp_const(0, AttrId(0), CmpOp::Ge, int(10)),
+            XLiteral::cmp_const(0, AttrId(0), CmpOp::Le, int(10)),
+            XLiteral::cmp_const(0, AttrId(0), CmpOp::Ne, int(10)),
+        ];
+        assert!(is_conflicting(&y));
+    }
+
+    #[test]
+    fn string_conflicts() {
+        let i = Interner::new();
+        let (s1, s2) = (i.symbol("a"), i.symbol("b"));
+        let eq1 = XLiteral::cmp_const(0, AttrId(0), CmpOp::Eq, Value::Str(s1));
+        let eq2 = XLiteral::cmp_const(0, AttrId(0), CmpOp::Eq, Value::Str(s2));
+        assert!(is_conflicting(&[eq1, eq2]));
+        let ne1 = XLiteral::cmp_const(0, AttrId(0), CmpOp::Ne, Value::Str(s1));
+        assert!(is_conflicting(&[eq1, ne1]));
+        assert!(is_satisfiable_set(&[eq1]));
+        // String + integer-forcing constraint on one term.
+        let ord = XLiteral::cmp_const(0, AttrId(0), CmpOp::Ge, int(3));
+        assert!(is_conflicting(&[eq1, ord]));
+        // Order against a string constant alone is unsatisfiable.
+        let sord = XLiteral::cmp_const(0, AttrId(0), CmpOp::Lt, Value::Str(s1));
+        assert!(is_conflicting(&[sord]));
+    }
+
+    #[test]
+    fn equality_propagates_through_classes() {
+        let i = Interner::new();
+        let s = i.symbol("x");
+        // a = b, b = c, a = "x", c ≠ "x" → conflict.
+        let x = vec![
+            XLiteral::cmp_terms(t(0, 0), CmpOp::Eq, t(1, 0), 0),
+            XLiteral::cmp_terms(t(1, 0), CmpOp::Eq, t(2, 0), 0),
+            XLiteral::cmp_const(0, AttrId(0), CmpOp::Eq, Value::Str(s)),
+            XLiteral::cmp_const(2, AttrId(0), CmpOp::Ne, Value::Str(s)),
+        ];
+        assert!(is_conflicting(&x));
+        // a = b ∧ a ≠ b → conflict.
+        let y = vec![
+            XLiteral::cmp_terms(t(0, 0), CmpOp::Eq, t(1, 0), 0),
+            XLiteral::cmp_terms(t(0, 0), CmpOp::Ne, t(1, 0), 0),
+        ];
+        assert!(is_conflicting(&y));
+    }
+
+    #[test]
+    fn arithmetic_offsets_chain() {
+        // a = b + 5 ∧ b = c + 5 ∧ a ≤ c + 9 → conflict (a = c + 10).
+        let x = vec![
+            XLiteral::cmp_terms(t(0, 0), CmpOp::Eq, t(1, 0), 5),
+            XLiteral::cmp_terms(t(1, 0), CmpOp::Eq, t(2, 0), 5),
+            XLiteral::cmp_terms(t(0, 0), CmpOp::Le, t(2, 0), 9),
+        ];
+        assert!(is_conflicting(&x));
+        let ok = vec![
+            XLiteral::cmp_terms(t(0, 0), CmpOp::Eq, t(1, 0), 5),
+            XLiteral::cmp_terms(t(1, 0), CmpOp::Eq, t(2, 0), 5),
+            XLiteral::cmp_terms(t(0, 0), CmpOp::Le, t(2, 0), 10),
+        ];
+        assert!(is_satisfiable_set(&ok));
+    }
+
+    #[test]
+    fn int_ne_needs_int_forcing() {
+        // t ≠ 5 alone: satisfiable (a string or another int works), even
+        // with t pinned as a *string*.
+        let i = Interner::new();
+        let s = i.symbol("a");
+        let ne = XLiteral::cmp_const(0, AttrId(0), CmpOp::Ne, int(5));
+        let eqs = XLiteral::cmp_const(0, AttrId(0), CmpOp::Eq, Value::Str(s));
+        assert!(is_satisfiable_set(&[ne, eqs]));
+        // Pinned to exactly 5 as an integer → conflict.
+        let pin = XLiteral::cmp_const(0, AttrId(0), CmpOp::Eq, int(5));
+        assert!(is_conflicting(&[ne, pin]));
+    }
+
+    #[test]
+    fn entailment_basics() {
+        let ge18 = XLiteral::cmp_const(0, AttrId(0), CmpOp::Ge, int(18));
+        let ge10 = XLiteral::cmp_const(0, AttrId(0), CmpOp::Ge, int(10));
+        let ne5 = XLiteral::cmp_const(0, AttrId(0), CmpOp::Ne, int(5));
+        assert!(entails(&[ge18], &ge10));
+        assert!(!entails(&[ge10], &ge18));
+        assert!(entails(&[ge18], &ne5));
+        // Presence guard: X says nothing about x1.A0.
+        let other = XLiteral::cmp_const(1, AttrId(0), CmpOp::Ne, int(5));
+        assert!(!entails(&[ge18], &other));
+        // Unsatisfiable X entails everything.
+        let lt10 = XLiteral::cmp_const(0, AttrId(0), CmpOp::Lt, int(10));
+        assert!(entails(&[ge18, lt10], &other));
+    }
+
+    #[test]
+    fn entailment_transitive_order() {
+        // a ≤ b ∧ b ≤ c ⊨ a ≤ c; and with offsets.
+        let x = vec![
+            XLiteral::cmp_terms(t(0, 0), CmpOp::Le, t(1, 0), 0),
+            XLiteral::cmp_terms(t(1, 0), CmpOp::Le, t(2, 0), 0),
+        ];
+        assert!(entails(&x, &XLiteral::cmp_terms(t(0, 0), CmpOp::Le, t(2, 0), 0)));
+        assert!(!entails(&x, &XLiteral::cmp_terms(t(0, 0), CmpOp::Lt, t(2, 0), 0)));
+        let gap = vec![
+            XLiteral::cmp_terms(t(1, 0), CmpOp::Ge, t(0, 0), 18),
+            XLiteral::cmp_terms(t(2, 0), CmpOp::Ge, t(1, 0), 18),
+        ];
+        assert!(entails(&gap, &XLiteral::cmp_terms(t(2, 0), CmpOp::Ge, t(0, 0), 36)));
+        assert!(entails(&gap, &XLiteral::cmp_terms(t(2, 0), CmpOp::Gt, t(0, 0), 0)));
+    }
+
+    #[test]
+    fn unsatisfiable_literal_never_entailed() {
+        let i = Interner::new();
+        let s = i.symbol("a");
+        let x = vec![XLiteral::cmp_const(0, AttrId(0), CmpOp::Ge, int(0))];
+        // Order against a string constant over the same term.
+        let bad = XLiteral::cmp_const(0, AttrId(0), CmpOp::Lt, Value::Str(s));
+        assert!(!entails(&x, &bad));
+    }
+
+    #[test]
+    fn base_fragment_matches_equality_reasoning() {
+        let i = Interner::new();
+        let s = i.symbol("v");
+        // a = b ∧ a = "v" ⊨ b = "v" (transitivity of equality, §3).
+        let x = vec![
+            XLiteral::cmp_terms(t(0, 0), CmpOp::Eq, t(1, 0), 0),
+            XLiteral::cmp_const(0, AttrId(0), CmpOp::Eq, Value::Str(s)),
+        ];
+        assert!(entails(&x, &XLiteral::cmp_const(1, AttrId(0), CmpOp::Eq, Value::Str(s))));
+    }
+
+    #[test]
+    fn empty_set_is_satisfiable_and_entails_nothing() {
+        assert!(is_satisfiable_set(&[]));
+        let l = XLiteral::cmp_const(0, AttrId(0), CmpOp::Ge, int(0));
+        assert!(!entails(&[], &l));
+    }
+}

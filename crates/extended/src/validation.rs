@@ -1,0 +1,173 @@
+//! Validation `G ⊨ φ` for extended GFDs.
+//!
+//! Same contract as `gfd_logic::validation`, lifted to built-in
+//! predicates: enumerate the isomorphic matches of `Q` (Prop. 2's
+//! `O(|Σ|·|G|^k)` procedure) and test `X → l` per match.
+
+use std::ops::ControlFlow;
+
+use gfd_graph::{Graph, NodeId};
+use gfd_pattern::for_each_match;
+
+use crate::xgfd::{XGfd, XRhs};
+
+/// Whether the match `m` satisfies `X → rhs`.
+pub fn match_satisfies(gfd: &XGfd, m: &[NodeId], g: &Graph) -> bool {
+    if !gfd.lhs().iter().all(|l| l.satisfied(m, g)) {
+        return true; // vacuous
+    }
+    match gfd.rhs() {
+        XRhs::Lit(l) => l.satisfied(m, g),
+        XRhs::False => false,
+    }
+}
+
+/// Whether `G ⊨ φ` — no match of the pattern violates `X → l`.
+pub fn satisfies(g: &Graph, gfd: &XGfd) -> bool {
+    for_each_match(gfd.pattern(), g, |m| {
+        if match_satisfies(gfd, m, g) {
+            ControlFlow::Continue(())
+        } else {
+            ControlFlow::Break(())
+        }
+    })
+    .is_continue()
+}
+
+/// Whether `G ⊨ Σ` for a set of extended GFDs.
+pub fn satisfies_all(g: &Graph, sigma: &[XGfd]) -> bool {
+    sigma.iter().all(|x| satisfies(g, x))
+}
+
+/// All violating matches of `φ` in `G` (capped at `limit`; `0` = no cap).
+pub fn find_violations(g: &Graph, gfd: &XGfd, limit: usize) -> Vec<Vec<NodeId>> {
+    let mut out = Vec::new();
+    let _ = for_each_match(gfd.pattern(), g, |m| {
+        if !match_satisfies(gfd, m, g) {
+            out.push(m.to_vec());
+            if limit != 0 && out.len() >= limit {
+                return ControlFlow::Break(());
+            }
+        }
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+/// Distinct nodes participating in violations of any GFD in `sigma` —
+/// the entity-level error report used by the accuracy experiment.
+pub fn violating_nodes(g: &Graph, sigma: &[XGfd]) -> Vec<NodeId> {
+    let mut nodes: Vec<NodeId> = Vec::new();
+    for gfd in sigma {
+        for m in find_violations(g, gfd, 0) {
+            nodes.extend(m);
+        }
+    }
+    nodes.sort_unstable();
+    nodes.dedup();
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xliteral::{CmpOp, Term, XLiteral};
+    use gfd_graph::{Graph, GraphBuilder};
+    use gfd_pattern::{PLabel, Pattern};
+
+    /// A family tree: parents must be at least 12 years older than their
+    /// children. One edge violates the rule.
+    fn family() -> (Graph, XGfd) {
+        let mut b = GraphBuilder::new();
+        let grandma = b.add_node("person");
+        let mother = b.add_node("person");
+        let child = b.add_node("person");
+        let fake = b.add_node("person");
+        b.set_attr(grandma, "birth", 1940i64);
+        b.set_attr(mother, "birth", 1965i64);
+        b.set_attr(child, "birth", 1990i64);
+        b.set_attr(fake, "birth", 1991i64);
+        b.add_edge(grandma, mother, "parent");
+        b.add_edge(mother, child, "parent");
+        b.add_edge(fake, child, "parent"); // 1-year gap: inconsistent
+        let g = b.build();
+        let person = PLabel::Is(g.interner().lookup_label("person").unwrap());
+        let parent = PLabel::Is(g.interner().lookup_label("parent").unwrap());
+        let birth = g.interner().lookup_attr("birth").unwrap();
+        let q = Pattern::edge(person, parent, person);
+        // x0 parent-of x1 ⇒ x1.birth ≥ x0.birth + 12.
+        let gfd = XGfd::new(
+            q,
+            vec![],
+            crate::xgfd::XRhs::Lit(XLiteral::cmp_terms(
+                Term::new(1, birth),
+                CmpOp::Ge,
+                Term::new(0, birth),
+                12,
+            )),
+        );
+        (g, gfd)
+    }
+
+    #[test]
+    fn age_gap_rule_catches_inconsistency() {
+        let (g, gfd) = family();
+        assert!(!satisfies(&g, &gfd));
+        let v = find_violations(&g, &gfd, 0);
+        assert_eq!(v.len(), 1);
+        // The violating pair is (fake, child).
+        let viol = &v[0];
+        assert_eq!(g.attr(viol[0], g.interner().lookup_attr("birth").unwrap()),
+                   Some(gfd_graph::Value::Int(1991)));
+        let nodes = violating_nodes(&g, std::slice::from_ref(&gfd));
+        assert_eq!(nodes.len(), 2);
+    }
+
+    #[test]
+    fn violation_limit_caps_enumeration() {
+        let (g, gfd) = family();
+        assert_eq!(find_violations(&g, &gfd, 1).len(), 1);
+    }
+
+    #[test]
+    fn vacuous_lhs_and_missing_attrs() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("person");
+        let c = b.add_node("person");
+        b.add_edge(a, c, "parent");
+        let g = b.build();
+        let person = PLabel::Is(g.interner().lookup_label("person").unwrap());
+        let parent = PLabel::Is(g.interner().lookup_label("parent").unwrap());
+        let birth = g.interner().attr("birth");
+        let q = Pattern::edge(person, parent, person);
+        // LHS mentions a missing attribute → vacuously satisfied.
+        let vacuous = XGfd::new(
+            q.clone(),
+            vec![XLiteral::cmp_const(0, birth, CmpOp::Ge, gfd_graph::Value::Int(0))],
+            crate::xgfd::XRhs::False,
+        );
+        assert!(satisfies(&g, &vacuous));
+        // RHS mentioning a missing attribute fails the match.
+        let failing = XGfd::new(
+            q,
+            vec![],
+            crate::xgfd::XRhs::Lit(XLiteral::cmp_const(
+                0,
+                birth,
+                CmpOp::Ge,
+                gfd_graph::Value::Int(0),
+            )),
+        );
+        assert!(!satisfies(&g, &failing));
+    }
+
+    #[test]
+    fn negative_xgfd_flags_every_match() {
+        let (g, gfd) = family();
+        let neg = XGfd::new(gfd.pattern().clone(), vec![], crate::xgfd::XRhs::False);
+        // Three parent edges, three violations.
+        assert_eq!(find_violations(&g, &neg, 0).len(), 3);
+        assert!(satisfies_all(&g, &[]));
+        assert!(!satisfies_all(&g, &[neg]));
+    }
+}

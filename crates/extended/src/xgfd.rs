@@ -1,0 +1,226 @@
+//! Extended GFDs `Q[x̄](X → l)` with built-in predicates (§8).
+//!
+//! The shape mirrors [`gfd_logic::Gfd`]: a pattern scopes the dependency,
+//! `X` is a conjunction of extended literals, and the consequence is a
+//! single literal or `false` (normal form, §2.2). Every base GFD lifts
+//! losslessly via [`XGfd::from_base`].
+
+use gfd_graph::Interner;
+use gfd_logic::{Gfd, Rhs};
+use gfd_pattern::Pattern;
+
+use crate::solver::{entails, is_conflicting};
+use crate::xliteral::{normalize_xliterals, XLiteral};
+
+/// The consequence of an extended GFD.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum XRhs {
+    /// A single extended literal.
+    Lit(XLiteral),
+    /// The Boolean constant `false` (negative GFDs).
+    False,
+}
+
+/// An extended graph functional dependency `Q[x̄](X → l)`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct XGfd {
+    pattern: Pattern,
+    lhs: Vec<XLiteral>,
+    rhs: XRhs,
+}
+
+impl XGfd {
+    /// Builds `Q[x̄](X → rhs)`, normalising `X`.
+    ///
+    /// # Panics
+    /// Panics if a literal mentions a variable outside the pattern.
+    pub fn new(pattern: Pattern, lhs: Vec<XLiteral>, rhs: XRhs) -> XGfd {
+        let n = pattern.node_count();
+        for l in &lhs {
+            assert!(l.max_var() < n, "LHS literal variable out of pattern");
+        }
+        if let XRhs::Lit(l) = &rhs {
+            assert!(l.max_var() < n, "RHS literal variable out of pattern");
+        }
+        XGfd {
+            pattern,
+            lhs: normalize_xliterals(lhs),
+            rhs,
+        }
+    }
+
+    /// Lifts a base GFD into the extended formalism.
+    pub fn from_base(gfd: &Gfd) -> XGfd {
+        let lhs = gfd.lhs().iter().map(XLiteral::from_base).collect();
+        let rhs = match gfd.rhs() {
+            Rhs::Lit(l) => XRhs::Lit(XLiteral::from_base(&l)),
+            Rhs::False => XRhs::False,
+        };
+        XGfd::new(gfd.pattern().clone(), lhs, rhs)
+    }
+
+    /// Converts back to a base GFD when every literal is plain equality.
+    pub fn to_base(&self) -> Option<Gfd> {
+        let lhs = self
+            .lhs
+            .iter()
+            .map(|l| l.to_base())
+            .collect::<Option<Vec<_>>>()?;
+        let rhs = match &self.rhs {
+            XRhs::Lit(l) => Rhs::Lit(l.to_base()?),
+            XRhs::False => Rhs::False,
+        };
+        Some(Gfd::new(self.pattern.clone(), lhs, rhs))
+    }
+
+    /// The pattern `Q[x̄]`.
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// The premises `X` (normalised).
+    pub fn lhs(&self) -> &[XLiteral] {
+        &self.lhs
+    }
+
+    /// The consequence.
+    pub fn rhs(&self) -> XRhs {
+        self.rhs
+    }
+
+    /// Whether the GFD is negative: consequence `false` with satisfiable
+    /// `X` (§2.2). `X → false` with unsatisfiable `X` is trivial instead.
+    pub fn is_negative(&self) -> bool {
+        self.rhs == XRhs::False && !is_conflicting(&self.lhs)
+    }
+
+    /// Whether the GFD is trivial (§4.1): `X` unsatisfiable, or the
+    /// consequence already follows from `X` alone.
+    pub fn is_trivial(&self) -> bool {
+        match &self.rhs {
+            XRhs::False => is_conflicting(&self.lhs),
+            XRhs::Lit(l) => is_conflicting(&self.lhs) || entails(&self.lhs, l),
+        }
+    }
+
+    /// Human-readable rendering in the same `Q[…](X -> l)` shape as base
+    /// rules (round-tripped by `xtext`).
+    pub fn display(&self, interner: &Interner) -> String {
+        let prem = if self.lhs.is_empty() {
+            "∅".to_string()
+        } else {
+            self.lhs
+                .iter()
+                .map(|l| l.display(interner))
+                .collect::<Vec<_>>()
+                .join(" & ")
+        };
+        let rhs = match &self.rhs {
+            XRhs::Lit(l) => l.display(interner),
+            XRhs::False => "false".to_string(),
+        };
+        format!("{}({} -> {})", self.pattern.display(interner), prem, rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::xliteral::{CmpOp, Term};
+    use gfd_graph::{AttrId, LabelId, Value};
+    use gfd_logic::Literal;
+    use gfd_pattern::PLabel;
+
+    fn pat() -> Pattern {
+        Pattern::edge(PLabel::Is(LabelId(0)), PLabel::Is(LabelId(1)), PLabel::Is(LabelId(2)))
+    }
+
+    #[test]
+    fn base_roundtrip() {
+        let base = Gfd::new(
+            pat(),
+            vec![Literal::constant(0, AttrId(0), Value::Int(1))],
+            Rhs::Lit(Literal::var_var(0, AttrId(1), 1, AttrId(1))),
+        );
+        let x = XGfd::from_base(&base);
+        assert_eq!(x.to_base(), Some(base));
+        assert!(!x.is_negative());
+    }
+
+    #[test]
+    fn strict_predicates_do_not_lower() {
+        let x = XGfd::new(
+            pat(),
+            vec![],
+            XRhs::Lit(XLiteral::cmp_terms(
+                Term::new(0, AttrId(0)),
+                CmpOp::Le,
+                Term::new(1, AttrId(0)),
+                0,
+            )),
+        );
+        assert_eq!(x.to_base(), None);
+    }
+
+    #[test]
+    fn triviality() {
+        let a = Term::new(0, AttrId(0));
+        let b = Term::new(1, AttrId(0));
+        // X ⊨ l by order transitivity → trivial.
+        let trivial = XGfd::new(
+            pat(),
+            vec![XLiteral::cmp_terms(a, CmpOp::Ge, b, 18)],
+            XRhs::Lit(XLiteral::cmp_terms(a, CmpOp::Gt, b, 0)),
+        );
+        assert!(trivial.is_trivial());
+        // Unsatisfiable X → trivial, and not negative despite rhs false.
+        let unsat = XGfd::new(
+            pat(),
+            vec![
+                XLiteral::cmp_const(0, AttrId(0), CmpOp::Ge, Value::Int(5)),
+                XLiteral::cmp_const(0, AttrId(0), CmpOp::Lt, Value::Int(5)),
+            ],
+            XRhs::False,
+        );
+        assert!(unsat.is_trivial());
+        assert!(!unsat.is_negative());
+        // Genuine negative rule.
+        let neg = XGfd::new(
+            pat(),
+            vec![XLiteral::cmp_const(0, AttrId(0), CmpOp::Ge, Value::Int(5))],
+            XRhs::False,
+        );
+        assert!(neg.is_negative());
+        assert!(!neg.is_trivial());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of pattern")]
+    fn out_of_range_variable_rejected() {
+        let _ = XGfd::new(
+            pat(),
+            vec![XLiteral::cmp_const(7, AttrId(0), CmpOp::Eq, Value::Int(1))],
+            XRhs::False,
+        );
+    }
+
+    #[test]
+    fn display_renders() {
+        let i = Interner::new();
+        let (a, b, c) = (i.label("person"), i.label("parent"), i.label("person"));
+        let age = i.attr("age");
+        let q = Pattern::edge(PLabel::Is(a), PLabel::Is(b), PLabel::Is(c));
+        let x = XGfd::new(
+            q,
+            vec![],
+            XRhs::Lit(XLiteral::cmp_terms(
+                Term::new(0, age),
+                CmpOp::Ge,
+                Term::new(1, age),
+                12,
+            )),
+        );
+        let s = x.display(&i);
+        assert!(s.contains("x0.age>=x1.age+12"), "{s}");
+    }
+}

@@ -1,0 +1,484 @@
+//! Extended literals: built-in comparison predicates and linear arithmetic.
+//!
+//! The paper closes (§8) by announcing an extension of `DisGFD` to "GFDs
+//! with built-in comparison predicates and arithmetic expressions" — the
+//! graph entity dependencies (GEDs) line of work. This module defines those
+//! literals over the variables of a pattern:
+//!
+//! * `x.A ⊙ c` — compare an attribute with a constant,
+//! * `x.A ⊙ y.B + d` — compare two attributes up to an integer offset,
+//!
+//! with `⊙ ∈ {=, ≠, <, ≤, >, ≥}`. Base-GFD literals are the `⊙` = `=`,
+//! `d = 0` fragment, so every [`gfd_logic::Literal`] converts losslessly
+//! via [`XLiteral::from_base`].
+//!
+//! **Typing.** Attribute values are [`Value::Int`] or [`Value::Str`].
+//! Order comparisons (`<, ≤, >, ≥`) and non-zero offsets are defined only
+//! on integers; a match whose attribute is a string fails such a literal.
+//! `=`/`≠` work on both types (`Int(5) ≠ Str("5")` — no coercion, as in
+//! the base model). A literal mentioning a missing attribute is not
+//! satisfied, mirroring §2.2's schemaless convention.
+
+use gfd_graph::{AttrId, Graph, Interner, NodeId, Value};
+use gfd_pattern::Var;
+
+/// A term `x.A`: attribute `A` of pattern variable `x`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Term {
+    /// The pattern variable `x`.
+    pub var: Var,
+    /// The attribute `A`.
+    pub attr: AttrId,
+}
+
+impl Term {
+    /// Builds the term `x.A`.
+    pub fn new(var: Var, attr: AttrId) -> Term {
+        Term { var, attr }
+    }
+
+    /// Human-readable rendering, e.g. `x0.age`.
+    pub fn display(&self, interner: &Interner) -> String {
+        format!("x{}.{}", self.var, interner.attr_name(self.attr))
+    }
+}
+
+/// A comparison operator of a built-in predicate.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `≠`
+    Ne,
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `>`
+    Gt,
+    /// `≥`
+    Ge,
+}
+
+impl CmpOp {
+    /// The operator with sides swapped: `a ⊙ b ⟺ b ⊙.swap() a`.
+    pub fn swap(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// The logical negation: `¬(a ⊙ b) ⟺ a ⊙.negate() b`.
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// Applies the comparison to two integers.
+    pub fn test_int(self, a: i64, b: i128) -> bool {
+        let a = a as i128;
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+
+    /// Whether the operator is an order relation (undefined on strings).
+    pub fn is_order(self) -> bool {
+        matches!(self, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge)
+    }
+
+    /// ASCII rendering.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// The right-hand operand of an extended literal.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Operand {
+    /// A constant `c`.
+    Const(Value),
+    /// A shifted term `y.B + d` (`d = 0` is the plain term; `d ≠ 0`
+    /// requires integer values).
+    Term(Term, i64),
+}
+
+/// An extended literal `x.A ⊙ rhs`.
+///
+/// Term–term literals are stored in a normalised orientation (smaller
+/// `(var, attr)` on the left, operator and offset adjusted), so
+/// syntactically equivalent predicates compare and hash equal.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct XLiteral {
+    /// The left term `x.A`.
+    pub lhs: Term,
+    /// The comparison `⊙`.
+    pub op: CmpOp,
+    /// The right operand.
+    pub rhs: Operand,
+}
+
+impl XLiteral {
+    /// Builds `x.A ⊙ c`.
+    pub fn cmp_const(var: Var, attr: AttrId, op: CmpOp, value: Value) -> XLiteral {
+        XLiteral {
+            lhs: Term::new(var, attr),
+            op,
+            rhs: Operand::Const(value),
+        }
+    }
+
+    /// Builds `x.A ⊙ y.B + d`, normalising orientation so the smaller
+    /// `(var, attr)` term sits on the left.
+    ///
+    /// # Panics
+    /// Panics on a self-comparison `x.A ⊙ x.A + d` — such literals are
+    /// constant (trivially true or false) and must not be constructed;
+    /// use no literal or an unsatisfiable constant literal instead.
+    pub fn cmp_terms(l: Term, op: CmpOp, r: Term, offset: i64) -> XLiteral {
+        assert!(l != r, "self-comparison x.A ⊙ x.A + d is not a literal");
+        if l <= r {
+            XLiteral {
+                lhs: l,
+                op,
+                rhs: Operand::Term(r, offset),
+            }
+        } else {
+            // l ⊙ r + d  ⟺  r ⊙.swap() l − d
+            XLiteral {
+                lhs: r,
+                op: op.swap(),
+                rhs: Operand::Term(l, -offset),
+            }
+        }
+    }
+
+    /// Converts a base-GFD literal (pure equality) into the extended form.
+    pub fn from_base(lit: &gfd_logic::Literal) -> XLiteral {
+        match *lit {
+            gfd_logic::Literal::Const { var, attr, value } => {
+                XLiteral::cmp_const(var, attr, CmpOp::Eq, value)
+            }
+            gfd_logic::Literal::VarVar {
+                lvar,
+                lattr,
+                rvar,
+                rattr,
+            } => XLiteral::cmp_terms(
+                Term::new(lvar, lattr),
+                CmpOp::Eq,
+                Term::new(rvar, rattr),
+                0,
+            ),
+        }
+    }
+
+    /// The logical negation (`=` ↔ `≠`, `<` ↔ `≥`, …).
+    pub fn negate(&self) -> XLiteral {
+        XLiteral {
+            lhs: self.lhs,
+            op: self.op.negate(),
+            rhs: self.rhs,
+        }
+    }
+
+    /// Variables mentioned by the literal.
+    pub fn vars(&self) -> impl Iterator<Item = Var> {
+        let second = match self.rhs {
+            Operand::Term(t, _) => Some(t.var),
+            Operand::Const(_) => None,
+        };
+        std::iter::once(self.lhs.var).chain(second)
+    }
+
+    /// Largest variable index mentioned.
+    pub fn max_var(&self) -> Var {
+        self.vars().max().expect("literal mentions a variable")
+    }
+
+    /// Applies a total variable remapping (an embedding image vector
+    /// indexed by old variable), re-normalising orientation.
+    pub fn remap(&self, f: &[Var]) -> XLiteral {
+        let lhs = Term::new(f[self.lhs.var], self.lhs.attr);
+        match self.rhs {
+            Operand::Const(c) => XLiteral {
+                lhs,
+                op: self.op,
+                rhs: Operand::Const(c),
+            },
+            Operand::Term(t, d) => {
+                XLiteral::cmp_terms(lhs, self.op, Term::new(f[t.var], t.attr), d)
+            }
+        }
+    }
+
+    /// Whether the match `m` satisfies the literal in `g`. Missing
+    /// attributes and type mismatches fail the literal (never error).
+    pub fn satisfied(&self, m: &[NodeId], g: &Graph) -> bool {
+        let Some(a) = g.attr(m[self.lhs.var], self.lhs.attr) else {
+            return false;
+        };
+        match self.rhs {
+            Operand::Const(c) => match (a, c) {
+                (Value::Int(x), Value::Int(y)) => self.op.test_int(x, y as i128),
+                // Mixed or string comparisons: only =/≠ are defined.
+                _ => match self.op {
+                    CmpOp::Eq => a == c,
+                    CmpOp::Ne => a != c,
+                    _ => false,
+                },
+            },
+            Operand::Term(t, d) => {
+                let Some(b) = g.attr(m[t.var], t.attr) else {
+                    return false;
+                };
+                match (a, b) {
+                    (Value::Int(x), Value::Int(y)) => self.op.test_int(x, y as i128 + d as i128),
+                    _ if d == 0 => match self.op {
+                        CmpOp::Eq => a == b,
+                        CmpOp::Ne => a != b,
+                        _ => false,
+                    },
+                    // Non-zero offset forces integers.
+                    _ => false,
+                }
+            }
+        }
+    }
+
+    /// Whether the literal is the plain-equality fragment expressible as a
+    /// base [`gfd_logic::Literal`].
+    pub fn is_base(&self) -> bool {
+        self.op == CmpOp::Eq
+            && match self.rhs {
+                Operand::Const(_) => true,
+                Operand::Term(_, d) => d == 0,
+            }
+    }
+
+    /// Converts back to a base literal when [`Self::is_base`] holds.
+    pub fn to_base(&self) -> Option<gfd_logic::Literal> {
+        if self.op != CmpOp::Eq {
+            return None;
+        }
+        match self.rhs {
+            Operand::Const(c) => Some(gfd_logic::Literal::constant(
+                self.lhs.var,
+                self.lhs.attr,
+                c,
+            )),
+            Operand::Term(t, 0) => Some(gfd_logic::Literal::var_var(
+                self.lhs.var,
+                self.lhs.attr,
+                t.var,
+                t.attr,
+            )),
+            Operand::Term(..) => None,
+        }
+    }
+
+    /// Human-readable rendering, e.g. `x0.age<=x1.age+18`. String
+    /// constants are quoted; integers are not (the parser assigns types
+    /// by that distinction).
+    pub fn display(&self, interner: &Interner) -> String {
+        let rhs = match self.rhs {
+            Operand::Const(Value::Int(i)) => i.to_string(),
+            Operand::Const(c) => format!("\"{}\"", c.display(interner)),
+            Operand::Term(t, 0) => t.display(interner),
+            Operand::Term(t, d) if d > 0 => format!("{}+{}", t.display(interner), d),
+            Operand::Term(t, d) => format!("{}{}", t.display(interner), d),
+        };
+        format!("{}{}{}", self.lhs.display(interner), self.op.symbol(), rhs)
+    }
+}
+
+/// Sorts and deduplicates a set of extended literals into canonical form.
+pub fn normalize_xliterals(mut lits: Vec<XLiteral>) -> Vec<XLiteral> {
+    lits.sort_unstable();
+    lits.dedup();
+    lits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_graph::GraphBuilder;
+
+    #[test]
+    fn op_algebra() {
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            assert_eq!(op.swap().swap(), op);
+            assert_eq!(op.negate().negate(), op);
+            // a ⊙ b ⟺ b ⊙.swap a on sample values.
+            for (a, b) in [(1i64, 2i128), (2, 2), (3, 2)] {
+                assert_eq!(op.test_int(a, b), op.swap().test_int(b as i64, a as i128));
+                assert_eq!(op.test_int(a, b), !op.negate().test_int(a, b));
+            }
+        }
+        assert!(CmpOp::Lt.is_order());
+        assert!(!CmpOp::Eq.is_order());
+    }
+
+    #[test]
+    fn term_term_orientation_normalises() {
+        let a = Term::new(0, AttrId(1));
+        let b = Term::new(1, AttrId(0));
+        // x0.A1 < x1.A0 + 3  and  x1.A0 > x0.A1 − 3 are the same literal.
+        let l1 = XLiteral::cmp_terms(a, CmpOp::Lt, b, 3);
+        let l2 = XLiteral::cmp_terms(b, CmpOp::Gt, a, -3);
+        assert_eq!(l1, l2);
+        assert_eq!(l1.lhs, a);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-comparison")]
+    fn self_comparison_rejected() {
+        let t = Term::new(0, AttrId(0));
+        let _ = XLiteral::cmp_terms(t, CmpOp::Le, t, 1);
+    }
+
+    #[test]
+    fn satisfaction_int_semantics() {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node("person");
+        let n1 = b.add_node("person");
+        b.set_attr(n0, "age", 30i64);
+        b.set_attr(n1, "age", 55i64);
+        let g = b.build();
+        let age = g.interner().lookup_attr("age").unwrap();
+        let m = [n0, n1];
+
+        let lt = XLiteral::cmp_terms(Term::new(0, age), CmpOp::Lt, Term::new(1, age), 0);
+        assert!(lt.satisfied(&m, &g));
+        // Parent at least 18 years older: x1.age ≥ x0.age + 18.
+        let gap = XLiteral::cmp_terms(Term::new(1, age), CmpOp::Ge, Term::new(0, age), 18);
+        assert!(gap.satisfied(&m, &g));
+        let gap30 = XLiteral::cmp_terms(Term::new(1, age), CmpOp::Ge, Term::new(0, age), 30);
+        assert!(!gap30.satisfied(&m, &g));
+
+        assert!(XLiteral::cmp_const(0, age, CmpOp::Le, Value::Int(30)).satisfied(&m, &g));
+        assert!(!XLiteral::cmp_const(0, age, CmpOp::Gt, Value::Int(30)).satisfied(&m, &g));
+        assert!(XLiteral::cmp_const(0, age, CmpOp::Ne, Value::Int(31)).satisfied(&m, &g));
+    }
+
+    #[test]
+    fn satisfaction_string_and_missing() {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node("person");
+        let n1 = b.add_node("person");
+        b.set_attr(n0, "name", "ann");
+        b.set_attr(n1, "name", "bob");
+        b.set_attr(n1, "age", 5i64);
+        let g = b.build();
+        let name = g.interner().lookup_attr("name").unwrap();
+        let age = g.interner().lookup_attr("age").unwrap();
+        let ann = Value::Str(g.interner().lookup_symbol("ann").unwrap());
+        let m = [n0, n1];
+
+        assert!(XLiteral::cmp_const(0, name, CmpOp::Eq, ann).satisfied(&m, &g));
+        assert!(XLiteral::cmp_const(1, name, CmpOp::Ne, ann).satisfied(&m, &g));
+        // Order on strings is undefined → unsatisfied.
+        assert!(!XLiteral::cmp_const(0, name, CmpOp::Lt, ann).satisfied(&m, &g));
+        // Missing attribute → unsatisfied, even under ≠.
+        assert!(!XLiteral::cmp_const(0, age, CmpOp::Ne, Value::Int(1)).satisfied(&m, &g));
+        // Mixed types: = fails, ≠ holds (both present).
+        let ne = XLiteral::cmp_terms(Term::new(0, name), CmpOp::Ne, Term::new(1, age), 0);
+        assert!(ne.satisfied(&m, &g));
+        let eq = XLiteral::cmp_terms(Term::new(0, name), CmpOp::Eq, Term::new(1, age), 0);
+        assert!(!eq.satisfied(&m, &g));
+        // Non-zero offset on strings → unsatisfied regardless of op.
+        let off = XLiteral::cmp_terms(Term::new(0, name), CmpOp::Ne, Term::new(1, name), 1);
+        assert!(!off.satisfied(&m, &g));
+    }
+
+    #[test]
+    fn base_roundtrip() {
+        let c = gfd_logic::Literal::constant(2, AttrId(1), Value::Int(7));
+        let vv = gfd_logic::Literal::var_var(0, AttrId(0), 1, AttrId(1));
+        for lit in [c, vv] {
+            let x = XLiteral::from_base(&lit);
+            assert!(x.is_base());
+            assert_eq!(x.to_base(), Some(lit));
+        }
+        let strict = XLiteral::cmp_const(0, AttrId(0), CmpOp::Lt, Value::Int(1));
+        assert!(!strict.is_base());
+        assert_eq!(strict.to_base(), None);
+    }
+
+    #[test]
+    fn remap_renormalises() {
+        let lit = XLiteral::cmp_terms(Term::new(0, AttrId(0)), CmpOp::Lt, Term::new(1, AttrId(0)), 5);
+        // Swap the variables: orientation flips, op and offset adjust.
+        let mapped = lit.remap(&[1, 0]);
+        assert_eq!(
+            mapped,
+            XLiteral::cmp_terms(Term::new(1, AttrId(0)), CmpOp::Lt, Term::new(0, AttrId(0)), 5)
+        );
+        assert_eq!(mapped.lhs, Term::new(0, AttrId(0)));
+        assert_eq!(mapped.op, CmpOp::Gt);
+    }
+
+    #[test]
+    fn negation_roundtrip_and_semantics() {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node("a");
+        b.set_attr(n0, "v", 10i64);
+        let g = b.build();
+        let v = g.interner().lookup_attr("v").unwrap();
+        let m = [n0];
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+            let lit = XLiteral::cmp_const(0, v, op, Value::Int(10));
+            assert_eq!(lit.negate().negate(), lit);
+            // With the attribute present and integer-typed, negation flips
+            // satisfaction exactly.
+            assert_ne!(lit.satisfied(&m, &g), lit.negate().satisfied(&m, &g));
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        let i = Interner::new();
+        let age = i.attr("age");
+        let lit = XLiteral::cmp_terms(Term::new(0, age), CmpOp::Le, Term::new(1, age), 18);
+        assert_eq!(lit.display(&i), "x0.age<=x1.age+18");
+        let neg = XLiteral::cmp_terms(Term::new(0, age), CmpOp::Le, Term::new(1, age), -3);
+        assert_eq!(neg.display(&i), "x0.age<=x1.age-3");
+        let c = XLiteral::cmp_const(1, age, CmpOp::Gt, Value::Int(40));
+        assert_eq!(c.display(&i), "x1.age>40");
+        let s = XLiteral::cmp_const(1, age, CmpOp::Ne, Value::Str(i.symbol("n/a")));
+        assert_eq!(s.display(&i), "x1.age!=\"n/a\"");
+    }
+
+    #[test]
+    fn normalization_dedups_across_orientations() {
+        let a = Term::new(0, AttrId(0));
+        let b = Term::new(1, AttrId(0));
+        let l1 = XLiteral::cmp_terms(a, CmpOp::Le, b, 2);
+        let l2 = XLiteral::cmp_terms(b, CmpOp::Ge, a, -2);
+        let out = normalize_xliterals(vec![l1, l2]);
+        assert_eq!(out.len(), 1);
+    }
+}

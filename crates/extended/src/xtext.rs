@@ -1,0 +1,331 @@
+//! Textual (de)serialisation of extended GFDs.
+//!
+//! The same one-rule-per-line shape as `gfd_logic::text` (whose pattern
+//! parser this module reuses), with the literal grammar widened to the
+//! six comparison operators and arithmetic offsets:
+//!
+//! ```text
+//! Q[x0:person*, x1:person; x0-parent->x1](∅ -> x1.birth>=x0.birth+12)
+//! Q[x0:film*](x0.year<1920 -> x0.format="silent")
+//! Q[x0:person*](x0.death<x0.birth -> false)
+//! ```
+//!
+//! * operators: `=`, `!=`, `<`, `<=`, `>`, `>=` (also accepted: `≠ ≤ ≥`);
+//! * right operands: `"string"`, integer, or `x<j>.<attr>[±d]`;
+//! * attribute names must not contain comparison symbols, `+`, or `-`
+//!   (the base format shares the first restriction).
+
+use gfd_graph::{Interner, Value};
+use gfd_logic::text::{parse_pattern_body, parse_var, split_rule};
+use gfd_logic::RuleParseError;
+
+use crate::xgfd::{XGfd, XRhs};
+use crate::xliteral::{CmpOp, Term, XLiteral};
+
+fn err(message: impl Into<String>) -> RuleParseError {
+    RuleParseError {
+        line: 0,
+        message: message.into(),
+    }
+}
+
+/// Finds the first comparison operator, longest token first at each
+/// position, returning `(lhs, op, rhs)`.
+fn split_op(s: &str) -> Option<(&str, CmpOp, &str)> {
+    let two: [(&str, CmpOp); 3] = [("<=", CmpOp::Le), (">=", CmpOp::Ge), ("!=", CmpOp::Ne)];
+    let uni: [(&str, CmpOp); 3] = [("≤", CmpOp::Le), ("≥", CmpOp::Ge), ("≠", CmpOp::Ne)];
+    let one: [(char, CmpOp); 3] = [('<', CmpOp::Lt), ('>', CmpOp::Gt), ('=', CmpOp::Eq)];
+    let bytes = s.char_indices().collect::<Vec<_>>();
+    for (i, c) in &bytes {
+        let rest = &s[*i..];
+        for (tok, op) in two {
+            if rest.starts_with(tok) {
+                return Some((&s[..*i], op, &rest[tok.len()..]));
+            }
+        }
+        for (tok, op) in uni {
+            if rest.starts_with(tok) {
+                return Some((&s[..*i], op, &rest[tok.len()..]));
+            }
+        }
+        for (ch, op) in one {
+            if *c == ch {
+                return Some((&s[..*i], op, &rest[ch.len_utf8()..]));
+            }
+        }
+    }
+    None
+}
+
+/// Parses a term `x<i>.<attr>`, returning it and the remaining string.
+fn parse_term<'a>(s: &'a str, interner: &Interner) -> Result<(Term, &'a str), RuleParseError> {
+    let (var, rest) = parse_var(s.trim())?;
+    let rest = rest
+        .strip_prefix('.')
+        .ok_or_else(|| err(format!("expected `.` after variable in `{s}`")))?;
+    let end = rest
+        .find(['+', '-'])
+        .unwrap_or(rest.len());
+    let attr_name = rest[..end].trim();
+    if attr_name.is_empty() {
+        return Err(err(format!("empty attribute in `{s}`")));
+    }
+    Ok((Term::new(var, interner.attr(attr_name)), &rest[end..]))
+}
+
+/// Parses one extended literal, e.g. `x1.birth>=x0.birth+12`.
+pub fn parse_xliteral(s: &str, interner: &Interner) -> Result<XLiteral, RuleParseError> {
+    let s = s.trim();
+    let (lhs_str, op, rhs_str) = split_op(s)
+        .ok_or_else(|| err(format!("expected a comparison operator in `{s}`")))?;
+    let (lhs, lhs_rest) = parse_term(lhs_str, interner)?;
+    if !lhs_rest.trim().is_empty() {
+        return Err(err(format!(
+            "unexpected `{}` after left term in `{s}` (offsets belong on the right)",
+            lhs_rest.trim()
+        )));
+    }
+    let rhs_str = rhs_str.trim();
+    if let Some(stripped) = rhs_str.strip_prefix('"') {
+        let inner = stripped
+            .strip_suffix('"')
+            .ok_or_else(|| err(format!("unterminated string in `{s}`")))?;
+        return Ok(XLiteral::cmp_const(
+            lhs.var,
+            lhs.attr,
+            op,
+            Value::Str(interner.symbol(inner)),
+        ));
+    }
+    if rhs_str.starts_with('x') {
+        let (rhs, tail) = parse_term(rhs_str, interner)?;
+        let tail = tail.trim();
+        let offset: i64 = if tail.is_empty() {
+            0
+        } else {
+            // `+d` or `-d`.
+            tail.parse()
+                .map_err(|_| err(format!("bad offset `{tail}` in `{s}`")))?
+        };
+        if lhs == rhs {
+            return Err(err("literal compares a term with itself"));
+        }
+        return Ok(XLiteral::cmp_terms(lhs, op, rhs, offset));
+    }
+    let int: i64 = rhs_str
+        .parse()
+        .map_err(|_| err(format!("expected quoted string, integer, or term in `{s}`")))?;
+    Ok(XLiteral::cmp_const(lhs.var, lhs.attr, op, Value::Int(int)))
+}
+
+/// Parses one extended rule in display syntax.
+pub fn parse_xgfd(s: &str, interner: &Interner) -> Result<XGfd, RuleParseError> {
+    let (pattern_str, dep) = split_rule(s)?;
+    let pattern = parse_pattern_body(pattern_str, interner)?;
+    let arrow = dep
+        .rfind("->")
+        .ok_or_else(|| err("missing `->` in dependency"))?;
+    let (lhs_str, rhs_str) = (dep[..arrow].trim(), dep[arrow + 2..].trim());
+    // `x0.a->x1.b` cannot occur (no such operator), but a trailing `-`
+    // from a negative offset can: `x0.a=x1.b-3 -> …` splits fine because
+    // rfind targets the *last* arrow. Guard the symmetric artifact:
+    let lhs_str = lhs_str.strip_suffix('-').map(str::trim).unwrap_or(lhs_str);
+
+    let mut lhs: Vec<XLiteral> = Vec::new();
+    if !(lhs_str.is_empty() || lhs_str == "∅" || lhs_str == "true") {
+        for part in lhs_str.split(['∧', '&']) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            lhs.push(parse_xliteral(part, interner)?);
+        }
+    }
+    let rhs = if rhs_str == "false" {
+        XRhs::False
+    } else {
+        XRhs::Lit(parse_xliteral(rhs_str, interner)?)
+    };
+
+    let max_var = lhs
+        .iter()
+        .map(XLiteral::max_var)
+        .chain(match &rhs {
+            XRhs::Lit(l) => Some(l.max_var()),
+            XRhs::False => None,
+        })
+        .max();
+    if let Some(mv) = max_var {
+        if mv >= pattern.node_count() {
+            return Err(err(format!(
+                "literal variable x{mv} exceeds pattern arity {}",
+                pattern.node_count()
+            )));
+        }
+    }
+    Ok(XGfd::new(pattern, lhs, rhs))
+}
+
+/// Parses an extended rule file: one rule per line, `#` comments and
+/// blanks allowed.
+pub fn parse_xrules(text: &str, interner: &Interner) -> Result<Vec<XGfd>, RuleParseError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match parse_xgfd(line, interner) {
+            Ok(g) => out.push(g),
+            Err(mut e) => {
+                e.line = i + 1;
+                return Err(e);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Renders an extended rule set, one per line (inverse of
+/// [`parse_xrules`]).
+pub fn render_xrules(rules: &[XGfd], interner: &Interner) -> String {
+    let mut out = String::new();
+    out.push_str("# gfd extended rules v1\n");
+    for r in rules {
+        out.push_str(&r.display(interner));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_graph::AttrId;
+    use gfd_pattern::{PLabel, Pattern};
+
+    fn rules_fixture() -> (Interner, Vec<XGfd>) {
+        let i = Interner::new();
+        let person = PLabel::Is(i.label("person"));
+        let parent = PLabel::Is(i.label("parent"));
+        let birth = i.attr("birth");
+        let death = i.attr("death");
+        let q = Pattern::edge(person, parent, person);
+        let rules = vec![
+            // Arithmetic with positive offset.
+            XGfd::new(
+                q.clone(),
+                vec![],
+                XRhs::Lit(XLiteral::cmp_terms(
+                    Term::new(1, birth),
+                    CmpOp::Ge,
+                    Term::new(0, birth),
+                    12,
+                )),
+            ),
+            // Premise + strict order + negative offset.
+            XGfd::new(
+                q.clone(),
+                vec![XLiteral::cmp_terms(
+                    Term::new(0, birth),
+                    CmpOp::Lt,
+                    Term::new(1, birth),
+                    -2,
+                )],
+                XRhs::Lit(XLiteral::cmp_terms(
+                    Term::new(0, death),
+                    CmpOp::Le,
+                    Term::new(1, death),
+                    0,
+                )),
+            ),
+            // Constants: int threshold and string equality; negative rule.
+            XGfd::new(
+                Pattern::single(person),
+                vec![
+                    XLiteral::cmp_const(0, birth, CmpOp::Gt, Value::Int(2100)),
+                    XLiteral::cmp_const(0, i.attr("status"), CmpOp::Ne, Value::Str(i.symbol("fictional"))),
+                ],
+                XRhs::False,
+            ),
+        ];
+        (i, rules)
+    }
+
+    #[test]
+    fn roundtrip_rule_set() {
+        let (i, rules) = rules_fixture();
+        let text = render_xrules(&rules, &i);
+        let parsed = parse_xrules(&text, &i).unwrap();
+        assert_eq!(parsed, rules, "render:\n{text}");
+    }
+
+    #[test]
+    fn parses_unicode_operators() {
+        let i = Interner::new();
+        i.label("t");
+        let a = parse_xgfd("Q[x0:t*, x1:t; x0-r->x1](x0.v≤x1.v -> x0.v≠9)", &i).unwrap();
+        let b = parse_xgfd("Q[x0:t*, x1:t; x0-r->x1](x0.v<=x1.v -> x0.v!=9)", &i).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn operator_precedence_longest_first() {
+        let i = Interner::new();
+        let v = i.attr("v");
+        // `<=` must not parse as `<` followed by garbage.
+        let l = parse_xliteral("x0.v<=5", &i).unwrap();
+        assert_eq!(l, XLiteral::cmp_const(0, v, CmpOp::Le, Value::Int(5)));
+        let l = parse_xliteral("x0.v<5", &i).unwrap();
+        assert_eq!(l, XLiteral::cmp_const(0, v, CmpOp::Lt, Value::Int(5)));
+    }
+
+    #[test]
+    fn base_equality_fragment_matches_base_parser() {
+        let (i, _) = rules_fixture();
+        // A pure-equality rule parses identically through both grammars.
+        let line = "Q[x0:person*, x1:person; x0-parent->x1](x0.birth=1990 -> x0.death=x1.death)";
+        let base = gfd_logic::parse_gfd(line, &i).unwrap();
+        let ext = parse_xgfd(line, &i).unwrap();
+        assert_eq!(XGfd::from_base(&base), ext);
+        assert_eq!(ext.to_base(), Some(base));
+    }
+
+    #[test]
+    fn mined_rules_roundtrip() {
+        // Everything `discover_extended` emits must survive a round-trip.
+        let mut b = gfd_graph::GraphBuilder::new();
+        for x in 0..25i64 {
+            let p = b.add_node("person");
+            let c = b.add_node("person");
+            b.set_attr(p, "birth", 1940 + x);
+            b.set_attr(c, "birth", 1965 + x);
+            b.add_edge(p, c, "parent");
+        }
+        let g = b.build();
+        let cfg = crate::discovery::XDiscoveryConfig::new(2, 8);
+        let mined = crate::discovery::discover_extended(&g, &cfg);
+        assert!(!mined.is_empty());
+        let rules: Vec<XGfd> = mined.into_iter().map(|r| r.gfd).collect();
+        let text = render_xrules(&rules, g.interner());
+        let parsed = parse_xrules(&text, g.interner()).unwrap();
+        assert_eq!(parsed, rules);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        let i = Interner::new();
+        i.label("t");
+        assert!(parse_xgfd("Q[x0:t*](x0.v -> false)", &i)
+            .unwrap_err()
+            .message
+            .contains("comparison operator"));
+        assert!(parse_xgfd("Q[x0:t*](∅ -> x3.v=1)", &i)
+            .unwrap_err()
+            .message
+            .contains("exceeds pattern arity"));
+        let e = parse_xrules("# ok\nQ[x0:t*](∅ -> false)\nnope\n", &i).unwrap_err();
+        assert_eq!(e.line, 3);
+        let _ = AttrId(0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property test: every syntactically valid extended rule survives a
+//! render → parse round-trip exactly (patterns, pivots, operators,
+//! offsets, constants of both types).
+
+use gfd_extended::{parse_xrules, render_xrules, CmpOp, Term, XGfd, XLiteral, XRhs};
+use gfd_graph::{Interner, Value};
+use gfd_pattern::{PEdge, PLabel, Pattern};
+use proptest::prelude::*;
+
+const NODES: usize = 3;
+const ATTRS: u16 = 3;
+const LABELS: u32 = 3;
+
+fn op_strategy() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+#[derive(Clone, Debug)]
+enum ProtoRhs {
+    Int(i64),
+    Sym(u8),
+    Term(usize, u16, i64),
+}
+
+#[derive(Clone, Debug)]
+struct ProtoLit {
+    var: usize,
+    attr: u16,
+    op: CmpOp,
+    rhs: ProtoRhs,
+}
+
+fn lit_strategy() -> impl Strategy<Value = ProtoLit> {
+    (
+        0..NODES,
+        0..ATTRS,
+        op_strategy(),
+        prop_oneof![
+            (-99i64..=99).prop_map(ProtoRhs::Int),
+            (0u8..3).prop_map(ProtoRhs::Sym),
+            (0..NODES, 0..ATTRS, -9i64..=9).prop_map(|(v, a, d)| ProtoRhs::Term(v, a, d)),
+        ],
+    )
+        .prop_filter("no self-comparison", |(v, a, _, rhs)| match rhs {
+            ProtoRhs::Term(v2, a2, _) => (v, a) != (v2, a2),
+            _ => true,
+        })
+        .prop_map(|(var, attr, op, rhs)| ProtoLit { var, attr, op, rhs })
+}
+
+/// Builds the shared interner with every name the protos may reference.
+fn interner() -> Interner {
+    let i = Interner::new();
+    for l in 0..LABELS {
+        i.label(&format!("label{l}"));
+    }
+    for a in 0..ATTRS {
+        i.attr(&format!("attr{a}"));
+    }
+    for sym in 0..3u8 {
+        i.symbol(&format!("sym {sym}"));
+    }
+    i
+}
+
+fn resolve(p: &ProtoLit, i: &Interner) -> XLiteral {
+    let attr = |a: u16| i.lookup_attr(&format!("attr{a}")).unwrap();
+    match p.rhs {
+        ProtoRhs::Int(c) => XLiteral::cmp_const(p.var, attr(p.attr), p.op, Value::Int(c)),
+        ProtoRhs::Sym(sx) => XLiteral::cmp_const(
+            p.var,
+            attr(p.attr),
+            p.op,
+            Value::Str(i.lookup_symbol(&format!("sym {sx}")).unwrap()),
+        ),
+        ProtoRhs::Term(v, a, d) => {
+            XLiteral::cmp_terms(Term::new(p.var, attr(p.attr)), p.op, Term::new(v, attr(a)), d)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_rules_roundtrip(
+        node_labels in prop::collection::vec(0u32..LABELS, NODES..=NODES),
+        pivot in 0..NODES,
+        edges in prop::collection::vec(
+            (0..NODES, 0..NODES, 0u32..LABELS), 1..4),
+        lhs in prop::collection::vec(lit_strategy(), 0..3),
+        rhs in prop::option::of(lit_strategy()),
+    ) {
+        let i = interner();
+        let labels: Vec<PLabel> = node_labels
+            .iter()
+            .map(|&l| PLabel::Is(i.lookup_label(&format!("label{l}")).unwrap()))
+            .collect();
+        let pedges: Vec<PEdge> = edges
+            .iter()
+            .map(|&(s, d, l)| PEdge {
+                src: s,
+                dst: d,
+                label: PLabel::Is(i.lookup_label(&format!("label{l}")).unwrap()),
+            })
+            .collect();
+        let pattern = Pattern::new(labels, pedges, pivot);
+        let lhs: Vec<XLiteral> = lhs.iter().map(|p| resolve(p, &i)).collect();
+        let rhs = match &rhs {
+            Some(p) => XRhs::Lit(resolve(p, &i)),
+            None => XRhs::False,
+        };
+        let rule = XGfd::new(pattern, lhs, rhs);
+
+        let text = render_xrules(std::slice::from_ref(&rule), &i);
+        let parsed = parse_xrules(&text, &i)
+            .unwrap_or_else(|e| panic!("parse failed for:\n{text}\n{e}"));
+        prop_assert_eq!(parsed, vec![rule], "text was:\n{}", text);
+    }
+}

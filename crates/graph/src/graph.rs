@@ -1,0 +1,531 @@
+//! The property-graph model `G = (V, E, L, F_A)` of the paper (§2.1).
+//!
+//! Nodes and edges carry labels from one alphabet `Θ`; each node carries an
+//! attribute tuple `F_A(v) = (A_1 = a_1, …, A_n = a_n)`. The paper defines
+//! `E ⊆ V × V`; we generalise to labelled multi-edges because real knowledge
+//! bases relate the same entity pair through several predicates — a pattern
+//! match maps distinct pattern edges to distinct graph edges (see
+//! `gfd-pattern`), which coincides with the paper's semantics on simple
+//! graphs.
+//!
+//! Graphs are built with [`GraphBuilder`] and then frozen into an immutable
+//! [`Graph`] with CSR out/in adjacency and per-label node indexes. All hot
+//! paths work on compact ids; strings live in a shared [`Interner`].
+
+use std::sync::Arc;
+
+use crate::fxhash::FxHashMap;
+use crate::ids::{AttrId, EdgeId, LabelId, NodeId};
+use crate::interner::Interner;
+use crate::value::{Value, ValueSpec};
+
+/// A directed, labelled edge.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Edge {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Edge label `L(e)`.
+    pub label: LabelId,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Csr {
+    offsets: Vec<u32>,
+    list: Vec<EdgeId>,
+}
+
+impl Csr {
+    fn slice(&self, n: NodeId) -> &[EdgeId] {
+        let lo = self.offsets[n.index()] as usize;
+        let hi = self.offsets[n.index() + 1] as usize;
+        &self.list[lo..hi]
+    }
+}
+
+/// Mutable construction state for a [`Graph`].
+///
+/// ```
+/// use gfd_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new();
+/// let x = b.add_node("person");
+/// let y = b.add_node("product");
+/// b.set_attr(y, "type", "film");
+/// b.add_edge(x, y, "create");
+/// let g = b.build();
+/// assert_eq!(g.node_count(), 2);
+/// assert_eq!(g.edge_count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct GraphBuilder {
+    interner: Arc<Interner>,
+    labels: Vec<LabelId>,
+    attrs: Vec<Vec<(AttrId, Value)>>,
+    edges: Vec<Edge>,
+}
+
+impl Default for GraphBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GraphBuilder {
+    /// New builder with a fresh interner.
+    pub fn new() -> Self {
+        Self::with_interner(Arc::new(Interner::new()))
+    }
+
+    /// New builder sharing an existing interner (used by graph fragments so
+    /// that label/attribute ids agree across fragments of the same graph).
+    pub fn with_interner(interner: Arc<Interner>) -> Self {
+        GraphBuilder {
+            interner,
+            labels: Vec::new(),
+            attrs: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// The shared interner.
+    pub fn interner(&self) -> &Arc<Interner> {
+        &self.interner
+    }
+
+    /// Adds a node labelled `label`, returning its id.
+    pub fn add_node(&mut self, label: &str) -> NodeId {
+        let l = self.interner.label(label);
+        self.add_node_by_id(l)
+    }
+
+    /// Adds a node with an already-interned label.
+    pub fn add_node_by_id(&mut self, label: LabelId) -> NodeId {
+        let id = NodeId::from_index(self.labels.len());
+        self.labels.push(label);
+        self.attrs.push(Vec::new());
+        id
+    }
+
+    /// Sets attribute `attr = value` on node `n` (overwrites an existing
+    /// binding of the same attribute — `A_i ≠ A_j` for `i ≠ j` in §2.1).
+    pub fn set_attr<'a>(&mut self, n: NodeId, attr: &str, value: impl Into<ValueSpec<'a>>) {
+        let a = self.interner.attr(attr);
+        let v = value.into().intern(&self.interner);
+        self.set_attr_by_id(n, a, v);
+    }
+
+    /// Sets an attribute with pre-interned ids.
+    pub fn set_attr_by_id(&mut self, n: NodeId, attr: AttrId, value: Value) {
+        let tuple = &mut self.attrs[n.index()];
+        match tuple.iter_mut().find(|(a, _)| *a == attr) {
+            Some(slot) => slot.1 = value,
+            None => tuple.push((attr, value)),
+        }
+    }
+
+    /// Adds a directed edge `src → dst` labelled `label`.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, label: &str) -> EdgeId {
+        let l = self.interner.label(label);
+        self.add_edge_by_id(src, dst, l)
+    }
+
+    /// Adds an edge with an already-interned label.
+    pub fn add_edge_by_id(&mut self, src: NodeId, dst: NodeId, label: LabelId) -> EdgeId {
+        assert!(src.index() < self.labels.len(), "edge src out of range");
+        assert!(dst.index() < self.labels.len(), "edge dst out of range");
+        let id = EdgeId::from_index(self.edges.len());
+        self.edges.push(Edge { src, dst, label });
+        id
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Freezes the builder into an immutable, indexed [`Graph`].
+    pub fn build(self) -> Graph {
+        let GraphBuilder {
+            interner,
+            labels,
+            mut attrs,
+            edges,
+        } = self;
+        let n = labels.len();
+
+        for tuple in &mut attrs {
+            tuple.sort_unstable_by_key(|(a, _)| *a);
+        }
+        let attrs: Vec<Box<[(AttrId, Value)]>> =
+            attrs.into_iter().map(|t| t.into_boxed_slice()).collect();
+
+        // Out-CSR sorted by (dst, label) per node: enables binary-searched
+        // `has_edge` / `edges_between` used when the matcher closes cycles.
+        let out = build_csr(n, &edges, |e| e.src, |e| (e.dst, e.label));
+        let inn = build_csr(n, &edges, |e| e.dst, |e| (e.src, e.label));
+
+        let mut nodes_by_label: Vec<Vec<NodeId>> = Vec::new();
+        for (i, &l) in labels.iter().enumerate() {
+            if nodes_by_label.len() <= l.index() {
+                nodes_by_label.resize_with(l.index() + 1, Vec::new);
+            }
+            nodes_by_label[l.index()].push(NodeId::from_index(i));
+        }
+
+        Graph {
+            interner,
+            labels,
+            attrs,
+            edges,
+            out,
+            inn,
+            nodes_by_label,
+        }
+    }
+}
+
+fn build_csr(
+    n: usize,
+    edges: &[Edge],
+    endpoint: impl Fn(&Edge) -> NodeId,
+    sort_key: impl Fn(&Edge) -> (NodeId, LabelId),
+) -> Csr {
+    let mut counts = vec![0u32; n + 1];
+    for e in edges {
+        counts[endpoint(e).index() + 1] += 1;
+    }
+    for i in 1..=n {
+        counts[i] += counts[i - 1];
+    }
+    let offsets = counts;
+    let mut cursor = offsets.clone();
+    let mut list = vec![EdgeId(0); edges.len()];
+    for (i, e) in edges.iter().enumerate() {
+        let slot = &mut cursor[endpoint(e).index()];
+        list[*slot as usize] = EdgeId::from_index(i);
+        *slot += 1;
+    }
+    for w in offsets.windows(2) {
+        let (lo, hi) = (w[0] as usize, w[1] as usize);
+        list[lo..hi].sort_unstable_by_key(|&eid| sort_key(&edges[eid.index()]));
+    }
+    Csr { offsets, list }
+}
+
+/// An immutable property graph with CSR adjacency and label indexes.
+#[derive(Debug)]
+pub struct Graph {
+    interner: Arc<Interner>,
+    labels: Vec<LabelId>,
+    attrs: Vec<Box<[(AttrId, Value)]>>,
+    edges: Vec<Edge>,
+    out: Csr,
+    inn: Csr,
+    nodes_by_label: Vec<Vec<NodeId>>,
+}
+
+impl Graph {
+    /// Empty graph (useful as a neutral element in tests).
+    pub fn empty() -> Graph {
+        GraphBuilder::new().build()
+    }
+
+    /// Number of nodes `|V|`.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of edges `|E|`.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `|V| + |E|`, the paper's `|G|`.
+    pub fn size(&self) -> usize {
+        self.node_count() + self.edge_count()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.labels.len()).map(NodeId::from_index)
+    }
+
+    /// Iterator over all edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len()).map(EdgeId::from_index)
+    }
+
+    /// All edges, in insertion order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The label `L(v)` of a node.
+    #[inline]
+    pub fn node_label(&self, n: NodeId) -> LabelId {
+        self.labels[n.index()]
+    }
+
+    /// The edge record behind an id.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> Edge {
+        self.edges[e.index()]
+    }
+
+    /// The attribute tuple `F_A(v)`, sorted by attribute id.
+    #[inline]
+    pub fn attrs(&self, n: NodeId) -> &[(AttrId, Value)] {
+        &self.attrs[n.index()]
+    }
+
+    /// Value of attribute `a` at node `n`, if present.
+    #[inline]
+    pub fn attr(&self, n: NodeId, a: AttrId) -> Option<Value> {
+        let tuple = &self.attrs[n.index()];
+        tuple
+            .binary_search_by_key(&a, |(x, _)| *x)
+            .ok()
+            .map(|i| tuple[i].1)
+    }
+
+    /// Outgoing edge ids of `n`, sorted by `(dst, label)`.
+    #[inline]
+    pub fn out_edges(&self, n: NodeId) -> &[EdgeId] {
+        self.out.slice(n)
+    }
+
+    /// Incoming edge ids of `n`, sorted by `(src, label)`.
+    #[inline]
+    pub fn in_edges(&self, n: NodeId) -> &[EdgeId] {
+        self.inn.slice(n)
+    }
+
+    /// Out-degree of `n`.
+    #[inline]
+    pub fn out_degree(&self, n: NodeId) -> usize {
+        self.out.slice(n).len()
+    }
+
+    /// In-degree of `n`.
+    #[inline]
+    pub fn in_degree(&self, n: NodeId) -> usize {
+        self.inn.slice(n).len()
+    }
+
+    /// Total degree of `n` (the `d` parameter of Theorem 1(b)).
+    #[inline]
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.out_degree(n) + self.in_degree(n)
+    }
+
+    /// Maximum total degree over all nodes.
+    pub fn max_degree(&self) -> usize {
+        self.nodes().map(|n| self.degree(n)).max().unwrap_or(0)
+    }
+
+    /// Nodes carrying label `l` (empty for labels absent from the graph —
+    /// including labels interned after the freeze, e.g. by patterns).
+    pub fn nodes_with_label(&self, l: LabelId) -> &[NodeId] {
+        self.nodes_by_label
+            .get(l.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Edge ids from `src` to `dst` (any label), via binary search.
+    pub fn edges_between(&self, src: NodeId, dst: NodeId) -> &[EdgeId] {
+        let list = self.out.slice(src);
+        let lo = list.partition_point(|&e| self.edges[e.index()].dst < dst);
+        let hi = list.partition_point(|&e| self.edges[e.index()].dst <= dst);
+        &list[lo..hi]
+    }
+
+    /// Whether an edge `src → dst` with exactly label `label` exists.
+    pub fn has_edge(&self, src: NodeId, dst: NodeId, label: LabelId) -> bool {
+        self.edges_between(src, dst)
+            .iter()
+            .any(|&e| self.edges[e.index()].label == label)
+    }
+
+    /// Whether any edge `src → dst` exists.
+    pub fn has_any_edge(&self, src: NodeId, dst: NodeId) -> bool {
+        !self.edges_between(src, dst).is_empty()
+    }
+
+    /// The shared string interner.
+    pub fn interner(&self) -> &Arc<Interner> {
+        &self.interner
+    }
+
+    /// Distinct values of attribute `a`, with occurrence counts, sorted by
+    /// descending count (used to pick the paper's "5 most frequent values").
+    pub fn attr_value_frequencies(&self, a: AttrId) -> Vec<(Value, u32)> {
+        let mut counts: FxHashMap<Value, u32> = FxHashMap::default();
+        for n in self.nodes() {
+            if let Some(v) = self.attr(n, a) {
+                *counts.entry(v).or_insert(0) += 1;
+            }
+        }
+        let mut out: Vec<(Value, u32)> = counts.into_iter().collect();
+        out.sort_unstable_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+        out
+    }
+
+    /// Labels present on at least one node, with node counts, sorted by
+    /// descending count.
+    pub fn node_label_frequencies(&self) -> Vec<(LabelId, u32)> {
+        let mut out: Vec<(LabelId, u32)> = self
+            .nodes_by_label
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(i, v)| (LabelId::from_index(i), v.len() as u32))
+            .collect();
+        out.sort_unstable_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Graph {
+        // person --create--> product ; person --follow--> person
+        let mut b = GraphBuilder::new();
+        let p1 = b.add_node("person");
+        let p2 = b.add_node("person");
+        let f = b.add_node("product");
+        b.set_attr(p1, "name", "John");
+        b.set_attr(p1, "age", 30i64);
+        b.set_attr(f, "type", "film");
+        b.add_edge(p1, f, "create");
+        b.add_edge(p1, p2, "follow");
+        b.add_edge(p2, p1, "follow");
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_lookup() {
+        let g = toy();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.size(), 6);
+        let person = g.interner().lookup_label("person").unwrap();
+        assert_eq!(g.nodes_with_label(person).len(), 2);
+        let product = g.interner().lookup_label("product").unwrap();
+        assert_eq!(g.nodes_with_label(product), &[NodeId(2)]);
+    }
+
+    #[test]
+    fn attributes_sorted_and_searchable() {
+        let g = toy();
+        let name = g.interner().lookup_attr("name").unwrap();
+        let age = g.interner().lookup_attr("age").unwrap();
+        let john = g.interner().lookup_symbol("John").unwrap();
+        assert_eq!(g.attr(NodeId(0), name), Some(Value::Str(john)));
+        assert_eq!(g.attr(NodeId(0), age), Some(Value::Int(30)));
+        assert_eq!(g.attr(NodeId(1), name), None);
+        let tuple = g.attrs(NodeId(0));
+        assert!(tuple.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn attr_overwrite_keeps_single_binding() {
+        let mut b = GraphBuilder::new();
+        let n = b.add_node("x");
+        b.set_attr(n, "k", "v1");
+        b.set_attr(n, "k", "v2");
+        let g = b.build();
+        assert_eq!(g.attrs(n).len(), 1);
+        let k = g.interner().lookup_attr("k").unwrap();
+        let v2 = g.interner().lookup_symbol("v2").unwrap();
+        assert_eq!(g.attr(n, k), Some(Value::Str(v2)));
+    }
+
+    #[test]
+    fn adjacency_and_degrees() {
+        let g = toy();
+        assert_eq!(g.out_degree(NodeId(0)), 2);
+        assert_eq!(g.in_degree(NodeId(0)), 1);
+        assert_eq!(g.degree(NodeId(0)), 3);
+        assert_eq!(g.out_degree(NodeId(2)), 0);
+        assert_eq!(g.in_degree(NodeId(2)), 1);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn edge_queries() {
+        let g = toy();
+        let create = g.interner().lookup_label("create").unwrap();
+        let follow = g.interner().lookup_label("follow").unwrap();
+        assert!(g.has_edge(NodeId(0), NodeId(2), create));
+        assert!(!g.has_edge(NodeId(2), NodeId(0), create));
+        assert!(g.has_edge(NodeId(0), NodeId(1), follow));
+        assert!(g.has_edge(NodeId(1), NodeId(0), follow));
+        assert!(!g.has_any_edge(NodeId(2), NodeId(1)));
+        assert_eq!(g.edges_between(NodeId(0), NodeId(2)).len(), 1);
+    }
+
+    #[test]
+    fn multi_edges_between_same_pair() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("a");
+        let y = b.add_node("b");
+        b.add_edge(x, y, "r1");
+        b.add_edge(x, y, "r2");
+        b.add_edge(x, y, "r1");
+        let g = b.build();
+        assert_eq!(g.edges_between(x, y).len(), 3);
+        let r1 = g.interner().lookup_label("r1").unwrap();
+        let r2 = g.interner().lookup_label("r2").unwrap();
+        assert!(g.has_edge(x, y, r1));
+        assert!(g.has_edge(x, y, r2));
+    }
+
+    #[test]
+    fn value_frequencies_ranked() {
+        let mut b = GraphBuilder::new();
+        for i in 0..5 {
+            let n = b.add_node("t");
+            b.set_attr(n, "c", if i < 3 { "hi" } else { "lo" });
+        }
+        let g = b.build();
+        let c = g.interner().lookup_attr("c").unwrap();
+        let freq = g.attr_value_frequencies(c);
+        assert_eq!(freq.len(), 2);
+        assert_eq!(freq[0].1, 3);
+        assert_eq!(freq[1].1, 2);
+    }
+
+    #[test]
+    fn label_frequencies_ranked() {
+        let g = toy();
+        let freq = g.node_label_frequencies();
+        assert_eq!(freq[0].1, 2); // person
+        assert_eq!(freq[1].1, 1); // product
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.nodes_with_label(LabelId(99)), &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge src out of range")]
+    fn dangling_edge_panics() {
+        let mut b = GraphBuilder::new();
+        let _ = b.add_node("a");
+        b.add_edge_by_id(NodeId(5), NodeId(0), LabelId(0));
+    }
+}

@@ -1,0 +1,94 @@
+//! Compact integer identifiers used throughout the workspace.
+//!
+//! All identifiers are `u32`-backed newtypes (attributes are `u16`-backed:
+//! the paper works with a handful of *active attributes* `Γ`, §4.3), keeping
+//! hot structures small per the type-size guidance of the performance guide.
+
+use std::fmt;
+
+/// Identifier of a node in a [`crate::Graph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Identifier of an edge in a [`crate::Graph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub u32);
+
+/// Interned node/edge label drawn from the alphabet `Θ` of the paper (§2.1).
+///
+/// Node labels and edge labels share one alphabet, exactly as in the paper
+/// ("an alphabet Θ of the node and edge labels in graphs").
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LabelId(pub u32);
+
+/// Interned attribute name (`A` in `x.A = c`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId(pub u16);
+
+/// Interned string constant appearing as an attribute value.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymbolId(pub u32);
+
+macro_rules! id_impls {
+    ($ty:ident, $prefix:literal, $inner:ty) => {
+        impl $ty {
+            /// Returns the raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an identifier from a raw index.
+            ///
+            /// # Panics
+            /// Panics if `i` does not fit the backing integer type.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                $ty(<$inner>::try_from(i).expect(concat!(stringify!($ty), " overflow")))
+            }
+        }
+
+        impl fmt::Debug for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+id_impls!(NodeId, "n", u32);
+id_impls!(EdgeId, "e", u32);
+id_impls!(LabelId, "l", u32);
+id_impls!(AttrId, "a", u16);
+id_impls!(SymbolId, "s", u32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        assert_eq!(NodeId::from_index(7).index(), 7);
+        assert_eq!(AttrId::from_index(65535).index(), 65535);
+        assert_eq!(format!("{:?}", LabelId(3)), "l3");
+        assert_eq!(format!("{}", EdgeId(3)), "3");
+    }
+
+    #[test]
+    #[should_panic(expected = "AttrId overflow")]
+    fn attr_overflow_panics() {
+        let _ = AttrId::from_index(1 << 20);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(NodeId(1) < NodeId(2));
+        assert!(SymbolId(9) > SymbolId(3));
+    }
+}

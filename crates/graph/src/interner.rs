@@ -1,0 +1,176 @@
+//! String interning for labels, attribute names, and string constants.
+//!
+//! Graphs, patterns, and GFDs all refer to strings through compact ids
+//! ([`LabelId`], [`AttrId`], [`SymbolId`]). A single [`Interner`] per graph
+//! keeps the three namespaces; interning uses interior mutability so that
+//! patterns and dependencies can be authored against an already-frozen graph.
+
+use std::sync::RwLock;
+
+use crate::fxhash::FxHashMap;
+use crate::ids::{AttrId, LabelId, SymbolId};
+
+#[derive(Default, Debug)]
+struct Pool {
+    by_name: FxHashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl Pool {
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.by_name.get(s) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("interner overflow");
+        self.names.push(s.to_owned());
+        self.by_name.insert(s.to_owned(), id);
+        id
+    }
+
+    fn get(&self, s: &str) -> Option<u32> {
+        self.by_name.get(s).copied()
+    }
+
+    fn name(&self, id: u32) -> Option<String> {
+        self.names.get(id as usize).cloned()
+    }
+}
+
+/// Three-namespace string interner (labels, attributes, symbols).
+///
+/// Thread-safe: lookups take a read lock, interning takes a write lock only
+/// when the string is new. Matching and discovery never touch the interner on
+/// their hot paths — they compare ids.
+#[derive(Default, Debug)]
+pub struct Interner {
+    labels: RwLock<Pool>,
+    attrs: RwLock<Pool>,
+    symbols: RwLock<Pool>,
+}
+
+macro_rules! pool_api {
+    ($intern:ident, $lookup:ident, $name:ident, $count:ident, $field:ident, $id:ident) => {
+        /// Interns a string in this namespace, returning its id.
+        pub fn $intern(&self, s: &str) -> $id {
+            if let Some(id) = self.$field.read().unwrap().get(s) {
+                return $id::from_index(id as usize);
+            }
+            $id::from_index(self.$field.write().unwrap().intern(s) as usize)
+        }
+
+        /// Looks up an already-interned string without inserting.
+        pub fn $lookup(&self, s: &str) -> Option<$id> {
+            self.$field
+                .read()
+                .unwrap()
+                .get(s)
+                .map(|id| $id::from_index(id as usize))
+        }
+
+        /// Resolves an id back to its string (allocates; not for hot paths).
+        pub fn $name(&self, id: $id) -> String {
+            self.$field
+                .read()
+                .unwrap()
+                .name(id.index() as u32)
+                .unwrap_or_else(|| format!("<{:?}>", id))
+        }
+
+        /// Number of interned strings in this namespace.
+        pub fn $count(&self) -> usize {
+            self.$field.read().unwrap().names.len()
+        }
+    };
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pool_api!(label, lookup_label, label_name, label_count, labels, LabelId);
+    pool_api!(attr, lookup_attr, attr_name, attr_count, attrs, AttrId);
+    pool_api!(symbol, lookup_symbol, symbol_name, symbol_count, symbols, SymbolId);
+
+    /// Snapshot of all label names, indexed by [`LabelId`].
+    pub fn all_labels(&self) -> Vec<String> {
+        self.labels.read().unwrap().names.clone()
+    }
+
+    /// Snapshot of all attribute names, indexed by [`AttrId`].
+    pub fn all_attrs(&self) -> Vec<String> {
+        self.attrs.read().unwrap().names.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let i = Interner::new();
+        let a = i.label("person");
+        let b = i.label("person");
+        assert_eq!(a, b);
+        assert_eq!(i.label_name(a), "person");
+        assert_eq!(i.label_count(), 1);
+    }
+
+    #[test]
+    fn namespaces_are_disjoint() {
+        let i = Interner::new();
+        let l = i.label("name");
+        let a = i.attr("name");
+        let s = i.symbol("name");
+        assert_eq!(l.index(), 0);
+        assert_eq!(a.index(), 0);
+        assert_eq!(s.index(), 0);
+        assert_eq!(i.label_count(), 1);
+        assert_eq!(i.attr_count(), 1);
+        assert_eq!(i.symbol_count(), 1);
+    }
+
+    #[test]
+    fn lookup_does_not_insert() {
+        let i = Interner::new();
+        assert_eq!(i.lookup_label("ghost"), None);
+        assert_eq!(i.label_count(), 0);
+        let id = i.label("ghost");
+        assert_eq!(i.lookup_label("ghost"), Some(id));
+    }
+
+    #[test]
+    fn snapshots_indexed_by_id() {
+        let i = Interner::new();
+        let a = i.label("alpha");
+        let b = i.label("beta");
+        let labels = i.all_labels();
+        assert_eq!(labels[a.index()], "alpha");
+        assert_eq!(labels[b.index()], "beta");
+        i.attr("x");
+        i.attr("y");
+        assert_eq!(i.all_attrs(), vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn concurrent_interning() {
+        use std::sync::Arc;
+        let i = Arc::new(Interner::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let i = Arc::clone(&i);
+                std::thread::spawn(move || {
+                    for k in 0..100 {
+                        i.symbol(&format!("v{}", (k + t) % 50));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(i.symbol_count(), 50);
+    }
+}

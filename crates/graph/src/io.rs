@@ -1,0 +1,257 @@
+//! Plain-text graph serialisation.
+//!
+//! A deliberately simple line format so that datasets and discovered rules
+//! can be inspected, diffed, and checked into experiment records:
+//!
+//! ```text
+//! # comment
+//! n <label> [<attr>=<value>]...      # nodes are numbered in file order
+//! e <src> <dst> <label>
+//! ```
+//!
+//! Values are typed by sniffing: an optional minus sign followed by digits
+//! parses as an integer, anything else is a string. Labels, attribute names
+//! and string values are percent-escaped so they may contain whitespace,
+//! `=`, `#`, or `%`.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::graph::{Graph, GraphBuilder};
+use crate::value::ValueSpec;
+
+/// Errors raised while parsing the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn escape(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            ' ' => out.push_str("%20"),
+            '\t' => out.push_str("%09"),
+            '\n' => out.push_str("%0A"),
+            '=' => out.push_str("%3D"),
+            '#' => out.push_str("%23"),
+            '%' => out.push_str("%25"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = s
+                .get(i + 1..i + 3)
+                .ok_or_else(|| "truncated escape".to_string())?;
+            let code = u8::from_str_radix(hex, 16).map_err(|_| format!("bad escape %{hex}"))?;
+            out.push(code as char);
+            i += 3;
+        } else {
+            out.push(bytes[i] as char);
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+fn sniff(s: &str) -> ValueSpec<'_> {
+    let body = s.strip_prefix('-').unwrap_or(s);
+    if !body.is_empty() && body.bytes().all(|b| b.is_ascii_digit()) {
+        if let Ok(i) = s.parse::<i64>() {
+            return ValueSpec::Int(i);
+        }
+    }
+    ValueSpec::Str(s)
+}
+
+/// Serialises `g` to the text format.
+pub fn to_text(g: &Graph) -> String {
+    let mut out = String::with_capacity(32 * g.size());
+    let interner = g.interner();
+    out.push_str("# gfd graph v1\n");
+    for n in g.nodes() {
+        out.push_str("n ");
+        escape(&interner.label_name(g.node_label(n)), &mut out);
+        for (a, v) in g.attrs(n) {
+            out.push(' ');
+            escape(&interner.attr_name(*a), &mut out);
+            out.push('=');
+            escape(&v.display(interner), &mut out);
+        }
+        out.push('\n');
+    }
+    for e in g.edges() {
+        let _ = write!(out, "e {} {} ", e.src.index(), e.dst.index());
+        escape(&interner.label_name(e.label), &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a graph from the text format.
+pub fn from_text(text: &str) -> Result<Graph, ParseError> {
+    let mut b = GraphBuilder::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |message: String| ParseError {
+            line: lineno,
+            message,
+        };
+        let mut parts = line.split_ascii_whitespace();
+        match parts.next() {
+            Some("n") => {
+                let label = parts
+                    .next()
+                    .ok_or_else(|| err("node line missing label".into()))?;
+                let label = unescape(label).map_err(&err)?;
+                let node = b.add_node(&label);
+                for kv in parts {
+                    let (k, v) = kv
+                        .split_once('=')
+                        .ok_or_else(|| err(format!("bad attribute `{kv}`")))?;
+                    let k = unescape(k).map_err(&err)?;
+                    let v = unescape(v).map_err(&err)?;
+                    b.set_attr(node, &k, sniff(&v));
+                }
+            }
+            Some("e") => {
+                let src: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("edge line missing src".into()))?;
+                let dst: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("edge line missing dst".into()))?;
+                let label = parts
+                    .next()
+                    .ok_or_else(|| err("edge line missing label".into()))?;
+                let label = unescape(label).map_err(&err)?;
+                if src >= b.node_count() || dst >= b.node_count() {
+                    return Err(err(format!("edge {src}->{dst} references unknown node")));
+                }
+                b.add_edge(
+                    crate::ids::NodeId::from_index(src),
+                    crate::ids::NodeId::from_index(dst),
+                    &label,
+                );
+            }
+            Some(other) => return Err(err(format!("unknown record `{other}`"))),
+            None => unreachable!("blank lines filtered above"),
+        }
+    }
+    Ok(b.build())
+}
+
+/// Writes `g` to `path` in the text format.
+pub fn save(g: &Graph, path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, to_text(g))
+}
+
+/// Loads a graph from `path`.
+pub fn load(path: &Path) -> std::io::Result<Graph> {
+    let text = std::fs::read_to_string(path)?;
+    from_text(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::ids::NodeId;
+    use crate::value::Value;
+
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("person");
+        let y = b.add_node("pro duct"); // space in label exercises escaping
+        b.set_attr(x, "name", "John Winter");
+        b.set_attr(x, "age", 42i64);
+        b.set_attr(y, "type", "film=good"); // `=` in value
+        b.add_edge(x, y, "create");
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let g = sample();
+        let text = to_text(&g);
+        let h = from_text(&text).expect("parse");
+        assert_eq!(h.node_count(), g.node_count());
+        assert_eq!(h.edge_count(), g.edge_count());
+        let name = h.interner().lookup_attr("name").unwrap();
+        let john = h.interner().lookup_symbol("John Winter").unwrap();
+        assert_eq!(h.attr(NodeId(0), name), Some(Value::Str(john)));
+        let age = h.interner().lookup_attr("age").unwrap();
+        assert_eq!(h.attr(NodeId(0), age), Some(Value::Int(42)));
+        let ty = h.interner().lookup_attr("type").unwrap();
+        let v = h.interner().lookup_symbol("film=good").unwrap();
+        assert_eq!(h.attr(NodeId(1), ty), Some(Value::Str(v)));
+        assert!(h.interner().lookup_label("pro duct").is_some());
+    }
+
+    #[test]
+    fn integers_sniffed_strings_kept() {
+        let g = from_text("n t x=5 y=-3 z=5a w=--2\n").unwrap();
+        let i = g.interner();
+        let x = i.lookup_attr("x").unwrap();
+        let y = i.lookup_attr("y").unwrap();
+        let z = i.lookup_attr("z").unwrap();
+        let w = i.lookup_attr("w").unwrap();
+        assert_eq!(g.attr(NodeId(0), x), Some(Value::Int(5)));
+        assert_eq!(g.attr(NodeId(0), y), Some(Value::Int(-3)));
+        assert!(matches!(g.attr(NodeId(0), z), Some(Value::Str(_))));
+        assert!(matches!(g.attr(NodeId(0), w), Some(Value::Str(_))));
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let g = from_text("# header\n\nn a\nn b\n# mid\ne 0 1 r\n").unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = from_text("n a\nq zzz\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = from_text("n a\ne 0 5 r\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unknown node"));
+        let err = from_text("e 0\n").unwrap_err();
+        assert!(err.message.contains("missing"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = sample();
+        let dir = std::env::temp_dir().join("gfd-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.graph");
+        save(&g, &path).unwrap();
+        let h = load(&path).unwrap();
+        assert_eq!(h.size(), g.size());
+        std::fs::remove_file(&path).ok();
+    }
+}

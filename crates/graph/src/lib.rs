@@ -1,0 +1,37 @@
+//! # gfd-graph — property-graph substrate
+//!
+//! The graph model `G = (V, E, L, F_A)` of *Discovering Graph Functional
+//! Dependencies* (Fan, Hu, Liu, Lu — SIGMOD 2018), §2.1: directed graphs with
+//! labelled nodes and edges over one alphabet `Θ`, and per-node attribute
+//! tuples. This crate provides:
+//!
+//! * compact id newtypes and a fast integer hasher ([`fxhash`]),
+//! * a three-namespace string [`Interner`],
+//! * [`GraphBuilder`] / frozen [`Graph`] with CSR adjacency, per-label node
+//!   indexes, and binary-searched edge lookup,
+//! * graph statistics for the discovery layer ([`stats`]),
+//! * a plain-text serialisation format ([`io`]) and a triple-dump loader
+//!   ([`triples`]) for RDF-style subject–predicate–object files.
+//!
+//! Everything above this crate (patterns, GFDs, discovery, parallel
+//! execution) manipulates only the ids defined here on its hot paths.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fxhash;
+pub mod graph;
+pub mod ids;
+pub mod interner;
+pub mod io;
+pub mod stats;
+pub mod triples;
+pub mod value;
+
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use graph::{Edge, Graph, GraphBuilder};
+pub use ids::{AttrId, EdgeId, LabelId, NodeId, SymbolId};
+pub use interner::Interner;
+pub use stats::{summarize, triple_stats, GraphSummary, TripleStat};
+pub use triples::{from_triples, load_triples, TripleConfig};
+pub use value::{Value, ValueSpec};

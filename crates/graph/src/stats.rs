@@ -1,0 +1,153 @@
+//! Aggregate statistics over a graph: label-triple frequencies and degree
+//! summaries used by the discovery layer's vertical spawning (§5.1) and by
+//! the experiment reports.
+
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::graph::Graph;
+use crate::ids::LabelId;
+
+/// Frequency record for a schema-level edge type
+/// `(source label, edge label, destination label)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TripleStat {
+    /// Source node label.
+    pub src_label: LabelId,
+    /// Edge label.
+    pub edge_label: LabelId,
+    /// Destination node label.
+    pub dst_label: LabelId,
+    /// Number of edges of this type.
+    pub edge_count: u32,
+    /// Number of distinct source nodes participating.
+    pub distinct_src: u32,
+    /// Number of distinct destination nodes participating.
+    pub distinct_dst: u32,
+}
+
+/// Computes per-type edge statistics for the whole graph.
+///
+/// Vertical spawning uses these to (a) seed level-1 patterns with frequent
+/// single-edge patterns and (b) propose *zero-support* extensions for
+/// negative-GFD discovery (`NVSpawn`, §5.1): an extension is only worth
+/// trying if its edge type occurs somewhere in `G`.
+pub fn triple_stats(g: &Graph) -> Vec<TripleStat> {
+    let mut edges: FxHashMap<(LabelId, LabelId, LabelId), u32> = FxHashMap::default();
+    let mut srcs: FxHashMap<(LabelId, LabelId, LabelId), FxHashSet<u32>> = FxHashMap::default();
+    let mut dsts: FxHashMap<(LabelId, LabelId, LabelId), FxHashSet<u32>> = FxHashMap::default();
+    for e in g.edges() {
+        let key = (g.node_label(e.src), e.label, g.node_label(e.dst));
+        *edges.entry(key).or_insert(0) += 1;
+        srcs.entry(key).or_default().insert(e.src.0);
+        dsts.entry(key).or_default().insert(e.dst.0);
+    }
+    let mut out: Vec<TripleStat> = edges
+        .into_iter()
+        .map(|(key, edge_count)| TripleStat {
+            src_label: key.0,
+            edge_label: key.1,
+            dst_label: key.2,
+            edge_count,
+            distinct_src: srcs[&key].len() as u32,
+            distinct_dst: dsts[&key].len() as u32,
+        })
+        .collect();
+    out.sort_unstable_by(|a, b| {
+        b.edge_count.cmp(&a.edge_count).then_with(|| {
+            (a.src_label, a.edge_label, a.dst_label).cmp(&(b.src_label, b.edge_label, b.dst_label))
+        })
+    });
+    out
+}
+
+/// Summary statistics for reporting (dataset tables in EXPERIMENTS.md).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphSummary {
+    /// `|V|`.
+    pub nodes: usize,
+    /// `|E|`.
+    pub edges: usize,
+    /// Number of distinct node labels in use.
+    pub node_labels: usize,
+    /// Number of distinct edge labels in use.
+    pub edge_labels: usize,
+    /// Maximum total degree.
+    pub max_degree: usize,
+    /// Average total degree (2|E| / |V|).
+    pub avg_degree: f64,
+    /// Total number of attribute bindings.
+    pub attr_bindings: usize,
+}
+
+/// Computes a [`GraphSummary`].
+pub fn summarize(g: &Graph) -> GraphSummary {
+    let mut edge_labels: FxHashSet<LabelId> = FxHashSet::default();
+    for e in g.edges() {
+        edge_labels.insert(e.label);
+    }
+    let node_labels = g.node_label_frequencies().len();
+    let attr_bindings = g.nodes().map(|n| g.attrs(n).len()).sum();
+    GraphSummary {
+        nodes: g.node_count(),
+        edges: g.edge_count(),
+        node_labels,
+        edge_labels: edge_labels.len(),
+        max_degree: g.max_degree(),
+        avg_degree: if g.node_count() == 0 {
+            0.0
+        } else {
+            2.0 * g.edge_count() as f64 / g.node_count() as f64
+        },
+        attr_bindings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new();
+        let people: Vec<_> = (0..4).map(|_| b.add_node("person")).collect();
+        let films: Vec<_> = (0..2).map(|_| b.add_node("film")).collect();
+        b.add_edge(people[0], films[0], "create");
+        b.add_edge(people[1], films[0], "create");
+        b.add_edge(people[1], films[1], "create");
+        b.add_edge(people[2], people[3], "parent");
+        b.build()
+    }
+
+    #[test]
+    fn triples_counted_and_sorted() {
+        let g = sample();
+        let stats = triple_stats(&g);
+        assert_eq!(stats.len(), 2);
+        let create = &stats[0];
+        assert_eq!(create.edge_count, 3);
+        assert_eq!(create.distinct_src, 2);
+        assert_eq!(create.distinct_dst, 2);
+        let parent = &stats[1];
+        assert_eq!(parent.edge_count, 1);
+        assert_eq!(parent.distinct_src, 1);
+    }
+
+    #[test]
+    fn summary_fields() {
+        let g = sample();
+        let s = summarize(&g);
+        assert_eq!(s.nodes, 6);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.node_labels, 2);
+        assert_eq!(s.edge_labels, 2);
+        assert!(s.avg_degree > 1.3 && s.avg_degree < 1.34);
+    }
+
+    #[test]
+    fn empty_graph_summary() {
+        let g = Graph::empty();
+        let s = summarize(&g);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.avg_degree, 0.0);
+        assert!(triple_stats(&g).is_empty());
+    }
+}

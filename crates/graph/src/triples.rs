@@ -1,0 +1,268 @@
+//! Triple-file ingestion: building property graphs from
+//! subject–predicate–object dumps.
+//!
+//! The paper's datasets (DBpedia, YAGO2, IMDB) ship as triple files. This
+//! loader consumes the common whitespace-separated form
+//!
+//! ```text
+//! subject predicate object
+//! ```
+//!
+//! mapping *relational* triples to labelled edges and *attribute* triples
+//! to node attributes:
+//!
+//! * predicates in [`TripleConfig::type_predicates`] (e.g. `rdf:type`,
+//!   `isA`) set the subject's node label;
+//! * predicates in [`TripleConfig::attribute_predicates`] — or, with
+//!   [`TripleConfig::literal_objects_as_attributes`], any triple whose
+//!   object is quoted or numeric — become node attributes;
+//! * everything else becomes a directed edge `subject --predicate--> object`.
+//!
+//! Tokens may be quoted (`"San Francisco"`) to include whitespace.
+//! Entities are created on first sight; labels assigned by a later type
+//! triple override the fallback label retroactively via a two-pass build.
+
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::graph::{Graph, GraphBuilder};
+use crate::ids::NodeId;
+use crate::io::ParseError;
+use crate::value::ValueSpec;
+
+/// Loader configuration.
+#[derive(Clone, Debug)]
+pub struct TripleConfig {
+    /// Predicates whose object is the subject's node label.
+    pub type_predicates: Vec<String>,
+    /// Predicates always treated as attributes.
+    pub attribute_predicates: Vec<String>,
+    /// Also treat triples with quoted/numeric objects as attributes.
+    pub literal_objects_as_attributes: bool,
+    /// Label for entities without a type triple.
+    pub fallback_label: String,
+}
+
+impl Default for TripleConfig {
+    fn default() -> Self {
+        TripleConfig {
+            type_predicates: vec!["type".into(), "rdf:type".into(), "isA".into()],
+            attribute_predicates: Vec::new(),
+            literal_objects_as_attributes: true,
+            fallback_label: "entity".into(),
+        }
+    }
+}
+
+/// Splits a line into at most 3 tokens, honouring double quotes.
+fn tokenize(line: &str) -> Vec<String> {
+    let mut out = Vec::with_capacity(3);
+    let mut cur = String::new();
+    let mut quoted = false;
+    let mut any = false;
+    for ch in line.chars() {
+        match ch {
+            '"' => {
+                quoted = !quoted;
+                any = true;
+            }
+            c if c.is_whitespace() && !quoted => {
+                if any {
+                    out.push(std::mem::take(&mut cur));
+                    any = false;
+                }
+            }
+            c => {
+                cur.push(c);
+                any = true;
+            }
+        }
+    }
+    if any {
+        out.push(cur);
+    }
+    out
+}
+
+fn looks_literal(raw_line: &str, token: &str) -> bool {
+    // Quoted in the raw line, or parses as a number.
+    if raw_line.contains(&format!("\"{token}\"")) {
+        return true;
+    }
+    token.parse::<i64>().is_ok() || token.parse::<f64>().is_ok()
+}
+
+/// Parses a triple dump into a property graph.
+pub fn from_triples(text: &str, cfg: &TripleConfig) -> Result<Graph, ParseError> {
+    // Pass 1: collect entities, labels, attributes, edges.
+    let mut order: Vec<String> = Vec::new();
+    let mut ids: FxHashMap<String, usize> = FxHashMap::default();
+    let mut labels: FxHashMap<usize, String> = FxHashMap::default();
+    let mut attrs: Vec<(usize, String, String)> = Vec::new();
+    let mut edges: Vec<(usize, usize, String)> = Vec::new();
+    let attr_set: FxHashSet<&str> = cfg.attribute_predicates.iter().map(|s| s.as_str()).collect();
+    let type_set: FxHashSet<&str> = cfg.type_predicates.iter().map(|s| s.as_str()).collect();
+
+    let intern = |name: &str, order: &mut Vec<String>, ids: &mut FxHashMap<String, usize>| {
+        if let Some(&i) = ids.get(name) {
+            return i;
+        }
+        let i = order.len();
+        order.push(name.to_owned());
+        ids.insert(name.to_owned(), i);
+        i
+    };
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim().trim_end_matches(" .");
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let toks = tokenize(line);
+        if toks.len() != 3 {
+            return Err(ParseError {
+                line: lineno + 1,
+                message: format!("expected 3 tokens, got {}", toks.len()),
+            });
+        }
+        let (s, p, o) = (&toks[0], &toks[1], &toks[2]);
+        let si = intern(s, &mut order, &mut ids);
+        if type_set.contains(p.as_str()) {
+            labels.insert(si, o.clone());
+        } else if attr_set.contains(p.as_str())
+            || (cfg.literal_objects_as_attributes && looks_literal(raw, o))
+        {
+            attrs.push((si, p.clone(), o.clone()));
+        } else {
+            let oi = intern(o, &mut order, &mut ids);
+            edges.push((si, oi, p.clone()));
+        }
+    }
+
+    // Pass 2: build with final labels.
+    let mut b = GraphBuilder::new();
+    for (i, _name) in order.iter().enumerate() {
+        let label = labels
+            .get(&i)
+            .map(String::as_str)
+            .unwrap_or(cfg.fallback_label.as_str());
+        let n = b.add_node(label);
+        debug_assert_eq!(n.index(), i);
+    }
+    // Keep the original identifier as an `iri` attribute for provenance.
+    for (i, name) in order.iter().enumerate() {
+        b.set_attr(NodeId::from_index(i), "iri", ValueSpec::Str(name));
+    }
+    for (n, attr, value) in &attrs {
+        let spec = match value.parse::<i64>() {
+            Ok(v) => ValueSpec::Int(v),
+            Err(_) => ValueSpec::Str(value),
+        };
+        b.set_attr(NodeId::from_index(*n), attr, spec);
+    }
+    for (s, o, p) in &edges {
+        b.add_edge(NodeId::from_index(*s), NodeId::from_index(*o), p);
+    }
+    Ok(b.build())
+}
+
+/// Loads a triple file from disk.
+pub fn load_triples(path: &std::path::Path, cfg: &TripleConfig) -> std::io::Result<Graph> {
+    let text = std::fs::read_to_string(path)?;
+    from_triples(&text, cfg).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    const SAMPLE: &str = r#"
+# a YAGO-flavoured snippet
+John type person
+Selling_Out type product
+John create Selling_Out
+Selling_Out label "Selling Out"
+John age 34
+Jack type person
+Jack create Selling_Out
+"#;
+
+    #[test]
+    fn builds_nodes_edges_attributes() {
+        let g = from_triples(SAMPLE, &TripleConfig::default()).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        let i = g.interner();
+        let person = i.lookup_label("person").unwrap();
+        assert_eq!(g.nodes_with_label(person).len(), 2);
+        let create = i.lookup_label("create").unwrap();
+        assert!(g.has_edge(NodeId(0), NodeId(1), create));
+        // Quoted and numeric objects become attributes.
+        let label_attr = i.lookup_attr("label").unwrap();
+        assert_eq!(
+            g.attr(NodeId(1), label_attr),
+            Some(Value::Str(i.lookup_symbol("Selling Out").unwrap()))
+        );
+        let age = i.lookup_attr("age").unwrap();
+        assert_eq!(g.attr(NodeId(0), age), Some(Value::Int(34)));
+        // Provenance attribute.
+        let iri = i.lookup_attr("iri").unwrap();
+        assert_eq!(
+            g.attr(NodeId(0), iri),
+            Some(Value::Str(i.lookup_symbol("John").unwrap()))
+        );
+    }
+
+    #[test]
+    fn untyped_entities_get_fallback_label() {
+        let g = from_triples("a knows b\n", &TripleConfig::default()).unwrap();
+        let ent = g.interner().lookup_label("entity").unwrap();
+        assert_eq!(g.nodes_with_label(ent).len(), 2);
+    }
+
+    #[test]
+    fn explicit_attribute_predicates() {
+        let cfg = TripleConfig {
+            attribute_predicates: vec!["name".into()],
+            literal_objects_as_attributes: false,
+            ..Default::default()
+        };
+        let g = from_triples("x name paris\nx near lyon\n", &cfg).unwrap();
+        // `name` is an attribute, `near` is an edge.
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        let name = g.interner().lookup_attr("name").unwrap();
+        assert!(g.attr(NodeId(0), name).is_some());
+    }
+
+    #[test]
+    fn quoted_multiword_tokens() {
+        let g = from_triples(
+            "\"Saint Petersburg\" type city\n\"Saint Petersburg\" located Russia\n",
+            &TripleConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(g.node_count(), 2);
+        let iri = g.interner().lookup_attr("iri").unwrap();
+        assert_eq!(
+            g.attr(NodeId(0), iri),
+            Some(Value::Str(
+                g.interner().lookup_symbol("Saint Petersburg").unwrap()
+            ))
+        );
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        let err = from_triples("a b\n", &TripleConfig::default()).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("3 tokens"));
+        let err = from_triples("ok type t\nx y z extra\n", &TripleConfig::default()).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn trailing_dot_and_comments_ignored() {
+        let g = from_triples("# c\na likes b .\n\n", &TripleConfig::default()).unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+}

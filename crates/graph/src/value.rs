@@ -1,0 +1,114 @@
+//! Attribute values carried by graph nodes.
+
+use std::fmt;
+
+use crate::ids::SymbolId;
+use crate::interner::Interner;
+
+/// A constant attribute value (`a_i` in `F_A(v) = (A_1 = a_1, …)`, §2.1).
+///
+/// Strings are interned per graph; integers are stored inline. Equality is
+/// exact (no cross-type coercion: `Int(5) != Str("5")`), matching the paper's
+/// treatment of constants as opaque values compared for equality only.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Value {
+    /// Interned string constant.
+    Str(SymbolId),
+    /// Integer constant.
+    Int(i64),
+}
+
+impl Value {
+    /// Renders the value through `interner` (allocates; diagnostics only).
+    pub fn display(&self, interner: &Interner) -> String {
+        match self {
+            Value::Str(s) => interner.symbol_name(*s),
+            Value::Int(i) => i.to_string(),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<SymbolId> for Value {
+    fn from(s: SymbolId) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "s{}", s.index()),
+            Value::Int(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// A not-yet-interned value, accepted by builder APIs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValueSpec<'a> {
+    /// A string to be interned on insertion.
+    Str(&'a str),
+    /// An integer, stored as-is.
+    Int(i64),
+}
+
+impl<'a> ValueSpec<'a> {
+    /// Interns the value through `interner`.
+    pub fn intern(&self, interner: &Interner) -> Value {
+        match self {
+            ValueSpec::Str(s) => Value::Str(interner.symbol(s)),
+            ValueSpec::Int(i) => Value::Int(*i),
+        }
+    }
+}
+
+impl<'a> From<&'a str> for ValueSpec<'a> {
+    fn from(s: &'a str) -> Self {
+        ValueSpec::Str(s)
+    }
+}
+
+impl<'a> From<i64> for ValueSpec<'a> {
+    fn from(i: i64) -> Self {
+        ValueSpec::Int(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_values_intern_consistently() {
+        let i = Interner::new();
+        let a = ValueSpec::from("film").intern(&i);
+        let b = ValueSpec::from("film").intern(&i);
+        assert_eq!(a, b);
+        assert_eq!(a.display(&i), "film");
+    }
+
+    #[test]
+    fn no_cross_type_equality() {
+        let i = Interner::new();
+        let s = ValueSpec::from("5").intern(&i);
+        let n = ValueSpec::from(5i64).intern(&i);
+        assert_ne!(s, n);
+        assert_eq!(n.display(&i), "5");
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let i = Interner::new();
+        let a = ValueSpec::from("a").intern(&i);
+        let b = ValueSpec::from("b").intern(&i);
+        let mut v = [Value::Int(3), b, a, Value::Int(-1)];
+        v.sort();
+        assert_eq!(v.len(), 4);
+    }
+}

@@ -1,0 +1,447 @@
+//! The violation monitor: incremental `G ⊨ Σ` maintenance.
+//!
+//! §4.1 introduces pivots precisely for data locality: "for any `v` in
+//! graph `G`, if there exists a match `h` of `Q` in `G` such that
+//! `h(z) = v`, then `h(x̄)` consists of only nodes in the `d_Q`-neighbor
+//! of `v`", where `d_Q` is the pattern's radius at the pivot. The monitor
+//! turns that observation into incremental validation:
+//!
+//! 1. applying an update batch touches a node set `T`;
+//! 2. any match gained or lost — or whose literal values changed — must
+//!    contain a touched node, so its pivot lies within `d_Q` (undirected)
+//!    hops of `T` in the pre- or post-update graph;
+//! 3. re-matching is therefore restricted to pivots in
+//!    `BFS(G_old, T, d_Q) ∪ BFS(G_new, T, d_Q)` — everything else keeps
+//!    its stored violation status.
+//!
+//! The monitor accepts base GFDs and extended GFDs (`gfd-extended`) in
+//! one rule set, and reports per-batch deltas (violations introduced and
+//! repaired), which is what a knowledge-base curation pipeline consumes.
+
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
+
+use gfd_extended::XGfd;
+use gfd_graph::{Graph, NodeId};
+use gfd_logic::Gfd;
+use gfd_pattern::{for_each_match, for_each_match_at, Pattern};
+
+use crate::state::GraphState;
+use crate::update::UpdateBatch;
+
+/// A monitored rule: base or extended GFD.
+#[derive(Clone, Debug)]
+pub enum MonitorRule {
+    /// A base GFD (`gfd-logic`).
+    Base(Gfd),
+    /// An extended GFD with built-in predicates (`gfd-extended`).
+    Extended(XGfd),
+}
+
+impl MonitorRule {
+    /// The rule's pattern.
+    pub fn pattern(&self) -> &Pattern {
+        match self {
+            MonitorRule::Base(g) => g.pattern(),
+            MonitorRule::Extended(x) => x.pattern(),
+        }
+    }
+
+    /// Whether match `m` satisfies the rule's dependency in `g`.
+    pub fn match_satisfies(&self, m: &[NodeId], g: &Graph) -> bool {
+        match self {
+            MonitorRule::Base(gfd) => gfd_logic::match_satisfies(gfd, m, g),
+            MonitorRule::Extended(x) => gfd_extended::match_satisfies(x, m, g),
+        }
+    }
+}
+
+impl From<Gfd> for MonitorRule {
+    fn from(g: Gfd) -> Self {
+        MonitorRule::Base(g)
+    }
+}
+
+impl From<XGfd> for MonitorRule {
+    fn from(x: XGfd) -> Self {
+        MonitorRule::Extended(x)
+    }
+}
+
+/// Per-rule violation changes from one batch.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RuleDelta {
+    /// Violating matches introduced by the batch.
+    pub added: Vec<Vec<NodeId>>,
+    /// Previously-violating matches repaired (or destroyed) by the batch.
+    pub removed: Vec<Vec<NodeId>>,
+}
+
+/// The outcome of applying one update batch.
+#[derive(Clone, Debug, Default)]
+pub struct ViolationDelta {
+    /// One delta per monitored rule, in rule order.
+    pub per_rule: Vec<RuleDelta>,
+    /// Pivot candidates re-checked (the work incrementality saves is
+    /// `total pivots − affected pivots` match enumerations).
+    pub affected_pivots: usize,
+}
+
+impl ViolationDelta {
+    /// Total violations introduced.
+    pub fn added(&self) -> usize {
+        self.per_rule.iter().map(|d| d.added.len()).sum()
+    }
+
+    /// Total violations repaired.
+    pub fn removed(&self) -> usize {
+        self.per_rule.iter().map(|d| d.removed.len()).sum()
+    }
+
+    /// Whether the batch left the violation set unchanged.
+    pub fn is_unchanged(&self) -> bool {
+        self.added() == 0 && self.removed() == 0
+    }
+}
+
+/// Multi-source undirected BFS, bounded at `depth`; returns per-node
+/// distance (`u32::MAX` = unreached). Sources outside the graph's node
+/// range are ignored (they exist only on the other side of the update).
+fn bounded_bfs(g: &Graph, sources: &[NodeId], depth: usize) -> Vec<u32> {
+    let n = g.node_count();
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    for &s in sources {
+        if s.index() < n && dist[s.index()] == u32::MAX {
+            dist[s.index()] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()];
+        if d as usize >= depth {
+            continue;
+        }
+        let mut visit = |u: NodeId| {
+            if dist[u.index()] == u32::MAX {
+                dist[u.index()] = d + 1;
+                queue.push_back(u);
+            }
+        };
+        for &e in g.out_edges(v) {
+            visit(g.edge(e).dst);
+        }
+        for &e in g.in_edges(v) {
+            visit(g.edge(e).src);
+        }
+    }
+    dist
+}
+
+/// Incrementally maintained violation sets for a rule set over an
+/// evolving graph.
+pub struct ViolationMonitor {
+    rules: Vec<MonitorRule>,
+    radii: Vec<Option<usize>>,
+    state: GraphState,
+    graph: Graph,
+    /// Per rule: violating matches, keyed by the full match vector.
+    violations: Vec<BTreeSet<Vec<NodeId>>>,
+}
+
+impl ViolationMonitor {
+    /// Builds the monitor with a full initial validation pass.
+    pub fn new(g: &Graph, rules: Vec<MonitorRule>) -> ViolationMonitor {
+        let state = GraphState::from_graph(g);
+        let graph = state.freeze();
+        let radii: Vec<Option<usize>> = rules.iter().map(|r| r.pattern().radius()).collect();
+        let mut violations = Vec::with_capacity(rules.len());
+        for rule in &rules {
+            let mut set = BTreeSet::new();
+            let _ = for_each_match(rule.pattern(), &graph, |m| {
+                if !rule.match_satisfies(m, &graph) {
+                    set.insert(m.to_vec());
+                }
+                ControlFlow::Continue(())
+            });
+            violations.push(set);
+        }
+        ViolationMonitor {
+            rules,
+            radii,
+            state,
+            graph,
+            violations,
+        }
+    }
+
+    /// The monitored rules.
+    pub fn rules(&self) -> &[MonitorRule] {
+        &self.rules
+    }
+
+    /// The current (post-update) graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Current violating matches of rule `i`.
+    pub fn violations(&self, i: usize) -> impl Iterator<Item = &[NodeId]> {
+        self.violations[i].iter().map(|m| m.as_slice())
+    }
+
+    /// Total current violations across rules.
+    pub fn total_violations(&self) -> usize {
+        self.violations.iter().map(BTreeSet::len).sum()
+    }
+
+    /// Whether the graph currently satisfies every monitored rule.
+    pub fn is_clean(&self) -> bool {
+        self.total_violations() == 0
+    }
+
+    /// Applies a batch and reports the violation delta.
+    pub fn apply(&mut self, batch: &UpdateBatch) -> ViolationDelta {
+        let touched = self.state.apply_batch(batch);
+        let new_graph = self.state.freeze();
+
+        let max_radius = self
+            .radii
+            .iter()
+            .filter_map(|r| *r)
+            .max()
+            .unwrap_or(0);
+        let dist_old = bounded_bfs(&self.graph, &touched, max_radius);
+        let dist_new = bounded_bfs(&new_graph, &touched, max_radius);
+
+        let mut delta = ViolationDelta::default();
+        let mut affected_total = 0usize;
+
+        for (i, rule) in self.rules.iter().enumerate() {
+            let q = rule.pattern();
+            let pivot_label = q.node_label(q.pivot());
+            // Affected pivot candidates for this rule's radius. A pattern
+            // without a finite radius (disconnected — excluded by §4 but
+            // tolerated here) falls back to a full re-check.
+            let affected: Vec<NodeId> = match self.radii[i] {
+                Some(dq) => {
+                    let dq = dq as u32;
+                    (0..new_graph.node_count())
+                        .map(NodeId::from_index)
+                        .filter(|v| {
+                            let near_new = dist_new[v.index()] <= dq;
+                            let near_old = v.index() < dist_old.len()
+                                && dist_old[v.index()] <= dq;
+                            (near_new || near_old)
+                                && pivot_label.admits(new_graph.node_label(*v))
+                        })
+                        .collect()
+                }
+                None => (0..new_graph.node_count())
+                    .map(NodeId::from_index)
+                    .filter(|v| pivot_label.admits(new_graph.node_label(*v)))
+                    .collect(),
+            };
+            affected_total += affected.len();
+
+            // Re-enumerate matches anchored at affected pivots.
+            let mut fresh: BTreeSet<Vec<NodeId>> = BTreeSet::new();
+            for &v in &affected {
+                let _ = for_each_match_at(q, &new_graph, v, |m| {
+                    if !rule.match_satisfies(m, &new_graph) {
+                        fresh.insert(m.to_vec());
+                    }
+                    ControlFlow::Continue(())
+                });
+            }
+
+            // Stored violations whose pivot is affected are stale.
+            let affected_set: BTreeSet<NodeId> = affected.iter().copied().collect();
+            let stored = &mut self.violations[i];
+            let stale: Vec<Vec<NodeId>> = stored
+                .iter()
+                .filter(|m| affected_set.contains(&m[q.pivot()]))
+                .cloned()
+                .collect();
+
+            let mut rd = RuleDelta::default();
+            let stale_set: BTreeSet<&Vec<NodeId>> = stale.iter().collect();
+            for m in &stale {
+                if !fresh.contains(m) {
+                    rd.removed.push(m.clone());
+                }
+            }
+            for m in &fresh {
+                // Newly violating = re-found but not previously stored
+                // (a violation that persists through the batch is neither
+                // added nor removed).
+                if !stale_set.contains(m) && !stored.contains(m) {
+                    rd.added.push(m.clone());
+                }
+            }
+            for m in &stale {
+                stored.remove(m);
+            }
+            stored.extend(fresh);
+            delta.per_rule.push(rd);
+        }
+
+        delta.affected_pivots = affected_total;
+        self.graph = new_graph;
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_graph::{GraphBuilder, Value};
+    use gfd_logic::{Literal, Rhs};
+    use gfd_pattern::{PLabel, Pattern};
+
+    /// Fig. 1's φ1 scenario as a monitor fixture: person --create-->
+    /// product, products typed "film" require producer creators.
+    fn fixture() -> (Graph, Vec<MonitorRule>) {
+        let mut b = GraphBuilder::new();
+        for i in 0..6 {
+            let p = b.add_node("person");
+            let f = b.add_node("product");
+            b.set_attr(p, "type", "producer");
+            b.set_attr(f, "type", if i % 2 == 0 { "film" } else { "album" });
+            b.add_edge(p, f, "create");
+        }
+        let g = b.build();
+        let person = PLabel::Is(g.interner().lookup_label("person").unwrap());
+        let create = PLabel::Is(g.interner().lookup_label("create").unwrap());
+        let product = PLabel::Is(g.interner().lookup_label("product").unwrap());
+        let ty = g.interner().lookup_attr("type").unwrap();
+        let film = Value::Str(g.interner().lookup_symbol("film").unwrap());
+        let producer = Value::Str(g.interner().lookup_symbol("producer").unwrap());
+        let phi1 = Gfd::new(
+            Pattern::edge(person, create, product),
+            vec![Literal::constant(1, ty, film)],
+            Rhs::Lit(Literal::constant(0, ty, producer)),
+        );
+        (g, vec![phi1.into()])
+    }
+
+    #[test]
+    fn clean_graph_stays_clean_on_benign_update() {
+        let (g, rules) = fixture();
+        let mut mon = ViolationMonitor::new(&g, rules);
+        assert!(mon.is_clean());
+        // Adding an unrelated attribute changes nothing.
+        let name = g.interner().attr("name");
+        let mut batch = UpdateBatch::new();
+        batch.set_attr(NodeId::from_index(0), name, Value::Int(1));
+        let delta = mon.apply(&batch);
+        assert!(delta.is_unchanged());
+        assert!(mon.is_clean());
+    }
+
+    #[test]
+    fn attribute_corruption_is_caught_and_repair_clears_it() {
+        let (g, rules) = fixture();
+        let ty = g.interner().lookup_attr("type").unwrap();
+        let high_jumper = Value::Str(g.interner().symbol("high_jumper"));
+        let producer = Value::Str(g.interner().lookup_symbol("producer").unwrap());
+        let mut mon = ViolationMonitor::new(&g, rules);
+
+        // Corrupt the creator of film 0 (node 0): John Winter becomes a
+        // high jumper (Example 1(a)).
+        let mut corrupt = UpdateBatch::new();
+        corrupt.set_attr(NodeId::from_index(0), ty, high_jumper);
+        let delta = mon.apply(&corrupt);
+        assert_eq!(delta.added(), 1);
+        assert_eq!(delta.removed(), 0);
+        assert_eq!(mon.total_violations(), 1);
+
+        // Repair restores cleanliness and reports the removal.
+        let mut repair = UpdateBatch::new();
+        repair.set_attr(NodeId::from_index(0), ty, producer);
+        let delta = mon.apply(&repair);
+        assert_eq!(delta.added(), 0);
+        assert_eq!(delta.removed(), 1);
+        assert!(mon.is_clean());
+    }
+
+    #[test]
+    fn edge_insertion_creates_and_removal_destroys_matches() {
+        let (g, rules) = fixture();
+        let create = g.interner().lookup_label("create").unwrap();
+        let ty = g.interner().lookup_attr("type").unwrap();
+        let mut mon = ViolationMonitor::new(&g, rules);
+
+        // A new person (untyped) creates film 0 → violation (RHS literal
+        // unsatisfied because `type` is missing).
+        let person = g.interner().lookup_label("person").unwrap();
+        let mut batch = UpdateBatch::new();
+        let newbie = batch.add_node(mon.graph().node_count(), person);
+        batch.add_edge(newbie, NodeId::from_index(1), create);
+        let delta = mon.apply(&batch);
+        assert_eq!(delta.added(), 1);
+
+        // Deleting the edge destroys the violating match.
+        let mut undo = UpdateBatch::new();
+        undo.remove_edge(newbie, NodeId::from_index(1), create);
+        let delta = mon.apply(&undo);
+        assert_eq!(delta.removed(), 1);
+        assert!(mon.is_clean());
+        let _ = ty;
+    }
+
+    #[test]
+    fn affected_pivots_stay_local() {
+        let (g, rules) = fixture();
+        let ty = g.interner().lookup_attr("type").unwrap();
+        let mut mon = ViolationMonitor::new(&g, rules);
+        let mut batch = UpdateBatch::new();
+        batch.set_attr(NodeId::from_index(0), ty, Value::Int(0));
+        let delta = mon.apply(&batch);
+        // Radius of a single-edge pattern is 1: only the touched person and
+        // its neighbourhood are candidate pivots, not all 6 persons.
+        assert!(delta.affected_pivots <= 2, "{}", delta.affected_pivots);
+    }
+
+    #[test]
+    fn extended_rules_are_monitored_too() {
+        use gfd_extended::{CmpOp, Term, XLiteral, XRhs};
+        let mut b = GraphBuilder::new();
+        let p = b.add_node("person");
+        let c = b.add_node("person");
+        b.set_attr(p, "birth", 1950i64);
+        b.set_attr(c, "birth", 1980i64);
+        b.add_edge(p, c, "parent");
+        let g = b.build();
+        let person = PLabel::Is(g.interner().lookup_label("person").unwrap());
+        let parent = PLabel::Is(g.interner().lookup_label("parent").unwrap());
+        let birth = g.interner().lookup_attr("birth").unwrap();
+        let rule = XGfd::new(
+            Pattern::edge(person, parent, person),
+            vec![],
+            XRhs::Lit(XLiteral::cmp_terms(
+                Term::new(1, birth),
+                CmpOp::Ge,
+                Term::new(0, birth),
+                12,
+            )),
+        );
+        let mut mon = ViolationMonitor::new(&g, vec![rule.into()]);
+        assert!(mon.is_clean());
+        // Shrink the age gap below 12 years.
+        let mut batch = UpdateBatch::new();
+        batch.set_attr(NodeId::from_index(1), birth, Value::Int(1955));
+        let delta = mon.apply(&batch);
+        assert_eq!(delta.added(), 1);
+        assert!(!mon.is_clean());
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let (g, rules) = fixture();
+        let mut mon = ViolationMonitor::new(&g, rules);
+        let delta = mon.apply(&UpdateBatch::new());
+        assert!(delta.is_unchanged());
+        assert_eq!(delta.affected_pivots, 0);
+    }
+}

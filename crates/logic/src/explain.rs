@@ -1,0 +1,297 @@
+//! Violation diagnosis for consistency checking (§1's use case).
+//!
+//! `G ⊭ φ` tells a curator *that* entities are inconsistent; repairing a
+//! knowledge base needs *why*: which match, which literal of the
+//! consequence failed, and what values the entities actually carry (the
+//! paper's Fig. 1 walk-throughs are exactly such diagnoses — "John is a
+//! high jumper, not a producer"). This module turns violations into
+//! structured, renderable explanations.
+
+use std::ops::ControlFlow;
+
+use gfd_graph::{Graph, NodeId, Value};
+use gfd_pattern::for_each_match;
+
+use crate::gfd::{Gfd, Rhs};
+use crate::literal::Literal;
+
+/// Why a specific match violates a GFD.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Cause {
+    /// The consequence literal failed; carries the observed values of its
+    /// left and right terms (`None` = attribute absent).
+    RhsFailed {
+        /// The failed literal.
+        literal: Literal,
+        /// Observed value of the literal's first term.
+        left: Option<Value>,
+        /// Observed value of the second term (`None` for constants means
+        /// the attribute is missing; for constant literals this echoes the
+        /// expected constant).
+        right: Option<Value>,
+    },
+    /// A negative GFD triggered: the premises hold on a structure that the
+    /// rule declares illegal.
+    ForbiddenStructure,
+}
+
+/// One diagnosed violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Explanation {
+    /// The violating match `h(x̄)`.
+    pub assignment: Vec<NodeId>,
+    /// The reason.
+    pub cause: Cause,
+}
+
+impl Explanation {
+    /// Renders a curator-facing one-liner, e.g.
+    /// `match [n0, n1]: x0.type is "high_jumper", expected "producer"`.
+    pub fn display(&self, phi: &Gfd, g: &Graph) -> String {
+        let interner = g.interner();
+        let nodes = self
+            .assignment
+            .iter()
+            .map(|n| format!("n{}", n.index()))
+            .collect::<Vec<_>>()
+            .join(", ");
+        match &self.cause {
+            Cause::ForbiddenStructure => format!(
+                "match [{nodes}]: forbidden structure {} exists",
+                phi.pattern().display(interner)
+            ),
+            Cause::RhsFailed {
+                literal,
+                left,
+                right,
+            } => {
+                let show = |v: &Option<Value>| match v {
+                    Some(v) => format!("\"{}\"", v.display(interner)),
+                    None => "<absent>".to_owned(),
+                };
+                match literal {
+                    Literal::Const { var, attr, value } => format!(
+                        "match [{nodes}]: x{var}.{} is {}, expected \"{}\"",
+                        interner.attr_name(*attr),
+                        show(left),
+                        value.display(interner)
+                    ),
+                    Literal::VarVar {
+                        lvar,
+                        lattr,
+                        rvar,
+                        rattr,
+                    } => format!(
+                        "match [{nodes}]: x{lvar}.{} = {} but x{rvar}.{} = {}",
+                        interner.attr_name(*lattr),
+                        show(left),
+                        interner.attr_name(*rattr),
+                        show(right)
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Diagnoses one match against `phi`; `None` when the match satisfies it.
+pub fn explain_match(phi: &Gfd, m: &[NodeId], g: &Graph) -> Option<Explanation> {
+    if !phi.lhs().iter().all(|lit| lit.satisfied(m, g)) {
+        return None; // premises fail: vacuously satisfied
+    }
+    match phi.rhs() {
+        Rhs::False => Some(Explanation {
+            assignment: m.to_vec(),
+            cause: Cause::ForbiddenStructure,
+        }),
+        Rhs::Lit(l) => {
+            if l.satisfied(m, g) {
+                return None;
+            }
+            let (left, right) = match l {
+                Literal::Const { var, attr, value } => {
+                    (g.attr(m[var], attr), Some(value))
+                }
+                Literal::VarVar {
+                    lvar,
+                    lattr,
+                    rvar,
+                    rattr,
+                } => (g.attr(m[lvar], lattr), g.attr(m[rvar], rattr)),
+            };
+            Some(Explanation {
+                assignment: m.to_vec(),
+                cause: Cause::RhsFailed {
+                    literal: l,
+                    left,
+                    right,
+                },
+            })
+        }
+    }
+}
+
+/// Diagnoses up to `limit` violations of `phi` in `g`.
+pub fn explain_violations(g: &Graph, phi: &Gfd, limit: usize) -> Vec<Explanation> {
+    let mut out = Vec::new();
+    let _ = for_each_match(phi.pattern(), g, |m| {
+        if let Some(e) = explain_match(phi, m, g) {
+            out.push(e);
+            if out.len() >= limit {
+                return ControlFlow::Break(());
+            }
+        }
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_graph::GraphBuilder;
+    use gfd_pattern::{End, Extension, PLabel, Pattern};
+
+    fn fig1_g1() -> (Graph, Gfd) {
+        let mut b = GraphBuilder::new();
+        let john = b.add_node("person");
+        let film = b.add_node("product");
+        b.set_attr(john, "type", "high_jumper");
+        b.set_attr(film, "type", "film");
+        b.add_edge(john, film, "create");
+        let g = b.build();
+        let i = g.interner();
+        let q = Pattern::edge(
+            PLabel::Is(i.label("person")),
+            PLabel::Is(i.label("create")),
+            PLabel::Is(i.label("product")),
+        );
+        let ty = i.attr("type");
+        let phi = Gfd::new(
+            q,
+            vec![Literal::constant(1, ty, Value::Str(i.symbol("film")))],
+            Rhs::Lit(Literal::constant(0, ty, Value::Str(i.symbol("producer")))),
+        );
+        (g, phi)
+    }
+
+    #[test]
+    fn explains_constant_mismatch() {
+        let (g, phi) = fig1_g1();
+        let ex = explain_violations(&g, &phi, 10);
+        assert_eq!(ex.len(), 1);
+        let msg = ex[0].display(&phi, &g);
+        assert!(msg.contains("high_jumper"), "{msg}");
+        assert!(msg.contains("expected \"producer\""), "{msg}");
+        match &ex[0].cause {
+            Cause::RhsFailed { left, .. } => {
+                assert_eq!(
+                    *left,
+                    Some(Value::Str(g.interner().lookup_symbol("high_jumper").unwrap()))
+                );
+            }
+            other => panic!("unexpected cause {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explains_missing_attribute() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("person");
+        let f = b.add_node("product");
+        b.set_attr(f, "type", "film");
+        b.add_edge(x, f, "create");
+        let g = b.build();
+        let i = g.interner();
+        let ty = i.lookup_attr("type").unwrap();
+        let q = Pattern::edge(
+            PLabel::Is(i.label("person")),
+            PLabel::Is(i.label("create")),
+            PLabel::Is(i.label("product")),
+        );
+        let phi = Gfd::new(
+            q,
+            vec![Literal::constant(1, ty, Value::Str(i.symbol("film")))],
+            Rhs::Lit(Literal::constant(0, ty, Value::Str(i.symbol("producer")))),
+        );
+        let ex = explain_violations(&g, &phi, 10);
+        assert_eq!(ex.len(), 1);
+        let msg = ex[0].display(&phi, &g);
+        assert!(msg.contains("<absent>"), "{msg}");
+    }
+
+    #[test]
+    fn explains_var_var_disagreement() {
+        let mut b = GraphBuilder::new();
+        let sp = b.add_node("city");
+        let ru = b.add_node("country");
+        let fl = b.add_node("city");
+        b.set_attr(ru, "name", "Russia");
+        b.set_attr(fl, "name", "Florida");
+        b.add_edge(sp, ru, "located");
+        b.add_edge(sp, fl, "located");
+        let g = b.build();
+        let i = g.interner();
+        let name = i.lookup_attr("name").unwrap();
+        let q = Pattern::new(
+            vec![PLabel::Is(i.label("city")), PLabel::Wildcard, PLabel::Wildcard],
+            vec![
+                gfd_pattern::PEdge {
+                    src: 0,
+                    dst: 1,
+                    label: PLabel::Is(i.label("located")),
+                },
+                gfd_pattern::PEdge {
+                    src: 0,
+                    dst: 2,
+                    label: PLabel::Is(i.label("located")),
+                },
+            ],
+            0,
+        );
+        let phi = Gfd::new(q, vec![], Rhs::Lit(Literal::var_var(1, name, 2, name)));
+        let ex = explain_violations(&g, &phi, 1);
+        assert_eq!(ex.len(), 1);
+        let msg = ex[0].display(&phi, &g);
+        assert!(msg.contains("Russia") || msg.contains("Florida"), "{msg}");
+    }
+
+    #[test]
+    fn explains_forbidden_structure() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("person");
+        let y = b.add_node("person");
+        b.add_edge(x, y, "parent");
+        b.add_edge(y, x, "parent");
+        let g = b.build();
+        let i = g.interner();
+        let person = PLabel::Is(i.label("person"));
+        let parent = PLabel::Is(i.label("parent"));
+        let q = Pattern::edge(person, parent, person).extend(&Extension {
+            src: End::Var(1),
+            dst: End::Var(0),
+            label: parent,
+        });
+        let phi = Gfd::new(q, vec![], Rhs::False);
+        let ex = explain_violations(&g, &phi, 10);
+        assert_eq!(ex.len(), 2); // both orientations
+        assert!(matches!(ex[0].cause, Cause::ForbiddenStructure));
+        assert!(ex[0].display(&phi, &g).contains("forbidden structure"));
+    }
+
+    #[test]
+    fn satisfied_matches_yield_nothing() {
+        let (g, phi) = fig1_g1();
+        // Vacuous match: premise fails → no explanation.
+        let weak = Gfd::new(
+            phi.pattern().clone(),
+            vec![Literal::constant(
+                1,
+                g.interner().lookup_attr("type").unwrap(),
+                Value::Int(424_242),
+            )],
+            phi.rhs(),
+        );
+        assert!(explain_violations(&g, &weak, 10).is_empty());
+    }
+}

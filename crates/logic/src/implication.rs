@@ -1,0 +1,232 @@
+//! The implication problem for GFDs (§3).
+//!
+//! `Σ ⊨ φ` for `φ = Q[x̄](X → l)` iff `closure(Σ_Q, X)` is conflicting or
+//! `l ∈ closure(Σ_Q, X)` (Lemma 7 of [Fan–Wu–Xu, SIGMOD'16], restated in
+//! §3). The closure applies all GFDs of `Σ` embedded in `Q` to a fixpoint,
+//! so the check is fixed-parameter tractable in `k = |x̄|` (Theorem 1(a)).
+
+use crate::closure::closure_of_refs;
+use crate::gfd::{Gfd, Rhs};
+
+/// Decides `Σ ⊨ φ`.
+pub fn implies(sigma: &[Gfd], phi: &Gfd) -> bool {
+    implies_refs(sigma.iter(), phi)
+}
+
+/// [`implies`] over borrowed GFDs — cover computation passes filtered views
+/// of `Σ` without cloning.
+pub fn implies_refs<'a>(sigma: impl IntoIterator<Item = &'a Gfd>, phi: &Gfd) -> bool {
+    let c = closure_of_refs(phi.pattern(), sigma, phi.lhs());
+    if c.is_conflicting() {
+        return true;
+    }
+    match phi.rhs() {
+        Rhs::Lit(l) => c.holds(&l),
+        Rhs::False => false,
+    }
+}
+
+/// Whether two rule sets are equivalent (`Σ ≡ Σ'`, §2.2): each implies
+/// every member of the other. Used to check that covers preserve meaning.
+pub fn equivalent(sigma: &[Gfd], other: &[Gfd]) -> bool {
+    other.iter().all(|phi| implies(sigma, phi)) && sigma.iter().all(|phi| implies(other, phi))
+}
+
+/// Decides `Σ \ {σ_i} ⊨ σ_i` without materialising the reduced slice
+/// (used by cover computation; `skip` is the index of the candidate).
+pub fn implied_by_rest(sigma: &[Gfd], skip: usize) -> bool {
+    implies_refs(
+        sigma
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != skip)
+            .map(|(_, g)| g),
+        &sigma[skip],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::literal::Literal;
+    use gfd_graph::{AttrId, LabelId, Value};
+    use gfd_pattern::{End, Extension, PLabel, Pattern};
+
+    fn l(i: u32) -> PLabel {
+        PLabel::Is(LabelId(i))
+    }
+
+    fn a(i: u16) -> AttrId {
+        AttrId(i)
+    }
+
+    fn v(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    #[test]
+    fn gfd_implies_itself() {
+        let phi = Gfd::new(
+            Pattern::edge(l(0), l(1), l(2)),
+            vec![Literal::constant(1, a(0), v(1))],
+            Rhs::Lit(Literal::constant(0, a(0), v(2))),
+        );
+        assert!(implies(std::slice::from_ref(&phi), &phi));
+        assert!(!implies(&[], &phi));
+    }
+
+    #[test]
+    fn weaker_premises_imply_stronger() {
+        // σ: Q(∅ → x0.A=1) implies φ: Q(x1.B=9 → x0.A=1).
+        let q = Pattern::edge(l(0), l(1), l(2));
+        let sigma = Gfd::new(
+            q.clone(),
+            vec![],
+            Rhs::Lit(Literal::constant(0, a(0), v(1))),
+        );
+        let phi = Gfd::new(
+            q.clone(),
+            vec![Literal::constant(1, a(1), v(9))],
+            Rhs::Lit(Literal::constant(0, a(0), v(1))),
+        );
+        assert!(implies(std::slice::from_ref(&sigma), &phi));
+        // The converse fails.
+        assert!(!implies(&[phi], &sigma));
+    }
+
+    #[test]
+    fn smaller_pattern_implies_larger() {
+        // σ on single-edge Q embeds into φ's extended pattern Q'.
+        let q = Pattern::edge(l(0), l(1), l(2));
+        let q2 = q.extend(&Extension {
+            src: End::Var(1),
+            dst: End::New(l(3)),
+            label: l(4),
+        });
+        let sigma = Gfd::new(
+            q,
+            vec![Literal::constant(1, a(0), v(1))],
+            Rhs::Lit(Literal::constant(0, a(0), v(2))),
+        );
+        let phi = Gfd::new(
+            q2,
+            vec![Literal::constant(1, a(0), v(1))],
+            Rhs::Lit(Literal::constant(0, a(0), v(2))),
+        );
+        assert!(implies(std::slice::from_ref(&sigma), &phi));
+        // Larger-pattern GFD does not imply the smaller one.
+        let (small, big) = (sigma, phi);
+        assert!(!implies(&[big], &small));
+    }
+
+    #[test]
+    fn transitivity_chain() {
+        // A=1→B=2 and B=2→C=3 imply A=1→C=3 on the same pattern.
+        let q = Pattern::single(PLabel::Wildcard);
+        let r1 = Gfd::new(
+            q.clone(),
+            vec![Literal::constant(0, a(0), v(1))],
+            Rhs::Lit(Literal::constant(0, a(1), v(2))),
+        );
+        let r2 = Gfd::new(
+            q.clone(),
+            vec![Literal::constant(0, a(1), v(2))],
+            Rhs::Lit(Literal::constant(0, a(2), v(3))),
+        );
+        let phi = Gfd::new(
+            q.clone(),
+            vec![Literal::constant(0, a(0), v(1))],
+            Rhs::Lit(Literal::constant(0, a(2), v(3))),
+        );
+        assert!(implies(&[r1.clone(), r2.clone()], &phi));
+        assert!(!implies(&[r1], &phi));
+    }
+
+    #[test]
+    fn conflicting_premises_imply_anything() {
+        let q = Pattern::single(l(0));
+        let phi = Gfd::new(
+            q,
+            vec![
+                Literal::constant(0, a(0), v(1)),
+                Literal::constant(0, a(0), v(2)),
+            ],
+            Rhs::Lit(Literal::constant(0, a(5), v(9))),
+        );
+        assert!(implies(&[], &phi));
+    }
+
+    #[test]
+    fn negative_gfd_implication() {
+        // σ: Q(X→false) implies φ: Q(X ∪ {more} → false).
+        let q = Pattern::edge(l(0), l(1), l(0));
+        let x = Literal::constant(0, a(0), v(1));
+        let y = Literal::constant(1, a(0), v(2));
+        let sigma = Gfd::new(q.clone(), vec![x], Rhs::False);
+        let phi = Gfd::new(q.clone(), vec![x, y], Rhs::False);
+        assert!(implies(std::slice::from_ref(&sigma), &phi));
+        assert!(!implies(&[phi], &sigma));
+        // A negative GFD is not implied by an empty set.
+        assert!(!implies(&[], &sigma));
+    }
+
+    #[test]
+    fn wildcard_gfd_implies_concrete_instance() {
+        // σ on _-_->_ pattern implies the person-create->product instance.
+        let wild = Pattern::edge(PLabel::Wildcard, PLabel::Wildcard, PLabel::Wildcard);
+        let concrete = Pattern::edge(l(0), l(1), l(2));
+        let dep = (
+            vec![Literal::constant(1, a(0), v(1))],
+            Literal::constant(0, a(0), v(2)),
+        );
+        let sigma = Gfd::new(wild, dep.0.clone(), Rhs::Lit(dep.1));
+        let phi = Gfd::new(concrete, dep.0, Rhs::Lit(dep.1));
+        assert!(implies(std::slice::from_ref(&sigma), &phi));
+        assert!(!implies(&[phi], &sigma));
+    }
+
+    #[test]
+    fn equivalence_of_covers() {
+        let q = Pattern::single(PLabel::Wildcard);
+        let ab = Gfd::new(
+            q.clone(),
+            vec![Literal::constant(0, a(0), v(1))],
+            Rhs::Lit(Literal::constant(0, a(1), v(2))),
+        );
+        let bc = Gfd::new(
+            q.clone(),
+            vec![Literal::constant(0, a(1), v(2))],
+            Rhs::Lit(Literal::constant(0, a(2), v(3))),
+        );
+        let ac = Gfd::new(
+            q.clone(),
+            vec![Literal::constant(0, a(0), v(1))],
+            Rhs::Lit(Literal::constant(0, a(2), v(3))),
+        );
+        let full = vec![ab.clone(), bc.clone(), ac];
+        let cover = vec![ab.clone(), bc];
+        assert!(equivalent(&full, &cover));
+        assert!(!equivalent(&[ab], &full));
+        assert!(equivalent(&[], &[]));
+    }
+
+    #[test]
+    fn implied_by_rest_views() {
+        let q = Pattern::single(PLabel::Wildcard);
+        let r = Gfd::new(
+            q.clone(),
+            vec![],
+            Rhs::Lit(Literal::constant(0, a(0), v(1))),
+        );
+        let dup = r.clone();
+        let other = Gfd::new(
+            q.clone(),
+            vec![],
+            Rhs::Lit(Literal::constant(0, a(1), v(2))),
+        );
+        let sigma = vec![r, dup, other];
+        assert!(implied_by_rest(&sigma, 0));
+        assert!(implied_by_rest(&sigma, 1));
+        assert!(!implied_by_rest(&sigma, 2));
+    }
+}

@@ -1,0 +1,252 @@
+//! Literals of `x̄` (§2.2): `x.A = c` and `x.A = y.B`.
+
+use gfd_graph::{AttrId, Graph, Interner, NodeId, Value};
+use gfd_pattern::Var;
+
+/// A literal over the variables of a pattern.
+///
+/// Variable–variable literals are stored in normalised order
+/// (`(var, attr)` pairs sorted), so syntactically equal constraints compare
+/// and hash equal regardless of how they were written.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Literal {
+    /// `x.A = c` — a constant binding (CFD-style, §2.2).
+    Const {
+        /// The variable `x`.
+        var: Var,
+        /// The attribute `A`.
+        attr: AttrId,
+        /// The constant `c`.
+        value: Value,
+    },
+    /// `x.A = y.B` — a variable equality.
+    VarVar {
+        /// Lesser `(variable, attribute)` term.
+        lvar: Var,
+        /// Its attribute.
+        lattr: AttrId,
+        /// Greater `(variable, attribute)` term.
+        rvar: Var,
+        /// Its attribute.
+        rattr: AttrId,
+    },
+}
+
+impl Literal {
+    /// Builds `x.A = c`.
+    pub fn constant(var: Var, attr: AttrId, value: Value) -> Literal {
+        Literal::Const { var, attr, value }
+    }
+
+    /// Builds `x.A = y.B`, normalising term order.
+    ///
+    /// # Panics
+    /// Panics on the degenerate identity `x.A = x.A`.
+    pub fn var_var(xvar: Var, xattr: AttrId, yvar: Var, yattr: AttrId) -> Literal {
+        assert!(
+            (xvar, xattr) != (yvar, yattr),
+            "trivial literal x.A = x.A is not allowed"
+        );
+        if (xvar, xattr) <= (yvar, yattr) {
+            Literal::VarVar {
+                lvar: xvar,
+                lattr: xattr,
+                rvar: yvar,
+                rattr: yattr,
+            }
+        } else {
+            Literal::VarVar {
+                lvar: yvar,
+                lattr: yattr,
+                rvar: xvar,
+                rattr: xattr,
+            }
+        }
+    }
+
+    /// Variables mentioned by the literal.
+    pub fn vars(&self) -> impl Iterator<Item = Var> {
+        let (a, b) = match self {
+            Literal::Const { var, .. } => (*var, None),
+            Literal::VarVar { lvar, rvar, .. } => (*lvar, Some(*rvar)),
+        };
+        std::iter::once(a).chain(b)
+    }
+
+    /// Largest variable index mentioned.
+    pub fn max_var(&self) -> Var {
+        self.vars().max().expect("literal mentions a variable")
+    }
+
+    /// Applies the variable mapping `f` (total remap, e.g. an embedding
+    /// image vector indexed by old variable).
+    pub fn remap(&self, f: &[Var]) -> Literal {
+        match *self {
+            Literal::Const { var, attr, value } => Literal::Const {
+                var: f[var],
+                attr,
+                value,
+            },
+            Literal::VarVar {
+                lvar,
+                lattr,
+                rvar,
+                rattr,
+            } => Literal::var_var(f[lvar], lattr, f[rvar], rattr),
+        }
+    }
+
+    /// Applies a partial variable mapping, failing when a mentioned variable
+    /// was dropped (used after edge removal in pattern reduction).
+    pub fn remap_partial(&self, f: &[Option<Var>]) -> Option<Literal> {
+        match *self {
+            Literal::Const { var, attr, value } => Some(Literal::Const {
+                var: f[var]?,
+                attr,
+                value,
+            }),
+            Literal::VarVar {
+                lvar,
+                lattr,
+                rvar,
+                rattr,
+            } => Some(Literal::var_var(f[lvar]?, lattr, f[rvar]?, rattr)),
+        }
+    }
+
+    /// Whether match `m` satisfies the literal in `g` (§2.2): a constant
+    /// literal needs the attribute present with exactly that value; a
+    /// variable literal needs both attributes present and equal.
+    pub fn satisfied(&self, m: &[NodeId], g: &Graph) -> bool {
+        match *self {
+            Literal::Const { var, attr, value } => g.attr(m[var], attr) == Some(value),
+            Literal::VarVar {
+                lvar,
+                lattr,
+                rvar,
+                rattr,
+            } => match (g.attr(m[lvar], lattr), g.attr(m[rvar], rattr)) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            },
+        }
+    }
+
+    /// Human-readable rendering, e.g. `x0.type="film"`, `x1.age=34`, or
+    /// `x1.name=x2.name`. Only string constants are quoted — the parser
+    /// reads quoted tokens as strings, so quoting an integer would change
+    /// its type across a round-trip.
+    pub fn display(&self, interner: &Interner) -> String {
+        match *self {
+            Literal::Const { var, attr, value } => match value {
+                Value::Int(i) => format!("x{}.{}={}", var, interner.attr_name(attr), i),
+                Value::Str(_) => format!(
+                    "x{}.{}=\"{}\"",
+                    var,
+                    interner.attr_name(attr),
+                    value.display(interner)
+                ),
+            },
+            Literal::VarVar {
+                lvar,
+                lattr,
+                rvar,
+                rattr,
+            } => format!(
+                "x{}.{}=x{}.{}",
+                lvar,
+                interner.attr_name(lattr),
+                rvar,
+                interner.attr_name(rattr)
+            ),
+        }
+    }
+}
+
+/// Sorts and de-duplicates a literal set into canonical form.
+pub fn normalize_literals(mut lits: Vec<Literal>) -> Vec<Literal> {
+    lits.sort_unstable();
+    lits.dedup();
+    lits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_graph::GraphBuilder;
+
+    #[test]
+    fn var_var_normalises() {
+        let a = Literal::var_var(2, AttrId(0), 1, AttrId(3));
+        let b = Literal::var_var(1, AttrId(3), 2, AttrId(0));
+        assert_eq!(a, b);
+        assert_eq!(a.max_var(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "trivial literal")]
+    fn identity_literal_rejected() {
+        let _ = Literal::var_var(0, AttrId(1), 0, AttrId(1));
+    }
+
+    #[test]
+    fn satisfaction_semantics() {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node("person");
+        let n1 = b.add_node("person");
+        let n2 = b.add_node("person");
+        b.set_attr(n0, "name", "ann");
+        b.set_attr(n1, "name", "ann");
+        b.set_attr(n2, "age", 5i64);
+        let g = b.build();
+        let name = g.interner().lookup_attr("name").unwrap();
+        let age = g.interner().lookup_attr("age").unwrap();
+        let ann = Value::Str(g.interner().lookup_symbol("ann").unwrap());
+
+        let m = [n0, n1, n2];
+        assert!(Literal::constant(0, name, ann).satisfied(&m, &g));
+        assert!(!Literal::constant(2, name, ann).satisfied(&m, &g)); // attr missing
+        assert!(Literal::var_var(0, name, 1, name).satisfied(&m, &g));
+        // Missing attribute on either side fails a var-var literal.
+        assert!(!Literal::var_var(0, name, 2, name).satisfied(&m, &g));
+        assert!(Literal::constant(2, age, Value::Int(5)).satisfied(&m, &g));
+        assert!(!Literal::constant(2, age, Value::Int(6)).satisfied(&m, &g));
+    }
+
+    #[test]
+    fn remapping() {
+        let lit = Literal::var_var(0, AttrId(1), 1, AttrId(2));
+        let mapped = lit.remap(&[3, 2]);
+        assert_eq!(mapped, Literal::var_var(2, AttrId(2), 3, AttrId(1)));
+
+        let partial = lit.remap_partial(&[Some(0), None]);
+        assert_eq!(partial, None);
+        let c = Literal::constant(1, AttrId(0), Value::Int(1));
+        assert_eq!(
+            c.remap_partial(&[None, Some(0)]),
+            Some(Literal::constant(0, AttrId(0), Value::Int(1)))
+        );
+    }
+
+    #[test]
+    fn normalization_dedups() {
+        let a = Literal::constant(0, AttrId(0), Value::Int(1));
+        let b = Literal::var_var(1, AttrId(0), 0, AttrId(0));
+        let c = Literal::var_var(0, AttrId(0), 1, AttrId(0));
+        let lits = normalize_literals(vec![b, a, c, a]);
+        assert_eq!(lits.len(), 2);
+        assert!(lits.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn display_forms() {
+        let i = Interner::new();
+        let name = i.attr("name");
+        let v = Value::Str(i.symbol("film"));
+        assert_eq!(Literal::constant(1, name, v).display(&i), "x1.name=\"film\"");
+        assert_eq!(
+            Literal::var_var(0, name, 1, name).display(&i),
+            "x0.name=x1.name"
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! The GFD reduction order `φ₁ ≪ φ₂` (§4.1).
+//!
+//! For positive GFDs `φ₁ = Q₁[x̄₁](X₁ → l₁)` and `φ₂ = Q₂[x̄₂](X₂ → l₂)`:
+//! `φ₁ ≪ φ₂` iff there is an isomorphism `f` from `Q₁` to a subgraph of
+//! `Q₂` such that (a) `f` preserves pivots, (b) `f(X₁) ⊆ X₂` and
+//! `f(l₁) = l₂`, and (c) `Q₁ ≪ Q₂` via `f` *or* `f(X₁) ⊊ X₂`.
+//! Intuitively: `φ₁` imposes the same consequence with weaker topology or
+//! weaker premises, making `φ₂` redundant when `φ₁` holds.
+
+use std::ops::ControlFlow;
+
+use gfd_pattern::{for_each_embedding, strictly_reducing, EmbedOptions, Var};
+
+use crate::gfd::{Gfd, Rhs};
+use crate::literal::Literal;
+
+/// Decides `phi1 ≪ phi2`. Negative GFDs have their own minimality notion
+/// (§4.1, "reduced negative GFDs"); comparing a negative against anything
+/// returns `false` here except pairs of negatives with matching `false`
+/// consequences, which reduce through the same pattern/premise conditions.
+pub fn gfd_reduces(phi1: &Gfd, phi2: &Gfd) -> bool {
+    match (phi1.rhs(), phi2.rhs()) {
+        (Rhs::Lit(_), Rhs::Lit(_)) | (Rhs::False, Rhs::False) => {}
+        _ => return false,
+    }
+    let mut found = false;
+    let _ = for_each_embedding(
+        phi1.pattern(),
+        phi2.pattern(),
+        EmbedOptions {
+            preserve_pivot: true,
+        },
+        |f| {
+            if witnesses_reduction(phi1, phi2, f) {
+                found = true;
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        },
+    );
+    found
+}
+
+fn witnesses_reduction(phi1: &Gfd, phi2: &Gfd, f: &[Var]) -> bool {
+    // (b) f(X1) ⊆ X2 and f(l1) = l2.
+    let mapped: Vec<Literal> = phi1.lhs().iter().map(|l| l.remap(f)).collect();
+    if !mapped.iter().all(|l| phi2.lhs().contains(l)) {
+        return false;
+    }
+    match (phi1.rhs(), phi2.rhs()) {
+        (Rhs::Lit(l1), Rhs::Lit(l2)) => {
+            if l1.remap(f) != l2 {
+                return false;
+            }
+        }
+        (Rhs::False, Rhs::False) => {}
+        _ => return false,
+    }
+    // (c) strictly smaller pattern via f, or strictly fewer premises.
+    strictly_reducing(phi1.pattern(), phi2.pattern(), f) || mapped.len() < phi2.lhs().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_graph::{AttrId, LabelId, Value};
+    use gfd_pattern::{End, Extension, PLabel, Pattern};
+
+    fn l(i: u32) -> PLabel {
+        PLabel::Is(LabelId(i))
+    }
+
+    fn a(i: u16) -> AttrId {
+        AttrId(i)
+    }
+
+    fn v(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    /// Example 4 of the paper: φ1 ≪ φ1¹ (pattern + premise extension), but
+    /// φ1 ⋘̸ φ1² (premises not a superset).
+    #[test]
+    fn example_4() {
+        let q1 = Pattern::edge(l(0), l(1), l(2)); // person -create-> product
+        let x1 = Literal::constant(1, a(0), v(10)); // y.type = film
+        let rhs = Literal::constant(0, a(0), v(20)); // x.type = producer
+        let phi1 = Gfd::new(q1.clone(), vec![x1], Rhs::Lit(rhs));
+
+        // Q1^1: add award node z; X^1 = X1 ∪ {y.name = 'Selling out'}.
+        let q11 = q1.extend(&Extension {
+            src: End::Var(1),
+            dst: End::New(l(3)),
+            label: l(4),
+        });
+        let selling_out = Literal::constant(1, a(1), v(30));
+        let phi11 = Gfd::new(q11.clone(), vec![x1, selling_out], Rhs::Lit(rhs));
+        assert!(gfd_reduces(&phi1, &phi11));
+        assert!(!gfd_reduces(&phi11, &phi1));
+
+        // φ1²: X^2 = {y.name='Selling out'} only — X1 ⊄ X², so φ1 ⋘̸ φ1².
+        let phi12 = Gfd::new(q11, vec![selling_out], Rhs::Lit(rhs));
+        assert!(!gfd_reduces(&phi1, &phi12));
+    }
+
+    #[test]
+    fn premise_subset_reduces_on_same_pattern() {
+        let q = Pattern::edge(l(0), l(1), l(2));
+        let x1 = Literal::constant(1, a(0), v(1));
+        let x2 = Literal::constant(0, a(1), v(2));
+        let rhs = Literal::constant(0, a(0), v(3));
+        let weak = Gfd::new(q.clone(), vec![x1], Rhs::Lit(rhs));
+        let strong = Gfd::new(q.clone(), vec![x1, x2], Rhs::Lit(rhs));
+        assert!(gfd_reduces(&weak, &strong));
+        assert!(!gfd_reduces(&strong, &weak));
+        // Equal GFDs do not reduce each other (strictness).
+        assert!(!gfd_reduces(&weak, &weak));
+    }
+
+    #[test]
+    fn wildcard_upgrade_reduces() {
+        let q = Pattern::edge(l(0), l(1), l(2));
+        let rhs = Literal::constant(0, a(0), v(3));
+        let concrete = Gfd::new(q.clone(), vec![], Rhs::Lit(rhs));
+        let wild = Gfd::new(q.upgrade_node(1), vec![], Rhs::Lit(rhs));
+        assert!(gfd_reduces(&wild, &concrete));
+        assert!(!gfd_reduces(&concrete, &wild));
+    }
+
+    #[test]
+    fn pivot_must_be_preserved() {
+        // Same single-node consequence, but pivots at structurally
+        // *different* positions (distinct labels force the image).
+        let q_at_src = Pattern::edge(l(0), l(1), l(2)); // pivot = x0 (label 0)
+        let q_at_dst = q_at_src.with_pivot(1);
+        let rhs_src = Literal::constant(0, a(0), v(1));
+        let phi_src = Gfd::new(Pattern::single(l(0)), vec![], Rhs::Lit(rhs_src));
+        // Embeds into q_at_src preserving pivot.
+        let host_src = Gfd::new(q_at_src, vec![], Rhs::Lit(rhs_src));
+        assert!(gfd_reduces(&phi_src, &host_src));
+        // Does NOT reduce the dst-pivoted variant: pivot would land on x1.
+        let host_dst = Gfd::new(q_at_dst, vec![], Rhs::Lit(rhs_src));
+        assert!(!gfd_reduces(&phi_src, &host_dst));
+    }
+
+    #[test]
+    fn mismatched_rhs_blocks_reduction() {
+        let q = Pattern::edge(l(0), l(1), l(2));
+        let r1 = Gfd::new(q.clone(), vec![], Rhs::Lit(Literal::constant(0, a(0), v(1))));
+        let r2 = Gfd::new(q.clone(), vec![], Rhs::Lit(Literal::constant(0, a(0), v(2))));
+        assert!(!gfd_reduces(&r1, &r2));
+        let neg = Gfd::new(q.clone(), vec![Literal::constant(0, a(0), v(1))], Rhs::False);
+        assert!(!gfd_reduces(&r1, &neg));
+        assert!(!gfd_reduces(&neg, &r1));
+    }
+
+    #[test]
+    fn negative_pair_reduction() {
+        let q = Pattern::edge(l(0), l(1), l(0));
+        let x = Literal::constant(0, a(0), v(1));
+        let y = Literal::constant(1, a(0), v(2));
+        let small = Gfd::new(q.clone(), vec![x], Rhs::False);
+        let big = Gfd::new(q.clone(), vec![x, y], Rhs::False);
+        assert!(gfd_reduces(&small, &big));
+        assert!(!gfd_reduces(&big, &small));
+    }
+}

@@ -1,0 +1,138 @@
+//! The satisfiability problem for GFDs (§3).
+//!
+//! A set `Σ` is satisfiable when some graph `G` satisfies `Σ` **and** at
+//! least one pattern of `Σ` has a match in `G` (so the set is not vacuous).
+//! Following the characterisation used by the algorithm in the proof of
+//! Theorem 1 (Lemma 3 of [Fan–Wu–Xu, SIGMOD'16]): `Σ` is satisfiable iff
+//! there exists a GFD `Q[x̄](X → l)` in `Σ` whose `enforced(Σ_Q)` is not
+//! conflicting.
+//!
+//! (The prose statement in §3 of the discovery paper says "for all
+//! patterns"; its own proof — "return false if conflicting for *all* GFDs"
+//! — and the original lemma use the existential form, which we follow. A
+//! counterexample to the universal form: `Σ = {Q(∅→false), Q'(∅→l)}` with
+//! `Q` not embeddable in `Q'` is satisfiable by a graph matching only `Q'`,
+//! even though `enforced(Σ_Q)` conflicts.)
+
+use crate::closure::enforced;
+use crate::gfd::Gfd;
+
+/// Decides satisfiability of `Σ` via the fixed-parameter-tractable
+/// characterisation (Theorem 1(a)): `O(|Σ|² · k^k)`.
+///
+/// The empty set is unsatisfiable by definition (condition (b) requires a
+/// GFD whose pattern matches).
+pub fn is_satisfiable(sigma: &[Gfd]) -> bool {
+    sigma
+        .iter()
+        .any(|phi| !enforced(phi.pattern(), sigma).is_conflicting())
+}
+
+/// Finds a witness GFD whose pattern can match in some model of `Σ`.
+pub fn satisfiable_witness(sigma: &[Gfd]) -> Option<usize> {
+    sigma
+        .iter()
+        .position(|phi| !enforced(phi.pattern(), sigma).is_conflicting())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gfd::Rhs;
+    use crate::literal::Literal;
+    use gfd_graph::{AttrId, LabelId, Value};
+    use gfd_pattern::{End, Extension, PLabel, Pattern};
+
+    fn l(i: u32) -> PLabel {
+        PLabel::Is(LabelId(i))
+    }
+
+    #[test]
+    fn empty_set_is_unsatisfiable() {
+        assert!(!is_satisfiable(&[]));
+    }
+
+    #[test]
+    fn single_positive_gfd_is_satisfiable() {
+        let phi = Gfd::new(
+            Pattern::edge(l(0), l(1), l(2)),
+            vec![Literal::constant(1, AttrId(0), Value::Int(1))],
+            Rhs::Lit(Literal::constant(0, AttrId(0), Value::Int(2))),
+        );
+        assert!(is_satisfiable(&[phi]));
+    }
+
+    #[test]
+    fn contradictory_constants_unsatisfiable() {
+        // Q(∅ → x.A=1) and Q(∅ → x.A=2) on the same single-node pattern.
+        let q = Pattern::single(l(0));
+        let a = Gfd::new(
+            q.clone(),
+            vec![],
+            Rhs::Lit(Literal::constant(0, AttrId(0), Value::Int(1))),
+        );
+        let b = Gfd::new(
+            q.clone(),
+            vec![],
+            Rhs::Lit(Literal::constant(0, AttrId(0), Value::Int(2))),
+        );
+        assert!(!is_satisfiable(&[a.clone(), b.clone()]));
+        assert!(is_satisfiable(&[a]));
+    }
+
+    #[test]
+    fn pure_negative_gfd_set_is_unsatisfiable() {
+        // {Q3(∅→false)} alone: the only pattern may never match.
+        let person = l(0);
+        let parent = l(1);
+        let q3 = Pattern::edge(person, parent, person).extend(&Extension {
+            src: End::Var(1),
+            dst: End::Var(0),
+            label: parent,
+        });
+        let neg = Gfd::new(q3, vec![], Rhs::False);
+        assert!(!is_satisfiable(&[neg]));
+    }
+
+    #[test]
+    fn negative_plus_independent_positive_is_satisfiable() {
+        // The documented counterexample to the universal-form prose: a graph
+        // containing only the positive pattern satisfies both.
+        let person = l(0);
+        let parent = l(1);
+        let q3 = Pattern::edge(person, parent, person).extend(&Extension {
+            src: End::Var(1),
+            dst: End::Var(0),
+            label: parent,
+        });
+        let neg = Gfd::new(q3, vec![], Rhs::False);
+        let pos = Gfd::new(
+            Pattern::edge(l(2), l(3), l(4)),
+            vec![],
+            Rhs::Lit(Literal::constant(0, AttrId(0), Value::Int(1))),
+        );
+        let sigma = vec![neg, pos];
+        assert!(is_satisfiable(&sigma));
+        assert_eq!(satisfiable_witness(&sigma), Some(1));
+    }
+
+    #[test]
+    fn negative_embedded_in_positive_pattern_conflicts() {
+        // neg: single-edge Q(∅→false); pos on an extension of Q. The negative
+        // GFD embeds into the positive's pattern, so no model can match the
+        // positive's pattern either.
+        let q = Pattern::edge(l(0), l(1), l(2));
+        let neg = Gfd::new(q.clone(), vec![], Rhs::False);
+        let q2 = q.extend(&Extension {
+            src: End::Var(1),
+            dst: End::New(l(3)),
+            label: l(4),
+        });
+        let pos = Gfd::new(
+            q2,
+            vec![],
+            Rhs::Lit(Literal::constant(2, AttrId(0), Value::Int(1))),
+        );
+        assert!(!is_satisfiable(&[neg, pos]));
+    }
+}

@@ -1,0 +1,410 @@
+//! Textual (de)serialisation of GFDs.
+//!
+//! Round-trips the human-readable display syntax, one rule per line:
+//!
+//! ```text
+//! Q[x0:person*, x1:product; x0-create->x1](x1.type="film" -> x0.type="producer")
+//! Q[x0:person*, x1:person; x0-parent->x1, x1-parent->x0](∅ -> false)
+//! ```
+//!
+//! * node list: `x<i>:<label>` with `*` marking the pivot; `_` = wildcard;
+//! * edge list: `x<i>-<label>->x<j>` (labels must not contain `->`);
+//! * premises: `∅` (or `true`) or literals joined with ` ∧ ` (or ` & `);
+//! * literals: `x<i>.<attr>="<string>"`, `x<i>.<attr>=<int>`, or
+//!   `x<i>.<attr>=x<j>.<attr>`;
+//! * consequence: a literal or `false`.
+//!
+//! Parsing interns labels/attributes/constants through the caller's
+//! [`Interner`] — typically the graph the rules were mined from — so parsed
+//! rules validate directly against that graph.
+
+use gfd_graph::{Interner, Value};
+use gfd_pattern::{PEdge, PLabel, Pattern};
+
+use crate::gfd::{Gfd, Rhs};
+use crate::literal::Literal;
+
+/// Parse failure with position context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleParseError {
+    /// 1-based line number (0 for single-rule parsing).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for RuleParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rule line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for RuleParseError {}
+
+fn err(message: impl Into<String>) -> RuleParseError {
+    RuleParseError {
+        line: 0,
+        message: message.into(),
+    }
+}
+
+/// Parses a variable reference `x<i>`, returning the index and the rest
+/// of the string (shared with the extended-rule parser in `gfd-extended`).
+pub fn parse_var(s: &str) -> Result<(usize, &str), RuleParseError> {
+    let rest = s
+        .strip_prefix('x')
+        .ok_or_else(|| err(format!("expected variable `x<i>` at `{s}`")))?;
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    if digits.is_empty() {
+        return Err(err(format!("expected variable index at `{s}`")));
+    }
+    let idx: usize = digits.parse().map_err(|_| err("bad variable index"))?;
+    Ok((idx, &rest[digits.len()..]))
+}
+
+fn parse_plabel(s: &str, interner: &Interner) -> PLabel {
+    if s == "_" {
+        PLabel::Wildcard
+    } else {
+        PLabel::Is(interner.label(s))
+    }
+}
+
+/// Parses one literal, e.g. `x0.type="film"`, `x1.age=34`,
+/// `x0.name=x1.name`.
+fn parse_literal(s: &str, interner: &Interner) -> Result<Literal, RuleParseError> {
+    let (var, rest) = parse_var(s.trim())?;
+    let rest = rest
+        .strip_prefix('.')
+        .ok_or_else(|| err(format!("expected `.` after variable in `{s}`")))?;
+    let eq = rest
+        .find('=')
+        .ok_or_else(|| err(format!("expected `=` in literal `{s}`")))?;
+    let attr_name = &rest[..eq];
+    if attr_name.is_empty() {
+        return Err(err(format!("empty attribute in `{s}`")));
+    }
+    let attr = interner.attr(attr_name);
+    let value_str = rest[eq + 1..].trim();
+    if let Some(stripped) = value_str.strip_prefix('"') {
+        let inner = stripped
+            .strip_suffix('"')
+            .ok_or_else(|| err(format!("unterminated string in `{s}`")))?;
+        return Ok(Literal::constant(
+            var,
+            attr,
+            Value::Str(interner.symbol(inner)),
+        ));
+    }
+    if value_str.starts_with('x') {
+        let (var2, rest2) = parse_var(value_str)?;
+        let attr2_name = rest2
+            .strip_prefix('.')
+            .ok_or_else(|| err(format!("expected `.` in `{value_str}`")))?;
+        if attr2_name.is_empty() {
+            return Err(err(format!("empty attribute in `{value_str}`")));
+        }
+        if (var, attr_name) == (var2, attr2_name) {
+            return Err(err("literal equates a term with itself"));
+        }
+        return Ok(Literal::var_var(var, attr, var2, interner.attr(attr2_name)));
+    }
+    let int: i64 = value_str
+        .parse()
+        .map_err(|_| err(format!("expected quoted string, integer, or term in `{s}`")))?;
+    Ok(Literal::constant(var, attr, Value::Int(int)))
+}
+
+/// Splits a rule `Q[<pattern>](<dependency>)` into its two bodies
+/// (shared with the extended-rule parser in `gfd-extended`).
+pub fn split_rule(s: &str) -> Result<(&str, &str), RuleParseError> {
+    let s = s.trim();
+    let body = s
+        .strip_prefix("Q[")
+        .ok_or_else(|| err("rule must start with `Q[`"))?;
+    let close = body
+        .find(']')
+        .ok_or_else(|| err("missing `]` after pattern"))?;
+    let pattern_str = &body[..close];
+    let rest = body[close + 1..].trim();
+    let dep = rest
+        .strip_prefix('(')
+        .and_then(|r| r.strip_suffix(')'))
+        .ok_or_else(|| err("expected `(X -> l)` after pattern"))?;
+    Ok((pattern_str, dep))
+}
+
+/// Parses the pattern body `x0:a, x1:b; x0-r->x1` (the text between `Q[`
+/// and `]`): dense node list with `*` pivot marker, then edges.
+pub fn parse_pattern_body(
+    pattern_str: &str,
+    interner: &Interner,
+) -> Result<Pattern, RuleParseError> {
+    let (nodes_str, edges_str) = match pattern_str.find(';') {
+        Some(i) => (&pattern_str[..i], Some(&pattern_str[i + 1..])),
+        None => (pattern_str, None),
+    };
+    let mut labels: Vec<PLabel> = Vec::new();
+    let mut pivot: Option<usize> = None;
+    for (slot, tok) in nodes_str.split(',').enumerate() {
+        let tok = tok.trim();
+        let (idx, rest) = parse_var(tok)?;
+        if idx != slot {
+            return Err(err(format!("node variables must be dense: found x{idx} at position {slot}")));
+        }
+        let mut label = rest
+            .strip_prefix(':')
+            .ok_or_else(|| err(format!("expected `:label` in `{tok}`")))?;
+        if let Some(stripped) = label.strip_suffix('*') {
+            if pivot.replace(idx).is_some() {
+                return Err(err("multiple pivots marked"));
+            }
+            label = stripped;
+        }
+        labels.push(parse_plabel(label.trim(), interner));
+    }
+    let mut edges: Vec<PEdge> = Vec::new();
+    if let Some(edges_str) = edges_str {
+        for tok in edges_str.split(',') {
+            let tok = tok.trim();
+            if tok.is_empty() {
+                continue;
+            }
+            let (src, rest) = parse_var(tok)?;
+            let rest = rest
+                .strip_prefix('-')
+                .ok_or_else(|| err(format!("expected `-label->` in `{tok}`")))?;
+            let arrow = rest
+                .rfind("->x")
+                .ok_or_else(|| err(format!("expected `->x<j>` in `{tok}`")))?;
+            let label = parse_plabel(rest[..arrow].trim(), interner);
+            let (dst, tail) = parse_var(&rest[arrow + 2..])?;
+            if !tail.is_empty() {
+                return Err(err(format!("trailing characters `{tail}` in `{tok}`")));
+            }
+            if src >= labels.len() || dst >= labels.len() {
+                return Err(err(format!("edge endpoint out of range in `{tok}`")));
+            }
+            edges.push(PEdge { src, dst, label });
+        }
+    }
+    Ok(Pattern::new(labels, edges, pivot.unwrap_or(0)))
+}
+
+/// Parses one rule in display syntax.
+pub fn parse_gfd(s: &str, interner: &Interner) -> Result<Gfd, RuleParseError> {
+    let (pattern_str, dep) = split_rule(s)?;
+    let pattern = parse_pattern_body(pattern_str, interner)?;
+    let arrow = dep
+        .rfind("->")
+        .ok_or_else(|| err("missing `->` in dependency"))?;
+    // Guard: the arrow must not be inside a quoted constant.
+    let (lhs_str, rhs_str) = (dep[..arrow].trim(), dep[arrow + 2..].trim());
+    let lhs_str = lhs_str
+        .strip_suffix('-')
+        .map(str::trim)
+        .unwrap_or(lhs_str); // tolerate `-->` artifacts
+
+    let mut lhs: Vec<Literal> = Vec::new();
+    if !(lhs_str.is_empty() || lhs_str == "∅" || lhs_str == "true") {
+        for part in lhs_str.split(['∧', '&']) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            lhs.push(parse_literal(part, interner)?);
+        }
+    }
+    let rhs = if rhs_str == "false" {
+        Rhs::False
+    } else {
+        Rhs::Lit(parse_literal(rhs_str, interner)?)
+    };
+
+    let max_var = lhs
+        .iter()
+        .map(Literal::max_var)
+        .chain(match rhs {
+            Rhs::Lit(l) => Some(l.max_var()),
+            Rhs::False => None,
+        })
+        .max();
+    if let Some(mv) = max_var {
+        if mv >= pattern.node_count() {
+            return Err(err(format!(
+                "literal variable x{mv} exceeds pattern arity {}",
+                pattern.node_count()
+            )));
+        }
+    }
+    Ok(Gfd::new(pattern, lhs, rhs))
+}
+
+/// Parses a rule file: one rule per line, `#` comments and blanks allowed.
+pub fn parse_rules(text: &str, interner: &Interner) -> Result<Vec<Gfd>, RuleParseError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match parse_gfd(line, interner) {
+            Ok(g) => out.push(g),
+            Err(mut e) => {
+                e.line = i + 1;
+                return Err(e);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Renders a rule set, one per line (the inverse of [`parse_rules`]).
+pub fn render_rules(rules: &[Gfd], interner: &Interner) -> String {
+    let mut out = String::new();
+    out.push_str("# gfd rules v1\n");
+    for r in rules {
+        out.push_str(&r.display(interner));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> (Interner, Gfd, Gfd, Gfd) {
+        let i = Interner::new();
+        let person = PLabel::Is(i.label("person"));
+        let create = PLabel::Is(i.label("create"));
+        let product = PLabel::Is(i.label("product"));
+        let ty = i.attr("type");
+        let name = i.attr("name");
+        let q1 = Pattern::edge(person, create, product);
+        let phi1 = Gfd::new(
+            q1.clone(),
+            vec![Literal::constant(1, ty, Value::Str(i.symbol("film")))],
+            Rhs::Lit(Literal::constant(0, ty, Value::Str(i.symbol("producer")))),
+        );
+        let q2 = Pattern::new(
+            vec![PLabel::Is(i.label("city")), PLabel::Wildcard, PLabel::Wildcard],
+            vec![
+                PEdge { src: 0, dst: 1, label: PLabel::Is(i.label("located")) },
+                PEdge { src: 0, dst: 2, label: PLabel::Is(i.label("located")) },
+            ],
+            0,
+        );
+        let phi2 = Gfd::new(q2, vec![], Rhs::Lit(Literal::var_var(1, name, 2, name)));
+        let parent = PLabel::Is(i.label("parent"));
+        let q3 = Pattern::new(
+            vec![person, person],
+            vec![
+                PEdge { src: 0, dst: 1, label: parent },
+                PEdge { src: 1, dst: 0, label: parent },
+            ],
+            0,
+        );
+        let phi3 = Gfd::new(q3, vec![], Rhs::False);
+        (i, phi1, phi2, phi3)
+    }
+
+    #[test]
+    fn roundtrip_paper_rules() {
+        let (i, phi1, phi2, phi3) = fixture();
+        for phi in [&phi1, &phi2, &phi3] {
+            let rendered = phi.display(&i);
+            let parsed = parse_gfd(&rendered, &i)
+                .unwrap_or_else(|e| panic!("parse `{rendered}`: {e}"));
+            assert_eq!(&parsed, phi, "roundtrip of `{rendered}`");
+        }
+    }
+
+    #[test]
+    fn roundtrip_rule_file() {
+        let (i, phi1, phi2, phi3) = fixture();
+        let rules = vec![phi1, phi2, phi3];
+        let text = render_rules(&rules, &i);
+        let parsed = parse_rules(&text, &i).unwrap();
+        assert_eq!(parsed, rules);
+    }
+
+    #[test]
+    fn parses_int_constants_and_ampersand() {
+        let i = Interner::new();
+        i.label("t");
+        let g = parse_gfd("Q[x0:t*](x0.age=34 & x0.year=2001 -> x0.kind=\"old\")", &i).unwrap();
+        assert_eq!(g.lhs().len(), 2);
+        let age = i.lookup_attr("age").unwrap();
+        assert!(g.lhs().contains(&Literal::constant(0, age, Value::Int(34))));
+    }
+
+    #[test]
+    fn int_constants_roundtrip_with_their_type() {
+        // Regression: integer constants used to render quoted, which the
+        // parser read back as *strings* — silently changing semantics.
+        let i = Interner::new();
+        i.label("t");
+        let age = i.attr("age");
+        let phi = Gfd::new(
+            Pattern::single(PLabel::Is(i.lookup_label("t").unwrap())),
+            vec![Literal::constant(0, age, Value::Int(34))],
+            Rhs::False,
+        );
+        let rendered = phi.display(&i);
+        assert!(rendered.contains("x0.age=34"), "{rendered}");
+        let parsed = parse_gfd(&rendered, &i).unwrap();
+        assert_eq!(parsed, phi);
+    }
+
+    #[test]
+    fn pivot_marker_respected() {
+        let i = Interner::new();
+        let g = parse_gfd("Q[x0:a, x1:b*; x0-r->x1](∅ -> false)", &i).unwrap();
+        assert_eq!(g.pattern().pivot(), 1);
+        // Default pivot is x0.
+        let g2 = parse_gfd("Q[x0:a, x1:b; x0-r->x1](∅ -> false)", &i).unwrap();
+        assert_eq!(g2.pattern().pivot(), 0);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        let i = Interner::new();
+        assert!(parse_gfd("nope", &i).unwrap_err().message.contains("Q["));
+        assert!(parse_gfd("Q[x0:a](x0.a=1 -> x5.b=2)", &i)
+            .unwrap_err()
+            .message
+            .contains("exceeds pattern arity"));
+        assert!(parse_gfd("Q[x1:a](∅ -> false)", &i)
+            .unwrap_err()
+            .message
+            .contains("dense"));
+        let err = parse_rules("# ok\nQ[x0:a](∅ -> false)\nbroken\n", &i).unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn parsed_rules_validate_against_their_graph() {
+        use gfd_graph::GraphBuilder;
+        let mut b = GraphBuilder::new();
+        let john = b.add_node("person");
+        let film = b.add_node("product");
+        b.set_attr(john, "type", "high_jumper");
+        b.set_attr(film, "type", "film");
+        b.add_edge(john, film, "create");
+        let g = b.build();
+        let rule = "Q[x0:person*, x1:product; x0-create->x1](x1.type=\"film\" -> x0.type=\"producer\")";
+        let phi = parse_gfd(rule, g.interner()).unwrap();
+        assert!(!crate::validation::satisfies(&g, &phi));
+    }
+
+    #[test]
+    fn wildcards_roundtrip() {
+        let i = Interner::new();
+        let g = parse_gfd("Q[x0:_*, x1:_; x0-_->x1](∅ -> x0.k=x1.k)", &i).unwrap();
+        assert!(g.pattern().node_label(0).is_wildcard());
+        assert!(g.pattern().edges()[0].label.is_wildcard());
+        let rendered = g.display(&i);
+        assert_eq!(parse_gfd(&rendered, &i).unwrap(), g);
+    }
+}

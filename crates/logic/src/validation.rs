@@ -1,0 +1,266 @@
+//! The validation problem: `G ⊨ φ` and `G ⊨ Σ` (§3).
+//!
+//! A match `h(x̄)` violates `X → l` when `h(x̄) ⊨ X` but `h(x̄) ⊭ l`
+//! (for `l = false`, `h(x̄) ⊨ X` alone violates). Validation enumerates
+//! matches with the pivot-anchored matcher — `O(|Σ|·|G|^k)` (Proposition 2);
+//! the problem is co-W\[1\]-hard in general (Theorem 1(b)), so enumeration is
+//! the expected cost.
+
+use std::ops::ControlFlow;
+
+use gfd_graph::{FxHashSet, Graph, NodeId};
+use gfd_pattern::{for_each_match, MatchSet};
+
+use crate::gfd::{Gfd, Rhs};
+
+/// Whether match `m` satisfies `X → l` of `phi` in `g`.
+#[inline]
+pub fn match_satisfies(phi: &Gfd, m: &[NodeId], g: &Graph) -> bool {
+    if !phi.lhs().iter().all(|lit| lit.satisfied(m, g)) {
+        return true; // X fails ⇒ implication holds vacuously
+    }
+    match phi.rhs() {
+        Rhs::Lit(l) => l.satisfied(m, g),
+        Rhs::False => false,
+    }
+}
+
+/// Decides `G ⊨ φ` with early exit on the first violation.
+pub fn satisfies(g: &Graph, phi: &Gfd) -> bool {
+    !for_each_match(phi.pattern(), g, |m| {
+        if match_satisfies(phi, m, g) {
+            ControlFlow::Continue(())
+        } else {
+            ControlFlow::Break(())
+        }
+    })
+    .is_break()
+}
+
+/// Decides `G ⊨ Σ`.
+pub fn satisfies_all(g: &Graph, sigma: &[Gfd]) -> bool {
+    sigma.iter().all(|phi| satisfies(g, phi))
+}
+
+/// Collects violating matches of `phi` in `g`, up to `limit` (all when
+/// `None`).
+pub fn find_violations(g: &Graph, phi: &Gfd, limit: Option<usize>) -> MatchSet {
+    let mut out = MatchSet::new(phi.pattern().node_count());
+    let cap = limit.unwrap_or(usize::MAX);
+    let _ = for_each_match(phi.pattern(), g, |m| {
+        if !match_satisfies(phi, m, g) {
+            out.push(m);
+            if out.len() >= cap {
+                return ControlFlow::Break(());
+            }
+        }
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+/// All nodes participating in at least one violation of some GFD of `Σ`
+/// (the violation set `V^GFD` used by the error-detection accuracy
+/// experiment, Exp-5 §7).
+pub fn violating_nodes(g: &Graph, sigma: &[Gfd]) -> FxHashSet<NodeId> {
+    let mut out: FxHashSet<NodeId> = FxHashSet::default();
+    for phi in sigma {
+        let _ = for_each_match(phi.pattern(), g, |m| {
+            if !match_satisfies(phi, m, g) {
+                out.extend(m.iter().copied());
+            }
+            ControlFlow::Continue(())
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::literal::Literal;
+    use gfd_graph::{GraphBuilder, Value};
+    use gfd_pattern::{End, Extension, PLabel, Pattern};
+
+    /// Builds the paper's Fig. 1 graphs G1, G2, G3 in one graph per case and
+    /// checks φ1, φ2, φ3 (Examples 1 and 3).
+    fn labels(g: &Graph, name: &str) -> PLabel {
+        PLabel::Is(g.interner().label(name))
+    }
+
+    #[test]
+    fn phi1_catches_g1() {
+        // G1: John Winter (high jumper) credited with creating a film.
+        let mut b = GraphBuilder::new();
+        let john = b.add_node("person");
+        let film = b.add_node("product");
+        b.set_attr(john, "type", "high_jumper");
+        b.set_attr(film, "type", "film");
+        b.add_edge(john, film, "create");
+        let g = b.build();
+
+        let ty = g.interner().attr("type");
+        let filmv = Value::Str(g.interner().symbol("film"));
+        let producer = Value::Str(g.interner().symbol("producer"));
+        let q1 = Pattern::edge(labels(&g, "person"), labels(&g, "create"), labels(&g, "product"));
+        let phi1 = Gfd::new(
+            q1,
+            vec![Literal::constant(1, ty, filmv)],
+            Rhs::Lit(Literal::constant(0, ty, producer)),
+        );
+        assert!(!satisfies(&g, &phi1));
+        let viols = find_violations(&g, &phi1, None);
+        assert_eq!(viols.len(), 1);
+        assert_eq!(viols.get(0), &[john, film]);
+        let nodes = violating_nodes(&g, std::slice::from_ref(&phi1));
+        assert!(nodes.contains(&john) && nodes.contains(&film));
+
+        // Fixing the type satisfies φ1.
+        let mut b = GraphBuilder::new();
+        let jack = b.add_node("person");
+        let film2 = b.add_node("product");
+        b.set_attr(jack, "type", "producer");
+        b.set_attr(film2, "type", "film");
+        b.add_edge(jack, film2, "create");
+        let g2 = b.build();
+        let q1b = Pattern::edge(
+            labels(&g2, "person"),
+            labels(&g2, "create"),
+            labels(&g2, "product"),
+        );
+        let ty2 = g2.interner().attr("type");
+        let phi1b = Gfd::new(
+            q1b,
+            vec![Literal::constant(
+                1,
+                ty2,
+                Value::Str(g2.interner().symbol("film")),
+            )],
+            Rhs::Lit(Literal::constant(
+                0,
+                ty2,
+                Value::Str(g2.interner().symbol("producer")),
+            )),
+        );
+        assert!(satisfies(&g2, &phi1b));
+    }
+
+    #[test]
+    fn phi2_catches_g2() {
+        // G2: Saint Petersburg located in both Russia and Florida.
+        let mut b = GraphBuilder::new();
+        let sp = b.add_node("city");
+        let ru = b.add_node("country");
+        let fl = b.add_node("city");
+        b.set_attr(ru, "name", "Russia");
+        b.set_attr(fl, "name", "Florida");
+        b.add_edge(sp, ru, "located");
+        b.add_edge(sp, fl, "located");
+        let g = b.build();
+
+        let name = g.interner().attr("name");
+        let q2 = Pattern::new(
+            vec![labels(&g, "city"), PLabel::Wildcard, PLabel::Wildcard],
+            vec![
+                gfd_pattern::PEdge {
+                    src: 0,
+                    dst: 1,
+                    label: labels(&g, "located"),
+                },
+                gfd_pattern::PEdge {
+                    src: 0,
+                    dst: 2,
+                    label: labels(&g, "located"),
+                },
+            ],
+            0,
+        );
+        let phi2 = Gfd::new(q2, vec![], Rhs::Lit(Literal::var_var(1, name, 2, name)));
+        assert!(!satisfies(&g, &phi2));
+        // Both (y=Russia, z=Florida) and the swap violate.
+        assert_eq!(find_violations(&g, &phi2, None).len(), 2);
+        // The limit caps enumeration.
+        assert_eq!(find_violations(&g, &phi2, Some(1)).len(), 1);
+    }
+
+    #[test]
+    fn phi3_catches_g3() {
+        // G3: two persons each parent of the other.
+        let mut b = GraphBuilder::new();
+        let owen = b.add_node("person");
+        let john = b.add_node("person");
+        b.add_edge(owen, john, "parent");
+        b.add_edge(john, owen, "parent");
+        let g = b.build();
+
+        let person = labels(&g, "person");
+        let parent = labels(&g, "parent");
+        let q3 = Pattern::edge(person, parent, person).extend(&Extension {
+            src: End::Var(1),
+            dst: End::Var(0),
+            label: parent,
+        });
+        let phi3 = Gfd::new(q3, vec![], Rhs::False);
+        assert!(!satisfies(&g, &phi3));
+        assert!(phi3.is_negative());
+
+        // A healthy parent chain does not violate φ3.
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("person");
+        let c = b.add_node("person");
+        b.add_edge(a, c, "parent");
+        let g2 = b.build();
+        let person2 = labels(&g2, "person");
+        let parent2 = labels(&g2, "parent");
+        let q3b = Pattern::edge(person2, parent2, person2).extend(&Extension {
+            src: End::Var(1),
+            dst: End::Var(0),
+            label: parent2,
+        });
+        let phi3b = Gfd::new(q3b, vec![], Rhs::False);
+        assert!(satisfies(&g2, &phi3b));
+    }
+
+    #[test]
+    fn missing_lhs_attribute_satisfies_vacuously() {
+        // §2.2 (1): X references an absent attribute ⇒ implication holds.
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("t");
+        let y = b.add_node("t");
+        b.add_edge(x, y, "r");
+        let g = b.build();
+        let a = g.interner().attr("a");
+        let q = Pattern::edge(labels(&g, "t"), labels(&g, "r"), labels(&g, "t"));
+        let phi = Gfd::new(
+            q,
+            vec![Literal::constant(0, a, Value::Int(1))],
+            Rhs::Lit(Literal::constant(1, a, Value::Int(2))),
+        );
+        assert!(satisfies(&g, &phi));
+    }
+
+    #[test]
+    fn missing_rhs_attribute_violates() {
+        // §2.2 (1): if X holds, the RHS attribute must exist.
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("t");
+        let y = b.add_node("t");
+        b.set_attr(x, "a", 1i64);
+        b.add_edge(x, y, "r");
+        let g = b.build();
+        let a = g.interner().attr("a");
+        let q = Pattern::edge(labels(&g, "t"), labels(&g, "r"), labels(&g, "t"));
+        let phi = Gfd::new(
+            q,
+            vec![Literal::constant(0, a, Value::Int(1))],
+            Rhs::Lit(Literal::constant(1, a, Value::Int(1))),
+        );
+        assert!(!satisfies(&g, &phi));
+    }
+
+    #[test]
+    fn satisfies_all_short_circuits() {
+        let g = GraphBuilder::new().build();
+        assert!(satisfies_all(&g, &[]));
+    }
+}

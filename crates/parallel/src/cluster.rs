@@ -1,0 +1,712 @@
+//! The master/worker superstep runtime (§6).
+//!
+//! A [`Cluster`] owns `n` workers, each holding one vertex-cut fragment
+//! plus the per-pattern match sets and match tables assigned to it. The
+//! master drives supersteps by broadcasting [`Task`]s and merging
+//! [`TaskResult`]s at barriers.
+//!
+//! Two execution modes share the identical task-processing code:
+//!
+//! * [`ExecMode::Threads`] — one OS thread per worker (crossbeam
+//!   channels); wall time reflects real parallelism up to the machine's
+//!   core count.
+//! * [`ExecMode::Simulated`] — tasks run inline, but per-task CPU time is
+//!   *attributed* to its virtual worker; the reported time is the sum over
+//!   barriers of the slowest worker (makespan) plus a communication charge
+//!   for every byte a real cluster would ship. This measures exactly what
+//!   Fig. 5 plots — how the schedule spreads work over `n` machines —
+//!   without `n` physical machines (the paper used a 20-node EC2 cluster).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use gfd_core::{
+    lhs_satisfiable, CatalogCounts, DiscoveryConfig, MatchTable, PartialStats, RawHarvest,
+};
+use gfd_graph::{AttrId, FxHashMap, Graph, LabelId, NodeId};
+use gfd_logic::{Literal, Rhs};
+use gfd_pattern::{extend_matches, Extension, MatchSet, PLabel, Pattern};
+
+use crate::partition::{node_owner, Fragment};
+
+/// Execution mode of a [`Cluster`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExecMode {
+    /// Real threads (one per worker).
+    Threads,
+    /// Inline execution with per-worker cost attribution.
+    Simulated,
+}
+
+/// Cluster-level configuration.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of workers `n`.
+    pub workers: usize,
+    /// Execution mode.
+    pub mode: ExecMode,
+    /// Modelled network bandwidth for the simulated communication charge.
+    pub bandwidth_bytes_per_sec: f64,
+    /// Enable skewed-match re-balancing (§6.2); disabling reproduces the
+    /// `ParGFDnb` ablation.
+    pub load_balance: bool,
+    /// A pattern's matches are re-balanced when the largest fragment share
+    /// exceeds `skew_factor × (total / n)`.
+    pub skew_factor: f64,
+}
+
+impl ClusterConfig {
+    /// Default configuration for `n` workers in the given mode.
+    pub fn new(workers: usize, mode: ExecMode) -> ClusterConfig {
+        ClusterConfig {
+            workers,
+            mode,
+            bandwidth_bytes_per_sec: 1e9,
+            load_balance: true,
+            skew_factor: 2.0,
+        }
+    }
+}
+
+/// Time and traffic bookkeeping across barriers.
+#[derive(Clone, Debug, Default)]
+pub struct Clocks {
+    /// Σ over barriers of the slowest worker's task time.
+    pub makespan: Duration,
+    /// Σ of all task times (total work).
+    pub busy: Duration,
+    /// Master-side compute between barriers (accounted by the driver).
+    pub master: Duration,
+    /// Total bytes the schedule would ship.
+    pub comm_bytes: u64,
+    /// Modelled time spent shipping (max per barrier / bandwidth).
+    pub comm_time: Duration,
+    /// Number of barriers executed.
+    pub barriers: usize,
+    /// Σ over barriers of the slowest worker's *modelled* work (rows
+    /// touched). Deterministic counterpart of `makespan`: independent of
+    /// machine load, it is what scalability tests compare across `n`.
+    pub work_makespan: u64,
+    /// Σ of all modelled work units (deterministic counterpart of `busy`).
+    pub work_busy: u64,
+}
+
+impl Clocks {
+    /// The simulated parallel running time: barrier makespans plus
+    /// communication plus master compute.
+    pub fn simulated_total(&self) -> Duration {
+        self.makespan + self.comm_time + self.master
+    }
+}
+
+/// A unit of work executed by one worker within a barrier.
+#[derive(Clone, Debug)]
+pub enum Task {
+    /// Materialise the matches of a single-node root pattern over the
+    /// worker's *owned* nodes.
+    SeedRoot {
+        /// Generation-tree node id.
+        node: usize,
+        /// The single-node pattern.
+        pattern: Pattern,
+    },
+    /// Harvest extension proposals from local matches of `node`.
+    Harvest {
+        /// Tree node id whose matches to scan.
+        node: usize,
+        /// Discovery configuration (for `k` and caps).
+        cfg: DiscoveryConfig,
+    },
+    /// The distributed incremental join `Q(F_s) ⋈ e`: extend local matches
+    /// of `parent` by `ext`, storing them as matches of `child`.
+    Join {
+        /// Parent tree node id.
+        parent: usize,
+        /// Child tree node id.
+        child: usize,
+        /// The single-edge extension.
+        ext: Extension,
+    },
+    /// Build (and cache) the local match table of `node`, returning
+    /// mergeable literal-candidate counts.
+    BuildTable {
+        /// Tree node id.
+        node: usize,
+        /// Active attributes `Γ`.
+        attrs: Vec<AttrId>,
+    },
+    /// Evaluate `X → rhs` on the cached local table of `node`.
+    Evaluate {
+        /// Tree node id.
+        node: usize,
+        /// Premises.
+        x: Vec<Literal>,
+        /// Consequence.
+        rhs: Rhs,
+    },
+    /// Whether no local match of `node` satisfies `X`.
+    LhsEmpty {
+        /// Tree node id.
+        node: usize,
+        /// Premises.
+        x: Vec<Literal>,
+    },
+    /// Remove and return the local matches of `node` (re-balancing).
+    TakeMatches {
+        /// Tree node id.
+        node: usize,
+    },
+    /// Install matches for `node` (re-balancing).
+    PutMatches {
+        /// Tree node id.
+        node: usize,
+        /// The pattern (workers index matches by pattern).
+        pattern: Pattern,
+        /// Rows assigned to this worker.
+        ms: MatchSet,
+    },
+    /// Drop matches + tables of the given nodes (memory reclamation).
+    DropNodes {
+        /// Tree node ids.
+        nodes: Vec<usize>,
+    },
+    /// Drop only the cached table of `node`.
+    DropTable {
+        /// Tree node id.
+        node: usize,
+    },
+    /// No-op (keeps barrier arithmetic simple).
+    Nop,
+}
+
+/// Result of one [`Task`].
+#[derive(Debug)]
+pub enum TaskResult {
+    /// Generic completion.
+    Unit,
+    /// Raw extension harvest.
+    Harvested(Box<RawHarvest>),
+    /// Join outcome: local row count, local distinct pivots, and the bytes
+    /// a real cluster would have shipped for this work unit.
+    Joined {
+        /// Local rows of `Q'(F_s)`.
+        rows: usize,
+        /// Local distinct pivot images (sorted).
+        pivots: Vec<NodeId>,
+        /// Modelled shipped bytes.
+        shipped: usize,
+    },
+    /// Literal-candidate counts of a local table.
+    Counts(Box<CatalogCounts>),
+    /// Partial candidate evaluation.
+    Stats(Box<PartialStats>),
+    /// Local LHS emptiness.
+    Empty(bool),
+    /// Extracted matches.
+    Matches(MatchSet),
+}
+
+/// Per-worker state: the fragment plus pattern-indexed matches/tables.
+pub struct WorkerCtx {
+    /// Worker id.
+    pub id: usize,
+    /// Shared read-only graph (node attributes live here; the vertex cut
+    /// replicates endpoint attributes in a real deployment).
+    pub g: Arc<Graph>,
+    /// The owned fragment.
+    pub fragment: Fragment,
+    /// Total workers (for node ownership hashing).
+    pub n: usize,
+    /// Global per-label edge counts (communication model).
+    pub global_label_counts: Arc<FxHashMap<LabelId, usize>>,
+    patterns: FxHashMap<usize, Pattern>,
+    matches: FxHashMap<usize, MatchSet>,
+    tables: FxHashMap<usize, MatchTable>,
+}
+
+impl WorkerCtx {
+    fn new(
+        id: usize,
+        n: usize,
+        g: Arc<Graph>,
+        fragment: Fragment,
+        global_label_counts: Arc<FxHashMap<LabelId, usize>>,
+    ) -> WorkerCtx {
+        WorkerCtx {
+            id,
+            g,
+            fragment,
+            n,
+            global_label_counts,
+            patterns: FxHashMap::default(),
+            matches: FxHashMap::default(),
+            tables: FxHashMap::default(),
+        }
+    }
+
+    /// Bytes a real deployment would ship to this worker for the join work
+    /// unit `Q(F_s) ⋈ e(F_t), t ≠ s`: every matching edge outside the local
+    /// fragment, 12 bytes each (src, dst, label).
+    fn shipped_bytes(&self, label: PLabel) -> usize {
+        let total_all: usize = self.global_label_counts.values().sum();
+        let (total, local) = match label {
+            PLabel::Is(l) => (
+                self.global_label_counts.get(&l).copied().unwrap_or(0),
+                self.fragment.edges_with_label(l),
+            ),
+            PLabel::Wildcard => (total_all, self.fragment.edge_count()),
+        };
+        total.saturating_sub(local) * 12
+    }
+
+    /// Processes one task, returning its result and the modelled cost in
+    /// work units (rows touched) — the deterministic load measure behind
+    /// [`Clocks::work_makespan`].
+    fn process(&mut self, task: Task) -> (TaskResult, u64) {
+        match task {
+            Task::SeedRoot { node, pattern } => {
+                let mut ms = MatchSet::new(1);
+                let mut pivots = Vec::new();
+                let candidates: Vec<NodeId> = match pattern.node_label(0) {
+                    PLabel::Is(l) => self.g.nodes_with_label(l).to_vec(),
+                    PLabel::Wildcard => self.g.nodes().collect(),
+                };
+                let cost = candidates.len() as u64;
+                for v in candidates {
+                    if node_owner(v, self.n) == self.id {
+                        ms.push(&[v]);
+                        pivots.push(v);
+                    }
+                }
+                pivots.sort_unstable();
+                let rows = ms.len();
+                self.patterns.insert(node, pattern);
+                self.matches.insert(node, ms);
+                (
+                    TaskResult::Joined {
+                        rows,
+                        pivots,
+                        shipped: 0,
+                    },
+                    cost,
+                )
+            }
+            Task::Harvest { node, cfg } => {
+                let (Some(q), Some(ms)) = (self.patterns.get(&node), self.matches.get(&node))
+                else {
+                    return (TaskResult::Harvested(Box::default()), 1);
+                };
+                let cost = ms.len() as u64;
+                (
+                    TaskResult::Harvested(Box::new(gfd_core::harvest(q, ms, &self.g, &cfg))),
+                    cost,
+                )
+            }
+            Task::Join { parent, child, ext } => {
+                let (Some(q), Some(ms)) = (self.patterns.get(&parent), self.matches.get(&parent))
+                else {
+                    return (
+                        TaskResult::Joined {
+                            rows: 0,
+                            pivots: Vec::new(),
+                            shipped: 0,
+                        },
+                        1,
+                    );
+                };
+                let child_pattern = q.extend(&ext);
+                let child_ms = extend_matches(q, ms, &ext, &self.g);
+                let rows = child_ms.len();
+                let cost = (ms.len() + rows) as u64;
+                let mut pivots: Vec<NodeId> = child_ms
+                    .iter()
+                    .map(|m| m[child_pattern.pivot()])
+                    .collect();
+                pivots.sort_unstable();
+                pivots.dedup();
+                let shipped = self.shipped_bytes(ext.label);
+                self.patterns.insert(child, child_pattern);
+                self.matches.insert(child, child_ms);
+                (
+                    TaskResult::Joined {
+                        rows,
+                        pivots,
+                        shipped,
+                    },
+                    cost,
+                )
+            }
+            Task::BuildTable { node, attrs } => {
+                let (Some(q), Some(ms)) = (self.patterns.get(&node), self.matches.get(&node))
+                else {
+                    return (TaskResult::Counts(Box::default()), 1);
+                };
+                let cost = ms.len() as u64;
+                let table = MatchTable::build(q, ms, &self.g, &attrs);
+                let counts = CatalogCounts::count(&table);
+                self.tables.insert(node, table);
+                (TaskResult::Counts(Box::new(counts)), cost)
+            }
+            Task::Evaluate { node, x, rhs } => match self.tables.get(&node) {
+                Some(t) => (
+                    TaskResult::Stats(Box::new(PartialStats::evaluate(t, &x, &rhs))),
+                    t.rows() as u64,
+                ),
+                None => (TaskResult::Stats(Box::default()), 1),
+            },
+            Task::LhsEmpty { node, x } => match self.tables.get(&node) {
+                Some(t) => (TaskResult::Empty(!lhs_satisfiable(t, &x)), t.rows() as u64),
+                None => (TaskResult::Empty(true), 1),
+            },
+            Task::TakeMatches { node } => {
+                let arity = self
+                    .patterns
+                    .get(&node)
+                    .map(|p| p.node_count())
+                    .unwrap_or(1);
+                let ms = self
+                    .matches
+                    .remove(&node)
+                    .unwrap_or_else(|| MatchSet::new(arity));
+                let cost = ms.len() as u64;
+                (TaskResult::Matches(ms), cost)
+            }
+            Task::PutMatches { node, pattern, ms } => {
+                let cost = ms.len() as u64;
+                self.patterns.insert(node, pattern);
+                self.matches.insert(node, ms);
+                (TaskResult::Unit, cost)
+            }
+            Task::DropNodes { nodes } => {
+                for n in nodes {
+                    self.patterns.remove(&n);
+                    self.matches.remove(&n);
+                    self.tables.remove(&n);
+                }
+                (TaskResult::Unit, 1)
+            }
+            Task::DropTable { node } => {
+                self.tables.remove(&node);
+                (TaskResult::Unit, 1)
+            }
+            Task::Nop => (TaskResult::Unit, 1),
+        }
+    }
+}
+
+enum WorkerMsg {
+    Task(Box<Task>),
+    Stop,
+}
+
+struct ThreadWorker {
+    tx: Sender<WorkerMsg>,
+    rx: Receiver<(TaskResult, u64, Duration)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// The master-side handle to `n` workers.
+pub struct Cluster {
+    mode: ExecMode,
+    /// Simulated-mode states (empty in threads mode).
+    states: Vec<WorkerCtx>,
+    /// Threads-mode channels (empty in simulated mode).
+    threads: Vec<ThreadWorker>,
+    /// Time/traffic bookkeeping.
+    pub clocks: Clocks,
+    bandwidth: f64,
+    workers: usize,
+}
+
+impl Cluster {
+    /// Builds a cluster over the given fragments of `g`.
+    pub fn new(g: Arc<Graph>, fragments: Vec<Fragment>, cfg: &ClusterConfig) -> Cluster {
+        let n = fragments.len();
+        assert_eq!(n, cfg.workers, "one fragment per worker");
+        let mut global: FxHashMap<LabelId, usize> = FxHashMap::default();
+        for e in g.edges() {
+            *global.entry(e.label).or_insert(0) += 1;
+        }
+        let global = Arc::new(global);
+        let mut states: Vec<WorkerCtx> = fragments
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| WorkerCtx::new(i, n, Arc::clone(&g), f, Arc::clone(&global)))
+            .collect();
+
+        let mut threads = Vec::new();
+        if cfg.mode == ExecMode::Threads {
+            for mut state in states.drain(..) {
+                let (task_tx, task_rx) = unbounded::<WorkerMsg>();
+                let (res_tx, res_rx) = unbounded::<(TaskResult, u64, Duration)>();
+                let handle = std::thread::spawn(move || {
+                    while let Ok(WorkerMsg::Task(task)) = task_rx.recv() {
+                        let t0 = Instant::now();
+                        let (r, cost) = state.process(*task);
+                        let _ = res_tx.send((r, cost, t0.elapsed()));
+                    }
+                });
+                threads.push(ThreadWorker {
+                    tx: task_tx,
+                    rx: res_rx,
+                    handle: Some(handle),
+                });
+            }
+        }
+
+        Cluster {
+            mode: cfg.mode,
+            states,
+            threads,
+            clocks: Clocks::default(),
+            bandwidth: cfg.bandwidth_bytes_per_sec,
+            workers: n,
+        }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Executes one barrier: task `i` on worker `i`. Returns results in
+    /// worker order and charges the barrier's makespan.
+    pub fn run(&mut self, tasks: Vec<Task>) -> Vec<TaskResult> {
+        assert_eq!(tasks.len(), self.workers, "one task per worker");
+        let mut durations = vec![Duration::ZERO; self.workers];
+        let mut costs = vec![0u64; self.workers];
+        let mut results: Vec<TaskResult> = Vec::with_capacity(self.workers);
+        match self.mode {
+            ExecMode::Simulated => {
+                for (i, task) in tasks.into_iter().enumerate() {
+                    let t0 = Instant::now();
+                    let (r, cost) = self.states[i].process(task);
+                    results.push(r);
+                    costs[i] = cost;
+                    durations[i] = t0.elapsed();
+                }
+            }
+            ExecMode::Threads => {
+                for (i, task) in tasks.into_iter().enumerate() {
+                    self.threads[i]
+                        .tx
+                        .send(WorkerMsg::Task(Box::new(task)))
+                        .expect("worker alive");
+                    let _ = i;
+                }
+                for (i, t) in self.threads.iter().enumerate() {
+                    let (r, cost, d) = t.rx.recv().expect("worker result");
+                    results.push(r);
+                    costs[i] = cost;
+                    durations[i] = d;
+                }
+            }
+        }
+        let max = durations.iter().max().copied().unwrap_or_default();
+        self.clocks.makespan += max;
+        self.clocks.busy += durations.iter().sum::<Duration>();
+        self.clocks.work_makespan += costs.iter().max().copied().unwrap_or(0);
+        self.clocks.work_busy += costs.iter().sum::<u64>();
+        self.clocks.barriers += 1;
+        results
+    }
+
+    /// Broadcasts one task to every worker.
+    pub fn broadcast(&mut self, task: Task) -> Vec<TaskResult> {
+        self.run(vec![task; self.workers])
+    }
+
+    /// Charges a communication barrier: worker `i` receives
+    /// `bytes_per_worker[i]`; the modelled cost is the slowest transfer.
+    pub fn charge_comm(&mut self, bytes_per_worker: &[usize]) {
+        let total: usize = bytes_per_worker.iter().sum();
+        let max = bytes_per_worker.iter().max().copied().unwrap_or(0);
+        self.clocks.comm_bytes += total as u64;
+        self.clocks.comm_time += Duration::from_secs_f64(max as f64 / self.bandwidth);
+    }
+
+    /// Adds master-side compute to the clock.
+    pub fn charge_master(&mut self, d: Duration) {
+        self.clocks.master += d;
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for t in &mut self.threads {
+            let _ = t.tx.send(WorkerMsg::Stop);
+        }
+        for t in &mut self.threads {
+            if let Some(h) = t.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::vertex_cut;
+    use gfd_graph::GraphBuilder;
+
+    fn toy_cluster(mode: ExecMode, n: usize) -> (Arc<Graph>, Cluster) {
+        let mut b = GraphBuilder::new();
+        let people: Vec<_> = (0..8).map(|_| b.add_node("person")).collect();
+        for i in 0..8 {
+            let f = b.add_node("film");
+            b.add_edge(people[i], f, "create");
+        }
+        let g = Arc::new(b.build());
+        let parts = vertex_cut(&g, n);
+        let cfg = ClusterConfig::new(n, mode);
+        let cluster = Cluster::new(Arc::clone(&g), parts.fragments, &cfg);
+        (g, cluster)
+    }
+
+    fn seed_and_count(mode: ExecMode) {
+        let (g, mut cluster) = toy_cluster(mode, 3);
+        let person = PLabel::Is(g.interner().lookup_label("person").unwrap());
+        let q = Pattern::single(person);
+        let results = cluster.broadcast(Task::SeedRoot {
+            node: 0,
+            pattern: q,
+        });
+        let mut total = 0;
+        let mut all_pivots = Vec::new();
+        for r in results {
+            if let TaskResult::Joined { rows, pivots, .. } = r {
+                total += rows;
+                all_pivots.extend(pivots);
+            }
+        }
+        assert_eq!(total, 8, "each person seeded exactly once");
+        all_pivots.sort_unstable();
+        all_pivots.dedup();
+        assert_eq!(all_pivots.len(), 8);
+        assert_eq!(cluster.clocks.barriers, 1);
+        assert!(cluster.clocks.makespan <= cluster.clocks.busy || mode == ExecMode::Threads);
+    }
+
+    #[test]
+    fn seed_partitions_nodes_simulated() {
+        seed_and_count(ExecMode::Simulated);
+    }
+
+    #[test]
+    fn seed_partitions_nodes_threads() {
+        seed_and_count(ExecMode::Threads);
+    }
+
+    #[test]
+    fn join_across_fragments_matches_global() {
+        let (g, mut cluster) = toy_cluster(ExecMode::Simulated, 4);
+        let person = PLabel::Is(g.interner().lookup_label("person").unwrap());
+        let film = PLabel::Is(g.interner().lookup_label("film").unwrap());
+        let create = PLabel::Is(g.interner().lookup_label("create").unwrap());
+        cluster.broadcast(Task::SeedRoot {
+            node: 0,
+            pattern: Pattern::single(person),
+        });
+        let ext = Extension {
+            src: gfd_pattern::End::Var(0),
+            dst: gfd_pattern::End::New(film),
+            label: create,
+        };
+        let results = cluster.broadcast(Task::Join {
+            parent: 0,
+            child: 1,
+            ext,
+        });
+        let mut rows_total = 0;
+        let mut shipped_any = false;
+        for r in results {
+            if let TaskResult::Joined { rows, shipped, .. } = r {
+                rows_total += rows;
+                shipped_any |= shipped > 0;
+            }
+        }
+        // Equal to global matching of person-create->film.
+        let q = Pattern::edge(person, create, film);
+        assert_eq!(rows_total, gfd_pattern::count_matches(&q, &g));
+        assert!(shipped_any, "cross-fragment edges must be charged");
+    }
+
+    #[test]
+    fn take_put_roundtrip() {
+        let (g, mut cluster) = toy_cluster(ExecMode::Simulated, 2);
+        let person = PLabel::Is(g.interner().lookup_label("person").unwrap());
+        let q = Pattern::single(person);
+        cluster.broadcast(Task::SeedRoot {
+            node: 7,
+            pattern: q.clone(),
+        });
+        let taken = cluster.broadcast(Task::TakeMatches { node: 7 });
+        let mut pool = MatchSet::new(1);
+        for r in taken {
+            if let TaskResult::Matches(ms) = r {
+                pool.extend(&ms);
+            }
+        }
+        assert_eq!(pool.len(), 8);
+        // Second take returns empties.
+        let again = cluster.broadcast(Task::TakeMatches { node: 7 });
+        for r in again {
+            if let TaskResult::Matches(ms) = r {
+                assert!(ms.is_empty());
+            }
+        }
+        // Redistribute evenly.
+        let parts = pool.split(2);
+        let tasks: Vec<Task> = parts
+            .into_iter()
+            .map(|ms| Task::PutMatches {
+                node: 7,
+                pattern: q.clone(),
+                ms,
+            })
+            .collect();
+        cluster.run(tasks);
+        let back = cluster.broadcast(Task::TakeMatches { node: 7 });
+        let sizes: Vec<usize> = back
+            .into_iter()
+            .map(|r| match r {
+                TaskResult::Matches(ms) => ms.len(),
+                _ => 0,
+            })
+            .collect();
+        assert_eq!(sizes, vec![4, 4]);
+    }
+
+    #[test]
+    fn comm_charges_accumulate() {
+        let (_, mut cluster) = toy_cluster(ExecMode::Simulated, 2);
+        cluster.charge_comm(&[1000, 3000]);
+        assert_eq!(cluster.clocks.comm_bytes, 4000);
+        assert!(cluster.clocks.comm_time > Duration::ZERO);
+        let before = cluster.clocks.comm_time;
+        cluster.charge_comm(&[0, 0]);
+        assert_eq!(cluster.clocks.comm_time, before);
+    }
+
+    #[test]
+    fn drop_nodes_clears_state() {
+        let (g, mut cluster) = toy_cluster(ExecMode::Simulated, 2);
+        let person = PLabel::Is(g.interner().lookup_label("person").unwrap());
+        cluster.broadcast(Task::SeedRoot {
+            node: 0,
+            pattern: Pattern::single(person),
+        });
+        cluster.broadcast(Task::DropNodes { nodes: vec![0] });
+        let res = cluster.broadcast(Task::Harvest {
+            node: 0,
+            cfg: DiscoveryConfig::new(2, 1),
+        });
+        for r in res {
+            if let TaskResult::Harvested(h) = r {
+                assert!(h.new_node.is_empty() && h.closing.is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # gfd-parallel — parallel-scalable GFD discovery (§6)
+//!
+//! The parallel algorithms of *Discovering Graph Functional Dependencies*
+//! (Fan et al., SIGMOD 2018): `DisGFD = ParDis + ParCover`, proven parallel
+//! scalable relative to the sequential `SeqDisGFD` (Theorem 5).
+//!
+//! * [`partition`] — greedy balanced vertex-cut fragmentation (§6.1),
+//! * [`cluster`] — the master/worker superstep runtime with two execution
+//!   modes: real threads and a simulated `n`-machine cluster with
+//!   per-worker cost attribution + a communication model,
+//! * [`pardis`] — parallel mining with distributed incremental joins and
+//!   skew re-balancing (§6.2),
+//! * [`parcover`] — parallel cover with Lemma 6 grouping and LPT load
+//!   balancing (§6.3).
+//!
+//! Ablations from §7 are configuration points: `ParGFDn` disables Lemma 4
+//! pruning (`DiscoveryConfig::enable_pruning = false`), `ParGFDnb` disables
+//! re-balancing (`ClusterConfig::load_balance = false`), `ParCovern`
+//! disables grouping (`par_cover(…, grouping = false)`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cluster;
+pub mod parcover;
+pub mod pardis;
+pub mod partition;
+
+pub use cluster::{Clocks, Cluster, ClusterConfig, ExecMode, Task, TaskResult, WorkerCtx};
+pub use parcover::{par_cover, ParCoverReport};
+pub use pardis::{par_dis, ParDisReport};
+pub use partition::{node_owner, vertex_cut, Fragment, Partition};

@@ -1,0 +1,449 @@
+//! `ParCover` — parallel cover computation (§6.3).
+//!
+//! `Σ` is partitioned into **groups** of GFDs sharing one pattern
+//! isomorphism class. By Lemma 6, whether `Σ \ {φ} ⊨ φ` depends only on
+//! the GFDs embedded in `φ`'s pattern, so redundancy checks are pairwise
+//! independent *across* groups and each group can be processed by a
+//! different worker. Groups are keyed by the **unpivoted** canonical code:
+//! implication ignores pivots, so mutually-implying rules (which must have
+//! isomorphic patterns) always land in one group and cannot be removed
+//! concurrently by two workers.
+//!
+//! Per group the worker receives the group's members plus its fixed
+//! *context* — every rule of `Σ` embeddable into the group pattern — and
+//! runs the sequential removal loop within the group. Work units are
+//! assigned to workers by longest-processing-time (LPT) list scheduling,
+//! the factor-2 makespan approximation the paper adopts from \[4\].
+//!
+//! The `ParCovern` ablation (§7) skips grouping: every candidate is tested
+//! against the whole of `Σ`, and a master pass re-validates proposed
+//! removals to keep the result a correct cover.
+
+use std::time::{Duration, Instant};
+
+use gfd_graph::FxHashMap;
+use gfd_logic::{implies_refs, Gfd};
+use gfd_pattern::{canonical_code_unpivoted, is_embedded, CanonicalCode};
+
+use crate::cluster::ExecMode;
+
+/// Outcome of a parallel cover run.
+#[derive(Debug)]
+pub struct ParCoverReport {
+    /// Indices into the input `Σ` that survive (sorted).
+    pub cover: Vec<usize>,
+    /// Real elapsed time.
+    pub wall: Duration,
+    /// Modelled `n`-machine time: `max_w(worker time) + master time`.
+    pub simulated: Duration,
+    /// Number of pattern groups.
+    pub groups: usize,
+    /// Deterministic work measure: total premises examined across all
+    /// implication tests. Grouping shrinks each test's premise set from
+    /// `|Σ|-1` to the group context, so this is what Lemma 6 saves.
+    pub work: u64,
+}
+
+/// One work unit: a pattern group plus its implication context.
+struct Group {
+    /// Indices of Σ members in this group (pattern class).
+    members: Vec<usize>,
+    /// Indices of Σ members embeddable into the group pattern (context for
+    /// the closure; includes the members themselves).
+    context: Vec<usize>,
+}
+
+/// Builds pattern groups and contexts.
+fn build_groups(sigma: &[Gfd]) -> Vec<Group> {
+    let mut by_code: FxHashMap<CanonicalCode, Vec<usize>> = FxHashMap::default();
+    for (i, g) in sigma.iter().enumerate() {
+        by_code
+            .entry(canonical_code_unpivoted(g.pattern()))
+            .or_default()
+            .push(i);
+    }
+    // Deterministic order.
+    let mut classes: Vec<(CanonicalCode, Vec<usize>)> = by_code.into_iter().collect();
+    classes.sort_by(|a, b| a.0.cmp(&b.0));
+
+    classes
+        .into_iter()
+        .map(|(_, members)| {
+            let host = sigma[members[0]].pattern();
+            let context: Vec<usize> = sigma
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| {
+                    g.pattern().node_count() <= host.node_count()
+                        && g.pattern().edge_count() <= host.edge_count()
+                        && is_embedded(g.pattern(), host)
+                })
+                .map(|(i, _)| i)
+                .collect();
+            Group { members, context }
+        })
+        .collect()
+}
+
+/// LPT assignment of groups to `n` workers; returns per-worker group lists.
+fn lpt_assign(groups: &[Group], n: usize) -> Vec<Vec<usize>> {
+    let mut order: Vec<usize> = (0..groups.len()).collect();
+    // Cost model: members × context (implication tests × closure size).
+    let cost = |g: &Group| (g.members.len() * g.context.len().max(1)) as u64;
+    order.sort_by_key(|&i| std::cmp::Reverse(cost(&groups[i])));
+    let mut loads = vec![0u64; n];
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in order {
+        let w = (0..n).min_by_key(|&w| loads[w]).unwrap();
+        loads[w] += cost(&groups[i]);
+        assignment[w].push(i);
+    }
+    assignment
+}
+
+/// Sequential within-group removal: returns members found redundant plus
+/// the premises-examined work count.
+fn process_group(sigma: &[Gfd], group: &Group) -> (Vec<usize>, u64) {
+    let mut removed: Vec<usize> = Vec::new();
+    let mut work = 0u64;
+    // Most specific members first (match SeqCover's preference).
+    let mut order = group.members.clone();
+    order.sort_by_key(|&i| {
+        let g = &sigma[i];
+        std::cmp::Reverse((
+            g.pattern().edge_count(),
+            g.pattern().node_count(),
+            g.lhs().len(),
+        ))
+    });
+    loop {
+        let mut changed = false;
+        for &i in &order {
+            if removed.contains(&i) {
+                continue;
+            }
+            let rest: Vec<&Gfd> = group
+                .context
+                .iter()
+                .copied()
+                .filter(|&j| j != i && !removed.contains(&j))
+                .map(|j| &sigma[j])
+                .collect();
+            work += rest.len() as u64;
+            if implies_refs(rest.into_iter(), &sigma[i]) {
+                removed.push(i);
+                changed = true;
+            }
+        }
+        if !changed {
+            return (removed, work);
+        }
+    }
+}
+
+/// Computes a cover of `sigma` in parallel with `n` workers.
+///
+/// `grouping = false` reproduces the `ParCovern` ablation.
+pub fn par_cover(sigma: &[Gfd], n: usize, mode: ExecMode, grouping: bool) -> ParCoverReport {
+    assert!(n > 0);
+    let wall0 = Instant::now();
+    if grouping {
+        par_cover_grouped(sigma, n, mode, wall0)
+    } else {
+        par_cover_ungrouped(sigma, n, mode, wall0)
+    }
+}
+
+fn par_cover_grouped(sigma: &[Gfd], n: usize, mode: ExecMode, wall0: Instant) -> ParCoverReport {
+    let m0 = Instant::now();
+    let groups = build_groups(sigma);
+    let assignment = lpt_assign(&groups, n);
+    let master_prep = m0.elapsed();
+
+    let mut worker_times = vec![Duration::ZERO; n];
+    let mut removed_all: Vec<usize> = Vec::new();
+    let mut work = 0u64;
+
+    match mode {
+        ExecMode::Simulated => {
+            for (w, gids) in assignment.iter().enumerate() {
+                let t0 = Instant::now();
+                for &gi in gids {
+                    let (removed, grp_work) = process_group(sigma, &groups[gi]);
+                    removed_all.extend(removed);
+                    work += grp_work;
+                }
+                worker_times[w] = t0.elapsed();
+            }
+        }
+        ExecMode::Threads => {
+            let results: Vec<(Vec<usize>, u64, Duration)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = assignment
+                    .iter()
+                    .map(|gids| {
+                        let groups = &groups;
+                        scope.spawn(move || {
+                            let t0 = Instant::now();
+                            let mut removed = Vec::new();
+                            let mut work = 0u64;
+                            for &gi in gids {
+                                let (r, w) = process_group(sigma, &groups[gi]);
+                                removed.extend(r);
+                                work += w;
+                            }
+                            (removed, work, t0.elapsed())
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for (w, (removed, wk, d)) in results.into_iter().enumerate() {
+                removed_all.extend(removed);
+                work += wk;
+                worker_times[w] = d;
+            }
+        }
+    }
+
+    let makespan = worker_times.iter().max().copied().unwrap_or_default();
+    let cover: Vec<usize> = (0..sigma.len())
+        .filter(|i| !removed_all.contains(i))
+        .collect();
+    ParCoverReport {
+        cover,
+        wall: wall0.elapsed(),
+        simulated: makespan + master_prep,
+        groups: groups.len(),
+        work,
+    }
+}
+
+fn par_cover_ungrouped(sigma: &[Gfd], n: usize, mode: ExecMode, wall0: Instant) -> ParCoverReport {
+    // Each candidate tested against the *whole* Σ — no context reduction.
+    let chunks: Vec<Vec<usize>> = (0..n)
+        .map(|w| (0..sigma.len()).filter(|i| i % n == w).collect())
+        .collect();
+    let test = |i: usize| -> bool {
+        implies_refs(
+            sigma
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, g)| g),
+            &sigma[i],
+        )
+    };
+
+    let mut worker_times = vec![Duration::ZERO; n];
+    let mut proposed: Vec<usize> = Vec::new();
+    let mut work = 0u64;
+    let per_test = sigma.len().saturating_sub(1) as u64;
+    match mode {
+        ExecMode::Simulated => {
+            for (w, chunk) in chunks.iter().enumerate() {
+                let t0 = Instant::now();
+                for &i in chunk {
+                    work += per_test;
+                    if test(i) {
+                        proposed.push(i);
+                    }
+                }
+                worker_times[w] = t0.elapsed();
+            }
+        }
+        ExecMode::Threads => {
+            let results: Vec<(Vec<usize>, Duration)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            let t0 = Instant::now();
+                            let removed: Vec<usize> =
+                                chunk.iter().copied().filter(|&i| test(i)).collect();
+                            (removed, t0.elapsed())
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for (w, (removed, d)) in results.into_iter().enumerate() {
+                work += chunks[w].len() as u64 * per_test;
+                proposed.extend(removed);
+                worker_times[w] = d;
+            }
+        }
+    }
+
+    // Master pass: apply proposals sequentially against the survivors, so
+    // mutually-implied pairs are not both dropped.
+    let m0 = Instant::now();
+    proposed.sort_unstable();
+    let mut removed: Vec<bool> = vec![false; sigma.len()];
+    for &i in &proposed {
+        let rest: Vec<&Gfd> = sigma
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i && !removed[*j])
+            .map(|(_, g)| g)
+            .collect();
+        work += rest.len() as u64;
+        if implies_refs(rest.into_iter(), &sigma[i]) {
+            removed[i] = true;
+        }
+    }
+    let master = m0.elapsed();
+
+    let makespan = worker_times.iter().max().copied().unwrap_or_default();
+    let cover: Vec<usize> = (0..sigma.len()).filter(|&i| !removed[i]).collect();
+    ParCoverReport {
+        cover,
+        wall: wall0.elapsed(),
+        simulated: makespan + master,
+        groups: 0,
+        work,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_graph::{AttrId, LabelId, Value};
+    use gfd_logic::{implies, Literal, Rhs};
+    use gfd_pattern::{End, Extension, PLabel, Pattern};
+
+    fn l(i: u32) -> PLabel {
+        PLabel::Is(LabelId(i))
+    }
+
+    fn mixed_sigma() -> Vec<Gfd> {
+        let q = Pattern::edge(l(0), l(1), l(2));
+        let q2 = q.extend(&Extension {
+            src: End::Var(1),
+            dst: End::New(l(3)),
+            label: l(4),
+        });
+        let rhs = Rhs::Lit(Literal::constant(0, AttrId(0), Value::Int(1)));
+        vec![
+            // general rule
+            Gfd::new(q.clone(), vec![], rhs),
+            // implied: bigger pattern
+            Gfd::new(q2.clone(), vec![], rhs),
+            // implied: extra premise
+            Gfd::new(q.clone(), vec![Literal::constant(1, AttrId(1), Value::Int(2))], rhs),
+            // independent rule on another pattern
+            Gfd::new(
+                Pattern::edge(l(5), l(6), l(7)),
+                vec![],
+                Rhs::Lit(Literal::constant(1, AttrId(0), Value::Int(3))),
+            ),
+            // negative rule
+            Gfd::new(
+                Pattern::edge(l(0), l(1), l(0)),
+                vec![Literal::constant(0, AttrId(0), Value::Int(9))],
+                Rhs::False,
+            ),
+        ]
+    }
+
+    fn check_is_cover(sigma: &[Gfd], cover_idx: &[usize]) {
+        let cover: Vec<Gfd> = cover_idx.iter().map(|&i| sigma[i].clone()).collect();
+        for phi in sigma {
+            assert!(implies(&cover, phi), "cover must imply all of Σ");
+        }
+        for (i, phi) in cover.iter().enumerate() {
+            let rest: Vec<Gfd> = cover
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, g)| g.clone())
+                .collect();
+            assert!(!implies(&rest, phi), "cover must be minimal: {i}");
+        }
+    }
+
+    #[test]
+    fn grouped_cover_is_valid_and_matches_sequential_size() {
+        let sigma = mixed_sigma();
+        let seq = gfd_core::cover_indices(&sigma);
+        for n in [1, 2, 4] {
+            let rep = par_cover(&sigma, n, ExecMode::Simulated, true);
+            check_is_cover(&sigma, &rep.cover);
+            assert_eq!(rep.cover.len(), seq.len(), "n={n}");
+            assert!(rep.groups >= 3);
+        }
+    }
+
+    #[test]
+    fn grouped_cover_threads_mode() {
+        let sigma = mixed_sigma();
+        let rep = par_cover(&sigma, 2, ExecMode::Threads, true);
+        check_is_cover(&sigma, &rep.cover);
+    }
+
+    #[test]
+    fn ungrouped_cover_is_valid() {
+        let sigma = mixed_sigma();
+        let rep = par_cover(&sigma, 3, ExecMode::Simulated, false);
+        check_is_cover(&sigma, &rep.cover);
+        assert_eq!(rep.groups, 0);
+    }
+
+    #[test]
+    fn mutually_implying_pair_not_both_removed() {
+        // Two identical rules (same group): exactly one must survive.
+        let q = Pattern::edge(l(0), l(1), l(2));
+        let rhs = Rhs::Lit(Literal::constant(0, AttrId(0), Value::Int(1)));
+        let sigma = vec![Gfd::new(q.clone(), vec![], rhs), Gfd::new(q, vec![], rhs)];
+        for grouping in [true, false] {
+            let rep = par_cover(&sigma, 2, ExecMode::Simulated, grouping);
+            assert_eq!(rep.cover.len(), 1, "grouping={grouping}");
+        }
+    }
+
+    #[test]
+    fn pivot_variants_share_a_group() {
+        // Same pattern, different pivots: mutually implying, one survives.
+        let q = Pattern::edge(l(0), l(1), l(2));
+        let rhs = Rhs::Lit(Literal::constant(0, AttrId(0), Value::Int(1)));
+        let sigma = vec![
+            Gfd::new(q.clone(), vec![], rhs),
+            Gfd::new(q.with_pivot(1), vec![], rhs),
+        ];
+        let rep = par_cover(&sigma, 2, ExecMode::Simulated, true);
+        assert_eq!(rep.cover.len(), 1);
+        check_is_cover(&sigma, &rep.cover);
+    }
+
+    #[test]
+    fn lpt_balances_group_costs() {
+        let groups: Vec<Group> = (0..7)
+            .map(|i| Group {
+                members: (0..(i + 1)).collect(),
+                context: (0..(i + 1)).collect(),
+            })
+            .collect();
+        let assignment = lpt_assign(&groups, 3);
+        let loads: Vec<u64> = assignment
+            .iter()
+            .map(|gids| {
+                gids.iter()
+                    .map(|&g| (groups[g].members.len() * groups[g].context.len()) as u64)
+                    .sum()
+            })
+            .collect();
+        let max = *loads.iter().max().unwrap();
+        let sum: u64 = loads.iter().sum();
+        // Factor-2 guarantee: makespan ≤ 2 × optimal ≤ 2 × (sum/n + max_job).
+        assert!(max as f64 <= 2.0 * (sum as f64 / 3.0) + 49.0);
+        let assigned: usize = assignment.iter().map(Vec::len).sum();
+        assert_eq!(assigned, 7);
+    }
+
+    #[test]
+    fn empty_sigma() {
+        let rep = par_cover(&[], 4, ExecMode::Simulated, true);
+        assert!(rep.cover.is_empty());
+        let rep = par_cover(&[], 4, ExecMode::Simulated, false);
+        assert!(rep.cover.is_empty());
+    }
+}

@@ -1,0 +1,556 @@
+//! `ParDis` — parallel GFD mining over fragmented graphs (§6.2).
+//!
+//! The master mirrors `SeqDis`'s levelwise schedule but delegates every
+//! data-touching step to the workers:
+//!
+//! * **parallel pattern matching** — work units `(Q, e)` become
+//!   [`Task::Join`]s: each worker joins its local `Q(F_s)` with the
+//!   candidate edges of `e` (shipped from other fragments — charged to the
+//!   communication model), yielding `Q'(F_s)`;
+//! * **load balancing** — when `max_s |Q'(F_s)|` exceeds
+//!   `skew_factor × avg`, the match set is re-split evenly across workers
+//!   (disabled for the `ParGFDnb` ablation);
+//! * **parallel validation** — horizontal spawning runs at the master, but
+//!   every candidate evaluation is scattered ([`Task::Evaluate`]) and the
+//!   per-fragment [`gfd_core::PartialStats`] merged, so the mined output is
+//!   identical to the sequential algorithm's.
+//!
+//! Supports are exact: workers return local distinct-pivot *sets* which the
+//! master unions (§6.2's `Σ_s supp(φ, F_s)` sketch would overcount pivots
+//! replicated by the vertex cut).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gfd_core::{
+    mine_dependencies_with, proposals_from_harvest, propose_negative_extensions,
+    CandidateEvaluator, CandidateStats, CatalogCounts, DiscoveredGfd, DiscoveryConfig,
+    DiscoveryResult, GenTree, Inserted, LiteralCatalog, NodeState, PartialStats, RawHarvest,
+};
+use gfd_graph::{triple_stats, Graph, NodeId};
+use gfd_logic::{Gfd, Literal, Rhs};
+use gfd_pattern::{is_embedded, PLabel, Pattern};
+
+use crate::cluster::{Cluster, ClusterConfig, Task, TaskResult};
+use crate::partition::vertex_cut;
+
+/// Outcome of a parallel discovery run.
+#[derive(Debug)]
+pub struct ParDisReport {
+    /// The mined set `Σ` (identical to `SeqDis` output).
+    pub result: DiscoveryResult,
+    /// Real elapsed time of this process.
+    pub wall: Duration,
+    /// Modelled `n`-machine running time (barrier makespans +
+    /// communication + master compute).
+    pub simulated: Duration,
+    /// Modelled bytes shipped.
+    pub comm_bytes: u64,
+    /// Barriers executed.
+    pub barriers: usize,
+    /// Σ over barriers of the slowest worker's modelled work units (rows
+    /// touched) — the deterministic scalability measure; see
+    /// [`crate::Clocks::work_makespan`].
+    pub work_makespan: u64,
+    /// Σ of all workers' modelled work units across barriers.
+    pub work_busy: u64,
+    /// Replication factor of the vertex cut.
+    pub replication_factor: f64,
+}
+
+/// Evaluator that scatters candidate checks across the cluster and merges
+/// partial statistics — the "parallel GFD validation" of §6.2.
+struct ClusterEvaluator<'a> {
+    cluster: &'a mut Cluster,
+    node: usize,
+}
+
+impl CandidateEvaluator for ClusterEvaluator<'_> {
+    fn evaluate(&mut self, x: &[Literal], rhs: &Rhs) -> CandidateStats {
+        let results = self.cluster.broadcast(Task::Evaluate {
+            node: self.node,
+            x: x.to_vec(),
+            rhs: *rhs,
+        });
+        let mut acc = PartialStats::default();
+        let mut bytes = Vec::with_capacity(results.len());
+        for r in &results {
+            if let TaskResult::Stats(s) = r {
+                acc.merge(s);
+                bytes.push(s.byte_size());
+            }
+        }
+        self.cluster.charge_comm(&bytes);
+        acc.finalize()
+    }
+
+    fn lhs_empty(&mut self, x: &[Literal]) -> bool {
+        let results = self.cluster.broadcast(Task::LhsEmpty {
+            node: self.node,
+            x: x.to_vec(),
+        });
+        self.cluster.charge_comm(&vec![1; results.len()]);
+        results.iter().all(|r| matches!(r, TaskResult::Empty(true)))
+    }
+}
+
+/// Runs parallel discovery with `ccfg.workers` workers.
+pub fn par_dis(g: &Arc<Graph>, cfg: &DiscoveryConfig, ccfg: &ClusterConfig) -> ParDisReport {
+    let wall0 = Instant::now();
+    let partition = vertex_cut(g, ccfg.workers);
+    let replication_factor = partition.replication_factor;
+    let mut cluster = Cluster::new(Arc::clone(g), partition.fragments, ccfg);
+
+    let attrs = cfg.resolve_active_attrs(g);
+    let triples = triple_stats(g);
+    let mut tree = GenTree::new();
+    let mut result = DiscoveryResult::default();
+    let mut negative_patterns: Vec<Pattern> = Vec::new();
+
+    // Cold start: same roots as SeqDis, matches partitioned by node owner.
+    let mut roots: Vec<Pattern> = Vec::new();
+    for (label, count) in g.node_label_frequencies() {
+        if (count as usize) >= cfg.sigma || !cfg.enable_pruning {
+            roots.push(Pattern::single(PLabel::Is(label)));
+        }
+    }
+    if cfg.wildcard_min_labels > 0
+        && cfg.wildcard_root
+        && g.node_label_frequencies().len() >= cfg.wildcard_min_labels
+        && g.node_count() >= cfg.sigma
+    {
+        roots.push(Pattern::single(PLabel::Wildcard));
+    }
+    for q in roots {
+        let m0 = Instant::now();
+        let Inserted::Fresh(id) = tree.insert(q.clone(), None, None) else {
+            continue;
+        };
+        cluster.charge_master(m0.elapsed());
+        let results = cluster.broadcast(Task::SeedRoot {
+            node: id,
+            pattern: q,
+        });
+        let (rows, support, _) = merge_join_results(&mut cluster, results);
+        tree.node_mut(id).support = support;
+        let frequent = support >= cfg.sigma || !cfg.enable_pruning;
+        tree.node_mut(id).state = if frequent {
+            NodeState::Frequent
+        } else {
+            NodeState::Infrequent
+        };
+        if frequent && rows > 0 {
+            result.stats.patterns_verified += 1;
+            mine_node(&mut cluster, &mut tree, id, rows, &attrs, cfg, &mut result);
+        }
+    }
+
+    // Levelwise supersteps.
+    for level in 1..=cfg.level_cap() {
+        let parents: Vec<usize> = tree
+            .level(level - 1)
+            .iter()
+            .copied()
+            .filter(|&id| tree.node(id).state == NodeState::Frequent)
+            .collect();
+        if parents.is_empty() {
+            break;
+        }
+        let mut spawned_this_level = 0usize;
+
+        for pid in parents {
+            // Parallel harvest + master-side merge (VSpawn).
+            let harvest_results = cluster.broadcast(Task::Harvest {
+                node: pid,
+                cfg: cfg.clone(),
+            });
+            let m0 = Instant::now();
+            let mut merged = RawHarvest::default();
+            let mut bytes = Vec::with_capacity(harvest_results.len());
+            for r in harvest_results {
+                if let TaskResult::Harvested(h) = r {
+                    bytes.push(h.byte_size());
+                    merged.merge(*h);
+                }
+            }
+            let proposals = proposals_from_harvest(&merged, cfg);
+            let negs = if cfg.mine_negative {
+                propose_negative_extensions(
+                    &tree.node(pid).pattern,
+                    g,
+                    &triples,
+                    &proposals.seen,
+                    cfg,
+                )
+            } else {
+                Vec::new()
+            };
+            cluster.charge_master(m0.elapsed());
+            cluster.charge_comm(&bytes);
+
+            for (ext, _count) in proposals.frequent {
+                if cfg.max_patterns_per_level > 0 && spawned_this_level >= cfg.max_patterns_per_level
+                {
+                    break;
+                }
+                result.stats.patterns_spawned += 1;
+                let m0 = Instant::now();
+                let child_pattern = tree.node(pid).pattern.extend(&ext);
+                let inserted = tree.insert(child_pattern, Some(pid), Some(ext));
+                cluster.charge_master(m0.elapsed());
+                let Inserted::Fresh(cid) = inserted else {
+                    result.stats.patterns_deduped += 1;
+                    continue;
+                };
+                spawned_this_level += 1;
+
+                // Work unit (Q, e): distributed incremental join.
+                let join_results = cluster.broadcast(Task::Join {
+                    parent: pid,
+                    child: cid,
+                    ext,
+                });
+                let (rows, support, sizes) = merge_join_results(&mut cluster, join_results);
+
+                if rows == 0 {
+                    tree.node_mut(cid).state = NodeState::Empty;
+                    result.stats.patterns_empty += 1;
+                    if cfg.mine_negative && tree.node(pid).support >= cfg.sigma {
+                        emit_negative(&tree, cid, pid, &mut result, &mut negative_patterns);
+                    }
+                    continue;
+                }
+                tree.node_mut(cid).support = support;
+                let overflow =
+                    cfg.max_matches_per_pattern > 0 && rows > cfg.max_matches_per_pattern;
+                if overflow || (support < cfg.sigma && cfg.enable_pruning) {
+                    tree.node_mut(cid).state = NodeState::Infrequent;
+                    result.stats.patterns_infrequent += 1;
+                    cluster.broadcast(Task::DropNodes { nodes: vec![cid] });
+                    continue;
+                }
+                tree.node_mut(cid).state = NodeState::Frequent;
+                result.stats.patterns_verified += 1;
+
+                // Skew re-balancing (§6.2) — the DisGFD/ParGFDnb difference.
+                if ccfg.load_balance {
+                    rebalance_if_skewed(&mut cluster, &tree, cid, &sizes, ccfg);
+                }
+
+                // Inherit covered signatures, then mine.
+                let covered = tree.node(pid).covered.clone();
+                tree.node_mut(cid).covered = covered;
+                mine_node(&mut cluster, &mut tree, cid, rows, &attrs, cfg, &mut result);
+            }
+
+            // NVSpawn: guaranteed-zero-support extensions.
+            for ext in negs {
+                result.stats.patterns_spawned += 1;
+                let m0 = Instant::now();
+                let child_pattern = tree.node(pid).pattern.extend(&ext);
+                let inserted = tree.insert(child_pattern, Some(pid), Some(ext));
+                cluster.charge_master(m0.elapsed());
+                match inserted {
+                    Inserted::Existing(_) => result.stats.patterns_deduped += 1,
+                    Inserted::Fresh(cid) => {
+                        tree.node_mut(cid).state = NodeState::Empty;
+                        result.stats.patterns_empty += 1;
+                        emit_negative(&tree, cid, pid, &mut result, &mut negative_patterns);
+                    }
+                }
+            }
+        }
+
+        // Reclaim matches below the new frontier.
+        let stale: Vec<usize> = tree
+            .nodes()
+            .iter()
+            .filter(|n| n.level < level)
+            .map(|n| n.id)
+            .collect();
+        cluster.broadcast(Task::DropNodes { nodes: stale });
+    }
+
+    result.stats.positive = result.positive_count();
+    result.stats.negative = result.negative_count();
+    let wall = wall0.elapsed();
+    result.stats.total_time = wall;
+    ParDisReport {
+        result,
+        wall,
+        simulated: cluster.clocks.simulated_total(),
+        comm_bytes: cluster.clocks.comm_bytes,
+        barriers: cluster.clocks.barriers,
+        work_makespan: cluster.clocks.work_makespan,
+        work_busy: cluster.clocks.work_busy,
+        replication_factor,
+    }
+}
+
+/// Merges join results: total rows, exact support (pivot-set union), local
+/// sizes; charges the pivot-set communication.
+fn merge_join_results(
+    cluster: &mut Cluster,
+    results: Vec<TaskResult>,
+) -> (usize, usize, Vec<usize>) {
+    let mut total_rows = 0usize;
+    let mut all_pivots: Vec<NodeId> = Vec::new();
+    let mut sizes = Vec::with_capacity(results.len());
+    let mut comm = Vec::with_capacity(results.len());
+    for r in results {
+        if let TaskResult::Joined {
+            rows,
+            pivots,
+            shipped,
+        } = r
+        {
+            total_rows += rows;
+            sizes.push(rows);
+            comm.push(shipped + pivots.len() * 4);
+            all_pivots.extend(pivots);
+        }
+    }
+    cluster.charge_comm(&comm);
+    all_pivots.sort_unstable();
+    all_pivots.dedup();
+    (total_rows, all_pivots.len(), sizes)
+}
+
+/// Re-splits `cid`'s matches evenly when one fragment holds a skewed share.
+fn rebalance_if_skewed(
+    cluster: &mut Cluster,
+    tree: &GenTree,
+    cid: usize,
+    sizes: &[usize],
+    ccfg: &ClusterConfig,
+) {
+    let total: usize = sizes.iter().sum();
+    let n = sizes.len();
+    if total == 0 || n < 2 {
+        return;
+    }
+    let max = sizes.iter().max().copied().unwrap_or(0);
+    let avg = total as f64 / n as f64;
+    if (max as f64) <= ccfg.skew_factor * avg {
+        return;
+    }
+    let taken = cluster.broadcast(Task::TakeMatches { node: cid });
+    let pattern = tree.node(cid).pattern.clone();
+    let mut pool = gfd_pattern::MatchSet::new(pattern.node_count());
+    for r in taken {
+        if let TaskResult::Matches(ms) = r {
+            pool.extend(&ms);
+        }
+    }
+    let parts = pool.split(n);
+    // Moved rows cross the network.
+    let moved: Vec<usize> = parts.iter().map(|p| p.byte_size()).collect();
+    cluster.charge_comm(&moved);
+    let tasks: Vec<Task> = parts
+        .into_iter()
+        .map(|ms| Task::PutMatches {
+            node: cid,
+            pattern: pattern.clone(),
+            ms,
+        })
+        .collect();
+    cluster.run(tasks);
+}
+
+/// Parallel horizontal spawning on one verified pattern.
+#[allow(clippy::too_many_arguments)]
+fn mine_node(
+    cluster: &mut Cluster,
+    tree: &mut GenTree,
+    id: usize,
+    rows: usize,
+    attrs: &[gfd_graph::AttrId],
+    cfg: &DiscoveryConfig,
+    result: &mut DiscoveryResult,
+) {
+    // Build fragment tables, merge literal-candidate counts.
+    let count_results = cluster.broadcast(Task::BuildTable {
+        node: id,
+        attrs: attrs.to_vec(),
+    });
+    let m0 = Instant::now();
+    let mut counts = CatalogCounts::default();
+    let mut bytes = Vec::with_capacity(count_results.len());
+    for r in count_results {
+        if let TaskResult::Counts(c) = r {
+            bytes.push(c.byte_size());
+            counts.merge(*c);
+        }
+    }
+    // Same min-rows floor as SeqDis (`σ.min(total match rows)`).
+    let catalog: LiteralCatalog =
+        counts.finalize_capped(cfg.values_per_attr, cfg.sigma.min(rows.max(1)), cfg.max_catalog_literals);
+    cluster.charge_master(m0.elapsed());
+    cluster.charge_comm(&bytes);
+
+    let pattern = tree.node(id).pattern.clone();
+    let level = pattern.edge_count();
+    let mut covered = std::mem::take(&mut tree.node_mut(id).covered);
+    let (deps, hstats) = {
+        let mut eval = ClusterEvaluator { cluster, node: id };
+        mine_dependencies_with(&mut eval, &catalog, &mut covered, cfg)
+    };
+    tree.node_mut(id).covered = covered;
+    result.stats.hspawn.merge(&hstats);
+    for dep in deps {
+        let confidence = dep.confidence();
+        result.gfds.push(DiscoveredGfd {
+            gfd: Gfd::new(pattern.clone(), dep.lhs, dep.rhs),
+            support: dep.support,
+            level,
+            confidence,
+        });
+    }
+    cluster.broadcast(Task::DropTable { node: id });
+}
+
+/// Emits `Q'(∅ → false)` unless a smaller emitted negative embeds into it.
+fn emit_negative(
+    tree: &GenTree,
+    cid: usize,
+    pid: usize,
+    result: &mut DiscoveryResult,
+    negative_patterns: &mut Vec<Pattern>,
+) {
+    let pattern = tree.node(cid).pattern.clone();
+    if negative_patterns
+        .iter()
+        .any(|prev| is_embedded(prev, &pattern))
+    {
+        return;
+    }
+    let support = tree.node(pid).support;
+    let level = pattern.edge_count();
+    negative_patterns.push(pattern.clone());
+    result.gfds.push(DiscoveredGfd {
+        gfd: Gfd::new(pattern, vec![], Rhs::False),
+        support,
+        level,
+        confidence: 1.0,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_core::seq_dis;
+    use gfd_graph::GraphBuilder;
+
+    /// A KB with planted positive + negative rules and enough asymmetry to
+    /// exercise joins, catalogs, NH/NV spawning and wildcard upgrades.
+    #[allow(clippy::needless_range_loop)]
+    fn kb() -> Arc<Graph> {
+        let mut b = GraphBuilder::new();
+        let mut people = Vec::new();
+        for i in 0..18 {
+            let p = b.add_node("person");
+            b.set_attr(p, "type", if i < 12 { "producer" } else { "actor" });
+            b.set_attr(p, "surname", ["smith", "jones", "brown"][i % 3]);
+            people.push(p);
+        }
+        for i in 0..12 {
+            let f = b.add_node("product");
+            b.set_attr(f, "type", "film");
+            b.set_attr(f, "genre", ["drama", "comedy"][i % 2]);
+            b.add_edge(people[i], f, "create");
+        }
+        for w in people.windows(2) {
+            b.add_edge(w[0], w[1], "parent");
+        }
+        // A few follow edges for label diversity.
+        for i in 0..6 {
+            b.add_edge(people[i], people[(i + 5) % 18], "follow");
+        }
+        Arc::new(b.build())
+    }
+
+    fn cfg() -> DiscoveryConfig {
+        let mut c = DiscoveryConfig::new(3, 4);
+        c.max_lhs_size = 1;
+        c.wildcard_min_labels = 0;
+        c.values_per_attr = 3;
+        c.max_negative_candidates = 16;
+        c
+    }
+
+    fn canonical(result: &DiscoveryResult, g: &Graph) -> Vec<String> {
+        let mut v: Vec<String> = result
+            .gfds
+            .iter()
+            .map(|d| format!("{} @{}", d.gfd.display(g.interner()), d.support))
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn parallel_equals_sequential_simulated() {
+        let g = kb();
+        let c = cfg();
+        let seq = seq_dis(&g, &c);
+        assert!(!seq.gfds.is_empty());
+        for n in [1, 2, 4, 7] {
+            let ccfg = ClusterConfig::new(n, crate::cluster::ExecMode::Simulated);
+            let par = par_dis(&g, &c, &ccfg);
+            assert_eq!(
+                canonical(&par.result, &g),
+                canonical(&seq, &g),
+                "divergence at n={n}"
+            );
+            assert!(par.barriers > 0);
+            assert!(par.comm_bytes > 0 || n == 1);
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential_threads() {
+        let g = kb();
+        let c = cfg();
+        let seq = seq_dis(&g, &c);
+        let ccfg = ClusterConfig::new(3, crate::cluster::ExecMode::Threads);
+        let par = par_dis(&g, &c, &ccfg);
+        assert_eq!(canonical(&par.result, &g), canonical(&seq, &g));
+    }
+
+    #[test]
+    fn no_balance_variant_same_output() {
+        // ParGFDnb changes the schedule, never the result.
+        let g = kb();
+        let c = cfg();
+        let seq = seq_dis(&g, &c);
+        let mut ccfg = ClusterConfig::new(4, crate::cluster::ExecMode::Simulated);
+        ccfg.load_balance = false;
+        let par = par_dis(&g, &c, &ccfg);
+        assert_eq!(canonical(&par.result, &g), canonical(&seq, &g));
+    }
+
+    #[test]
+    fn wildcard_upgrades_survive_parallelism() {
+        let g = kb();
+        let mut c = cfg();
+        c.wildcard_min_labels = 2;
+        let seq = seq_dis(&g, &c);
+        let ccfg = ClusterConfig::new(3, crate::cluster::ExecMode::Simulated);
+        let par = par_dis(&g, &c, &ccfg);
+        assert_eq!(canonical(&par.result, &g), canonical(&seq, &g));
+    }
+
+    #[test]
+    fn discovered_rules_hold_globally() {
+        let g = kb();
+        let ccfg = ClusterConfig::new(3, crate::cluster::ExecMode::Simulated);
+        let par = par_dis(&g, &cfg(), &ccfg);
+        for d in &par.result.gfds {
+            assert!(
+                gfd_logic::satisfies(&g, &d.gfd),
+                "violated: {}",
+                d.gfd.display(g.interner())
+            );
+        }
+    }
+}

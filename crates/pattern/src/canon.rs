@@ -1,0 +1,271 @@
+//! Canonical codes for patterns.
+//!
+//! The generation tree merges isomorphic spawned patterns (`iso(Q)`, §5.1).
+//! Two patterns are identified when there is a **pivot-preserving**
+//! isomorphism between them that maps labels exactly (wildcard to wildcard).
+//! We compute a canonical code — the lexicographically smallest encoding of
+//! the pattern over all node orderings that place the pivot first — by
+//! branch-and-bound over permutations. Patterns are `k`-bounded with small
+//! `k` (the paper evaluates `k ≤ 6`), so this is cheap in practice; codes
+//! are cached by the generation tree.
+
+use gfd_graph::FxHashMap;
+
+use crate::pattern::{PLabel, Pattern, Var};
+
+
+/// A canonical, pivot-preserving encoding of a pattern. Equal codes ⟺
+/// pivot-preserving isomorphic patterns (with identical labels).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct CanonicalCode(Vec<u64>);
+
+fn label_code(l: PLabel) -> u64 {
+    match l {
+        PLabel::Wildcard => u64::MAX,
+        PLabel::Is(id) => id.0 as u64,
+    }
+}
+
+/// Encodes a pattern under a given node ordering `perm` (perm[i] = the
+/// original variable placed at position i).
+fn encode(q: &Pattern, perm: &[Var]) -> Vec<u64> {
+    let mut pos = vec![0usize; q.node_count()];
+    for (i, &v) in perm.iter().enumerate() {
+        pos[v] = i;
+    }
+    let mut code = Vec::with_capacity(2 + q.node_count() + 3 * q.edge_count());
+    code.push(q.node_count() as u64);
+    code.push(q.edge_count() as u64);
+    for &v in perm {
+        code.push(label_code(q.node_label(v)));
+    }
+    let mut edges: Vec<[u64; 3]> = q
+        .edges()
+        .iter()
+        .map(|e| [pos[e.src] as u64, pos[e.dst] as u64, label_code(e.label)])
+        .collect();
+    edges.sort_unstable();
+    for e in edges {
+        code.extend_from_slice(&e);
+    }
+    code
+}
+
+/// Computes the canonical code of `q` (pivot fixed at position 0).
+pub fn canonical_code(q: &Pattern) -> CanonicalCode {
+    let n = q.node_count();
+    let mut rest: Vec<Var> = (0..n).filter(|&v| v != q.pivot()).collect();
+    let mut perm = Vec::with_capacity(n);
+    perm.push(q.pivot());
+    let mut best: Option<Vec<u64>> = None;
+    permute(q, &mut perm, &mut rest, &mut best);
+    CanonicalCode(best.expect("at least one permutation"))
+}
+
+fn permute(q: &Pattern, perm: &mut Vec<Var>, rest: &mut Vec<Var>, best: &mut Option<Vec<u64>>) {
+    if rest.is_empty() {
+        let code = encode(q, perm);
+        match best {
+            None => *best = Some(code),
+            Some(b) if code < *b => *b = code,
+            _ => {}
+        }
+        return;
+    }
+    for i in 0..rest.len() {
+        let v = rest.swap_remove(i);
+        perm.push(v);
+        permute(q, perm, rest, best);
+        perm.pop();
+        rest.push(v);
+        let last = rest.len() - 1;
+        rest.swap(i, last);
+    }
+}
+
+/// Canonical code ignoring the pivot: minimal encoding over *all* node
+/// orderings. Two patterns share this code iff they are isomorphic as
+/// plain labelled graphs. `ParCover` groups by this code because GFD
+/// implication disregards pivots — mutually-implying rules always land in
+/// one group (Lemma 6 soundness).
+pub fn canonical_code_unpivoted(q: &Pattern) -> CanonicalCode {
+    let n = q.node_count();
+    let mut best: Option<Vec<u64>> = None;
+    for first in 0..n {
+        let mut rest: Vec<Var> = (0..n).filter(|&v| v != first).collect();
+        let mut perm = Vec::with_capacity(n);
+        perm.push(first);
+        permute(q, &mut perm, &mut rest, &mut best);
+    }
+    CanonicalCode(best.expect("at least one permutation"))
+}
+
+/// Whether two patterns are pivot-preserving isomorphic (same canonical
+/// code). Labels must match exactly (`_` only equals `_`).
+pub fn isomorphic(a: &Pattern, b: &Pattern) -> bool {
+    if a.node_count() != b.node_count() || a.edge_count() != b.edge_count() {
+        return false;
+    }
+    canonical_code(a) == canonical_code(b)
+}
+
+/// A registry de-duplicating patterns by canonical code, handing out dense
+/// pattern ids; backs the generation tree's `iso(Q)` bookkeeping.
+#[derive(Default, Debug)]
+pub struct PatternRegistry {
+    by_code: FxHashMap<CanonicalCode, usize>,
+}
+
+impl PatternRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns `(id, inserted)`: the id of `q`'s isomorphism class, minting
+    /// a fresh id when unseen.
+    pub fn intern(&mut self, q: &Pattern) -> (usize, bool) {
+        let code = canonical_code(q);
+        let next = self.by_code.len();
+        match self.by_code.entry(code) {
+            std::collections::hash_map::Entry::Occupied(o) => (*o.get(), false),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(next);
+                (next, true)
+            }
+        }
+    }
+
+    /// Number of distinct isomorphism classes seen.
+    pub fn len(&self) -> usize {
+        self.by_code.len()
+    }
+
+    /// True when no pattern has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.by_code.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::PEdge;
+    use gfd_graph::LabelId;
+
+    fn l(i: u32) -> PLabel {
+        PLabel::Is(LabelId(i))
+    }
+
+    #[test]
+    fn permuted_patterns_share_code() {
+        // 0 -> 1 -> 2 vs the same chain with nodes 1 and 2 swapped.
+        let a = Pattern::new(
+            vec![l(0), l(1), l(2)],
+            vec![
+                PEdge { src: 0, dst: 1, label: l(7) },
+                PEdge { src: 1, dst: 2, label: l(8) },
+            ],
+            0,
+        );
+        let b = Pattern::new(
+            vec![l(0), l(2), l(1)],
+            vec![
+                PEdge { src: 0, dst: 2, label: l(7) },
+                PEdge { src: 2, dst: 1, label: l(8) },
+            ],
+            0,
+        );
+        assert!(isomorphic(&a, &b));
+        assert_eq!(canonical_code(&a), canonical_code(&b));
+    }
+
+    #[test]
+    fn labels_distinguish() {
+        let a = Pattern::edge(l(0), l(1), l(2));
+        let b = Pattern::edge(l(0), l(1), l(3));
+        assert!(!isomorphic(&a, &b));
+        let w = Pattern::edge(l(0), l(1), PLabel::Wildcard);
+        assert!(!isomorphic(&a, &w));
+        assert!(isomorphic(&w, &w.clone()));
+    }
+
+    #[test]
+    fn pivot_distinguishes() {
+        let a = Pattern::edge(l(0), l(1), l(0));
+        let b = a.with_pivot(1);
+        // Same shape, same labels, but the pivot breaks the symmetry only if
+        // direction matters: x->y pivoted at x differs from pivoted at y.
+        assert!(!isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn symmetric_pattern_same_code_under_pivot_swap() {
+        // x <-> y with identical labels both ways: pivoting either end is
+        // isomorphic because the automorphism swaps them.
+        let p = Pattern::new(
+            vec![l(0), l(0)],
+            vec![
+                PEdge { src: 0, dst: 1, label: l(1) },
+                PEdge { src: 1, dst: 0, label: l(1) },
+            ],
+            0,
+        );
+        let q = p.with_pivot(1);
+        assert!(isomorphic(&p, &q));
+    }
+
+    #[test]
+    fn direction_matters() {
+        let a = Pattern::edge(l(0), l(1), l(0));
+        let mut rev_edges = vec![PEdge { src: 1, dst: 0, label: l(1) }];
+        let b = Pattern::new(vec![l(0), l(0)], std::mem::take(&mut rev_edges), 0);
+        assert!(!isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn unpivoted_code_ignores_pivot() {
+        let a = Pattern::edge(l(0), l(1), l(2));
+        let b = a.with_pivot(1);
+        assert!(!isomorphic(&a, &b));
+        assert_eq!(canonical_code_unpivoted(&a), canonical_code_unpivoted(&b));
+        let c = Pattern::edge(l(0), l(1), l(3));
+        assert_ne!(canonical_code_unpivoted(&a), canonical_code_unpivoted(&c));
+    }
+
+    #[test]
+    fn registry_dedups() {
+        let mut reg = PatternRegistry::new();
+        let a = Pattern::edge(l(0), l(1), l(2));
+        let b = Pattern::edge(l(0), l(1), l(2));
+        let c = Pattern::edge(l(0), l(1), l(3));
+        let (ia, fresh_a) = reg.intern(&a);
+        let (ib, fresh_b) = reg.intern(&b);
+        let (ic, fresh_c) = reg.intern(&c);
+        assert!(fresh_a && !fresh_b && fresh_c);
+        assert_eq!(ia, ib);
+        assert_ne!(ia, ic);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn star_vs_chain_distinguished() {
+        let star = Pattern::new(
+            vec![l(0), l(0), l(0)],
+            vec![
+                PEdge { src: 0, dst: 1, label: l(1) },
+                PEdge { src: 0, dst: 2, label: l(1) },
+            ],
+            0,
+        );
+        let chain = Pattern::new(
+            vec![l(0), l(0), l(0)],
+            vec![
+                PEdge { src: 0, dst: 1, label: l(1) },
+                PEdge { src: 1, dst: 2, label: l(1) },
+            ],
+            0,
+        );
+        assert!(!isomorphic(&star, &chain));
+    }
+}

@@ -1,0 +1,397 @@
+//! Pattern-into-pattern embeddings and the reduction order `≪` (§3, §4.1).
+//!
+//! A GFD `φ' = Q'[x̄'](…)` is **embedded** in a pattern `Q` when there is an
+//! isomorphism from `Q'` to a subgraph of `Q` (§3). With patterns on both
+//! sides the label condition reads: the image's label (from `Q`) must
+//! `⪯`-satisfy the source's label (from `Q'`) — a wildcard in `Q'` accepts
+//! anything, a concrete label accepts only itself (not a wildcard in `Q`).
+//!
+//! `Q ≪ Q'` (pattern reduction, §4.1) holds when `Q` embeds into `Q'` via a
+//! mapping that is *strictly* reducing: `Q` removes nodes/edges of `Q'` or
+//! upgrades labels to `_`. Pivot-preserving variants back the GFD order.
+
+use std::ops::ControlFlow;
+
+use crate::pattern::{PLabel, Pattern, Var};
+
+/// Whether host label `h` may serve as the image of sub-pattern label `s`
+/// (`h ⪯ s`).
+#[inline]
+fn admits(s: PLabel, h: PLabel) -> bool {
+    s.admits_plabel(h)
+}
+
+/// Configuration for [`for_each_embedding`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EmbedOptions {
+    /// Require `f(pivot(sub)) = pivot(host)` (GFD ordering preserves pivots).
+    pub preserve_pivot: bool,
+}
+
+/// Streams every injective embedding `f : sub → host` (as a vector indexed
+/// by sub variable) to `sink`; `sink` may break to stop early.
+pub fn for_each_embedding<F>(
+    sub: &Pattern,
+    host: &Pattern,
+    opts: EmbedOptions,
+    mut sink: F,
+) -> ControlFlow<()>
+where
+    F: FnMut(&[Var]) -> ControlFlow<()>,
+{
+    if sub.node_count() > host.node_count() || sub.edge_count() > host.edge_count() {
+        return ControlFlow::Continue(());
+    }
+    let mut assignment: Vec<Option<Var>> = vec![None; sub.node_count()];
+    // Bind sub variables in a connectivity-aware order starting from the
+    // pivot, so edge checks prune early.
+    let order = binding_order(sub);
+    rec(sub, host, &opts, &order, 0, &mut assignment, &mut sink)
+}
+
+fn binding_order(sub: &Pattern) -> Vec<Var> {
+    let n = sub.node_count();
+    let mut seen = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    seen[sub.pivot()] = true;
+    order.push(sub.pivot());
+    while order.len() < n {
+        // Prefer a variable adjacent to an already-ordered one.
+        let next = (0..n)
+            .filter(|&v| !seen[v])
+            .max_by_key(|&v| {
+                sub.incident(v)
+                    .iter()
+                    .filter(|&&(e, _)| {
+                        let edge = sub.edges()[e];
+                        let other = if edge.src == v { edge.dst } else { edge.src };
+                        seen[other]
+                    })
+                    .count()
+            })
+            .expect("unseen variable exists");
+        seen[next] = true;
+        order.push(next);
+    }
+    order
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rec<F>(
+    sub: &Pattern,
+    host: &Pattern,
+    opts: &EmbedOptions,
+    order: &[Var],
+    depth: usize,
+    assignment: &mut Vec<Option<Var>>,
+    sink: &mut F,
+) -> ControlFlow<()>
+where
+    F: FnMut(&[Var]) -> ControlFlow<()>,
+{
+    if depth == order.len() {
+        let image: Vec<Var> = assignment.iter().map(|a| a.unwrap()).collect();
+        return sink(&image);
+    }
+    let v = order[depth];
+    let candidates: Vec<Var> = if depth == 0 && opts.preserve_pivot {
+        vec![host.pivot()]
+    } else {
+        (0..host.node_count()).collect()
+    };
+    'cands: for h in candidates {
+        if !admits(sub.node_label(v), host.node_label(h)) {
+            continue;
+        }
+        if assignment.contains(&Some(h)) {
+            continue; // injectivity
+        }
+        // Check sub edges between v and already-assigned variables (plus
+        // v's self-loops): each needs a host edge with admissible label;
+        // parallel sub edges need distinct host edges (multiset feasibility
+        // per ordered pair).
+        assignment[v] = Some(h);
+        let mut pairs: Vec<(Var, Var)> = vec![(v, v)];
+        for &w in &order[..depth] {
+            pairs.push((v, w));
+            pairs.push((w, v));
+        }
+        for (a, b) in pairs {
+            let sub_edges = sub.edges_between(a, b);
+            if sub_edges.is_empty() {
+                continue;
+            }
+            let (ha, hb) = (assignment[a].unwrap(), assignment[b].unwrap());
+            if !pair_feasible(sub, host, &sub_edges, ha, hb) {
+                assignment[v] = None;
+                continue 'cands;
+            }
+        }
+        rec(sub, host, opts, order, depth + 1, assignment, sink)?;
+        assignment[v] = None;
+    }
+    ControlFlow::Continue(())
+}
+
+fn pair_feasible(sub: &Pattern, host: &Pattern, sub_edges: &[usize], ha: Var, hb: Var) -> bool {
+    let host_edges = host.edges_between(ha, hb);
+    if host_edges.len() < sub_edges.len() {
+        return false;
+    }
+    if sub_edges.len() == 1 {
+        let want = sub.edges()[sub_edges[0]].label;
+        return host_edges
+            .iter()
+            .any(|&e| admits(want, host.edges()[e].label));
+    }
+    // Count demand per concrete label; wildcards take the remainder.
+    let mut ok = true;
+    for &se in sub_edges {
+        if let PLabel::Is(l) = sub.edges()[se].label {
+            let need = sub_edges
+                .iter()
+                .filter(|&&x| sub.edges()[x].label == PLabel::Is(l))
+                .count();
+            let avail = host_edges
+                .iter()
+                .filter(|&&x| host.edges()[x].label == PLabel::Is(l))
+                .count();
+            if avail < need {
+                ok = false;
+                break;
+            }
+        }
+    }
+    ok
+}
+
+/// Returns the first embedding, if any.
+pub fn find_embedding(sub: &Pattern, host: &Pattern, opts: EmbedOptions) -> Option<Vec<Var>> {
+    let mut found = None;
+    let _ = for_each_embedding(sub, host, opts, |f| {
+        found = Some(f.to_vec());
+        ControlFlow::Break(())
+    });
+    found
+}
+
+/// Collects all embeddings.
+pub fn all_embeddings(sub: &Pattern, host: &Pattern, opts: EmbedOptions) -> Vec<Vec<Var>> {
+    let mut out = Vec::new();
+    let _ = for_each_embedding(sub, host, opts, |f| {
+        out.push(f.to_vec());
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+/// Whether `sub` is embeddable in `host` (pivot-free).
+pub fn is_embedded(sub: &Pattern, host: &Pattern) -> bool {
+    find_embedding(
+        sub,
+        host,
+        EmbedOptions {
+            preserve_pivot: false,
+        },
+    )
+    .is_some()
+}
+
+/// The strict pattern-reduction order `Q ≪ Q'` of §4.1, pivot-preserving:
+/// `Q` embeds into `Q'` (preserving pivots) and is strictly smaller — fewer
+/// nodes, fewer edges, or at least one label strictly upgraded to `_`.
+pub fn reduces(q: &Pattern, q2: &Pattern) -> bool {
+    if q.node_count() > q2.node_count() || q.edge_count() > q2.edge_count() {
+        return false;
+    }
+    let mut found = false;
+    let _ = for_each_embedding(
+        q,
+        q2,
+        EmbedOptions {
+            preserve_pivot: true,
+        },
+        |f| {
+            if strictly_reducing(q, q2, f) {
+                found = true;
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        },
+    );
+    found
+}
+
+/// Whether embedding `f : q → q2` witnesses a *strict* reduction: `q` has
+/// fewer nodes/edges than `q2`, or some label of `q` is a wildcard where the
+/// image in `q2` is concrete.
+pub fn strictly_reducing(q: &Pattern, q2: &Pattern, f: &[Var]) -> bool {
+    if q.node_count() < q2.node_count() || q.edge_count() < q2.edge_count() {
+        return true;
+    }
+    // Same size: some node or edge label must be strictly upgraded.
+    for (v, &fv) in f.iter().enumerate() {
+        if q.node_label(v).is_wildcard() && !q2.node_label(fv).is_wildcard() {
+            return true;
+        }
+    }
+    for e in q.edges() {
+        if e.label.is_wildcard() {
+            // A wildcard edge strictly reduces unless all host edges between
+            // the image pair are wildcards too.
+            let host_edges = q2.edges_between(f[e.src], f[e.dst]);
+            if host_edges
+                .iter()
+                .any(|&he| !q2.edges()[he].label.is_wildcard())
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{End, Extension, PEdge};
+    use gfd_graph::LabelId;
+
+    fn l(i: u32) -> PLabel {
+        PLabel::Is(LabelId(i))
+    }
+
+    fn opts(pivot: bool) -> EmbedOptions {
+        EmbedOptions {
+            preserve_pivot: pivot,
+        }
+    }
+
+    #[test]
+    fn single_node_embeds_everywhere_compatible() {
+        let sub = Pattern::single(l(0));
+        let host = Pattern::edge(l(0), l(9), l(1));
+        assert_eq!(all_embeddings(&sub, &host, opts(false)).len(), 1);
+        let wild = Pattern::single(PLabel::Wildcard);
+        assert_eq!(all_embeddings(&wild, &host, opts(false)).len(), 2);
+    }
+
+    #[test]
+    fn wildcard_direction_of_preorder() {
+        // Sub with concrete label does NOT embed onto a wildcard host node.
+        let sub = Pattern::single(l(0));
+        let host = Pattern::single(PLabel::Wildcard);
+        assert!(!is_embedded(&sub, &host));
+        // The converse embeds.
+        assert!(is_embedded(&host, &sub));
+    }
+
+    #[test]
+    fn edge_embedding_checks_labels_and_direction() {
+        let host = Pattern::edge(l(0), l(5), l(1));
+        assert!(is_embedded(&Pattern::edge(l(0), l(5), l(1)), &host));
+        assert!(is_embedded(&Pattern::edge(l(0), PLabel::Wildcard, l(1)), &host));
+        assert!(!is_embedded(&Pattern::edge(l(1), l(5), l(0)), &host)); // reversed
+        assert!(!is_embedded(&Pattern::edge(l(0), l(6), l(1)), &host)); // wrong edge label
+    }
+
+    #[test]
+    fn embedding_into_larger_pattern() {
+        // host: x0 ->a x1 ->b x2 ; sub: y0 ->b y1.
+        let host = Pattern::new(
+            vec![l(0), l(1), l(2)],
+            vec![
+                PEdge { src: 0, dst: 1, label: l(10) },
+                PEdge { src: 1, dst: 2, label: l(11) },
+            ],
+            0,
+        );
+        let sub = Pattern::edge(l(1), l(11), l(2));
+        let embeds = all_embeddings(&sub, &host, opts(false));
+        assert_eq!(embeds, vec![vec![1, 2]]);
+    }
+
+    #[test]
+    fn pivot_preservation_restricts() {
+        let host = Pattern::edge(l(0), l(5), l(0));
+        let sub = Pattern::single(l(0));
+        assert_eq!(all_embeddings(&sub, &host, opts(false)).len(), 2);
+        let pinned = all_embeddings(&sub, &host, opts(true));
+        assert_eq!(pinned, vec![vec![0]]);
+    }
+
+    #[test]
+    fn reduces_by_edge_removal() {
+        let q2 = Pattern::edge(l(0), l(5), l(1)).extend(&Extension {
+            src: End::Var(1),
+            dst: End::New(l(2)),
+            label: l(6),
+        });
+        let q = Pattern::edge(l(0), l(5), l(1));
+        assert!(reduces(&q, &q2));
+        assert!(!reduces(&q2, &q));
+        // A pattern does not reduce itself (strictness).
+        assert!(!reduces(&q, &q));
+        assert!(!reduces(&q2, &q2));
+    }
+
+    #[test]
+    fn reduces_by_label_upgrade() {
+        let q2 = Pattern::edge(l(0), l(5), l(1));
+        let q = q2.upgrade_node(1);
+        assert!(reduces(&q, &q2));
+        assert!(!reduces(&q2, &q));
+        let qe = q2.upgrade_edge(0);
+        assert!(reduces(&qe, &q2));
+        assert!(!reduces(&q2, &qe));
+    }
+
+    #[test]
+    fn reduces_requires_pivot_preservation() {
+        // q: single person node pivoted at it; q2: person->person edge
+        // pivoted at the *destination*. Embedding exists mapping onto the
+        // source, and also onto the destination (both labels equal), so
+        // pivot-preserving reduction holds via the destination.
+        let q2 = Pattern::edge(l(0), l(5), l(0)).with_pivot(1);
+        let q = Pattern::single(l(0));
+        assert!(reduces(&q, &q2));
+
+        // With distinct labels the pivot image is forced: q single-node l(7)
+        // cannot keep the pivot on q2 pivoted at an l(0) node.
+        let q2b = Pattern::edge(l(7), l(5), l(0)).with_pivot(1);
+        let qb = Pattern::single(l(7));
+        assert!(!reduces(&qb, &q2b));
+        assert!(reduces(&Pattern::single(l(0)), &q2b));
+    }
+
+    #[test]
+    fn wildcard_upgrade_is_strict_only_against_concrete() {
+        let a = Pattern::edge(PLabel::Wildcard, l(5), l(1));
+        let b = Pattern::edge(PLabel::Wildcard, l(5), l(1));
+        assert!(!reduces(&a, &b)); // identical patterns: not strict
+    }
+
+    #[test]
+    fn parallel_edges_in_embedding() {
+        let host = Pattern::new(
+            vec![l(0), l(1)],
+            vec![
+                PEdge { src: 0, dst: 1, label: l(5) },
+                PEdge { src: 0, dst: 1, label: l(6) },
+            ],
+            0,
+        );
+        let sub2 = Pattern::new(
+            vec![l(0), l(1)],
+            vec![
+                PEdge { src: 0, dst: 1, label: PLabel::Wildcard },
+                PEdge { src: 0, dst: 1, label: PLabel::Wildcard },
+            ],
+            0,
+        );
+        assert!(is_embedded(&sub2, &host));
+        let single_host = Pattern::edge(l(0), l(5), l(1));
+        assert!(!is_embedded(&sub2, &single_host));
+    }
+}

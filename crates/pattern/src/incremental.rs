@@ -1,0 +1,325 @@
+//! Incremental match maintenance: `Q'(F) = Q(F) ⋈ e(·)` (§6.2).
+//!
+//! `VSpawn` grows a verified pattern `Q` into `Q'` by one edge. Rather than
+//! re-matching `Q'` from scratch, the matches of `Q` are *joined* with the
+//! candidate edges of the added pattern edge — exactly the work unit
+//! `(Q, e)` that `ParDis` distributes: "perform `Q(F_s) ⋈ e(F_t)` to
+//! compute `Q'(F_s)`". The same kernel also powers the sequential miner,
+//! where the join runs against the whole graph.
+
+use gfd_graph::{Edge, Graph, NodeId};
+
+use crate::match_set::MatchSet;
+use crate::pattern::{End, Extension, PLabel, Pattern};
+
+/// Whether the graph edges between `(ha, hb)` can cover all pattern edges
+/// of `q2` between `(a, b)` (multiset feasibility; mirrors the matcher).
+fn pair_feasible(q2: &Pattern, g: &Graph, a: usize, b: usize, ha: NodeId, hb: NodeId) -> bool {
+    let pattern_edges = q2.edges_between(a, b);
+    let graph_edges = g.edges_between(ha, hb);
+    if graph_edges.len() < pattern_edges.len() {
+        return false;
+    }
+    if pattern_edges.len() == 1 {
+        let want = q2.edges()[pattern_edges[0]].label;
+        return graph_edges.iter().any(|&e| want.admits(g.edge(e).label));
+    }
+    for &pe in &pattern_edges {
+        if let PLabel::Is(l) = q2.edges()[pe].label {
+            let need = pattern_edges
+                .iter()
+                .filter(|&&x| q2.edges()[x].label == PLabel::Is(l))
+                .count();
+            let avail = graph_edges
+                .iter()
+                .filter(|&&x| g.edge(x).label == l)
+                .count();
+            if avail < need {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Extends every match of `q` by the single-edge extension `ext`, producing
+/// the matches of `q.extend(ext)` whose `q`-prefix appears in `matches`.
+///
+/// * both endpoints existing: filters matches by edge existence (arity
+///   unchanged);
+/// * one endpoint new: expands each match with every compatible incident
+///   graph edge (arity + 1), enforcing injectivity.
+///
+/// The result is exactly `find_all(q', g)` restricted to prefixes in
+/// `matches` — the distributed-join invariant `Q'(G) = ⋃_s Q(F_s) ⋈ e(G)`.
+pub fn extend_matches(q: &Pattern, matches: &MatchSet, ext: &Extension, g: &Graph) -> MatchSet {
+    assert_eq!(matches.arity(), q.node_count(), "match arity mismatch");
+    let q2 = q.extend(ext);
+    let mut out = MatchSet::new(q2.node_count());
+
+    match (&ext.src, &ext.dst) {
+        (End::Var(a), End::Var(b)) => {
+            // Closing an edge between bound variables: feasibility of the
+            // *extended* pair demand (the new edge may be parallel to
+            // existing pattern edges between the same pair).
+            for m in matches.iter() {
+                if pair_feasible(&q2, g, *a, *b, m[*a], m[*b]) {
+                    out.push(m);
+                }
+            }
+        }
+        (End::Var(a), End::New(nl)) => {
+            let new_var = q.node_count();
+            let mut row = vec![NodeId(0); q2.node_count()];
+            for m in matches.iter() {
+                let src_img = m[*a];
+                let mut last: Option<NodeId> = None;
+                for &eid in g.out_edges(src_img) {
+                    let e = g.edge(eid);
+                    if !ext.label.admits(e.label) || !nl.admits(g.node_label(e.dst)) {
+                        continue;
+                    }
+                    if last == Some(e.dst) {
+                        continue; // parallel edges: same candidate, dedup
+                    }
+                    last = Some(e.dst);
+                    if m.contains(&e.dst) {
+                        continue; // injectivity
+                    }
+                    row[..m.len()].copy_from_slice(m);
+                    row[new_var] = e.dst;
+                    out.push(&row);
+                }
+            }
+        }
+        (End::New(nl), End::Var(b)) => {
+            let new_var = q.node_count();
+            let mut row = vec![NodeId(0); q2.node_count()];
+            for m in matches.iter() {
+                let dst_img = m[*b];
+                let mut last: Option<NodeId> = None;
+                for &eid in g.in_edges(dst_img) {
+                    let e = g.edge(eid);
+                    if !ext.label.admits(e.label) || !nl.admits(g.node_label(e.src)) {
+                        continue;
+                    }
+                    if last == Some(e.src) {
+                        continue;
+                    }
+                    last = Some(e.src);
+                    if m.contains(&e.src) {
+                        continue;
+                    }
+                    row[..m.len()].copy_from_slice(m);
+                    row[new_var] = e.src;
+                    out.push(&row);
+                }
+            }
+        }
+        (End::New(_), End::New(_)) => {
+            panic!("extensions attach to the existing pattern (one new endpoint max)")
+        }
+    }
+    out
+}
+
+/// Joins matches against an explicit candidate edge list instead of the
+/// graph's adjacency — the shipped `e(F_t)` of a remote fragment in §6.2.
+/// Only extensions with one new endpoint consume shipped edges; closing
+/// extensions are evaluated locally against `g`.
+pub fn join_with_edges(
+    q: &Pattern,
+    matches: &MatchSet,
+    ext: &Extension,
+    shipped: &[Edge],
+    g: &Graph,
+) -> MatchSet {
+    let q2 = q.extend(ext);
+    let mut out = MatchSet::new(q2.node_count());
+    match (&ext.src, &ext.dst) {
+        (End::Var(a), End::Var(b)) => {
+            for m in matches.iter() {
+                let (ha, hb) = (m[*a], m[*b]);
+                let hit = shipped
+                    .iter()
+                    .any(|e| e.src == ha && e.dst == hb && ext.label.admits(e.label))
+                    && pair_feasible(&q2, g, *a, *b, ha, hb);
+                if hit {
+                    out.push(m);
+                }
+            }
+        }
+        (End::Var(a), End::New(nl)) => {
+            let new_var = q.node_count();
+            let mut row = vec![NodeId(0); q2.node_count()];
+            for m in matches.iter() {
+                for e in shipped {
+                    if e.src != m[*a]
+                        || !ext.label.admits(e.label)
+                        || !nl.admits(g.node_label(e.dst))
+                        || m.contains(&e.dst)
+                    {
+                        continue;
+                    }
+                    row[..m.len()].copy_from_slice(m);
+                    row[new_var] = e.dst;
+                    out.push(&row);
+                }
+            }
+        }
+        (End::New(nl), End::Var(b)) => {
+            let new_var = q.node_count();
+            let mut row = vec![NodeId(0); q2.node_count()];
+            for m in matches.iter() {
+                for e in shipped {
+                    if e.dst != m[*b]
+                        || !ext.label.admits(e.label)
+                        || !nl.admits(g.node_label(e.src))
+                        || m.contains(&e.src)
+                    {
+                        continue;
+                    }
+                    row[..m.len()].copy_from_slice(m);
+                    row[new_var] = e.src;
+                    out.push(&row);
+                }
+            }
+        }
+        (End::New(_), End::New(_)) => {
+            panic!("extensions attach to the existing pattern (one new endpoint max)")
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::find_all;
+    use gfd_graph::GraphBuilder;
+
+    fn pl(g: &Graph, name: &str) -> PLabel {
+        PLabel::Is(g.interner().label(name))
+    }
+
+    fn kb() -> Graph {
+        let mut b = GraphBuilder::new();
+        let p1 = b.add_node("person");
+        let p2 = b.add_node("person");
+        let f1 = b.add_node("product");
+        let f2 = b.add_node("product");
+        let a1 = b.add_node("award");
+        b.add_edge(p1, f1, "create");
+        b.add_edge(p2, f1, "create");
+        b.add_edge(p2, f2, "create");
+        b.add_edge(f1, a1, "receive");
+        b.add_edge(p1, p2, "parent");
+        b.add_edge(p2, p1, "parent");
+        b.build()
+    }
+
+    #[test]
+    fn extend_new_node_agrees_with_scratch_matching() {
+        let g = kb();
+        let q = Pattern::edge(pl(&g, "person"), pl(&g, "create"), pl(&g, "product"));
+        let base = find_all(&q, &g);
+        assert_eq!(base.len(), 3);
+        let ext = Extension {
+            src: End::Var(1),
+            dst: End::New(pl(&g, "award")),
+            label: pl(&g, "receive"),
+        };
+        let inc = extend_matches(&q, &base, &ext, &g);
+        let scratch = find_all(&q.extend(&ext), &g);
+        assert_eq!(inc.len(), scratch.len());
+        assert_eq!(inc.len(), 2); // two creators of f1
+    }
+
+    #[test]
+    fn extend_closing_edge_filters() {
+        let g = kb();
+        let q = Pattern::edge(pl(&g, "person"), pl(&g, "parent"), pl(&g, "person"));
+        let base = find_all(&q, &g);
+        assert_eq!(base.len(), 2);
+        let ext = Extension {
+            src: End::Var(1),
+            dst: End::Var(0),
+            label: pl(&g, "parent"),
+        };
+        let inc = extend_matches(&q, &base, &ext, &g);
+        let scratch = find_all(&q.extend(&ext), &g);
+        assert_eq!(inc.len(), scratch.len());
+        assert_eq!(inc.len(), 2);
+    }
+
+    #[test]
+    fn incoming_new_node_extension() {
+        let g = kb();
+        let q = Pattern::single(pl(&g, "product"));
+        let base = find_all(&q, &g);
+        let ext = Extension {
+            src: End::New(pl(&g, "person")),
+            dst: End::Var(0),
+            label: pl(&g, "create"),
+        };
+        let inc = extend_matches(&q, &base, &ext, &g);
+        let scratch = find_all(&q.extend(&ext), &g);
+        assert_eq!(inc.len(), scratch.len());
+        assert_eq!(inc.len(), 3);
+    }
+
+    #[test]
+    fn injectivity_respected_in_join() {
+        // person -> person via parent, then extend dst -> new person via
+        // parent: the new image must differ from both bound images.
+        let g = kb();
+        let q = Pattern::edge(pl(&g, "person"), pl(&g, "parent"), pl(&g, "person"));
+        let base = find_all(&q, &g);
+        let ext = Extension {
+            src: End::Var(1),
+            dst: End::New(pl(&g, "person")),
+            label: pl(&g, "parent"),
+        };
+        let inc = extend_matches(&q, &base, &ext, &g);
+        // p1->p2->p1 and p2->p1->p2 are both rejected (would repeat a node).
+        assert_eq!(inc.len(), 0);
+        assert_eq!(find_all(&q.extend(&ext), &g).len(), 0);
+    }
+
+    #[test]
+    fn shipped_edges_join_equals_local_join() {
+        let g = kb();
+        let q = Pattern::edge(pl(&g, "person"), pl(&g, "create"), pl(&g, "product"));
+        let base = find_all(&q, &g);
+        let ext = Extension {
+            src: End::Var(1),
+            dst: End::New(pl(&g, "award")),
+            label: pl(&g, "receive"),
+        };
+        // Ship exactly the `receive` edges, as a remote fragment would.
+        let receive = g.interner().lookup_label("receive").unwrap();
+        let shipped: Vec<Edge> = g
+            .edges()
+            .iter()
+            .copied()
+            .filter(|e| e.label == receive)
+            .collect();
+        let joined = join_with_edges(&q, &base, &ext, &shipped, &g);
+        let local = extend_matches(&q, &base, &ext, &g);
+        assert_eq!(joined.len(), local.len());
+    }
+
+    #[test]
+    fn empty_matches_stay_empty() {
+        let g = kb();
+        let q = Pattern::edge(pl(&g, "award"), pl(&g, "create"), pl(&g, "person"));
+        let base = find_all(&q, &g);
+        assert!(base.is_empty());
+        let ext = Extension {
+            src: End::Var(0),
+            dst: End::New(PLabel::Wildcard),
+            label: PLabel::Wildcard,
+        };
+        assert!(extend_matches(&q, &base, &ext, &g).is_empty());
+    }
+}

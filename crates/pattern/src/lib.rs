@@ -1,0 +1,42 @@
+//! # gfd-pattern — graph patterns and subgraph-isomorphism matching
+//!
+//! Patterns `Q[x̄]` of *Discovering Graph Functional Dependencies* (Fan et
+//! al., SIGMOD 2018): small directed graphs with wildcard-able labels, a
+//! designated pivot variable, and matching into data graphs via subgraph
+//! isomorphism under the label preorder `⪯` (§2.1). The crate provides:
+//!
+//! * the [`Pattern`] type with extensions, upgrades and reductions
+//!   ([`pattern`]),
+//! * a VF2-style pivot-anchored matcher with streaming callbacks
+//!   ([`matcher`]),
+//! * incremental joins `Q(F) ⋈ e(·)` for levelwise and distributed
+//!   matching ([`incremental`]),
+//! * pattern-into-pattern embeddings and the reduction order `≪`
+//!   ([`embed`]),
+//! * canonical codes for `iso(Q)` de-duplication ([`canon`]),
+//! * flat match storage ([`match_set`]).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod canon;
+pub mod embed;
+pub mod incremental;
+pub mod match_set;
+pub mod matcher;
+pub mod pattern;
+
+pub use canon::{
+    canonical_code, canonical_code_unpivoted, isomorphic, CanonicalCode, PatternRegistry,
+};
+pub use embed::{
+    all_embeddings, find_embedding, for_each_embedding, is_embedded, reduces, strictly_reducing,
+    EmbedOptions,
+};
+pub use incremental::{extend_matches, join_with_edges};
+pub use match_set::MatchSet;
+pub use matcher::{
+    count_matches, find_all, for_each_match, for_each_match_at, has_match, has_match_at,
+    pattern_support, pivot_image, MatchPlan,
+};
+pub use pattern::{End, Extension, PEdge, PLabel, Pattern, Var};

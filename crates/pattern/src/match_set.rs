@@ -1,0 +1,171 @@
+//! Flat storage for pattern matches.
+//!
+//! A match of `Q[x̄]` in `G` is the vector `h(x̄)` (§2.1). Discovery keeps
+//! millions of matches per pattern, so they are stored flattened in one
+//! contiguous buffer rather than as nested vectors.
+
+use gfd_graph::NodeId;
+
+/// A set of fixed-arity matches stored row-major in one buffer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MatchSet {
+    arity: usize,
+    data: Vec<NodeId>,
+}
+
+impl MatchSet {
+    /// Empty set of matches of the given arity (`|x̄|`).
+    pub fn new(arity: usize) -> MatchSet {
+        assert!(arity > 0, "matches must bind at least one variable");
+        MatchSet {
+            arity,
+            data: Vec::new(),
+        }
+    }
+
+    /// Empty set with capacity for `n` matches.
+    pub fn with_capacity(arity: usize, n: usize) -> MatchSet {
+        assert!(arity > 0, "matches must bind at least one variable");
+        MatchSet {
+            arity,
+            data: Vec::with_capacity(arity * n),
+        }
+    }
+
+    /// The number of variables each match binds.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of matches.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.arity
+    }
+
+    /// True when no match is stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends one match.
+    ///
+    /// # Panics
+    /// Panics if `m.len() != arity`.
+    #[inline]
+    pub fn push(&mut self, m: &[NodeId]) {
+        assert_eq!(m.len(), self.arity, "match arity mismatch");
+        self.data.extend_from_slice(m);
+    }
+
+    /// The `i`-th match.
+    #[inline]
+    pub fn get(&self, i: usize) -> &[NodeId] {
+        &self.data[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Iterates over matches as slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[NodeId]> + '_ {
+        self.data.chunks_exact(self.arity)
+    }
+
+    /// Appends all matches of `other` (same arity required).
+    pub fn extend(&mut self, other: &MatchSet) {
+        assert_eq!(self.arity, other.arity, "match arity mismatch");
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// Splits the set into `parts` nearly equal chunks (used by the parallel
+    /// runtime when re-balancing skewed match sets, §6.2).
+    pub fn split(&self, parts: usize) -> Vec<MatchSet> {
+        assert!(parts > 0);
+        let n = self.len();
+        let base = n / parts;
+        let extra = n % parts;
+        let mut out = Vec::with_capacity(parts);
+        let mut row = 0;
+        for p in 0..parts {
+            let take = base + usize::from(p < extra);
+            let mut ms = MatchSet::with_capacity(self.arity, take);
+            for i in row..row + take {
+                ms.push(self.get(i));
+            }
+            row += take;
+            out.push(ms);
+        }
+        out
+    }
+
+    /// Memory footprint of the stored rows in bytes (used by the simulated
+    /// cluster's communication model).
+    pub fn byte_size(&self) -> usize {
+        self.data.len() * std::mem::size_of::<NodeId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn push_get_iter() {
+        let mut ms = MatchSet::new(2);
+        assert!(ms.is_empty());
+        ms.push(&[n(1), n(2)]);
+        ms.push(&[n(3), n(4)]);
+        assert_eq!(ms.len(), 2);
+        assert_eq!(ms.get(0), &[n(1), n(2)]);
+        assert_eq!(ms.get(1), &[n(3), n(4)]);
+        let rows: Vec<_> = ms.iter().collect();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_enforced() {
+        let mut ms = MatchSet::new(2);
+        ms.push(&[n(1)]);
+    }
+
+    #[test]
+    fn split_balances() {
+        let mut ms = MatchSet::new(1);
+        for i in 0..10 {
+            ms.push(&[n(i)]);
+        }
+        let parts = ms.split(3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].len(), 4);
+        assert_eq!(parts[1].len(), 3);
+        assert_eq!(parts[2].len(), 3);
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, 10);
+        assert_eq!(parts[0].get(0), &[n(0)]);
+        assert_eq!(parts[2].get(2), &[n(9)]);
+    }
+
+    #[test]
+    fn split_more_parts_than_rows() {
+        let mut ms = MatchSet::new(1);
+        ms.push(&[n(1)]);
+        let parts = ms.split(4);
+        assert_eq!(parts.iter().filter(|p| !p.is_empty()).count(), 1);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = MatchSet::new(2);
+        a.push(&[n(1), n(2)]);
+        let mut b = MatchSet::new(2);
+        b.push(&[n(3), n(4)]);
+        a.extend(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.byte_size(), 16);
+    }
+}

@@ -1,0 +1,90 @@
+//! Negative GFD discovery (§4.2, §5.1, Fig. 8).
+//!
+//! Negative GFDs `Q[x̄](X → false)` declare structures or value
+//! combinations that must not exist — the paper's GFD2 ("no movie receives
+//! both the Gold Bear and the Gold Lion") and GFD3 ("Norway admits no dual
+//! citizenship") are of this form, as is φ3's mutual-parent prohibition.
+//! The YAGO2 emulator plants all three regularities; this example shows
+//! `NVSpawn`/`NHSpawn` rediscovering them, and demonstrates the OWA
+//! argument: the support of a negative rule is the support of its base.
+//!
+//! Run with: `cargo run --release --example negative_rules`
+
+use gfd::prelude::*;
+
+fn main() {
+    let g = knowledge_base(
+        &KbConfig::new(KbProfile::Yago2)
+            .with_scale(800)
+            .with_seed(23),
+    );
+    println!("KB: {} nodes, {} edges", g.node_count(), g.edge_count());
+
+    let mut cfg = DiscoveryConfig::new(3, 25);
+    cfg.max_lhs_size = 2;
+    let result = seq_dis(&g, &cfg);
+
+    let negatives: Vec<_> = result.gfds.iter().filter(|d| d.gfd.is_negative()).collect();
+    println!(
+        "\n{} rules total; {} negative:",
+        result.gfds.len(),
+        negatives.len()
+    );
+
+    let interner = g.interner();
+    for d in &negatives {
+        println!("  [supp={:>4}] {}", d.support, d.gfd.display(interner));
+    }
+
+    // Highlight the planted families.
+    let parent = interner.lookup_label("parent");
+    let mutual_parent = negatives.iter().find(|d| {
+        let q = d.gfd.pattern();
+        d.gfd.lhs().is_empty()
+            && q.edge_count() == 2
+            && parent.is_some_and(|p| q.edges().iter().all(|e| e.label == PLabel::Is(p)))
+            && q.edges_between(0, 1).len() == 1
+            && q.edges_between(1, 0).len() == 1
+    });
+    println!(
+        "\nφ3-style mutual-parent prohibition rediscovered? {}",
+        if mutual_parent.is_some() { "yes" } else { "no" }
+    );
+
+    // Structural negatives vs premise negatives (case (a) vs case (b), §4.2).
+    let structural = negatives.iter().filter(|d| d.gfd.lhs().is_empty()).count();
+    println!(
+        "case (a) structural (∅→false): {structural}; case (b) with premises: {}",
+        negatives.len() - structural
+    );
+
+    // Every negative rule indeed has zero matches satisfying X.
+    for d in &negatives {
+        assert!(satisfies(&g, &d.gfd), "planted negatives must hold");
+    }
+    println!("\nall negative rules hold on the KB (zero triggering matches).");
+
+    // And they catch corruption: flip one parent edge into a cycle.
+    if let Some(d) = mutual_parent {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("person");
+        let y = b.add_node("person");
+        b.add_edge(x, y, "parent");
+        b.add_edge(y, x, "parent");
+        let broken = b.build();
+        // Rebuild the rule against the new graph's interner.
+        let p = PLabel::Is(broken.interner().label("parent"));
+        let person = PLabel::Is(broken.interner().label("person"));
+        let q3 = Pattern::edge(person, p, person).extend(&Extension {
+            src: End::Var(1),
+            dst: End::Var(0),
+            label: p,
+        });
+        let phi3 = Gfd::new(q3, vec![], Rhs::False);
+        println!(
+            "a mutual-parent pair violates the mined rule: {}",
+            !satisfies(&broken, &phi3)
+        );
+        let _ = d;
+    }
+}

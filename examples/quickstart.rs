@@ -1,0 +1,138 @@
+//! Quickstart: the paper's running examples end to end.
+//!
+//! Builds the three graphs of Fig. 1 (YAGO3 / DBpedia anecdotes), states
+//! φ1, φ2, φ3, checks validation and satisfiability, and then lets the
+//! discovery algorithm find rules of its own on a small knowledge base.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use gfd::prelude::*;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // G1: John Winter (a high jumper) credited with creating a film.
+    // ------------------------------------------------------------------
+    let mut b = GraphBuilder::new();
+    let john = b.add_node("person");
+    let film = b.add_node("product");
+    b.set_attr(john, "name", "John Winter");
+    b.set_attr(john, "type", "high_jumper");
+    b.set_attr(film, "name", "Selling Out");
+    b.set_attr(film, "type", "film");
+    b.add_edge(john, film, "create");
+    let g1 = b.build();
+
+    let i1 = g1.interner();
+    let q1 = Pattern::edge(
+        PLabel::Is(i1.label("person")),
+        PLabel::Is(i1.label("create")),
+        PLabel::Is(i1.label("product")),
+    );
+    let ty = i1.attr("type");
+    let phi1 = Gfd::new(
+        q1,
+        vec![Literal::constant(1, ty, Value::Str(i1.symbol("film")))],
+        Rhs::Lit(Literal::constant(0, ty, Value::Str(i1.symbol("producer")))),
+    );
+    println!("φ1 = {}", phi1.display(i1));
+    println!("  G1 ⊨ φ1?  {}", satisfies(&g1, &phi1));
+    for v in find_violations(&g1, &phi1, None).iter() {
+        println!("  violation: match {:?} — John is a high jumper, not a producer", v);
+    }
+
+    // ------------------------------------------------------------------
+    // G2: Saint Petersburg located in both Russia and Florida.
+    // ------------------------------------------------------------------
+    let mut b = GraphBuilder::new();
+    let sp = b.add_node("city");
+    let ru = b.add_node("country");
+    let fl = b.add_node("city");
+    b.set_attr(sp, "name", "Saint Petersburg");
+    b.set_attr(ru, "name", "Russia");
+    b.set_attr(fl, "name", "Florida");
+    b.add_edge(sp, ru, "located");
+    b.add_edge(sp, fl, "located");
+    let g2 = b.build();
+
+    let i2 = g2.interner();
+    let name = i2.attr("name");
+    let q2 = Pattern::new(
+        vec![
+            PLabel::Is(i2.label("city")),
+            PLabel::Wildcard,
+            PLabel::Wildcard,
+        ],
+        vec![
+            gfd::pattern::PEdge {
+                src: 0,
+                dst: 1,
+                label: PLabel::Is(i2.label("located")),
+            },
+            gfd::pattern::PEdge {
+                src: 0,
+                dst: 2,
+                label: PLabel::Is(i2.label("located")),
+            },
+        ],
+        0,
+    );
+    let phi2 = Gfd::new(q2, vec![], Rhs::Lit(Literal::var_var(1, name, 2, name)));
+    println!("\nφ2 = {}", phi2.display(i2));
+    println!("  G2 ⊨ φ2?  {}  (a city lies in one place)", satisfies(&g2, &phi2));
+
+    // ------------------------------------------------------------------
+    // G3: two persons each parent of the other — an illegal structure.
+    // ------------------------------------------------------------------
+    let mut b = GraphBuilder::new();
+    let owen = b.add_node("person");
+    let jb = b.add_node("person");
+    b.set_attr(owen, "name", "Owen Brown");
+    b.set_attr(jb, "name", "John Brown");
+    b.add_edge(owen, jb, "parent");
+    b.add_edge(jb, owen, "parent");
+    let g3 = b.build();
+
+    let i3 = g3.interner();
+    let person = PLabel::Is(i3.label("person"));
+    let parent = PLabel::Is(i3.label("parent"));
+    let q3 = Pattern::edge(person, parent, person).extend(&Extension {
+        src: End::Var(1),
+        dst: End::Var(0),
+        label: parent,
+    });
+    let phi3 = Gfd::new(q3, vec![], Rhs::False);
+    println!("\nφ3 = {}", phi3.display(i3));
+    println!("  negative GFD? {}", phi3.is_negative());
+    println!("  G3 ⊨ φ3?  {}", satisfies(&g3, &phi3));
+
+    // Reasoning (§3): the set {φ3} alone is unsatisfiable (its only
+    // pattern may never match), but adding an applicable rule fixes that.
+    println!("\nsatisfiable({{φ3}})       = {}", is_satisfiable(std::slice::from_ref(&phi3)));
+    let benign = Gfd::new(
+        Pattern::edge(person, PLabel::Is(i3.label("knows")), person),
+        vec![],
+        Rhs::Lit(Literal::constant(0, i3.attr("kind"), Value::Int(1))),
+    );
+    println!("satisfiable({{φ3, benign}}) = {}", is_satisfiable(&[phi3, benign]));
+
+    // ------------------------------------------------------------------
+    // Discovery (§5): mine rules from a generated knowledge base.
+    // ------------------------------------------------------------------
+    println!("\n-- discovery on a generated YAGO2-style KB --");
+    let kb = knowledge_base(&KbConfig::new(KbProfile::Yago2).with_scale(400));
+    let mut cfg = DiscoveryConfig::new(3, 40);
+    cfg.max_lhs_size = 1;
+    let cover = gfd::discover_with(&kb, &cfg);
+    println!(
+        "discovered {} rules in the cover ({} positive, {} negative):",
+        cover.len(),
+        cover.iter().filter(|d| d.gfd.is_positive()).count(),
+        cover.iter().filter(|d| d.gfd.is_negative()).count(),
+    );
+    for d in cover.iter().take(12) {
+        println!("  [supp={:>4}] {}", d.support, d.gfd.display(kb.interner()));
+    }
+    if cover.len() > 12 {
+        println!("  … and {} more", cover.len() - 12);
+    }
+}

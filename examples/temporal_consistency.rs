@@ -1,0 +1,162 @@
+//! Temporal consistency with extended GFDs (§8's comparison predicates
+//! and arithmetic, implemented in `gfd::extended`).
+//!
+//! Base GFDs compare values for equality only; temporal integrity needs
+//! order and arithmetic: nobody dies before being born, parents predate
+//! their children by a biological minimum, awards postdate releases. This
+//! example builds a small genealogy-and-films knowledge base with such
+//! regularities (plus planted errors), then
+//!
+//! 1. states the rules as extended GFDs and catches every planted error,
+//! 2. lets `discover_extended` rediscover the rules from the clean part,
+//! 3. shows the extended implication engine pruning redundant rules, and
+//! 4. uses a confidence threshold to mine through the dirt.
+//!
+//! Run with: `cargo run --release --example temporal_consistency`
+
+use gfd::extended::{
+    discover_extended, find_violations, satisfies, xcover, CmpOp, Term, XDiscoveryConfig, XGfd,
+    XLiteral, XRhs,
+};
+use gfd::prelude::*;
+
+fn main() {
+    // ── A genealogy with film credits ────────────────────────────────
+    let mut b = GraphBuilder::new();
+    let mut people = Vec::new();
+    // Four generations, 25-year gaps; each person lives 80 years.
+    for gen in 0..4i64 {
+        for fam in 0..10i64 {
+            let p = b.add_node("person");
+            let birth = 1880 + gen * 25 + fam;
+            b.set_attr(p, "birth", birth);
+            b.set_attr(p, "death", birth + 80);
+            people.push(p);
+        }
+    }
+    for gen in 0..3usize {
+        for fam in 0..10 {
+            b.add_edge(people[gen * 10 + fam], people[(gen + 1) * 10 + fam], "parent");
+        }
+    }
+    // Films released during their director's lifetime, awarded 2y later.
+    for i in 0..15i64 {
+        let f = b.add_node("film");
+        let year = 1920 + i * 3;
+        b.set_attr(f, "year", year);
+        let director = people[(10 + i as usize) % people.len()];
+        b.add_edge(director, f, "directed");
+        let a = b.add_node("award");
+        b.set_attr(a, "year", year + 2);
+        b.add_edge(f, a, "won");
+    }
+    // ── Planted inconsistencies ──────────────────────────────────────
+    let zombie = b.add_node("person");
+    b.set_attr(zombie, "birth", 1990i64);
+    b.set_attr(zombie, "death", 1985i64); // dies before birth
+    let clone = b.add_node("person");
+    b.set_attr(clone, "birth", 1955i64);
+    b.set_attr(clone, "death", 2030i64);
+    b.add_edge(people[30], clone, "parent"); // parent only 5 years older
+    let g = b.build();
+
+    let i = g.interner();
+    let person = PLabel::Is(i.lookup_label("person").unwrap());
+    let parent = PLabel::Is(i.lookup_label("parent").unwrap());
+    let film = PLabel::Is(i.lookup_label("film").unwrap());
+    let award = PLabel::Is(i.lookup_label("award").unwrap());
+    let won = PLabel::Is(i.lookup_label("won").unwrap());
+    let birth = i.lookup_attr("birth").unwrap();
+    let death = i.lookup_attr("death").unwrap();
+    let year = i.lookup_attr("year").unwrap();
+
+    // ── 1. Stated rules catch the planted errors ─────────────────────
+    // χ1: birth ≤ death, on every person (single-node pattern).
+    let chi1 = XGfd::new(
+        Pattern::single(person),
+        vec![],
+        XRhs::Lit(XLiteral::cmp_terms(
+            Term::new(0, birth),
+            CmpOp::Le,
+            Term::new(0, death),
+            0,
+        )),
+    );
+    // χ2: a parent is at least 12 years older than the child.
+    let chi2 = XGfd::new(
+        Pattern::edge(person, parent, person),
+        vec![],
+        XRhs::Lit(XLiteral::cmp_terms(
+            Term::new(1, birth),
+            CmpOp::Ge,
+            Term::new(0, birth),
+            12,
+        )),
+    );
+    // χ3: awards postdate the film's release.
+    let chi3 = XGfd::new(
+        Pattern::edge(film, won, award),
+        vec![],
+        XRhs::Lit(XLiteral::cmp_terms(
+            Term::new(1, year),
+            CmpOp::Ge,
+            Term::new(0, year),
+            0,
+        )),
+    );
+    println!("== stated temporal rules ==");
+    for (name, chi) in [("chi1", &chi1), ("chi2", &chi2), ("chi3", &chi3)] {
+        let v = find_violations(&g, chi, 0);
+        println!(
+            "{name}: {}  [{} violations]  {}",
+            if satisfies(&g, chi) { "holds" } else { "VIOLATED" },
+            v.len(),
+            chi.display(i),
+        );
+    }
+    assert!(!satisfies(&g, &chi1)); // the zombie
+    assert!(!satisfies(&g, &chi2)); // the 5-year parent
+    assert!(satisfies(&g, &chi3));
+
+    // ── 2. Rediscovery from data ─────────────────────────────────────
+    let mut cfg = XDiscoveryConfig::new(2, 8);
+    cfg.max_lhs_size = 1;
+    let mined = discover_extended(&g, &cfg);
+    println!("\n== discovered extended rules (exact) ==");
+    for r in mined.iter().take(8) {
+        println!("supp={:>3} conf={:.2}  {}", r.support, r.confidence, r.gfd.display(i));
+    }
+    // The award-ordering rule is exact in the data and must be found.
+    let award_rule = mined.iter().find(|r| {
+        matches!(r.gfd.rhs(), XRhs::Lit(l)
+            if l.op.is_order() && l.lhs.attr == year)
+    });
+    assert!(award_rule.is_some(), "award ordering must be rediscovered");
+
+    // ── 3. Covers drop implied rules ─────────────────────────────────
+    let rules: Vec<XGfd> = mined.iter().map(|r| r.gfd.clone()).collect();
+    let cover = xcover(&rules);
+    println!("\ncover: {} of {} mined rules survive implication", cover.len(), rules.len());
+    assert!(cover.len() <= rules.len());
+
+    // ── 4. Confidence mines through dirt ─────────────────────────────
+    // The zombie breaks birth ≤ death exactly; at θ = 0.95 it returns.
+    let mut approx_cfg = XDiscoveryConfig::new(2, 8);
+    approx_cfg.max_lhs_size = 1;
+    approx_cfg.min_confidence = 0.95;
+    let approx = discover_extended(&g, &approx_cfg);
+    let life_rule = approx.iter().find(|r| {
+        matches!(r.gfd.rhs(), XRhs::Lit(l)
+            if l.op == CmpOp::Le && l.lhs.attr == birth)
+    });
+    println!("\n== approximate mining (θ = 0.95) ==");
+    match life_rule {
+        Some(r) => println!(
+            "recovered despite the zombie: supp={} conf={:.3}  {}",
+            r.support,
+            r.confidence,
+            r.gfd.display(i)
+        ),
+        None => println!("(life-span rule not recovered at this σ)"),
+    }
+}

@@ -1,0 +1,169 @@
+//! Cross-crate integration of the §8 extensions: extended predicates,
+//! approximate (confidence) mining, and incremental violation
+//! maintenance, exercised together through the umbrella crate.
+
+use gfd::extended::{xcover, Operand};
+use gfd::prelude::*;
+
+/// A KB where base and extended regularities coexist: creators are
+/// producers (base, CFD-style), and sequels are released strictly after
+/// their originals (extended, order). A small dirty tail breaks both.
+fn mixed_kb(dirty: usize) -> Graph {
+    let mut b = GraphBuilder::new();
+    for i in 0..30i64 {
+        let p = b.add_node("person");
+        let f = b.add_node("film");
+        b.set_attr(p, "type", if (i as usize) < dirty { "critic" } else { "producer" });
+        b.set_attr(f, "type", "film");
+        b.set_attr(f, "year", 1960 + i);
+        b.add_edge(p, f, "create");
+        let s = b.add_node("film");
+        b.set_attr(s, "type", "film");
+        // Sequels appear 3 years later; dirty ones predate the original.
+        b.set_attr(s, "year", 1960 + i + if (i as usize) < dirty { -2 } else { 3 });
+        b.add_edge(f, s, "sequel");
+    }
+    b.build()
+}
+
+#[test]
+fn extended_discovery_and_validation_agree() {
+    let g = mixed_kb(0);
+    let mut cfg = XDiscoveryConfig::new(2, 10);
+    cfg.max_lhs_size = 1;
+    let rules = gfd::extended::discover_extended(&g, &cfg);
+    assert!(!rules.is_empty());
+    // Every exact rule the miner reports must validate on the graph it
+    // was mined from — discovery and validation share one semantics.
+    for r in rules.iter().filter(|r| r.confidence >= 1.0) {
+        assert!(
+            gfd::extended::satisfies(&g, &r.gfd),
+            "mined rule fails validation: {}",
+            r.gfd.display(g.interner())
+        );
+    }
+    // The sequel-ordering regularity is found as an order or arithmetic
+    // literal over `year`.
+    let year = g.interner().lookup_attr("year").unwrap();
+    assert!(
+        rules.iter().any(|r| matches!(
+            r.gfd.rhs(),
+            XRhs::Lit(l) if l.lhs.attr == year
+                && (l.op.is_order() || matches!(l.rhs, Operand::Term(_, d) if d != 0))
+        )),
+        "sequel ordering must be discovered"
+    );
+}
+
+#[test]
+fn extended_cover_stays_sound() {
+    let g = mixed_kb(0);
+    let mut cfg = XDiscoveryConfig::new(2, 10);
+    cfg.max_lhs_size = 1;
+    let mined = gfd::extended::discover_extended(&g, &cfg);
+    let rules: Vec<XGfd> = mined.into_iter().map(|r| r.gfd).collect();
+    let cover = xcover(&rules);
+    assert!(!cover.is_empty());
+    assert!(cover.len() < rules.len(), "threshold ladders must collapse");
+    // The cover implies every dropped rule.
+    for phi in &rules {
+        assert!(ximplies(&cover, phi), "{}", phi.display(g.interner()));
+    }
+    // And the cover itself still validates.
+    for phi in &cover {
+        assert!(gfd::extended::satisfies(&g, phi));
+    }
+}
+
+#[test]
+fn base_and_extended_rules_in_one_monitor() {
+    let g = mixed_kb(0);
+    let i = g.interner();
+    let person = PLabel::Is(i.lookup_label("person").unwrap());
+    let film = PLabel::Is(i.lookup_label("film").unwrap());
+    let create = PLabel::Is(i.lookup_label("create").unwrap());
+    let sequel = PLabel::Is(i.lookup_label("sequel").unwrap());
+    let ty = i.lookup_attr("type").unwrap();
+    let year = i.lookup_attr("year").unwrap();
+    let producer = Value::Str(i.lookup_symbol("producer").unwrap());
+
+    let base = Gfd::new(
+        Pattern::edge(person, create, film),
+        vec![],
+        Rhs::Lit(Literal::constant(0, ty, producer)),
+    );
+    let extended = XGfd::new(
+        Pattern::edge(film, sequel, film),
+        vec![],
+        XRhs::Lit(XLiteral::cmp_terms(
+            Term::new(1, year),
+            CmpOp::Gt,
+            Term::new(0, year),
+            0,
+        )),
+    );
+    let mut monitor = ViolationMonitor::new(
+        &g,
+        vec![base.clone().into(), extended.into()],
+    );
+    assert!(monitor.is_clean());
+
+    // One batch violates both rule kinds at once.
+    let mut batch = UpdateBatch::new();
+    batch.set_attr(NodeId::from_index(0), ty, Value::Str(i.symbol("critic")));
+    batch.set_attr(NodeId::from_index(2), year, Value::Int(1900));
+    let delta = monitor.apply(&batch);
+    assert_eq!(delta.added(), 2, "one base + one extended violation");
+    assert_eq!(monitor.total_violations(), 2);
+
+    // Violations found incrementally agree with from-scratch validation.
+    let v_base = find_violations(monitor.graph(), &base, None);
+    assert_eq!(v_base.len(), monitor.violations(0).count());
+}
+
+#[test]
+fn approximate_mining_matches_parallel_path() {
+    use std::sync::Arc;
+    // min_confidence flows through the identical lattice in SeqDis and
+    // ParDis, so both paths must emit the same approximate rule set.
+    let g = Arc::new(mixed_kb(3));
+    let mut cfg = DiscoveryConfig::new(2, 8);
+    cfg.max_lhs_size = 1;
+    cfg.mine_negative = false;
+    cfg.min_confidence = 0.85;
+    let seq = seq_dis(&g, &cfg);
+    let par = par_dis(&g, &cfg, &ClusterConfig::new(3, ExecMode::Simulated));
+    let key = |d: &DiscoveredGfd| (d.gfd.display(g.interner()), d.support);
+    let mut a: Vec<_> = seq.gfds.iter().map(key).collect();
+    let mut b: Vec<_> = par.result.gfds.iter().map(key).collect();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b, "sequential and parallel approximate mining agree");
+    assert!(
+        seq.gfds.iter().any(|d| d.confidence < 1.0),
+        "the dirty tail forces at least one approximate rule"
+    );
+}
+
+#[test]
+fn lifted_base_rules_validate_identically() {
+    // XGfd::from_base preserves semantics: for random-ish rules over the
+    // mixed KB, base validation and lifted-extended validation agree.
+    let g = mixed_kb(4);
+    let mut cfg = DiscoveryConfig::new(2, 5);
+    cfg.max_lhs_size = 1;
+    let mined = seq_dis(&g, &cfg);
+    let mut checked = 0;
+    for d in mined.gfds.iter().take(50) {
+        let lifted = XGfd::from_base(&d.gfd);
+        assert_eq!(
+            gfd::logic::satisfies(&g, &d.gfd),
+            gfd::extended::satisfies(&g, &lifted),
+            "{}",
+            d.gfd.display(g.interner())
+        );
+        assert_eq!(lifted.to_base().as_ref(), Some(&d.gfd));
+        checked += 1;
+    }
+    assert!(checked > 0);
+}

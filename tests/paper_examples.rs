@@ -1,0 +1,215 @@
+//! Integration tests reproducing the paper's worked examples end to end:
+//! Fig. 1's graphs and GFDs (Examples 1–3), the reduction order of
+//! Example 4, the spawning chain of Examples 5–8, and the support
+//! anti-monotonicity of Theorem 3.
+
+use gfd::prelude::*;
+use gfd::logic::gfd_reduces;
+
+/// Fig. 1, G1 + φ1: the wrong creator type is caught.
+#[test]
+fn example_1_phi1() {
+    let mut b = GraphBuilder::new();
+    let john = b.add_node("person");
+    let film = b.add_node("product");
+    b.set_attr(john, "type", "high_jumper");
+    b.set_attr(film, "type", "film");
+    b.add_edge(john, film, "create");
+    let g1 = b.build();
+
+    let i = g1.interner();
+    let q1 = Pattern::edge(
+        PLabel::Is(i.label("person")),
+        PLabel::Is(i.label("create")),
+        PLabel::Is(i.label("product")),
+    );
+    let ty = i.attr("type");
+    let phi1 = Gfd::new(
+        q1,
+        vec![Literal::constant(1, ty, Value::Str(i.symbol("film")))],
+        Rhs::Lit(Literal::constant(0, ty, Value::Str(i.symbol("producer")))),
+    );
+    assert!(phi1.is_positive());
+    assert!(!phi1.is_trivial());
+    assert!(!satisfies(&g1, &phi1));
+    assert_eq!(find_violations(&g1, &phi1, None).len(), 1);
+}
+
+/// Fig. 1, G2 + φ2: wildcards match both country and city (Example 2's
+/// point), and the name equality fails.
+#[test]
+fn example_1_phi2_wildcards() {
+    let mut b = GraphBuilder::new();
+    let sp = b.add_node("city");
+    let ru = b.add_node("country");
+    let fl = b.add_node("city");
+    b.set_attr(ru, "name", "Russia");
+    b.set_attr(fl, "name", "Florida");
+    b.add_edge(sp, ru, "located");
+    b.add_edge(sp, fl, "located");
+    let g2 = b.build();
+
+    let i = g2.interner();
+    let name = i.attr("name");
+    let q2 = Pattern::new(
+        vec![PLabel::Is(i.label("city")), PLabel::Wildcard, PLabel::Wildcard],
+        vec![
+            gfd::pattern::PEdge { src: 0, dst: 1, label: PLabel::Is(i.label("located")) },
+            gfd::pattern::PEdge { src: 0, dst: 2, label: PLabel::Is(i.label("located")) },
+        ],
+        0,
+    );
+    // The wildcard really is needed: y maps to a country, z to a city.
+    assert_eq!(gfd::pattern::count_matches(&q2, &g2), 2);
+    let phi2 = Gfd::new(q2, vec![], Rhs::Lit(Literal::var_var(1, name, 2, name)));
+    assert!(!satisfies(&g2, &phi2));
+}
+
+/// Fig. 1, G3 + φ3: the cyclic "illegal structure".
+#[test]
+fn example_1_phi3_negative() {
+    let mut b = GraphBuilder::new();
+    let owen = b.add_node("person");
+    let john = b.add_node("person");
+    b.add_edge(owen, john, "parent");
+    b.add_edge(john, owen, "parent");
+    let g3 = b.build();
+
+    let i = g3.interner();
+    let person = PLabel::Is(i.label("person"));
+    let parent = PLabel::Is(i.label("parent"));
+    let q3 = Pattern::edge(person, parent, person).extend(&Extension {
+        src: End::Var(1),
+        dst: End::Var(0),
+        label: parent,
+    });
+    let phi3 = Gfd::new(q3, vec![], Rhs::False);
+    assert!(phi3.is_negative());
+    assert!(!satisfies(&g3, &phi3));
+    // On an acyclic family it holds.
+    let mut b = GraphBuilder::new();
+    let a = b.add_node("person");
+    let c = b.add_node("person");
+    b.add_edge(a, c, "parent");
+    let ok = b.build();
+    let person = PLabel::Is(ok.interner().label("person"));
+    let parent = PLabel::Is(ok.interner().label("parent"));
+    let q3b = Pattern::edge(person, parent, person).extend(&Extension {
+        src: End::Var(1),
+        dst: End::Var(0),
+        label: parent,
+    });
+    assert!(satisfies(&ok, &Gfd::new(q3b, vec![], Rhs::False)));
+}
+
+/// Example 4: φ1 ≪ φ1¹ but φ1 ⋘̸ φ1².
+#[test]
+fn example_4_reduction_order() {
+    let i = Interner::new();
+    let person = PLabel::Is(i.label("person"));
+    let create = PLabel::Is(i.label("create"));
+    let product = PLabel::Is(i.label("product"));
+    let award = PLabel::Is(i.label("award"));
+    let receive = PLabel::Is(i.label("receive"));
+    let ty = i.attr("type");
+    let nm = i.attr("name");
+    let film = Value::Str(i.symbol("film"));
+    let producer = Value::Str(i.symbol("producer"));
+    let selling_out = Value::Str(i.symbol("Selling out"));
+
+    let q1 = Pattern::edge(person, create, product);
+    let x1 = Literal::constant(1, ty, film);
+    let l = Literal::constant(0, ty, producer);
+    let phi1 = Gfd::new(q1.clone(), vec![x1], Rhs::Lit(l));
+
+    let q11 = q1.extend(&Extension {
+        src: End::Var(1),
+        dst: End::New(award),
+        label: receive,
+    });
+    let phi11 = Gfd::new(
+        q11.clone(),
+        vec![x1, Literal::constant(1, nm, selling_out)],
+        Rhs::Lit(l),
+    );
+    assert!(gfd_reduces(&phi1, &phi11));
+    assert!(!gfd_reduces(&phi11, &phi1));
+
+    let phi12 = Gfd::new(q11, vec![Literal::constant(1, nm, selling_out)], Rhs::Lit(l));
+    assert!(!gfd_reduces(&phi1, &phi12));
+}
+
+/// Theorem 3: φ1 ≪ φ2 ⟹ supp(φ1, G) ≥ supp(φ2, G), checked on a concrete
+/// graph for both the pattern-extension and premise-extension directions.
+#[test]
+fn theorem_3_anti_monotonicity() {
+    let kb = knowledge_base(&KbConfig::new(KbProfile::Yago2).with_scale(300));
+    let i = kb.interner();
+    let person = PLabel::Is(i.lookup_label("person").unwrap());
+    let create = PLabel::Is(i.lookup_label("create").unwrap());
+    let product = PLabel::Is(i.lookup_label("product").unwrap());
+    let receive = PLabel::Is(i.lookup_label("receive").unwrap());
+    let award = PLabel::Is(i.lookup_label("award").unwrap());
+    let ty = i.lookup_attr("type").unwrap();
+    let film = Value::Str(i.lookup_symbol("film").unwrap());
+    let producer = Value::Str(i.lookup_symbol("producer").unwrap());
+
+    let q1 = Pattern::edge(person, create, product);
+    let phi1 = Gfd::new(
+        q1.clone(),
+        vec![Literal::constant(1, ty, film)],
+        Rhs::Lit(Literal::constant(0, ty, producer)),
+    );
+    // Vertical extension.
+    let q2 = q1.extend(&Extension {
+        src: End::Var(1),
+        dst: End::New(award),
+        label: receive,
+    });
+    let phi2 = Gfd::new(
+        q2,
+        vec![Literal::constant(1, ty, film)],
+        Rhs::Lit(Literal::constant(0, ty, producer)),
+    );
+    assert!(gfd_reduces(&phi1, &phi2));
+
+    let supp = |phi: &Gfd| {
+        let ms = find_all(phi.pattern(), &kb);
+        let attrs = vec![ty];
+        let table = gfd::core::MatchTable::build(phi.pattern(), &ms, &kb, &attrs);
+        gfd::core::evaluate(&table, phi.lhs(), &phi.rhs()).support
+    };
+    let (s1, s2) = (supp(&phi1), supp(&phi2));
+    assert!(s1 >= s2, "supp(φ1)={s1} < supp(φ2)={s2}");
+    assert!(s1 > 0);
+}
+
+/// §3 characterisations: implication and satisfiability round-trip on the
+/// paper's φ-family, and validation agrees with them.
+#[test]
+fn reasoning_characterisations_consistent() {
+    let i = Interner::new();
+    let person = PLabel::Is(i.label("person"));
+    let create = PLabel::Is(i.label("create"));
+    let product = PLabel::Is(i.label("product"));
+    let ty = i.attr("type");
+    let film = Value::Str(i.symbol("film"));
+    let producer = Value::Str(i.symbol("producer"));
+
+    let q = Pattern::edge(person, create, product);
+    let phi = Gfd::new(
+        q.clone(),
+        vec![Literal::constant(1, ty, film)],
+        Rhs::Lit(Literal::constant(0, ty, producer)),
+    );
+    // Σ ⊨ φ for Σ = {φ}; and a weaker-premise variant implies it.
+    assert!(implies(std::slice::from_ref(&phi), &phi));
+    let stronger = Gfd::new(
+        q,
+        vec![],
+        Rhs::Lit(Literal::constant(0, ty, producer)),
+    );
+    assert!(implies(std::slice::from_ref(&stronger), &phi));
+    assert!(!implies(std::slice::from_ref(&phi), &stronger));
+    assert!(is_satisfiable(&[phi, stronger]));
+}

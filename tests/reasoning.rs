@@ -1,0 +1,245 @@
+//! Deeper reasoning invariants spanning logic/pattern/core:
+//!
+//! * normal form (§2.2): a multi-literal consequence is equivalent to the
+//!   set of its single-literal normal forms;
+//! * soundness triangle: `Σ ⊨ φ` and `G ⊨ Σ` imply `G ⊨ φ` on arbitrary
+//!   generated graphs;
+//! * `φ₁ ≪ φ₂ ⟹ {φ₁} ⊨ φ₂` (reduction is an implication witness);
+//! * cover idempotence and equivalence;
+//! * embedding transitivity.
+
+use gfd::logic::gfd_reduces;
+use gfd::prelude::*;
+use gfd::pattern::is_embedded;
+use proptest::prelude::*;
+
+fn interner_fixture() -> (Interner, Vec<PLabel>, Vec<AttrId>) {
+    let i = Interner::new();
+    let labels = (0..4)
+        .map(|k| PLabel::Is(i.label(&format!("L{k}"))))
+        .collect();
+    let attrs = (0..3).map(|k| i.attr(&format!("a{k}"))).collect();
+    (i, labels, attrs)
+}
+
+/// Normal form: `Q(X → {l1, l2})` behaves as `{Q(X → l1), Q(X → l2)}` on
+/// validation over arbitrary graphs.
+#[test]
+fn multi_literal_rhs_decomposes() {
+    let g = knowledge_base(&KbConfig::new(KbProfile::Yago2).with_scale(150));
+    let i = g.interner();
+    let person = PLabel::Is(i.lookup_label("person").unwrap());
+    let create = PLabel::Is(i.lookup_label("create").unwrap());
+    let product = PLabel::Is(i.lookup_label("product").unwrap());
+    let q = Pattern::edge(person, create, product);
+    let ty = i.lookup_attr("type").unwrap();
+    let film = Value::Str(i.lookup_symbol("film").unwrap());
+    let producer = Value::Str(i.lookup_symbol("producer").unwrap());
+    let x = vec![Literal::constant(1, ty, film)];
+    let l1 = Literal::constant(0, ty, producer);
+    let l2 = Literal::var_var(0, ty, 1, ty);
+
+    // The conjunction validates iff both normal forms validate.
+    let phi_l1 = Gfd::new(q.clone(), x.clone(), Rhs::Lit(l1));
+    let phi_l2 = Gfd::new(q.clone(), x.clone(), Rhs::Lit(l2));
+    let both = satisfies(&g, &phi_l1) && satisfies(&g, &phi_l2);
+    // Manual conjunction check over matches.
+    let ms = find_all(&q, &g);
+    let conj = ms
+        .iter()
+        .all(|m| {
+            let prem = x.iter().all(|lit| lit.satisfied(m, &g));
+            !prem || (l1.satisfied(m, &g) && l2.satisfied(m, &g))
+        });
+    assert_eq!(both, conj);
+}
+
+/// Soundness: implication + model ⇒ satisfaction, on a planted KB.
+#[test]
+fn implication_soundness_on_models() {
+    let g = knowledge_base(&KbConfig::new(KbProfile::Imdb).with_scale(150));
+    let mut cfg = DiscoveryConfig::new(3, 15);
+    cfg.max_edges = 3;
+    cfg.max_lhs_size = 1;
+    let mined = seq_dis(&g, &cfg);
+    let sigma = mined.rules();
+    // Everything mined holds on g.
+    assert!(satisfies_all(&g, &sigma));
+    // Any φ implied by Σ must therefore hold on g too. Build some implied
+    // variants: premise-weakenings and pattern-extensions of mined rules.
+    let mut implied: Vec<Gfd> = Vec::new();
+    for phi in sigma.iter().take(10) {
+        if phi.pattern().node_count() < 3 {
+            if let Some(first_edge) = phi.pattern().edges().first() {
+                let ext = Extension {
+                    src: End::Var(first_edge.src),
+                    dst: End::New(PLabel::Wildcard),
+                    label: PLabel::Wildcard,
+                };
+                let bigger = phi.pattern().extend(&ext);
+                implied.push(Gfd::new(bigger, phi.lhs().to_vec(), phi.rhs()));
+            }
+        }
+    }
+    for phi in &implied {
+        assert!(implies(&sigma, phi), "{}", phi.display(g.interner()));
+        assert!(satisfies(&g, phi), "{}", phi.display(g.interner()));
+    }
+}
+
+/// `φ₁ ≪ φ₂ ⟹ {φ₁} ⊨ φ₂`: the reduction order witnesses implication.
+#[test]
+fn reduction_implies_implication() {
+    let (_i, labels, attrs) = interner_fixture();
+    let q1 = Pattern::edge(labels[0], labels[1], labels[2]);
+    let base = Gfd::new(
+        q1.clone(),
+        vec![Literal::constant(1, attrs[0], Value::Int(1))],
+        Rhs::Lit(Literal::constant(0, attrs[1], Value::Int(2))),
+    );
+    // Premise extension.
+    let spec1 = Gfd::new(
+        q1.clone(),
+        vec![
+            Literal::constant(1, attrs[0], Value::Int(1)),
+            Literal::constant(0, attrs[2], Value::Int(5)),
+        ],
+        base.rhs(),
+    );
+    // Pattern extension.
+    let q2 = q1.extend(&Extension {
+        src: End::Var(1),
+        dst: End::New(labels[3]),
+        label: labels[1],
+    });
+    let spec2 = Gfd::new(q2, base.lhs().to_vec(), base.rhs());
+    for spec in [&spec1, &spec2] {
+        assert!(gfd_reduces(&base, spec));
+        assert!(implies(std::slice::from_ref(&base), spec));
+    }
+}
+
+/// Covers are idempotent and preserve equivalence.
+#[test]
+fn cover_idempotent_and_equivalent() {
+    let g = knowledge_base(&KbConfig::new(KbProfile::Yago2).with_scale(150));
+    let sigma = generate_gfds(
+        &g,
+        &GfdGenConfig {
+            count: 80,
+            specialization_rate: 0.5,
+            ..Default::default()
+        },
+    );
+    let once = seq_cover(&sigma);
+    let twice = seq_cover(&once);
+    assert_eq!(once.len(), twice.len());
+    assert!(gfd::logic::equivalent(&once, &sigma));
+    assert!(gfd::logic::equivalent(&twice, &once));
+}
+
+/// Explanations agree with `find_violations` counts.
+#[test]
+fn explanations_match_violations() {
+    let clean = knowledge_base(&KbConfig::new(KbProfile::Yago2).with_scale(150));
+    let noised = inject_noise(
+        &clean,
+        &NoiseConfig {
+            alpha: 0.15,
+            beta: 0.9,
+            edge_share: 0.0,
+            seed: 2,
+        },
+    );
+    let mut cfg = DiscoveryConfig::new(3, 15);
+    cfg.max_edges = 3;
+    cfg.max_lhs_size = 1;
+    let rules = seq_dis(&clean, &cfg).rules();
+    let mut explained = 0usize;
+    let mut violating = 0usize;
+    for phi in rules.iter().take(25) {
+        let v = find_violations(&noised.graph, phi, None).len();
+        let e = gfd::logic::explain_violations(&noised.graph, phi, usize::MAX).len();
+        assert_eq!(v, e, "{}", phi.display(clean.interner()));
+        violating += v;
+        explained += e;
+    }
+    assert_eq!(explained, violating);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Embedding is transitive on an extension chain, and each prefix
+    /// pattern keeps at least the support of its extension (Theorem 3's
+    /// pattern half, checked via generated graphs).
+    #[test]
+    fn embedding_chain_transitivity(seed in 0u64..500) {
+        let g = synthetic(&SyntheticConfig {
+            nodes: 120,
+            edges: 360,
+            node_labels: 4,
+            edge_labels: 3,
+            seed,
+            ..Default::default()
+        });
+        let triples = gfd::graph::triple_stats(&g);
+        prop_assume!(!triples.is_empty());
+        let t = &triples[0];
+        let q1 = Pattern::edge(
+            PLabel::Is(t.src_label),
+            PLabel::Is(t.edge_label),
+            PLabel::Is(t.dst_label),
+        );
+        let t2 = &triples[seed as usize % triples.len()];
+        let q2 = q1.extend(&Extension {
+            src: End::Var(1),
+            dst: End::New(PLabel::Is(t2.dst_label)),
+            label: PLabel::Is(t2.edge_label),
+        });
+        let q3 = q2.extend(&Extension {
+            src: End::Var(0),
+            dst: End::New(PLabel::Wildcard),
+            label: PLabel::Wildcard,
+        });
+        prop_assert!(is_embedded(&q1, &q2));
+        prop_assert!(is_embedded(&q2, &q3));
+        prop_assert!(is_embedded(&q1, &q3));
+        // Support anti-monotone along the chain.
+        let s1 = pattern_support(&q1, &g);
+        let s2 = pattern_support(&q2, &g);
+        let s3 = pattern_support(&q3, &g);
+        prop_assert!(s1 >= s2 && s2 >= s3, "{s1} {s2} {s3}");
+    }
+
+    /// Satisfiability of generated rule sets is stable under adding an
+    /// implied rule.
+    #[test]
+    fn satisfiability_stable_under_implied_additions(seed in 0u64..200) {
+        let g = synthetic(&SyntheticConfig {
+            nodes: 80,
+            edges: 200,
+            node_labels: 3,
+            edge_labels: 3,
+            seed,
+            ..Default::default()
+        });
+        let sigma = generate_gfds(&g, &GfdGenConfig {
+            count: 10,
+            k: 3,
+            seed,
+            negative_rate: 0.2,
+            ..Default::default()
+        });
+        let sat = is_satisfiable(&sigma);
+        // Add a premise-weakened copy of an existing rule — implied, so
+        // satisfiability must not change.
+        let mut extended = sigma.clone();
+        let donor = &sigma[seed as usize % sigma.len()];
+        if !donor.lhs().is_empty() {
+            let weaker: Vec<Literal> = donor.lhs().to_vec();
+            extended.push(Gfd::new(donor.pattern().clone(), weaker, donor.rhs()));
+            prop_assert_eq!(is_satisfiable(&extended), sat);
+        }
+    }
+}
