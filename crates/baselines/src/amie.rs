@@ -47,20 +47,8 @@ pub struct HornRule {
 impl HornRule {
     /// Renders e.g. `r1(x0,x2) ∧ r2(x2,x1) => r0(x0,x1)`.
     pub fn display(&self, g: &Graph) -> String {
-        let atom = |a: &Atom| {
-            format!(
-                "{}(x{},x{})",
-                g.interner().label_name(a.rel),
-                a.src,
-                a.dst
-            )
-        };
-        let body = self
-            .body
-            .iter()
-            .map(atom)
-            .collect::<Vec<_>>()
-            .join(" ∧ ");
+        let atom = |a: &Atom| format!("{}(x{},x{})", g.interner().label_name(a.rel), a.src, a.dst);
+        let body = self.body.iter().map(atom).collect::<Vec<_>>().join(" ∧ ");
         format!("{} => {}", body, atom(&self.head))
     }
 }
@@ -304,7 +292,11 @@ fn mine_head(g: &Graph, idx: &RelIndex, head_rel: LabelId, cfg: &AmieConfig) -> 
                         if s == d {
                             continue;
                         }
-                        let atom = Atom { rel, src: s, dst: d };
+                        let atom = Atom {
+                            rel,
+                            src: s,
+                            dst: d,
+                        };
                         if atom == head || body.contains(&atom) {
                             continue;
                         }
@@ -469,9 +461,9 @@ mod tests {
         );
         let has_child = g.interner().lookup_label("hasChild").unwrap();
         let child_of = g.interner().lookup_label("childOf").unwrap();
-        let inverse = rules.iter().find(|r| {
-            r.head.rel == child_of && r.body.len() == 1 && r.body[0].rel == has_child
-        });
+        let inverse = rules
+            .iter()
+            .find(|r| r.head.rel == child_of && r.body.len() == 1 && r.body[0].rel == has_child);
         assert!(inverse.is_some(), "rules: {:?}", rules.len());
         let r = inverse.unwrap();
         assert_eq!(r.support, 30);

@@ -92,7 +92,8 @@ pub fn mine_gcfds(g: &Graph, cfg: &GcfdConfig) -> Vec<DiscoveredGfd> {
             continue;
         }
         let table = MatchTable::build(&q, &ms, g, &attrs);
-        let catalog = LiteralCatalog::harvest(&table, cfg.values_per_attr, cfg.sigma.min(ms.len().max(1)));
+        let catalog =
+            LiteralCatalog::harvest(&table, cfg.values_per_attr, cfg.sigma.min(ms.len().max(1)));
         let mut covered = Vec::new();
         let (deps, _) = mine_dependencies(&table, &catalog, &mut covered, &dcfg);
         for dep in deps {

@@ -84,8 +84,7 @@ pub fn split_pipeline(g: &Graph, cfg: &DiscoveryConfig) -> SplitReport {
                 if distinct_pivots(&child_ms, child.pivot()) < cfg.sigma {
                     continue;
                 }
-                if cfg.max_matches_per_pattern > 0 && child_ms.len() > cfg.max_matches_per_pattern
-                {
+                if cfg.max_matches_per_pattern > 0 && child_ms.len() > cfg.max_matches_per_pattern {
                     continue;
                 }
                 next.push(store.len());

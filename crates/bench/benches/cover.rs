@@ -27,11 +27,9 @@ fn bench_cover(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("ParCover n=4", count), &count, |b, _| {
             b.iter(|| black_box(par_cover(&sigma, 4, ExecMode::Threads, true).cover.len()))
         });
-        group.bench_with_input(
-            BenchmarkId::new("ParCovern n=4", count),
-            &count,
-            |b, _| b.iter(|| black_box(par_cover(&sigma, 4, ExecMode::Threads, false).cover.len())),
-        );
+        group.bench_with_input(BenchmarkId::new("ParCovern n=4", count), &count, |b, _| {
+            b.iter(|| black_box(par_cover(&sigma, 4, ExecMode::Threads, false).cover.len()))
+        });
     }
     group.finish();
 }

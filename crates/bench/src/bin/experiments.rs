@@ -8,14 +8,29 @@
 //! ```
 
 use gfd_bench::{
-    exp_ablation, exp_baselines, exp_cover, exp_extensions, exp_params, exp_parallel, exp_rules,
+    exp_ablation, exp_baselines, exp_cover, exp_extensions, exp_parallel, exp_params, exp_rules,
     Scale,
 };
 use gfd_datagen::KbProfile;
 
 const ALL: &[&str] = &[
-    "fig5a", "fig5b", "fig5c", "fig5d", "fig5e", "fig5f", "fig5g", "fig5h", "fig5i", "fig5j",
-    "fig5k", "fig5l", "fig6", "fig7", "fig8", "ablation", "extensions",
+    "fig5a",
+    "fig5b",
+    "fig5c",
+    "fig5d",
+    "fig5e",
+    "fig5f",
+    "fig5g",
+    "fig5h",
+    "fig5i",
+    "fig5j",
+    "fig5k",
+    "fig5l",
+    "fig6",
+    "fig7",
+    "fig8",
+    "ablation",
+    "extensions",
 ];
 
 fn run(name: &str, scale: Scale) {

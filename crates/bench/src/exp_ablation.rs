@@ -29,7 +29,10 @@ pub fn ablation_pruning(scale: Scale) -> Table {
         ),
         &["variant", "time(s)", "candidates", "patterns", "rules"],
     );
-    for (name, cfg) in [("DisGFD (pruned)", &pruned_cfg), ("ParGFDn (no pruning)", &unpruned_cfg)] {
+    for (name, cfg) in [
+        ("DisGFD (pruned)", &pruned_cfg),
+        ("ParGFDn (no pruning)", &unpruned_cfg),
+    ] {
         let t0 = Instant::now();
         let r = seq_dis(&g, cfg);
         t.row(vec![
@@ -76,7 +79,14 @@ pub fn ablation_split(scale: Scale) -> Table {
 pub fn cost_breakdown(scale: Scale) -> Table {
     let mut t = Table::new(
         "Cost breakdown (SeqDis): matching vs validation",
-        &["dataset", "total(s)", "match(s)", "validate(s)", "match%", "validate%"],
+        &[
+            "dataset",
+            "total(s)",
+            "match(s)",
+            "validate(s)",
+            "match%",
+            "validate%",
+        ],
     );
     for profile in [KbProfile::Dbpedia, KbProfile::Yago2, KbProfile::Imdb] {
         let g = bench_kb(profile, Scale(0.5 * scale.0));
@@ -88,8 +98,14 @@ pub fn cost_breakdown(scale: Scale) -> Table {
             f(secs(r.stats.total_time)),
             f(secs(r.stats.matching_time)),
             f(secs(r.stats.validation_time)),
-            format!("{:.0}%", 100.0 * r.stats.matching_time.as_secs_f64() / total),
-            format!("{:.0}%", 100.0 * r.stats.validation_time.as_secs_f64() / total),
+            format!(
+                "{:.0}%",
+                100.0 * r.stats.matching_time.as_secs_f64() / total
+            ),
+            format!(
+                "{:.0}%",
+                100.0 * r.stats.validation_time.as_secs_f64() / total
+            ),
         ]);
     }
     t
@@ -101,7 +117,10 @@ mod tests {
 
     #[test]
     fn pruning_reduces_candidates() {
-        let g = bench_kb(KbProfile::Yago2, Scale(if cfg!(debug_assertions) { 0.04 } else { 0.08 }));
+        let g = bench_kb(
+            KbProfile::Yago2,
+            Scale(if cfg!(debug_assertions) { 0.04 } else { 0.08 }),
+        );
         let pruned = bench_cfg(&g, 3);
         let mut unpruned = pruned.clone();
         unpruned.enable_pruning = false;
@@ -112,7 +131,10 @@ mod tests {
 
     #[test]
     fn breakdown_sums_to_less_than_total() {
-        let g = bench_kb(KbProfile::Imdb, Scale(if cfg!(debug_assertions) { 0.04 } else { 0.08 }));
+        let g = bench_kb(
+            KbProfile::Imdb,
+            Scale(if cfg!(debug_assertions) { 0.04 } else { 0.08 }),
+        );
         let r = seq_dis(&g, &bench_cfg(&g, 3));
         assert!(r.stats.matching_time + r.stats.validation_time <= r.stats.total_time * 2);
         assert!(r.stats.total_time.as_nanos() > 0);

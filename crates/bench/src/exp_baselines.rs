@@ -76,7 +76,12 @@ pub fn fig6(scale: Scale) -> Table {
     let mut t = Table::new(
         "Fig 6: sequential cost and rule count / avg support",
         &[
-            "dataset", "SeqDis(s)", "SeqCover(s)", "GFDs", "GCFDs", "AMIE",
+            "dataset",
+            "SeqDis(s)",
+            "SeqCover(s)",
+            "GFDs",
+            "GCFDs",
+            "AMIE",
         ],
     );
     for profile in [KbProfile::Dbpedia, KbProfile::Yago2] {
@@ -90,7 +95,11 @@ pub fn fig6(scale: Scale) -> Table {
         let cover_time = t1.elapsed();
         let gfd_cell = format!("{}/{:.0}", cover.len(), {
             let s: f64 = cover.iter().map(|d| d.support as f64).sum();
-            if cover.is_empty() { 0.0 } else { s / cover.len() as f64 }
+            if cover.is_empty() {
+                0.0
+            } else {
+                s / cover.len() as f64
+            }
         });
 
         let gcfds = mine_gcfds(
@@ -104,7 +113,11 @@ pub fn fig6(scale: Scale) -> Table {
         );
         let gcfd_cell = format!("{}/{:.0}", gcfds.len(), {
             let s: f64 = gcfds.iter().map(|d| d.support as f64).sum();
-            if gcfds.is_empty() { 0.0 } else { s / gcfds.len() as f64 }
+            if gcfds.is_empty() {
+                0.0
+            } else {
+                s / gcfds.len() as f64
+            }
         });
 
         let amie = mine_amie(
@@ -118,7 +131,11 @@ pub fn fig6(scale: Scale) -> Table {
         );
         let amie_cell = format!("{}/{:.0}", amie.len(), {
             let s: f64 = amie.iter().map(|r| r.support as f64).sum();
-            if amie.is_empty() { 0.0 } else { s / amie.len() as f64 }
+            if amie.is_empty() {
+                0.0
+            } else {
+                s / amie.len() as f64
+            }
         });
 
         t.row(vec![
@@ -201,8 +218,7 @@ pub fn fig7(scale: Scale) -> Table {
                 ..Default::default()
             },
         );
-        let amie_acc =
-            detection_accuracy(&amie_violations(&noised.graph, &amie), &noised.dirty);
+        let amie_acc = detection_accuracy(&amie_violations(&noised.graph, &amie), &noised.dirty);
 
         t.row(vec![
             format!("({}, {}, {})", cfg.sigma, k, gamma),
@@ -222,7 +238,10 @@ mod tests {
     /// strict sub-formalism mined with identical budgets).
     #[test]
     fn gfds_at_least_as_accurate_as_gcfds() {
-        let clean = bench_kb(KbProfile::Yago2, Scale(if cfg!(debug_assertions) { 0.05 } else { 0.12 }));
+        let clean = bench_kb(
+            KbProfile::Yago2,
+            Scale(if cfg!(debug_assertions) { 0.05 } else { 0.12 }),
+        );
         let noised = inject_noise(
             &clean,
             &NoiseConfig {
@@ -239,8 +258,7 @@ mod tests {
             .into_iter()
             .map(|d| d.gfd)
             .collect();
-        let gfd_acc =
-            detection_accuracy(&violating_nodes(&noised.graph, &rules), &noised.dirty);
+        let gfd_acc = detection_accuracy(&violating_nodes(&noised.graph, &rules), &noised.dirty);
 
         let gcfds: Vec<Gfd> = mine_gcfds(
             &clean,
@@ -254,12 +272,8 @@ mod tests {
         .into_iter()
         .map(|d| d.gfd)
         .collect();
-        let gcfd_acc =
-            detection_accuracy(&violating_nodes(&noised.graph, &gcfds), &noised.dirty);
-        assert!(
-            gfd_acc >= gcfd_acc,
-            "GFD {gfd_acc} < GCFD {gcfd_acc}"
-        );
+        let gcfd_acc = detection_accuracy(&violating_nodes(&noised.graph, &gcfds), &noised.dirty);
+        assert!(gfd_acc >= gcfd_acc, "GFD {gfd_acc} < GCFD {gcfd_acc}");
         assert!(gfd_acc > 0.0);
     }
 

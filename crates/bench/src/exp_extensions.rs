@@ -52,7 +52,14 @@ pub fn ext_incremental(scale: Scale) -> Table {
             g.node_count(),
             base_rules.len()
         ),
-        &["batch", "monitor(s)", "full reval(s)", "affected", "Δ+", "Δ-"],
+        &[
+            "batch",
+            "monitor(s)",
+            "full reval(s)",
+            "affected",
+            "Δ+",
+            "Δ-",
+        ],
     );
 
     let mut monitor = ViolationMonitor::new(&g, monitor_rules);
@@ -104,13 +111,14 @@ pub fn ext_confidence(scale: Scale) -> Table {
     let mut cfg = bench_cfg(&clean, 3);
     cfg.mine_negative = false;
     let baseline = seq_dis(&clean, &cfg);
-    let keys = |rules: &[gfd_core::DiscoveredGfd], g: &Graph| -> std::collections::BTreeSet<String> {
-        rules
-            .iter()
-            .filter(|d| d.gfd.is_positive())
-            .map(|d| d.gfd.display(g.interner()))
-            .collect()
-    };
+    let keys =
+        |rules: &[gfd_core::DiscoveredGfd], g: &Graph| -> std::collections::BTreeSet<String> {
+            rules
+                .iter()
+                .filter(|d| d.gfd.is_positive())
+                .map(|d| d.gfd.display(g.interner()))
+                .collect()
+        };
     let baseline_keys = keys(&baseline.gfds, &clean);
 
     let noised = inject_noise(
@@ -192,7 +200,9 @@ pub fn ext_extended(scale: Scale) -> Table {
             "Ext-3 extended discovery (temporal graph |V|={}, σ={sigma})",
             g.node_count()
         ),
-        &["k", "rules", "order", "arith", "const", "negative", "time(s)"],
+        &[
+            "k", "rules", "order", "arith", "const", "negative", "time(s)",
+        ],
     );
     for k in [2usize, 3] {
         let mut cfg = XDiscoveryConfig::new(k, sigma);
@@ -251,7 +261,10 @@ mod tests {
         let s = t.render();
         assert!(s.contains("Ext-2"), "{s}");
         // θ = 1.0 recovers nothing by construction (row 1 contains "0/").
-        let row1 = s.lines().find(|l| l.trim_start().starts_with("1.00")).unwrap();
+        let row1 = s
+            .lines()
+            .find(|l| l.trim_start().starts_with("1.00"))
+            .unwrap();
         assert!(row1.contains("0/"), "{row1}");
     }
 

@@ -135,7 +135,10 @@ mod tests {
 
     #[test]
     fn fig_tables_render() {
-        let t = fig5_workers(KbProfile::Imdb, Scale(if cfg!(debug_assertions) { 0.02 } else { 0.04 }));
+        let t = fig5_workers(
+            KbProfile::Imdb,
+            Scale(if cfg!(debug_assertions) { 0.02 } else { 0.04 }),
+        );
         let s = t.render();
         assert!(s.contains("Fig 5(c)"));
         assert!(s.lines().count() >= 8);

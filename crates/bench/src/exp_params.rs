@@ -87,7 +87,10 @@ mod tests {
     /// fewer candidates checked.
     #[test]
     fn sigma_monotonicity() {
-        let g = bench_kb(KbProfile::Dbpedia, Scale(if cfg!(debug_assertions) { 0.04 } else { 0.07 }));
+        let g = bench_kb(
+            KbProfile::Dbpedia,
+            Scale(if cfg!(debug_assertions) { 0.04 } else { 0.07 }),
+        );
         let base = bench_cfg(&g, 3);
         let lo = seq_dis(&g, &base);
         let mut hi_cfg = base.clone();
@@ -100,7 +103,10 @@ mod tests {
     /// Fig 5(h)'s monotonicity: more active attributes ⇒ more candidates.
     #[test]
     fn gamma_monotonicity() {
-        let g = bench_kb(KbProfile::Dbpedia, Scale(if cfg!(debug_assertions) { 0.04 } else { 0.07 }));
+        let g = bench_kb(
+            KbProfile::Dbpedia,
+            Scale(if cfg!(debug_assertions) { 0.04 } else { 0.07 }),
+        );
         let base = bench_cfg(&g, 3);
         let all: Vec<AttrId> = (0..g.interner().attr_count())
             .map(AttrId::from_index)
@@ -117,7 +123,10 @@ mod tests {
     /// Fig 5(f)'s monotonicity: larger k explores at least as much.
     #[test]
     fn k_monotonicity() {
-        let g = bench_kb(KbProfile::Yago2, Scale(if cfg!(debug_assertions) { 0.04 } else { 0.07 }));
+        let g = bench_kb(
+            KbProfile::Yago2,
+            Scale(if cfg!(debug_assertions) { 0.04 } else { 0.07 }),
+        );
         let a = seq_dis(&g, &bench_cfg(&g, 2));
         let b = seq_dis(&g, &bench_cfg(&g, 3));
         assert!(a.stats.patterns_spawned <= b.stats.patterns_spawned);

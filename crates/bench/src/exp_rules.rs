@@ -57,9 +57,12 @@ pub fn showcase(scale: Scale) -> (std::sync::Arc<Graph>, RuleShowcase) {
             Rhs::False if d.gfd.lhs().is_empty() => sc.structural_negative.push(i),
             Rhs::False => sc.premise_negative.push(i),
             Rhs::Lit(l) => {
-                let constants = d.gfd.lhs().iter().any(|x| {
-                    matches!(x, gfd_logic::Literal::Const { .. })
-                }) || matches!(l, gfd_logic::Literal::Const { .. });
+                let constants = d
+                    .gfd
+                    .lhs()
+                    .iter()
+                    .any(|x| matches!(x, gfd_logic::Literal::Const { .. }))
+                    || matches!(l, gfd_logic::Literal::Const { .. });
                 if constants {
                     sc.constant_positive.push(i);
                 } else {
@@ -116,7 +119,10 @@ mod tests {
     fn all_rule_flavours_discovered() {
         let (_, sc) = showcase(Scale(if cfg!(debug_assertions) { 0.08 } else { 0.18 }));
         assert!(!sc.cover.is_empty());
-        assert!(!sc.structural_negative.is_empty(), "no structural negatives");
+        assert!(
+            !sc.structural_negative.is_empty(),
+            "no structural negatives"
+        );
         assert!(!sc.constant_positive.is_empty(), "no constant rules");
         assert!(!sc.wildcard.is_empty(), "no wildcard rules");
     }

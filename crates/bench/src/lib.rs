@@ -19,8 +19,8 @@ pub mod exp_ablation;
 pub mod exp_baselines;
 pub mod exp_cover;
 pub mod exp_extensions;
-pub mod exp_params;
 pub mod exp_parallel;
+pub mod exp_params;
 pub mod exp_rules;
 pub mod report;
 

@@ -119,8 +119,8 @@ fn load_graph(path: &str) -> Result<Graph, CliError> {
 }
 
 fn load_rules(path: &str, g: &Graph) -> Result<Vec<Gfd>, CliError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| CliError::Io(format!("reading {path}: {e}")))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("reading {path}: {e}")))?;
     parse_rules(&text, g.interner()).map_err(|e| CliError::Io(format!("parsing {path}: {e}")))
 }
 
@@ -174,9 +174,7 @@ fn cmd_generate(mut a: Args) -> Result<String, CliError> {
                     "dbpedia" => KbProfile::Dbpedia,
                     "yago2" => KbProfile::Yago2,
                     "imdb" => KbProfile::Imdb,
-                    other => {
-                        return Err(CliError::Usage(format!("unknown profile `{other}`")))
-                    }
+                    other => return Err(CliError::Usage(format!("unknown profile `{other}`"))),
                 })
             }
             "--nodes" => nodes = Some(a.parse("--nodes")?),
@@ -276,9 +274,7 @@ fn cmd_discover(mut a: Args) -> Result<String, CliError> {
 
     let g = Arc::new(g);
     let mut mined = match parallel {
-        Some(n) if n > 1 => {
-            par_dis(&g, &cfg, &ClusterConfig::new(n, ExecMode::Threads)).result
-        }
+        Some(n) if n > 1 => par_dis(&g, &cfg, &ClusterConfig::new(n, ExecMode::Threads)).result,
         _ => seq_dis(&g, &cfg),
     };
     let total = mined.gfds.len();
@@ -299,7 +295,11 @@ fn cmd_discover(mut a: Args) -> Result<String, CliError> {
         mined.negative_count(),
     );
     let rules: Vec<Gfd> = mined.gfds.iter().map(|d| d.gfd.clone()).collect();
-    write_out(out_path.as_deref(), &render_rules(&rules, g.interner()), &mut out)?;
+    write_out(
+        out_path.as_deref(),
+        &render_rules(&rules, g.interner()),
+        &mut out,
+    )?;
     Ok(out)
 }
 
@@ -329,9 +329,15 @@ fn cmd_validate(mut a: Args) -> Result<String, CliError> {
             );
         }
     }
-    let _ = writeln!(out, "{} of {} rules violated",
-        rules.iter().filter(|phi| !gfd_logic::satisfies(&g, phi)).count(),
-        rules.len());
+    let _ = writeln!(
+        out,
+        "{} of {} rules violated",
+        rules
+            .iter()
+            .filter(|phi| !gfd_logic::satisfies(&g, phi))
+            .count(),
+        rules.len()
+    );
     if total > 0 {
         // Emit the report on stdout, then a non-zero exit like grep.
         print!("{out}");
@@ -384,7 +390,11 @@ fn cmd_cover(mut a: Args) -> Result<String, CliError> {
     let cover = gfd_core::seq_cover(&rules);
     let mut out = String::new();
     let _ = writeln!(out, "cover: {} of {} rules", cover.len(), rules.len());
-    write_out(out_path.as_deref(), &render_rules(&cover, g.interner()), &mut out)?;
+    write_out(
+        out_path.as_deref(),
+        &render_rules(&cover, g.interner()),
+        &mut out,
+    )?;
     Ok(out)
 }
 
@@ -487,8 +497,8 @@ fn cmd_monitor(mut a: Args) -> Result<String, CliError> {
 
     let mut monitor_rules: Vec<MonitorRule> = rules.into_iter().map(MonitorRule::from).collect();
     if let Some(xp) = xpath {
-        let text = std::fs::read_to_string(&xp)
-            .map_err(|e| CliError::Io(format!("reading {xp}: {e}")))?;
+        let text =
+            std::fs::read_to_string(&xp).map_err(|e| CliError::Io(format!("reading {xp}: {e}")))?;
         let xrules = parse_xrules(&text, g.interner())
             .map_err(|e| CliError::Io(format!("parsing {xp}: {e}")))?;
         monitor_rules.extend(xrules.into_iter().map(MonitorRule::from));
@@ -500,9 +510,9 @@ fn cmd_monitor(mut a: Args) -> Result<String, CliError> {
     let mut batch = UpdateBatch::new();
     let mut batch_no = 0usize;
     let flush = |monitor: &mut ViolationMonitor,
-                     batch: &mut UpdateBatch,
-                     batch_no: &mut usize,
-                     out: &mut String| {
+                 batch: &mut UpdateBatch,
+                 batch_no: &mut usize,
+                 out: &mut String| {
         if batch.is_empty() {
             return;
         }
@@ -670,11 +680,20 @@ mod tests {
             "Q[x0:person*, x1:product; x0-create->x1](x1.type=\"film\" -> x0.type=\"producer\")\n",
         )
         .unwrap();
-        let res = run(&s(&["validate", graph.to_str().unwrap(), rules.to_str().unwrap()]));
+        let res = run(&s(&[
+            "validate",
+            graph.to_str().unwrap(),
+            rules.to_str().unwrap(),
+        ]));
         assert!(matches!(res, Err(CliError::ViolationsFound(1))));
 
         // explain prints the diagnosis.
-        let out = run(&s(&["explain", graph.to_str().unwrap(), rules.to_str().unwrap()])).unwrap();
+        let out = run(&s(&[
+            "explain",
+            graph.to_str().unwrap(),
+            rules.to_str().unwrap(),
+        ]))
+        .unwrap();
         assert!(out.contains("high_jumper"), "{out}");
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -771,13 +790,26 @@ mod tests {
         let graph = dir.join("imdb.graph");
         let xrules = dir.join("x.gfd");
         run(&s(&[
-            "generate", "--profile", "imdb", "--scale", "120",
-            "--error-rate", "0.0", "-o", graph.to_str().unwrap(),
+            "generate",
+            "--profile",
+            "imdb",
+            "--scale",
+            "120",
+            "--error-rate",
+            "0.0",
+            "-o",
+            graph.to_str().unwrap(),
         ]))
         .unwrap();
         let out = run(&s(&[
-            "xdiscover", graph.to_str().unwrap(), "--k", "2", "--sigma", "10",
-            "-o", xrules.to_str().unwrap(),
+            "xdiscover",
+            graph.to_str().unwrap(),
+            "--k",
+            "2",
+            "--sigma",
+            "10",
+            "-o",
+            xrules.to_str().unwrap(),
         ]))
         .unwrap();
         assert!(out.contains("wrote"), "{out}");
@@ -811,9 +843,13 @@ e 0 1 parent
 ",
         )
         .unwrap();
-        std::fs::write(&updates, "set 1 birth 1955
+        std::fs::write(
+            &updates,
+            "set 1 birth 1955
 batch
-").unwrap();
+",
+        )
+        .unwrap();
         let out = run(&s(&[
             "monitor",
             graph.to_str().unwrap(),

@@ -43,8 +43,7 @@ impl CatalogCounts {
                 for tj in (ti + 1)..arity * na {
                     let (v2, a2) = (tj / na, tj % na);
                     if table.value(r, v2, attrs[a2]) == Some(x) {
-                        *out
-                            .agreements
+                        *out.agreements
                             .entry((v1, attrs[a1], v2, attrs[a2]))
                             .or_insert(0) += 1;
                     }
@@ -92,7 +91,10 @@ impl CatalogCounts {
         let mut per_term: FxHashMap<(Var, AttrId), Vec<(Value, usize)>> = FxHashMap::default();
         for (&(var, attr, value), &count) in &self.values {
             if count >= min_rows {
-                per_term.entry((var, attr)).or_default().push((value, count));
+                per_term
+                    .entry((var, attr))
+                    .or_default()
+                    .push((value, count));
             }
         }
         for ((var, attr), mut ranked) in per_term {
@@ -110,7 +112,7 @@ impl CatalogCounts {
         }
 
         if max_literals > 0 && ranked_literals.len() > max_literals {
-            ranked_literals.sort_unstable_by(|a, b| b.1.cmp(&a.1));
+            ranked_literals.sort_unstable_by_key(|&(_, count)| std::cmp::Reverse(count));
             ranked_literals.truncate(max_literals);
         }
         let mut literals: Vec<Literal> = ranked_literals.into_iter().map(|(l, _)| l).collect();
@@ -260,7 +262,10 @@ mod tests {
         assert!(capped.literals.iter().all(|l| full.literals.contains(l)));
         let _ = g;
         // Cap of 0 = unlimited.
-        assert_eq!(LiteralCatalog::harvest_capped(&t, 5, 1, 0).len(), full.len());
+        assert_eq!(
+            LiteralCatalog::harvest_capped(&t, 5, 1, 0).len(),
+            full.len()
+        );
     }
 
     #[test]

@@ -238,7 +238,9 @@ mod tests {
         let mut t = GenTree::new();
         let r0 = t.insert(Pattern::single(l(0)), None, None).id();
         let r1 = t.insert(Pattern::single(l(2)), None, None).id();
-        let e = t.insert(Pattern::edge(l(0), l(1), l(2)), Some(r0), None).id();
+        let e = t
+            .insert(Pattern::edge(l(0), l(1), l(2)), Some(r0), None)
+            .id();
         // merge second parent
         t.insert(Pattern::edge(l(0), l(1), l(2)), Some(r1), None);
         let deep = t

@@ -162,7 +162,14 @@ pub fn mine_dependencies_with<E: CandidateEvaluator>(
             }
         }
         mine_for_rhs(
-            eval, catalog, l, covered, cfg, &mut out, &mut negatives, &mut stats,
+            eval,
+            catalog,
+            l,
+            covered,
+            cfg,
+            &mut out,
+            &mut negatives,
+            &mut stats,
         );
     }
 
@@ -200,10 +207,7 @@ fn mine_for_rhs<E: CandidateEvaluator>(
         for x in frontier {
             // Lemma 4(b) + pattern-reduction: skip sets covered by a
             // satisfied subset (here or on an ancestor pattern).
-            if covered
-                .iter()
-                .any(|(cx, cl)| *cl == l && is_subset(cx, &x))
-            {
+            if covered.iter().any(|(cx, cl)| *cl == l && is_subset(cx, &x)) {
                 stats.pruned_covered += 1;
                 continue;
             }
@@ -431,9 +435,9 @@ mod tests {
         // producer ∧ show never co-occurs: expect some negative with these.
         let producer = Literal::constant(0, ty, val(&g, "producer"));
         let show = Literal::constant(1, ty, val(&g, "show"));
-        let neg = deps.iter().find(|d| {
-            d.rhs == Rhs::False && d.lhs.contains(&producer) && d.lhs.contains(&show)
-        });
+        let neg = deps
+            .iter()
+            .find(|d| d.rhs == Rhs::False && d.lhs.contains(&producer) && d.lhs.contains(&show));
         assert!(neg.is_some(), "negatives: {deps:?}");
         assert!(neg.unwrap().support >= cfg.sigma);
         assert!(stats.negative_candidates > 0);
@@ -495,7 +499,9 @@ mod tests {
         let producer_rhs = Rhs::Lit(Literal::constant(0, ty, val(&g, "producer")));
         let film = Literal::constant(1, ty, val(&g, "film"));
         assert!(
-            !deps.iter().any(|d| d.rhs == producer_rhs && d.lhs == vec![film]),
+            !deps
+                .iter()
+                .any(|d| d.rhs == producer_rhs && d.lhs == vec![film]),
             "exact mining must reject the violated rule"
         );
     }
@@ -530,7 +536,9 @@ mod tests {
         let ty = g.interner().lookup_attr("type").unwrap();
         let producer_rhs = Rhs::Lit(Literal::constant(0, ty, val(&g, "producer")));
         let film = Literal::constant(1, ty, val(&g, "film"));
-        assert!(!deps.iter().any(|d| d.rhs == producer_rhs && d.lhs == vec![film]));
+        assert!(!deps
+            .iter()
+            .any(|d| d.rhs == producer_rhs && d.lhs == vec![film]));
     }
 
     #[test]

@@ -115,11 +115,7 @@ mod tests {
         let rhs = Rhs::Lit(Literal::constant(0, a(0), v(1)));
         let general = Gfd::new(q, vec![], rhs);
         let special_pattern = Gfd::new(q2.clone(), vec![], rhs);
-        let special_lhs = Gfd::new(
-            q2,
-            vec![Literal::constant(2, a(1), v(9))],
-            rhs,
-        );
+        let special_lhs = Gfd::new(q2, vec![Literal::constant(2, a(1), v(9))], rhs);
         let sigma = vec![special_pattern, general.clone(), special_lhs];
         let cover = seq_cover(&sigma);
         assert_eq!(cover.len(), 1);
@@ -187,7 +183,11 @@ mod tests {
         );
         let concrete = Gfd::new(q.clone(), vec![], rhs1);
         let with_lhs = Gfd::new(q.clone(), vec![Literal::constant(1, a(2), v(5))], rhs1);
-        let other = Gfd::new(q.clone(), vec![], Rhs::Lit(Literal::constant(1, a(1), v(7))));
+        let other = Gfd::new(
+            q.clone(),
+            vec![],
+            Rhs::Lit(Literal::constant(1, a(1), v(7))),
+        );
         let sigma = vec![wild, concrete, with_lhs, other];
         let cover = seq_cover(&sigma);
         for phi in &sigma {

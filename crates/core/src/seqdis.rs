@@ -96,7 +96,8 @@ pub fn seq_dis_with_tree(g: &Graph, cfg: &DiscoveryConfig) -> (DiscoveryResult, 
 
             // Positive-side extensions: verify by incremental join.
             for (ext, _count) in proposals.frequent {
-                if cfg.max_patterns_per_level > 0 && spawned_this_level >= cfg.max_patterns_per_level
+                if cfg.max_patterns_per_level > 0
+                    && spawned_this_level >= cfg.max_patterns_per_level
                 {
                     break;
                 }
@@ -377,8 +378,7 @@ mod tests {
             d.gfd.is_positive()
                 && d.gfd.pattern().edge_count() == 1
                 && d.gfd.rhs() == Rhs::Lit(Literal::constant(0, ty, producer))
-                && (d.gfd.lhs().is_empty()
-                    || d.gfd.lhs() == [Literal::constant(1, ty, film)])
+                && (d.gfd.lhs().is_empty() || d.gfd.lhs() == [Literal::constant(1, ty, film)])
         });
         assert!(
             found,

@@ -69,8 +69,7 @@ impl RawHarvest {
             .chain(self.closing.values())
             .map(|s| s.len())
             .sum();
-        entries * std::mem::size_of::<NodeId>()
-            + (self.new_node.len() + self.closing.len()) * 16
+        entries * std::mem::size_of::<NodeId>() + (self.new_node.len() + self.closing.len()) * 16
     }
 }
 
@@ -192,9 +191,10 @@ pub fn proposals_from_harvest(raw: &RawHarvest, cfg: &DiscoveryConfig) -> Extens
     }
 
     // Deterministic order: highest count first, then by structure.
-    proposals
-        .frequent
-        .sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| format_key(&a.0).cmp(&format_key(&b.0))));
+    proposals.frequent.sort_unstable_by(|a, b| {
+        b.1.cmp(&a.1)
+            .then_with(|| format_key(&a.0).cmp(&format_key(&b.0)))
+    });
     proposals
 }
 
@@ -274,8 +274,12 @@ pub fn propose_negative_extensions(
             // Outgoing new-node / closing candidates anchored at x.
             if t.src_label == lx {
                 if can_grow {
-                    let ext =
-                        make_new_node_ext(x, Dir::Out, PLabel::Is(t.edge_label), PLabel::Is(t.dst_label));
+                    let ext = make_new_node_ext(
+                        x,
+                        Dir::Out,
+                        PLabel::Is(t.edge_label),
+                        PLabel::Is(t.dst_label),
+                    );
                     if !seen.contains(&ext) {
                         out.push(ext);
                         if out.len() >= cap {
@@ -306,8 +310,12 @@ pub fn propose_negative_extensions(
             }
             // Incoming new-node candidates anchored at x.
             if t.dst_label == lx && can_grow {
-                let ext =
-                    make_new_node_ext(x, Dir::In, PLabel::Is(t.edge_label), PLabel::Is(t.src_label));
+                let ext = make_new_node_ext(
+                    x,
+                    Dir::In,
+                    PLabel::Is(t.edge_label),
+                    PLabel::Is(t.src_label),
+                );
                 if !seen.contains(&ext) {
                     out.push(ext);
                     if out.len() >= cap {

@@ -70,11 +70,7 @@ pub fn generate_gfds(g: &Graph, cfg: &GfdGenConfig) -> Vec<Gfd> {
     out
 }
 
-fn random_pattern(
-    triples: &[TripleStat],
-    rng: &mut StdRng,
-    k: usize,
-) -> Pattern {
+fn random_pattern(triples: &[TripleStat], rng: &mut StdRng, k: usize) -> Pattern {
     // Grow a connected pattern from frequent triples, 1..k-1 edges.
     let first = &triples[rng.random_range(0..triples.len().min(20))];
     let mut q = Pattern::edge(

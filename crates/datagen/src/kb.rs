@@ -88,7 +88,14 @@ const COUNTRIES: &[&str] = &[
     "US", "Norway", "France", "Japan", "Brazil", "Kenya", "India", "Canada",
 ];
 const GENRES: &[&str] = &[
-    "drama", "comedy", "thriller", "documentary", "animation", "horror", "romance", "scifi",
+    "drama",
+    "comedy",
+    "thriller",
+    "documentary",
+    "animation",
+    "horror",
+    "romance",
+    "scifi",
 ];
 
 /// Generates the configured knowledge base.
@@ -114,7 +121,11 @@ fn build_yago(cfg: &KbConfig, rng: &mut StdRng, dense: bool) -> Graph {
     for i in 0..scale {
         let p = b.add_node("person");
         b.set_attr(p, "name", format!("person_{i}").as_str());
-        b.set_attr(p, "familyname", SURNAMES[rng.random_range(0..SURNAMES.len())]);
+        b.set_attr(
+            p,
+            "familyname",
+            SURNAMES[rng.random_range(0..SURNAMES.len())],
+        );
         persons.push(p);
     }
     let films = scale * 3 / 5;
@@ -149,7 +160,11 @@ fn build_yago(cfg: &KbConfig, rng: &mut StdRng, dense: bool) -> Graph {
     for (i, &f) in products.iter().enumerate() {
         let creator = persons[rng.random_range(0..persons.len())];
         let bad = rng.random_bool(err);
-        b.set_attr(creator, "type", if bad { "high_jumper" } else { "producer" });
+        b.set_attr(
+            creator,
+            "type",
+            if bad { "high_jumper" } else { "producer" },
+        );
         b.add_edge(creator, f, "create");
         // actors act in works (their type set unless already creator).
         let actor = persons[(i * 7 + 3) % persons.len()];
@@ -225,7 +240,11 @@ fn build_yago(cfg: &KbConfig, rng: &mut StdRng, dense: bool) -> Graph {
                 b.add_edge(p, orgs[(i / 2) % orgs.len()], "worksFor");
             }
             if i % 5 == 0 {
-                b.add_edge(orgs[i % orgs.len()], cities[i % cities.len()], "headquarteredIn");
+                b.add_edge(
+                    orgs[i % orgs.len()],
+                    cities[i % cities.len()],
+                    "headquarteredIn",
+                );
             }
         }
         for (i, &f) in products.iter().enumerate() {
@@ -288,7 +307,11 @@ fn build_imdb(cfg: &KbConfig, rng: &mut StdRng) -> Graph {
         b.set_attr(
             d,
             "profession",
-            if rng.random_bool(err) { "actor" } else { "director" },
+            if rng.random_bool(err) {
+                "actor"
+            } else {
+                "director"
+            },
         );
         b.add_edge(d, m, "directed");
         b.add_edge(m, companies[i % companies.len()], "producedBy");
@@ -374,12 +397,14 @@ mod tests {
         // No high jumpers when the error rate is zero.
         let ty = clean.interner().lookup_attr("type").unwrap();
         let hj = clean.interner().lookup_symbol("high_jumper");
-        assert!(hj.is_none() || {
-            let hj = hj.unwrap();
-            !clean
-                .nodes()
-                .any(|n| clean.attr(n, ty) == Some(gfd_graph::Value::Str(hj)))
-        });
+        assert!(
+            hj.is_none() || {
+                let hj = hj.unwrap();
+                !clean
+                    .nodes()
+                    .any(|n| clean.attr(n, ty) == Some(gfd_graph::Value::Str(hj)))
+            }
+        );
 
         let dirty = knowledge_base(&KbConfig {
             profile: KbProfile::Yago2,

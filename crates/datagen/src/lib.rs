@@ -23,5 +23,5 @@ pub mod synthetic;
 
 pub use gfdgen::{generate_gfds, GfdGenConfig};
 pub use kb::{knowledge_base, KbConfig, KbProfile};
-pub use noise::{detection_accuracy, inject_noise, Noised, NoiseConfig};
+pub use noise::{detection_accuracy, inject_noise, NoiseConfig, Noised};
 pub use synthetic::{synthetic, SyntheticConfig};

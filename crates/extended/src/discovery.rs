@@ -116,11 +116,11 @@ impl PatternTable {
         let mut rows = 0usize;
         let _ = for_each_match(q, g, |m| {
             pivots.push(m[q.pivot()]);
-            for var in 0..n {
+            for (var, &node) in m.iter().enumerate().take(n) {
                 for &a in attrs {
                     cols.get_mut(&Term::new(var, a))
                         .expect("column exists")
-                        .push(g.attr(m[var], a));
+                        .push(g.attr(node, a));
                 }
             }
             rows += 1;
@@ -219,10 +219,7 @@ fn frequent_triples(g: &Graph, sigma: usize) -> Vec<(LabelId, LabelId, LabelId)>
             .entry((g.node_label(e.src), e.label, g.node_label(e.dst)))
             .or_insert(0) += 1;
     }
-    let mut out: Vec<_> = counts
-        .into_iter()
-        .filter(|(_, c)| *c >= sigma)
-        .collect();
+    let mut out: Vec<_> = counts.into_iter().filter(|(_, c)| *c >= sigma).collect();
     out.sort_by_key(|&(t, c)| (std::cmp::Reverse(c), t));
     out.into_iter().map(|(t, _)| t).collect()
 }
@@ -274,11 +271,7 @@ fn enumerate_patterns(g: &Graph, cfg: &XDiscoveryConfig) -> Vec<Pattern> {
 /// Candidate one-edge extensions of `q` from the frequent triple list:
 /// attach a new node at any variable (both directions) or close a cycle
 /// between two existing variables.
-fn extensions(
-    q: &Pattern,
-    triples: &[(LabelId, LabelId, LabelId)],
-    k: usize,
-) -> Vec<Extension> {
+fn extensions(q: &Pattern, triples: &[(LabelId, LabelId, LabelId)], k: usize) -> Vec<Extension> {
     let mut out = Vec::new();
     let grown = q.node_count() < k;
     for v in 0..q.node_count() {
@@ -537,9 +530,9 @@ fn mine_pattern(
                         // negative rule.
                         if cfg.mine_negative {
                             let base_supp = table.lhs_support(x);
-                            let redundant = negatives.iter().any(|(nx, _)| {
-                                nx.iter().all(|nl| x2.contains(nl))
-                            });
+                            let redundant = negatives
+                                .iter()
+                                .any(|(nx, _)| nx.iter().all(|nl| x2.contains(nl)));
                             if base_supp >= cfg.sigma && !redundant {
                                 negatives.push((x2.clone(), base_supp));
                             }
@@ -611,7 +604,9 @@ mod tests {
         // (in canonical orientation: x0.birth = x1.birth − 25).
         let want = XLiteral::cmp_terms(Term::new(0, birth), CmpOp::Eq, Term::new(1, birth), -25);
         assert!(
-            rules.iter().any(|r| r.gfd.rhs() == XRhs::Lit(want) && r.confidence == 1.0),
+            rules
+                .iter()
+                .any(|r| r.gfd.rhs() == XRhs::Lit(want) && r.confidence == 1.0),
             "expected the +25 arithmetic rule; got {} rules",
             rules.len()
         );
@@ -631,7 +626,9 @@ mod tests {
         let birth = g.interner().lookup_attr("birth").unwrap();
         let want = XLiteral::cmp_terms(Term::new(0, birth), CmpOp::Eq, Term::new(1, birth), -25);
         assert!(
-            !exact.iter().any(|r| r.gfd.rhs() == XRhs::Lit(want) && r.gfd.lhs().is_empty()),
+            !exact
+                .iter()
+                .any(|r| r.gfd.rhs() == XRhs::Lit(want) && r.gfd.lhs().is_empty()),
             "dirty data must break the exact rule"
         );
         let mut cfg = XDiscoveryConfig::new(2, 10);

@@ -92,11 +92,7 @@ pub fn xclosure_of<'a>(
             if fired[i] {
                 continue;
             }
-            if rule
-                .premises
-                .iter()
-                .all(|p| entails(&c.literals, p))
-            {
+            if rule.premises.iter().all(|p| entails(&c.literals, p)) {
                 fired[i] = true;
                 changed = true;
                 match &rule.conclusion {
@@ -232,14 +228,24 @@ mod tests {
         let step1 = XGfd::new(
             hop_pattern(),
             vec![],
-            XRhs::Lit(XLiteral::cmp_terms(Term::new(0, v), CmpOp::Le, Term::new(1, v), 0)),
+            XRhs::Lit(XLiteral::cmp_terms(
+                Term::new(0, v),
+                CmpOp::Le,
+                Term::new(1, v),
+                0,
+            )),
         );
         // chain2's second edge goes x1 → x2 with the same labels, so step1
         // embeds twice: (x0,x1) and (x1,x2).
         let end_to_end = XGfd::new(
             chain2(),
             vec![],
-            XRhs::Lit(XLiteral::cmp_terms(Term::new(0, v), CmpOp::Le, Term::new(2, v), 0)),
+            XRhs::Lit(XLiteral::cmp_terms(
+                Term::new(0, v),
+                CmpOp::Le,
+                Term::new(2, v),
+                0,
+            )),
         );
         assert!(ximplies(std::slice::from_ref(&step1), &end_to_end));
     }
@@ -251,18 +257,33 @@ mod tests {
         let hop = XGfd::new(
             hop_pattern(),
             vec![],
-            XRhs::Lit(XLiteral::cmp_terms(Term::new(1, v), CmpOp::Ge, Term::new(0, v), 12)),
+            XRhs::Lit(XLiteral::cmp_terms(
+                Term::new(1, v),
+                CmpOp::Ge,
+                Term::new(0, v),
+                12,
+            )),
         );
         let two_hops = XGfd::new(
             chain2(),
             vec![],
-            XRhs::Lit(XLiteral::cmp_terms(Term::new(2, v), CmpOp::Ge, Term::new(0, v), 24)),
+            XRhs::Lit(XLiteral::cmp_terms(
+                Term::new(2, v),
+                CmpOp::Ge,
+                Term::new(0, v),
+                24,
+            )),
         );
         assert!(ximplies(std::slice::from_ref(&hop), &two_hops));
         let too_strong = XGfd::new(
             chain2(),
             vec![],
-            XRhs::Lit(XLiteral::cmp_terms(Term::new(2, v), CmpOp::Ge, Term::new(0, v), 25)),
+            XRhs::Lit(XLiteral::cmp_terms(
+                Term::new(2, v),
+                CmpOp::Ge,
+                Term::new(0, v),
+                25,
+            )),
         );
         assert!(!ximplies(std::slice::from_ref(&hop), &too_strong));
     }
@@ -271,13 +292,23 @@ mod tests {
     fn false_propagates() {
         let neg = XGfd::new(
             edge_pattern(),
-            vec![XLiteral::cmp_const(0, AttrId(0), CmpOp::Ge, Value::Int(100))],
+            vec![XLiteral::cmp_const(
+                0,
+                AttrId(0),
+                CmpOp::Ge,
+                Value::Int(100),
+            )],
             XRhs::False,
         );
         // Stronger premises: X' ⊇ entails X, so the negative rule fires.
         let implied = XGfd::new(
             edge_pattern(),
-            vec![XLiteral::cmp_const(0, AttrId(0), CmpOp::Ge, Value::Int(150))],
+            vec![XLiteral::cmp_const(
+                0,
+                AttrId(0),
+                CmpOp::Ge,
+                Value::Int(150),
+            )],
             XRhs::False,
         );
         assert!(ximplies(std::slice::from_ref(&neg), &implied));

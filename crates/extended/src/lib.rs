@@ -32,9 +32,7 @@ pub mod xtext;
 pub use discovery::{discover_extended, XDiscovered, XDiscoveryConfig};
 pub use implication::{xclosure_of, xcover, xcover_indices, ximplies, ximplies_refs, XClosure};
 pub use solver::{entails, entails_all, is_conflicting, is_satisfiable_set, Analysis};
-pub use validation::{
-    find_violations, match_satisfies, satisfies, satisfies_all, violating_nodes,
-};
+pub use validation::{find_violations, match_satisfies, satisfies, satisfies_all, violating_nodes};
 pub use xgfd::{XGfd, XRhs};
 pub use xliteral::{normalize_xliterals, CmpOp, Operand, Term, XLiteral};
 pub use xtext::{parse_xgfd, parse_xliteral, parse_xrules, render_xrules};

@@ -191,9 +191,9 @@ impl Analysis {
         }
 
         // Phase 2: string bindings and their conflicts.
-        for t in 0..n {
+        for (t, &wants) in wants_int.iter().enumerate().take(n) {
             let r = analysis.find(t);
-            *analysis.class_wants_int.entry(r).or_insert(false) |= wants_int[t];
+            *analysis.class_wants_int.entry(r).or_insert(false) |= wants;
         }
         let class_wants_int = analysis.class_wants_int.clone();
         for (t, s) in str_eq {
@@ -428,8 +428,7 @@ pub fn entails(x: &[XLiteral], l: &XLiteral) -> bool {
         return false;
     }
     // Typing guard (see above).
-    let needs_int = l.op.is_order()
-        || matches!(l.rhs, Operand::Term(_, d) if d != 0);
+    let needs_int = l.op.is_order() || matches!(l.rhs, Operand::Term(_, d) if d != 0);
     if needs_int && !lterms.iter().all(|&t| ax.int_forced(t)) {
         return false;
     }
@@ -594,14 +593,26 @@ mod tests {
             XLiteral::cmp_terms(t(0, 0), CmpOp::Le, t(1, 0), 0),
             XLiteral::cmp_terms(t(1, 0), CmpOp::Le, t(2, 0), 0),
         ];
-        assert!(entails(&x, &XLiteral::cmp_terms(t(0, 0), CmpOp::Le, t(2, 0), 0)));
-        assert!(!entails(&x, &XLiteral::cmp_terms(t(0, 0), CmpOp::Lt, t(2, 0), 0)));
+        assert!(entails(
+            &x,
+            &XLiteral::cmp_terms(t(0, 0), CmpOp::Le, t(2, 0), 0)
+        ));
+        assert!(!entails(
+            &x,
+            &XLiteral::cmp_terms(t(0, 0), CmpOp::Lt, t(2, 0), 0)
+        ));
         let gap = vec![
             XLiteral::cmp_terms(t(1, 0), CmpOp::Ge, t(0, 0), 18),
             XLiteral::cmp_terms(t(2, 0), CmpOp::Ge, t(1, 0), 18),
         ];
-        assert!(entails(&gap, &XLiteral::cmp_terms(t(2, 0), CmpOp::Ge, t(0, 0), 36)));
-        assert!(entails(&gap, &XLiteral::cmp_terms(t(2, 0), CmpOp::Gt, t(0, 0), 0)));
+        assert!(entails(
+            &gap,
+            &XLiteral::cmp_terms(t(2, 0), CmpOp::Ge, t(0, 0), 36)
+        ));
+        assert!(entails(
+            &gap,
+            &XLiteral::cmp_terms(t(2, 0), CmpOp::Gt, t(0, 0), 0)
+        ));
     }
 
     #[test]
@@ -623,7 +634,10 @@ mod tests {
             XLiteral::cmp_terms(t(0, 0), CmpOp::Eq, t(1, 0), 0),
             XLiteral::cmp_const(0, AttrId(0), CmpOp::Eq, Value::Str(s)),
         ];
-        assert!(entails(&x, &XLiteral::cmp_const(1, AttrId(0), CmpOp::Eq, Value::Str(s))));
+        assert!(entails(
+            &x,
+            &XLiteral::cmp_const(1, AttrId(0), CmpOp::Eq, Value::Str(s))
+        ));
     }
 
     #[test]

@@ -117,8 +117,10 @@ mod tests {
         assert_eq!(v.len(), 1);
         // The violating pair is (fake, child).
         let viol = &v[0];
-        assert_eq!(g.attr(viol[0], g.interner().lookup_attr("birth").unwrap()),
-                   Some(gfd_graph::Value::Int(1991)));
+        assert_eq!(
+            g.attr(viol[0], g.interner().lookup_attr("birth").unwrap()),
+            Some(gfd_graph::Value::Int(1991))
+        );
         let nodes = violating_nodes(&g, std::slice::from_ref(&gfd));
         assert_eq!(nodes.len(), 2);
     }
@@ -143,7 +145,12 @@ mod tests {
         // LHS mentions a missing attribute → vacuously satisfied.
         let vacuous = XGfd::new(
             q.clone(),
-            vec![XLiteral::cmp_const(0, birth, CmpOp::Ge, gfd_graph::Value::Int(0))],
+            vec![XLiteral::cmp_const(
+                0,
+                birth,
+                CmpOp::Ge,
+                gfd_graph::Value::Int(0),
+            )],
             crate::xgfd::XRhs::False,
         );
         assert!(satisfies(&g, &vacuous));

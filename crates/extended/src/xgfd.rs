@@ -132,7 +132,11 @@ mod tests {
     use gfd_pattern::PLabel;
 
     fn pat() -> Pattern {
-        Pattern::edge(PLabel::Is(LabelId(0)), PLabel::Is(LabelId(1)), PLabel::Is(LabelId(2)))
+        Pattern::edge(
+            PLabel::Is(LabelId(0)),
+            PLabel::Is(LabelId(1)),
+            PLabel::Is(LabelId(2)),
+        )
     }
 
     #[test]

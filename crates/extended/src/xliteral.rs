@@ -187,12 +187,7 @@ impl XLiteral {
                 lattr,
                 rvar,
                 rattr,
-            } => XLiteral::cmp_terms(
-                Term::new(lvar, lattr),
-                CmpOp::Eq,
-                Term::new(rvar, rattr),
-                0,
-            ),
+            } => XLiteral::cmp_terms(Term::new(lvar, lattr), CmpOp::Eq, Term::new(rvar, rattr), 0),
         }
     }
 
@@ -285,11 +280,7 @@ impl XLiteral {
             return None;
         }
         match self.rhs {
-            Operand::Const(c) => Some(gfd_logic::Literal::constant(
-                self.lhs.var,
-                self.lhs.attr,
-                c,
-            )),
+            Operand::Const(c) => Some(gfd_logic::Literal::constant(self.lhs.var, self.lhs.attr, c)),
             Operand::Term(t, 0) => Some(gfd_logic::Literal::var_var(
                 self.lhs.var,
                 self.lhs.attr,
@@ -329,7 +320,14 @@ mod tests {
 
     #[test]
     fn op_algebra() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.swap().swap(), op);
             assert_eq!(op.negate().negate(), op);
             // a ⊙ b ⟺ b ⊙.swap a on sample values.
@@ -430,12 +428,22 @@ mod tests {
 
     #[test]
     fn remap_renormalises() {
-        let lit = XLiteral::cmp_terms(Term::new(0, AttrId(0)), CmpOp::Lt, Term::new(1, AttrId(0)), 5);
+        let lit = XLiteral::cmp_terms(
+            Term::new(0, AttrId(0)),
+            CmpOp::Lt,
+            Term::new(1, AttrId(0)),
+            5,
+        );
         // Swap the variables: orientation flips, op and offset adjust.
         let mapped = lit.remap(&[1, 0]);
         assert_eq!(
             mapped,
-            XLiteral::cmp_terms(Term::new(1, AttrId(0)), CmpOp::Lt, Term::new(0, AttrId(0)), 5)
+            XLiteral::cmp_terms(
+                Term::new(1, AttrId(0)),
+                CmpOp::Lt,
+                Term::new(0, AttrId(0)),
+                5
+            )
         );
         assert_eq!(mapped.lhs, Term::new(0, AttrId(0)));
         assert_eq!(mapped.op, CmpOp::Gt);
@@ -449,7 +457,14 @@ mod tests {
         let g = b.build();
         let v = g.interner().lookup_attr("v").unwrap();
         let m = [n0];
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             let lit = XLiteral::cmp_const(0, v, op, Value::Int(10));
             assert_eq!(lit.negate().negate(), lit);
             // With the attribute present and integer-typed, negation flips

@@ -39,13 +39,13 @@ fn split_op(s: &str) -> Option<(&str, CmpOp, &str)> {
     for (i, c) in &bytes {
         let rest = &s[*i..];
         for (tok, op) in two {
-            if rest.starts_with(tok) {
-                return Some((&s[..*i], op, &rest[tok.len()..]));
+            if let Some(tail) = rest.strip_prefix(tok) {
+                return Some((&s[..*i], op, tail));
             }
         }
         for (tok, op) in uni {
-            if rest.starts_with(tok) {
-                return Some((&s[..*i], op, &rest[tok.len()..]));
+            if let Some(tail) = rest.strip_prefix(tok) {
+                return Some((&s[..*i], op, tail));
             }
         }
         for (ch, op) in one {
@@ -63,9 +63,7 @@ fn parse_term<'a>(s: &'a str, interner: &Interner) -> Result<(Term, &'a str), Ru
     let rest = rest
         .strip_prefix('.')
         .ok_or_else(|| err(format!("expected `.` after variable in `{s}`")))?;
-    let end = rest
-        .find(['+', '-'])
-        .unwrap_or(rest.len());
+    let end = rest.find(['+', '-']).unwrap_or(rest.len());
     let attr_name = rest[..end].trim();
     if attr_name.is_empty() {
         return Err(err(format!("empty attribute in `{s}`")));
@@ -76,8 +74,8 @@ fn parse_term<'a>(s: &'a str, interner: &Interner) -> Result<(Term, &'a str), Ru
 /// Parses one extended literal, e.g. `x1.birth>=x0.birth+12`.
 pub fn parse_xliteral(s: &str, interner: &Interner) -> Result<XLiteral, RuleParseError> {
     let s = s.trim();
-    let (lhs_str, op, rhs_str) = split_op(s)
-        .ok_or_else(|| err(format!("expected a comparison operator in `{s}`")))?;
+    let (lhs_str, op, rhs_str) =
+        split_op(s).ok_or_else(|| err(format!("expected a comparison operator in `{s}`")))?;
     let (lhs, lhs_rest) = parse_term(lhs_str, interner)?;
     if !lhs_rest.trim().is_empty() {
         return Err(err(format!(
@@ -244,7 +242,12 @@ mod tests {
                 Pattern::single(person),
                 vec![
                     XLiteral::cmp_const(0, birth, CmpOp::Gt, Value::Int(2100)),
-                    XLiteral::cmp_const(0, i.attr("status"), CmpOp::Ne, Value::Str(i.symbol("fictional"))),
+                    XLiteral::cmp_const(
+                        0,
+                        i.attr("status"),
+                        CmpOp::Ne,
+                        Value::Str(i.symbol("fictional")),
+                    ),
                 ],
                 XRhs::False,
             ),

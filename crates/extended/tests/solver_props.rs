@@ -115,11 +115,7 @@ fn terms_of(lits: &[XLiteral]) -> Vec<Term> {
 /// Enumerates all assignments of `domain` values to `terms`, building the
 /// graph attributes for each and invoking `check`; stops early when
 /// `check` returns true. Returns whether any assignment passed.
-fn any_model(
-    terms: &[Term],
-    dom: &[Value],
-    check: impl Fn(&Graph, &[NodeId]) -> bool,
-) -> bool {
+fn any_model(terms: &[Term], dom: &[Value], check: impl Fn(&Graph, &[NodeId]) -> bool) -> bool {
     let m: Vec<NodeId> = (0..VARS).map(NodeId::from_index).collect();
     let mut idx = vec![0usize; terms.len()];
     loop {

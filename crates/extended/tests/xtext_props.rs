@@ -80,9 +80,12 @@ fn resolve(p: &ProtoLit, i: &Interner) -> XLiteral {
             p.op,
             Value::Str(i.lookup_symbol(&format!("sym {sx}")).unwrap()),
         ),
-        ProtoRhs::Term(v, a, d) => {
-            XLiteral::cmp_terms(Term::new(p.var, attr(p.attr)), p.op, Term::new(v, attr(a)), d)
-        }
+        ProtoRhs::Term(v, a, d) => XLiteral::cmp_terms(
+            Term::new(p.var, attr(p.attr)),
+            p.op,
+            Term::new(v, attr(a)),
+            d,
+        ),
     }
 }
 

@@ -89,9 +89,23 @@ impl Interner {
         Self::default()
     }
 
-    pool_api!(label, lookup_label, label_name, label_count, labels, LabelId);
+    pool_api!(
+        label,
+        lookup_label,
+        label_name,
+        label_count,
+        labels,
+        LabelId
+    );
     pool_api!(attr, lookup_attr, attr_name, attr_count, attrs, AttrId);
-    pool_api!(symbol, lookup_symbol, symbol_name, symbol_count, symbols, SymbolId);
+    pool_api!(
+        symbol,
+        lookup_symbol,
+        symbol_name,
+        symbol_count,
+        symbols,
+        SymbolId
+    );
 
     /// Snapshot of all label names, indexed by [`LabelId`].
     pub fn all_labels(&self) -> Vec<String> {

@@ -98,7 +98,11 @@ pub fn from_triples(text: &str, cfg: &TripleConfig) -> Result<Graph, ParseError>
     let mut labels: FxHashMap<usize, String> = FxHashMap::default();
     let mut attrs: Vec<(usize, String, String)> = Vec::new();
     let mut edges: Vec<(usize, usize, String)> = Vec::new();
-    let attr_set: FxHashSet<&str> = cfg.attribute_predicates.iter().map(|s| s.as_str()).collect();
+    let attr_set: FxHashSet<&str> = cfg
+        .attribute_predicates
+        .iter()
+        .map(|s| s.as_str())
+        .collect();
     let type_set: FxHashSet<&str> = cfg.type_predicates.iter().map(|s| s.as_str()).collect();
 
     let intern = |name: &str, order: &mut Vec<String>, ids: &mut FxHashMap<String, usize>| {

@@ -205,12 +205,7 @@ impl ViolationMonitor {
         let touched = self.state.apply_batch(batch);
         let new_graph = self.state.freeze();
 
-        let max_radius = self
-            .radii
-            .iter()
-            .filter_map(|r| *r)
-            .max()
-            .unwrap_or(0);
+        let max_radius = self.radii.iter().filter_map(|r| *r).max().unwrap_or(0);
         let dist_old = bounded_bfs(&self.graph, &touched, max_radius);
         let dist_new = bounded_bfs(&new_graph, &touched, max_radius);
 
@@ -230,10 +225,8 @@ impl ViolationMonitor {
                         .map(NodeId::from_index)
                         .filter(|v| {
                             let near_new = dist_new[v.index()] <= dq;
-                            let near_old = v.index() < dist_old.len()
-                                && dist_old[v.index()] <= dq;
-                            (near_new || near_old)
-                                && pivot_label.admits(new_graph.node_label(*v))
+                            let near_old = v.index() < dist_old.len() && dist_old[v.index()] <= dq;
+                            (near_new || near_old) && pivot_label.admits(new_graph.node_label(*v))
                         })
                         .collect()
                 }

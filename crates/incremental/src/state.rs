@@ -132,7 +132,10 @@ mod tests {
         assert_eq!(g2.node_count(), g.node_count());
         assert_eq!(g2.edge_count(), g.edge_count());
         let name = g.interner().lookup_attr("name").unwrap();
-        assert_eq!(g2.attr(NodeId::from_index(0), name), g.attr(NodeId::from_index(0), name));
+        assert_eq!(
+            g2.attr(NodeId::from_index(0), name),
+            g.attr(NodeId::from_index(0), name)
+        );
         assert_eq!(g2.edges(), g.edges());
     }
 
@@ -183,9 +186,17 @@ mod tests {
         let mut s = GraphState::from_graph(&g);
         let knows = g.interner().lookup_label("knows").unwrap();
         let (a, b) = (NodeId::from_index(0), NodeId::from_index(1));
-        s.apply(&Update::AddEdge { src: a, dst: b, label: knows });
+        s.apply(&Update::AddEdge {
+            src: a,
+            dst: b,
+            label: knows,
+        });
         assert_eq!(s.edge_count(), 2);
-        s.apply(&Update::RemoveEdge { src: a, dst: b, label: knows });
+        s.apply(&Update::RemoveEdge {
+            src: a,
+            dst: b,
+            label: knows,
+        });
         assert_eq!(s.edge_count(), 0);
     }
 

@@ -318,7 +318,11 @@ mod tests {
             vec![Literal::constant(1, ty, film)],
             Rhs::Lit(Literal::constant(0, ty, producer)),
         );
-        let c = closure_of(&q1, std::slice::from_ref(&phi), &[Literal::constant(1, ty, film)]);
+        let c = closure_of(
+            &q1,
+            std::slice::from_ref(&phi),
+            &[Literal::constant(1, ty, film)],
+        );
         assert!(c.holds(&Literal::constant(0, ty, producer)));
         assert!(!c.is_conflicting());
 

@@ -109,9 +109,7 @@ pub fn explain_match(phi: &Gfd, m: &[NodeId], g: &Graph) -> Option<Explanation> 
                 return None;
             }
             let (left, right) = match l {
-                Literal::Const { var, attr, value } => {
-                    (g.attr(m[var], attr), Some(value))
-                }
+                Literal::Const { var, attr, value } => (g.attr(m[var], attr), Some(value)),
                 Literal::VarVar {
                     lvar,
                     lattr,
@@ -187,7 +185,9 @@ mod tests {
             Cause::RhsFailed { left, .. } => {
                 assert_eq!(
                     *left,
-                    Some(Value::Str(g.interner().lookup_symbol("high_jumper").unwrap()))
+                    Some(Value::Str(
+                        g.interner().lookup_symbol("high_jumper").unwrap()
+                    ))
                 );
             }
             other => panic!("unexpected cause {other:?}"),
@@ -234,7 +234,11 @@ mod tests {
         let i = g.interner();
         let name = i.lookup_attr("name").unwrap();
         let q = Pattern::new(
-            vec![PLabel::Is(i.label("city")), PLabel::Wildcard, PLabel::Wildcard],
+            vec![
+                PLabel::Is(i.label("city")),
+                PLabel::Wildcard,
+                PLabel::Wildcard,
+            ],
             vec![
                 gfd_pattern::PEdge {
                     src: 0,

@@ -35,6 +35,4 @@ pub use literal::{normalize_literals, Literal};
 pub use order::gfd_reduces;
 pub use satisfiability::{is_satisfiable, satisfiable_witness};
 pub use text::{parse_gfd, parse_rules, render_rules, RuleParseError};
-pub use validation::{
-    find_violations, match_satisfies, satisfies, satisfies_all, violating_nodes,
-};
+pub use validation::{find_violations, match_satisfies, satisfies, satisfies_all, violating_nodes};

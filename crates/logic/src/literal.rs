@@ -243,7 +243,10 @@ mod tests {
         let i = Interner::new();
         let name = i.attr("name");
         let v = Value::Str(i.symbol("film"));
-        assert_eq!(Literal::constant(1, name, v).display(&i), "x1.name=\"film\"");
+        assert_eq!(
+            Literal::constant(1, name, v).display(&i),
+            "x1.name=\"film\""
+        );
         assert_eq!(
             Literal::var_var(0, name, 1, name).display(&i),
             "x0.name=x1.name"

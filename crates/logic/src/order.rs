@@ -147,10 +147,22 @@ mod tests {
     #[test]
     fn mismatched_rhs_blocks_reduction() {
         let q = Pattern::edge(l(0), l(1), l(2));
-        let r1 = Gfd::new(q.clone(), vec![], Rhs::Lit(Literal::constant(0, a(0), v(1))));
-        let r2 = Gfd::new(q.clone(), vec![], Rhs::Lit(Literal::constant(0, a(0), v(2))));
+        let r1 = Gfd::new(
+            q.clone(),
+            vec![],
+            Rhs::Lit(Literal::constant(0, a(0), v(1))),
+        );
+        let r2 = Gfd::new(
+            q.clone(),
+            vec![],
+            Rhs::Lit(Literal::constant(0, a(0), v(2))),
+        );
         assert!(!gfd_reduces(&r1, &r2));
-        let neg = Gfd::new(q.clone(), vec![Literal::constant(0, a(0), v(1))], Rhs::False);
+        let neg = Gfd::new(
+            q.clone(),
+            vec![Literal::constant(0, a(0), v(1))],
+            Rhs::False,
+        );
         assert!(!gfd_reduces(&r1, &neg));
         assert!(!gfd_reduces(&neg, &r1));
     }

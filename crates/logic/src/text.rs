@@ -150,7 +150,9 @@ pub fn parse_pattern_body(
         let tok = tok.trim();
         let (idx, rest) = parse_var(tok)?;
         if idx != slot {
-            return Err(err(format!("node variables must be dense: found x{idx} at position {slot}")));
+            return Err(err(format!(
+                "node variables must be dense: found x{idx} at position {slot}"
+            )));
         }
         let mut label = rest
             .strip_prefix(':')
@@ -200,10 +202,7 @@ pub fn parse_gfd(s: &str, interner: &Interner) -> Result<Gfd, RuleParseError> {
         .ok_or_else(|| err("missing `->` in dependency"))?;
     // Guard: the arrow must not be inside a quoted constant.
     let (lhs_str, rhs_str) = (dep[..arrow].trim(), dep[arrow + 2..].trim());
-    let lhs_str = lhs_str
-        .strip_suffix('-')
-        .map(str::trim)
-        .unwrap_or(lhs_str); // tolerate `-->` artifacts
+    let lhs_str = lhs_str.strip_suffix('-').map(str::trim).unwrap_or(lhs_str); // tolerate `-->` artifacts
 
     let mut lhs: Vec<Literal> = Vec::new();
     if !(lhs_str.is_empty() || lhs_str == "∅" || lhs_str == "true") {
@@ -288,10 +287,22 @@ mod tests {
             Rhs::Lit(Literal::constant(0, ty, Value::Str(i.symbol("producer")))),
         );
         let q2 = Pattern::new(
-            vec![PLabel::Is(i.label("city")), PLabel::Wildcard, PLabel::Wildcard],
             vec![
-                PEdge { src: 0, dst: 1, label: PLabel::Is(i.label("located")) },
-                PEdge { src: 0, dst: 2, label: PLabel::Is(i.label("located")) },
+                PLabel::Is(i.label("city")),
+                PLabel::Wildcard,
+                PLabel::Wildcard,
+            ],
+            vec![
+                PEdge {
+                    src: 0,
+                    dst: 1,
+                    label: PLabel::Is(i.label("located")),
+                },
+                PEdge {
+                    src: 0,
+                    dst: 2,
+                    label: PLabel::Is(i.label("located")),
+                },
             ],
             0,
         );
@@ -300,8 +311,16 @@ mod tests {
         let q3 = Pattern::new(
             vec![person, person],
             vec![
-                PEdge { src: 0, dst: 1, label: parent },
-                PEdge { src: 1, dst: 0, label: parent },
+                PEdge {
+                    src: 0,
+                    dst: 1,
+                    label: parent,
+                },
+                PEdge {
+                    src: 1,
+                    dst: 0,
+                    label: parent,
+                },
             ],
             0,
         );
@@ -314,8 +333,8 @@ mod tests {
         let (i, phi1, phi2, phi3) = fixture();
         for phi in [&phi1, &phi2, &phi3] {
             let rendered = phi.display(&i);
-            let parsed = parse_gfd(&rendered, &i)
-                .unwrap_or_else(|e| panic!("parse `{rendered}`: {e}"));
+            let parsed =
+                parse_gfd(&rendered, &i).unwrap_or_else(|e| panic!("parse `{rendered}`: {e}"));
             assert_eq!(&parsed, phi, "roundtrip of `{rendered}`");
         }
     }
@@ -393,7 +412,8 @@ mod tests {
         b.set_attr(film, "type", "film");
         b.add_edge(john, film, "create");
         let g = b.build();
-        let rule = "Q[x0:person*, x1:product; x0-create->x1](x1.type=\"film\" -> x0.type=\"producer\")";
+        let rule =
+            "Q[x0:person*, x1:product; x0-create->x1](x1.type=\"film\" -> x0.type=\"producer\")";
         let phi = parse_gfd(rule, g.interner()).unwrap();
         assert!(!crate::validation::satisfies(&g, &phi));
     }

@@ -102,7 +102,11 @@ mod tests {
         let ty = g.interner().attr("type");
         let filmv = Value::Str(g.interner().symbol("film"));
         let producer = Value::Str(g.interner().symbol("producer"));
-        let q1 = Pattern::edge(labels(&g, "person"), labels(&g, "create"), labels(&g, "product"));
+        let q1 = Pattern::edge(
+            labels(&g, "person"),
+            labels(&g, "create"),
+            labels(&g, "product"),
+        );
         let phi1 = Gfd::new(
             q1,
             vec![Literal::constant(1, ty, filmv)],

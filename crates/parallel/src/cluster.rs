@@ -319,10 +319,8 @@ impl WorkerCtx {
                 let child_ms = extend_matches(q, ms, &ext, &self.g);
                 let rows = child_ms.len();
                 let cost = (ms.len() + rows) as u64;
-                let mut pivots: Vec<NodeId> = child_ms
-                    .iter()
-                    .map(|m| m[child_pattern.pivot()])
-                    .collect();
+                let mut pivots: Vec<NodeId> =
+                    child_ms.iter().map(|m| m[child_pattern.pivot()]).collect();
                 pivots.sort_unstable();
                 pivots.dedup();
                 let shipped = self.shipped_bytes(ext.label);
@@ -554,9 +552,9 @@ mod tests {
     fn toy_cluster(mode: ExecMode, n: usize) -> (Arc<Graph>, Cluster) {
         let mut b = GraphBuilder::new();
         let people: Vec<_> = (0..8).map(|_| b.add_node("person")).collect();
-        for i in 0..8 {
+        for &person in &people {
             let f = b.add_node("film");
-            b.add_edge(people[i], f, "create");
+            b.add_edge(person, f, "create");
         }
         let g = Arc::new(b.build());
         let parts = vertex_cut(&g, n);

@@ -130,7 +130,7 @@ fn process_group(sigma: &[Gfd], group: &Group) -> (Vec<usize>, u64) {
                 .map(|j| &sigma[j])
                 .collect();
             work += rest.len() as u64;
-            if implies_refs(rest.into_iter(), &sigma[i]) {
+            if implies_refs(rest, &sigma[i]) {
                 removed.push(i);
                 changed = true;
             }
@@ -287,7 +287,7 @@ fn par_cover_ungrouped(sigma: &[Gfd], n: usize, mode: ExecMode, wall0: Instant) 
             .map(|(_, g)| g)
             .collect();
         work += rest.len() as u64;
-        if implies_refs(rest.into_iter(), &sigma[i]) {
+        if implies_refs(rest, &sigma[i]) {
             removed[i] = true;
         }
     }
@@ -329,7 +329,11 @@ mod tests {
             // implied: bigger pattern
             Gfd::new(q2.clone(), vec![], rhs),
             // implied: extra premise
-            Gfd::new(q.clone(), vec![Literal::constant(1, AttrId(1), Value::Int(2))], rhs),
+            Gfd::new(
+                q.clone(),
+                vec![Literal::constant(1, AttrId(1), Value::Int(2))],
+                rhs,
+            ),
             // independent rule on another pattern
             Gfd::new(
                 Pattern::edge(l(5), l(6), l(7)),

@@ -189,7 +189,8 @@ pub fn par_dis(g: &Arc<Graph>, cfg: &DiscoveryConfig, ccfg: &ClusterConfig) -> P
             cluster.charge_comm(&bytes);
 
             for (ext, _count) in proposals.frequent {
-                if cfg.max_patterns_per_level > 0 && spawned_this_level >= cfg.max_patterns_per_level
+                if cfg.max_patterns_per_level > 0
+                    && spawned_this_level >= cfg.max_patterns_per_level
                 {
                     break;
                 }
@@ -383,8 +384,11 @@ fn mine_node(
         }
     }
     // Same min-rows floor as SeqDis (`σ.min(total match rows)`).
-    let catalog: LiteralCatalog =
-        counts.finalize_capped(cfg.values_per_attr, cfg.sigma.min(rows.max(1)), cfg.max_catalog_literals);
+    let catalog: LiteralCatalog = counts.finalize_capped(
+        cfg.values_per_attr,
+        cfg.sigma.min(rows.max(1)),
+        cfg.max_catalog_literals,
+    );
     cluster.charge_master(m0.elapsed());
     cluster.charge_comm(&bytes);
 

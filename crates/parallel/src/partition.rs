@@ -100,11 +100,7 @@ pub fn vertex_cut(g: &Graph, n: usize) -> Partition {
         *f.label_counts.entry(e.label).or_insert(0) += 1;
     }
     for f in &mut fragments {
-        let mut nodes: Vec<NodeId> = f
-            .edges
-            .iter()
-            .flat_map(|e| [e.src, e.dst])
-            .collect();
+        let mut nodes: Vec<NodeId> = f.edges.iter().flat_map(|e| [e.src, e.dst]).collect();
         nodes.sort_unstable();
         nodes.dedup();
         f.nodes = nodes;

@@ -13,7 +13,6 @@ use gfd_graph::FxHashMap;
 
 use crate::pattern::{PLabel, Pattern, Var};
 
-
 /// A canonical, pivot-preserving encoding of a pattern. Equal codes ⟺
 /// pivot-preserving isomorphic patterns (with identical labels).
 #[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -163,16 +162,32 @@ mod tests {
         let a = Pattern::new(
             vec![l(0), l(1), l(2)],
             vec![
-                PEdge { src: 0, dst: 1, label: l(7) },
-                PEdge { src: 1, dst: 2, label: l(8) },
+                PEdge {
+                    src: 0,
+                    dst: 1,
+                    label: l(7),
+                },
+                PEdge {
+                    src: 1,
+                    dst: 2,
+                    label: l(8),
+                },
             ],
             0,
         );
         let b = Pattern::new(
             vec![l(0), l(2), l(1)],
             vec![
-                PEdge { src: 0, dst: 2, label: l(7) },
-                PEdge { src: 2, dst: 1, label: l(8) },
+                PEdge {
+                    src: 0,
+                    dst: 2,
+                    label: l(7),
+                },
+                PEdge {
+                    src: 2,
+                    dst: 1,
+                    label: l(8),
+                },
             ],
             0,
         );
@@ -206,8 +221,16 @@ mod tests {
         let p = Pattern::new(
             vec![l(0), l(0)],
             vec![
-                PEdge { src: 0, dst: 1, label: l(1) },
-                PEdge { src: 1, dst: 0, label: l(1) },
+                PEdge {
+                    src: 0,
+                    dst: 1,
+                    label: l(1),
+                },
+                PEdge {
+                    src: 1,
+                    dst: 0,
+                    label: l(1),
+                },
             ],
             0,
         );
@@ -218,7 +241,11 @@ mod tests {
     #[test]
     fn direction_matters() {
         let a = Pattern::edge(l(0), l(1), l(0));
-        let mut rev_edges = vec![PEdge { src: 1, dst: 0, label: l(1) }];
+        let mut rev_edges = vec![PEdge {
+            src: 1,
+            dst: 0,
+            label: l(1),
+        }];
         let b = Pattern::new(vec![l(0), l(0)], std::mem::take(&mut rev_edges), 0);
         assert!(!isomorphic(&a, &b));
     }
@@ -253,16 +280,32 @@ mod tests {
         let star = Pattern::new(
             vec![l(0), l(0), l(0)],
             vec![
-                PEdge { src: 0, dst: 1, label: l(1) },
-                PEdge { src: 0, dst: 2, label: l(1) },
+                PEdge {
+                    src: 0,
+                    dst: 1,
+                    label: l(1),
+                },
+                PEdge {
+                    src: 0,
+                    dst: 2,
+                    label: l(1),
+                },
             ],
             0,
         );
         let chain = Pattern::new(
             vec![l(0), l(0), l(0)],
             vec![
-                PEdge { src: 0, dst: 1, label: l(1) },
-                PEdge { src: 1, dst: 2, label: l(1) },
+                PEdge {
+                    src: 0,
+                    dst: 1,
+                    label: l(1),
+                },
+                PEdge {
+                    src: 1,
+                    dst: 2,
+                    label: l(1),
+                },
             ],
             0,
         );

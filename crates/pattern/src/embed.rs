@@ -291,7 +291,10 @@ mod tests {
     fn edge_embedding_checks_labels_and_direction() {
         let host = Pattern::edge(l(0), l(5), l(1));
         assert!(is_embedded(&Pattern::edge(l(0), l(5), l(1)), &host));
-        assert!(is_embedded(&Pattern::edge(l(0), PLabel::Wildcard, l(1)), &host));
+        assert!(is_embedded(
+            &Pattern::edge(l(0), PLabel::Wildcard, l(1)),
+            &host
+        ));
         assert!(!is_embedded(&Pattern::edge(l(1), l(5), l(0)), &host)); // reversed
         assert!(!is_embedded(&Pattern::edge(l(0), l(6), l(1)), &host)); // wrong edge label
     }
@@ -302,8 +305,16 @@ mod tests {
         let host = Pattern::new(
             vec![l(0), l(1), l(2)],
             vec![
-                PEdge { src: 0, dst: 1, label: l(10) },
-                PEdge { src: 1, dst: 2, label: l(11) },
+                PEdge {
+                    src: 0,
+                    dst: 1,
+                    label: l(10),
+                },
+                PEdge {
+                    src: 1,
+                    dst: 2,
+                    label: l(11),
+                },
             ],
             0,
         );
@@ -377,16 +388,32 @@ mod tests {
         let host = Pattern::new(
             vec![l(0), l(1)],
             vec![
-                PEdge { src: 0, dst: 1, label: l(5) },
-                PEdge { src: 0, dst: 1, label: l(6) },
+                PEdge {
+                    src: 0,
+                    dst: 1,
+                    label: l(5),
+                },
+                PEdge {
+                    src: 0,
+                    dst: 1,
+                    label: l(6),
+                },
             ],
             0,
         );
         let sub2 = Pattern::new(
             vec![l(0), l(1)],
             vec![
-                PEdge { src: 0, dst: 1, label: PLabel::Wildcard },
-                PEdge { src: 0, dst: 1, label: PLabel::Wildcard },
+                PEdge {
+                    src: 0,
+                    dst: 1,
+                    label: PLabel::Wildcard,
+                },
+                PEdge {
+                    src: 0,
+                    dst: 1,
+                    label: PLabel::Wildcard,
+                },
             ],
             0,
         );

@@ -183,9 +183,7 @@ fn pair_feasible(q: &Pattern, g: &Graph, a: Var, b: Var, ha: NodeId, hb: NodeId)
     }
     if pattern_edges.len() == 1 {
         let want = q.edges()[pattern_edges[0]].label;
-        return graph_edges
-            .iter()
-            .any(|&e| want.admits(g.edge(e).label));
+        return graph_edges.iter().any(|&e| want.admits(g.edge(e).label));
     }
     // Rare general case: per-concrete-label demand must be met, and the
     // total edge count (checked above) covers the wildcards — Hall's
@@ -214,7 +212,14 @@ fn pair_feasible(q: &Pattern, g: &Graph, a: Var, b: Var, ha: NodeId, hb: NodeId)
 /// Whether `v` can be the image of variable `var` given label and degree
 /// constraints.
 #[inline]
-fn node_compatible(q: &Pattern, g: &Graph, var: Var, v: NodeId, out_deg: usize, in_deg: usize) -> bool {
+fn node_compatible(
+    q: &Pattern,
+    g: &Graph,
+    var: Var,
+    v: NodeId,
+    out_deg: usize,
+    in_deg: usize,
+) -> bool {
     q.node_label(var).admits(g.node_label(v))
         && g.out_degree(v) >= out_deg
         && g.in_degree(v) >= in_deg
@@ -290,7 +295,14 @@ where
 
     #[inline]
     fn try_candidate(&mut self, depth: usize, step: &Step, cand: NodeId) -> ControlFlow<()> {
-        if !node_compatible(self.q, self.g, step.var, cand, step.out_degree, step.in_degree) {
+        if !node_compatible(
+            self.q,
+            self.g,
+            step.var,
+            cand,
+            step.out_degree,
+            step.in_degree,
+        ) {
             return ControlFlow::Continue(());
         }
         if self.used(depth, cand) {
@@ -298,14 +310,7 @@ where
         }
         self.assignment[step.var] = cand;
         for &(a, b) in &step.pair_checks {
-            if !pair_feasible(
-                self.q,
-                self.g,
-                a,
-                b,
-                self.assignment[a],
-                self.assignment[b],
-            ) {
+            if !pair_feasible(self.q, self.g, a, b, self.assignment[a], self.assignment[b]) {
                 return ControlFlow::Continue(());
             }
         }
@@ -313,7 +318,13 @@ where
     }
 }
 
-fn run_from_pivot<F>(q: &Pattern, g: &Graph, plan: &MatchPlan, pivot_node: NodeId, sink: F) -> ControlFlow<()>
+fn run_from_pivot<F>(
+    q: &Pattern,
+    g: &Graph,
+    plan: &MatchPlan,
+    pivot_node: NodeId,
+    sink: F,
+) -> ControlFlow<()>
 where
     F: FnMut(&[NodeId]) -> ControlFlow<()>,
 {
@@ -705,8 +716,16 @@ mod tests {
         let q = Pattern::new(
             vec![t, t, t],
             vec![
-                crate::pattern::PEdge { src: 0, dst: 1, label: r },
-                crate::pattern::PEdge { src: 1, dst: 2, label: r },
+                crate::pattern::PEdge {
+                    src: 0,
+                    dst: 1,
+                    label: r,
+                },
+                crate::pattern::PEdge {
+                    src: 1,
+                    dst: 2,
+                    label: r,
+                },
             ],
             0,
         );
@@ -755,9 +774,21 @@ mod tests {
         let q = Pattern::new(
             vec![pl(&g, "a"), pl(&g, "b")],
             vec![
-                crate::pattern::PEdge { src: 0, dst: 1, label: pl(&g, "r") },
-                crate::pattern::PEdge { src: 0, dst: 1, label: PLabel::Wildcard },
-                crate::pattern::PEdge { src: 0, dst: 1, label: PLabel::Wildcard },
+                crate::pattern::PEdge {
+                    src: 0,
+                    dst: 1,
+                    label: pl(&g, "r"),
+                },
+                crate::pattern::PEdge {
+                    src: 0,
+                    dst: 1,
+                    label: PLabel::Wildcard,
+                },
+                crate::pattern::PEdge {
+                    src: 0,
+                    dst: 1,
+                    label: PLabel::Wildcard,
+                },
             ],
             0,
         );
@@ -774,11 +805,7 @@ mod tests {
     #[test]
     fn disconnected_pattern_cross_product() {
         let g = g1();
-        let q = Pattern::new(
-            vec![pl(&g, "person"), pl(&g, "product")],
-            vec![],
-            0,
-        );
+        let q = Pattern::new(vec![pl(&g, "person"), pl(&g, "product")], vec![], 0);
         // 2 persons × 1 product.
         assert_eq!(count_matches(&q, &g), 2);
     }

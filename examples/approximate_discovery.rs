@@ -82,10 +82,7 @@ fn main() {
     approx_cfg.min_confidence = 0.9;
     let approx = seq_dis(&dirty, &approx_cfg);
     let approx_keys = rule_keys(&approx.gfds, &dirty);
-    let recovered: Vec<&&String> = lost
-        .iter()
-        .filter(|k| approx_keys.contains(**k))
-        .collect();
+    let recovered: Vec<&&String> = lost.iter().filter(|k| approx_keys.contains(**k)).collect();
     println!(
         "\napproximate re-mining (θ=0.9): {} rules; {}/{} of the noise-broken rules recovered",
         approx_keys.len(),

@@ -57,9 +57,7 @@ fn main() {
         .nodes()
         .find(|&v| {
             g.node_label(v) == person
-                && g.out_edges(v)
-                    .iter()
-                    .any(|&e| g.edge(e).label == create)
+                && g.out_edges(v).iter().any(|&e| g.edge(e).label == create)
                 && g.attr(v, ty).is_some()
         })
         .expect("some creator exists");
@@ -108,5 +106,8 @@ fn main() {
     }
 
     assert!(monitor.is_clean(), "repairs restored consistency");
-    println!("\nfinal state: clean ({} violations)", monitor.total_violations());
+    println!(
+        "\nfinal state: clean ({} violations)",
+        monitor.total_violations()
+    );
 }

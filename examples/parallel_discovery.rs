@@ -15,11 +15,7 @@ fn main() {
     let g = Arc::new(knowledge_base(
         &KbConfig::new(KbProfile::Dbpedia).with_scale(800),
     ));
-    println!(
-        "graph: {} nodes, {} edges",
-        g.node_count(),
-        g.edge_count()
-    );
+    println!("graph: {} nodes, {} edges", g.node_count(), g.edge_count());
 
     let mut cfg = DiscoveryConfig::new(3, 40);
     cfg.max_lhs_size = 1;
@@ -28,11 +24,7 @@ fn main() {
     let t0 = std::time::Instant::now();
     let seq = seq_dis(&g, &cfg);
     let seq_time = t0.elapsed();
-    println!(
-        "SeqDis: {} rules in {:?}\n",
-        seq.gfds.len(),
-        seq_time
-    );
+    println!("SeqDis: {} rules in {:?}\n", seq.gfds.len(), seq_time);
 
     let canonical = |r: &DiscoveryResult| {
         let mut v: Vec<String> = r
@@ -45,7 +37,10 @@ fn main() {
     };
     let seq_rules = canonical(&seq);
 
-    println!("{:>3} {:>14} {:>14} {:>10} {:>8}", "n", "simulated", "speedup", "comm(KB)", "equal?");
+    println!(
+        "{:>3} {:>14} {:>14} {:>10} {:>8}",
+        "n", "simulated", "speedup", "comm(KB)", "equal?"
+    );
     let mut base = None;
     for n in [1, 2, 4, 8, 12, 16, 20] {
         let ccfg = ClusterConfig::new(n, ExecMode::Simulated);

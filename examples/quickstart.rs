@@ -37,7 +37,10 @@ fn main() {
     println!("φ1 = {}", phi1.display(i1));
     println!("  G1 ⊨ φ1?  {}", satisfies(&g1, &phi1));
     for v in find_violations(&g1, &phi1, None).iter() {
-        println!("  violation: match {:?} — John is a high jumper, not a producer", v);
+        println!(
+            "  violation: match {:?} — John is a high jumper, not a producer",
+            v
+        );
     }
 
     // ------------------------------------------------------------------
@@ -78,7 +81,10 @@ fn main() {
     );
     let phi2 = Gfd::new(q2, vec![], Rhs::Lit(Literal::var_var(1, name, 2, name)));
     println!("\nφ2 = {}", phi2.display(i2));
-    println!("  G2 ⊨ φ2?  {}  (a city lies in one place)", satisfies(&g2, &phi2));
+    println!(
+        "  G2 ⊨ φ2?  {}  (a city lies in one place)",
+        satisfies(&g2, &phi2)
+    );
 
     // ------------------------------------------------------------------
     // G3: two persons each parent of the other — an illegal structure.
@@ -107,13 +113,19 @@ fn main() {
 
     // Reasoning (§3): the set {φ3} alone is unsatisfiable (its only
     // pattern may never match), but adding an applicable rule fixes that.
-    println!("\nsatisfiable({{φ3}})       = {}", is_satisfiable(std::slice::from_ref(&phi3)));
+    println!(
+        "\nsatisfiable({{φ3}})       = {}",
+        is_satisfiable(std::slice::from_ref(&phi3))
+    );
     let benign = Gfd::new(
         Pattern::edge(person, PLabel::Is(i3.label("knows")), person),
         vec![],
         Rhs::Lit(Literal::constant(0, i3.attr("kind"), Value::Int(1))),
     );
-    println!("satisfiable({{φ3, benign}}) = {}", is_satisfiable(&[phi3, benign]));
+    println!(
+        "satisfiable({{φ3, benign}}) = {}",
+        is_satisfiable(&[phi3, benign])
+    );
 
     // ------------------------------------------------------------------
     // Discovery (§5): mine rules from a generated knowledge base.

@@ -36,7 +36,11 @@ fn main() {
     }
     for gen in 0..3usize {
         for fam in 0..10 {
-            b.add_edge(people[gen * 10 + fam], people[(gen + 1) * 10 + fam], "parent");
+            b.add_edge(
+                people[gen * 10 + fam],
+                people[(gen + 1) * 10 + fam],
+                "parent",
+            );
         }
     }
     // Films released during their director's lifetime, awarded 2y later.
@@ -109,7 +113,11 @@ fn main() {
         let v = find_violations(&g, chi, 0);
         println!(
             "{name}: {}  [{} violations]  {}",
-            if satisfies(&g, chi) { "holds" } else { "VIOLATED" },
+            if satisfies(&g, chi) {
+                "holds"
+            } else {
+                "VIOLATED"
+            },
             v.len(),
             chi.display(i),
         );
@@ -124,7 +132,12 @@ fn main() {
     let mined = discover_extended(&g, &cfg);
     println!("\n== discovered extended rules (exact) ==");
     for r in mined.iter().take(8) {
-        println!("supp={:>3} conf={:.2}  {}", r.support, r.confidence, r.gfd.display(i));
+        println!(
+            "supp={:>3} conf={:.2}  {}",
+            r.support,
+            r.confidence,
+            r.gfd.display(i)
+        );
     }
     // The award-ordering rule is exact in the data and must be found.
     let award_rule = mined.iter().find(|r| {
@@ -136,7 +149,11 @@ fn main() {
     // ── 3. Covers drop implied rules ─────────────────────────────────
     let rules: Vec<XGfd> = mined.iter().map(|r| r.gfd.clone()).collect();
     let cover = xcover(&rules);
-    println!("\ncover: {} of {} mined rules survive implication", cover.len(), rules.len());
+    println!(
+        "\ncover: {} of {} mined rules survive implication",
+        cover.len(),
+        rules.len()
+    );
     assert!(cover.len() <= rules.len());
 
     // ── 4. Confidence mines through dirt ─────────────────────────────

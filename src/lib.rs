@@ -85,8 +85,8 @@ pub mod prelude {
     pub use gfd_extended::{
         discover_extended, ximplies, CmpOp, Term, XDiscoveryConfig, XGfd, XLiteral, XRhs,
     };
-    pub use gfd_incremental::{Update, UpdateBatch, ViolationDelta, ViolationMonitor};
     pub use gfd_graph::{AttrId, Graph, GraphBuilder, Interner, LabelId, NodeId, Value};
+    pub use gfd_incremental::{Update, UpdateBatch, ViolationDelta, ViolationMonitor};
     pub use gfd_logic::{
         find_violations, implies, is_satisfiable, satisfies, satisfies_all, violating_nodes, Gfd,
         Literal, Rhs,

@@ -122,6 +122,58 @@ fn parallel_cover_agrees_with_sequential_cover_semantics() {
 }
 
 #[test]
+fn discover_parallel_matches_sequential_cover() {
+    let g = Arc::new(knowledge_base(
+        &KbConfig::new(KbProfile::Yago2).with_scale(200),
+    ));
+    let cfg = small_cfg();
+
+    // Every (rule, support) pair the sequential miner produces; parallel
+    // discovery is equivalent (see parallel_pipeline_equals_sequential_on_kb),
+    // so any pair outside this set means the facade's cover indices were
+    // applied against the wrong ordering of `report.result.gfds`.
+    let seq = seq_dis(&g, &cfg);
+    let seq_pairs: std::collections::BTreeSet<String> = seq
+        .gfds
+        .iter()
+        .map(|d| format!("{} @{}", d.gfd.display(g.interner()), d.support))
+        .collect();
+    let seq_cover: Vec<Gfd> = gfd::discover_with(&g, &cfg)
+        .iter()
+        .map(|d| d.gfd.clone())
+        .collect();
+
+    for workers in [2, 4] {
+        let par = gfd::discover_parallel(&g, &cfg, workers);
+        assert!(!par.is_empty(), "workers={workers}");
+
+        // A misaligned cover index would pair a rule with another rule's
+        // support (or duplicate a rule); both are detectable here.
+        let mut seen = std::collections::BTreeSet::new();
+        for d in &par {
+            let pair = format!("{} @{}", d.gfd.display(g.interner()), d.support);
+            assert!(
+                seq_pairs.contains(&pair),
+                "workers={workers}: (rule, support) pair not produced by discovery: {pair}"
+            );
+            assert!(
+                seen.insert(d.gfd.display(g.interner())),
+                "workers={workers}: duplicate rule in cover"
+            );
+        }
+
+        // The parallel cover is equivalent to the sequential cover.
+        let par_rules: Vec<Gfd> = par.iter().map(|d| d.gfd.clone()).collect();
+        for phi in &seq_cover {
+            assert!(implies(&par_rules, phi), "workers={workers}: par ⊭ seq");
+        }
+        for phi in &par_rules {
+            assert!(implies(&seq_cover, phi), "workers={workers}: seq ⊭ par");
+        }
+    }
+}
+
+#[test]
 fn discover_high_level_api() {
     let g = knowledge_base(&KbConfig::new(KbProfile::Yago2).with_scale(200));
     let cover = gfd::discover(&g, 3, 20);
@@ -188,11 +240,7 @@ fn graph_io_roundtrip_preserves_discovery() {
     let a = seq_dis(&g, &small_cfg());
     let b = seq_dis(&h, &small_cfg());
     let key = |r: &DiscoveryResult, g: &Graph| {
-        let mut v: Vec<String> = r
-            .gfds
-            .iter()
-            .map(|d| d.gfd.display(g.interner()))
-            .collect();
+        let mut v: Vec<String> = r.gfds.iter().map(|d| d.gfd.display(g.interner())).collect();
         v.sort();
         v
     };

@@ -1,0 +1,87 @@
+//! Smoke tests mirroring `examples/quickstart.rs`, so the example's flow
+//! (build the Fig. 1 graphs → validate φ1/φ3 → discover a cover on a
+//! generated KB) cannot silently rot: examples are only compiled, never
+//! run, by `cargo test`.
+
+use gfd::prelude::*;
+
+/// G1 of Fig. 1 plus φ1, exactly as the example builds them.
+fn g1_and_phi1() -> (Graph, Gfd) {
+    let mut b = GraphBuilder::new();
+    let john = b.add_node("person");
+    let film = b.add_node("product");
+    b.set_attr(john, "name", "John Winter");
+    b.set_attr(john, "type", "high_jumper");
+    b.set_attr(film, "name", "Selling Out");
+    b.set_attr(film, "type", "film");
+    b.add_edge(john, film, "create");
+    let g1 = b.build();
+
+    let i1 = g1.interner();
+    let q1 = Pattern::edge(
+        PLabel::Is(i1.label("person")),
+        PLabel::Is(i1.label("create")),
+        PLabel::Is(i1.label("product")),
+    );
+    let ty = i1.attr("type");
+    let phi1 = Gfd::new(
+        q1,
+        vec![Literal::constant(1, ty, Value::Str(i1.symbol("film")))],
+        Rhs::Lit(Literal::constant(0, ty, Value::Str(i1.symbol("producer")))),
+    );
+    (g1, phi1)
+}
+
+#[test]
+fn quickstart_validation_catches_fig1_inconsistencies() {
+    // φ1: the film's creator is a high jumper, not a producer.
+    let (g1, phi1) = g1_and_phi1();
+    assert!(!satisfies(&g1, &phi1));
+    assert_eq!(find_violations(&g1, &phi1, None).len(), 1);
+
+    // φ3: mutual parenthood is prohibited outright (negative rule).
+    let mut b = GraphBuilder::new();
+    let owen = b.add_node("person");
+    let jb = b.add_node("person");
+    b.add_edge(owen, jb, "parent");
+    b.add_edge(jb, owen, "parent");
+    let g3 = b.build();
+
+    let i3 = g3.interner();
+    let person = PLabel::Is(i3.label("person"));
+    let parent = PLabel::Is(i3.label("parent"));
+    let q3 = Pattern::edge(person, parent, person).extend(&Extension {
+        src: End::Var(1),
+        dst: End::Var(0),
+        label: parent,
+    });
+    let phi3 = Gfd::new(q3, vec![], Rhs::False);
+    assert!(phi3.is_negative());
+    assert!(!satisfies(&g3, &phi3));
+
+    // Reasoning (§3): {φ3} alone is unsatisfiable; adding an applicable
+    // benign rule restores satisfiability.
+    assert!(!is_satisfiable(std::slice::from_ref(&phi3)));
+    let benign = Gfd::new(
+        Pattern::edge(person, PLabel::Is(i3.label("knows")), person),
+        vec![],
+        Rhs::Lit(Literal::constant(0, i3.attr("kind"), Value::Int(1))),
+    );
+    assert!(is_satisfiable(&[phi3, benign]));
+}
+
+#[test]
+fn quickstart_discovery_yields_nonempty_valid_cover() {
+    // The example's discovery section: mine a YAGO2-style KB and print the
+    // cover. The smoke contract: discovery terminates, the cover is
+    // non-empty, and every covered rule actually holds with its support.
+    let kb = knowledge_base(&KbConfig::new(KbProfile::Yago2).with_scale(400));
+    let mut cfg = DiscoveryConfig::new(3, 40);
+    cfg.max_lhs_size = 1;
+    let cover = gfd::discover_with(&kb, &cfg);
+    assert!(!cover.is_empty());
+    for d in &cover {
+        assert!(satisfies(&kb, &d.gfd));
+        assert!(d.support >= 40);
+    }
+}

@@ -13,14 +13,26 @@ fn mixed_kb(dirty: usize) -> Graph {
     for i in 0..30i64 {
         let p = b.add_node("person");
         let f = b.add_node("film");
-        b.set_attr(p, "type", if (i as usize) < dirty { "critic" } else { "producer" });
+        b.set_attr(
+            p,
+            "type",
+            if (i as usize) < dirty {
+                "critic"
+            } else {
+                "producer"
+            },
+        );
         b.set_attr(f, "type", "film");
         b.set_attr(f, "year", 1960 + i);
         b.add_edge(p, f, "create");
         let s = b.add_node("film");
         b.set_attr(s, "type", "film");
         // Sequels appear 3 years later; dirty ones predate the original.
-        b.set_attr(s, "year", 1960 + i + if (i as usize) < dirty { -2 } else { 3 });
+        b.set_attr(
+            s,
+            "year",
+            1960 + i + if (i as usize) < dirty { -2 } else { 3 },
+        );
         b.add_edge(f, s, "sequel");
     }
     b.build()
@@ -102,10 +114,7 @@ fn base_and_extended_rules_in_one_monitor() {
             0,
         )),
     );
-    let mut monitor = ViolationMonitor::new(
-        &g,
-        vec![base.clone().into(), extended.into()],
-    );
+    let mut monitor = ViolationMonitor::new(&g, vec![base.clone().into(), extended.into()]);
     assert!(monitor.is_clean());
 
     // One batch violates both rule kinds at once.

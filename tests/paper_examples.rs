@@ -3,8 +3,8 @@
 //! Example 4, the spawning chain of Examples 5–8, and the support
 //! anti-monotonicity of Theorem 3.
 
-use gfd::prelude::*;
 use gfd::logic::gfd_reduces;
+use gfd::prelude::*;
 
 /// Fig. 1, G1 + φ1: the wrong creator type is caught.
 #[test]
@@ -52,10 +52,22 @@ fn example_1_phi2_wildcards() {
     let i = g2.interner();
     let name = i.attr("name");
     let q2 = Pattern::new(
-        vec![PLabel::Is(i.label("city")), PLabel::Wildcard, PLabel::Wildcard],
         vec![
-            gfd::pattern::PEdge { src: 0, dst: 1, label: PLabel::Is(i.label("located")) },
-            gfd::pattern::PEdge { src: 0, dst: 2, label: PLabel::Is(i.label("located")) },
+            PLabel::Is(i.label("city")),
+            PLabel::Wildcard,
+            PLabel::Wildcard,
+        ],
+        vec![
+            gfd::pattern::PEdge {
+                src: 0,
+                dst: 1,
+                label: PLabel::Is(i.label("located")),
+            },
+            gfd::pattern::PEdge {
+                src: 0,
+                dst: 2,
+                label: PLabel::Is(i.label("located")),
+            },
         ],
         0,
     );
@@ -135,7 +147,11 @@ fn example_4_reduction_order() {
     assert!(gfd_reduces(&phi1, &phi11));
     assert!(!gfd_reduces(&phi11, &phi1));
 
-    let phi12 = Gfd::new(q11, vec![Literal::constant(1, nm, selling_out)], Rhs::Lit(l));
+    let phi12 = Gfd::new(
+        q11,
+        vec![Literal::constant(1, nm, selling_out)],
+        Rhs::Lit(l),
+    );
     assert!(!gfd_reduces(&phi1, &phi12));
 }
 
@@ -204,11 +220,7 @@ fn reasoning_characterisations_consistent() {
     );
     // Σ ⊨ φ for Σ = {φ}; and a weaker-premise variant implies it.
     assert!(implies(std::slice::from_ref(&phi), &phi));
-    let stronger = Gfd::new(
-        q,
-        vec![],
-        Rhs::Lit(Literal::constant(0, ty, producer)),
-    );
+    let stronger = Gfd::new(q, vec![], Rhs::Lit(Literal::constant(0, ty, producer)));
     assert!(implies(std::slice::from_ref(&stronger), &phi));
     assert!(!implies(std::slice::from_ref(&phi), &stronger));
     assert!(is_satisfiable(&[phi, stronger]));

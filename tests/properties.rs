@@ -42,10 +42,8 @@ fn brute_force_matches(q: &Pattern, g: &Graph) -> usize {
         // Check injectivity.
         let distinct = (0..k).all(|a| (0..a).all(|b| idx[a] != idx[b]));
         if distinct {
-            let ok_nodes = (0..k).all(|v| {
-                q.node_label(v)
-                    .admits(g.node_label(NodeId(idx[v] as u32)))
-            });
+            let ok_nodes =
+                (0..k).all(|v| q.node_label(v).admits(g.node_label(NodeId(idx[v] as u32))));
             let ok_edges = ok_nodes
                 && (0..k).all(|a| {
                     (0..k).all(|b| {
@@ -53,8 +51,7 @@ fn brute_force_matches(q: &Pattern, g: &Graph) -> usize {
                         if pes.is_empty() {
                             return true;
                         }
-                        let ges =
-                            g.edges_between(NodeId(idx[a] as u32), NodeId(idx[b] as u32));
+                        let ges = g.edges_between(NodeId(idx[a] as u32), NodeId(idx[b] as u32));
                         if ges.len() < pes.len() {
                             return false;
                         }
@@ -66,10 +63,7 @@ fn brute_force_matches(q: &Pattern, g: &Graph) -> usize {
                                     .iter()
                                     .filter(|&&x| q.edges()[x].label == PLabel::Is(l))
                                     .count();
-                                let have = ges
-                                    .iter()
-                                    .filter(|&&e| g.edge(e).label == l)
-                                    .count();
+                                let have = ges.iter().filter(|&&e| g.edge(e).label == l).count();
                                 have >= need
                             }
                         })

@@ -9,8 +9,8 @@
 //! * embedding transitivity.
 
 use gfd::logic::gfd_reduces;
-use gfd::prelude::*;
 use gfd::pattern::is_embedded;
+use gfd::prelude::*;
 use proptest::prelude::*;
 
 fn interner_fixture() -> (Interner, Vec<PLabel>, Vec<AttrId>) {
@@ -45,12 +45,10 @@ fn multi_literal_rhs_decomposes() {
     let both = satisfies(&g, &phi_l1) && satisfies(&g, &phi_l2);
     // Manual conjunction check over matches.
     let ms = find_all(&q, &g);
-    let conj = ms
-        .iter()
-        .all(|m| {
-            let prem = x.iter().all(|lit| lit.satisfied(m, &g));
-            !prem || (l1.satisfied(m, &g) && l2.satisfied(m, &g))
-        });
+    let conj = ms.iter().all(|m| {
+        let prem = x.iter().all(|lit| lit.satisfied(m, &g));
+        !prem || (l1.satisfied(m, &g) && l2.satisfied(m, &g))
+    });
     assert_eq!(both, conj);
 }
 

@@ -1,0 +1,38 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! vendored crate provides the one API `gfd-parallel` uses —
+//! [`channel::unbounded`] with [`channel::Sender`] / [`channel::Receiver`]
+//! — backed by `std::sync::mpsc`. The std channel is MPSC rather than
+//! MPMC, which is sufficient here: each worker owns its own task/result
+//! channel pair.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer channels, mirroring `crossbeam::channel`.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// Creates an unbounded channel, like `crossbeam::channel::unbounded`.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn round_trip_across_threads() {
+        let (tx, rx) = unbounded::<u32>();
+        let handle = std::thread::spawn(move || {
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<u32> = rx.iter().take(10).collect();
+        handle.join().unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+}
