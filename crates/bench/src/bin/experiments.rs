@@ -65,6 +65,34 @@ fn run(name: &str, scale: Scale) {
             exp_extensions::ext_confidence(scale).print();
             exp_extensions::ext_extended(scale).print();
         }
+        // CI smoke: sequential discovery on the tiny datagen scenario, so
+        // the harness (datagen scenario + discovery + stats) cannot rot.
+        "smoke" => {
+            use gfd_core::{seq_dis, DiscoveryConfig};
+            use gfd_datagen::{bench_scenario, ScenarioConfig};
+            let cfg = ScenarioConfig::tiny();
+            let g = bench_scenario(&cfg);
+            let mut mining = DiscoveryConfig::new(3, (g.node_count() / 40).max(5));
+            mining.max_edges = 2;
+            mining.max_lhs_size = 1;
+            mining.values_per_attr = 2;
+            mining.max_catalog_literals = 12;
+            mining.wildcard_min_labels = 0;
+            mining.max_patterns_per_level = 200;
+            let result = seq_dis(&g, &mining);
+            assert!(
+                result.stats.patterns_verified > 0,
+                "smoke run verified no patterns"
+            );
+            println!(
+                "smoke: |V|={} |E|={} patterns={} gfds={} in {:?}",
+                g.node_count(),
+                g.edge_count(),
+                result.stats.patterns_verified,
+                result.gfds.len(),
+                result.stats.total_time,
+            );
+        }
         other => {
             eprintln!("unknown experiment `{other}`; known: {ALL:?}");
             std::process::exit(2);
@@ -95,8 +123,10 @@ fn main() {
         }
     }
     if targets.is_empty() {
-        eprintln!("usage: experiments [--scale X] <all | fig5a … fig5l | fig6 | fig7 | fig8>");
-        eprintln!("known experiments: {ALL:?}");
+        eprintln!(
+            "usage: experiments [--scale X] <all | fig5a … fig5l | fig6 | fig7 | fig8 | smoke>"
+        );
+        eprintln!("known experiments: {ALL:?} plus `smoke` (CI sanity run)");
         std::process::exit(2);
     }
     println!(

@@ -1,0 +1,123 @@
+//! Machine-readable perf baseline for sequential discovery.
+//!
+//! Runs `SeqDis` on a named, seed-pinned datagen scenario and emits one
+//! JSON record with per-stage wall-clock (matching, spawning, evaluation)
+//! so PRs can track a perf trajectory in `BENCH_<n>.json`:
+//!
+//! ```text
+//! cargo run -p gfd-bench --release --bin perf -- --scenario medium --label after
+//! cargo run -p gfd-bench --release --bin perf -- --scenario tiny --out /tmp/p.json
+//! ```
+
+use std::time::Instant;
+
+use gfd_core::{seq_dis, DiscoveryConfig};
+use gfd_datagen::{bench_scenario, ScenarioConfig};
+
+/// Mining configuration for the perf scenarios: deep enough that all three
+/// hot layers (matching, spawning, evaluation) carry real weight.
+fn perf_cfg(nodes: usize) -> DiscoveryConfig {
+    let mut cfg = DiscoveryConfig::new(4, (nodes / 40).max(10));
+    cfg.max_edges = 3;
+    cfg.max_lhs_size = 2;
+    cfg.values_per_attr = 2;
+    cfg.max_catalog_literals = 12;
+    cfg.wildcard_min_labels = 0;
+    cfg.wildcard_root = false;
+    cfg.max_matches_per_pattern = 50_000;
+    cfg.max_patterns_per_level = 600;
+    cfg
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scenario = "medium".to_string();
+    let mut label = "run".to_string();
+    let mut out: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scenario" => scenario = it.next().expect("--scenario needs a name"),
+            "--label" => label = it.next().expect("--label needs a value"),
+            "--out" => out = Some(it.next().expect("--out needs a path")),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: perf [--scenario tiny|small|medium] [--label L] [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(cfg) = ScenarioConfig::named(&scenario) else {
+        eprintln!("unknown scenario `{scenario}` (tiny|small|medium)");
+        std::process::exit(2);
+    };
+
+    let t0 = Instant::now();
+    let g = bench_scenario(&cfg);
+    let gen_secs = t0.elapsed().as_secs_f64();
+    let mining = perf_cfg(g.node_count());
+    let result = seq_dis(&g, &mining);
+    let s = &result.stats;
+
+    let matching = s.matching_time.as_secs_f64();
+    let spawning = s.spawning_time.as_secs_f64();
+    let evaluation = s.validation_time.as_secs_f64();
+    let catalog = s.catalog_time.as_secs_f64();
+    let lattice = s.lattice_time.as_secs_f64();
+    let total = s.total_time.as_secs_f64();
+    let other = (total - matching - spawning - evaluation).max(0.0);
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"label\": \"{label}\",\n",
+            "  \"scenario\": \"{scenario}\",\n",
+            "  \"nodes\": {nodes},\n",
+            "  \"edges\": {edges},\n",
+            "  \"seed\": {seed},\n",
+            "  \"sigma\": {sigma},\n",
+            "  \"k\": {k},\n",
+            "  \"gfds\": {gfds},\n",
+            "  \"patterns_verified\": {verified},\n",
+            "  \"hspawn_candidates\": {cands},\n",
+            "  \"generation_secs\": {gen:.3},\n",
+            "  \"stage_secs\": {{\n",
+            "    \"matching\": {matching:.3},\n",
+            "    \"spawning\": {spawning:.3},\n",
+            "    \"evaluation\": {evaluation:.3},\n",
+            "    \"evaluation_catalog\": {catalog:.3},\n",
+            "    \"evaluation_lattice\": {lattice:.3},\n",
+            "    \"other\": {other:.3},\n",
+            "    \"total\": {total:.3}\n",
+            "  }}\n",
+            "}}"
+        ),
+        label = label,
+        scenario = cfg.name,
+        nodes = g.node_count(),
+        edges = g.edge_count(),
+        seed = cfg.seed,
+        sigma = mining.sigma,
+        k = mining.k,
+        gfds = result.gfds.len(),
+        verified = s.patterns_verified,
+        cands = s.hspawn.candidates,
+        gen = gen_secs,
+        matching = matching,
+        spawning = spawning,
+        evaluation = evaluation,
+        catalog = catalog,
+        lattice = lattice,
+        other = other,
+        total = total,
+    );
+    match out {
+        Some(path) => {
+            std::fs::write(&path, format!("{json}\n")).expect("write output file");
+            eprintln!(
+                "[perf] wrote {path} (total {total:.3}s, {} gfds)",
+                result.gfds.len()
+            );
+        }
+        None => println!("{json}"),
+    }
+}

@@ -1,0 +1,430 @@
+//! Bitmap-backed candidate evaluation: the hot path of `HSpawn`.
+//!
+//! `HSpawn` evaluates thousands of premise sets `X` per pattern, and the
+//! seed implementation re-interpreted every literal against every table
+//! row with freshly allocated hash sets per candidate. A [`BitmapIndex`]
+//! instead materialises one `u64`-word bitset per **distinct literal**
+//! (lazily, on first use, cached for the lifetime of the pattern's
+//! lattice), so evaluating `X → l` becomes:
+//!
+//! 1. bitwise-AND the premise bitmaps into an accumulator,
+//! 2. `popcount` for `|rows ⊨ X|`,
+//! 3. AND the consequence bitmap and `popcount` again for violations,
+//! 4. count distinct pivots by stamping the table's dense pivot-group ids
+//!    (no hash set, no allocation after warm-up).
+//!
+//! Results are bit-for-bit identical to the scan-based
+//! [`crate::support::evaluate`] — the test-suite pins the two paths
+//! together — and both the sequential [`crate::hspawn::TableEvaluator`]
+//! and the cluster workers' fragment evaluation ride this index.
+
+use gfd_graph::FxHashMap;
+use gfd_logic::{Literal, Rhs};
+
+use crate::support::{CandidateStats, PartialStats};
+use crate::table::MatchTable;
+
+/// Lazily built per-literal bitmaps plus the scratch buffers for
+/// accumulation and distinct-pivot stamping. Create one per
+/// `(pattern, table)` lattice run; literal bitmaps persist across all
+/// candidates of that run.
+#[derive(Debug, Default)]
+pub struct BitmapIndex {
+    cache: FxHashMap<Literal, Box<[u64]>>,
+    acc: Vec<u64>,
+    tmp: Vec<u64>,
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+fn build_bitmap(table: &MatchTable, lit: &Literal) -> Box<[u64]> {
+    let rows = table.rows();
+    let mut words = vec![0u64; rows.div_ceil(64)];
+    // Resolve the flat column index once; the per-row loop then reads the
+    // row slice directly instead of re-searching the attribute list.
+    match *lit {
+        Literal::Const { var, attr, value } => {
+            let Some(c) = table.column_of(var, attr) else {
+                return words.into_boxed_slice();
+            };
+            for r in 0..rows {
+                if table.row_values(r)[c] == Some(value) {
+                    words[r / 64] |= 1u64 << (r % 64);
+                }
+            }
+        }
+        Literal::VarVar {
+            lvar,
+            lattr,
+            rvar,
+            rattr,
+        } => {
+            let (Some(cl), Some(cr)) = (table.column_of(lvar, lattr), table.column_of(rvar, rattr))
+            else {
+                return words.into_boxed_slice();
+            };
+            for r in 0..rows {
+                let row = table.row_values(r);
+                if let (Some(a), Some(b)) = (row[cl], row[cr]) {
+                    if a == b {
+                        words[r / 64] |= 1u64 << (r % 64);
+                    }
+                }
+            }
+        }
+    }
+    words.into_boxed_slice()
+}
+
+impl BitmapIndex {
+    /// Fresh, empty index for `table` (bitmaps build lazily).
+    pub fn new(table: &MatchTable) -> BitmapIndex {
+        BitmapIndex {
+            cache: FxHashMap::default(),
+            acc: Vec::new(),
+            tmp: Vec::new(),
+            stamp: vec![0; table.pivot_group_count()],
+            epoch: 0,
+        }
+    }
+
+    fn ensure(&mut self, table: &MatchTable, lit: &Literal) {
+        if !self.cache.contains_key(lit) {
+            self.cache.insert(*lit, build_bitmap(table, lit));
+        }
+    }
+
+    /// Loads the all-rows bitmap (tail bits masked off) into `acc`.
+    fn load_ones(&mut self, rows: usize) {
+        let words = rows.div_ceil(64);
+        self.acc.clear();
+        self.acc.resize(words, u64::MAX);
+        if !rows.is_multiple_of(64) {
+            if let Some(last) = self.acc.last_mut() {
+                *last = (1u64 << (rows % 64)) - 1;
+            }
+        }
+    }
+
+    /// ANDs `lit`'s bitmap into `acc`; returns whether `acc` is non-zero.
+    fn and_literal(&mut self, table: &MatchTable, lit: &Literal) -> bool {
+        self.ensure(table, lit);
+        let bm = &self.cache[lit];
+        let mut any = false;
+        for (a, &w) in self.acc.iter_mut().zip(bm.iter()) {
+            *a &= w;
+            any |= *a != 0;
+        }
+        any
+    }
+
+    fn next_epoch(&mut self) -> u32 {
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Counts distinct pivot groups among set bits of `bits`.
+    fn count_groups(stamp: &mut [u32], epoch: u32, table: &MatchTable, bits: &[u64]) -> usize {
+        let mut count = 0usize;
+        for (wi, &word) in bits.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                let gid = table.pivot_gid_of(wi * 64 + b) as usize;
+                if stamp[gid] != epoch {
+                    stamp[gid] = epoch;
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Collects the distinct pivot nodes among set bits, sorted.
+    fn collect_pivots(
+        stamp: &mut [u32],
+        epoch: u32,
+        table: &MatchTable,
+        bits: &[u64],
+    ) -> Vec<gfd_graph::NodeId> {
+        let mut out = Vec::new();
+        for (wi, &word) in bits.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                let gid = table.pivot_gid_of(wi * 64 + b);
+                if stamp[gid as usize] != epoch {
+                    stamp[gid as usize] = epoch;
+                    out.push(table.group_pivot(gid));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// ANDs all premise bitmaps into `acc`; returns whether any row holds.
+    fn accumulate_lhs(&mut self, table: &MatchTable, x: &[Literal]) -> bool {
+        self.load_ones(table.rows());
+        if table.rows() == 0 {
+            return false;
+        }
+        for lit in x {
+            if !self.and_literal(table, lit) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Evaluates `X → rhs` — identical semantics to
+    /// [`crate::support::evaluate`], via bitmaps.
+    pub fn evaluate(&mut self, table: &MatchTable, x: &[Literal], rhs: &Rhs) -> CandidateStats {
+        if !self.accumulate_lhs(table, x) {
+            return CandidateStats::default();
+        }
+        let lhs_matches: usize = self.acc.iter().map(|w| w.count_ones() as usize).sum();
+        if lhs_matches == 0 {
+            return CandidateStats::default();
+        }
+        let epoch = self.next_epoch();
+        let lhs_pivots = Self::count_groups(&mut self.stamp, epoch, table, &self.acc);
+        match rhs {
+            Rhs::False => CandidateStats {
+                support: 0,
+                lhs_pivots,
+                lhs_matches,
+                violations: lhs_matches,
+            },
+            Rhs::Lit(l) => {
+                self.ensure(table, l);
+                let bm = &self.cache[l];
+                self.tmp.clear();
+                self.tmp
+                    .extend(self.acc.iter().zip(bm.iter()).map(|(a, b)| a & b));
+                let satisfied: usize = self.tmp.iter().map(|w| w.count_ones() as usize).sum();
+                let epoch = self.next_epoch();
+                let support = Self::count_groups(&mut self.stamp, epoch, table, &self.tmp);
+                CandidateStats {
+                    support,
+                    lhs_pivots,
+                    lhs_matches,
+                    violations: lhs_matches - satisfied,
+                }
+            }
+        }
+    }
+
+    /// Whether any row satisfies all of `X` (the `NHSpawn` test).
+    pub fn lhs_satisfiable(&mut self, table: &MatchTable, x: &[Literal]) -> bool {
+        self.accumulate_lhs(table, x) && self.acc.iter().any(|&w| w != 0)
+    }
+
+    /// Fragment-local evaluation with explicit pivot sets — the bitmap
+    /// twin of [`PartialStats::evaluate`], used by cluster workers.
+    pub fn partial_evaluate(
+        &mut self,
+        table: &MatchTable,
+        x: &[Literal],
+        rhs: &Rhs,
+    ) -> PartialStats {
+        if !self.accumulate_lhs(table, x) {
+            return PartialStats::default();
+        }
+        let lhs_matches: usize = self.acc.iter().map(|w| w.count_ones() as usize).sum();
+        if lhs_matches == 0 {
+            return PartialStats::default();
+        }
+        let epoch = self.next_epoch();
+        let lhs_pivots = Self::collect_pivots(&mut self.stamp, epoch, table, &self.acc);
+        match rhs {
+            Rhs::False => PartialStats {
+                support_pivots: Vec::new(),
+                lhs_pivots,
+                lhs_matches,
+                violations: lhs_matches,
+            },
+            Rhs::Lit(l) => {
+                self.ensure(table, l);
+                let bm = &self.cache[l];
+                self.tmp.clear();
+                self.tmp
+                    .extend(self.acc.iter().zip(bm.iter()).map(|(a, b)| a & b));
+                let satisfied: usize = self.tmp.iter().map(|w| w.count_ones() as usize).sum();
+                let epoch = self.next_epoch();
+                let support_pivots = Self::collect_pivots(&mut self.stamp, epoch, table, &self.tmp);
+                PartialStats {
+                    support_pivots,
+                    lhs_pivots,
+                    lhs_matches,
+                    violations: lhs_matches - satisfied,
+                }
+            }
+        }
+    }
+
+    /// Number of literal bitmaps materialised so far.
+    pub fn cached_literals(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::support::{evaluate, lhs_satisfiable};
+    use gfd_graph::{GraphBuilder, Value};
+    use gfd_pattern::{find_all, PLabel, Pattern};
+
+    /// A table with repeated pivots, missing attributes, and both literal
+    /// kinds in play.
+    fn setup() -> (gfd_graph::Graph, MatchTable, Vec<Literal>) {
+        let mut b = GraphBuilder::new();
+        let mut persons = Vec::new();
+        for i in 0..7 {
+            let p = b.add_node("person");
+            b.set_attr(p, "city", if i % 2 == 0 { "oslo" } else { "york" });
+            if i % 3 != 0 {
+                b.set_attr(p, "tier", (i % 3) as i64);
+            }
+            persons.push(p);
+        }
+        for i in 0..7 {
+            for j in 0..7 {
+                if i != j && (i + 2 * j) % 3 == 0 {
+                    b.add_edge(persons[i], persons[j], "knows");
+                }
+            }
+        }
+        let g = b.build();
+        let q = Pattern::edge(
+            PLabel::Is(g.interner().label("person")),
+            PLabel::Is(g.interner().label("knows")),
+            PLabel::Is(g.interner().label("person")),
+        );
+        let ms = find_all(&q, &g);
+        let city = g.interner().attr("city");
+        let tier = g.interner().attr("tier");
+        let t = MatchTable::build(&q, &ms, &g, &[city, tier]);
+        let oslo = Value::Str(g.interner().lookup_symbol("oslo").unwrap());
+        let york = Value::Str(g.interner().lookup_symbol("york").unwrap());
+        let lits = vec![
+            Literal::constant(0, city, oslo),
+            Literal::constant(1, city, york),
+            Literal::constant(0, tier, Value::Int(1)),
+            Literal::constant(1, tier, Value::Int(2)),
+            Literal::var_var(0, city, 1, city),
+            Literal::var_var(0, tier, 1, tier),
+        ];
+        (g, t, lits)
+    }
+
+    #[test]
+    fn bitmap_evaluate_matches_scan_evaluate() {
+        let (_g, t, lits) = setup();
+        let mut idx = BitmapIndex::new(&t);
+        let rhss: Vec<Rhs> = lits
+            .iter()
+            .map(|&l| Rhs::Lit(l))
+            .chain([Rhs::False])
+            .collect();
+        // All single and double premise sets against every consequence.
+        let mut premises: Vec<Vec<Literal>> = vec![Vec::new()];
+        for &a in &lits {
+            premises.push(vec![a]);
+            for &b in &lits {
+                if a < b {
+                    premises.push(vec![a, b]);
+                }
+            }
+        }
+        for x in &premises {
+            for rhs in &rhss {
+                assert_eq!(
+                    idx.evaluate(&t, x, rhs),
+                    evaluate(&t, x, rhs),
+                    "x={x:?} rhs={rhs:?}"
+                );
+            }
+            assert_eq!(
+                idx.lhs_satisfiable(&t, x),
+                lhs_satisfiable(&t, x),
+                "x={x:?}"
+            );
+        }
+        assert!(idx.cached_literals() >= lits.len());
+    }
+
+    #[test]
+    fn bitmap_partial_matches_scan_partial() {
+        let (_g, t, lits) = setup();
+        let mut idx = BitmapIndex::new(&t);
+        for &l in &lits {
+            for x in [vec![], vec![lits[0]], vec![lits[0], lits[4]]] {
+                assert_eq!(
+                    idx.partial_evaluate(&t, &x, &Rhs::Lit(l)),
+                    PartialStats::evaluate(&t, &x, &Rhs::Lit(l)),
+                );
+            }
+        }
+        assert_eq!(
+            idx.partial_evaluate(&t, &[lits[1]], &Rhs::False),
+            PartialStats::evaluate(&t, &[lits[1]], &Rhs::False),
+        );
+    }
+
+    #[test]
+    fn empty_table_evaluates_to_defaults() {
+        let mut b = GraphBuilder::new();
+        b.add_node("t");
+        let g = b.build();
+        let q = Pattern::single(PLabel::Is(g.interner().label("missing")));
+        let ms = find_all(&q, &g);
+        let t = MatchTable::build(&q, &ms, &g, &[]);
+        let mut idx = BitmapIndex::new(&t);
+        let lit = Literal::constant(0, gfd_graph::AttrId(0), Value::Int(1));
+        assert_eq!(
+            idx.evaluate(&t, &[], &Rhs::Lit(lit)),
+            CandidateStats::default()
+        );
+        assert!(!idx.lhs_satisfiable(&t, &[]));
+        assert_eq!(
+            idx.partial_evaluate(&t, &[], &Rhs::False),
+            PartialStats::default()
+        );
+    }
+
+    /// Rows beyond a multiple of 64 exercise the tail mask.
+    #[test]
+    fn tail_mask_on_word_boundary() {
+        for extra in [63usize, 64, 65] {
+            let mut b = GraphBuilder::new();
+            for i in 0..extra {
+                let n = b.add_node("t");
+                b.set_attr(n, "p", (i % 2) as i64);
+            }
+            let g = b.build();
+            let q = Pattern::single(PLabel::Is(g.interner().label("t")));
+            let ms = find_all(&q, &g);
+            let p = g.interner().attr("p");
+            let t = MatchTable::build(&q, &ms, &g, &[p]);
+            let mut idx = BitmapIndex::new(&t);
+            let lit = Literal::constant(0, p, Value::Int(1));
+            assert_eq!(
+                idx.evaluate(&t, &[], &Rhs::Lit(lit)),
+                evaluate(&t, &[], &Rhs::Lit(lit)),
+                "rows={extra}"
+            );
+            assert_eq!(
+                idx.evaluate(&t, &[lit], &Rhs::False),
+                evaluate(&t, &[lit], &Rhs::False),
+            );
+        }
+    }
+}

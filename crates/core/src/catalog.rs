@@ -28,26 +28,49 @@ pub struct CatalogCounts {
 
 impl CatalogCounts {
     /// Counts over one match table (one fragment's rows).
+    ///
+    /// Rows are consumed through [`MatchTable::row_values`] (no per-term
+    /// column lookups), and agreements are counted within per-row value
+    /// buckets: only terms sharing a value can agree, so sorting the ≤
+    /// `arity·|Γ|` present terms by value replaces the quadratic
+    /// all-pairs compare of the seed implementation.
     pub fn count(table: &MatchTable) -> CatalogCounts {
         let mut out = CatalogCounts::default();
-        let arity = table.arity();
         let attrs = table.attrs().to_vec();
         let na = attrs.len();
+        if na == 0 {
+            return out;
+        }
+        let terms = table.arity() * na;
+        let mut present: Vec<(Value, usize)> = Vec::with_capacity(terms);
         for r in 0..table.rows() {
-            for ti in 0..arity * na {
-                let (v1, a1) = (ti / na, ti % na);
-                let Some(x) = table.value(r, v1, attrs[a1]) else {
-                    continue;
-                };
-                *out.values.entry((v1, attrs[a1], x)).or_insert(0) += 1;
-                for tj in (ti + 1)..arity * na {
-                    let (v2, a2) = (tj / na, tj % na);
-                    if table.value(r, v2, attrs[a2]) == Some(x) {
+            let row = table.row_values(r);
+            present.clear();
+            for (ti, slot) in row.iter().enumerate() {
+                if let Some(x) = *slot {
+                    *out.values.entry((ti / na, attrs[ti % na], x)).or_insert(0) += 1;
+                    present.push((x, ti));
+                }
+            }
+            // Terms sorted by (value, term index): agreeing pairs are
+            // exactly the ordered pairs within each equal-value run.
+            present.sort_unstable();
+            let mut i = 0;
+            while i < present.len() {
+                let mut j = i + 1;
+                while j < present.len() && present[j].0 == present[i].0 {
+                    j += 1;
+                }
+                for p in i..j {
+                    let (v1, a1) = (present[p].1 / na, present[p].1 % na);
+                    for &(_, tq) in &present[(p + 1)..j] {
+                        let (v2, a2) = (tq / na, tq % na);
                         *out.agreements
                             .entry((v1, attrs[a1], v2, attrs[a2]))
                             .or_insert(0) += 1;
                     }
                 }
+                i = j;
             }
         }
         out

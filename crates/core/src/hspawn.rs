@@ -21,9 +21,10 @@
 use gfd_graph::FxHashMap;
 use gfd_logic::{Closure, Literal, Rhs};
 
+use crate::bitmap::BitmapIndex;
 use crate::catalog::LiteralCatalog;
 use crate::config::DiscoveryConfig;
-use crate::support::{evaluate, lhs_satisfiable, CandidateStats};
+use crate::support::CandidateStats;
 use crate::table::MatchTable;
 
 /// Evaluation backend for the literal lattice. The sequential miner scans
@@ -41,16 +42,31 @@ pub trait CandidateEvaluator {
     }
 }
 
-/// Sequential evaluator over one match table.
-pub struct TableEvaluator<'a>(pub &'a MatchTable);
+/// Sequential evaluator over one match table, riding the per-literal
+/// bitmap index: literal bitmaps build lazily on first use and persist
+/// across every candidate of the pattern's lattice.
+pub struct TableEvaluator<'a> {
+    table: &'a MatchTable,
+    index: BitmapIndex,
+}
+
+impl<'a> TableEvaluator<'a> {
+    /// New evaluator over `table` (bitmaps build lazily).
+    pub fn new(table: &'a MatchTable) -> TableEvaluator<'a> {
+        TableEvaluator {
+            table,
+            index: BitmapIndex::new(table),
+        }
+    }
+}
 
 impl CandidateEvaluator for TableEvaluator<'_> {
     fn evaluate(&mut self, x: &[Literal], rhs: &Rhs) -> CandidateStats {
-        evaluate(self.0, x, rhs)
+        self.index.evaluate(self.table, x, rhs)
     }
 
     fn lhs_empty(&mut self, x: &[Literal]) -> bool {
-        !lhs_satisfiable(self.0, x)
+        !self.index.lhs_satisfiable(self.table, x)
     }
 }
 
@@ -138,7 +154,7 @@ pub fn mine_dependencies(
     covered: &mut Vec<Covered>,
     cfg: &DiscoveryConfig,
 ) -> (Vec<MinedDependency>, HSpawnStats) {
-    mine_dependencies_with(&mut TableEvaluator(table), catalog, covered, cfg)
+    mine_dependencies_with(&mut TableEvaluator::new(table), catalog, covered, cfg)
 }
 
 /// [`mine_dependencies`] over an arbitrary evaluation backend.

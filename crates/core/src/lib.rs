@@ -9,6 +9,8 @@
 //! * [`config`] — run parameters `(k, σ, Γ, …)`,
 //! * [`table`] — the match table fusing pattern matching with FD mining,
 //! * [`support`] — pivoted support `supp(φ, G)` and candidate evaluation,
+//! * [`bitmap`] — lazily built per-literal bitmaps turning candidate
+//!   evaluation into word-wise ANDs + popcounts,
 //! * [`catalog`] — candidate literals from `Γ` and frequent constants,
 //! * [`gentree`] — the GFD generation tree `T` with `iso(Q)` dedup,
 //! * [`vspawn`] — vertical spawning (`VSpawn`/`NVSpawn`),
@@ -21,6 +23,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bitmap;
 pub mod catalog;
 pub mod config;
 pub mod gentree;
@@ -32,6 +35,7 @@ pub mod support;
 pub mod table;
 pub mod vspawn;
 
+pub use bitmap::BitmapIndex;
 pub use catalog::{CatalogCounts, LiteralCatalog};
 pub use config::DiscoveryConfig;
 pub use gentree::{GenNode, GenTree, Inserted, NodeState};

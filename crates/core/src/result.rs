@@ -59,8 +59,17 @@ pub struct DiscoveryStats {
     pub negative: usize,
     /// Wall time in pattern matching / joins.
     pub matching_time: Duration,
-    /// Wall time in dependency validation (table scans).
+    /// Wall time in vertical spawning (extension proposal/harvest).
+    pub spawning_time: Duration,
+    /// Wall time in dependency validation (table build + literal harvest +
+    /// lattice evaluation).
     pub validation_time: Duration,
+    /// Portion of `validation_time` spent building match tables and
+    /// harvesting candidate literals.
+    pub catalog_time: Duration,
+    /// Portion of `validation_time` spent in the literal lattice
+    /// (`HSpawn`/`NHSpawn` candidate evaluation).
+    pub lattice_time: Duration,
     /// Total wall time.
     pub total_time: Duration,
 }

@@ -90,7 +90,7 @@ pub fn seq_dis_with_tree(g: &Graph, cfg: &DiscoveryConfig) -> (DiscoveryResult, 
                 } else {
                     Vec::new()
                 };
-                result.stats.matching_time += t0.elapsed();
+                result.stats.spawning_time += t0.elapsed();
                 (proposals, negs)
             };
 
@@ -272,8 +272,11 @@ fn mine_node(
         cfg.sigma.min(ms.len()),
         cfg.max_catalog_literals,
     );
+    result.stats.catalog_time += t0.elapsed();
+    let t1 = Instant::now();
     let mut covered = std::mem::take(&mut tree.node_mut(id).covered);
     let (deps, hstats) = mine_dependencies(&table, &catalog, &mut covered, cfg);
+    result.stats.lattice_time += t1.elapsed();
     tree.node_mut(id).covered = covered;
     result.stats.hspawn.merge(&hstats);
     for dep in deps {

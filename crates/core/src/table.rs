@@ -7,7 +7,7 @@
 //! harvesting then become cache-friendly column scans instead of repeated
 //! graph lookups.
 
-use gfd_graph::{AttrId, FxHashMap, FxHashSet, Graph, NodeId, Value};
+use gfd_graph::{AttrId, FxHashMap, Graph, NodeId, Value};
 use gfd_logic::Literal;
 use gfd_pattern::{MatchSet, Pattern, Var};
 
@@ -20,6 +20,12 @@ pub struct MatchTable {
     values: Vec<Option<Value>>,
     /// Pivot image per row.
     pivots: Vec<NodeId>,
+    /// Pivot-group index: dense group id per row (`pivot_gids[r]` indexes
+    /// `groups`). Distinct-pivot counting becomes a stamp over group ids
+    /// instead of a hash-set over node ids.
+    pivot_gids: Vec<u32>,
+    /// Group id → pivot node.
+    groups: Vec<NodeId>,
     rows: usize,
 }
 
@@ -31,19 +37,30 @@ impl MatchTable {
         let width = arity * attrs.len();
         let mut values = Vec::with_capacity(ms.len() * width);
         let mut pivots = Vec::with_capacity(ms.len());
+        let mut pivot_gids = Vec::with_capacity(ms.len());
+        let mut groups: Vec<NodeId> = Vec::new();
+        let mut gid_of: FxHashMap<NodeId, u32> = FxHashMap::default();
         for m in ms.iter() {
             for &node in m {
                 for &a in attrs {
                     values.push(g.attr(node, a));
                 }
             }
-            pivots.push(m[q.pivot()]);
+            let pivot = m[q.pivot()];
+            pivots.push(pivot);
+            let gid = *gid_of.entry(pivot).or_insert_with(|| {
+                groups.push(pivot);
+                (groups.len() - 1) as u32
+            });
+            pivot_gids.push(gid);
         }
         MatchTable {
             arity,
             attrs: attrs.to_vec(),
             values,
             pivots,
+            pivot_gids,
+            groups,
             rows: ms.len(),
         }
     }
@@ -69,17 +86,50 @@ impl MatchTable {
         self.pivots[r]
     }
 
+    /// Dense pivot-group id of row `r` (stable within this table).
+    #[inline]
+    pub fn pivot_gid_of(&self, r: usize) -> u32 {
+        self.pivot_gids[r]
+    }
+
+    /// The pivot node behind group id `gid`.
+    #[inline]
+    pub fn group_pivot(&self, gid: u32) -> NodeId {
+        self.groups[gid as usize]
+    }
+
+    /// Number of distinct pivot groups.
+    #[inline]
+    pub fn pivot_group_count(&self) -> usize {
+        self.groups.len()
+    }
+
     /// Distinct pivot images over all rows — `supp(Q, G)` when the table
-    /// holds all matches.
+    /// holds all matches. O(1) via the pivot-group index.
     pub fn pattern_support(&self) -> usize {
-        let set: FxHashSet<NodeId> = self.pivots.iter().copied().collect();
-        set.len()
+        self.groups.len()
     }
 
     #[inline]
     fn col(&self, var: Var, attr: AttrId) -> Option<usize> {
         let ai = self.attrs.iter().position(|&a| a == attr)?;
         Some(var * self.attrs.len() + ai)
+    }
+
+    /// Flat column index of `(var, attr)` for use with [`Self::row_values`]
+    /// (`None` when `attr` is not an active attribute).
+    #[inline]
+    pub fn column_of(&self, var: Var, attr: AttrId) -> Option<usize> {
+        self.col(var, attr)
+    }
+
+    /// All materialised values of row `r`, indexed by
+    /// `var * attrs().len() + attr_position` — the allocation-free bulk
+    /// accessor behind literal harvesting and bitmap construction.
+    #[inline]
+    pub fn row_values(&self, r: usize) -> &[Option<Value>] {
+        let width = self.arity * self.attrs.len();
+        &self.values[r * width..(r + 1) * width]
     }
 
     /// Value of `(var, attr)` at row `r` (`None` if the attribute is absent

@@ -11,7 +11,9 @@
 //! * [`noise`] — the Exp-5 noise protocol (`α`, `β`) with ground-truth
 //!   dirty-node sets,
 //! * [`gfdgen`] — random `Σ` sets (|Σ| ≤ 10⁴, k ≤ 6) with built-in
-//!   redundancy for cover experiments.
+//!   redundancy for cover experiments,
+//! * [`scenario`] — named, seed-pinned benchmark scenarios consumed by the
+//!   `gfd-bench` perf harness (`BENCH_*.json`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -19,9 +21,11 @@
 pub mod gfdgen;
 pub mod kb;
 pub mod noise;
+pub mod scenario;
 pub mod synthetic;
 
 pub use gfdgen::{generate_gfds, GfdGenConfig};
 pub use kb::{knowledge_base, KbConfig, KbProfile};
 pub use noise::{detection_accuracy, inject_noise, NoiseConfig, Noised};
+pub use scenario::{bench_scenario, ScenarioConfig};
 pub use synthetic::{synthetic, SyntheticConfig};

@@ -1,0 +1,198 @@
+//! Reproducible benchmark scenarios for the perf harness.
+//!
+//! The paper's synthetic generator ([`crate::synthetic`]) mirrors §7's
+//! setting; this module adds *named*, seed-pinned scenarios used by the
+//! `gfd-bench` perf binary so that numbers recorded in `BENCH_*.json` are
+//! reproducible bit-for-bit across PRs. Beyond `|V|`/`|E|`, two knobs
+//! shape the hot paths this harness tracks:
+//!
+//! * **label skew** — a head fraction of node labels absorbs most nodes,
+//!   which stresses label-partitioned adjacency (big per-label slices on
+//!   hub labels, tiny ones on the tail);
+//! * **edge multiplicity** — a fraction of edges is duplicated as parallel
+//!   edges under a different label, which exercises the multiset
+//!   feasibility checks and the per-(node, label) ranges.
+
+use gfd_graph::{Graph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters of a benchmark scenario. All fields are part of the recorded
+/// provenance: two runs with equal configs produce identical graphs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioConfig {
+    /// Scenario name (recorded in the benchmark JSON).
+    pub name: &'static str,
+    /// `|V|`.
+    pub nodes: usize,
+    /// Base edge count before multiplicity duplication.
+    pub edges: usize,
+    /// Node-label alphabet size.
+    pub node_labels: usize,
+    /// Edge-label alphabet size.
+    pub edge_labels: usize,
+    /// Probability that a node draws its label from the head 20% of the
+    /// alphabet (0.0 = uniform labels, 1.0 = only head labels).
+    pub label_skew: f64,
+    /// Probability that an edge is doubled as a parallel edge with the
+    /// next edge label (exercises multi-edge feasibility).
+    pub edge_multiplicity: f64,
+    /// Active attributes per node.
+    pub attrs: usize,
+    /// Value pool per attribute.
+    pub values_per_attr: usize,
+    /// Fraction of nodes whose attribute values are a deterministic
+    /// function of their label (creates minable dependencies).
+    pub correlation: f64,
+    /// Degree skew: probability mass routed to hub nodes.
+    pub degree_skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ScenarioConfig {
+    /// The tiny scenario: CI smoke runs (sub-second discovery).
+    pub fn tiny() -> ScenarioConfig {
+        ScenarioConfig {
+            name: "tiny",
+            nodes: 400,
+            edges: 1_200,
+            ..ScenarioConfig::medium()
+        }
+    }
+
+    /// The small scenario: quick local iteration (a few seconds).
+    pub fn small() -> ScenarioConfig {
+        ScenarioConfig {
+            name: "small",
+            nodes: 3_000,
+            edges: 9_000,
+            ..ScenarioConfig::medium()
+        }
+    }
+
+    /// The medium scenario: the recorded `BENCH_*.json` workload.
+    pub fn medium() -> ScenarioConfig {
+        ScenarioConfig {
+            name: "medium",
+            nodes: 12_000,
+            edges: 36_000,
+            node_labels: 8,
+            edge_labels: 6,
+            label_skew: 0.6,
+            edge_multiplicity: 0.15,
+            attrs: 4,
+            values_per_attr: 40,
+            correlation: 0.75,
+            degree_skew: 0.25,
+            seed: 0xBE2C,
+        }
+    }
+
+    /// Looks a scenario up by name.
+    pub fn named(name: &str) -> Option<ScenarioConfig> {
+        match name {
+            "tiny" => Some(ScenarioConfig::tiny()),
+            "small" => Some(ScenarioConfig::small()),
+            "medium" => Some(ScenarioConfig::medium()),
+            _ => None,
+        }
+    }
+}
+
+/// Generates the scenario's graph.
+pub fn bench_scenario(cfg: &ScenarioConfig) -> Graph {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = GraphBuilder::new();
+
+    let node_labels: Vec<String> = (0..cfg.node_labels.max(1))
+        .map(|i| format!("N{i}"))
+        .collect();
+    let edge_labels: Vec<String> = (0..cfg.edge_labels.max(1))
+        .map(|i| format!("e{i}"))
+        .collect();
+    let attrs: Vec<String> = (0..cfg.attrs).map(|i| format!("a{i}")).collect();
+    let head = (node_labels.len() / 5).max(1);
+
+    for _ in 0..cfg.nodes {
+        let li = if rng.random_bool(cfg.label_skew) {
+            rng.random_range(0..head)
+        } else {
+            rng.random_range(0..node_labels.len())
+        };
+        let n = b.add_node(&node_labels[li]);
+        for (ai, attr) in attrs.iter().enumerate() {
+            let vi = if rng.random_bool(cfg.correlation) {
+                (li * 13 + ai * 5) % cfg.values_per_attr.max(1)
+            } else {
+                rng.random_range(0..cfg.values_per_attr.max(1))
+            };
+            b.set_attr(n, attr, format!("v{vi}").as_str());
+        }
+    }
+
+    let hubs = (cfg.nodes / 100).max(1);
+    let pick = |rng: &mut StdRng| -> NodeId {
+        if rng.random_bool(cfg.degree_skew) {
+            NodeId(rng.random_range(0..hubs as u32))
+        } else {
+            NodeId(rng.random_range(0..cfg.nodes as u32))
+        }
+    };
+    for _ in 0..cfg.edges {
+        let src = pick(&mut rng);
+        let mut dst = pick(&mut rng);
+        if dst == src {
+            dst = NodeId(((src.0 as usize + 1) % cfg.nodes) as u32);
+        }
+        let li = rng.random_range(0..edge_labels.len());
+        b.add_edge(src, dst, &edge_labels[li]);
+        if rng.random_bool(cfg.edge_multiplicity) {
+            let li2 = (li + 1) % edge_labels.len();
+            b.add_edge(src, dst, &edge_labels[li2]);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_lookup() {
+        assert_eq!(ScenarioConfig::named("tiny"), Some(ScenarioConfig::tiny()));
+        assert_eq!(
+            ScenarioConfig::named("medium"),
+            Some(ScenarioConfig::medium())
+        );
+        assert_eq!(ScenarioConfig::named("nope"), None);
+    }
+
+    #[test]
+    fn deterministic_under_config() {
+        let a = bench_scenario(&ScenarioConfig::tiny());
+        let b = bench_scenario(&ScenarioConfig::tiny());
+        assert_eq!(gfd_graph::io::to_text(&a), gfd_graph::io::to_text(&b));
+    }
+
+    #[test]
+    fn respects_node_count_and_multiplicity() {
+        let cfg = ScenarioConfig::tiny();
+        let g = bench_scenario(&cfg);
+        assert_eq!(g.node_count(), cfg.nodes);
+        // Multiplicity adds parallel edges beyond the base count.
+        assert!(g.edge_count() > cfg.edges);
+        assert!(g.edge_count() < cfg.edges * 2);
+    }
+
+    #[test]
+    fn label_skew_concentrates_head_labels() {
+        let g = bench_scenario(&ScenarioConfig::small());
+        let freq = g.node_label_frequencies();
+        // Head labels absorb the skewed mass: the top label holds far more
+        // than a uniform share.
+        let uniform = g.node_count() / 12;
+        assert!((freq[0].1 as usize) > 2 * uniform);
+    }
+}

@@ -44,6 +44,112 @@ impl Csr {
     }
 }
 
+/// One contiguous run of a node's adjacency holding every incident edge
+/// with a single label (`lo..hi` indexes into the owning [`LabelCsr`]'s
+/// edge list).
+#[derive(Clone, Copy, Debug)]
+struct LabelRange {
+    label: LabelId,
+    lo: u32,
+    hi: u32,
+}
+
+/// Label-partitioned CSR adjacency: per node, incident edge ids sorted by
+/// `(label, neighbour, edge id)`, plus a per-node index of the contiguous
+/// range occupied by each distinct label. An anchor step with a concrete
+/// edge label binary-searches the (small) per-node label index and walks a
+/// contiguous slice instead of filtering the node's full adjacency.
+///
+/// The per-node `ranges` double as the node's **neighbour-label-frequency
+/// (NLF) summary**: `degree(n, l) = |slice(n, l)|` in `O(log L_n)` where
+/// `L_n` is the number of distinct labels incident to `n`.
+#[derive(Clone, Debug, Default)]
+struct LabelCsr {
+    list: Vec<EdgeId>,
+    range_offsets: Vec<u32>,
+    ranges: Vec<LabelRange>,
+}
+
+impl LabelCsr {
+    fn build(
+        n: usize,
+        edges: &[Edge],
+        endpoint: impl Fn(&Edge) -> NodeId,
+        neighbour: impl Fn(&Edge) -> NodeId,
+    ) -> LabelCsr {
+        let mut counts = vec![0u32; n + 1];
+        for e in edges {
+            counts[endpoint(e).index() + 1] += 1;
+        }
+        for i in 1..=n {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts;
+        let mut cursor = offsets.clone();
+        let mut list = vec![EdgeId(0); edges.len()];
+        for (i, e) in edges.iter().enumerate() {
+            let slot = &mut cursor[endpoint(e).index()];
+            list[*slot as usize] = EdgeId::from_index(i);
+            *slot += 1;
+        }
+        let mut range_offsets = Vec::with_capacity(n + 1);
+        let mut ranges = Vec::new();
+        range_offsets.push(0u32);
+        for w in offsets.windows(2) {
+            let (lo, hi) = (w[0] as usize, w[1] as usize);
+            list[lo..hi].sort_unstable_by_key(|&eid| {
+                let e = &edges[eid.index()];
+                (e.label, neighbour(e), eid)
+            });
+            let mut run = lo;
+            while run < hi {
+                let label = edges[list[run].index()].label;
+                let mut end = run + 1;
+                while end < hi && edges[list[end].index()].label == label {
+                    end += 1;
+                }
+                ranges.push(LabelRange {
+                    label,
+                    lo: run as u32,
+                    hi: end as u32,
+                });
+                run = end;
+            }
+            range_offsets.push(ranges.len() as u32);
+        }
+        LabelCsr {
+            list,
+            range_offsets,
+            ranges,
+        }
+    }
+
+    #[inline]
+    fn node_ranges(&self, n: NodeId) -> &[LabelRange] {
+        let lo = self.range_offsets[n.index()] as usize;
+        let hi = self.range_offsets[n.index() + 1] as usize;
+        &self.ranges[lo..hi]
+    }
+
+    #[inline]
+    fn slice(&self, n: NodeId, l: LabelId) -> &[EdgeId] {
+        let ranges = self.node_ranges(n);
+        match ranges.binary_search_by_key(&l, |r| r.label) {
+            Ok(i) => &self.list[ranges[i].lo as usize..ranges[i].hi as usize],
+            Err(_) => &[],
+        }
+    }
+
+    #[inline]
+    fn degree(&self, n: NodeId, l: LabelId) -> usize {
+        let ranges = self.node_ranges(n);
+        match ranges.binary_search_by_key(&l, |r| r.label) {
+            Ok(i) => (ranges[i].hi - ranges[i].lo) as usize,
+            Err(_) => 0,
+        }
+    }
+}
+
 /// Mutable construction state for a [`Graph`].
 ///
 /// ```
@@ -169,6 +275,11 @@ impl GraphBuilder {
         // `has_edge` / `edges_between` used when the matcher closes cycles.
         let out = build_csr(n, &edges, |e| e.src, |e| (e.dst, e.label));
         let inn = build_csr(n, &edges, |e| e.dst, |e| (e.src, e.label));
+        // Label-partitioned CSRs sorted by (label, neighbour): anchor steps
+        // with concrete edge labels walk one contiguous slice, and the
+        // per-node label ranges serve as the NLF summary.
+        let out_labeled = LabelCsr::build(n, &edges, |e| e.src, |e| e.dst);
+        let in_labeled = LabelCsr::build(n, &edges, |e| e.dst, |e| e.src);
 
         let mut nodes_by_label: Vec<Vec<NodeId>> = Vec::new();
         for (i, &l) in labels.iter().enumerate() {
@@ -185,6 +296,8 @@ impl GraphBuilder {
             edges,
             out,
             inn,
+            out_labeled,
+            in_labeled,
             nodes_by_label,
         }
     }
@@ -227,6 +340,8 @@ pub struct Graph {
     edges: Vec<Edge>,
     out: Csr,
     inn: Csr,
+    out_labeled: LabelCsr,
+    in_labeled: LabelCsr,
     nodes_by_label: Vec<Vec<NodeId>>,
 }
 
@@ -316,6 +431,33 @@ impl Graph {
     #[inline]
     pub fn in_degree(&self, n: NodeId) -> usize {
         self.inn.slice(n).len()
+    }
+
+    /// Outgoing edges of `n` carrying exactly label `l`, as one contiguous
+    /// slice sorted by `(dst, edge id)` — the label-partitioned adjacency.
+    #[inline]
+    pub fn out_edges_labeled(&self, n: NodeId, l: LabelId) -> &[EdgeId] {
+        self.out_labeled.slice(n, l)
+    }
+
+    /// Incoming edges of `n` carrying exactly label `l`, sorted by
+    /// `(src, edge id)`.
+    #[inline]
+    pub fn in_edges_labeled(&self, n: NodeId, l: LabelId) -> &[EdgeId] {
+        self.in_labeled.slice(n, l)
+    }
+
+    /// Number of outgoing edges of `n` labelled `l` — the out-side
+    /// neighbour-label-frequency (NLF) summary used for candidate pruning.
+    #[inline]
+    pub fn out_label_degree(&self, n: NodeId, l: LabelId) -> usize {
+        self.out_labeled.degree(n, l)
+    }
+
+    /// Number of incoming edges of `n` labelled `l` (in-side NLF).
+    #[inline]
+    pub fn in_label_degree(&self, n: NodeId, l: LabelId) -> usize {
+        self.in_labeled.degree(n, l)
     }
 
     /// Total degree of `n` (the `d` parameter of Theorem 1(b)).
@@ -527,5 +669,86 @@ mod tests {
         let mut b = GraphBuilder::new();
         let _ = b.add_node("a");
         b.add_edge_by_id(NodeId(5), NodeId(0), LabelId(0));
+    }
+
+    #[test]
+    fn labeled_adjacency_matches_filtered_scan() {
+        let mut b = GraphBuilder::new();
+        let nodes: Vec<NodeId> = (0..6)
+            .map(|i| b.add_node(if i % 2 == 0 { "a" } else { "b" }))
+            .collect();
+        let labels = ["r", "s", "t"];
+        for i in 0..6 {
+            for j in 0..6 {
+                if i == j {
+                    continue;
+                }
+                if (i + j) % 2 == 0 {
+                    b.add_edge(nodes[i], nodes[j], labels[(i * j) % 3]);
+                }
+                if (i * 7 + j) % 3 == 0 {
+                    b.add_edge(nodes[i], nodes[j], labels[j % 3]);
+                }
+            }
+        }
+        let g = b.build();
+        for name in labels {
+            let l = g.interner().lookup_label(name).unwrap();
+            for n in g.nodes() {
+                let mut expect_out: Vec<EdgeId> = g
+                    .out_edges(n)
+                    .iter()
+                    .copied()
+                    .filter(|&e| g.edge(e).label == l)
+                    .collect();
+                expect_out.sort_unstable_by_key(|&e| (g.edge(e).dst, e));
+                assert_eq!(g.out_edges_labeled(n, l), expect_out.as_slice());
+                assert_eq!(g.out_label_degree(n, l), expect_out.len());
+
+                let mut expect_in: Vec<EdgeId> = g
+                    .in_edges(n)
+                    .iter()
+                    .copied()
+                    .filter(|&e| g.edge(e).label == l)
+                    .collect();
+                expect_in.sort_unstable_by_key(|&e| (g.edge(e).src, e));
+                assert_eq!(g.in_edges_labeled(n, l), expect_in.as_slice());
+                assert_eq!(g.in_label_degree(n, l), expect_in.len());
+            }
+        }
+    }
+
+    #[test]
+    fn labeled_adjacency_absent_label_is_empty() {
+        let g = toy();
+        let missing = LabelId(999);
+        assert_eq!(g.out_edges_labeled(NodeId(0), missing), &[]);
+        assert_eq!(g.in_edges_labeled(NodeId(0), missing), &[]);
+        assert_eq!(g.out_label_degree(NodeId(0), missing), 0);
+        assert_eq!(g.in_label_degree(NodeId(0), missing), 0);
+    }
+
+    #[test]
+    fn labeled_adjacency_groups_parallel_edges() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("a");
+        let y = b.add_node("b");
+        let z = b.add_node("b");
+        b.add_edge(x, y, "r");
+        b.add_edge(x, z, "r");
+        b.add_edge(x, y, "r");
+        b.add_edge(x, y, "s");
+        let g = b.build();
+        let r = g.interner().lookup_label("r").unwrap();
+        let s = g.interner().lookup_label("s").unwrap();
+        let rs = g.out_edges_labeled(x, r);
+        assert_eq!(rs.len(), 3);
+        // Sorted by destination: parallel edges to `y` are consecutive.
+        assert_eq!(g.edge(rs[0]).dst, y);
+        assert_eq!(g.edge(rs[1]).dst, y);
+        assert_eq!(g.edge(rs[2]).dst, z);
+        assert_eq!(g.out_label_degree(x, r), 3);
+        assert_eq!(g.out_label_degree(x, s), 1);
+        assert_eq!(g.in_label_degree(y, r), 2);
     }
 }

@@ -24,7 +24,7 @@ use std::ops::ControlFlow;
 use gfd_extended::XGfd;
 use gfd_graph::{Graph, NodeId};
 use gfd_logic::Gfd;
-use gfd_pattern::{for_each_match, for_each_match_at, Pattern};
+use gfd_pattern::{CompiledPattern, Pattern};
 
 use crate::state::GraphState;
 use crate::update::UpdateBatch;
@@ -142,6 +142,9 @@ fn bounded_bfs(g: &Graph, sources: &[NodeId], depth: usize) -> Vec<u32> {
 /// evolving graph.
 pub struct ViolationMonitor {
     rules: Vec<MonitorRule>,
+    /// Per rule: the pattern compiled once at construction and reused for
+    /// every re-validation pass (plans are graph-independent).
+    compiled: Vec<CompiledPattern>,
     radii: Vec<Option<usize>>,
     state: GraphState,
     graph: Graph,
@@ -155,10 +158,14 @@ impl ViolationMonitor {
         let state = GraphState::from_graph(g);
         let graph = state.freeze();
         let radii: Vec<Option<usize>> = rules.iter().map(|r| r.pattern().radius()).collect();
+        let compiled: Vec<CompiledPattern> = rules
+            .iter()
+            .map(|r| CompiledPattern::new(r.pattern()))
+            .collect();
         let mut violations = Vec::with_capacity(rules.len());
-        for rule in &rules {
+        for (rule, cp) in rules.iter().zip(&compiled) {
             let mut set = BTreeSet::new();
-            let _ = for_each_match(rule.pattern(), &graph, |m| {
+            let _ = cp.matcher(&graph).for_each(|m| {
                 if !rule.match_satisfies(m, &graph) {
                     set.insert(m.to_vec());
                 }
@@ -168,6 +175,7 @@ impl ViolationMonitor {
         }
         ViolationMonitor {
             rules,
+            compiled,
             radii,
             state,
             graph,
@@ -237,16 +245,20 @@ impl ViolationMonitor {
             };
             affected_total += affected.len();
 
-            // Re-enumerate matches anchored at affected pivots.
+            // Re-enumerate matches anchored at affected pivots, reusing
+            // the rule's compiled plan and one matcher's scratch buffers
+            // across the whole pivot set.
             let mut fresh: BTreeSet<Vec<NodeId>> = BTreeSet::new();
+            let mut matcher = self.compiled[i].matcher(&new_graph);
             for &v in &affected {
-                let _ = for_each_match_at(q, &new_graph, v, |m| {
+                let _ = matcher.for_each_at(v, |m| {
                     if !rule.match_satisfies(m, &new_graph) {
                         fresh.insert(m.to_vec());
                     }
                     ControlFlow::Continue(())
                 });
             }
+            drop(matcher);
 
             // Stored violations whose pivot is affected are stale.
             let affected_set: BTreeSet<NodeId> = affected.iter().copied().collect();

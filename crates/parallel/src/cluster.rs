@@ -21,9 +21,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use gfd_core::{
-    lhs_satisfiable, CatalogCounts, DiscoveryConfig, MatchTable, PartialStats, RawHarvest,
-};
+use gfd_core::{BitmapIndex, CatalogCounts, DiscoveryConfig, MatchTable, PartialStats, RawHarvest};
 use gfd_graph::{AttrId, FxHashMap, Graph, LabelId, NodeId};
 use gfd_logic::{Literal, Rhs};
 use gfd_pattern::{extend_matches, Extension, MatchSet, PLabel, Pattern};
@@ -222,7 +220,9 @@ pub struct WorkerCtx {
     pub global_label_counts: Arc<FxHashMap<LabelId, usize>>,
     patterns: FxHashMap<usize, Pattern>,
     matches: FxHashMap<usize, MatchSet>,
-    tables: FxHashMap<usize, MatchTable>,
+    /// Per-pattern match table plus its lazily built literal-bitmap index
+    /// (bitmaps persist across every Evaluate/LhsEmpty of the pattern).
+    tables: FxHashMap<usize, (MatchTable, BitmapIndex)>,
 }
 
 impl WorkerCtx {
@@ -343,18 +343,22 @@ impl WorkerCtx {
                 let cost = ms.len() as u64;
                 let table = MatchTable::build(q, ms, &self.g, &attrs);
                 let counts = CatalogCounts::count(&table);
-                self.tables.insert(node, table);
+                let index = BitmapIndex::new(&table);
+                self.tables.insert(node, (table, index));
                 (TaskResult::Counts(Box::new(counts)), cost)
             }
-            Task::Evaluate { node, x, rhs } => match self.tables.get(&node) {
-                Some(t) => (
-                    TaskResult::Stats(Box::new(PartialStats::evaluate(t, &x, &rhs))),
+            Task::Evaluate { node, x, rhs } => match self.tables.get_mut(&node) {
+                Some((t, idx)) => (
+                    TaskResult::Stats(Box::new(idx.partial_evaluate(t, &x, &rhs))),
                     t.rows() as u64,
                 ),
                 None => (TaskResult::Stats(Box::default()), 1),
             },
-            Task::LhsEmpty { node, x } => match self.tables.get(&node) {
-                Some(t) => (TaskResult::Empty(!lhs_satisfiable(t, &x)), t.rows() as u64),
+            Task::LhsEmpty { node, x } => match self.tables.get_mut(&node) {
+                Some((t, idx)) => (
+                    TaskResult::Empty(!idx.lhs_satisfiable(t, &x)),
+                    t.rows() as u64,
+                ),
                 None => (TaskResult::Empty(true), 1),
             },
             Task::TakeMatches { node } => {

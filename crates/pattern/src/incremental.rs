@@ -10,37 +10,8 @@
 use gfd_graph::{Edge, Graph, NodeId};
 
 use crate::match_set::MatchSet;
+use crate::matcher::PairCheck;
 use crate::pattern::{End, Extension, PLabel, Pattern};
-
-/// Whether the graph edges between `(ha, hb)` can cover all pattern edges
-/// of `q2` between `(a, b)` (multiset feasibility; mirrors the matcher).
-fn pair_feasible(q2: &Pattern, g: &Graph, a: usize, b: usize, ha: NodeId, hb: NodeId) -> bool {
-    let pattern_edges = q2.edges_between(a, b);
-    let graph_edges = g.edges_between(ha, hb);
-    if graph_edges.len() < pattern_edges.len() {
-        return false;
-    }
-    if pattern_edges.len() == 1 {
-        let want = q2.edges()[pattern_edges[0]].label;
-        return graph_edges.iter().any(|&e| want.admits(g.edge(e).label));
-    }
-    for &pe in &pattern_edges {
-        if let PLabel::Is(l) = q2.edges()[pe].label {
-            let need = pattern_edges
-                .iter()
-                .filter(|&&x| q2.edges()[x].label == PLabel::Is(l))
-                .count();
-            let avail = graph_edges
-                .iter()
-                .filter(|&&x| g.edge(x).label == l)
-                .count();
-            if avail < need {
-                return false;
-            }
-        }
-    }
-    true
-}
 
 /// Extends every match of `q` by the single-edge extension `ext`, producing
 /// the matches of `q.extend(ext)` whose `q`-prefix appears in `matches`.
@@ -61,9 +32,10 @@ pub fn extend_matches(q: &Pattern, matches: &MatchSet, ext: &Extension, g: &Grap
         (End::Var(a), End::Var(b)) => {
             // Closing an edge between bound variables: feasibility of the
             // *extended* pair demand (the new edge may be parallel to
-            // existing pattern edges between the same pair).
+            // existing pattern edges between the same pair), compiled once.
+            let check = PairCheck::compile(&q2, *a, *b);
             for m in matches.iter() {
-                if pair_feasible(&q2, g, *a, *b, m[*a], m[*b]) {
+                if check.feasible(g, m[*a], m[*b]) {
                     out.push(m);
                 }
             }
@@ -73,10 +45,18 @@ pub fn extend_matches(q: &Pattern, matches: &MatchSet, ext: &Extension, g: &Grap
             let mut row = vec![NodeId(0); q2.node_count()];
             for m in matches.iter() {
                 let src_img = m[*a];
+                // A concrete extension label walks its contiguous
+                // label-partitioned slice; a wildcard walks the full CSR.
+                let (edge_ids, check_label): (&[gfd_graph::EdgeId], bool) = match ext.label {
+                    PLabel::Is(l) => (g.out_edges_labeled(src_img, l), false),
+                    PLabel::Wildcard => (g.out_edges(src_img), true),
+                };
                 let mut last: Option<NodeId> = None;
-                for &eid in g.out_edges(src_img) {
+                for &eid in edge_ids {
                     let e = g.edge(eid);
-                    if !ext.label.admits(e.label) || !nl.admits(g.node_label(e.dst)) {
+                    if (check_label && !ext.label.admits(e.label))
+                        || !nl.admits(g.node_label(e.dst))
+                    {
                         continue;
                     }
                     if last == Some(e.dst) {
@@ -97,10 +77,16 @@ pub fn extend_matches(q: &Pattern, matches: &MatchSet, ext: &Extension, g: &Grap
             let mut row = vec![NodeId(0); q2.node_count()];
             for m in matches.iter() {
                 let dst_img = m[*b];
+                let (edge_ids, check_label): (&[gfd_graph::EdgeId], bool) = match ext.label {
+                    PLabel::Is(l) => (g.in_edges_labeled(dst_img, l), false),
+                    PLabel::Wildcard => (g.in_edges(dst_img), true),
+                };
                 let mut last: Option<NodeId> = None;
-                for &eid in g.in_edges(dst_img) {
+                for &eid in edge_ids {
                     let e = g.edge(eid);
-                    if !ext.label.admits(e.label) || !nl.admits(g.node_label(e.src)) {
+                    if (check_label && !ext.label.admits(e.label))
+                        || !nl.admits(g.node_label(e.src))
+                    {
                         continue;
                     }
                     if last == Some(e.src) {
@@ -138,12 +124,13 @@ pub fn join_with_edges(
     let mut out = MatchSet::new(q2.node_count());
     match (&ext.src, &ext.dst) {
         (End::Var(a), End::Var(b)) => {
+            let check = PairCheck::compile(&q2, *a, *b);
             for m in matches.iter() {
                 let (ha, hb) = (m[*a], m[*b]);
                 let hit = shipped
                     .iter()
                     .any(|e| e.src == ha && e.dst == hb && ext.label.admits(e.label))
-                    && pair_feasible(&q2, g, *a, *b, ha, hb);
+                    && check.feasible(g, ha, hb);
                 if hit {
                     out.push(m);
                 }

@@ -14,7 +14,8 @@
 //! * pattern-into-pattern embeddings and the reduction order `≪`
 //!   ([`embed`]),
 //! * canonical codes for `iso(Q)` de-duplication ([`canon`]),
-//! * flat match storage ([`match_set`]).
+//! * flat match storage ([`match_set`]),
+//! * a naive oracle matcher for equivalence testing ([`reference`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -25,6 +26,7 @@ pub mod incremental;
 pub mod match_set;
 pub mod matcher;
 pub mod pattern;
+pub mod reference;
 
 pub use canon::{
     canonical_code, canonical_code_unpivoted, isomorphic, CanonicalCode, PatternRegistry,
@@ -37,6 +39,9 @@ pub use incremental::{extend_matches, join_with_edges};
 pub use match_set::MatchSet;
 pub use matcher::{
     count_matches, find_all, for_each_match, for_each_match_at, has_match, has_match_at,
-    pattern_support, pivot_image, MatchPlan,
+    pattern_support, pivot_image, CompiledPattern, MatchPlan, Matcher,
 };
 pub use pattern::{End, Extension, PEdge, PLabel, Pattern, Var};
+pub use reference::{
+    find_all_reference, for_each_match_reference, pattern_support_reference, pivot_image_reference,
+};

@@ -7,20 +7,32 @@
 //! is exactly the paper's bijection-to-a-subgraph semantics; on multigraphs
 //! it is the natural generalisation.
 //!
-//! The matcher is a VF2-flavoured backtracking search:
+//! The matcher is a VF2-flavoured backtracking search over a
+//! [`CompiledPattern`] — a search plan plus per-variable candidate filters
+//! built **once** per pattern and reused across every pivot and level:
 //!
 //! * pattern nodes are bound in a BFS order rooted at the **pivot**,
 //!   preferring highly-constrained (concrete-labelled, many edges to bound
 //!   nodes) variables first;
-//! * each step extends the partial assignment along one *anchor* edge using
-//!   the graph's CSR adjacency, then verifies all pattern edges that become
-//!   fully bound via binary-searched edge lookups;
+//! * each step extends the partial assignment along one *anchor* edge; a
+//!   concrete anchor label walks the graph's label-partitioned adjacency
+//!   slice directly instead of filtering the full CSR;
+//! * candidates are pruned by per-variable neighbour-label-frequency (NLF)
+//!   demands precompiled from the pattern's concrete edge labels;
+//! * injectivity is an O(1) mark-array lookup, and all multiset
+//!   pair-feasibility demands are precompiled — the inner loop allocates
+//!   nothing;
 //! * results stream through a callback ([`std::ops::ControlFlow`]) so
 //!   callers can count, early-exit, or materialise into a [`MatchSet`].
 //!
 //! Pivot-anchored entry points ([`for_each_match_at`], [`pivot_image`])
 //! exploit the data locality of §4.1: all candidate matches pivoted at `v`
-//! live in the `d_Q`-neighbourhood of `v`.
+//! live in the `d_Q`-neighbourhood of `v`. Callers that re-enter per pivot
+//! (e.g. the incremental monitor) should build one [`CompiledPattern`] and
+//! a reusable [`Matcher`] instead of calling the free functions per pivot.
+//!
+//! A naive, independently-written oracle lives in [`crate::reference`];
+//! a proptest suite pins the two implementations to identical match sets.
 
 use std::ops::ControlFlow;
 
@@ -44,11 +56,9 @@ struct Step {
     /// Anchor edge to an already-bound variable; `None` when the pattern is
     /// disconnected and this variable starts a new component.
     anchor: Option<Anchor>,
-    /// Ordered pairs `(a, b)` whose pattern edges become fully bound once
-    /// `var` is assigned; verified with the multiset feasibility check.
-    pair_checks: Vec<(Var, Var)>,
-    out_degree: usize,
-    in_degree: usize,
+    /// Precompiled feasibility checks for the ordered pairs whose pattern
+    /// edges become fully bound once `var` is assigned.
+    pair_checks: Vec<PairCheck>,
 }
 
 #[derive(Debug)]
@@ -58,6 +68,143 @@ struct Anchor {
     /// `false`: pattern edge `var → bound_var` (walk in-edges).
     outgoing: bool,
     label: PLabel,
+}
+
+/// Precompiled multiset feasibility for one ordered variable pair: the
+/// pattern edges between `(a, b)` must be assignable to distinct graph
+/// edges between the images. Concrete-label demands and the single-edge
+/// fast path are resolved at compile time so the runtime check performs no
+/// allocation and no pattern scans. Shared with the incremental join
+/// (`crate::incremental`), which compiles one check per closing extension.
+#[derive(Debug)]
+pub(crate) struct PairCheck {
+    a: Var,
+    b: Var,
+    /// Total pattern edges between the pair.
+    need_total: usize,
+    /// Fast path when `need_total == 1`: the sole edge's label.
+    single: Option<PLabel>,
+    /// Per-concrete-label demand (Hall's condition on the label classes;
+    /// wildcards are covered by the total).
+    demand: Box<[(LabelId, usize)]>,
+}
+
+impl PairCheck {
+    pub(crate) fn compile(q: &Pattern, a: Var, b: Var) -> PairCheck {
+        let edges = q.edges_between(a, b);
+        debug_assert!(!edges.is_empty());
+        let single = if edges.len() == 1 {
+            Some(q.edges()[edges[0]].label)
+        } else {
+            None
+        };
+        let mut demand: Vec<(LabelId, usize)> = Vec::new();
+        for &pe in &edges {
+            if let PLabel::Is(l) = q.edges()[pe].label {
+                match demand.iter_mut().find(|(x, _)| *x == l) {
+                    Some(d) => d.1 += 1,
+                    None => demand.push((l, 1)),
+                }
+            }
+        }
+        PairCheck {
+            a,
+            b,
+            need_total: edges.len(),
+            single,
+            demand: demand.into_boxed_slice(),
+        }
+    }
+
+    /// Whether the graph edges between `(ha, hb)` can cover the pair's
+    /// pattern edges (distinctness by counting — Hall's condition for this
+    /// label-partitioned bipartite assignment).
+    #[inline]
+    pub(crate) fn feasible(&self, g: &Graph, ha: NodeId, hb: NodeId) -> bool {
+        if let Some(want) = self.single {
+            return match want {
+                // One concrete edge: binary-search the labelled slice
+                // (sorted by destination) for the target neighbour.
+                PLabel::Is(l) => {
+                    let s = g.out_edges_labeled(ha, l);
+                    let lo = s.partition_point(|&e| g.edge(e).dst < hb);
+                    lo < s.len() && g.edge(s[lo]).dst == hb
+                }
+                PLabel::Wildcard => g.has_any_edge(ha, hb),
+            };
+        }
+        let graph_edges = g.edges_between(ha, hb);
+        if graph_edges.len() < self.need_total {
+            return false;
+        }
+        for &(l, need) in self.demand.iter() {
+            let avail = graph_edges
+                .iter()
+                .filter(|&&e| g.edge(e).label == l)
+                .count();
+            if avail < need {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Per-variable candidate filter: label, degree, and NLF demands derived
+/// from the pattern's edges at compile time.
+#[derive(Debug)]
+struct VarFilter {
+    label: PLabel,
+    out_degree: usize,
+    in_degree: usize,
+    /// `(edge label, out demand, in demand)` for every concrete label on an
+    /// edge incident to the variable — the NLF pruning condition.
+    nlf: Box<[(LabelId, usize, usize)]>,
+}
+
+impl VarFilter {
+    fn compile(q: &Pattern, v: Var) -> VarFilter {
+        let mut nlf: Vec<(LabelId, usize, usize)> = Vec::new();
+        let mut bump =
+            |l: LabelId, out: usize, inn: usize| match nlf.iter_mut().find(|(x, _, _)| *x == l) {
+                Some(d) => {
+                    d.1 += out;
+                    d.2 += inn;
+                }
+                None => nlf.push((l, out, inn)),
+            };
+        for e in q.edges() {
+            if let PLabel::Is(l) = e.label {
+                if e.src == v {
+                    bump(l, 1, 0);
+                }
+                if e.dst == v {
+                    bump(l, 0, 1);
+                }
+            }
+        }
+        VarFilter {
+            label: q.node_label(v),
+            out_degree: q.out_degree(v),
+            in_degree: q.in_degree(v),
+            nlf: nlf.into_boxed_slice(),
+        }
+    }
+
+    /// Whether `v` can be the image of this variable.
+    #[inline]
+    fn admits(&self, g: &Graph, v: NodeId) -> bool {
+        if !self.label.admits(g.node_label(v))
+            || g.out_degree(v) < self.out_degree
+            || g.in_degree(v) < self.in_degree
+        {
+            return false;
+        }
+        self.nlf.iter().all(|&(l, out_need, in_need)| {
+            (out_need == 0 || g.out_label_degree(v, l) >= out_need)
+                && (in_need == 0 || g.in_label_degree(v, l) >= in_need)
+        })
+    }
 }
 
 impl MatchPlan {
@@ -73,7 +220,9 @@ impl MatchPlan {
 
         while order.len() < n {
             // Choose the next variable: prefer most edges to bound vars,
-            // then concrete label, then smallest index (determinism).
+            // then concrete label, then smallest index (determinism). The
+            // ascending scan makes "first strict improvement wins" exactly
+            // the smallest-index tie-break.
             let mut best: Option<(usize, bool, Var)> = None;
             for v in 0..n {
                 if visited[v] {
@@ -89,15 +238,12 @@ impl MatchPlan {
                     })
                     .count();
                 let concrete = !q.node_label(v).is_wildcard();
-                let key = (bound_edges, concrete, v);
                 let better = match best {
                     None => true,
-                    Some((be, bc, bv)) => {
-                        (key.0, key.1) > (be, bc) || ((key.0, key.1) == (be, bc) && v < bv)
-                    }
+                    Some((be, bc, _)) => (bound_edges, concrete) > (be, bc),
                 };
                 if better {
-                    best = Some(key);
+                    best = Some((bound_edges, concrete, v));
                 }
             }
             let (_, _, var) = best.expect("unvisited variable must exist");
@@ -136,13 +282,15 @@ impl MatchPlan {
             order.push(var);
 
             // Pairs completed by binding `var`.
-            let mut pair_checks: Vec<(Var, Var)> = Vec::new();
+            let mut seen_pairs: Vec<(Var, Var)> = Vec::new();
+            let mut pair_checks: Vec<PairCheck> = Vec::new();
             for &(e, _) in q.incident(var) {
                 let edge = q.edges()[e];
                 if visited[edge.src] && visited[edge.dst] {
                     let pair = (edge.src, edge.dst);
-                    if !pair_checks.contains(&pair) {
-                        pair_checks.push(pair);
+                    if !seen_pairs.contains(&pair) {
+                        seen_pairs.push(pair);
+                        pair_checks.push(PairCheck::compile(q, pair.0, pair.1));
                     }
                 }
             }
@@ -151,8 +299,6 @@ impl MatchPlan {
                 var,
                 anchor,
                 pair_checks,
-                out_degree: q.out_degree(var),
-                in_degree: q.in_degree(var),
             });
         }
 
@@ -167,110 +313,193 @@ impl MatchPlan {
     }
 }
 
-/// Checks that the pattern edges between ordered pair `(a, b)` (already
-/// bound to `(ha, hb)`) can be assigned distinct graph edges.
-///
-/// Feasibility of this bipartite assignment reduces to counting because a
-/// concrete pattern label only accepts graph edges with exactly that label:
-/// every concrete label must have enough graph edges, and the total must
-/// cover wildcards too.
-fn pair_feasible(q: &Pattern, g: &Graph, a: Var, b: Var, ha: NodeId, hb: NodeId) -> bool {
-    let pattern_edges = q.edges_between(a, b);
-    debug_assert!(!pattern_edges.is_empty());
-    let graph_edges = g.edges_between(ha, hb);
-    if graph_edges.len() < pattern_edges.len() {
-        return false;
+/// A pattern compiled for repeated matching: the [`MatchPlan`] plus
+/// per-variable candidate filters and the pivot's self-loop check. Build it
+/// once per pattern and reuse it across every pivot node and every level —
+/// the per-pivot `MatchPlan::new` recompilation this replaces dominated
+/// anchored matching.
+#[derive(Debug)]
+pub struct CompiledPattern {
+    q: Pattern,
+    plan: MatchPlan,
+    filters: Vec<VarFilter>,
+    /// Feasibility of pivot self-loops (not covered by any step).
+    pivot_loop: Option<PairCheck>,
+}
+
+impl CompiledPattern {
+    /// Compiles `q` (graph-independent).
+    pub fn new(q: &Pattern) -> CompiledPattern {
+        let plan = MatchPlan::new(q);
+        let filters = (0..q.node_count())
+            .map(|v| VarFilter::compile(q, v))
+            .collect();
+        let pivot = q.pivot();
+        let pivot_loop = if q.edges_between(pivot, pivot).is_empty() {
+            None
+        } else {
+            Some(PairCheck::compile(q, pivot, pivot))
+        };
+        CompiledPattern {
+            q: q.clone(),
+            plan,
+            filters,
+            pivot_loop,
+        }
     }
-    if pattern_edges.len() == 1 {
-        let want = q.edges()[pattern_edges[0]].label;
-        return graph_edges.iter().any(|&e| want.admits(g.edge(e).label));
+
+    /// The compiled pattern.
+    pub fn pattern(&self) -> &Pattern {
+        &self.q
     }
-    // Rare general case: per-concrete-label demand must be met, and the
-    // total edge count (checked above) covers the wildcards — Hall's
-    // condition for this label-partitioned bipartite assignment.
-    let mut demand: Vec<(LabelId, usize)> = Vec::new();
-    for &pe in &pattern_edges {
-        if let PLabel::Is(l) = q.edges()[pe].label {
-            match demand.iter_mut().find(|(x, _)| *x == l) {
-                Some(d) => d.1 += 1,
-                None => demand.push((l, 1)),
+
+    /// The underlying search plan.
+    pub fn plan(&self) -> &MatchPlan {
+        &self.plan
+    }
+
+    /// A reusable matcher over `g` (holds the scratch buffers; reuse it
+    /// across pivots to amortise them).
+    pub fn matcher<'a>(&'a self, g: &'a Graph) -> Matcher<'a> {
+        Matcher {
+            cp: self,
+            g,
+            assignment: vec![NodeId(u32::MAX); self.q.node_count()],
+            used: vec![false; g.node_count()],
+        }
+    }
+}
+
+/// Reusable search state for one `(CompiledPattern, Graph)` pairing: the
+/// assignment vector and the O(1)-injectivity mark array are allocated once
+/// and shared by every pivot probed through this matcher.
+#[derive(Debug)]
+pub struct Matcher<'a> {
+    cp: &'a CompiledPattern,
+    g: &'a Graph,
+    assignment: Vec<NodeId>,
+    used: Vec<bool>,
+}
+
+impl Matcher<'_> {
+    /// Streams matches whose pivot image is `pivot_node`.
+    pub fn for_each_at<F>(&mut self, pivot_node: NodeId, mut f: F) -> ControlFlow<()>
+    where
+        F: FnMut(&[NodeId]) -> ControlFlow<()>,
+    {
+        let cp = self.cp;
+        let pivot = cp.q.pivot();
+        if !cp.filters[pivot].admits(self.g, pivot_node) {
+            return ControlFlow::Continue(());
+        }
+        if let Some(check) = &cp.pivot_loop {
+            if !check.feasible(self.g, pivot_node, pivot_node) {
+                return ControlFlow::Continue(());
             }
         }
+        let mut search = Search {
+            cp,
+            g: self.g,
+            assignment: &mut self.assignment,
+            used: &mut self.used,
+            sink: &mut f,
+        };
+        search.assignment[pivot] = pivot_node;
+        search.used[pivot_node.index()] = true;
+        let flow = search.step(1);
+        search.used[pivot_node.index()] = false;
+        flow
     }
-    for (l, need) in &demand {
-        let avail = graph_edges
-            .iter()
-            .filter(|&&e| g.edge(e).label == *l)
-            .count();
-        if avail < *need {
-            return false;
+
+    /// Streams every match of the pattern in the graph.
+    pub fn for_each<F>(&mut self, mut f: F) -> ControlFlow<()>
+    where
+        F: FnMut(&[NodeId]) -> ControlFlow<()>,
+    {
+        match self.cp.q.node_label(self.cp.q.pivot()) {
+            PLabel::Is(l) => {
+                let candidates = self.g.nodes_with_label(l);
+                for &v in candidates {
+                    self.for_each_at(v, &mut f)?;
+                }
+            }
+            PLabel::Wildcard => {
+                for i in 0..self.g.node_count() {
+                    self.for_each_at(NodeId::from_index(i), &mut f)?;
+                }
+            }
         }
+        ControlFlow::Continue(())
     }
-    true
-}
 
-/// Whether `v` can be the image of variable `var` given label and degree
-/// constraints.
-#[inline]
-fn node_compatible(
-    q: &Pattern,
-    g: &Graph,
-    var: Var,
-    v: NodeId,
-    out_deg: usize,
-    in_deg: usize,
-) -> bool {
-    q.node_label(var).admits(g.node_label(v))
-        && g.out_degree(v) >= out_deg
-        && g.in_degree(v) >= in_deg
-}
+    /// Whether any match is pivoted at `v`.
+    pub fn has_match_at(&mut self, v: NodeId) -> bool {
+        self.for_each_at(v, |_| ControlFlow::Break(())).is_break()
+    }
 
-fn pivot_candidates<'g>(q: &Pattern, g: &'g Graph) -> Box<dyn Iterator<Item = NodeId> + 'g> {
-    match q.node_label(q.pivot()) {
-        PLabel::Is(l) => Box::new(g.nodes_with_label(l).iter().copied()),
-        PLabel::Wildcard => Box::new(g.nodes()),
+    /// The distinct pivot images over all matches, sorted.
+    pub fn pivot_image(&mut self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        match self.cp.q.node_label(self.cp.q.pivot()) {
+            PLabel::Is(l) => {
+                let candidates = self.g.nodes_with_label(l);
+                for &v in candidates {
+                    if self.has_match_at(v) {
+                        out.push(v);
+                    }
+                }
+            }
+            PLabel::Wildcard => {
+                for i in 0..self.g.node_count() {
+                    let v = NodeId::from_index(i);
+                    if self.has_match_at(v) {
+                        out.push(v);
+                    }
+                }
+            }
+        }
+        // Candidates are scanned in ascending order per label class; a
+        // multi-class scan may interleave, so normalise.
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 }
 
 struct Search<'a, F> {
-    q: &'a Pattern,
+    cp: &'a CompiledPattern,
     g: &'a Graph,
-    plan: &'a MatchPlan,
-    assignment: Vec<NodeId>,
-    sink: F,
+    assignment: &'a mut Vec<NodeId>,
+    used: &'a mut Vec<bool>,
+    sink: &'a mut F,
 }
 
-impl<'a, F> Search<'a, F>
+impl<F> Search<'_, F>
 where
     F: FnMut(&[NodeId]) -> ControlFlow<()>,
 {
-    #[inline]
-    fn used(&self, depth: usize, v: NodeId) -> bool {
-        (0..depth).any(|d| self.assignment[self.plan.order[d]] == v)
-    }
-
     fn step(&mut self, depth: usize) -> ControlFlow<()> {
-        if depth == self.plan.order.len() {
-            return (self.sink)(&self.assignment);
+        if depth == self.cp.plan.order.len() {
+            return (self.sink)(self.assignment);
         }
-        let step = &self.plan.steps[depth - 1];
+        let g = self.g;
+        let step = &self.cp.plan.steps[depth - 1];
         match &step.anchor {
             Some(anchor) => {
                 let image = self.assignment[anchor.bound_var];
-                let edge_ids = if anchor.outgoing {
-                    self.g.out_edges(image)
-                } else {
-                    self.g.in_edges(image)
+                // A concrete anchor label walks its contiguous
+                // label-partitioned slice; a wildcard walks the full CSR.
+                // Both are sorted with equal neighbours consecutive, so the
+                // last-tried guard dedups parallel edges without a set.
+                let edge_ids: &[gfd_graph::EdgeId] = match (anchor.label, anchor.outgoing) {
+                    (PLabel::Is(l), true) => g.out_edges_labeled(image, l),
+                    (PLabel::Is(l), false) => g.in_edges_labeled(image, l),
+                    (PLabel::Wildcard, true) => g.out_edges(image),
+                    (PLabel::Wildcard, false) => g.in_edges(image),
                 };
-                // CSR adjacency is sorted by (neighbour, label), so parallel
-                // edges admitting the same candidate are consecutive; dedup
-                // with a last-tried guard to avoid duplicate matches.
                 let mut last_tried: Option<NodeId> = None;
                 for &eid in edge_ids {
-                    let edge = self.g.edge(eid);
-                    if !anchor.label.admits(edge.label) {
-                        continue;
-                    }
+                    let edge = g.edge(eid);
                     let cand = if anchor.outgoing { edge.dst } else { edge.src };
                     if last_tried == Some(cand) {
                         continue;
@@ -281,12 +510,18 @@ where
             }
             None => {
                 // Disconnected component: scan label candidates globally.
-                let candidates: Vec<NodeId> = match self.q.node_label(step.var) {
-                    PLabel::Is(l) => self.g.nodes_with_label(l).to_vec(),
-                    PLabel::Wildcard => self.g.nodes().collect(),
-                };
-                for cand in candidates {
-                    self.try_candidate(depth, step, cand)?;
+                match self.cp.q.node_label(step.var) {
+                    PLabel::Is(l) => {
+                        let candidates = g.nodes_with_label(l);
+                        for &cand in candidates {
+                            self.try_candidate(depth, step, cand)?;
+                        }
+                    }
+                    PLabel::Wildcard => {
+                        for i in 0..g.node_count() {
+                            self.try_candidate(depth, step, NodeId::from_index(i))?;
+                        }
+                    }
                 }
             }
         }
@@ -295,81 +530,41 @@ where
 
     #[inline]
     fn try_candidate(&mut self, depth: usize, step: &Step, cand: NodeId) -> ControlFlow<()> {
-        if !node_compatible(
-            self.q,
-            self.g,
-            step.var,
-            cand,
-            step.out_degree,
-            step.in_degree,
-        ) {
-            return ControlFlow::Continue(());
-        }
-        if self.used(depth, cand) {
+        if self.used[cand.index()] || !self.cp.filters[step.var].admits(self.g, cand) {
             return ControlFlow::Continue(());
         }
         self.assignment[step.var] = cand;
-        for &(a, b) in &step.pair_checks {
-            if !pair_feasible(self.q, self.g, a, b, self.assignment[a], self.assignment[b]) {
+        for check in &step.pair_checks {
+            if !check.feasible(self.g, self.assignment[check.a], self.assignment[check.b]) {
                 return ControlFlow::Continue(());
             }
         }
-        self.step(depth + 1)
+        self.used[cand.index()] = true;
+        let flow = self.step(depth + 1);
+        self.used[cand.index()] = false;
+        flow
     }
-}
-
-fn run_from_pivot<F>(
-    q: &Pattern,
-    g: &Graph,
-    plan: &MatchPlan,
-    pivot_node: NodeId,
-    sink: F,
-) -> ControlFlow<()>
-where
-    F: FnMut(&[NodeId]) -> ControlFlow<()>,
-{
-    let pivot = q.pivot();
-    let out_deg = q.out_degree(pivot);
-    let in_deg = q.in_degree(pivot);
-    if !node_compatible(q, g, pivot, pivot_node, out_deg, in_deg) {
-        return ControlFlow::Continue(());
-    }
-    // Pivot self-loops are not covered by steps; check here.
-    if !q.edges_between(pivot, pivot).is_empty()
-        && !pair_feasible(q, g, pivot, pivot, pivot_node, pivot_node)
-    {
-        return ControlFlow::Continue(());
-    }
-    let mut search = Search {
-        q,
-        g,
-        plan,
-        assignment: vec![NodeId(u32::MAX); q.node_count()],
-        sink,
-    };
-    search.assignment[pivot] = pivot_node;
-    search.step(1)
 }
 
 /// Streams every match of `q` in `g` to `f`; `f` may break to stop early.
-pub fn for_each_match<F>(q: &Pattern, g: &Graph, mut f: F) -> ControlFlow<()>
+///
+/// Compiles the pattern once; callers matching the same pattern repeatedly
+/// (per pivot, per update) should hold a [`CompiledPattern`] + [`Matcher`].
+pub fn for_each_match<F>(q: &Pattern, g: &Graph, f: F) -> ControlFlow<()>
 where
     F: FnMut(&[NodeId]) -> ControlFlow<()>,
 {
-    let plan = MatchPlan::new(q);
-    for v in pivot_candidates(q, g) {
-        run_from_pivot(q, g, &plan, v, &mut f)?;
-    }
-    ControlFlow::Continue(())
+    CompiledPattern::new(q).matcher(g).for_each(f)
 }
 
 /// Streams matches whose pivot image is `pivot_node`.
-pub fn for_each_match_at<F>(q: &Pattern, g: &Graph, pivot_node: NodeId, mut f: F) -> ControlFlow<()>
+pub fn for_each_match_at<F>(q: &Pattern, g: &Graph, pivot_node: NodeId, f: F) -> ControlFlow<()>
 where
     F: FnMut(&[NodeId]) -> ControlFlow<()>,
 {
-    let plan = MatchPlan::new(q);
-    run_from_pivot(q, g, &plan, pivot_node, &mut f)
+    CompiledPattern::new(q)
+        .matcher(g)
+        .for_each_at(pivot_node, f)
 }
 
 /// Materialises all matches of `q` in `g`.
@@ -396,17 +591,7 @@ pub fn has_match_at(q: &Pattern, g: &Graph, v: NodeId) -> bool {
 /// (§4.2). Enumeration early-exits per pivot candidate, so this is far
 /// cheaper than materialising all matches.
 pub fn pivot_image(q: &Pattern, g: &Graph) -> Vec<NodeId> {
-    let plan = MatchPlan::new(q);
-    let mut out = Vec::new();
-    for v in pivot_candidates(q, g) {
-        let found = run_from_pivot(q, g, &plan, v, |_| ControlFlow::Break(())).is_break();
-        if found {
-            out.push(v);
-        }
-    }
-    out.sort_unstable();
-    out.dedup();
-    out
+    CompiledPattern::new(q).matcher(g).pivot_image()
 }
 
 /// `supp(Q, G) = |Q(G, z)|` — the paper's pattern support (§4.2).
@@ -423,7 +608,6 @@ pub fn count_matches(q: &Pattern, g: &Graph) -> usize {
     });
     n
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -759,6 +943,83 @@ mod tests {
         assert_eq!(plan.order()[0], q.pivot());
         let plan2 = MatchPlan::new(&q.with_pivot(1));
         assert_eq!(plan2.order()[0], 1);
+    }
+
+    /// Pins the variable-selection tie-break: when candidates tie on
+    /// (edges-to-bound, concrete-label), the smallest variable index wins.
+    /// (The seed code carried a dead `v < bv` clause here — `v` iterates
+    /// ascending, so the first strict improvement already implements the
+    /// smallest-index rule; this test keeps that order from drifting.)
+    #[test]
+    fn match_plan_tie_breaks_on_smallest_index() {
+        let g = g1();
+        let t = pl(&g, "person");
+        let r = pl(&g, "create");
+        // Star: pivot 0 with identical edges to 1, 2, 3 — all tie.
+        let star = Pattern::new(
+            vec![t, t, t, t],
+            vec![
+                crate::pattern::PEdge {
+                    src: 0,
+                    dst: 1,
+                    label: r,
+                },
+                crate::pattern::PEdge {
+                    src: 0,
+                    dst: 2,
+                    label: r,
+                },
+                crate::pattern::PEdge {
+                    src: 0,
+                    dst: 3,
+                    label: r,
+                },
+            ],
+            0,
+        );
+        assert_eq!(MatchPlan::new(&star).order(), &[0, 1, 2, 3]);
+        // A wildcard node loses the concrete tie-break even at lower index.
+        let mixed = star.upgrade_node(1);
+        assert_eq!(MatchPlan::new(&mixed).order(), &[0, 2, 3, 1]);
+    }
+
+    #[test]
+    fn compiled_pattern_reused_across_pivots() {
+        let g = g1();
+        let q = Pattern::edge(pl(&g, "person"), pl(&g, "create"), pl(&g, "product"));
+        let cp = CompiledPattern::new(&q);
+        assert_eq!(cp.pattern(), &q);
+        assert_eq!(cp.plan().order()[0], q.pivot());
+        let mut m = cp.matcher(&g);
+        let mut total = 0usize;
+        for v in g.nodes() {
+            let _ = m.for_each_at(v, |mm| {
+                assert_eq!(mm[0], v);
+                total += 1;
+                ControlFlow::Continue(())
+            });
+        }
+        assert_eq!(total, count_matches(&q, &g));
+        assert!(m.has_match_at(NodeId(0)));
+        assert!(!m.has_match_at(NodeId(2)));
+        assert_eq!(m.pivot_image(), vec![NodeId(0), NodeId(1)]);
+    }
+
+    /// NLF pruning must reject pivots lacking the demanded labelled edges
+    /// without changing results: a person with only `follow` out-edges
+    /// cannot anchor a `create` pattern.
+    #[test]
+    fn nlf_filter_agrees_with_enumeration() {
+        let mut b = GraphBuilder::new();
+        let p1 = b.add_node("person");
+        let p2 = b.add_node("person");
+        let f = b.add_node("product");
+        b.add_edge(p1, f, "create");
+        b.add_edge(p2, p1, "follow");
+        let g = b.build();
+        let q = Pattern::edge(pl(&g, "person"), pl(&g, "create"), pl(&g, "product"));
+        assert_eq!(pivot_image(&q, &g), vec![p1]);
+        assert!(!has_match_at(&q, &g, p2));
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! A naive reference matcher — the correctness oracle for the optimized
+//! search in [`crate::matcher`].
+//!
+//! This implementation is deliberately simple and independent of the
+//! production code paths: variables are bound in index order (no plan, no
+//! anchors, no NLF pruning, no label-partitioned adjacency), candidates
+//! are every node of the graph, injectivity is a linear scan, and the
+//! multi-edge distinctness requirement is verified by an explicit
+//! augmenting-path bipartite matching between pattern edges and graph
+//! edges (not the counting argument the optimized matcher uses). It is
+//! exponential and only suitable for the small graphs of the equivalence
+//! test-suite (`tests/equivalence.rs`), which pins both implementations to
+//! identical match sets, pivot images, and supports on random inputs.
+
+use std::ops::ControlFlow;
+
+use gfd_graph::{Graph, NodeId};
+
+use crate::match_set::MatchSet;
+use crate::pattern::{Pattern, Var};
+
+/// Whether the pattern edges between every ordered variable pair can be
+/// assigned pairwise-distinct graph edges with admissible labels, decided
+/// by explicit bipartite matching.
+fn edges_assignable(q: &Pattern, g: &Graph, h: &[NodeId]) -> bool {
+    let n = q.node_count();
+    for a in 0..n {
+        for b in 0..n {
+            let pattern_edges = q.edges_between(a, b);
+            if pattern_edges.is_empty() {
+                continue;
+            }
+            let graph_edges = g.edges_between(h[a], h[b]);
+            // Bipartite matching: pattern edge i may take graph edge j iff
+            // the pattern label admits the graph label.
+            let adj: Vec<Vec<usize>> = pattern_edges
+                .iter()
+                .map(|&pe| {
+                    let want = q.edges()[pe].label;
+                    (0..graph_edges.len())
+                        .filter(|&j| want.admits(g.edge(graph_edges[j]).label))
+                        .collect()
+                })
+                .collect();
+            let mut owner: Vec<Option<usize>> = vec![None; graph_edges.len()];
+            for i in 0..adj.len() {
+                let mut seen = vec![false; graph_edges.len()];
+                if !augment(i, &adj, &mut owner, &mut seen) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+fn augment(i: usize, adj: &[Vec<usize>], owner: &mut [Option<usize>], seen: &mut [bool]) -> bool {
+    for &j in &adj[i] {
+        if seen[j] {
+            continue;
+        }
+        seen[j] = true;
+        if owner[j].is_none() || augment(owner[j].unwrap(), adj, owner, seen) {
+            owner[j] = Some(i);
+            return true;
+        }
+    }
+    false
+}
+
+fn rec<F>(q: &Pattern, g: &Graph, h: &mut Vec<NodeId>, v: Var, sink: &mut F) -> ControlFlow<()>
+where
+    F: FnMut(&[NodeId]) -> ControlFlow<()>,
+{
+    if v == q.node_count() {
+        if edges_assignable(q, g, h) {
+            return sink(h);
+        }
+        return ControlFlow::Continue(());
+    }
+    for i in 0..g.node_count() {
+        let cand = NodeId::from_index(i);
+        if !q.node_label(v).admits(g.node_label(cand)) {
+            continue;
+        }
+        if h[..v].contains(&cand) {
+            continue; // injectivity, the slow way
+        }
+        h.push(cand);
+        rec(q, g, h, v + 1, sink)?;
+        h.pop();
+    }
+    ControlFlow::Continue(())
+}
+
+/// Streams every match of `q` in `g` in lexicographic assignment order.
+pub fn for_each_match_reference<F>(q: &Pattern, g: &Graph, mut f: F) -> ControlFlow<()>
+where
+    F: FnMut(&[NodeId]) -> ControlFlow<()>,
+{
+    let mut h: Vec<NodeId> = Vec::with_capacity(q.node_count());
+    rec(q, g, &mut h, 0, &mut f)
+}
+
+/// Materialises all matches (lexicographic order).
+pub fn find_all_reference(q: &Pattern, g: &Graph) -> MatchSet {
+    let mut out = MatchSet::new(q.node_count());
+    let _ = for_each_match_reference(q, g, |m| {
+        out.push(m);
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+/// The distinct pivot images, sorted.
+pub fn pivot_image_reference(q: &Pattern, g: &Graph) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    let _ = for_each_match_reference(q, g, |m| {
+        out.push(m[q.pivot()]);
+        ControlFlow::Continue(())
+    });
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// `supp(Q, G)` via the reference enumeration.
+pub fn pattern_support_reference(q: &Pattern, g: &Graph) -> usize {
+    pivot_image_reference(q, g).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::{count_matches, find_all};
+    use crate::pattern::{PEdge, PLabel};
+    use gfd_graph::GraphBuilder;
+
+    fn pl(g: &Graph, name: &str) -> PLabel {
+        PLabel::Is(g.interner().label(name))
+    }
+
+    #[test]
+    fn agrees_with_optimized_on_triangle() {
+        let mut b = GraphBuilder::new();
+        let n0 = b.add_node("t");
+        let n1 = b.add_node("t");
+        let n2 = b.add_node("t");
+        b.add_edge(n0, n1, "r");
+        b.add_edge(n1, n2, "r");
+        b.add_edge(n2, n0, "r");
+        let g = b.build();
+        let t = pl(&g, "t");
+        let r = pl(&g, "r");
+        let tri = Pattern::new(
+            vec![t, t, t],
+            vec![
+                PEdge {
+                    src: 0,
+                    dst: 1,
+                    label: r,
+                },
+                PEdge {
+                    src: 1,
+                    dst: 2,
+                    label: r,
+                },
+                PEdge {
+                    src: 2,
+                    dst: 0,
+                    label: r,
+                },
+            ],
+            0,
+        );
+        let mut naive: Vec<Vec<NodeId>> = find_all_reference(&tri, &g)
+            .iter()
+            .map(<[NodeId]>::to_vec)
+            .collect();
+        let mut fast: Vec<Vec<NodeId>> =
+            find_all(&tri, &g).iter().map(<[NodeId]>::to_vec).collect();
+        naive.sort();
+        fast.sort();
+        assert_eq!(naive, fast);
+        assert_eq!(naive.len(), 3);
+    }
+
+    #[test]
+    fn bipartite_matching_enforces_distinct_edges() {
+        // Two parallel wildcard pattern edges over a single graph edge.
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("a");
+        let y = b.add_node("b");
+        b.add_edge(x, y, "r");
+        let g = b.build();
+        let q = Pattern::new(
+            vec![pl(&g, "a"), pl(&g, "b")],
+            vec![
+                PEdge {
+                    src: 0,
+                    dst: 1,
+                    label: PLabel::Wildcard,
+                },
+                PEdge {
+                    src: 0,
+                    dst: 1,
+                    label: PLabel::Wildcard,
+                },
+            ],
+            0,
+        );
+        assert_eq!(find_all_reference(&q, &g).len(), 0);
+        assert_eq!(count_matches(&q, &g), 0);
+    }
+
+    #[test]
+    fn pivot_image_and_support() {
+        let mut b = GraphBuilder::new();
+        let p1 = b.add_node("person");
+        let p2 = b.add_node("person");
+        let f = b.add_node("product");
+        b.add_edge(p1, f, "create");
+        b.add_edge(p2, f, "create");
+        let g = b.build();
+        let q = Pattern::edge(pl(&g, "person"), pl(&g, "create"), pl(&g, "product"));
+        assert_eq!(pivot_image_reference(&q, &g), vec![p1, p2]);
+        assert_eq!(pattern_support_reference(&q, &g), 2);
+        assert_eq!(pivot_image_reference(&q.with_pivot(1), &g), vec![f]);
+    }
+}

@@ -1,0 +1,159 @@
+//! Equivalence suite: the optimized matcher (compiled plans,
+//! label-partitioned adjacency, NLF pruning, counting feasibility) must
+//! produce exactly the match sets, pivot images, and supports of the naive
+//! reference matcher (index-order enumeration + explicit bipartite edge
+//! matching) on random small graphs × random patterns.
+
+use std::ops::ControlFlow;
+
+use gfd_graph::{Graph, GraphBuilder, NodeId};
+use gfd_pattern::{
+    find_all, find_all_reference, for_each_match_at, pattern_support, pattern_support_reference,
+    pivot_image, pivot_image_reference, CompiledPattern, PEdge, PLabel, Pattern,
+};
+use proptest::prelude::*;
+
+const NODE_LABELS: usize = 3;
+const EDGE_LABELS: usize = 3;
+
+/// A graph blueprint: node labels (by index) and labelled edges.
+#[derive(Clone, Debug)]
+struct ProtoGraph {
+    nodes: Vec<usize>,
+    edges: Vec<(usize, usize, usize)>,
+}
+
+/// A pattern blueprint: `None` labels are wildcards.
+#[derive(Clone, Debug)]
+struct ProtoPattern {
+    nodes: Vec<Option<usize>>,
+    edges: Vec<(usize, usize, Option<usize>)>,
+    pivot: usize,
+}
+
+fn graph_strategy() -> impl Strategy<Value = ProtoGraph> {
+    (1usize..=6).prop_flat_map(|n| {
+        (
+            prop::collection::vec(0usize..NODE_LABELS, n..=n),
+            prop::collection::vec((0usize..n, 0usize..n, 0usize..EDGE_LABELS), 0..=12),
+        )
+            .prop_map(|(nodes, edges)| ProtoGraph { nodes, edges })
+    })
+}
+
+fn pattern_strategy() -> impl Strategy<Value = ProtoPattern> {
+    (1usize..=4).prop_flat_map(|n| {
+        (
+            prop::collection::vec(prop::option::of(0usize..NODE_LABELS), n..=n),
+            prop::collection::vec(
+                (0usize..n, 0usize..n, prop::option::of(0usize..EDGE_LABELS)),
+                0..=5,
+            ),
+            0usize..n,
+        )
+            .prop_map(|(nodes, edges, pivot)| ProtoPattern {
+                nodes,
+                edges,
+                pivot,
+            })
+    })
+}
+
+fn build_graph(p: &ProtoGraph) -> Graph {
+    let mut b = GraphBuilder::new();
+    let ids: Vec<NodeId> = p
+        .nodes
+        .iter()
+        .map(|&l| b.add_node(&format!("L{l}")))
+        .collect();
+    for &(s, d, l) in &p.edges {
+        b.add_edge(ids[s], ids[d], &format!("r{l}"));
+    }
+    b.build()
+}
+
+fn build_pattern(p: &ProtoPattern, g: &Graph) -> Pattern {
+    let nl = |l: Option<usize>| match l {
+        Some(i) => PLabel::Is(g.interner().label(&format!("L{i}"))),
+        None => PLabel::Wildcard,
+    };
+    let el = |l: Option<usize>| match l {
+        Some(i) => PLabel::Is(g.interner().label(&format!("r{i}"))),
+        None => PLabel::Wildcard,
+    };
+    Pattern::new(
+        p.nodes.iter().map(|&l| nl(l)).collect(),
+        p.edges
+            .iter()
+            .map(|&(s, d, l)| PEdge {
+                src: s,
+                dst: d,
+                label: el(l),
+            })
+            .collect(),
+        p.pivot,
+    )
+}
+
+fn sorted_rows(ms: &gfd_pattern::MatchSet) -> Vec<Vec<NodeId>> {
+    let mut rows: Vec<Vec<NodeId>> = ms.iter().map(<[NodeId]>::to_vec).collect();
+    rows.sort();
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// Identical match sets from the optimized and reference matchers.
+    #[test]
+    fn match_sets_agree(pg in graph_strategy(), pq in pattern_strategy()) {
+        let g = build_graph(&pg);
+        let q = build_pattern(&pq, &g);
+        let fast = sorted_rows(&find_all(&q, &g));
+        let naive = sorted_rows(&find_all_reference(&q, &g));
+        prop_assert_eq!(fast, naive, "graph {:?} pattern {:?}", pg, pq);
+    }
+
+    /// Identical pivot images and supports.
+    #[test]
+    fn pivot_images_agree(pg in graph_strategy(), pq in pattern_strategy()) {
+        let g = build_graph(&pg);
+        let q = build_pattern(&pq, &g);
+        prop_assert_eq!(pivot_image(&q, &g), pivot_image_reference(&q, &g));
+        prop_assert_eq!(pattern_support(&q, &g), pattern_support_reference(&q, &g));
+    }
+
+    /// Per-pivot anchored matching slices the global match set exactly.
+    #[test]
+    fn anchored_matching_agrees(pg in graph_strategy(), pq in pattern_strategy()) {
+        let g = build_graph(&pg);
+        let q = build_pattern(&pq, &g);
+        let all = find_all_reference(&q, &g);
+        let cp = CompiledPattern::new(&q);
+        let mut matcher = cp.matcher(&g);
+        for v in g.nodes() {
+            let mut at: Vec<Vec<NodeId>> = Vec::new();
+            let _ = matcher.for_each_at(v, |m| {
+                at.push(m.to_vec());
+                ControlFlow::Continue(())
+            });
+            at.sort();
+            let mut expect: Vec<Vec<NodeId>> = all
+                .iter()
+                .filter(|m| m[q.pivot()] == v)
+                .map(<[NodeId]>::to_vec)
+                .collect();
+            expect.sort();
+            prop_assert_eq!(at, expect, "pivot {:?} graph {:?} pattern {:?}", v, pg, pq);
+        }
+        // The free function (fresh compilation per call) agrees too.
+        let mut n_at = 0usize;
+        for v in g.nodes() {
+            let _ = for_each_match_at(&q, &g, v, |_| {
+                n_at += 1;
+                ControlFlow::Continue(())
+            });
+        }
+        prop_assert_eq!(n_at, all.len());
+    }
+}
