@@ -53,6 +53,9 @@ fn run(name: &str, scale: Scale) {
             exp_parallel::sequential_costs(scale).print();
             exp_cover::sequential_cover(scale).print();
         }
+        // Barrier vs work-stealing runtime head-to-head (not a paper
+        // figure; tracks the PR 3 rearchitecture).
+        "runtime" => exp_parallel::runtime_comparison(KbProfile::Yago2, scale).print(),
         "fig7" => exp_baselines::fig7(scale).print(),
         "fig8" => exp_rules::fig8(scale),
         "ablation" => {
@@ -93,6 +96,48 @@ fn run(name: &str, scale: Scale) {
                 result.stats.total_time,
             );
         }
+        // CI smoke: the work-stealing runtime on the tiny scenario, in both
+        // execution modes, pinned to the sequential output.
+        "smoke-steal" => {
+            use gfd_core::{seq_dis, DiscoveryConfig};
+            use gfd_datagen::{bench_scenario, ScenarioConfig};
+            use gfd_parallel::{par_dis_with_runtime, ClusterConfig, ExecMode, Runtime};
+            use std::sync::Arc;
+            let cfg = ScenarioConfig::tiny();
+            let g = Arc::new(bench_scenario(&cfg));
+            let mut mining = DiscoveryConfig::new(3, (g.node_count() / 40).max(5));
+            mining.max_edges = 2;
+            mining.max_lhs_size = 1;
+            mining.values_per_attr = 2;
+            mining.max_catalog_literals = 12;
+            mining.wildcard_min_labels = 0;
+            mining.max_patterns_per_level = 200;
+            let seq = seq_dis(&g, &mining);
+            let fingerprint = |r: &gfd_core::DiscoveryResult| -> Vec<String> {
+                r.gfds
+                    .iter()
+                    .map(|d| format!("{} @{}", d.gfd.display(g.interner()), d.support))
+                    .collect()
+            };
+            let want = fingerprint(&seq);
+            assert!(!want.is_empty(), "steal smoke mined no rules");
+            for mode in [ExecMode::Threads, ExecMode::Simulated] {
+                let ccfg = ClusterConfig::new(4, mode);
+                let par = par_dis_with_runtime(&g, &mining, &ccfg, Runtime::Steal);
+                assert_eq!(
+                    fingerprint(&par.result),
+                    want,
+                    "steal output diverged in {mode:?}"
+                );
+                println!(
+                    "smoke-steal {mode:?}: gfds={} waves={} work_makespan={} wall={:?}",
+                    par.result.gfds.len(),
+                    par.barriers,
+                    par.work_makespan,
+                    par.wall,
+                );
+            }
+        }
         other => {
             eprintln!("unknown experiment `{other}`; known: {ALL:?}");
             std::process::exit(2);
@@ -124,9 +169,9 @@ fn main() {
     }
     if targets.is_empty() {
         eprintln!(
-            "usage: experiments [--scale X] <all | fig5a … fig5l | fig6 | fig7 | fig8 | smoke>"
+            "usage: experiments [--scale X] <all | fig5a … fig5l | fig6 | fig7 | fig8 | runtime | smoke | smoke-steal>"
         );
-        eprintln!("known experiments: {ALL:?} plus `smoke` (CI sanity run)");
+        eprintln!("known experiments: {ALL:?} plus `runtime` (barrier vs steal), `smoke` and `smoke-steal` (CI sanity runs)");
         std::process::exit(2);
     }
     println!(

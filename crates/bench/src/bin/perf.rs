@@ -1,18 +1,27 @@
-//! Machine-readable perf baseline for sequential discovery.
+//! Machine-readable perf baseline for discovery.
 //!
-//! Runs `SeqDis` on a named, seed-pinned datagen scenario and emits one
-//! JSON record with per-stage wall-clock (matching, spawning, evaluation)
-//! so PRs can track a perf trajectory in `BENCH_<n>.json`:
+//! Runs discovery on a named, seed-pinned datagen scenario and emits one
+//! JSON record so PRs can track a perf trajectory in `BENCH_<n>.json`:
+//!
+//! * `--runtime seq` (default) — `SeqDis`, with per-stage wall-clock
+//!   (matching, spawning, evaluation);
+//! * `--runtime barrier|steal` — `ParDis` on the chosen parallel runtime,
+//!   with wall time, modelled simulated time, wave/barrier count, and the
+//!   deterministic `work_makespan` (the CI regression gate rides this —
+//!   it cannot flake under machine load the way wall-clock does).
 //!
 //! ```text
 //! cargo run -p gfd-bench --release --bin perf -- --scenario medium --label after
-//! cargo run -p gfd-bench --release --bin perf -- --scenario tiny --out /tmp/p.json
+//! cargo run -p gfd-bench --release --bin perf -- --scenario small --runtime steal --workers 4
+//! cargo run -p gfd-bench --release --bin perf -- --scenario tiny --runtime steal --mode simulated
 //! ```
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use gfd_core::{seq_dis, DiscoveryConfig};
 use gfd_datagen::{bench_scenario, ScenarioConfig};
+use gfd_parallel::{par_dis_with_runtime, ClusterConfig, ExecMode, Runtime};
 
 /// Mining configuration for the perf scenarios: deep enough that all three
 /// hot layers (matching, spawning, evaluation) carry real weight.
@@ -29,21 +38,50 @@ fn perf_cfg(nodes: usize) -> DiscoveryConfig {
     cfg
 }
 
+fn usage() -> ! {
+    eprintln!(
+        "usage: perf [--scenario tiny|small|medium] [--label L] [--out FILE] \
+         [--runtime seq|barrier|steal] [--workers N] [--mode threads|simulated]"
+    );
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scenario = "medium".to_string();
     let mut label = "run".to_string();
     let mut out: Option<String> = None;
+    let mut runtime: Option<Runtime> = None;
+    let mut workers = 4usize;
+    let mut mode = ExecMode::Threads;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scenario" => scenario = it.next().expect("--scenario needs a name"),
             "--label" => label = it.next().expect("--label needs a value"),
             "--out" => out = Some(it.next().expect("--out needs a path")),
+            "--runtime" => {
+                let r = it.next().expect("--runtime needs a value");
+                if r != "seq" {
+                    runtime = Some(Runtime::parse(&r).unwrap_or_else(|| usage()));
+                }
+            }
+            "--workers" => {
+                workers = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--mode" => {
+                mode = match it.next().as_deref() {
+                    Some("threads") => ExecMode::Threads,
+                    Some("simulated") => ExecMode::Simulated,
+                    _ => usage(),
+                };
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: perf [--scenario tiny|small|medium] [--label L] [--out FILE]");
-                std::process::exit(2);
+                usage();
             }
         }
     }
@@ -53,70 +91,121 @@ fn main() {
     };
 
     let t0 = Instant::now();
-    let g = bench_scenario(&cfg);
+    let g = Arc::new(bench_scenario(&cfg));
     let gen_secs = t0.elapsed().as_secs_f64();
     let mining = perf_cfg(g.node_count());
-    let result = seq_dis(&g, &mining);
-    let s = &result.stats;
 
-    let matching = s.matching_time.as_secs_f64();
-    let spawning = s.spawning_time.as_secs_f64();
-    let evaluation = s.validation_time.as_secs_f64();
-    let catalog = s.catalog_time.as_secs_f64();
-    let lattice = s.lattice_time.as_secs_f64();
-    let total = s.total_time.as_secs_f64();
-    let other = (total - matching - spawning - evaluation).max(0.0);
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"label\": \"{label}\",\n",
-            "  \"scenario\": \"{scenario}\",\n",
-            "  \"nodes\": {nodes},\n",
-            "  \"edges\": {edges},\n",
-            "  \"seed\": {seed},\n",
-            "  \"sigma\": {sigma},\n",
-            "  \"k\": {k},\n",
-            "  \"gfds\": {gfds},\n",
-            "  \"patterns_verified\": {verified},\n",
-            "  \"hspawn_candidates\": {cands},\n",
-            "  \"generation_secs\": {gen:.3},\n",
-            "  \"stage_secs\": {{\n",
-            "    \"matching\": {matching:.3},\n",
-            "    \"spawning\": {spawning:.3},\n",
-            "    \"evaluation\": {evaluation:.3},\n",
-            "    \"evaluation_catalog\": {catalog:.3},\n",
-            "    \"evaluation_lattice\": {lattice:.3},\n",
-            "    \"other\": {other:.3},\n",
-            "    \"total\": {total:.3}\n",
-            "  }}\n",
-            "}}"
-        ),
-        label = label,
-        scenario = cfg.name,
-        nodes = g.node_count(),
-        edges = g.edge_count(),
-        seed = cfg.seed,
-        sigma = mining.sigma,
-        k = mining.k,
-        gfds = result.gfds.len(),
-        verified = s.patterns_verified,
-        cands = s.hspawn.candidates,
-        gen = gen_secs,
-        matching = matching,
-        spawning = spawning,
-        evaluation = evaluation,
-        catalog = catalog,
-        lattice = lattice,
-        other = other,
-        total = total,
-    );
+    let json = match runtime {
+        None => {
+            let result = seq_dis(&g, &mining);
+            let s = &result.stats;
+            let matching = s.matching_time.as_secs_f64();
+            let spawning = s.spawning_time.as_secs_f64();
+            let evaluation = s.validation_time.as_secs_f64();
+            let catalog = s.catalog_time.as_secs_f64();
+            let lattice = s.lattice_time.as_secs_f64();
+            let total = s.total_time.as_secs_f64();
+            let other = (total - matching - spawning - evaluation).max(0.0);
+            format!(
+                concat!(
+                    "{{\n",
+                    "  \"label\": \"{label}\",\n",
+                    "  \"scenario\": \"{scenario}\",\n",
+                    "  \"runtime\": \"seq\",\n",
+                    "  \"nodes\": {nodes},\n",
+                    "  \"edges\": {edges},\n",
+                    "  \"seed\": {seed},\n",
+                    "  \"sigma\": {sigma},\n",
+                    "  \"k\": {k},\n",
+                    "  \"gfds\": {gfds},\n",
+                    "  \"patterns_verified\": {verified},\n",
+                    "  \"hspawn_candidates\": {cands},\n",
+                    "  \"generation_secs\": {gen:.3},\n",
+                    "  \"stage_secs\": {{\n",
+                    "    \"matching\": {matching:.3},\n",
+                    "    \"spawning\": {spawning:.3},\n",
+                    "    \"evaluation\": {evaluation:.3},\n",
+                    "    \"evaluation_catalog\": {catalog:.3},\n",
+                    "    \"evaluation_lattice\": {lattice:.3},\n",
+                    "    \"other\": {other:.3},\n",
+                    "    \"total\": {total:.3}\n",
+                    "  }}\n",
+                    "}}"
+                ),
+                label = label,
+                scenario = cfg.name,
+                nodes = g.node_count(),
+                edges = g.edge_count(),
+                seed = cfg.seed,
+                sigma = mining.sigma,
+                k = mining.k,
+                gfds = result.gfds.len(),
+                verified = s.patterns_verified,
+                cands = s.hspawn.candidates,
+                gen = gen_secs,
+                matching = matching,
+                spawning = spawning,
+                evaluation = evaluation,
+                catalog = catalog,
+                lattice = lattice,
+                other = other,
+                total = total,
+            )
+        }
+        Some(rt) => {
+            let ccfg = ClusterConfig::new(workers, mode);
+            let report = par_dis_with_runtime(&g, &mining, &ccfg, rt);
+            format!(
+                concat!(
+                    "{{\n",
+                    "  \"label\": \"{label}\",\n",
+                    "  \"scenario\": \"{scenario}\",\n",
+                    "  \"runtime\": \"{runtime}\",\n",
+                    "  \"workers\": {workers},\n",
+                    "  \"mode\": \"{mode}\",\n",
+                    "  \"nodes\": {nodes},\n",
+                    "  \"edges\": {edges},\n",
+                    "  \"seed\": {seed},\n",
+                    "  \"sigma\": {sigma},\n",
+                    "  \"k\": {k},\n",
+                    "  \"gfds\": {gfds},\n",
+                    "  \"generation_secs\": {gen:.3},\n",
+                    "  \"wall_secs\": {wall:.3},\n",
+                    "  \"simulated_secs\": {sim:.3},\n",
+                    "  \"work_makespan\": {wms},\n",
+                    "  \"work_busy\": {wb},\n",
+                    "  \"waves\": {waves},\n",
+                    "  \"comm_bytes\": {comm}\n",
+                    "}}"
+                ),
+                label = label,
+                scenario = cfg.name,
+                runtime = rt.name(),
+                workers = workers,
+                mode = match mode {
+                    ExecMode::Threads => "threads",
+                    ExecMode::Simulated => "simulated",
+                },
+                nodes = g.node_count(),
+                edges = g.edge_count(),
+                seed = cfg.seed,
+                sigma = mining.sigma,
+                k = mining.k,
+                gfds = report.result.gfds.len(),
+                gen = gen_secs,
+                wall = report.wall.as_secs_f64(),
+                sim = report.simulated.as_secs_f64(),
+                wms = report.work_makespan,
+                wb = report.work_busy,
+                waves = report.barriers,
+                comm = report.comm_bytes,
+            )
+        }
+    };
     match out {
         Some(path) => {
             std::fs::write(&path, format!("{json}\n")).expect("write output file");
-            eprintln!(
-                "[perf] wrote {path} (total {total:.3}s, {} gfds)",
-                result.gfds.len()
-            );
+            eprintln!("[perf] wrote {path}");
         }
         None => println!("{json}"),
     }

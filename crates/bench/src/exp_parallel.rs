@@ -7,7 +7,7 @@ use std::time::Instant;
 
 use gfd_core::seq_dis;
 use gfd_datagen::{synthetic, KbProfile, SyntheticConfig};
-use gfd_parallel::{par_dis, ClusterConfig, ExecMode};
+use gfd_parallel::{par_dis, par_dis_with_runtime, ClusterConfig, ExecMode, Runtime};
 
 use crate::report::{f, Table};
 use crate::{bench_cfg, bench_kb, secs, Scale, WORKER_SWEEP};
@@ -82,6 +82,63 @@ pub fn fig5e(scale: Scale) -> Table {
     t
 }
 
+/// Barrier vs work-stealing runtime on one profile: the deterministic
+/// work-makespan (slowest worker's modelled rows, simulated mode) and the
+/// real threaded wall time at each `n`. Both runtimes mine the identical
+/// rule set; the row asserts it.
+pub fn runtime_comparison(profile: KbProfile, scale: Scale) -> Table {
+    let g = bench_kb(profile, scale);
+    let cfg = bench_cfg(&g, 4);
+    let mut t = Table::new(
+        &format!(
+            "Runtime comparison: barrier vs steal ({}: |V|={}, |E|={}, k=4, σ={})",
+            profile.name(),
+            g.node_count(),
+            g.edge_count(),
+            cfg.sigma
+        ),
+        &[
+            "n",
+            "barrier work",
+            "steal work",
+            "barrier wall(s)",
+            "steal wall(s)",
+            "rules",
+        ],
+    );
+    let fingerprint = |r: &gfd_core::DiscoveryResult| -> Vec<String> {
+        let mut v: Vec<String> = r
+            .gfds
+            .iter()
+            .map(|d| format!("{} @{}", d.gfd.display(g.interner()), d.support))
+            .collect();
+        v.sort();
+        v
+    };
+    for n in [2usize, 4, 8] {
+        let sim = ClusterConfig::new(n, ExecMode::Simulated);
+        let thr = ClusterConfig::new(n, ExecMode::Threads);
+        let b_sim = par_dis_with_runtime(&g, &cfg, &sim, Runtime::Barrier);
+        let s_sim = par_dis_with_runtime(&g, &cfg, &sim, Runtime::Steal);
+        let b_thr = par_dis_with_runtime(&g, &cfg, &thr, Runtime::Barrier);
+        let s_thr = par_dis_with_runtime(&g, &cfg, &thr, Runtime::Steal);
+        assert_eq!(
+            fingerprint(&b_sim.result),
+            fingerprint(&s_sim.result),
+            "runtimes must mine the same rules"
+        );
+        t.row(vec![
+            n.to_string(),
+            b_sim.work_makespan.to_string(),
+            s_sim.work_makespan.to_string(),
+            f(secs(b_thr.wall)),
+            f(secs(s_thr.wall)),
+            s_sim.result.gfds.len().to_string(),
+        ]);
+    }
+    t
+}
+
 /// Sequential cost rows of Fig. 6 (SeqDisGFD column).
 pub fn sequential_costs(scale: Scale) -> Table {
     let mut t = Table::new(
@@ -131,6 +188,33 @@ mod tests {
             w20 < w4,
             "n=20 load ({w20} rows) should be below n=4 load ({w4} rows)"
         );
+    }
+
+    /// The steal runtime's deterministic load must beat the barrier
+    /// schedule's (no idle tails, even ranges), with identical rule output
+    /// — the acceptance shape of the runtime comparison.
+    #[test]
+    fn steal_work_makespan_beats_barrier() {
+        let g = bench_kb(KbProfile::Yago2, Scale(0.05));
+        let cfg = bench_cfg(&g, 3);
+        let ccfg = ClusterConfig::new(4, ExecMode::Simulated);
+        let barrier = par_dis_with_runtime(&g, &cfg, &ccfg, Runtime::Barrier);
+        let steal = par_dis_with_runtime(&g, &cfg, &ccfg, Runtime::Steal);
+        assert_eq!(barrier.result.gfds.len(), steal.result.gfds.len());
+        assert!(
+            steal.work_makespan < barrier.work_makespan,
+            "steal load ({}) should be below barrier load ({})",
+            steal.work_makespan,
+            barrier.work_makespan
+        );
+    }
+
+    #[test]
+    fn runtime_table_renders() {
+        let t = runtime_comparison(KbProfile::Imdb, Scale(0.02));
+        let s = t.render();
+        assert!(s.contains("barrier vs steal"));
+        assert!(s.lines().count() >= 5);
     }
 
     #[test]

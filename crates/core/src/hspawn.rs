@@ -19,7 +19,7 @@
 //! negative GFDs whose support is the base's (§4.2 case (b)).
 
 use gfd_graph::FxHashMap;
-use gfd_logic::{Closure, Literal, Rhs};
+use gfd_logic::{ClosureScratch, Literal, Rhs};
 
 use crate::bitmap::BitmapIndex;
 use crate::catalog::LiteralCatalog;
@@ -67,6 +67,70 @@ impl CandidateEvaluator for TableEvaluator<'_> {
 
     fn lhs_empty(&mut self, x: &[Literal]) -> bool {
         !self.index.lhs_satisfiable(self.table, x)
+    }
+}
+
+/// Evaluator over a row-range partition of one match set: each shard is a
+/// [`MatchTable`] over a contiguous row range plus its own bitmap index, and
+/// candidate statistics merge per-range through
+/// [`crate::support::PartialStats`] — the same merge the cluster workers
+/// use per fragment, but over deterministic even ranges. This is the
+/// sequential embodiment of the `(rule, pivot-range)` work unit: the
+/// work-stealing runtime evaluates the identical shards on different
+/// workers and merges the identical partials in range order.
+pub struct RangeEvaluator {
+    shards: Vec<(MatchTable, BitmapIndex)>,
+}
+
+impl RangeEvaluator {
+    /// Builds one shard per `(lo, hi)` row range of `ms`.
+    pub fn new(
+        q: &gfd_pattern::Pattern,
+        ms: &gfd_pattern::MatchSet,
+        g: &gfd_graph::Graph,
+        attrs: &[gfd_graph::AttrId],
+        ranges: &[(usize, usize)],
+    ) -> RangeEvaluator {
+        let shards = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                let t = MatchTable::build_range(q, ms, g, attrs, lo, hi);
+                let idx = BitmapIndex::new(&t);
+                (t, idx)
+            })
+            .collect();
+        RangeEvaluator { shards }
+    }
+
+    /// Per-shard literal-candidate counts merged in range order (the
+    /// catalog input, mirroring the cluster's per-fragment count merge).
+    pub fn catalog_counts(&self) -> crate::catalog::CatalogCounts {
+        let mut acc = crate::catalog::CatalogCounts::default();
+        for (t, _) in &self.shards {
+            acc.merge(crate::catalog::CatalogCounts::count(t));
+        }
+        acc
+    }
+
+    /// Total rows across shards.
+    pub fn rows(&self) -> usize {
+        self.shards.iter().map(|(t, _)| t.rows()).sum()
+    }
+}
+
+impl CandidateEvaluator for RangeEvaluator {
+    fn evaluate(&mut self, x: &[Literal], rhs: &Rhs) -> CandidateStats {
+        let mut acc = crate::support::PartialStats::default();
+        for (t, idx) in &mut self.shards {
+            acc.merge(&idx.partial_evaluate(t, x, rhs));
+        }
+        acc.finalize()
+    }
+
+    fn lhs_empty(&mut self, x: &[Literal]) -> bool {
+        self.shards
+            .iter_mut()
+            .all(|(t, idx)| !idx.lhs_satisfiable(t, x))
     }
 }
 
@@ -167,29 +231,40 @@ pub fn mine_dependencies_with<E: CandidateEvaluator>(
     let mut out: Vec<MinedDependency> = Vec::new();
     let mut stats = HSpawnStats::default();
     let mut negatives: FxHashMap<Vec<Literal>, usize> = FxHashMap::default();
+    // One union–find, reused across every candidate of this lattice
+    // (~450k fresh allocations per run on the bench scenario before).
+    let mut scratch = ClosureScratch::new();
 
     for &l in &catalog.literals {
-        // Upper bound for every candidate with this consequence.
-        if cfg.enable_pruning {
-            let bound = eval.evaluate(&[], &Rhs::Lit(l));
-            if bound.support < cfg.sigma {
-                stats.pruned_support += 1;
-                continue;
-            }
-        }
-        mine_for_rhs(
-            eval,
-            catalog,
-            l,
-            covered,
-            cfg,
-            &mut out,
-            &mut negatives,
-            &mut stats,
-        );
+        let o = mine_rhs_with(eval, catalog, l, covered, cfg, &mut scratch);
+        merge_rhs_outcome(o, &mut out, covered, &mut negatives, &mut stats);
     }
+    finish_negatives(negatives, &mut out);
+    (out, stats)
+}
 
-    // Deterministic output order regardless of hash-map iteration.
+/// Folds one consequence's outcome into the running lattice state — shared
+/// by the sequential loop above and the work-stealing driver's per-`l`
+/// merge, which must produce the identical result.
+pub fn merge_rhs_outcome(
+    o: RhsMineOutcome,
+    out: &mut Vec<MinedDependency>,
+    covered: &mut Vec<Covered>,
+    negatives: &mut FxHashMap<Vec<Literal>, usize>,
+    stats: &mut HSpawnStats,
+) {
+    out.extend(o.deps);
+    covered.extend(o.covered_additions);
+    for (x, support) in o.negatives {
+        let entry = negatives.entry(x).or_insert(0);
+        *entry = (*entry).max(support);
+    }
+    stats.merge(&o.stats);
+}
+
+/// Appends the accumulated negative GFDs in deterministic order — the tail
+/// step of [`mine_dependencies_with`], shared with the per-`l` merge path.
+pub fn finish_negatives(negatives: FxHashMap<Vec<Literal>, usize>, out: &mut Vec<MinedDependency>) {
     let mut negatives: Vec<(Vec<Literal>, usize)> = negatives.into_iter().collect();
     negatives.sort_unstable();
     for (lhs, support) in negatives {
@@ -201,20 +276,58 @@ pub fn mine_dependencies_with<E: CandidateEvaluator>(
             violations: 0,
         });
     }
-    (out, stats)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn mine_for_rhs<E: CandidateEvaluator>(
+/// One consequence's sub-lattice result. Sub-lattices for distinct RHS
+/// literals are *independent*: Lemma 4(b) pruning only ever consults
+/// covered entries with the same consequence, and the `NHSpawn` negatives
+/// merge by max over bases. This makes `(rule, pivot-range)` work units at
+/// per-consequence granularity exact — the work-stealing runtime mines the
+/// literals of one pattern on different workers and merges the outcomes in
+/// catalog order, reproducing [`mine_dependencies_with`] bit for bit.
+#[derive(Debug)]
+pub struct RhsMineOutcome {
+    /// Positive (and approximate) dependencies with this consequence, in
+    /// lattice order.
+    pub deps: Vec<MinedDependency>,
+    /// Satisfied signatures recorded during this sub-lattice (all carry
+    /// this consequence).
+    pub covered_additions: Vec<Covered>,
+    /// `NHSpawn` negatives: premise set → base support (max-merged by the
+    /// caller).
+    pub negatives: Vec<(Vec<Literal>, usize)>,
+    /// This sub-lattice's counters.
+    pub stats: HSpawnStats,
+}
+
+/// Mines the sub-lattice of one consequence `l` against the inherited
+/// covered set (entries for other consequences are ignored by
+/// construction).
+pub fn mine_rhs_with<E: CandidateEvaluator>(
     eval: &mut E,
     catalog: &LiteralCatalog,
     l: Literal,
-    covered: &mut Vec<Covered>,
+    covered: &[Covered],
     cfg: &DiscoveryConfig,
-    out: &mut Vec<MinedDependency>,
-    negatives: &mut FxHashMap<Vec<Literal>, usize>,
-    stats: &mut HSpawnStats,
-) {
+    scratch: &mut ClosureScratch,
+) -> RhsMineOutcome {
+    let mut o = RhsMineOutcome {
+        deps: Vec::new(),
+        covered_additions: Vec::new(),
+        negatives: Vec::new(),
+        stats: HSpawnStats::default(),
+    };
+
+    // Upper bound for every candidate with this consequence.
+    if cfg.enable_pruning {
+        let bound = eval.evaluate(&[], &Rhs::Lit(l));
+        if bound.support < cfg.sigma {
+            o.stats.pruned_support += 1;
+            return o;
+        }
+    }
+
+    let mut negatives: FxHashMap<Vec<Literal>, usize> = FxHashMap::default();
     let mut frontier: Vec<Vec<Literal>> = vec![Vec::new()];
     let mut level = 0usize;
 
@@ -223,24 +336,28 @@ fn mine_for_rhs<E: CandidateEvaluator>(
         for x in frontier {
             // Lemma 4(b) + pattern-reduction: skip sets covered by a
             // satisfied subset (here or on an ancestor pattern).
-            if covered.iter().any(|(cx, cl)| *cl == l && is_subset(cx, &x)) {
-                stats.pruned_covered += 1;
+            if covered
+                .iter()
+                .chain(o.covered_additions.iter())
+                .any(|(cx, cl)| *cl == l && is_subset(cx, &x))
+            {
+                o.stats.pruned_covered += 1;
                 continue;
             }
             // Lemma 4(a): trivial candidates.
-            let closure = Closure::of_literals(&x);
+            let closure = scratch.of_literals(&x);
             if closure.is_conflicting() || closure.holds(&l) {
-                stats.pruned_trivial += 1;
+                o.stats.pruned_trivial += 1;
                 continue;
             }
 
-            stats.candidates += 1;
+            o.stats.candidates += 1;
             let s = eval.evaluate(&x, &Rhs::Lit(l));
 
             if s.satisfied() {
-                covered.push((x.clone(), l));
+                o.covered_additions.push((x.clone(), l));
                 if s.support >= cfg.sigma {
-                    out.push(MinedDependency {
+                    o.deps.push(MinedDependency {
                         lhs: x.clone(),
                         rhs: Rhs::Lit(l),
                         support: s.support,
@@ -248,7 +365,16 @@ fn mine_for_rhs<E: CandidateEvaluator>(
                         violations: 0,
                     });
                     if cfg.mine_negative {
-                        nhspawn(eval, catalog, &x, l, s.support, negatives, stats);
+                        nhspawn(
+                            eval,
+                            catalog,
+                            &x,
+                            l,
+                            s.support,
+                            &mut negatives,
+                            &mut o.stats,
+                            scratch,
+                        );
                     }
                 }
                 if cfg.enable_pruning {
@@ -263,7 +389,7 @@ fn mine_for_rhs<E: CandidateEvaluator>(
                 // and stop expanding this branch — supersets would be
                 // non-reduced. No NHSpawn: a violated base proves nothing
                 // about non-existence.
-                out.push(MinedDependency {
+                o.deps.push(MinedDependency {
                     lhs: x.clone(),
                     rhs: Rhs::Lit(l),
                     support: s.support,
@@ -273,7 +399,7 @@ fn mine_for_rhs<E: CandidateEvaluator>(
                 continue;
             } else if cfg.enable_pruning && s.support < cfg.sigma {
                 // Lemma 4(c): no superset can reach σ.
-                stats.pruned_support += 1;
+                o.stats.pruned_support += 1;
                 continue;
             }
 
@@ -284,6 +410,11 @@ fn mine_for_rhs<E: CandidateEvaluator>(
         frontier = next;
         level += 1;
     }
+
+    let mut negatives: Vec<(Vec<Literal>, usize)> = negatives.into_iter().collect();
+    negatives.sort_unstable();
+    o.negatives = negatives;
+    o
 }
 
 /// Canonical expansion: append only literals greater than the current
@@ -307,6 +438,7 @@ fn expand(x: &[Literal], catalog: &LiteralCatalog, l: Literal, next: &mut Vec<Ve
 
 /// `NHSpawn` (§5.1): from the σ-frequent verified base `Q(X → l)`, test
 /// `X' = X ∪ {l'}` for emptiness of `Q(G, X', z)`.
+#[allow(clippy::too_many_arguments)]
 fn nhspawn<E: CandidateEvaluator>(
     eval: &mut E,
     catalog: &LiteralCatalog,
@@ -315,6 +447,7 @@ fn nhspawn<E: CandidateEvaluator>(
     base_support: usize,
     negatives: &mut FxHashMap<Vec<Literal>, usize>,
     stats: &mut HSpawnStats,
+    scratch: &mut ClosureScratch,
 ) {
     for &extra in &catalog.literals {
         if extra == l || x.contains(&extra) {
@@ -324,7 +457,7 @@ fn nhspawn<E: CandidateEvaluator>(
         x2.push(extra);
         x2.sort_unstable();
         // A conflicting X' is trivially unmatchable — not a negative GFD.
-        if Closure::of_literals(&x2).is_conflicting() {
+        if scratch.of_literals(&x2).is_conflicting() {
             continue;
         }
         stats.negative_candidates += 1;
@@ -555,6 +688,34 @@ mod tests {
         assert!(!deps
             .iter()
             .any(|d| d.rhs == producer_rhs && d.lhs == vec![film]));
+    }
+
+    /// The range evaluator (per-shard partial stats merged in range order)
+    /// must mine exactly what the whole-table evaluator mines, for every
+    /// way of cutting the rows.
+    #[test]
+    fn range_evaluator_equals_table_evaluator() {
+        let (g, table, catalog, cfg) = setup(3);
+        let q = Pattern::edge(
+            PLabel::Is(g.interner().lookup_label("person").unwrap()),
+            PLabel::Is(g.interner().lookup_label("create").unwrap()),
+            PLabel::Is(g.interner().lookup_label("product").unwrap()),
+        );
+        let ms = find_all(&q, &g);
+        let ty = g.interner().lookup_attr("type").unwrap();
+
+        let mut covered = Vec::new();
+        let (want_deps, want_stats) = mine_dependencies(&table, &catalog, &mut covered, &cfg);
+
+        for cuts in [vec![(0, ms.len())], vec![(0, 2), (2, 4), (4, ms.len())]] {
+            let mut eval = RangeEvaluator::new(&q, &ms, &g, &[ty], &cuts);
+            assert_eq!(eval.rows(), ms.len());
+            let mut cov = Vec::new();
+            let (deps, stats) = mine_dependencies_with(&mut eval, &catalog, &mut cov, &cfg);
+            assert_eq!(deps, want_deps, "cuts={cuts:?}");
+            assert_eq!(stats, want_stats, "cuts={cuts:?}");
+            assert_eq!(cov, covered, "cuts={cuts:?}");
+        }
     }
 
     #[test]

@@ -40,8 +40,9 @@ pub use catalog::{CatalogCounts, LiteralCatalog};
 pub use config::DiscoveryConfig;
 pub use gentree::{GenNode, GenTree, Inserted, NodeState};
 pub use hspawn::{
-    mine_dependencies, mine_dependencies_with, CandidateEvaluator, Covered, HSpawnStats,
-    MinedDependency, TableEvaluator,
+    finish_negatives, merge_rhs_outcome, mine_dependencies, mine_dependencies_with, mine_rhs_with,
+    CandidateEvaluator, Covered, HSpawnStats, MinedDependency, RangeEvaluator, RhsMineOutcome,
+    TableEvaluator,
 };
 pub use result::{DiscoveredGfd, DiscoveryResult, DiscoveryStats};
 pub use seqcover::{cover_indices, seq_cover, seq_cover_discovered};
@@ -49,6 +50,6 @@ pub use seqdis::{seq_dis, seq_dis_with_tree};
 pub use support::{distinct_pivots, evaluate, lhs_satisfiable, CandidateStats, PartialStats};
 pub use table::MatchTable;
 pub use vspawn::{
-    harvest, proposals_from_harvest, propose_extensions, propose_negative_extensions, Dir,
-    ExtensionProposals, RawHarvest,
+    harvest, harvest_range, proposals_from_harvest, propose_extensions,
+    propose_negative_extensions, Dir, ExtensionProposals, RawHarvest,
 };

@@ -32,15 +32,32 @@ pub struct MatchTable {
 impl MatchTable {
     /// Materialises the table for `q`'s matches.
     pub fn build(q: &Pattern, ms: &MatchSet, g: &Graph, attrs: &[AttrId]) -> MatchTable {
+        MatchTable::build_range(q, ms, g, attrs, 0, ms.len())
+    }
+
+    /// Materialises the table over the match rows `[lo, hi)` only — the
+    /// shard behind `(rule, pivot-range)` work units. Pivot-group ids are
+    /// local to the shard; global distinct-pivot counts come from merging
+    /// the shards' pivot *sets* ([`crate::support::PartialStats`]).
+    pub fn build_range(
+        q: &Pattern,
+        ms: &MatchSet,
+        g: &Graph,
+        attrs: &[AttrId],
+        lo: usize,
+        hi: usize,
+    ) -> MatchTable {
         assert_eq!(ms.arity(), q.node_count());
+        assert!(lo <= hi && hi <= ms.len(), "range out of bounds");
         let arity = q.node_count();
+        let rows = hi - lo;
         let width = arity * attrs.len();
-        let mut values = Vec::with_capacity(ms.len() * width);
-        let mut pivots = Vec::with_capacity(ms.len());
-        let mut pivot_gids = Vec::with_capacity(ms.len());
+        let mut values = Vec::with_capacity(rows * width);
+        let mut pivots = Vec::with_capacity(rows);
+        let mut pivot_gids = Vec::with_capacity(rows);
         let mut groups: Vec<NodeId> = Vec::new();
         let mut gid_of: FxHashMap<NodeId, u32> = FxHashMap::default();
-        for m in ms.iter() {
+        for m in (lo..hi).map(|i| ms.get(i)) {
             for &node in m {
                 for &a in attrs {
                     values.push(g.attr(node, a));
@@ -61,7 +78,7 @@ impl MatchTable {
             pivots,
             pivot_gids,
             groups,
-            rows: ms.len(),
+            rows,
         }
     }
 
@@ -269,6 +286,23 @@ mod tests {
         assert_eq!(top[0].1, 3); // producer
         let top1 = t.frequent_values(0, role, 1);
         assert_eq!(top1.len(), 1);
+    }
+
+    #[test]
+    fn range_tables_shard_the_whole_table() {
+        let (g, q, ms, attrs) = setup();
+        let whole = MatchTable::build(&q, &ms, &g, &attrs);
+        let role = g.interner().lookup_attr("role").unwrap();
+        for cut in 0..=ms.len() {
+            let a = MatchTable::build_range(&q, &ms, &g, &attrs, 0, cut);
+            let b = MatchTable::build_range(&q, &ms, &g, &attrs, cut, ms.len());
+            assert_eq!(a.rows() + b.rows(), whole.rows());
+            for r in 0..whole.rows() {
+                let (shard, sr) = if r < cut { (&a, r) } else { (&b, r - cut) };
+                assert_eq!(shard.value(sr, 0, role), whole.value(r, 0, role));
+                assert_eq!(shard.pivot_of(sr), whole.pivot_of(r));
+            }
+        }
     }
 
     #[test]

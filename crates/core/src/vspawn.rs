@@ -86,11 +86,27 @@ pub struct ExtensionProposals {
 
 /// Scans the matches of `q` and collects raw extension pivot sets.
 pub fn harvest(q: &Pattern, ms: &MatchSet, g: &Graph, cfg: &DiscoveryConfig) -> RawHarvest {
+    harvest_range(q, ms, g, cfg, 0, ms.len())
+}
+
+/// [`harvest`] over the match rows `[lo, hi)` only — the harvest work unit
+/// of the work-stealing runtime. Merging range harvests
+/// ([`RawHarvest::merge`]) reproduces exactly the whole-set harvest, the
+/// same invariant the per-fragment split relies on.
+pub fn harvest_range(
+    q: &Pattern,
+    ms: &MatchSet,
+    g: &Graph,
+    cfg: &DiscoveryConfig,
+    lo: usize,
+    hi: usize,
+) -> RawHarvest {
+    assert!(lo <= hi && hi <= ms.len(), "range out of bounds");
     let mut raw = RawHarvest::default();
     let can_grow = q.node_count() < cfg.k;
     let pivot = q.pivot();
 
-    for m in ms.iter() {
+    for m in (lo..hi).map(|i| ms.get(i)) {
         let pv = m[pivot];
         for (x, &node) in m.iter().enumerate() {
             for &eid in g.out_edges(node) {

@@ -33,10 +33,25 @@ impl Closure {
     /// no GFD application).
     pub fn of_literals(lits: &[Literal]) -> Closure {
         let mut c = Closure::new();
-        for l in lits {
-            c.add(l);
-        }
+        c.rebuild(lits);
         c
+    }
+
+    /// Resets to the empty closure, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.index.clear();
+        self.parent.clear();
+        self.constant.clear();
+        self.conflict = false;
+    }
+
+    /// Clears and re-adds `lits` — [`Self::of_literals`] without the fresh
+    /// allocations.
+    pub fn rebuild(&mut self, lits: &[Literal]) {
+        self.clear();
+        for l in lits {
+            self.add(l);
+        }
     }
 
     fn term(&mut self, var: Var, attr: AttrId) -> usize {
@@ -160,6 +175,29 @@ impl Closure {
     }
 }
 
+/// A reusable [`Closure`] for hot loops that build one closure per
+/// candidate (the `HSpawn` lattice builds ~one per evaluated premise set,
+/// hundreds of thousands per run): the union–find arrays and the term index
+/// are cleared and refilled instead of reallocated.
+#[derive(Debug, Default)]
+pub struct ClosureScratch {
+    c: Closure,
+}
+
+impl ClosureScratch {
+    /// Empty scratch.
+    pub fn new() -> ClosureScratch {
+        ClosureScratch::default()
+    }
+
+    /// The closure of `lits`, built in place. The returned borrow is valid
+    /// until the next call.
+    pub fn of_literals(&mut self, lits: &[Literal]) -> &Closure {
+        self.c.rebuild(lits);
+        &self.c
+    }
+}
+
 /// One embedded rule instance: premises and conclusion already remapped into
 /// the host pattern's variables.
 #[derive(Clone, Debug)]
@@ -271,6 +309,36 @@ mod tests {
         assert!(!c.is_conflicting());
         c.add(&Literal::constant(0, a(0), v(2)));
         assert!(c.is_conflicting());
+    }
+
+    #[test]
+    fn scratch_closure_matches_fresh_closure() {
+        let mut scratch = ClosureScratch::new();
+        let sets: Vec<Vec<Literal>> = vec![
+            vec![],
+            vec![Literal::constant(0, a(0), v(1))],
+            vec![
+                Literal::constant(0, a(0), v(1)),
+                Literal::constant(0, a(0), v(2)),
+            ],
+            vec![
+                Literal::var_var(0, a(0), 1, a(0)),
+                Literal::constant(1, a(0), v(7)),
+            ],
+        ];
+        let probes = [
+            Literal::constant(0, a(0), v(1)),
+            Literal::constant(0, a(0), v(7)),
+            Literal::var_var(0, a(0), 1, a(0)),
+        ];
+        for x in &sets {
+            let fresh = Closure::of_literals(x);
+            let reused = scratch.of_literals(x);
+            assert_eq!(fresh.is_conflicting(), reused.is_conflicting(), "{x:?}");
+            for p in &probes {
+                assert_eq!(fresh.holds(p), reused.holds(p), "{x:?} ⊢ {p:?}");
+            }
+        }
     }
 
     #[test]

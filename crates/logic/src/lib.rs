@@ -27,7 +27,7 @@ pub mod satisfiability;
 pub mod text;
 pub mod validation;
 
-pub use closure::{closure_of, closure_of_refs, enforced, Closure};
+pub use closure::{closure_of, closure_of_refs, enforced, Closure, ClosureScratch};
 pub use explain::{explain_match, explain_violations, Cause, Explanation};
 pub use gfd::{Gfd, Rhs};
 pub use implication::{equivalent, implied_by_rest, implies, implies_refs};

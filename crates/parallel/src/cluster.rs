@@ -138,8 +138,9 @@ pub enum Task {
     Evaluate {
         /// Tree node id.
         node: usize,
-        /// Premises.
-        x: Vec<Literal>,
+        /// Premises, shared across the broadcast (cloning the task clones a
+        /// refcount, not the literal vector).
+        x: Arc<[Literal]>,
         /// Consequence.
         rhs: Rhs,
     },
@@ -147,8 +148,8 @@ pub enum Task {
     LhsEmpty {
         /// Tree node id.
         node: usize,
-        /// Premises.
-        x: Vec<Literal>,
+        /// Premises (shared, as in [`Task::Evaluate`]).
+        x: Arc<[Literal]>,
     },
     /// Remove and return the local matches of `node` (re-balancing).
     TakeMatches {

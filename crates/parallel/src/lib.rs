@@ -4,14 +4,19 @@
 //! (Fan et al., SIGMOD 2018): `DisGFD = ParDis + ParCover`, proven parallel
 //! scalable relative to the sequential `SeqDisGFD` (Theorem 5).
 //!
-//! * [`partition`] — greedy balanced vertex-cut fragmentation (§6.1),
+//! * [`partition`] — greedy balanced vertex-cut fragmentation (§6.1) plus
+//!   the deterministic range splitting behind work units,
 //! * [`cluster`] — the master/worker superstep runtime with two execution
 //!   modes: real threads and a simulated `n`-machine cluster with
 //!   per-worker cost attribution + a communication model,
+//! * [`steal`] — the work-stealing task pool: `(pattern, pivot-range)` and
+//!   `(rule, pivot-range)` units pulled from per-worker injector deques
+//!   over shared compiled structures, with the same two execution modes,
 //! * [`pardis`] — parallel mining with distributed incremental joins and
-//!   skew re-balancing (§6.2),
-//! * [`parcover`] — parallel cover with Lemma 6 grouping and LPT load
-//!   balancing (§6.3).
+//!   skew re-balancing (§6.2), dispatching to either runtime
+//!   ([`Runtime`]),
+//! * [`parcover`] — parallel cover with Lemma 6 grouping and LPT or
+//!   group-stealing load balancing (§6.3).
 //!
 //! Ablations from §7 are configuration points: `ParGFDn` disables Lemma 4
 //! pruning (`DiscoveryConfig::enable_pruning = false`), `ParGFDnb` disables
@@ -25,8 +30,10 @@ pub mod cluster;
 pub mod parcover;
 pub mod pardis;
 pub mod partition;
+pub mod steal;
 
 pub use cluster::{Clocks, Cluster, ClusterConfig, ExecMode, Task, TaskResult, WorkerCtx};
-pub use parcover::{par_cover, ParCoverReport};
-pub use pardis::{par_dis, ParDisReport};
-pub use partition::{node_owner, vertex_cut, Fragment, Partition};
+pub use parcover::{par_cover, par_cover_with_runtime, ParCoverReport};
+pub use pardis::{par_dis, par_dis_with_runtime, ParDisReport, Runtime};
+pub use partition::{node_owner, split_ranges, vertex_cut, Fragment, Partition};
+pub use steal::{par_dis_steal, StealConfig, StealPool, Unit, UnitResult};

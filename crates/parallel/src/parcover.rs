@@ -21,11 +21,13 @@
 
 use std::time::{Duration, Instant};
 
+use crossbeam::deque::{Injector, Steal};
 use gfd_graph::FxHashMap;
 use gfd_logic::{implies_refs, Gfd};
 use gfd_pattern::{canonical_code_unpivoted, is_embedded, CanonicalCode};
 
 use crate::cluster::ExecMode;
+use crate::pardis::Runtime;
 
 /// Outcome of a parallel cover run.
 #[derive(Debug)]
@@ -145,13 +147,122 @@ fn process_group(sigma: &[Gfd], group: &Group) -> (Vec<usize>, u64) {
 ///
 /// `grouping = false` reproduces the `ParCovern` ablation.
 pub fn par_cover(sigma: &[Gfd], n: usize, mode: ExecMode, grouping: bool) -> ParCoverReport {
+    par_cover_with_runtime(sigma, n, mode, grouping, Runtime::Barrier)
+}
+
+/// [`par_cover`] on the chosen runtime. [`Runtime::Steal`] replaces the
+/// static LPT pre-assignment with dynamic stealing of whole groups from a
+/// shared injector deque: workers pull the next-heaviest unprocessed group
+/// the moment they go idle, so a mispredicted group cost never strands a
+/// worker the way a bad LPT split does. In [`ExecMode::Simulated`] the
+/// greedy min-load assignment over the cost-sorted order *is* the steal
+/// schedule, so the simulated path is shared with LPT; the ungrouped
+/// `ParCovern` ablation is runtime-independent.
+pub fn par_cover_with_runtime(
+    sigma: &[Gfd],
+    n: usize,
+    mode: ExecMode,
+    grouping: bool,
+    runtime: Runtime,
+) -> ParCoverReport {
     assert!(n > 0);
     let wall0 = Instant::now();
-    if grouping {
-        par_cover_grouped(sigma, n, mode, wall0)
-    } else {
-        par_cover_ungrouped(sigma, n, mode, wall0)
+    if !grouping {
+        return par_cover_ungrouped(sigma, n, mode, wall0);
     }
+    match (runtime, mode) {
+        (Runtime::Steal, ExecMode::Threads) => par_cover_steal_threads(sigma, n, wall0),
+        _ => par_cover_grouped(sigma, n, mode, wall0),
+    }
+}
+
+/// Steals one group id, retrying on [`Steal::Retry`] (the real
+/// `crossbeam` injector loses races under contention).
+fn steal_group(q: &Injector<usize>) -> Option<usize> {
+    loop {
+        match q.steal() {
+            Steal::Success(gi) => return Some(gi),
+            Steal::Empty => return None,
+            Steal::Retry => continue,
+        }
+    }
+}
+
+/// Runs `n` threaded workers, worker `w` draining `queues[w]` of group
+/// ids; LPT passes one private queue per worker, stealing passes the same
+/// shared queue `n` times. Returns per-worker (removed, work, time).
+fn drain_group_queues(
+    sigma: &[Gfd],
+    groups: &[Group],
+    queues: &[&Injector<usize>],
+) -> Vec<(Vec<usize>, u64, Duration)> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = queues
+            .iter()
+            .map(|queue| {
+                let queue = *queue;
+                scope.spawn(move || {
+                    let t0 = Instant::now();
+                    let mut removed = Vec::new();
+                    let mut work = 0u64;
+                    while let Some(gi) = steal_group(queue) {
+                        let (r, w) = process_group(sigma, &groups[gi]);
+                        removed.extend(r);
+                        work += w;
+                    }
+                    (removed, work, t0.elapsed())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+/// Assembles the grouped report from per-worker results.
+fn grouped_report(
+    sigma: &[Gfd],
+    group_count: usize,
+    per_worker: Vec<(Vec<usize>, u64, Duration)>,
+    master_prep: Duration,
+    wall0: Instant,
+) -> ParCoverReport {
+    let mut removed_all: Vec<usize> = Vec::new();
+    let mut work = 0u64;
+    let mut makespan = Duration::ZERO;
+    for (removed, wk, d) in per_worker {
+        removed_all.extend(removed);
+        work += wk;
+        makespan = makespan.max(d);
+    }
+    let cover: Vec<usize> = (0..sigma.len())
+        .filter(|i| !removed_all.contains(i))
+        .collect();
+    ParCoverReport {
+        cover,
+        wall: wall0.elapsed(),
+        simulated: makespan + master_prep,
+        groups: group_count,
+        work,
+    }
+}
+
+/// Dynamic group stealing: one shared injector of group ids in
+/// descending-cost order, `n` workers draining it.
+fn par_cover_steal_threads(sigma: &[Gfd], n: usize, wall0: Instant) -> ParCoverReport {
+    let m0 = Instant::now();
+    let groups = build_groups(sigma);
+    let mut order: Vec<usize> = (0..groups.len()).collect();
+    let cost = |g: &Group| (g.members.len() * g.context.len().max(1)) as u64;
+    order.sort_by_key(|&i| std::cmp::Reverse(cost(&groups[i])));
+    let queue: Injector<usize> = Injector::new();
+    for gi in order {
+        queue.push(gi);
+    }
+    let master_prep = m0.elapsed();
+
+    let shared: Vec<&Injector<usize>> = vec![&queue; n];
+    let per_worker = drain_group_queues(sigma, &groups, &shared);
+    grouped_report(sigma, groups.len(), per_worker, master_prep, wall0)
 }
 
 fn par_cover_grouped(sigma: &[Gfd], n: usize, mode: ExecMode, wall0: Instant) -> ParCoverReport {
@@ -160,62 +271,38 @@ fn par_cover_grouped(sigma: &[Gfd], n: usize, mode: ExecMode, wall0: Instant) ->
     let assignment = lpt_assign(&groups, n);
     let master_prep = m0.elapsed();
 
-    let mut worker_times = vec![Duration::ZERO; n];
-    let mut removed_all: Vec<usize> = Vec::new();
-    let mut work = 0u64;
-
-    match mode {
-        ExecMode::Simulated => {
-            for (w, gids) in assignment.iter().enumerate() {
+    let per_worker: Vec<(Vec<usize>, u64, Duration)> = match mode {
+        ExecMode::Simulated => assignment
+            .iter()
+            .map(|gids| {
                 let t0 = Instant::now();
+                let mut removed = Vec::new();
+                let mut work = 0u64;
                 for &gi in gids {
-                    let (removed, grp_work) = process_group(sigma, &groups[gi]);
-                    removed_all.extend(removed);
-                    work += grp_work;
+                    let (r, w) = process_group(sigma, &groups[gi]);
+                    removed.extend(r);
+                    work += w;
                 }
-                worker_times[w] = t0.elapsed();
-            }
-        }
+                (removed, work, t0.elapsed())
+            })
+            .collect(),
         ExecMode::Threads => {
-            let results: Vec<(Vec<usize>, u64, Duration)> = std::thread::scope(|scope| {
-                let handles: Vec<_> = assignment
-                    .iter()
-                    .map(|gids| {
-                        let groups = &groups;
-                        scope.spawn(move || {
-                            let t0 = Instant::now();
-                            let mut removed = Vec::new();
-                            let mut work = 0u64;
-                            for &gi in gids {
-                                let (r, w) = process_group(sigma, &groups[gi]);
-                                removed.extend(r);
-                                work += w;
-                            }
-                            (removed, work, t0.elapsed())
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
-            });
-            for (w, (removed, wk, d)) in results.into_iter().enumerate() {
-                removed_all.extend(removed);
-                work += wk;
-                worker_times[w] = d;
-            }
+            // Private per-worker queues preserve the static LPT schedule.
+            let queues: Vec<Injector<usize>> = assignment
+                .iter()
+                .map(|gids| {
+                    let q = Injector::new();
+                    for &gi in gids {
+                        q.push(gi);
+                    }
+                    q
+                })
+                .collect();
+            let views: Vec<&Injector<usize>> = queues.iter().collect();
+            drain_group_queues(sigma, &groups, &views)
         }
-    }
-
-    let makespan = worker_times.iter().max().copied().unwrap_or_default();
-    let cover: Vec<usize> = (0..sigma.len())
-        .filter(|i| !removed_all.contains(i))
-        .collect();
-    ParCoverReport {
-        cover,
-        wall: wall0.elapsed(),
-        simulated: makespan + master_prep,
-        groups: groups.len(),
-        work,
-    }
+    };
+    grouped_report(sigma, groups.len(), per_worker, master_prep, wall0)
 }
 
 fn par_cover_ungrouped(sigma: &[Gfd], n: usize, mode: ExecMode, wall0: Instant) -> ParCoverReport {
@@ -382,6 +469,19 @@ mod tests {
         let sigma = mixed_sigma();
         let rep = par_cover(&sigma, 2, ExecMode::Threads, true);
         check_is_cover(&sigma, &rep.cover);
+    }
+
+    #[test]
+    fn steal_runtime_cover_matches_lpt_cover() {
+        let sigma = mixed_sigma();
+        let seq = gfd_core::cover_indices(&sigma);
+        for n in [1, 2, 4] {
+            let rep = par_cover_with_runtime(&sigma, n, ExecMode::Threads, true, Runtime::Steal);
+            check_is_cover(&sigma, &rep.cover);
+            assert_eq!(rep.cover.len(), seq.len(), "n={n}");
+            assert!(rep.groups >= 3);
+            assert!(rep.work > 0);
+        }
     }
 
     #[test]

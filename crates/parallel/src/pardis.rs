@@ -60,37 +60,109 @@ pub struct ParDisReport {
 
 /// Evaluator that scatters candidate checks across the cluster and merges
 /// partial statistics — the "parallel GFD validation" of §6.2.
+///
+/// Premises ship as one shared `Arc<[Literal]>` (the broadcast clones a
+/// refcount per worker, not the literal vector), and the per-broadcast
+/// scratch (`bytes`, the merged partials) lives on the evaluator — this
+/// loop runs once per lattice candidate, hundreds of thousands of times
+/// per discovery.
 struct ClusterEvaluator<'a> {
     cluster: &'a mut Cluster,
     node: usize,
+    bytes: Vec<usize>,
+    acc: PartialStats,
+}
+
+impl<'a> ClusterEvaluator<'a> {
+    fn new(cluster: &'a mut Cluster, node: usize) -> ClusterEvaluator<'a> {
+        ClusterEvaluator {
+            cluster,
+            node,
+            bytes: Vec::new(),
+            acc: PartialStats::default(),
+        }
+    }
 }
 
 impl CandidateEvaluator for ClusterEvaluator<'_> {
     fn evaluate(&mut self, x: &[Literal], rhs: &Rhs) -> CandidateStats {
         let results = self.cluster.broadcast(Task::Evaluate {
             node: self.node,
-            x: x.to_vec(),
+            x: x.into(),
             rhs: *rhs,
         });
-        let mut acc = PartialStats::default();
-        let mut bytes = Vec::with_capacity(results.len());
+        self.acc = PartialStats::default();
+        self.bytes.clear();
         for r in &results {
             if let TaskResult::Stats(s) = r {
-                acc.merge(s);
-                bytes.push(s.byte_size());
+                self.acc.merge(s);
+                self.bytes.push(s.byte_size());
             }
         }
-        self.cluster.charge_comm(&bytes);
-        acc.finalize()
+        self.cluster.charge_comm(&self.bytes);
+        self.acc.finalize()
     }
 
     fn lhs_empty(&mut self, x: &[Literal]) -> bool {
         let results = self.cluster.broadcast(Task::LhsEmpty {
             node: self.node,
-            x: x.to_vec(),
+            x: x.into(),
         });
-        self.cluster.charge_comm(&vec![1; results.len()]);
+        self.bytes.clear();
+        self.bytes.resize(results.len(), 1);
+        self.cluster.charge_comm(&self.bytes);
         results.iter().all(|r| matches!(r, TaskResult::Empty(true)))
+    }
+}
+
+/// Which parallel schedule drives discovery.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Runtime {
+    /// The paper's master/worker superstep schedule over vertex-cut
+    /// fragments: one broadcast + barrier per candidate step
+    /// ([`crate::cluster`]).
+    Barrier,
+    /// The work-stealing task pool: `(pattern, pivot-range)` and
+    /// `(rule, pivot-range)` units over shared compiled structures
+    /// ([`crate::steal`]).
+    Steal,
+}
+
+impl Runtime {
+    /// Parses `barrier` / `steal` (the `--runtime` flag of the bench
+    /// binaries).
+    pub fn parse(s: &str) -> Option<Runtime> {
+        match s {
+            "barrier" => Some(Runtime::Barrier),
+            "steal" => Some(Runtime::Steal),
+            _ => None,
+        }
+    }
+
+    /// Flag spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Runtime::Barrier => "barrier",
+            Runtime::Steal => "steal",
+        }
+    }
+}
+
+/// [`par_dis`] on the chosen runtime: both schedules take the same worker
+/// count and execution mode and produce the same `DiscoveryResult`.
+pub fn par_dis_with_runtime(
+    g: &Arc<Graph>,
+    cfg: &DiscoveryConfig,
+    ccfg: &ClusterConfig,
+    runtime: Runtime,
+) -> ParDisReport {
+    match runtime {
+        Runtime::Barrier => par_dis(g, cfg, ccfg),
+        Runtime::Steal => crate::steal::par_dis_steal(
+            g,
+            cfg,
+            &crate::steal::StealConfig::new(ccfg.workers, ccfg.mode),
+        ),
     }
 }
 
@@ -396,7 +468,7 @@ fn mine_node(
     let level = pattern.edge_count();
     let mut covered = std::mem::take(&mut tree.node_mut(id).covered);
     let (deps, hstats) = {
-        let mut eval = ClusterEvaluator { cluster, node: id };
+        let mut eval = ClusterEvaluator::new(cluster, id);
         mine_dependencies_with(&mut eval, &catalog, &mut covered, cfg)
     };
     tree.node_mut(id).covered = covered;
@@ -414,7 +486,9 @@ fn mine_node(
 }
 
 /// Emits `Q'(∅ → false)` unless a smaller emitted negative embeds into it.
-fn emit_negative(
+/// Shared with the work-stealing driver, whose emission replay must use the
+/// identical minimality filter in the identical order.
+pub(crate) fn emit_negative(
     tree: &GenTree,
     cid: usize,
     pid: usize,

@@ -118,6 +118,34 @@ pub fn vertex_cut(g: &Graph, n: usize) -> Partition {
     }
 }
 
+/// Splits `len` rows into contiguous, nearly equal `(lo, hi)` ranges: at
+/// most `max_parts` ranges, each at least `min_chunk` rows (except that a
+/// non-empty input always yields at least one range). Deterministic in its
+/// inputs.
+///
+/// This is the static half of load balancing in the work-stealing runtime:
+/// ranges are even *by construction* (the barrier runtime's fragments are
+/// not — they follow the vertex cut, and skew triggers Take/Put re-splits),
+/// and any residual imbalance from unequal per-row cost is absorbed by
+/// dynamic stealing instead of a re-balancing barrier.
+pub fn split_ranges(len: usize, min_chunk: usize, max_parts: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let parts = (len / min_chunk.max(1)).clamp(1, max_parts.max(1));
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut lo = 0;
+    for p in 0..parts {
+        let take = base + usize::from(p < extra);
+        out.push((lo, lo + take));
+        lo += take;
+    }
+    debug_assert_eq!(lo, len);
+    out
+}
+
 /// Deterministic primary owner of a node: single-node pattern matches are
 /// seeded on exactly one worker so fragment match sets stay disjoint.
 #[inline]
@@ -222,6 +250,35 @@ mod tests {
         assert_eq!(p.fragments.len(), 1);
         assert_eq!(p.fragments[0].edge_count(), 9);
         assert!((p.replication_factor - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_ranges_cover_exactly_and_respect_bounds() {
+        assert!(split_ranges(0, 10, 4).is_empty());
+        assert_eq!(split_ranges(1, 1024, 8), vec![(0, 1)]);
+        for (len, min_chunk, max_parts) in [
+            (10, 3, 4),
+            (100, 10, 4),
+            (7, 1, 16),
+            (1000, 64, 6),
+            (5, 2, 2),
+        ] {
+            let ranges = split_ranges(len, min_chunk, max_parts);
+            assert!(!ranges.is_empty());
+            assert!(ranges.len() <= max_parts);
+            assert_eq!(ranges[0].0, 0);
+            assert_eq!(ranges.last().unwrap().1, len);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "ranges must be contiguous");
+            }
+            let sizes: Vec<usize> = ranges.iter().map(|(lo, hi)| hi - lo).collect();
+            let max = sizes.iter().max().unwrap();
+            let min = sizes.iter().min().unwrap();
+            assert!(max - min <= 1, "ranges must be even: {sizes:?}");
+            if ranges.len() > 1 {
+                assert!(*min >= min_chunk.min(len), "chunk floor: {sizes:?}");
+            }
+        }
     }
 
     #[test]

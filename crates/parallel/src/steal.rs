@@ -1,0 +1,1320 @@
+//! The work-stealing task-pool runtime: `(pattern, pivot-range)` and
+//! `(rule, pivot-range)` work units over shared compiled structures.
+//!
+//! The barrier runtime ([`crate::cluster`]) mirrors the paper's distributed
+//! deployment: state is partitioned into fragments, every candidate step is
+//! a broadcast, and workers idle at a barrier until the slowest fragment
+//! finishes. After PR 2 made [`CompiledPattern`] graph-independent and
+//! cheap to share, that schedule's cost is dominated by idle tails and
+//! per-barrier setup rather than real work. This module replaces it for
+//! shared-memory execution:
+//!
+//! * **Work units, not fragments.** A unit is a contiguous *range* — of
+//!   pivot candidates ([`Unit::Seed`]), of parent match rows
+//!   ([`Unit::Harvest`], [`Unit::Join`]), of a pattern's table rows
+//!   ([`Unit::BuildRange`], [`Unit::Evaluate`], [`Unit::LhsEmpty`]) — or a
+//!   whole small lattice ([`Unit::Mine`]). Ranges are even by construction
+//!   ([`crate::partition::split_ranges`]); there is no skew to re-balance.
+//! * **Stealing, not barriers.** The master pushes a *wave* of units onto
+//!   per-worker injector deques (`crossbeam::deque`) with range affinity;
+//!   workers drain their own deque first and steal from siblings when
+//!   empty, so an uneven wave never leaves a worker idle while work
+//!   remains.
+//! * **Warm state.** Each worker keeps one [`MatcherScratch`] (the O(|V|)
+//!   injectivity mark array, allocated once per thread) and the
+//!   `(MatchTable, BitmapIndex)` shards of the pattern lattice it is
+//!   currently evaluating, keyed by range — consecutive `(rule,
+//!   pivot-range)` units with the same affinity hit the same warm bitmaps.
+//! * **[`ExecMode::Simulated`]** runs units inline but assigns each unit's
+//!   measured time and modelled cost to the virtual worker with the least
+//!   accumulated load (greedy list scheduling — exactly what dynamic
+//!   stealing approximates), so Fig. 5-style scalability curves remain
+//!   reproducible without threads. The `work_makespan` schedule is computed
+//!   from modelled costs in both modes and is therefore deterministic.
+//!
+//! The drivers ([`par_dis_steal`], [`crate::parcover`]'s steal path) keep
+//! the master's levelwise bookkeeping bit-for-bit identical to `SeqDis`:
+//! results are merged in unit order, emissions replayed in `SeqDis`'s exact
+//! order, so the mined [`DiscoveryResult`] — rules, supports, statistics —
+//! matches the sequential algorithm's, and two runs on the same input are
+//! identical regardless of thread interleaving.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::deque::{Injector, Steal};
+use gfd_core::{
+    finish_negatives, harvest_range, merge_rhs_outcome, mine_dependencies_with, mine_rhs_with,
+    proposals_from_harvest, propose_negative_extensions, BitmapIndex, CandidateEvaluator,
+    CandidateStats, CatalogCounts, Covered, DiscoveredGfd, DiscoveryConfig, DiscoveryResult,
+    GenTree, HSpawnStats, Inserted, LiteralCatalog, MatchTable, MinedDependency, NodeState,
+    PartialStats, RawHarvest, RhsMineOutcome,
+};
+use gfd_graph::{triple_stats, AttrId, FxHashMap, Graph, NodeId};
+use gfd_logic::ClosureScratch;
+use gfd_logic::{Gfd, Literal, Rhs};
+use gfd_pattern::{
+    extend_matches_range, CompiledPattern, Extension, MatchSet, MatcherScratch, PLabel, Pattern,
+};
+
+use crate::cluster::{Clocks, ExecMode};
+use crate::pardis::{emit_negative, ParDisReport};
+use crate::partition::split_ranges;
+
+/// How many ranges to cut per row space, as a multiple of the worker count:
+/// a little over-splitting gives the stealer something to grab when
+/// per-range costs are uneven.
+const RANGE_OVERSPLIT: usize = 2;
+
+/// Configuration of the work-stealing runtime.
+#[derive(Clone, Debug)]
+pub struct StealConfig {
+    /// Number of workers (threads in [`ExecMode::Threads`], virtual workers
+    /// in [`ExecMode::Simulated`]).
+    pub workers: usize,
+    /// Execution mode (same semantics as the barrier runtime's).
+    pub mode: ExecMode,
+    /// Minimum rows per range unit: row spaces smaller than
+    /// `workers × this` are cut into fewer, larger ranges.
+    pub range_min_rows: usize,
+    /// Tables with at least this many rows run their lattice through
+    /// `(rule, pivot-range)` units ([`Unit::Evaluate`]); smaller lattices
+    /// run as a single [`Unit::Mine`] on one worker, which avoids
+    /// per-candidate scheduling for the long tail of small patterns.
+    pub range_rows_threshold: usize,
+}
+
+impl StealConfig {
+    /// Default knobs for `workers` workers in `mode`.
+    ///
+    /// The range threshold is deliberately high: per-consequence `MineRhs`
+    /// units already spread a lattice across the pool with *zero*
+    /// per-candidate scheduling, so the candidate-by-candidate range path
+    /// only pays off once a table is large enough that per-worker shard
+    /// duplication (each worker materialises the rows it mines) costs more
+    /// than one master round-trip per candidate.
+    pub fn new(workers: usize, mode: ExecMode) -> StealConfig {
+        StealConfig {
+            workers,
+            mode,
+            range_min_rows: 1024,
+            range_rows_threshold: 262_144,
+        }
+    }
+}
+
+/// Shared description of one pattern's row-range partition: every
+/// `(rule, pivot-range)` unit of the lattice carries an `Arc` of this, so a
+/// stealing worker can (re)build any shard it does not hold warm.
+#[derive(Debug)]
+pub struct EvalSpec {
+    /// Generation-tree node id (worker cache key).
+    pub node: usize,
+    /// The pattern.
+    pub q: Arc<Pattern>,
+    /// All match rows of the pattern.
+    pub ms: Arc<MatchSet>,
+    /// Active attributes `Γ`.
+    pub attrs: Arc<Vec<AttrId>>,
+    /// The contiguous row ranges, in order.
+    pub ranges: Vec<(usize, usize)>,
+}
+
+/// One work unit pulled by a worker.
+pub enum Unit {
+    /// Match a compiled pattern over the pivot candidates `[lo, hi)`.
+    Seed {
+        /// Shared compiled pattern (never recompiled per unit).
+        cp: Arc<CompiledPattern>,
+        /// The full pivot candidate list.
+        pivots: Arc<Vec<NodeId>>,
+        /// Range start.
+        lo: usize,
+        /// Range end.
+        hi: usize,
+    },
+    /// Harvest extension proposals from match rows `[lo, hi)`.
+    Harvest {
+        /// The pattern.
+        q: Arc<Pattern>,
+        /// Its matches.
+        ms: Arc<MatchSet>,
+        /// Discovery configuration.
+        cfg: Arc<DiscoveryConfig>,
+        /// Range start.
+        lo: usize,
+        /// Range end.
+        hi: usize,
+    },
+    /// The incremental join `Q ⋈ e` over parent rows `[lo, hi)`.
+    Join {
+        /// Parent pattern.
+        q: Arc<Pattern>,
+        /// Parent matches.
+        ms: Arc<MatchSet>,
+        /// The single-edge extension.
+        ext: Extension,
+        /// Range start.
+        lo: usize,
+        /// Range end.
+        hi: usize,
+    },
+    /// Build (and keep warm) one table shard, returning its literal counts.
+    BuildRange {
+        /// The shared range partition.
+        spec: Arc<EvalSpec>,
+        /// Which range.
+        range: usize,
+    },
+    /// Evaluate `X → rhs` on one shard — the `(rule, pivot-range)` unit.
+    Evaluate {
+        /// The shared range partition.
+        spec: Arc<EvalSpec>,
+        /// Which range.
+        range: usize,
+        /// Premises (shared across the candidate's range units).
+        x: Arc<[Literal]>,
+        /// Consequence.
+        rhs: Rhs,
+    },
+    /// Whether no row of one shard satisfies `X` (the `NHSpawn` test).
+    LhsEmpty {
+        /// The shared range partition.
+        spec: Arc<EvalSpec>,
+        /// Which range.
+        range: usize,
+        /// Premises.
+        x: Arc<[Literal]>,
+    },
+    /// Mine one consequence's whole sub-lattice on one worker — the
+    /// coarse-grained `(rule, pivot-range)` unit for patterns whose tables
+    /// fit one shard (the long tail). Sub-lattices of distinct
+    /// consequences are independent ([`gfd_core::mine_rhs_with`]), so a
+    /// pattern's lattice spreads over the pool at per-literal granularity
+    /// without any per-candidate scheduling.
+    MineRhs {
+        /// The (single-range) shard spec.
+        spec: Arc<EvalSpec>,
+        /// The pattern's literal catalog (shared across its units).
+        catalog: Arc<LiteralCatalog>,
+        /// Index of the consequence in `catalog.literals`.
+        l_idx: usize,
+        /// Covered signatures inherited from the parent pattern.
+        covered: Arc<Vec<Covered>>,
+        /// Discovery configuration.
+        cfg: Arc<DiscoveryConfig>,
+    },
+}
+
+/// One pattern's assembled lattice outcome (merged from its per-`l` units
+/// by the master, or produced by the range-evaluator path).
+#[derive(Debug)]
+pub struct MineOutcome {
+    /// Mined dependencies, in `mine_dependencies` order.
+    pub deps: Vec<MinedDependency>,
+    /// The inherited covered set extended with this pattern's satisfied
+    /// signatures (passed down to children).
+    pub covered: Vec<Covered>,
+    /// Lattice counters.
+    pub hstats: HSpawnStats,
+}
+
+/// Result of one [`Unit`].
+pub enum UnitResult {
+    /// Matches of a seed range.
+    Seeded(MatchSet),
+    /// Raw harvest of a row range.
+    Harvested(Box<RawHarvest>),
+    /// Join output: child rows (in parent-row order) plus the range's
+    /// distinct pivot images (sorted).
+    Joined {
+        /// Child match rows.
+        ms: MatchSet,
+        /// Sorted distinct pivots of those rows.
+        pivots: Vec<NodeId>,
+    },
+    /// Literal-candidate counts of one shard.
+    Counts(Box<CatalogCounts>),
+    /// Partial candidate evaluation of one shard.
+    Stats(Box<PartialStats>),
+    /// Shard-local LHS emptiness.
+    Empty(bool),
+    /// One consequence's mined sub-lattice.
+    RhsMined(Box<RhsMineOutcome>),
+}
+
+/// Cached shards per worker before a wholesale eviction. Shards are small
+/// (a range of one pattern's table plus its lazily built bitmaps) and the
+/// working set at any moment is one lattice wave's worth; the cap only
+/// guards against pathological accumulation across levels.
+const SHARD_CACHE_CAP: usize = 64;
+
+/// Per-worker state: the shared graph plus warm scratch and table shards.
+struct WorkerState {
+    g: Arc<Graph>,
+    /// Matcher buffers, allocated once per worker.
+    scratch: Option<MatcherScratch>,
+    /// Reusable closure union–find for `MineRhs` lattices.
+    closure: ClosureScratch,
+    /// Warm `(MatchTable, BitmapIndex)` shards, keyed by (node, range).
+    cache: FxHashMap<(usize, usize), (MatchTable, BitmapIndex)>,
+}
+
+impl WorkerState {
+    fn new(g: Arc<Graph>) -> WorkerState {
+        WorkerState {
+            g,
+            scratch: Some(MatcherScratch::new()),
+            closure: ClosureScratch::new(),
+            cache: FxHashMap::default(),
+        }
+    }
+
+    /// The warm shard for `(spec.node, range)`, building it on a miss (a
+    /// stolen unit lands on a worker that has not built this range).
+    fn shard(&mut self, spec: &EvalSpec, range: usize) -> &mut (MatchTable, BitmapIndex) {
+        ensure_shard(&mut self.cache, &self.g, spec, range)
+    }
+
+    /// Processes one unit, returning its result and modelled cost (rows
+    /// touched — the deterministic load measure).
+    fn process(&mut self, unit: Unit) -> (UnitResult, u64) {
+        match unit {
+            Unit::Seed { cp, pivots, lo, hi } => {
+                let mut out = MatchSet::new(cp.pattern().node_count());
+                let scratch = self.scratch.take().unwrap_or_default();
+                let mut m = cp.matcher_from(&self.g, scratch);
+                let found = m.match_pivots_into(&pivots[lo..hi], &mut out);
+                self.scratch = Some(m.into_scratch());
+                let cost = (hi - lo + found) as u64;
+                (UnitResult::Seeded(out), cost)
+            }
+            Unit::Harvest { q, ms, cfg, lo, hi } => {
+                let raw = harvest_range(&q, &ms, &self.g, &cfg, lo, hi);
+                (
+                    UnitResult::Harvested(Box::new(raw)),
+                    (hi - lo).max(1) as u64,
+                )
+            }
+            Unit::Join { q, ms, ext, lo, hi } => {
+                let child = q.extend(&ext);
+                let out = extend_matches_range(&q, &ms, &ext, &self.g, lo, hi);
+                let mut pivots: Vec<NodeId> = out.iter().map(|m| m[child.pivot()]).collect();
+                pivots.sort_unstable();
+                pivots.dedup();
+                let cost = (hi - lo + out.len()) as u64;
+                (UnitResult::Joined { ms: out, pivots }, cost)
+            }
+            Unit::BuildRange { spec, range } => {
+                let (t, _) = self.shard(&spec, range);
+                let counts = CatalogCounts::count(t);
+                let cost = t.rows().max(1) as u64;
+                (UnitResult::Counts(Box::new(counts)), cost)
+            }
+            Unit::Evaluate {
+                spec,
+                range,
+                x,
+                rhs,
+            } => {
+                let (t, idx) = self.shard(&spec, range);
+                let stats = idx.partial_evaluate(t, &x, &rhs);
+                let cost = t.rows().max(1) as u64;
+                (UnitResult::Stats(Box::new(stats)), cost)
+            }
+            Unit::LhsEmpty { spec, range, x } => {
+                let (t, idx) = self.shard(&spec, range);
+                let empty = !idx.lhs_satisfiable(t, &x);
+                let cost = t.rows().max(1) as u64;
+                (UnitResult::Empty(empty), cost)
+            }
+            Unit::MineRhs {
+                spec,
+                catalog,
+                l_idx,
+                covered,
+                cfg,
+            } => {
+                let l = catalog.literals[l_idx];
+                let rows = spec.ms.len();
+                // Field-split borrows: the shard comes from `self.cache`,
+                // the closure scratch from `self.closure`.
+                let closure = &mut self.closure;
+                let (t, idx) = ensure_shard(&mut self.cache, &self.g, &spec, 0);
+                let mut eval = ShardEval { t, idx };
+                let o = mine_rhs_with(&mut eval, &catalog, l, &covered, &cfg, closure);
+                // Modelled cost mirrors the barrier schedule's: one full
+                // table scan per evaluated candidate plus the σ-bound scan
+                // (the shard build is charged by its BuildRange unit).
+                let scans = 1 + o.stats.candidates + o.stats.negative_candidates;
+                let cost = rows.max(1) as u64 * scans as u64;
+                (UnitResult::RhsMined(Box::new(o)), cost)
+            }
+        }
+    }
+}
+
+/// Looks up (or builds) the warm `(MatchTable, BitmapIndex)` shard for
+/// `(spec.node, range)` in a worker's cache — the single definition of the
+/// shard recipe and the cache-cap eviction, shared by every unit kind.
+fn ensure_shard<'a>(
+    cache: &'a mut FxHashMap<(usize, usize), (MatchTable, BitmapIndex)>,
+    g: &Graph,
+    spec: &EvalSpec,
+    range: usize,
+) -> &'a mut (MatchTable, BitmapIndex) {
+    let key = (spec.node, range);
+    if !cache.contains_key(&key) {
+        if cache.len() >= SHARD_CACHE_CAP {
+            cache.clear();
+        }
+        let (lo, hi) = spec.ranges[range];
+        let t = MatchTable::build_range(&spec.q, &spec.ms, g, &spec.attrs, lo, hi);
+        let idx = BitmapIndex::new(&t);
+        cache.insert(key, (t, idx));
+    }
+    cache.get_mut(&key).expect("shard just ensured")
+}
+
+/// Evaluator over one warm shard (drives [`Unit::MineRhs`] lattices).
+struct ShardEval<'a> {
+    t: &'a MatchTable,
+    idx: &'a mut BitmapIndex,
+}
+
+impl CandidateEvaluator for ShardEval<'_> {
+    fn evaluate(&mut self, x: &[Literal], rhs: &Rhs) -> CandidateStats {
+        self.idx.evaluate(self.t, x, rhs)
+    }
+
+    fn lhs_empty(&mut self, x: &[Literal]) -> bool {
+        !self.idx.lhs_satisfiable(self.t, x)
+    }
+}
+
+enum PoolMsg {
+    Wake,
+    Stop,
+}
+
+type WaveResult = (usize, usize, UnitResult, u64, Duration);
+
+/// The master-side handle to the pool.
+pub struct StealPool {
+    mode: ExecMode,
+    workers: usize,
+    /// Per-worker affinity deques (threads mode).
+    queues: Vec<Arc<Injector<(usize, Unit)>>>,
+    wake: Vec<Sender<PoolMsg>>,
+    results: Option<Receiver<WaveResult>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    /// Inline worker state (simulated mode).
+    sim: Option<WorkerState>,
+    /// Time and modelled-work bookkeeping (shared shape with the barrier
+    /// runtime so reports stay comparable; `comm_*` stays zero — the pool
+    /// models a shared-memory machine).
+    pub clocks: Clocks,
+    rr: usize,
+}
+
+impl StealPool {
+    /// Builds a pool of `cfg.workers` workers over the shared graph.
+    pub fn new(g: Arc<Graph>, cfg: &StealConfig) -> StealPool {
+        assert!(cfg.workers > 0, "at least one worker required");
+        let n = cfg.workers;
+        let queues: Vec<Arc<Injector<(usize, Unit)>>> =
+            (0..n).map(|_| Arc::new(Injector::new())).collect();
+        let mut wake = Vec::new();
+        let mut handles = Vec::new();
+        let mut results = None;
+        let mut sim = None;
+
+        match cfg.mode {
+            ExecMode::Simulated => {
+                sim = Some(WorkerState::new(g));
+            }
+            ExecMode::Threads => {
+                let (res_tx, res_rx) = unbounded::<WaveResult>();
+                results = Some(res_rx);
+                for id in 0..n {
+                    let (wake_tx, wake_rx) = unbounded::<PoolMsg>();
+                    wake.push(wake_tx);
+                    let queues = queues.clone();
+                    let res_tx = res_tx.clone();
+                    let g = Arc::clone(&g);
+                    handles.push(std::thread::spawn(move || {
+                        let mut state = WorkerState::new(g);
+                        loop {
+                            // Drain own deque first, then steal.
+                            while let Some((idx, unit)) = pop_any(id, &queues) {
+                                let t0 = Instant::now();
+                                let (r, cost) = state.process(unit);
+                                let _ = res_tx.send((idx, id, r, cost, t0.elapsed()));
+                            }
+                            match wake_rx.recv() {
+                                Ok(PoolMsg::Wake) => continue,
+                                _ => return,
+                            }
+                        }
+                    }));
+                }
+            }
+        }
+
+        StealPool {
+            mode: cfg.mode,
+            workers: n,
+            queues,
+            wake,
+            results,
+            handles,
+            sim,
+            clocks: Clocks::default(),
+            rr: 0,
+        }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Preferred queue for a unit: `(rule, pivot-range)` units go to the
+    /// worker that (most likely) holds the range's shard warm — keyed by
+    /// `(node, range)` so consecutive candidates of one lattice revisit
+    /// the same workers while different patterns spread out; everything
+    /// else round-robins.
+    fn affinity(&mut self, unit: &Unit) -> usize {
+        match unit {
+            Unit::BuildRange { spec, range }
+            | Unit::Evaluate { spec, range, .. }
+            | Unit::LhsEmpty { spec, range, .. } => (spec.node + range) % self.workers,
+            Unit::MineRhs { spec, l_idx, .. } => (spec.node + l_idx) % self.workers,
+            _ => {
+                self.rr = (self.rr + 1) % self.workers;
+                self.rr
+            }
+        }
+    }
+
+    /// Runs one wave of units to completion and returns results in unit
+    /// order. Within a wave there is no barrier: workers pull units until
+    /// none remain, stealing across deques as they drain.
+    pub fn run_wave(&mut self, units: Vec<Unit>) -> Vec<UnitResult> {
+        let n = units.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut out: Vec<Option<UnitResult>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        let mut costs = vec![0u64; n];
+        let mut durs = vec![Duration::ZERO; n];
+
+        match self.mode {
+            ExecMode::Simulated => {
+                let state = self.sim.as_mut().expect("simulated state");
+                for (idx, unit) in units.into_iter().enumerate() {
+                    let t0 = Instant::now();
+                    let (r, cost) = state.process(unit);
+                    durs[idx] = t0.elapsed();
+                    costs[idx] = cost;
+                    out[idx] = Some(r);
+                }
+            }
+            ExecMode::Threads => {
+                for (idx, unit) in units.into_iter().enumerate() {
+                    let w = self.affinity(&unit);
+                    self.queues[w].push((idx, unit));
+                }
+                for tx in &self.wake {
+                    let _ = tx.send(PoolMsg::Wake);
+                }
+                let rx = self.results.as_ref().expect("threads results");
+                for _ in 0..n {
+                    let (idx, _wid, r, cost, dur) = rx.recv().expect("worker alive");
+                    out[idx] = Some(r);
+                    costs[idx] = cost;
+                    durs[idx] = dur;
+                }
+            }
+        }
+
+        // Greedy list scheduling over modelled costs — what dynamic
+        // stealing approximates — charged identically in both modes so the
+        // work-makespan (and the simulated time derived from the same
+        // schedule) is deterministic and thread-interleaving-independent.
+        let mut load = vec![0u64; self.workers];
+        let mut busy = vec![Duration::ZERO; self.workers];
+        for i in 0..n {
+            let w = (0..self.workers).min_by_key(|&w| load[w]).unwrap_or(0);
+            load[w] += costs[i];
+            busy[w] += durs[i];
+        }
+        self.clocks.work_makespan += load.iter().max().copied().unwrap_or(0);
+        self.clocks.work_busy += costs.iter().sum::<u64>();
+        self.clocks.makespan += busy.iter().max().copied().unwrap_or_default();
+        self.clocks.busy += durs.iter().sum::<Duration>();
+        self.clocks.barriers += 1;
+
+        out.into_iter().map(|r| r.expect("result placed")).collect()
+    }
+
+    /// Adds master-side compute to the clock.
+    pub fn charge_master(&mut self, d: Duration) {
+        self.clocks.master += d;
+    }
+}
+
+/// Steals from one queue, retrying on [`Steal::Retry`] (the real
+/// `crossbeam` deques lose races under contention; the vendored Mutex
+/// stand-in never does, but both contracts are honoured).
+fn steal_one<T>(q: &Injector<T>) -> Option<T> {
+    loop {
+        match q.steal() {
+            Steal::Success(t) => return Some(t),
+            Steal::Empty => return None,
+            Steal::Retry => continue,
+        }
+    }
+}
+
+/// Pops from the worker's own deque, stealing from siblings when empty.
+fn pop_any(id: usize, queues: &[Arc<Injector<(usize, Unit)>>]) -> Option<(usize, Unit)> {
+    if let Some(t) = steal_one(&queues[id]) {
+        return Some(t);
+    }
+    let n = queues.len();
+    for off in 1..n {
+        if let Some(t) = steal_one(&queues[(id + off) % n]) {
+            return Some(t);
+        }
+    }
+    None
+}
+
+impl Drop for StealPool {
+    fn drop(&mut self) {
+        for tx in &self.wake {
+            let _ = tx.send(PoolMsg::Stop);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// [`CandidateEvaluator`] that scatters each candidate over the spec's
+/// ranges as `(rule, pivot-range)` units and merges the partial statistics
+/// in range order — the pool-backed twin of [`gfd_core::RangeEvaluator`].
+struct PoolEvaluator<'a> {
+    pool: &'a mut StealPool,
+    spec: Arc<EvalSpec>,
+}
+
+impl CandidateEvaluator for PoolEvaluator<'_> {
+    fn evaluate(&mut self, x: &[Literal], rhs: &Rhs) -> CandidateStats {
+        let x: Arc<[Literal]> = x.into();
+        let units: Vec<Unit> = (0..self.spec.ranges.len())
+            .map(|range| Unit::Evaluate {
+                spec: Arc::clone(&self.spec),
+                range,
+                x: Arc::clone(&x),
+                rhs: *rhs,
+            })
+            .collect();
+        let mut acc = PartialStats::default();
+        for r in self.pool.run_wave(units) {
+            if let UnitResult::Stats(s) = r {
+                acc.merge(&s);
+            }
+        }
+        acc.finalize()
+    }
+
+    fn lhs_empty(&mut self, x: &[Literal]) -> bool {
+        let x: Arc<[Literal]> = x.into();
+        let units: Vec<Unit> = (0..self.spec.ranges.len())
+            .map(|range| Unit::LhsEmpty {
+                spec: Arc::clone(&self.spec),
+                range,
+                x: Arc::clone(&x),
+            })
+            .collect();
+        self.pool
+            .run_wave(units)
+            .iter()
+            .all(|r| matches!(r, UnitResult::Empty(true)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The ParDis driver on the pool.
+// ---------------------------------------------------------------------------
+
+/// A pattern queued for lattice mining.
+struct MineJob {
+    id: usize,
+    q: Arc<Pattern>,
+    ms: Arc<MatchSet>,
+    covered: Vec<Covered>,
+}
+
+/// What a verified-or-not positive spawn turned into.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Verdict {
+    Pending,
+    /// Frequent: a mined lattice outcome exists for this node.
+    Mined,
+    /// Zero matches; emit `Q'(∅ → false)` during replay.
+    EmptyEmit,
+    /// Zero matches / infrequent / overflow with nothing to emit.
+    Quiet,
+}
+
+/// One spawn event, in `SeqDis` order.
+enum Event {
+    /// A fresh positive extension: join units `[joff, joff + jcnt)`.
+    Pos {
+        pid: usize,
+        cid: usize,
+        joff: usize,
+        jcnt: usize,
+        verdict: Verdict,
+    },
+    /// A fresh `NVSpawn` (guaranteed-empty) extension.
+    Neg { pid: usize, cid: usize },
+}
+
+/// Runs parallel discovery on the work-stealing pool. The master replays
+/// `SeqDis`'s exact schedule — insertions, verdicts, and emissions in the
+/// same order — so the returned [`DiscoveryResult`] is identical to
+/// [`gfd_core::seq_dis`]'s (rules, supports, and counters; only timings
+/// differ), for every worker count and both execution modes.
+pub fn par_dis_steal(g: &Arc<Graph>, cfg: &DiscoveryConfig, scfg: &StealConfig) -> ParDisReport {
+    let wall0 = Instant::now();
+    let mut pool = StealPool::new(Arc::clone(g), scfg);
+    let attrs = Arc::new(cfg.resolve_active_attrs(g));
+    let cfg_arc = Arc::new(cfg.clone());
+    let triples = triple_stats(g);
+    let mut tree = GenTree::new();
+    let mut result = DiscoveryResult::default();
+    let mut negative_patterns: Vec<Pattern> = Vec::new();
+    // Live matches per frequent node (the master's copy; workers see them
+    // through per-unit `Arc`s, never a broadcast).
+    let mut live: FxHashMap<usize, Arc<MatchSet>> = FxHashMap::default();
+    let max_parts = scfg.workers * RANGE_OVERSPLIT;
+
+    // --- Cold start: seed roots over pivot ranges. ---
+    let mut roots: Vec<Pattern> = Vec::new();
+    for (label, count) in g.node_label_frequencies() {
+        if (count as usize) >= cfg.sigma || !cfg.enable_pruning {
+            roots.push(Pattern::single(PLabel::Is(label)));
+        }
+    }
+    if cfg.wildcard_min_labels > 0
+        && cfg.wildcard_root
+        && g.node_label_frequencies().len() >= cfg.wildcard_min_labels
+        && g.node_count() >= cfg.sigma
+    {
+        roots.push(Pattern::single(PLabel::Wildcard));
+    }
+
+    let m0 = Instant::now();
+    let mut seed_units: Vec<Unit> = Vec::new();
+    let mut root_jobs: Vec<(usize, usize, usize)> = Vec::new(); // (id, off, cnt)
+    for q in roots {
+        let Inserted::Fresh(id) = tree.insert(q.clone(), None, None) else {
+            continue;
+        };
+        let pivots: Arc<Vec<NodeId>> = Arc::new(match q.node_label(0) {
+            PLabel::Is(l) => g.nodes_with_label(l).to_vec(),
+            PLabel::Wildcard => g.nodes().collect(),
+        });
+        let cp = Arc::new(CompiledPattern::new(&q));
+        let ranges = split_ranges(pivots.len(), scfg.range_min_rows, max_parts);
+        let off = seed_units.len();
+        for &(lo, hi) in &ranges {
+            seed_units.push(Unit::Seed {
+                cp: Arc::clone(&cp),
+                pivots: Arc::clone(&pivots),
+                lo,
+                hi,
+            });
+        }
+        root_jobs.push((id, off, ranges.len()));
+    }
+    pool.charge_master(m0.elapsed());
+    let seeded = pool.run_wave(seed_units);
+
+    let mut mine_jobs: Vec<MineJob> = Vec::new();
+    let mut frequent_roots: Vec<usize> = Vec::new();
+    for &(id, off, cnt) in &root_jobs {
+        let mut ms = MatchSet::new(1);
+        for r in &seeded[off..off + cnt] {
+            if let UnitResult::Seeded(part) = r {
+                ms.extend(part);
+            }
+        }
+        let support = ms.len();
+        tree.node_mut(id).support = support;
+        let frequent = support >= cfg.sigma || !cfg.enable_pruning;
+        tree.node_mut(id).state = if frequent {
+            NodeState::Frequent
+        } else {
+            NodeState::Infrequent
+        };
+        if frequent {
+            result.stats.patterns_verified += 1;
+            let ms = Arc::new(ms);
+            live.insert(id, Arc::clone(&ms));
+            mine_jobs.push(MineJob {
+                id,
+                q: Arc::new(tree.node(id).pattern.clone()),
+                ms,
+                covered: Vec::new(),
+            });
+            frequent_roots.push(id);
+        }
+    }
+    let mut outcomes = run_mining(&mut pool, mine_jobs, &attrs, &cfg_arc, scfg);
+    for id in frequent_roots {
+        apply_outcome(&mut tree, id, &mut outcomes, &mut result);
+    }
+
+    // --- Levelwise waves. ---
+    for level in 1..=cfg.level_cap() {
+        let parents: Vec<usize> = tree
+            .level(level - 1)
+            .iter()
+            .copied()
+            .filter(|&id| tree.node(id).state == NodeState::Frequent)
+            .collect();
+        if parents.is_empty() {
+            break;
+        }
+        let mut spawned_this_level = 0usize;
+
+        // Wave H: harvest every parent's matches by row range.
+        let m0 = Instant::now();
+        let mut harvest_units: Vec<Unit> = Vec::new();
+        let mut hjobs: Vec<(usize, Arc<Pattern>, usize)> = Vec::new();
+        for &pid in &parents {
+            let Some(ms) = live.get(&pid) else {
+                continue;
+            };
+            let q = Arc::new(tree.node(pid).pattern.clone());
+            let ranges = split_ranges(ms.len(), scfg.range_min_rows, max_parts);
+            for &(lo, hi) in &ranges {
+                harvest_units.push(Unit::Harvest {
+                    q: Arc::clone(&q),
+                    ms: Arc::clone(ms),
+                    cfg: Arc::clone(&cfg_arc),
+                    lo,
+                    hi,
+                });
+            }
+            hjobs.push((pid, q, ranges.len()));
+        }
+        pool.charge_master(m0.elapsed());
+        let harvested = pool.run_wave(harvest_units);
+
+        // Master: merge harvests, propose, insert — `SeqDis`'s insertion
+        // order, with joins deferred into one wave.
+        let m0 = Instant::now();
+        let mut events: Vec<Event> = Vec::new();
+        let mut join_units: Vec<Unit> = Vec::new();
+        let mut harvested = harvested.into_iter();
+        for (pid, pq, cnt) in hjobs {
+            let mut merged = RawHarvest::default();
+            for r in harvested.by_ref().take(cnt) {
+                if let UnitResult::Harvested(h) = r {
+                    merged.merge(*h);
+                }
+            }
+            let proposals = proposals_from_harvest(&merged, cfg);
+            let negs = if cfg.mine_negative {
+                propose_negative_extensions(
+                    &tree.node(pid).pattern,
+                    g,
+                    &triples,
+                    &proposals.seen,
+                    cfg,
+                )
+            } else {
+                Vec::new()
+            };
+
+            let pms = Arc::clone(&live[&pid]);
+            for (ext, _count) in proposals.frequent {
+                if cfg.max_patterns_per_level > 0
+                    && spawned_this_level >= cfg.max_patterns_per_level
+                {
+                    break;
+                }
+                result.stats.patterns_spawned += 1;
+                let child_pattern = tree.node(pid).pattern.extend(&ext);
+                match tree.insert(child_pattern, Some(pid), Some(ext)) {
+                    Inserted::Existing(_) => result.stats.patterns_deduped += 1,
+                    Inserted::Fresh(cid) => {
+                        spawned_this_level += 1;
+                        let ranges = split_ranges(pms.len(), scfg.range_min_rows, max_parts);
+                        let joff = join_units.len();
+                        for &(lo, hi) in &ranges {
+                            join_units.push(Unit::Join {
+                                q: Arc::clone(&pq),
+                                ms: Arc::clone(&pms),
+                                ext,
+                                lo,
+                                hi,
+                            });
+                        }
+                        events.push(Event::Pos {
+                            pid,
+                            cid,
+                            joff,
+                            jcnt: ranges.len(),
+                            verdict: Verdict::Pending,
+                        });
+                    }
+                }
+            }
+            for ext in negs {
+                result.stats.patterns_spawned += 1;
+                let child_pattern = tree.node(pid).pattern.extend(&ext);
+                match tree.insert(child_pattern, Some(pid), Some(ext)) {
+                    Inserted::Existing(_) => result.stats.patterns_deduped += 1,
+                    Inserted::Fresh(cid) => {
+                        tree.node_mut(cid).state = NodeState::Empty;
+                        result.stats.patterns_empty += 1;
+                        events.push(Event::Neg { pid, cid });
+                    }
+                }
+            }
+        }
+        pool.charge_master(m0.elapsed());
+
+        // Wave J: all of the level's `(Q ⋈ e, pivot-range)` joins at once.
+        let joined = pool.run_wave(join_units);
+
+        // Master: verdicts in event order; queue frequent children for
+        // mining.
+        let m0 = Instant::now();
+        let mut mine_jobs: Vec<MineJob> = Vec::new();
+        for ev in events.iter_mut() {
+            let Event::Pos {
+                pid,
+                cid,
+                joff,
+                jcnt,
+                verdict,
+            } = ev
+            else {
+                continue;
+            };
+            let mut child_ms = MatchSet::new(tree.node(*cid).pattern.node_count());
+            let mut pivots: Vec<NodeId> = Vec::new();
+            for r in joined[*joff..*joff + *jcnt].iter() {
+                if let UnitResult::Joined { ms, pivots: p } = r {
+                    child_ms.extend(ms);
+                    pivots.extend_from_slice(p);
+                }
+            }
+            let rows = child_ms.len();
+            if rows == 0 {
+                tree.node_mut(*cid).state = NodeState::Empty;
+                result.stats.patterns_empty += 1;
+                *verdict = if cfg.mine_negative && tree.node(*pid).support >= cfg.sigma {
+                    Verdict::EmptyEmit
+                } else {
+                    Verdict::Quiet
+                };
+                continue;
+            }
+            pivots.sort_unstable();
+            pivots.dedup();
+            let support = pivots.len();
+            tree.node_mut(*cid).support = support;
+            let overflow = cfg.max_matches_per_pattern > 0 && rows > cfg.max_matches_per_pattern;
+            if overflow || (support < cfg.sigma && cfg.enable_pruning) {
+                tree.node_mut(*cid).state = NodeState::Infrequent;
+                result.stats.patterns_infrequent += 1;
+                *verdict = Verdict::Quiet;
+                continue;
+            }
+            tree.node_mut(*cid).state = NodeState::Frequent;
+            result.stats.patterns_verified += 1;
+            *verdict = Verdict::Mined;
+            let ms = Arc::new(child_ms);
+            live.insert(*cid, Arc::clone(&ms));
+            mine_jobs.push(MineJob {
+                id: *cid,
+                q: Arc::new(tree.node(*cid).pattern.clone()),
+                ms,
+                covered: tree.node(*pid).covered.clone(),
+            });
+        }
+        pool.charge_master(m0.elapsed());
+
+        // Wave M: the level's lattices.
+        let mut outcomes = run_mining(&mut pool, mine_jobs, &attrs, &cfg_arc, scfg);
+
+        // Emission replay, in `SeqDis`'s exact order.
+        for ev in &events {
+            match ev {
+                Event::Pos {
+                    pid, cid, verdict, ..
+                } => match verdict {
+                    Verdict::Mined => apply_outcome(&mut tree, *cid, &mut outcomes, &mut result),
+                    Verdict::EmptyEmit => {
+                        emit_negative(&tree, *cid, *pid, &mut result, &mut negative_patterns)
+                    }
+                    _ => {}
+                },
+                Event::Neg { pid, cid } => {
+                    emit_negative(&tree, *cid, *pid, &mut result, &mut negative_patterns)
+                }
+            }
+        }
+
+        // Reclaim matches below the new frontier.
+        live.retain(|&id, _| tree.node(id).level >= level);
+    }
+
+    result.stats.positive = result.positive_count();
+    result.stats.negative = result.negative_count();
+    let wall = wall0.elapsed();
+    result.stats.total_time = wall;
+    ParDisReport {
+        result,
+        wall,
+        simulated: pool.clocks.simulated_total(),
+        comm_bytes: 0,
+        barriers: pool.clocks.barriers,
+        work_makespan: pool.clocks.work_makespan,
+        work_busy: pool.clocks.work_busy,
+        replication_factor: 1.0,
+    }
+}
+
+/// Mines the queued lattices in three phases:
+///
+/// 1. one **build wave** creating every pattern's table shards and merging
+///    their literal counts into catalogs (single shard for small tables,
+///    `workers × `[`RANGE_OVERSPLIT`]` ranges past the row threshold);
+/// 2. one **`MineRhs` wave** for the small patterns — per-consequence
+///    sub-lattice units, merged per pattern in catalog order (independent
+///    by construction, so the merge reproduces `mine_dependencies`
+///    exactly);
+/// 3. the large patterns' lattices at the master, each candidate fanning
+///    out as `(rule, pivot-range)` units with range affinity.
+fn run_mining(
+    pool: &mut StealPool,
+    jobs: Vec<MineJob>,
+    attrs: &Arc<Vec<AttrId>>,
+    cfg: &Arc<DiscoveryConfig>,
+    scfg: &StealConfig,
+) -> FxHashMap<usize, MineOutcome> {
+    let mut outcomes: FxHashMap<usize, MineOutcome> = FxHashMap::default();
+    let max_parts = pool.workers() * RANGE_OVERSPLIT;
+
+    // Phase 1: shards + catalogs for every job, one wave.
+    let mut specs: Vec<(Arc<EvalSpec>, bool)> = Vec::with_capacity(jobs.len());
+    let mut build_units: Vec<Unit> = Vec::new();
+    for job in &jobs {
+        let rows = job.ms.len();
+        let large = rows >= scfg.range_rows_threshold;
+        let ranges = if large {
+            split_ranges(rows, scfg.range_min_rows, max_parts)
+        } else {
+            vec![(0, rows)]
+        };
+        let spec = Arc::new(EvalSpec {
+            node: job.id,
+            q: Arc::clone(&job.q),
+            ms: Arc::clone(&job.ms),
+            attrs: Arc::clone(attrs),
+            ranges,
+        });
+        for range in 0..spec.ranges.len() {
+            build_units.push(Unit::BuildRange {
+                spec: Arc::clone(&spec),
+                range,
+            });
+        }
+        specs.push((spec, large));
+    }
+    let mut built = pool.run_wave(build_units).into_iter();
+    let m0 = Instant::now();
+    let catalogs: Vec<Arc<LiteralCatalog>> = specs
+        .iter()
+        .map(|(spec, _)| {
+            let mut counts = CatalogCounts::default();
+            for r in built.by_ref().take(spec.ranges.len()) {
+                if let UnitResult::Counts(c) = r {
+                    counts.merge(*c);
+                }
+            }
+            Arc::new(counts.finalize_capped(
+                cfg.values_per_attr,
+                cfg.sigma.min(spec.ms.len().max(1)),
+                cfg.max_catalog_literals,
+            ))
+        })
+        .collect();
+    pool.charge_master(m0.elapsed());
+
+    // Phase 2: per-consequence sub-lattices for the small patterns.
+    let mut rhs_units: Vec<Unit> = Vec::new();
+    for (i, job) in jobs.iter().enumerate() {
+        let (spec, large) = &specs[i];
+        if *large {
+            continue;
+        }
+        let covered = Arc::new(job.covered.clone());
+        for l_idx in 0..catalogs[i].literals.len() {
+            rhs_units.push(Unit::MineRhs {
+                spec: Arc::clone(spec),
+                catalog: Arc::clone(&catalogs[i]),
+                l_idx,
+                covered: Arc::clone(&covered),
+                cfg: Arc::clone(cfg),
+            });
+        }
+    }
+    let mut rhs_results = pool.run_wave(rhs_units).into_iter();
+    let m0 = Instant::now();
+    for (i, job) in jobs.iter().enumerate() {
+        if specs[i].1 {
+            continue;
+        }
+        let mut deps: Vec<MinedDependency> = Vec::new();
+        let mut covered = job.covered.clone();
+        let mut negatives = FxHashMap::default();
+        let mut hstats = HSpawnStats::default();
+        for r in rhs_results.by_ref().take(catalogs[i].literals.len()) {
+            if let UnitResult::RhsMined(o) = r {
+                merge_rhs_outcome(*o, &mut deps, &mut covered, &mut negatives, &mut hstats);
+            }
+        }
+        finish_negatives(negatives, &mut deps);
+        outcomes.insert(
+            job.id,
+            MineOutcome {
+                deps,
+                covered,
+                hstats,
+            },
+        );
+    }
+    pool.charge_master(m0.elapsed());
+
+    // Phase 3: large patterns, candidate by candidate over range units.
+    for (i, job) in jobs.iter().enumerate() {
+        let (spec, large) = &specs[i];
+        if !*large {
+            continue;
+        }
+        let mut covered = job.covered.clone();
+        let (deps, hstats) = {
+            let mut eval = PoolEvaluator {
+                pool,
+                spec: Arc::clone(spec),
+            };
+            mine_dependencies_with(&mut eval, &catalogs[i], &mut covered, cfg)
+        };
+        outcomes.insert(
+            job.id,
+            MineOutcome {
+                deps,
+                covered,
+                hstats,
+            },
+        );
+    }
+    outcomes
+}
+
+/// Installs a mined outcome on the tree and appends its dependencies —
+/// the emission step of `SeqDis`'s `mine_node`, replayed in order.
+fn apply_outcome(
+    tree: &mut GenTree,
+    id: usize,
+    outcomes: &mut FxHashMap<usize, MineOutcome>,
+    result: &mut DiscoveryResult,
+) {
+    let Some(o) = outcomes.remove(&id) else {
+        return;
+    };
+    let pattern = tree.node(id).pattern.clone();
+    let level = pattern.edge_count();
+    tree.node_mut(id).covered = o.covered;
+    result.stats.hspawn.merge(&o.hstats);
+    for dep in o.deps {
+        let confidence = dep.confidence();
+        result.gfds.push(DiscoveredGfd {
+            gfd: Gfd::new(pattern.clone(), dep.lhs, dep.rhs),
+            support: dep.support,
+            level,
+            confidence,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_core::seq_dis;
+    use gfd_graph::GraphBuilder;
+
+    /// The same planted KB the barrier driver's tests use.
+    #[allow(clippy::needless_range_loop)]
+    fn kb() -> Arc<Graph> {
+        let mut b = GraphBuilder::new();
+        let mut people = Vec::new();
+        for i in 0..18 {
+            let p = b.add_node("person");
+            b.set_attr(p, "type", if i < 12 { "producer" } else { "actor" });
+            b.set_attr(p, "surname", ["smith", "jones", "brown"][i % 3]);
+            people.push(p);
+        }
+        for i in 0..12 {
+            let f = b.add_node("product");
+            b.set_attr(f, "type", "film");
+            b.set_attr(f, "genre", ["drama", "comedy"][i % 2]);
+            b.add_edge(people[i], f, "create");
+        }
+        for w in people.windows(2) {
+            b.add_edge(w[0], w[1], "parent");
+        }
+        for i in 0..6 {
+            b.add_edge(people[i], people[(i + 5) % 18], "follow");
+        }
+        Arc::new(b.build())
+    }
+
+    fn cfg() -> DiscoveryConfig {
+        let mut c = DiscoveryConfig::new(3, 4);
+        c.max_lhs_size = 1;
+        c.wildcard_min_labels = 0;
+        c.values_per_attr = 3;
+        c.max_negative_candidates = 16;
+        c
+    }
+
+    /// Full fidelity fingerprint: rule text, support, level, confidence —
+    /// *in emission order*, not sorted.
+    fn fingerprint(result: &DiscoveryResult, g: &Graph) -> Vec<String> {
+        result
+            .gfds
+            .iter()
+            .map(|d| {
+                format!(
+                    "{} @{} L{} c{:.3}",
+                    d.gfd.display(g.interner()),
+                    d.support,
+                    d.level,
+                    d.confidence
+                )
+            })
+            .collect()
+    }
+
+    /// The steal driver replays `SeqDis`'s schedule exactly: the emitted
+    /// rule sequence (not just the set) must match, for every worker count,
+    /// both modes, and both lattice paths (whole-lattice Mine units vs the
+    /// `(rule, pivot-range)` evaluator).
+    #[test]
+    fn steal_output_is_identical_to_seq_dis() {
+        let g = kb();
+        let c = cfg();
+        let seq = seq_dis(&g, &c);
+        assert!(!seq.gfds.is_empty());
+        let want = fingerprint(&seq, &g);
+        for mode in [ExecMode::Simulated, ExecMode::Threads] {
+            for n in [1, 2, 4] {
+                for threshold in [0, usize::MAX] {
+                    let mut scfg = StealConfig::new(n, mode);
+                    scfg.range_min_rows = 2; // force real multi-range waves
+                    scfg.range_rows_threshold = threshold;
+                    let par = par_dis_steal(&g, &c, &scfg);
+                    assert_eq!(
+                        fingerprint(&par.result, &g),
+                        want,
+                        "divergence at n={n} mode={mode:?} threshold={threshold}"
+                    );
+                    assert!(par.barriers > 0);
+                    assert_eq!(par.comm_bytes, 0);
+                }
+            }
+        }
+    }
+
+    /// Counters (not just rules) also match the sequential run.
+    #[test]
+    fn steal_counters_match_seq_dis() {
+        let g = kb();
+        let c = cfg();
+        let seq = seq_dis(&g, &c);
+        let par = par_dis_steal(&g, &c, &StealConfig::new(3, ExecMode::Simulated));
+        let s = &seq.stats;
+        let p = &par.result.stats;
+        assert_eq!(
+            (s.patterns_spawned, s.patterns_verified, s.patterns_empty),
+            (p.patterns_spawned, p.patterns_verified, p.patterns_empty)
+        );
+        assert_eq!(
+            (s.patterns_infrequent, s.patterns_deduped),
+            (p.patterns_infrequent, p.patterns_deduped)
+        );
+        assert_eq!(s.hspawn, p.hspawn);
+        assert_eq!((s.positive, s.negative), (p.positive, p.negative));
+    }
+
+    /// The deterministic work-makespan falls as workers grow, and the rule
+    /// output never changes — the steal twin of the barrier scaling test.
+    #[test]
+    fn steal_work_makespan_scales_down() {
+        let g = kb();
+        let c = cfg();
+        let run = |n: usize| {
+            let mut scfg = StealConfig::new(n, ExecMode::Simulated);
+            scfg.range_min_rows = 1;
+            let r = par_dis_steal(&g, &c, &scfg);
+            (r.work_makespan, r.result.gfds.len())
+        };
+        let (w1, rules1) = run(1);
+        let (w4, rules4) = run(4);
+        assert_eq!(rules1, rules4);
+        assert!(w4 < w1, "n=4 load ({w4}) should be below n=1 load ({w1})");
+    }
+
+    /// Two threaded runs on the same input produce identical reports —
+    /// thread interleaving must not leak into results or modelled work.
+    #[test]
+    fn steal_threads_are_deterministic() {
+        let g = kb();
+        let c = cfg();
+        let mut scfg = StealConfig::new(4, ExecMode::Threads);
+        scfg.range_min_rows = 2;
+        let a = par_dis_steal(&g, &c, &scfg);
+        let b = par_dis_steal(&g, &c, &scfg);
+        assert_eq!(fingerprint(&a.result, &g), fingerprint(&b.result, &g));
+        assert_eq!(a.work_makespan, b.work_makespan);
+        assert_eq!(a.work_busy, b.work_busy);
+        assert_eq!(a.barriers, b.barriers);
+    }
+
+    #[test]
+    fn steal_rules_hold_globally() {
+        let g = kb();
+        let par = par_dis_steal(&g, &cfg(), &StealConfig::new(3, ExecMode::Threads));
+        for d in &par.result.gfds {
+            assert!(
+                gfd_logic::satisfies(&g, &d.gfd),
+                "violated: {}",
+                d.gfd.display(g.interner())
+            );
+        }
+    }
+}

@@ -24,9 +24,27 @@ use crate::pattern::{End, Extension, PLabel, Pattern};
 /// The result is exactly `find_all(q', g)` restricted to prefixes in
 /// `matches` — the distributed-join invariant `Q'(G) = ⋃_s Q(F_s) ⋈ e(G)`.
 pub fn extend_matches(q: &Pattern, matches: &MatchSet, ext: &Extension, g: &Graph) -> MatchSet {
+    extend_matches_range(q, matches, ext, g, 0, matches.len())
+}
+
+/// [`extend_matches`] restricted to the parent rows `[lo, hi)` — the
+/// `(Q ⋈ e, pivot-range)` work unit of the work-stealing runtime. Rows are
+/// produced in parent-row order, so concatenating the outputs of
+/// consecutive ranges reproduces exactly `extend_matches` over the whole
+/// set.
+pub fn extend_matches_range(
+    q: &Pattern,
+    matches: &MatchSet,
+    ext: &Extension,
+    g: &Graph,
+    lo: usize,
+    hi: usize,
+) -> MatchSet {
     assert_eq!(matches.arity(), q.node_count(), "match arity mismatch");
+    assert!(lo <= hi && hi <= matches.len(), "range out of bounds");
     let q2 = q.extend(ext);
     let mut out = MatchSet::new(q2.node_count());
+    let rows = (lo..hi).map(|i| matches.get(i));
 
     match (&ext.src, &ext.dst) {
         (End::Var(a), End::Var(b)) => {
@@ -34,7 +52,7 @@ pub fn extend_matches(q: &Pattern, matches: &MatchSet, ext: &Extension, g: &Grap
             // *extended* pair demand (the new edge may be parallel to
             // existing pattern edges between the same pair), compiled once.
             let check = PairCheck::compile(&q2, *a, *b);
-            for m in matches.iter() {
+            for m in rows {
                 if check.feasible(g, m[*a], m[*b]) {
                     out.push(m);
                 }
@@ -43,7 +61,7 @@ pub fn extend_matches(q: &Pattern, matches: &MatchSet, ext: &Extension, g: &Grap
         (End::Var(a), End::New(nl)) => {
             let new_var = q.node_count();
             let mut row = vec![NodeId(0); q2.node_count()];
-            for m in matches.iter() {
+            for m in rows {
                 let src_img = m[*a];
                 // A concrete extension label walks its contiguous
                 // label-partitioned slice; a wildcard walks the full CSR.
@@ -75,7 +93,7 @@ pub fn extend_matches(q: &Pattern, matches: &MatchSet, ext: &Extension, g: &Grap
         (End::New(nl), End::Var(b)) => {
             let new_var = q.node_count();
             let mut row = vec![NodeId(0); q2.node_count()];
-            for m in matches.iter() {
+            for m in rows {
                 let dst_img = m[*b];
                 let (edge_ids, check_label): (&[gfd_graph::EdgeId], bool) = match ext.label {
                     PLabel::Is(l) => (g.in_edges_labeled(dst_img, l), false),
@@ -294,6 +312,47 @@ mod tests {
         let joined = join_with_edges(&q, &base, &ext, &shipped, &g);
         let local = extend_matches(&q, &base, &ext, &g);
         assert_eq!(joined.len(), local.len());
+    }
+
+    /// Range-bounded joins concatenate to the whole join, for both
+    /// new-node and closing extensions.
+    #[test]
+    fn range_joins_concatenate_to_whole() {
+        let g = kb();
+        for (q, ext) in [
+            (
+                Pattern::edge(pl(&g, "person"), pl(&g, "create"), pl(&g, "product")),
+                Extension {
+                    src: End::Var(1),
+                    dst: End::New(pl(&g, "award")),
+                    label: pl(&g, "receive"),
+                },
+            ),
+            (
+                Pattern::edge(pl(&g, "person"), pl(&g, "parent"), pl(&g, "person")),
+                Extension {
+                    src: End::Var(1),
+                    dst: End::Var(0),
+                    label: pl(&g, "parent"),
+                },
+            ),
+            (
+                Pattern::single(pl(&g, "product")),
+                Extension {
+                    src: End::New(pl(&g, "person")),
+                    dst: End::Var(0),
+                    label: pl(&g, "create"),
+                },
+            ),
+        ] {
+            let base = find_all(&q, &g);
+            let whole = extend_matches(&q, &base, &ext, &g);
+            for cut in 0..=base.len() {
+                let mut parts = extend_matches_range(&q, &base, &ext, &g, 0, cut);
+                parts.extend(&extend_matches_range(&q, &base, &ext, &g, cut, base.len()));
+                assert_eq!(parts, whole, "cut={cut}");
+            }
+        }
     }
 
     #[test]

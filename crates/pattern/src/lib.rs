@@ -35,11 +35,11 @@ pub use embed::{
     all_embeddings, find_embedding, for_each_embedding, is_embedded, reduces, strictly_reducing,
     EmbedOptions,
 };
-pub use incremental::{extend_matches, join_with_edges};
+pub use incremental::{extend_matches, extend_matches_range, join_with_edges};
 pub use match_set::MatchSet;
 pub use matcher::{
     count_matches, find_all, for_each_match, for_each_match_at, has_match, has_match_at,
-    pattern_support, pivot_image, CompiledPattern, MatchPlan, Matcher,
+    pattern_support, pivot_image, CompiledPattern, MatchPlan, Matcher, MatcherScratch,
 };
 pub use pattern::{End, Extension, PEdge, PLabel, Pattern, Var};
 pub use reference::{

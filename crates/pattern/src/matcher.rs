@@ -361,11 +361,46 @@ impl CompiledPattern {
     /// A reusable matcher over `g` (holds the scratch buffers; reuse it
     /// across pivots to amortise them).
     pub fn matcher<'a>(&'a self, g: &'a Graph) -> Matcher<'a> {
+        self.matcher_from(g, MatcherScratch::new())
+    }
+
+    /// A matcher over `g` reusing caller-owned scratch buffers. Recover the
+    /// scratch with [`Matcher::into_scratch`] to carry it to the next
+    /// pattern — the work-stealing runtime keeps one scratch per worker so
+    /// the O(|V|) injectivity mark array is allocated once per thread, not
+    /// once per work unit.
+    pub fn matcher_from<'a>(&'a self, g: &'a Graph, mut scratch: MatcherScratch) -> Matcher<'a> {
+        scratch.prepare(self.q.node_count(), g.node_count());
         Matcher {
             cp: self,
             g,
-            assignment: vec![NodeId(u32::MAX); self.q.node_count()],
-            used: vec![false; g.node_count()],
+            scratch,
+        }
+    }
+}
+
+/// Reusable matcher buffers: the assignment vector and the O(1)-injectivity
+/// mark array. Independent of any particular pattern — `prepare` resizes the
+/// assignment to the pattern's arity and grows the mark array to the graph's
+/// node count (marks are invariantly all-false between searches, so growth
+/// never needs clearing).
+#[derive(Debug, Default)]
+pub struct MatcherScratch {
+    assignment: Vec<NodeId>,
+    used: Vec<bool>,
+}
+
+impl MatcherScratch {
+    /// Empty scratch (buffers grow on first use).
+    pub fn new() -> MatcherScratch {
+        MatcherScratch::default()
+    }
+
+    fn prepare(&mut self, arity: usize, node_count: usize) {
+        self.assignment.clear();
+        self.assignment.resize(arity, NodeId(u32::MAX));
+        if self.used.len() < node_count {
+            self.used.resize(node_count, false);
         }
     }
 }
@@ -377,8 +412,7 @@ impl CompiledPattern {
 pub struct Matcher<'a> {
     cp: &'a CompiledPattern,
     g: &'a Graph,
-    assignment: Vec<NodeId>,
-    used: Vec<bool>,
+    scratch: MatcherScratch,
 }
 
 impl Matcher<'_> {
@@ -400,8 +434,8 @@ impl Matcher<'_> {
         let mut search = Search {
             cp,
             g: self.g,
-            assignment: &mut self.assignment,
-            used: &mut self.used,
+            assignment: &mut self.scratch.assignment,
+            used: &mut self.scratch.used,
             sink: &mut f,
         };
         search.assignment[pivot] = pivot_node;
@@ -435,6 +469,29 @@ impl Matcher<'_> {
     /// Whether any match is pivoted at `v`.
     pub fn has_match_at(&mut self, v: NodeId) -> bool {
         self.for_each_at(v, |_| ControlFlow::Break(())).is_break()
+    }
+
+    /// Materialises every match anchored at the given pivot candidates, in
+    /// candidate order, appending to `out`. A contiguous slice of a pivot
+    /// candidate list is thus a *resumable work unit*: concatenating the
+    /// outputs of consecutive slices reproduces exactly the matches of the
+    /// whole list — the `(CompiledPattern, pivot-range)` unit the
+    /// work-stealing runtime schedules. Returns the number of matches
+    /// appended.
+    pub fn match_pivots_into(&mut self, pivots: &[NodeId], out: &mut MatchSet) -> usize {
+        let before = out.len();
+        for &v in pivots {
+            let _ = self.for_each_at(v, |m| {
+                out.push(m);
+                ControlFlow::Continue(())
+            });
+        }
+        out.len() - before
+    }
+
+    /// Recovers the scratch buffers for reuse with another pattern.
+    pub fn into_scratch(self) -> MatcherScratch {
+        self.scratch
     }
 
     /// The distinct pivot images over all matches, sorted.
@@ -1061,6 +1118,41 @@ mod tests {
             label: PLabel::Wildcard,
         });
         assert_eq!(count_matches(&q4, &g), 0);
+    }
+
+    /// Pivot-range matching: consecutive slices of a pivot list concatenate
+    /// to exactly the whole list's matches, and the scratch survives reuse
+    /// across patterns and graphs.
+    #[test]
+    fn pivot_range_units_concatenate() {
+        let g = g1();
+        let q = Pattern::edge(pl(&g, "person"), pl(&g, "create"), pl(&g, "product"));
+        let cp = CompiledPattern::new(&q);
+        let pivots: Vec<NodeId> = g.nodes().collect();
+
+        let mut whole = MatchSet::new(q.node_count());
+        let mut scratch = MatcherScratch::new();
+        let mut m = cp.matcher_from(&g, scratch);
+        let n = m.match_pivots_into(&pivots, &mut whole);
+        assert_eq!(n, whole.len());
+        scratch = m.into_scratch();
+
+        for cut in 0..=pivots.len() {
+            let mut parts = MatchSet::new(q.node_count());
+            let mut m = cp.matcher_from(&g, scratch);
+            m.match_pivots_into(&pivots[..cut], &mut parts);
+            m.match_pivots_into(&pivots[cut..], &mut parts);
+            scratch = m.into_scratch();
+            assert_eq!(parts, whole, "cut={cut}");
+        }
+
+        // Reuse the same scratch with a different pattern on the same graph.
+        let single = Pattern::single(pl(&g, "person"));
+        let cps = CompiledPattern::new(&single);
+        let mut ms = MatchSet::new(1);
+        let mut m = cps.matcher_from(&g, scratch);
+        m.match_pivots_into(&pivots, &mut ms);
+        assert_eq!(ms.len(), 2);
     }
 
     #[test]

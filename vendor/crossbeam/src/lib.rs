@@ -1,11 +1,18 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
 //! The build environment has no network access to crates.io, so this
-//! vendored crate provides the one API `gfd-parallel` uses —
-//! [`channel::unbounded`] with [`channel::Sender`] / [`channel::Receiver`]
-//! — backed by `std::sync::mpsc`. The std channel is MPSC rather than
-//! MPMC, which is sufficient here: each worker owns its own task/result
-//! channel pair.
+//! vendored crate provides the APIs `gfd-parallel` uses:
+//!
+//! * [`channel::unbounded`] with [`channel::Sender`] / [`channel::Receiver`]
+//!   — backed by `std::sync::mpsc`. The std channel is MPSC rather than
+//!   MPMC, which is sufficient here: each worker owns its own task/result
+//!   channel pair.
+//! * [`deque`] — the `Injector`/`Worker`/`Stealer` work-stealing deques of
+//!   `crossbeam-deque`, backed by `Mutex<VecDeque>`. Not lock-free, but the
+//!   work units scheduled through them (joins, table scans, whole lattices)
+//!   are orders of magnitude coarser than the lock hold time, and the API
+//!   surface matches the real crate so swapping it in later is a one-line
+//!   `Cargo.toml` change.
 
 #![forbid(unsafe_code)]
 
@@ -19,9 +26,161 @@ pub mod channel {
     }
 }
 
+/// Work-stealing deques, mirroring `crossbeam::deque`.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt, like `crossbeam::deque::Steal`.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The operation lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// Whether the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// A shared FIFO injector queue: any thread may push, any may steal.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        q: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Empty queue.
+        pub fn new() -> Injector<T> {
+            Injector {
+                q: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Enqueues a task at the back.
+        pub fn push(&self, task: T) {
+            self.q.lock().expect("injector poisoned").push_back(task);
+        }
+
+        /// Steals the task at the front.
+        pub fn steal(&self) -> Steal<T> {
+            match self.q.lock().expect("injector poisoned").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.q.lock().expect("injector poisoned").is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.q.lock().expect("injector poisoned").len()
+        }
+    }
+
+    /// A worker-owned FIFO deque; other threads steal through [`Stealer`]s.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        q: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Empty FIFO worker deque.
+        pub fn new_fifo() -> Worker<T> {
+            Worker {
+                q: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            self.q
+                .lock()
+                .expect("worker deque poisoned")
+                .push_back(task);
+        }
+
+        /// Pops the next task in FIFO order.
+        pub fn pop(&self) -> Option<T> {
+            self.q.lock().expect("worker deque poisoned").pop_front()
+        }
+
+        /// A handle other threads use to steal from this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                q: Arc::clone(&self.q),
+            }
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.q.lock().expect("worker deque poisoned").is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.q.lock().expect("worker deque poisoned").len()
+        }
+    }
+
+    impl<T> Default for Worker<T> {
+        fn default() -> Self {
+            Worker::new_fifo()
+        }
+    }
+
+    /// A stealing handle onto a [`Worker`] deque.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        q: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals the task at the victim's front.
+        pub fn steal(&self) -> Steal<T> {
+            match self.q.lock().expect("worker deque poisoned").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the victim's deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.q.lock().expect("worker deque poisoned").is_empty()
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                q: Arc::clone(&self.q),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::channel::unbounded;
+    use super::deque::{Injector, Steal, Worker};
+    use std::sync::Arc;
 
     #[test]
     fn round_trip_across_threads() {
@@ -34,5 +193,46 @@ mod tests {
         let got: Vec<u32> = rx.iter().take(10).collect();
         handle.join().unwrap();
         assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn injector_is_fifo_and_shared() {
+        let inj = Arc::new(Injector::new());
+        for i in 0..100 {
+            inj.push(i);
+        }
+        assert_eq!(inj.len(), 100);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let inj = Arc::clone(&inj);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Steal::Success(t) = inj.steal() {
+                        got.push(t);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<i32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+        assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn worker_and_stealer_share_one_deque() {
+        let w = Worker::new_fifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.len(), 2);
+        assert_eq!(s.steal().success(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert!(s.steal().is_empty());
+        assert!(w.is_empty());
     }
 }
