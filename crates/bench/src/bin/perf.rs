@@ -101,6 +101,8 @@ fn main() {
             let s = &result.stats;
             let matching = s.matching_time.as_secs_f64();
             let spawning = s.spawning_time.as_secs_f64();
+            let sp_harvest = s.spawning_harvest_time.as_secs_f64();
+            let sp_merge = s.spawning_merge_time.as_secs_f64();
             let evaluation = s.validation_time.as_secs_f64();
             let catalog = s.catalog_time.as_secs_f64();
             let lattice = s.lattice_time.as_secs_f64();
@@ -120,10 +122,13 @@ fn main() {
                     "  \"gfds\": {gfds},\n",
                     "  \"patterns_verified\": {verified},\n",
                     "  \"hspawn_candidates\": {cands},\n",
+                    "  \"spawning_work\": {spawning_work},\n",
                     "  \"generation_secs\": {gen:.3},\n",
                     "  \"stage_secs\": {{\n",
                     "    \"matching\": {matching:.3},\n",
                     "    \"spawning\": {spawning:.3},\n",
+                    "    \"spawning_harvest\": {sp_harvest:.3},\n",
+                    "    \"spawning_merge\": {sp_merge:.3},\n",
                     "    \"evaluation\": {evaluation:.3},\n",
                     "    \"evaluation_catalog\": {catalog:.3},\n",
                     "    \"evaluation_lattice\": {lattice:.3},\n",
@@ -142,9 +147,12 @@ fn main() {
                 gfds = result.gfds.len(),
                 verified = s.patterns_verified,
                 cands = s.hspawn.candidates,
+                spawning_work = s.spawning_work,
                 gen = gen_secs,
                 matching = matching,
                 spawning = spawning,
+                sp_harvest = sp_harvest,
+                sp_merge = sp_merge,
                 evaluation = evaluation,
                 catalog = catalog,
                 lattice = lattice,

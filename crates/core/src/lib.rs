@@ -50,6 +50,7 @@ pub use seqdis::{seq_dis, seq_dis_with_tree};
 pub use support::{distinct_pivots, evaluate, lhs_satisfiable, CandidateStats, PartialStats};
 pub use table::MatchTable;
 pub use vspawn::{
-    harvest, harvest_range, proposals_from_harvest, propose_extensions,
-    propose_negative_extensions, Dir, ExtensionProposals, RawHarvest,
+    harvest, harvest_range, harvest_range_reference, proposals_from_harvest, propose_extensions,
+    propose_negative_extensions, Dir, ExtensionProposals, PivotAcc, ProposalAccumulator,
+    RawHarvest,
 };

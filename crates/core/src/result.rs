@@ -61,6 +61,16 @@ pub struct DiscoveryStats {
     pub matching_time: Duration,
     /// Wall time in vertical spawning (extension proposal/harvest).
     pub spawning_time: Duration,
+    /// Portion of `spawning_time` spent harvesting raw extension pivot
+    /// sets from match rows (the label-indexed scan).
+    pub spawning_harvest_time: Duration,
+    /// Portion of `spawning_time` spent merging/finalising harvests into
+    /// ranked proposals (including `NVSpawn` candidate generation).
+    pub spawning_merge_time: Duration,
+    /// Deterministic spawning work: match rows plus adjacency entries
+    /// visited by the harvest — a pure function of the input, gated in CI
+    /// against the checked-in benchmark value.
+    pub spawning_work: u64,
     /// Wall time in dependency validation (table build + literal harvest +
     /// lattice evaluation).
     pub validation_time: Duration,

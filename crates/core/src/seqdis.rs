@@ -25,7 +25,7 @@ use crate::hspawn::mine_dependencies;
 use crate::result::{DiscoveredGfd, DiscoveryResult};
 use crate::support::distinct_pivots;
 use crate::table::MatchTable;
-use crate::vspawn::{propose_extensions, propose_negative_extensions};
+use crate::vspawn::{harvest, proposals_from_harvest, propose_negative_extensions};
 
 /// Runs sequential discovery, returning the mined set `Σ` and the
 /// generation tree (consumed by cover computation and `ParCover` grouping).
@@ -84,12 +84,17 @@ pub fn seq_dis_with_tree(g: &Graph, cfg: &DiscoveryConfig) -> (DiscoveryResult, 
                     continue;
                 };
                 let t0 = Instant::now();
-                let proposals = propose_extensions(&parent.pattern, ms, g, cfg);
+                let mut raw = harvest(&parent.pattern, ms, g, cfg);
+                result.stats.spawning_work += raw.work;
+                result.stats.spawning_harvest_time += t0.elapsed();
+                let t1 = Instant::now();
+                let proposals = proposals_from_harvest(&mut raw, cfg);
                 let negs = if cfg.mine_negative {
                     propose_negative_extensions(&parent.pattern, g, &triples, &proposals.seen, cfg)
                 } else {
                     Vec::new()
                 };
+                result.stats.spawning_merge_time += t1.elapsed();
                 result.stats.spawning_time += t0.elapsed();
                 (proposals, negs)
             };

@@ -8,11 +8,23 @@
 //! matches exhibit them — an upper bound on the support of the spawned
 //! pattern — and pruned at `σ` (Lemma 4(c)).
 //!
+//! [`harvest_range`] is **label-indexed**: match rows are grouped by each
+//! variable's image, and every distinct image is summarised once from the
+//! frozen graph's per-(node, label) adjacency runs
+//! ([`gfd_graph::Graph::out_label_runs`], its NLF view). The summary is
+//! applied to the whole group's pivots in bulk; only the (rare) edges
+//! *between* bound images — closing proposals and the new-node exclusions
+//! they imply — are resolved per row, via binary-searched
+//! `edges_between` probes instead of full incident-edge walks. The
+//! superseded per-row scan survives as [`harvest_range_reference`], the
+//! oracle the equivalence suite pins the indexed path against.
+//!
 //! The harvest is split into a raw, **mergeable** phase ([`harvest`] /
-//! [`RawHarvest::merge`]) and a finalisation phase
-//! ([`proposals_from_harvest`]) so that `ParDis` can run the raw phase per
-//! fragment and union the pivot sets at the master — yielding exactly the
-//! proposals the sequential miner would generate (§6.2).
+//! [`ProposalAccumulator`]) and a finalisation phase
+//! ([`proposals_from_harvest`]) so that the parallel runtimes can run the
+//! raw phase per fragment or row range — and *merge* per worker, the
+//! master only combining one accumulator per worker — while yielding
+//! exactly the proposals the sequential miner would generate (§6.2).
 //!
 //! Wildcard upgrade: when one extension point sees at least
 //! `wildcard_min_labels` distinct endpoint labels (resp. edge labels), a
@@ -38,38 +50,181 @@ pub enum Dir {
     In,
 }
 
-/// Raw per-extension pivot sets harvested from one match set. Mergeable
-/// across fragments: pivot sets union exactly (matches are disjoint across
-/// workers, pivots may repeat).
-#[derive(Debug, Default)]
-pub struct RawHarvest {
-    /// `(anchor var, direction, edge label, endpoint label)` → pivots.
-    pub new_node: FxHashMap<(Var, Dir, LabelId, LabelId), FxHashSet<NodeId>>,
-    /// `(src var, dst var, edge label)` → pivots, for cycle-closing.
-    pub closing: FxHashMap<(Var, Var, LabelId), FxHashSet<NodeId>>,
+/// Pivot accumulator behind each harvested extension: an append-mostly
+/// buffer whose prefix is kept sorted and deduplicated by periodic
+/// compaction. Bulk extension (one image group's pivots at a time) is a
+/// memcpy rather than per-pivot hash inserts, and merging two accumulators
+/// is concatenation; the distinct-pivot count materialises on
+/// [`PivotAcc::finish`].
+#[derive(Clone, Debug, Default)]
+pub struct PivotAcc {
+    /// `data[..sorted]` is sorted + deduplicated; the tail is pending.
+    data: Vec<NodeId>,
+    sorted: usize,
 }
 
-impl RawHarvest {
-    /// Unions another harvest into this one.
-    pub fn merge(&mut self, other: RawHarvest) {
-        for (k, v) in other.new_node {
-            self.new_node.entry(k).or_default().extend(v);
-        }
-        for (k, v) in other.closing {
-            self.closing.entry(k).or_default().extend(v);
+impl PivotAcc {
+    /// Appends one pivot (duplicates welcome).
+    #[inline]
+    pub fn push(&mut self, pv: NodeId) {
+        self.data.push(pv);
+        self.maybe_compact();
+    }
+
+    /// Appends a batch of pivots (duplicates welcome).
+    #[inline]
+    pub fn extend_from_slice(&mut self, pvs: &[NodeId]) {
+        self.data.extend_from_slice(pvs);
+        self.maybe_compact();
+    }
+
+    /// Absorbs another accumulator.
+    pub fn absorb(&mut self, other: &PivotAcc) {
+        self.extend_from_slice(&other.data);
+    }
+
+    #[inline]
+    fn maybe_compact(&mut self) {
+        // Compact when the pending tail outgrows the sorted prefix: the
+        // buffer never holds more than ~2× the distinct pivots (+ slack),
+        // and total compaction work stays O(n log n) amortised.
+        if self.data.len() - self.sorted > self.sorted.max(32) {
+            self.compact();
         }
     }
 
+    fn compact(&mut self) {
+        if self.data.len() > self.sorted {
+            self.data.sort_unstable();
+            self.data.dedup();
+            self.sorted = self.data.len();
+        }
+    }
+
+    /// Compacts and returns the sorted, distinct pivots.
+    pub fn finish(&mut self) -> &[NodeId] {
+        self.compact();
+        &self.data
+    }
+
+    /// Currently buffered elements (compacted + pending, not distinct).
+    pub fn buffered(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// Raw per-extension pivot accumulators harvested from one match set (or
+/// one row range of it). Mergeable across fragments and ranges: pivot
+/// accumulators concatenate and deduplicate at finalisation, so any merge
+/// order reproduces exactly the whole-set harvest.
+#[derive(Debug, Default)]
+pub struct RawHarvest {
+    /// `(anchor var, direction, edge label, endpoint label)` → pivots.
+    pub new_node: FxHashMap<(Var, Dir, LabelId, LabelId), PivotAcc>,
+    /// `(src var, dst var, edge label)` → pivots, for cycle-closing.
+    pub closing: FxHashMap<(Var, Var, LabelId), PivotAcc>,
+    /// Deterministic work: match rows plus adjacency entries visited. A
+    /// pure function of `(Q, rows, G)` — the CI spawning gate bounds it —
+    /// though *not* of how rows are cut into ranges (each range summarises
+    /// its own distinct images).
+    pub work: u64,
+}
+
+impl RawHarvest {
+    /// Unions another harvest into this one (the [`ProposalAccumulator`]
+    /// merge path; accumulators concatenate, dedup happens at
+    /// finalisation).
+    fn merge(&mut self, other: RawHarvest) {
+        use std::collections::hash_map::Entry;
+        for (k, v) in other.new_node {
+            match self.new_node.entry(k) {
+                Entry::Occupied(mut e) => e.get_mut().absorb(&v),
+                Entry::Vacant(e) => {
+                    e.insert(v); // move the buffer, don't copy it
+                }
+            }
+        }
+        for (k, v) in other.closing {
+            match self.closing.entry(k) {
+                Entry::Occupied(mut e) => e.get_mut().absorb(&v),
+                Entry::Vacant(e) => {
+                    e.insert(v);
+                }
+            }
+        }
+        self.work += other.work;
+    }
+
     /// Approximate shipped size in bytes (for the simulated cluster's
-    /// communication model).
+    /// communication model): the buffered pivot elements of every
+    /// accumulator — compacted prefix plus pending tail, which is what a
+    /// worker would actually serialise — plus per-entry key overhead.
     pub fn byte_size(&self) -> usize {
         let entries: usize = self
             .new_node
             .values()
             .chain(self.closing.values())
-            .map(|s| s.len())
+            .map(PivotAcc::buffered)
             .sum();
-        entries * std::mem::size_of::<NodeId>() + (self.new_node.len() + self.closing.len()) * 16
+        let key_overhead =
+            std::mem::size_of::<(Var, Dir, LabelId, LabelId)>() + std::mem::size_of::<PivotAcc>();
+        entries * std::mem::size_of::<NodeId>()
+            + (self.new_node.len() + self.closing.len()) * key_overhead
+            + std::mem::size_of::<u64>()
+    }
+}
+
+/// Mergeable multi-pattern harvest state: one [`RawHarvest`] per
+/// generation-tree node, folded in as workers finish harvest ranges and
+/// merged as a monoid. The work-stealing runtime keeps one per worker and
+/// folds harvests into it mid-wave; the master combines at most `workers`
+/// accumulators and [`take`](ProposalAccumulator::take)s each parent's
+/// merged harvest when proposing. The barrier runtime folds its
+/// per-fragment broadcasts through the same path.
+#[derive(Debug, Default)]
+pub struct ProposalAccumulator {
+    harvests: FxHashMap<usize, RawHarvest>,
+}
+
+impl ProposalAccumulator {
+    /// Folds one range's (or fragment's) raw harvest for `node` in.
+    pub fn fold(&mut self, node: usize, raw: RawHarvest) {
+        match self.harvests.entry(node) {
+            std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().merge(raw),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(raw);
+            }
+        }
+    }
+
+    /// Monoid merge: unions another accumulator into this one. Any merge
+    /// order yields the same finalised proposals.
+    pub fn merge(&mut self, other: ProposalAccumulator) {
+        for (node, raw) in other.harvests {
+            self.fold(node, raw);
+        }
+    }
+
+    /// Removes and returns `node`'s merged harvest (empty if none was
+    /// folded — a pattern whose matches proposed nothing).
+    pub fn take(&mut self, node: usize) -> RawHarvest {
+        self.harvests.remove(&node).unwrap_or_default()
+    }
+
+    /// Whether nothing has been folded in.
+    pub fn is_empty(&self) -> bool {
+        self.harvests.is_empty()
+    }
+
+    /// Total deterministic harvest work folded in (rows + adjacency
+    /// entries visited).
+    pub fn work(&self) -> u64 {
+        self.harvests.values().map(|h| h.work).sum()
+    }
+
+    /// Approximate shipped size in bytes across all nodes.
+    pub fn byte_size(&self) -> usize {
+        self.harvests.values().map(RawHarvest::byte_size).sum()
     }
 }
 
@@ -89,9 +244,81 @@ pub fn harvest(q: &Pattern, ms: &MatchSet, g: &Graph, cfg: &DiscoveryConfig) -> 
     harvest_range(q, ms, g, cfg, 0, ms.len())
 }
 
+/// One distinct extension signature of a node, from its label-run summary.
+#[derive(Clone, Copy)]
+struct SigEntry {
+    dir: Dir,
+    el: LabelId,
+    nl: LabelId,
+    /// Distinct neighbours carrying the signature.
+    cnt: u32,
+}
+
+/// Appends `n`'s incident extension signatures to the arena, from its
+/// per-(node, label) adjacency runs: one entry per distinct `(dir, edge
+/// label, endpoint label)` with the count of distinct neighbours carrying
+/// it. Each distinct image is summarised once per harvest call.
+fn node_signature(g: &Graph, n: NodeId, arena: &mut Vec<SigEntry>, work: &mut u64) {
+    for (el, edges) in g.out_label_runs(n) {
+        *work += edges.len() as u64;
+        signature_run(g, Dir::Out, el, edges, arena);
+    }
+    for (el, edges) in g.in_label_runs(n) {
+        *work += edges.len() as u64;
+        signature_run(g, Dir::In, el, edges, arena);
+    }
+}
+
+/// Folds one `(label, edges)` adjacency run into the signature summary:
+/// runs are neighbour-sorted, so parallel edges collapse and each distinct
+/// neighbour bumps its endpoint label's count once.
+fn signature_run(
+    g: &Graph,
+    dir: Dir,
+    el: LabelId,
+    edges: &[gfd_graph::EdgeId],
+    out: &mut Vec<SigEntry>,
+) {
+    let start = out.len();
+    let mut prev: Option<NodeId> = None;
+    for &eid in edges {
+        let e = g.edge(eid);
+        let d = if dir == Dir::Out { e.dst } else { e.src };
+        if prev == Some(d) {
+            continue;
+        }
+        prev = Some(d);
+        let nl = g.node_label(d);
+        match out[start..].iter_mut().find(|s| s.nl == nl) {
+            Some(s) => s.cnt += 1,
+            None => out.push(SigEntry {
+                dir,
+                el,
+                nl,
+                cnt: 1,
+            }),
+        }
+    }
+}
+
+/// One row's bound-edge profile at an anchor: the signatures its edges to
+/// *bound* images carry, with distinct-endpoint counts. Rows with equal
+/// profiles are interchangeable for new-node exclusion and batch together.
+type BoundProfile = Vec<(Dir, LabelId, LabelId, u32)>;
+
+fn bump_profile(profile: &mut BoundProfile, dir: Dir, el: LabelId, nl: LabelId) {
+    match profile
+        .iter_mut()
+        .find(|(d, e, n, _)| *d == dir && *e == el && *n == nl)
+    {
+        Some(slot) => slot.3 += 1,
+        None => profile.push((dir, el, nl, 1)),
+    }
+}
+
 /// [`harvest`] over the match rows `[lo, hi)` only — the harvest work unit
-/// of the work-stealing runtime. Merging range harvests
-/// ([`RawHarvest::merge`]) reproduces exactly the whole-set harvest, the
+/// of the work-stealing runtime. Merging range harvests (through
+/// [`ProposalAccumulator`]) reproduces exactly the whole-set harvest, the
 /// same invariant the per-fragment split relies on.
 pub fn harvest_range(
     q: &Pattern,
@@ -105,16 +332,241 @@ pub fn harvest_range(
     let mut raw = RawHarvest::default();
     let can_grow = q.node_count() < cfg.k;
     let pivot = q.pivot();
+    let arity = q.node_count();
+    let rows = hi - lo;
+    raw.work += rows as u64;
+
+    // Pivot image per row (the pivot column runs in row order, which the
+    // adjacent-duplicate collapse below exploits).
+    let pivots: Vec<NodeId> = (lo..hi).map(|i| ms.get(i)[pivot]).collect();
+
+    // Each distinct image is summarised once per call, into one arena.
+    let mut sig_arena: Vec<SigEntry> = Vec::new();
+    let mut sig_spans: FxHashMap<NodeId, (u32, u32)> = FxHashMap::default();
+    // Per-other-variable pair cache: edges between the anchor image and a
+    // bound image are probed once per *run* of equal endpoints, not per
+    // row (incremental joins emit rows in parent order, so images run).
+    let mut pair_cache: Vec<PairCache> = (0..arity).map(|_| PairCache::default()).collect();
+    let mut profile: BoundProfile = Vec::new();
+
+    for x in 0..arity {
+        let mut r = 0usize;
+        while r < rows {
+            // One group = a maximal run of rows sharing the image of `x`.
+            let n = ms.get(lo + r)[x];
+            let start = r;
+            while r < rows && ms.get(lo + r)[x] == n {
+                r += 1;
+            }
+
+            let span = if can_grow {
+                match sig_spans.get(&n) {
+                    Some(&s) => s,
+                    None => {
+                        let a = sig_arena.len() as u32;
+                        node_signature(g, n, &mut sig_arena, &mut raw.work);
+                        let s = (a, sig_arena.len() as u32);
+                        sig_spans.insert(n, s);
+                        s
+                    }
+                }
+            } else {
+                (0, 0) // closing proposals only: no new-node signatures
+            };
+
+            for slot in &mut pair_cache {
+                slot.valid = false;
+            }
+            // Rows bucketed by bound-edge profile; `clean` rows have none.
+            let mut clean: Vec<NodeId> = Vec::new();
+            let mut buckets: Vec<(BoundProfile, Vec<NodeId>)> = Vec::new();
+            let mut last_bucket = usize::MAX;
+
+            #[allow(clippy::needless_range_loop)] // `i` also indexes `ms` rows
+            for i in start..r {
+                let m = ms.get(lo + i);
+                let pv = pivots[i];
+                profile.clear();
+                for (y, slot) in pair_cache.iter_mut().enumerate() {
+                    let d = m[y];
+                    if m[..y].contains(&d) {
+                        continue; // first-occurrence var owns the image
+                    }
+                    if !slot.valid || slot.d != d {
+                        slot.recompute(q, g, x, y, n, d, can_grow, &mut raw.work);
+                    }
+                    for &el in &slot.closing {
+                        raw.closing.entry((x, y, el)).or_default().push(pv);
+                    }
+                    for &(dir, el, nl) in &slot.deltas {
+                        bump_profile(&mut profile, dir, el, nl);
+                    }
+                }
+                if !can_grow {
+                    continue; // no new-node bookkeeping
+                }
+                if profile.is_empty() {
+                    clean.push(pv);
+                } else if last_bucket != usize::MAX && buckets[last_bucket].0 == profile {
+                    buckets[last_bucket].1.push(pv);
+                } else {
+                    match buckets.iter().position(|(p, _)| *p == profile) {
+                        Some(b) => {
+                            buckets[b].1.push(pv);
+                            last_bucket = b;
+                        }
+                        None => {
+                            buckets.push((profile.clone(), vec![pv]));
+                            last_bucket = buckets.len() - 1;
+                        }
+                    }
+                }
+            }
+
+            // Adjacent-duplicate collapse before the bulk appends: within
+            // a group the pivot column still runs, so this removes most
+            // repetition at O(size) without a sort.
+            clean.dedup();
+            for (_, b) in &mut buckets {
+                b.dedup();
+            }
+
+            // Bulk new-node proposals: a row exhibits a signature unless
+            // its bound edges cover every neighbour carrying it.
+            let signature = &sig_arena[span.0 as usize..span.1 as usize];
+            let mut slices: Vec<&[NodeId]> = Vec::new();
+            for s in signature {
+                slices.clear();
+                if !clean.is_empty() {
+                    slices.push(&clean);
+                }
+                for (p, pvs) in &buckets {
+                    let bound = p
+                        .iter()
+                        .find(|(d, e, l, _)| *d == s.dir && *e == s.el && *l == s.nl)
+                        .map_or(0, |(_, _, _, c)| *c);
+                    if bound < s.cnt {
+                        slices.push(pvs);
+                    }
+                }
+                if !slices.is_empty() {
+                    let acc = raw.new_node.entry((x, s.dir, s.el, s.nl)).or_default();
+                    for pvs in &slices {
+                        acc.extend_from_slice(pvs);
+                    }
+                }
+            }
+        }
+    }
+    raw
+}
+
+/// Cached resolution of the edges between a fixed anchor image `n` and one
+/// bound endpoint `d`: the closing labels (edge labels `n → d` absent from
+/// the pattern between the two variables) and the bound-signature deltas
+/// `(dir, edge label, L(d))` the pair contributes to a row's profile.
+/// Valid while consecutive rows keep the same endpoint in the same
+/// variable — one pair probe per run, not per row.
+#[derive(Clone, Debug)]
+struct PairCache {
+    d: NodeId,
+    valid: bool,
+    closing: Vec<LabelId>,
+    deltas: Vec<(Dir, LabelId, LabelId)>,
+}
+
+impl Default for PairCache {
+    fn default() -> Self {
+        PairCache {
+            d: NodeId(0),
+            valid: false,
+            closing: Vec::new(),
+            deltas: Vec::new(),
+        }
+    }
+}
+
+impl PairCache {
+    /// Re-probes the pair `n → d` / `d → n` via binary-searched
+    /// `edges_between` slices. In-edges from bound images propose nothing
+    /// (the out side of the owning pair covers them), so the in probe is
+    /// profile bookkeeping only and skipped when growth is exhausted.
+    #[allow(clippy::too_many_arguments)]
+    fn recompute(
+        &mut self,
+        q: &Pattern,
+        g: &Graph,
+        x: Var,
+        y: Var,
+        n: NodeId,
+        d: NodeId,
+        grow: bool,
+        work: &mut u64,
+    ) {
+        self.d = d;
+        self.valid = true;
+        self.closing.clear();
+        self.deltas.clear();
+        let nl = g.node_label(d);
+        let out = g.edges_between(n, d);
+        *work += out.len() as u64;
+        let mut idx = 0;
+        while idx < out.len() {
+            let el = g.edge(out[idx]).label;
+            while idx < out.len() && g.edge(out[idx]).label == el {
+                idx += 1;
+            }
+            if !has_pattern_edge(q, x, y, el) {
+                self.closing.push(el);
+            }
+            if grow {
+                self.deltas.push((Dir::Out, el, nl));
+            }
+        }
+        if grow {
+            let inn = g.edges_between(d, n);
+            *work += inn.len() as u64;
+            let mut idx = 0;
+            while idx < inn.len() {
+                let el = g.edge(inn[idx]).label;
+                while idx < inn.len() && g.edge(inn[idx]).label == el {
+                    idx += 1;
+                }
+                self.deltas.push((Dir::In, el, nl));
+            }
+        }
+    }
+}
+
+/// The superseded per-row incident-edge scan, kept as the reference oracle
+/// for the harvest equivalence suite: walks every edge of every row image
+/// and classifies it on the spot. Produces the same merged proposals as
+/// [`harvest_range`] (the `work` counter differs — it measures each
+/// algorithm's own visits).
+pub fn harvest_range_reference(
+    q: &Pattern,
+    ms: &MatchSet,
+    g: &Graph,
+    cfg: &DiscoveryConfig,
+    lo: usize,
+    hi: usize,
+) -> RawHarvest {
+    assert!(lo <= hi && hi <= ms.len(), "range out of bounds");
+    let mut raw = RawHarvest::default();
+    let can_grow = q.node_count() < cfg.k;
+    let pivot = q.pivot();
+    raw.work += (hi - lo) as u64;
 
     for m in (lo..hi).map(|i| ms.get(i)) {
         let pv = m[pivot];
         for (x, &node) in m.iter().enumerate() {
+            raw.work += (g.out_degree(node) + g.in_degree(node)) as u64;
             for &eid in g.out_edges(node) {
                 let e = g.edge(eid);
                 match m.iter().position(|&w| w == e.dst) {
                     Some(y) => {
                         if !has_pattern_edge(q, x, y, e.label) {
-                            raw.closing.entry((x, y, e.label)).or_default().insert(pv);
+                            raw.closing.entry((x, y, e.label)).or_default().push(pv);
                         }
                     }
                     None => {
@@ -122,7 +574,7 @@ pub fn harvest_range(
                             raw.new_node
                                 .entry((x, Dir::Out, e.label, g.node_label(e.dst)))
                                 .or_default()
-                                .insert(pv);
+                                .push(pv);
                         }
                     }
                 }
@@ -138,7 +590,7 @@ pub fn harvest_range(
                     raw.new_node
                         .entry((x, Dir::In, e.label, g.node_label(e.src)))
                         .or_default()
-                        .insert(pv);
+                        .push(pv);
                 }
             }
         }
@@ -148,11 +600,12 @@ pub fn harvest_range(
 
 /// Label diversity + pivot accumulation per extension point (wildcard
 /// upgrade bookkeeping).
-type DiversitySlot = (FxHashSet<LabelId>, FxHashSet<NodeId>);
+type DiversitySlot = (FxHashSet<LabelId>, PivotAcc);
 
 /// Finalises a (possibly merged) harvest into ranked proposals, applying
-/// the `σ` filter and wildcard upgrades.
-pub fn proposals_from_harvest(raw: &RawHarvest, cfg: &DiscoveryConfig) -> ExtensionProposals {
+/// the `σ` filter and wildcard upgrades. Takes the harvest mutably to
+/// compact its pivot accumulators in place.
+pub fn proposals_from_harvest(raw: &mut RawHarvest, cfg: &DiscoveryConfig) -> ExtensionProposals {
     let mut proposals = ExtensionProposals::default();
     let threshold = if cfg.enable_pruning { cfg.sigma } else { 1 };
 
@@ -162,7 +615,8 @@ pub fn proposals_from_harvest(raw: &RawHarvest, cfg: &DiscoveryConfig) -> Extens
     let mut by_edge_label: FxHashMap<(Var, Dir, LabelId), DiversitySlot> = FxHashMap::default();
     let mut by_node_label: FxHashMap<(Var, Dir, LabelId), DiversitySlot> = FxHashMap::default();
 
-    for (&(x, dir, el, nl), pivots) in &raw.new_node {
+    for (&(x, dir, el, nl), pivots) in raw.new_node.iter_mut() {
+        let pivots = pivots.finish();
         let ext = make_new_node_ext(x, dir, PLabel::Is(el), PLabel::Is(nl));
         proposals.seen.insert(ext);
         if pivots.len() >= threshold {
@@ -171,38 +625,38 @@ pub fn proposals_from_harvest(raw: &RawHarvest, cfg: &DiscoveryConfig) -> Extens
         if cfg.wildcard_min_labels > 0 {
             let slot = by_edge_label.entry((x, dir, el)).or_default();
             slot.0.insert(nl);
-            slot.1.extend(pivots.iter().copied());
+            slot.1.extend_from_slice(pivots);
             let slot = by_node_label.entry((x, dir, nl)).or_default();
             slot.0.insert(el);
-            slot.1.extend(pivots.iter().copied());
+            slot.1.extend_from_slice(pivots);
         }
     }
     if cfg.wildcard_min_labels > 0 {
-        for (&(x, dir, el), (labels, pivots)) in &by_edge_label {
-            if labels.len() >= cfg.wildcard_min_labels && pivots.len() >= threshold {
+        for (&(x, dir, el), (labels, pivots)) in by_edge_label.iter_mut() {
+            if labels.len() >= cfg.wildcard_min_labels && pivots.finish().len() >= threshold {
                 let ext = make_new_node_ext(x, dir, PLabel::Is(el), PLabel::Wildcard);
                 proposals.seen.insert(ext);
-                proposals.frequent.push((ext, pivots.len()));
+                proposals.frequent.push((ext, pivots.finish().len()));
             }
         }
-        for (&(x, dir, nl), (labels, pivots)) in &by_node_label {
-            if labels.len() >= cfg.wildcard_min_labels && pivots.len() >= threshold {
+        for (&(x, dir, nl), (labels, pivots)) in by_node_label.iter_mut() {
+            if labels.len() >= cfg.wildcard_min_labels && pivots.finish().len() >= threshold {
                 let ext = make_new_node_ext(x, dir, PLabel::Wildcard, PLabel::Is(nl));
                 proposals.seen.insert(ext);
-                proposals.frequent.push((ext, pivots.len()));
+                proposals.frequent.push((ext, pivots.finish().len()));
             }
         }
     }
 
-    for (&(x, y, el), pivots) in &raw.closing {
+    for (&(x, y, el), pivots) in raw.closing.iter_mut() {
         let ext = Extension {
             src: End::Var(x),
             dst: End::Var(y),
             label: PLabel::Is(el),
         };
         proposals.seen.insert(ext);
-        if pivots.len() >= threshold {
-            proposals.frequent.push((ext, pivots.len()));
+        if pivots.finish().len() >= threshold {
+            proposals.frequent.push((ext, pivots.finish().len()));
         }
     }
 
@@ -222,7 +676,7 @@ pub fn propose_extensions(
     g: &Graph,
     cfg: &DiscoveryConfig,
 ) -> ExtensionProposals {
-    proposals_from_harvest(&harvest(q, ms, g, cfg), cfg)
+    proposals_from_harvest(&mut harvest(q, ms, g, cfg), cfg)
 }
 
 fn make_new_node_ext(x: Var, dir: Dir, edge: PLabel, node: PLabel) -> Extension {
@@ -410,7 +864,7 @@ mod tests {
     }
 
     #[test]
-    fn split_harvest_merge_equals_whole() {
+    fn split_harvest_accumulator_merge_equals_whole() {
         let g = kb();
         let q = Pattern::edge(
             PLabel::Is(g.interner().label("person")),
@@ -422,14 +876,58 @@ mod tests {
         let whole = propose_extensions(&q, &ms, &g, &c);
 
         let parts = ms.split(3);
-        let mut merged = RawHarvest::default();
-        for p in &parts {
-            merged.merge(harvest(&q, p, &g, &c));
+        // Two "workers" fold the parts, then merge as a monoid — in either
+        // order.
+        for reverse in [false, true] {
+            let mut accs = vec![
+                ProposalAccumulator::default(),
+                ProposalAccumulator::default(),
+            ];
+            for (i, p) in parts.iter().enumerate() {
+                accs[i % 2].fold(7, harvest(&q, p, &g, &c));
+            }
+            let mut merged = ProposalAccumulator::default();
+            assert!(merged.is_empty());
+            let drained: Vec<ProposalAccumulator> = if reverse {
+                accs.into_iter().rev().collect()
+            } else {
+                accs.into_iter().collect()
+            };
+            for a in drained {
+                merged.merge(a);
+            }
+            assert!(merged.byte_size() > 0);
+            assert!(merged.work() > 0);
+            let mut raw = merged.take(7);
+            assert!(merged.take(7).byte_size() < raw.byte_size());
+            let from_parts = proposals_from_harvest(&mut raw, &c);
+            assert_eq!(whole.frequent, from_parts.frequent);
+            assert_eq!(whole.seen, from_parts.seen);
         }
-        let from_parts = proposals_from_harvest(&merged, &c);
-        assert_eq!(whole.frequent, from_parts.frequent);
-        assert_eq!(whole.seen, from_parts.seen);
-        assert!(merged.byte_size() > 0);
+    }
+
+    #[test]
+    fn label_indexed_harvest_matches_reference_scan() {
+        let g = kb();
+        for (src, edge, dst) in [
+            ("person", "create", "product"),
+            ("product", "receive", "award"),
+            ("person", "parent", "person"),
+        ] {
+            let q = Pattern::edge(
+                PLabel::Is(g.interner().label(src)),
+                PLabel::Is(g.interner().label(edge)),
+                PLabel::Is(g.interner().label(dst)),
+            );
+            let ms = find_all(&q, &g);
+            let c = cfg(1);
+            let mut indexed = harvest(&q, &ms, &g, &c);
+            let mut reference = harvest_range_reference(&q, &ms, &g, &c, 0, ms.len());
+            let a = proposals_from_harvest(&mut indexed, &c);
+            let b = proposals_from_harvest(&mut reference, &c);
+            assert_eq!(a.frequent, b.frequent, "pattern {src}-{edge}->{dst}");
+            assert_eq!(a.seen, b.seen, "pattern {src}-{edge}->{dst}");
+        }
     }
 
     #[test]
@@ -551,5 +1049,22 @@ mod tests {
         let triples = triple_stats(&g);
         let negs = propose_negative_extensions(&q, &g, &triples, &props.seen, &c);
         assert!(negs.len() <= 1);
+    }
+
+    #[test]
+    fn pivot_acc_compacts_and_counts_distinct() {
+        let mut acc = PivotAcc::default();
+        for round in 0..4 {
+            for i in 0..100u32 {
+                acc.push(NodeId(i % 10));
+            }
+            let _ = round;
+        }
+        // Compaction keeps the buffer near the distinct count, not the
+        // insert count.
+        assert!(acc.buffered() < 100);
+        let distinct = acc.finish();
+        assert_eq!(distinct.len(), 10);
+        assert!(distinct.windows(2).all(|w| w[0] < w[1]));
     }
 }

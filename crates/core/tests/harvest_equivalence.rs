@@ -1,0 +1,244 @@
+//! Equivalence suite for vertical spawning: the label-indexed harvest
+//! (image-grouped adjacency-run summaries + bulk pivot accumulation +
+//! `ProposalAccumulator` merging) must produce exactly the proposals of
+//! the naive per-row incident-edge scan (`harvest_range_reference`), on
+//! random small graphs × random patterns, for every way of cutting the
+//! match rows into ranges and every order of merging the pieces.
+
+use gfd_core::{
+    harvest_range, harvest_range_reference, proposals_from_harvest, DiscoveryConfig,
+    ExtensionProposals, ProposalAccumulator,
+};
+use gfd_graph::{Graph, GraphBuilder, NodeId};
+use gfd_pattern::{find_all, MatchSet, PEdge, PLabel, Pattern};
+use proptest::prelude::*;
+
+const NODE_LABELS: usize = 3;
+const EDGE_LABELS: usize = 3;
+
+/// A graph blueprint: node labels (by index) and labelled edges.
+#[derive(Clone, Debug)]
+struct ProtoGraph {
+    nodes: Vec<usize>,
+    edges: Vec<(usize, usize, usize)>,
+}
+
+/// A pattern blueprint: `None` labels are wildcards.
+#[derive(Clone, Debug)]
+struct ProtoPattern {
+    nodes: Vec<Option<usize>>,
+    edges: Vec<(usize, usize, Option<usize>)>,
+    pivot: usize,
+}
+
+/// Discovery-config knobs the harvest depends on.
+#[derive(Clone, Debug)]
+struct ProtoCfg {
+    k: usize,
+    sigma: usize,
+    wildcard_min_labels: usize,
+    enable_pruning: bool,
+}
+
+fn graph_strategy() -> impl Strategy<Value = ProtoGraph> {
+    (1usize..=6).prop_flat_map(|n| {
+        (
+            prop::collection::vec(0usize..NODE_LABELS, n..=n),
+            // Self-loops and parallel edges included on purpose: they are
+            // the closing/bound corner cases of the harvest.
+            prop::collection::vec((0usize..n, 0usize..n, 0usize..EDGE_LABELS), 0..=14),
+        )
+            .prop_map(|(nodes, edges)| ProtoGraph { nodes, edges })
+    })
+}
+
+fn pattern_strategy() -> impl Strategy<Value = ProtoPattern> {
+    (1usize..=3).prop_flat_map(|n| {
+        (
+            prop::collection::vec(prop::option::of(0usize..NODE_LABELS), n..=n),
+            prop::collection::vec(
+                (0usize..n, 0usize..n, prop::option::of(0usize..EDGE_LABELS)),
+                0..=3,
+            ),
+            0usize..n,
+        )
+            .prop_map(|(nodes, edges, pivot)| ProtoPattern {
+                nodes,
+                edges,
+                pivot,
+            })
+    })
+}
+
+fn cfg_strategy() -> impl Strategy<Value = ProtoCfg> {
+    (
+        2usize..=4,
+        1usize..=3,
+        prop_oneof![Just(0usize), Just(2usize)],
+        prop_oneof![Just(false), Just(true)],
+    )
+        .prop_map(|(k, sigma, wildcard_min_labels, enable_pruning)| ProtoCfg {
+            k,
+            sigma,
+            wildcard_min_labels,
+            enable_pruning,
+        })
+}
+
+fn build_graph(p: &ProtoGraph) -> Graph {
+    let mut b = GraphBuilder::new();
+    let ids: Vec<NodeId> = p
+        .nodes
+        .iter()
+        .map(|&l| b.add_node(&format!("L{l}")))
+        .collect();
+    for &(s, d, l) in &p.edges {
+        b.add_edge(ids[s], ids[d], &format!("r{l}"));
+    }
+    b.build()
+}
+
+fn build_pattern(p: &ProtoPattern, g: &Graph) -> Pattern {
+    let nl = |l: Option<usize>| match l {
+        Some(i) => PLabel::Is(g.interner().label(&format!("L{i}"))),
+        None => PLabel::Wildcard,
+    };
+    let el = |l: Option<usize>| match l {
+        Some(i) => PLabel::Is(g.interner().label(&format!("r{i}"))),
+        None => PLabel::Wildcard,
+    };
+    Pattern::new(
+        p.nodes.iter().map(|&l| nl(l)).collect(),
+        p.edges
+            .iter()
+            .map(|&(s, d, l)| PEdge {
+                src: s,
+                dst: d,
+                label: el(l),
+            })
+            .collect(),
+        p.pivot,
+    )
+}
+
+fn build_cfg(p: &ProtoCfg) -> DiscoveryConfig {
+    let mut cfg = DiscoveryConfig::new(p.k, p.sigma);
+    cfg.wildcard_min_labels = p.wildcard_min_labels;
+    cfg.enable_pruning = p.enable_pruning;
+    cfg
+}
+
+/// Canonical comparison form: the ordered frequent list plus the sorted
+/// seen set (debug-printed so mismatches read well).
+fn canonical(props: &ExtensionProposals) -> (Vec<String>, Vec<String>) {
+    let frequent = props
+        .frequent
+        .iter()
+        .map(|(e, c)| format!("{e:?} @{c}"))
+        .collect();
+    let mut seen: Vec<String> = props.seen.iter().map(|e| format!("{e:?}")).collect();
+    seen.sort();
+    (frequent, seen)
+}
+
+fn reference_proposals(
+    q: &Pattern,
+    ms: &MatchSet,
+    g: &Graph,
+    cfg: &DiscoveryConfig,
+) -> ExtensionProposals {
+    let mut raw = harvest_range_reference(q, ms, g, cfg, 0, ms.len());
+    proposals_from_harvest(&mut raw, cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Whole-set label-indexed harvest == whole-set per-row reference scan.
+    #[test]
+    fn indexed_harvest_equals_reference(
+        pg in graph_strategy(),
+        pq in pattern_strategy(),
+        pc in cfg_strategy(),
+    ) {
+        let g = build_graph(&pg);
+        let q = build_pattern(&pq, &g);
+        let cfg = build_cfg(&pc);
+        let ms = find_all(&q, &g);
+        prop_assume!(!ms.is_empty());
+
+        let want = canonical(&reference_proposals(&q, &ms, &g, &cfg));
+        let mut raw = harvest_range(&q, &ms, &g, &cfg, 0, ms.len());
+        let got = canonical(&proposals_from_harvest(&mut raw, &cfg));
+        prop_assert_eq!(got, want, "graph {:?} pattern {:?} cfg {:?}", pg, pq, pc);
+    }
+
+    /// Range-split harvests folded into worker accumulators and merged in
+    /// an arbitrary order reproduce the whole-set reference proposals.
+    #[test]
+    fn split_and_merge_order_is_irrelevant(
+        pg in graph_strategy(),
+        pq in pattern_strategy(),
+        pc in cfg_strategy(),
+        cuts in prop::collection::vec(0usize..=100, 0..=3),
+        workers in 1usize..=3,
+        reversed in prop_oneof![Just(false), Just(true)],
+    ) {
+        let g = build_graph(&pg);
+        let q = build_pattern(&pq, &g);
+        let cfg = build_cfg(&pc);
+        let ms = find_all(&q, &g);
+        prop_assume!(!ms.is_empty());
+
+        // Cut points scaled into [0, rows], deduplicated.
+        let mut bounds: Vec<usize> = cuts.iter().map(|c| c * ms.len() / 100).collect();
+        bounds.push(0);
+        bounds.push(ms.len());
+        bounds.sort_unstable();
+        bounds.dedup();
+
+        // Round-robin the ranges over `workers` accumulators, then merge
+        // the accumulators forward or backward: the monoid must not care.
+        let mut accs: Vec<ProposalAccumulator> =
+            (0..workers).map(|_| ProposalAccumulator::default()).collect();
+        for (i, w) in bounds.windows(2).enumerate() {
+            let raw = harvest_range(&q, &ms, &g, &cfg, w[0], w[1]);
+            accs[i % workers].fold(42, raw);
+        }
+        if reversed {
+            accs.reverse();
+        }
+        let mut merged = ProposalAccumulator::default();
+        for a in accs {
+            merged.merge(a);
+        }
+        let mut raw = merged.take(42);
+
+        let want = canonical(&reference_proposals(&q, &ms, &g, &cfg));
+        let got = canonical(&proposals_from_harvest(&mut raw, &cfg));
+        prop_assert_eq!(got, want, "graph {:?} pattern {:?} cfg {:?} bounds {:?}", pg, pq, pc, bounds);
+    }
+
+    /// The deterministic work counter is a pure function of the harvested
+    /// range: re-running the same range yields the same count, and ranges
+    /// sum to their union when cut at the same points.
+    #[test]
+    fn work_counter_is_deterministic(
+        pg in graph_strategy(),
+        pq in pattern_strategy(),
+        cut in 0usize..=100,
+    ) {
+        let g = build_graph(&pg);
+        let q = build_pattern(&pq, &g);
+        let cfg = build_cfg(&ProtoCfg { k: 4, sigma: 1, wildcard_min_labels: 0, enable_pruning: true });
+        let ms = find_all(&q, &g);
+        prop_assume!(!ms.is_empty());
+        let mid = cut * ms.len() / 100;
+
+        let a = harvest_range(&q, &ms, &g, &cfg, 0, mid);
+        let b = harvest_range(&q, &ms, &g, &cfg, mid, ms.len());
+        let a2 = harvest_range(&q, &ms, &g, &cfg, 0, mid);
+        prop_assert_eq!(a.work, a2.work);
+        prop_assert!(a.work + b.work > 0);
+    }
+}

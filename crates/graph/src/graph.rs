@@ -148,6 +148,13 @@ impl LabelCsr {
             Err(_) => 0,
         }
     }
+
+    #[inline]
+    fn runs(&self, n: NodeId) -> impl Iterator<Item = (LabelId, &[EdgeId])> + '_ {
+        self.node_ranges(n)
+            .iter()
+            .map(move |r| (r.label, &self.list[r.lo as usize..r.hi as usize]))
+    }
 }
 
 /// Mutable construction state for a [`Graph`].
@@ -460,6 +467,24 @@ impl Graph {
         self.in_labeled.degree(n, l)
     }
 
+    /// Iterates the label-partitioned out-adjacency of `n` as one
+    /// `(label, edges)` run per distinct edge label, each run sorted by
+    /// `(dst, edge id)` — the range-iteration helper behind label-indexed
+    /// harvesting: per-label degrees and per-label neighbour walks come
+    /// from one pass over the (small) per-node label index instead of
+    /// filtering the full adjacency.
+    #[inline]
+    pub fn out_label_runs(&self, n: NodeId) -> impl Iterator<Item = (LabelId, &[EdgeId])> + '_ {
+        self.out_labeled.runs(n)
+    }
+
+    /// Iterates the label-partitioned in-adjacency of `n` as
+    /// `(label, edges)` runs, each sorted by `(src, edge id)`.
+    #[inline]
+    pub fn in_label_runs(&self, n: NodeId) -> impl Iterator<Item = (LabelId, &[EdgeId])> + '_ {
+        self.in_labeled.runs(n)
+    }
+
     /// Total degree of `n` (the `d` parameter of Theorem 1(b)).
     #[inline]
     pub fn degree(&self, n: NodeId) -> usize {
@@ -715,6 +740,33 @@ mod tests {
                 assert_eq!(g.in_edges_labeled(n, l), expect_in.as_slice());
                 assert_eq!(g.in_label_degree(n, l), expect_in.len());
             }
+        }
+    }
+
+    #[test]
+    fn label_runs_cover_the_adjacency_exactly_once() {
+        let g = toy();
+        for n in g.nodes() {
+            let mut out_run_edges: Vec<EdgeId> = Vec::new();
+            for (l, edges) in g.out_label_runs(n) {
+                assert_eq!(edges, g.out_edges_labeled(n, l));
+                assert_eq!(edges.len(), g.out_label_degree(n, l));
+                out_run_edges.extend_from_slice(edges);
+            }
+            let mut expect: Vec<EdgeId> = g.out_edges(n).to_vec();
+            expect.sort_unstable();
+            out_run_edges.sort_unstable();
+            assert_eq!(out_run_edges, expect);
+
+            let mut in_run_edges: Vec<EdgeId> = Vec::new();
+            for (l, edges) in g.in_label_runs(n) {
+                assert_eq!(edges, g.in_edges_labeled(n, l));
+                in_run_edges.extend_from_slice(edges);
+            }
+            let mut expect: Vec<EdgeId> = g.in_edges(n).to_vec();
+            expect.sort_unstable();
+            in_run_edges.sort_unstable();
+            assert_eq!(in_run_edges, expect);
         }
     }
 

@@ -25,7 +25,8 @@ use std::time::{Duration, Instant};
 use gfd_core::{
     mine_dependencies_with, proposals_from_harvest, propose_negative_extensions,
     CandidateEvaluator, CandidateStats, CatalogCounts, DiscoveredGfd, DiscoveryConfig,
-    DiscoveryResult, GenTree, Inserted, LiteralCatalog, NodeState, PartialStats, RawHarvest,
+    DiscoveryResult, GenTree, Inserted, LiteralCatalog, NodeState, PartialStats,
+    ProposalAccumulator,
 };
 use gfd_graph::{triple_stats, Graph, NodeId};
 use gfd_logic::{Gfd, Literal, Rhs};
@@ -231,21 +232,24 @@ pub fn par_dis(g: &Arc<Graph>, cfg: &DiscoveryConfig, ccfg: &ClusterConfig) -> P
         let mut spawned_this_level = 0usize;
 
         for pid in parents {
-            // Parallel harvest + master-side merge (VSpawn).
+            // Parallel harvest (VSpawn): per-fragment results fold through
+            // the same `ProposalAccumulator` merge path the work-stealing
+            // runtime uses per worker.
             let harvest_results = cluster.broadcast(Task::Harvest {
                 node: pid,
                 cfg: cfg.clone(),
             });
             let m0 = Instant::now();
-            let mut merged = RawHarvest::default();
+            let mut acc = ProposalAccumulator::default();
             let mut bytes = Vec::with_capacity(harvest_results.len());
             for r in harvest_results {
                 if let TaskResult::Harvested(h) = r {
                     bytes.push(h.byte_size());
-                    merged.merge(*h);
+                    acc.fold(pid, *h);
                 }
             }
-            let proposals = proposals_from_harvest(&merged, cfg);
+            let mut merged = acc.take(pid);
+            let proposals = proposals_from_harvest(&mut merged, cfg);
             let negs = if cfg.mine_negative {
                 propose_negative_extensions(
                     &tree.node(pid).pattern,

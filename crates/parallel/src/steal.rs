@@ -21,10 +21,15 @@
 //!   empty, so an uneven wave never leaves a worker idle while work
 //!   remains.
 //! * **Warm state.** Each worker keeps one [`MatcherScratch`] (the O(|V|)
-//!   injectivity mark array, allocated once per thread) and the
-//!   `(MatchTable, BitmapIndex)` shards of the pattern lattice it is
-//!   currently evaluating, keyed by range — consecutive `(rule,
-//!   pivot-range)` units with the same affinity hit the same warm bitmaps.
+//!   injectivity mark array, allocated once per thread) and the bitmap
+//!   indexes of the pattern lattice it is currently evaluating, keyed by
+//!   range — consecutive `(rule, pivot-range)` units with the same
+//!   affinity hit the same warm bitmaps. The underlying shard tables are
+//!   built exactly once and shared across workers behind an `Arc`
+//!   ([`EvalSpec::shard_table`]); only the mutable bitmaps are
+//!   per-worker. Harvest units fold their raw proposals into a per-worker
+//!   [`ProposalAccumulator`] mid-wave, so the master merges at most
+//!   `workers` accumulators instead of one result per range.
 //! * **[`ExecMode::Simulated`]** runs units inline but assigns each unit's
 //!   measured time and modelled cost to the virtual worker with the least
 //!   accumulated load (greedy list scheduling — exactly what dynamic
@@ -39,7 +44,7 @@
 //! matches the sequential algorithm's, and two runs on the same input are
 //! identical regardless of thread interleaving.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -49,7 +54,7 @@ use gfd_core::{
     proposals_from_harvest, propose_negative_extensions, BitmapIndex, CandidateEvaluator,
     CandidateStats, CatalogCounts, Covered, DiscoveredGfd, DiscoveryConfig, DiscoveryResult,
     GenTree, HSpawnStats, Inserted, LiteralCatalog, MatchTable, MinedDependency, NodeState,
-    PartialStats, RawHarvest, RhsMineOutcome,
+    PartialStats, ProposalAccumulator, RhsMineOutcome,
 };
 use gfd_graph::{triple_stats, AttrId, FxHashMap, Graph, NodeId};
 use gfd_logic::ClosureScratch;
@@ -106,7 +111,7 @@ impl StealConfig {
 
 /// Shared description of one pattern's row-range partition: every
 /// `(rule, pivot-range)` unit of the lattice carries an `Arc` of this, so a
-/// stealing worker can (re)build any shard it does not hold warm.
+/// stealing worker can reach any shard it does not hold warm.
 #[derive(Debug)]
 pub struct EvalSpec {
     /// Generation-tree node id (worker cache key).
@@ -119,6 +124,54 @@ pub struct EvalSpec {
     pub attrs: Arc<Vec<AttrId>>,
     /// The contiguous row ranges, in order.
     pub ranges: Vec<(usize, usize)>,
+    /// Shard tables, one slot per range: built exactly once (by whichever
+    /// worker touches the range first) and shared behind an `Arc` by every
+    /// worker mining the pattern. Bitmap indexes stay worker-local — they
+    /// mutate as literal bitmaps build lazily — but the table build scan
+    /// is never duplicated.
+    tables: Vec<OnceLock<Arc<MatchTable>>>,
+}
+
+impl EvalSpec {
+    /// A spec over `ranges` with empty shared-table slots.
+    pub fn new(
+        node: usize,
+        q: Arc<Pattern>,
+        ms: Arc<MatchSet>,
+        attrs: Arc<Vec<AttrId>>,
+        ranges: Vec<(usize, usize)>,
+    ) -> EvalSpec {
+        let tables = (0..ranges.len()).map(|_| OnceLock::new()).collect();
+        EvalSpec {
+            node,
+            q,
+            ms,
+            attrs,
+            ranges,
+            tables,
+        }
+    }
+
+    /// The shared table of `range`, built on first use and `Arc`-cloned
+    /// for every later caller.
+    pub fn shard_table(&self, g: &Graph, range: usize) -> Arc<MatchTable> {
+        Arc::clone(self.tables[range].get_or_init(|| {
+            let (lo, hi) = self.ranges[range];
+            Arc::new(MatchTable::build_range(
+                &self.q,
+                &self.ms,
+                g,
+                &self.attrs,
+                lo,
+                hi,
+            ))
+        }))
+    }
+
+    /// The shared table of `range`, if some worker has built it already.
+    pub fn built_table(&self, range: usize) -> Option<&Arc<MatchTable>> {
+        self.tables[range].get()
+    }
 }
 
 /// One work unit pulled by a worker.
@@ -134,8 +187,12 @@ pub enum Unit {
         /// Range end.
         hi: usize,
     },
-    /// Harvest extension proposals from match rows `[lo, hi)`.
+    /// Harvest extension proposals from match rows `[lo, hi)`, folding the
+    /// raw result into the worker's [`ProposalAccumulator`] (drained by
+    /// the master once per wave) instead of shipping it per unit.
     Harvest {
+        /// Generation-tree node id (the accumulator key).
+        node: usize,
         /// The pattern.
         q: Arc<Pattern>,
         /// Its matches.
@@ -224,8 +281,9 @@ pub struct MineOutcome {
 pub enum UnitResult {
     /// Matches of a seed range.
     Seeded(MatchSet),
-    /// Raw harvest of a row range.
-    Harvested(Box<RawHarvest>),
+    /// A harvest range was folded into the worker's accumulator (the
+    /// pivots travel via [`StealPool::drain_accumulators`], not per unit).
+    HarvestFolded,
     /// Join output: child rows (in parent-row order) plus the range's
     /// distinct pivot images (sorted).
     Joined {
@@ -257,8 +315,11 @@ struct WorkerState {
     scratch: Option<MatcherScratch>,
     /// Reusable closure union–find for `MineRhs` lattices.
     closure: ClosureScratch,
-    /// Warm `(MatchTable, BitmapIndex)` shards, keyed by (node, range).
-    cache: FxHashMap<(usize, usize), (MatchTable, BitmapIndex)>,
+    /// Warm shards, keyed by (node, range): the `Arc`-shared table plus
+    /// this worker's own lazily built bitmap index.
+    cache: FxHashMap<(usize, usize), (Arc<MatchTable>, BitmapIndex)>,
+    /// Harvests folded mid-wave, drained by the master once per wave.
+    accum: ProposalAccumulator,
 }
 
 impl WorkerState {
@@ -268,12 +329,14 @@ impl WorkerState {
             scratch: Some(MatcherScratch::new()),
             closure: ClosureScratch::new(),
             cache: FxHashMap::default(),
+            accum: ProposalAccumulator::default(),
         }
     }
 
-    /// The warm shard for `(spec.node, range)`, building it on a miss (a
-    /// stolen unit lands on a worker that has not built this range).
-    fn shard(&mut self, spec: &EvalSpec, range: usize) -> &mut (MatchTable, BitmapIndex) {
+    /// The warm shard for `(spec.node, range)`: on a cache miss the shared
+    /// table is fetched (or built, exactly once across all workers) and a
+    /// fresh worker-local bitmap index attached.
+    fn shard(&mut self, spec: &EvalSpec, range: usize) -> &mut (Arc<MatchTable>, BitmapIndex) {
         ensure_shard(&mut self.cache, &self.g, spec, range)
     }
 
@@ -290,12 +353,20 @@ impl WorkerState {
                 let cost = (hi - lo + found) as u64;
                 (UnitResult::Seeded(out), cost)
             }
-            Unit::Harvest { q, ms, cfg, lo, hi } => {
+            Unit::Harvest {
+                node,
+                q,
+                ms,
+                cfg,
+                lo,
+                hi,
+            } => {
                 let raw = harvest_range(&q, &ms, &self.g, &cfg, lo, hi);
-                (
-                    UnitResult::Harvested(Box::new(raw)),
-                    (hi - lo).max(1) as u64,
-                )
+                let cost = (hi - lo).max(1) as u64;
+                // The merge rides the wave: folding here is the per-worker
+                // half; the master only combines ≤ `workers` accumulators.
+                self.accum.fold(node, raw);
+                (UnitResult::HarvestFolded, cost)
             }
             Unit::Join { q, ms, ext, lo, hi } => {
                 let child = q.extend(&ext);
@@ -342,7 +413,7 @@ impl WorkerState {
                 // the closure scratch from `self.closure`.
                 let closure = &mut self.closure;
                 let (t, idx) = ensure_shard(&mut self.cache, &self.g, &spec, 0);
-                let mut eval = ShardEval { t, idx };
+                let mut eval = ShardEval { t: t.as_ref(), idx };
                 let o = mine_rhs_with(&mut eval, &catalog, l, &covered, &cfg, closure);
                 // Modelled cost mirrors the barrier schedule's: one full
                 // table scan per evaluated candidate plus the σ-bound scan
@@ -355,22 +426,23 @@ impl WorkerState {
     }
 }
 
-/// Looks up (or builds) the warm `(MatchTable, BitmapIndex)` shard for
-/// `(spec.node, range)` in a worker's cache — the single definition of the
-/// shard recipe and the cache-cap eviction, shared by every unit kind.
+/// Looks up the warm shard for `(spec.node, range)` in a worker's cache —
+/// the single definition of the shard recipe and the cache-cap eviction,
+/// shared by every unit kind. On a miss the `Arc`-shared table comes from
+/// the spec (built once across the whole pool); only the bitmap index is
+/// created per worker.
 fn ensure_shard<'a>(
-    cache: &'a mut FxHashMap<(usize, usize), (MatchTable, BitmapIndex)>,
+    cache: &'a mut FxHashMap<(usize, usize), (Arc<MatchTable>, BitmapIndex)>,
     g: &Graph,
     spec: &EvalSpec,
     range: usize,
-) -> &'a mut (MatchTable, BitmapIndex) {
+) -> &'a mut (Arc<MatchTable>, BitmapIndex) {
     let key = (spec.node, range);
     if !cache.contains_key(&key) {
         if cache.len() >= SHARD_CACHE_CAP {
             cache.clear();
         }
-        let (lo, hi) = spec.ranges[range];
-        let t = MatchTable::build_range(&spec.q, &spec.ms, g, &spec.attrs, lo, hi);
+        let t = spec.shard_table(g, range);
         let idx = BitmapIndex::new(&t);
         cache.insert(key, (t, idx));
     }
@@ -395,6 +467,8 @@ impl CandidateEvaluator for ShardEval<'_> {
 
 enum PoolMsg {
     Wake,
+    /// Hand the worker's folded [`ProposalAccumulator`] to the master.
+    Drain,
     Stop,
 }
 
@@ -408,6 +482,8 @@ pub struct StealPool {
     queues: Vec<Arc<Injector<(usize, Unit)>>>,
     wake: Vec<Sender<PoolMsg>>,
     results: Option<Receiver<WaveResult>>,
+    /// Per-worker accumulator hand-off (threads mode).
+    accums: Option<Receiver<ProposalAccumulator>>,
     handles: Vec<std::thread::JoinHandle<()>>,
     /// Inline worker state (simulated mode).
     sim: Option<WorkerState>,
@@ -428,6 +504,7 @@ impl StealPool {
         let mut wake = Vec::new();
         let mut handles = Vec::new();
         let mut results = None;
+        let mut accums = None;
         let mut sim = None;
 
         match cfg.mode {
@@ -436,12 +513,15 @@ impl StealPool {
             }
             ExecMode::Threads => {
                 let (res_tx, res_rx) = unbounded::<WaveResult>();
+                let (acc_tx, acc_rx) = unbounded::<ProposalAccumulator>();
                 results = Some(res_rx);
+                accums = Some(acc_rx);
                 for id in 0..n {
                     let (wake_tx, wake_rx) = unbounded::<PoolMsg>();
                     wake.push(wake_tx);
                     let queues = queues.clone();
                     let res_tx = res_tx.clone();
+                    let acc_tx = acc_tx.clone();
                     let g = Arc::clone(&g);
                     handles.push(std::thread::spawn(move || {
                         let mut state = WorkerState::new(g);
@@ -454,6 +534,9 @@ impl StealPool {
                             }
                             match wake_rx.recv() {
                                 Ok(PoolMsg::Wake) => continue,
+                                Ok(PoolMsg::Drain) => {
+                                    let _ = acc_tx.send(std::mem::take(&mut state.accum));
+                                }
                                 _ => return,
                             }
                         }
@@ -468,6 +551,7 @@ impl StealPool {
             queues,
             wake,
             results,
+            accums,
             handles,
             sim,
             clocks: Clocks::default(),
@@ -563,6 +647,31 @@ impl StealPool {
     /// Adds master-side compute to the clock.
     pub fn charge_master(&mut self, d: Duration) {
         self.clocks.master += d;
+    }
+
+    /// Collects and merges every worker's folded [`ProposalAccumulator`]
+    /// — the master-side half of a harvest wave. Must run between waves
+    /// (each wave fully drains before [`Self::run_wave`] returns, so every
+    /// harvest unit has been folded into exactly one worker's
+    /// accumulator); the master combines at most `workers` accumulators,
+    /// and the merge is a monoid, so stealing never changes the result.
+    pub fn drain_accumulators(&mut self) -> ProposalAccumulator {
+        match self.mode {
+            ExecMode::Simulated => {
+                std::mem::take(&mut self.sim.as_mut().expect("simulated state").accum)
+            }
+            ExecMode::Threads => {
+                for tx in &self.wake {
+                    let _ = tx.send(PoolMsg::Drain);
+                }
+                let rx = self.accums.as_ref().expect("threads accums");
+                let mut merged = ProposalAccumulator::default();
+                for _ in 0..self.workers {
+                    merged.merge(rx.recv().expect("worker alive"));
+                }
+                merged
+            }
+        }
     }
 }
 
@@ -777,7 +886,12 @@ pub fn par_dis_steal(g: &Arc<Graph>, cfg: &DiscoveryConfig, scfg: &StealConfig) 
             frequent_roots.push(id);
         }
     }
-    let mut outcomes = run_mining(&mut pool, mine_jobs, &attrs, &cfg_arc, scfg);
+    // Harvests for the next level ride the mining wave: `run_mining`
+    // returns the per-worker accumulators already merged down to one.
+    // Roots are always below the level cap (level_cap() ≥ 1), so their
+    // harvests are always wanted.
+    let (mut outcomes, mut pending) =
+        run_mining(&mut pool, mine_jobs, &attrs, &cfg_arc, scfg, true);
     for id in frequent_roots {
         apply_outcome(&mut tree, id, &mut outcomes, &mut result);
     }
@@ -795,44 +909,19 @@ pub fn par_dis_steal(g: &Arc<Graph>, cfg: &DiscoveryConfig, scfg: &StealConfig) 
         }
         let mut spawned_this_level = 0usize;
 
-        // Wave H: harvest every parent's matches by row range.
-        let m0 = Instant::now();
-        let mut harvest_units: Vec<Unit> = Vec::new();
-        let mut hjobs: Vec<(usize, Arc<Pattern>, usize)> = Vec::new();
-        for &pid in &parents {
-            let Some(ms) = live.get(&pid) else {
-                continue;
-            };
-            let q = Arc::new(tree.node(pid).pattern.clone());
-            let ranges = split_ranges(ms.len(), scfg.range_min_rows, max_parts);
-            for &(lo, hi) in &ranges {
-                harvest_units.push(Unit::Harvest {
-                    q: Arc::clone(&q),
-                    ms: Arc::clone(ms),
-                    cfg: Arc::clone(&cfg_arc),
-                    lo,
-                    hi,
-                });
-            }
-            hjobs.push((pid, q, ranges.len()));
-        }
-        pool.charge_master(m0.elapsed());
-        let harvested = pool.run_wave(harvest_units);
-
-        // Master: merge harvests, propose, insert — `SeqDis`'s insertion
-        // order, with joins deferred into one wave.
+        // Master: take each parent's merged harvest (folded during the
+        // previous level's build wave), propose, insert — `SeqDis`'s
+        // insertion order, with joins deferred into one wave.
         let m0 = Instant::now();
         let mut events: Vec<Event> = Vec::new();
         let mut join_units: Vec<Unit> = Vec::new();
-        let mut harvested = harvested.into_iter();
-        for (pid, pq, cnt) in hjobs {
-            let mut merged = RawHarvest::default();
-            for r in harvested.by_ref().take(cnt) {
-                if let UnitResult::Harvested(h) = r {
-                    merged.merge(*h);
-                }
+        for &pid in &parents {
+            if !live.contains_key(&pid) {
+                continue;
             }
-            let proposals = proposals_from_harvest(&merged, cfg);
+            let pq = Arc::new(tree.node(pid).pattern.clone());
+            let mut merged = pending.take(pid);
+            let proposals = proposals_from_harvest(&mut merged, cfg);
             let negs = if cfg.mine_negative {
                 propose_negative_extensions(
                     &tree.node(pid).pattern,
@@ -956,8 +1045,17 @@ pub fn par_dis_steal(g: &Arc<Graph>, cfg: &DiscoveryConfig, scfg: &StealConfig) 
         }
         pool.charge_master(m0.elapsed());
 
-        // Wave M: the level's lattices.
-        let mut outcomes = run_mining(&mut pool, mine_jobs, &attrs, &cfg_arc, scfg);
+        // Wave M: the level's lattices, with the next level's harvests
+        // folded into the build wave (none at the final level).
+        let (mut outcomes, next_pending) = run_mining(
+            &mut pool,
+            mine_jobs,
+            &attrs,
+            &cfg_arc,
+            scfg,
+            level < cfg.level_cap(),
+        );
+        pending = next_pending;
 
         // Emission replay, in `SeqDis`'s exact order.
         for ev in &events {
@@ -999,9 +1097,14 @@ pub fn par_dis_steal(g: &Arc<Graph>, cfg: &DiscoveryConfig, scfg: &StealConfig) 
 
 /// Mines the queued lattices in three phases:
 ///
-/// 1. one **build wave** creating every pattern's table shards and merging
-///    their literal counts into catalogs (single shard for small tables,
-///    `workers × `[`RANGE_OVERSPLIT`]` ranges past the row threshold);
+/// 1. one **build wave** creating every pattern's `Arc`-shared table
+///    shards and merging their literal counts into catalogs (single shard
+///    for small tables, `workers × `[`RANGE_OVERSPLIT`]` ranges past the
+///    row threshold) — and, when `harvest_children` is set, the same wave
+///    harvests every pattern's extension proposals by row range, each
+///    worker folding its harvests into a [`ProposalAccumulator`] that the
+///    master drains and merges after the wave (the next level's proposals
+///    cost no extra wave and no serial master merge);
 /// 2. one **`MineRhs` wave** for the small patterns — per-consequence
 ///    sub-lattice units, merged per pattern in catalog order (independent
 ///    by construction, so the merge reproduces `mine_dependencies`
@@ -1014,11 +1117,13 @@ fn run_mining(
     attrs: &Arc<Vec<AttrId>>,
     cfg: &Arc<DiscoveryConfig>,
     scfg: &StealConfig,
-) -> FxHashMap<usize, MineOutcome> {
+    harvest_children: bool,
+) -> (FxHashMap<usize, MineOutcome>, ProposalAccumulator) {
     let mut outcomes: FxHashMap<usize, MineOutcome> = FxHashMap::default();
     let max_parts = pool.workers() * RANGE_OVERSPLIT;
 
-    // Phase 1: shards + catalogs for every job, one wave.
+    // Phase 1: shards + catalogs (+ next-level harvests) for every job,
+    // one wave.
     let mut specs: Vec<(Arc<EvalSpec>, bool)> = Vec::with_capacity(jobs.len());
     let mut build_units: Vec<Unit> = Vec::new();
     for job in &jobs {
@@ -1029,13 +1134,13 @@ fn run_mining(
         } else {
             vec![(0, rows)]
         };
-        let spec = Arc::new(EvalSpec {
-            node: job.id,
-            q: Arc::clone(&job.q),
-            ms: Arc::clone(&job.ms),
-            attrs: Arc::clone(attrs),
+        let spec = Arc::new(EvalSpec::new(
+            job.id,
+            Arc::clone(&job.q),
+            Arc::clone(&job.ms),
+            Arc::clone(attrs),
             ranges,
-        });
+        ));
         for range in 0..spec.ranges.len() {
             build_units.push(Unit::BuildRange {
                 spec: Arc::clone(&spec),
@@ -1044,8 +1149,29 @@ fn run_mining(
         }
         specs.push((spec, large));
     }
-    let mut built = pool.run_wave(build_units).into_iter();
+    let catalog_units = build_units.len();
+    if harvest_children {
+        for job in &jobs {
+            for &(lo, hi) in &split_ranges(job.ms.len(), scfg.range_min_rows, max_parts) {
+                build_units.push(Unit::Harvest {
+                    node: job.id,
+                    q: Arc::clone(&job.q),
+                    ms: Arc::clone(&job.ms),
+                    cfg: Arc::clone(cfg),
+                    lo,
+                    hi,
+                });
+            }
+        }
+    }
+    let wave = pool.run_wave(build_units);
     let m0 = Instant::now();
+    let harvests = if harvest_children {
+        pool.drain_accumulators()
+    } else {
+        ProposalAccumulator::default()
+    };
+    let mut built = wave.into_iter().take(catalog_units);
     let catalogs: Vec<Arc<LiteralCatalog>> = specs
         .iter()
         .map(|(spec, _)| {
@@ -1132,7 +1258,7 @@ fn run_mining(
             },
         );
     }
-    outcomes
+    (outcomes, harvests)
 }
 
 /// Installs a mined outcome on the tree and appends its dependencies —
@@ -1303,6 +1429,65 @@ mod tests {
         assert_eq!(a.work_makespan, b.work_makespan);
         assert_eq!(a.work_busy, b.work_busy);
         assert_eq!(a.barriers, b.barriers);
+    }
+
+    /// `MineRhs` shard tables are built once and shared: after a wave that
+    /// spreads one pattern's consequences over ≥2 workers, the spec's
+    /// `Arc<MatchTable>` is held by every worker cache that touched it —
+    /// not rebuilt per worker.
+    #[test]
+    fn mine_rhs_shard_tables_are_shared() {
+        let g = kb();
+        let scfg = StealConfig::new(2, ExecMode::Threads);
+        let mut pool = StealPool::new(Arc::clone(&g), &scfg);
+        let q = Arc::new(Pattern::edge(
+            PLabel::Is(g.interner().lookup_label("person").unwrap()),
+            PLabel::Is(g.interner().lookup_label("create").unwrap()),
+            PLabel::Is(g.interner().lookup_label("product").unwrap()),
+        ));
+        let ms = Arc::new(gfd_pattern::find_all(&q, &g));
+        let rows = ms.len();
+        let attrs = Arc::new(cfg().resolve_active_attrs(&g));
+        let spec = Arc::new(EvalSpec::new(
+            0,
+            Arc::clone(&q),
+            Arc::clone(&ms),
+            Arc::clone(&attrs),
+            vec![(0, rows)],
+        ));
+
+        // Build the catalog the way run_mining does, then mine every
+        // consequence as its own unit: affinity spreads them over both
+        // workers.
+        let built = pool.run_wave(vec![Unit::BuildRange {
+            spec: Arc::clone(&spec),
+            range: 0,
+        }]);
+        let UnitResult::Counts(counts) = &built[0] else {
+            panic!("build result expected");
+        };
+        let catalog = Arc::new(counts.as_ref().clone().finalize_capped(3, 1, 0));
+        assert!(catalog.literals.len() >= 2, "need units for both workers");
+        let covered = Arc::new(Vec::new());
+        let c = Arc::new(cfg());
+        let units: Vec<Unit> = (0..catalog.literals.len())
+            .map(|l_idx| Unit::MineRhs {
+                spec: Arc::clone(&spec),
+                catalog: Arc::clone(&catalog),
+                l_idx,
+                covered: Arc::clone(&covered),
+                cfg: Arc::clone(&c),
+            })
+            .collect();
+        pool.run_wave(units);
+
+        let table = spec.built_table(0).expect("table built during the wave");
+        assert!(
+            Arc::strong_count(table) > 1,
+            "worker caches must hold Arc clones of the shared table, not rebuilds \
+             (strong_count = {})",
+            Arc::strong_count(table)
+        );
     }
 
     #[test]
