@@ -7,6 +7,8 @@
 //! cargo run -p gfd-bench --release --bin experiments -- --scale 0.5 fig5e
 //! ```
 
+#![forbid(unsafe_code)]
+
 use gfd_bench::{
     exp_ablation, exp_baselines, exp_cover, exp_extensions, exp_parallel, exp_params, exp_rules,
     Scale,

@@ -16,6 +16,8 @@
 //! cargo run -p gfd-bench --release --bin perf -- --scenario tiny --runtime steal --mode simulated
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::sync::Arc;
 use std::time::Instant;
 

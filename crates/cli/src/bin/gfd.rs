@@ -1,6 +1,8 @@
 //! `gfd` — command-line entry point. All logic lives in `gfd_cli::run`
 //! so it stays unit-testable.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match gfd_cli::run(&args) {

@@ -78,9 +78,11 @@ impl CatalogCounts {
 
     /// Sums another fragment's counts into this one.
     pub fn merge(&mut self, other: CatalogCounts) {
+        // gfd-lint: allow(nondeterminism) — keyed `+=` into a map is a commutative fold; visit order cannot change the resulting counts
         for (k, v) in other.values {
             *self.values.entry(k).or_insert(0) += v;
         }
+        // gfd-lint: allow(nondeterminism) — same commutative keyed sum as above
         for (k, v) in other.agreements {
             *self.agreements.entry(k).or_insert(0) += v;
         }
@@ -112,6 +114,7 @@ impl CatalogCounts {
 
         // Rank constants per (var, attr).
         let mut per_term: FxHashMap<(Var, AttrId), Vec<(Value, usize)>> = FxHashMap::default();
+        // gfd-lint: allow(nondeterminism) — grouping only: each per-term bucket is fully re-sorted below before any ranking decision
         for (&(var, attr, value), &count) in &self.values {
             if count >= min_rows {
                 per_term
@@ -120,6 +123,7 @@ impl CatalogCounts {
                     .push((value, count));
             }
         }
+        // gfd-lint: allow(nondeterminism) — push order is erased by the total-order sort before the cap and the final sort/dedup
         for ((var, attr), mut ranked) in per_term {
             ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
             ranked.truncate(values_per_attr);
@@ -128,6 +132,7 @@ impl CatalogCounts {
             }
         }
 
+        // gfd-lint: allow(nondeterminism) — candidate set only; order erased by the total-order sort before the cap and the final sort/dedup
         for (&(v1, a1, v2, a2), &count) in &self.agreements {
             if count >= min_rows {
                 ranked_literals.push((Literal::var_var(v1, a1, v2, a2), count));
@@ -135,7 +140,10 @@ impl CatalogCounts {
         }
 
         if max_literals > 0 && ranked_literals.len() > max_literals {
-            ranked_literals.sort_unstable_by_key(|&(_, count)| std::cmp::Reverse(count));
+            // Tie-break by the literal itself: a count-only sort would let
+            // hash-iteration push order decide which equal-count
+            // candidates survive the cap.
+            ranked_literals.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
             ranked_literals.truncate(max_literals);
         }
         let mut literals: Vec<Literal> = ranked_literals.into_iter().map(|(l, _)| l).collect();

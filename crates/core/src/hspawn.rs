@@ -255,6 +255,7 @@ pub fn merge_rhs_outcome(
 ) {
     out.extend(o.deps);
     covered.extend(o.covered_additions);
+    // gfd-lint: allow(nondeterminism) — keyed `max` into a map is a commutative, associative fold; visit order cannot change the result
     for (x, support) in o.negatives {
         let entry = negatives.entry(x).or_insert(0);
         *entry = (*entry).max(support);
@@ -265,8 +266,10 @@ pub fn merge_rhs_outcome(
 /// Appends the accumulated negative GFDs in deterministic order — the tail
 /// step of [`mine_dependencies_with`], shared with the per-`l` merge path.
 pub fn finish_negatives(negatives: FxHashMap<Vec<Literal>, usize>, out: &mut Vec<MinedDependency>) {
+    // gfd-lint: allow(nondeterminism) — drained into a Vec that is fully sorted on the next line; hash order never escapes
     let mut negatives: Vec<(Vec<Literal>, usize)> = negatives.into_iter().collect();
     negatives.sort_unstable();
+    // gfd-lint: allow(nondeterminism) — `negatives` is the shadowing sorted Vec here, not the hash map parameter
     for (lhs, support) in negatives {
         out.push(MinedDependency {
             lhs,
@@ -411,6 +414,7 @@ pub fn mine_rhs_with<E: CandidateEvaluator>(
         level += 1;
     }
 
+    // gfd-lint: allow(nondeterminism) — drained into a Vec that is fully sorted on the next line; hash order never escapes
     let mut negatives: Vec<(Vec<Literal>, usize)> = negatives.into_iter().collect();
     negatives.sort_unstable();
     o.negatives = negatives;

@@ -142,7 +142,9 @@ impl PartialStats {
                 violations += 1;
             }
         }
+        // gfd-lint: allow(nondeterminism) — both sets are drained into Vecs that are fully sorted two lines down; hash order never escapes
         let mut support_pivots: Vec<NodeId> = support_pivots.into_iter().collect();
+        // gfd-lint: allow(nondeterminism) — sorted immediately below, same as support_pivots
         let mut lhs_pivots: Vec<NodeId> = lhs_pivots.into_iter().collect();
         support_pivots.sort_unstable();
         lhs_pivots.sort_unstable();

@@ -189,6 +189,7 @@ impl MatchTable {
                 *counts.entry(v).or_insert(0) += 1;
             }
         }
+        // gfd-lint: allow(nondeterminism) — drained into a Vec that is fully sorted (count desc, value asc) on the next line
         let mut out: Vec<(Value, usize)> = counts.into_iter().collect();
         out.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         out.truncate(limit);

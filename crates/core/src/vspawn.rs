@@ -136,6 +136,7 @@ impl RawHarvest {
     /// finalisation).
     fn merge(&mut self, other: RawHarvest) {
         use std::collections::hash_map::Entry;
+        // gfd-lint: allow(nondeterminism) — keyed absorb is a commutative union; finalisation sorts and dedups every pivot buffer
         for (k, v) in other.new_node {
             match self.new_node.entry(k) {
                 Entry::Occupied(mut e) => e.get_mut().absorb(&v),
@@ -144,6 +145,7 @@ impl RawHarvest {
                 }
             }
         }
+        // gfd-lint: allow(nondeterminism) — same commutative keyed union as new_node above
         for (k, v) in other.closing {
             match self.closing.entry(k) {
                 Entry::Occupied(mut e) => e.get_mut().absorb(&v),
@@ -160,12 +162,11 @@ impl RawHarvest {
     /// accumulator — compacted prefix plus pending tail, which is what a
     /// worker would actually serialise — plus per-entry key overhead.
     pub fn byte_size(&self) -> usize {
-        let entries: usize = self
-            .new_node
-            .values()
-            .chain(self.closing.values())
-            .map(PivotAcc::buffered)
-            .sum();
+        // gfd-lint: allow(nondeterminism) — commutative sum; visit order cannot change a total
+        let new_entries: usize = self.new_node.values().map(PivotAcc::buffered).sum();
+        // gfd-lint: allow(nondeterminism) — commutative sum; visit order cannot change a total
+        let closing_entries: usize = self.closing.values().map(PivotAcc::buffered).sum();
+        let entries: usize = new_entries + closing_entries;
         let key_overhead =
             std::mem::size_of::<(Var, Dir, LabelId, LabelId)>() + std::mem::size_of::<PivotAcc>();
         entries * std::mem::size_of::<NodeId>()
@@ -200,6 +201,7 @@ impl ProposalAccumulator {
     /// Monoid merge: unions another accumulator into this one. Any merge
     /// order yields the same finalised proposals.
     pub fn merge(&mut self, other: ProposalAccumulator) {
+        // gfd-lint: allow(nondeterminism) — monoid fold: per-node merge is commutative and finalisation sorts, so fold order is free
         for (node, raw) in other.harvests {
             self.fold(node, raw);
         }
@@ -219,11 +221,13 @@ impl ProposalAccumulator {
     /// Total deterministic harvest work folded in (rows + adjacency
     /// entries visited).
     pub fn work(&self) -> u64 {
+        // gfd-lint: allow(nondeterminism) — commutative sum; visit order cannot change a total
         self.harvests.values().map(|h| h.work).sum()
     }
 
     /// Approximate shipped size in bytes across all nodes.
     pub fn byte_size(&self) -> usize {
+        // gfd-lint: allow(nondeterminism) — commutative sum; visit order cannot change a total
         self.harvests.values().map(RawHarvest::byte_size).sum()
     }
 }
@@ -395,6 +399,7 @@ pub fn harvest_range(
                     if !slot.valid || slot.d != d {
                         slot.recompute(q, g, x, y, n, d, can_grow, &mut raw.work);
                     }
+                    // gfd-lint: allow(nondeterminism) — `slot.closing` is a Vec<LabelId> cache, not the RawHarvest hash map of the same name
                     for &el in &slot.closing {
                         raw.closing.entry((x, y, el)).or_default().push(pv);
                     }
@@ -615,6 +620,7 @@ pub fn proposals_from_harvest(raw: &mut RawHarvest, cfg: &DiscoveryConfig) -> Ex
     let mut by_edge_label: FxHashMap<(Var, Dir, LabelId), DiversitySlot> = FxHashMap::default();
     let mut by_node_label: FxHashMap<(Var, Dir, LabelId), DiversitySlot> = FxHashMap::default();
 
+    // gfd-lint: allow(nondeterminism) — feeds `seen` (membership-only set) and `frequent`, which is fully re-sorted with a total tie-break below
     for (&(x, dir, el, nl), pivots) in raw.new_node.iter_mut() {
         let pivots = pivots.finish();
         let ext = make_new_node_ext(x, dir, PLabel::Is(el), PLabel::Is(nl));
@@ -632,6 +638,7 @@ pub fn proposals_from_harvest(raw: &mut RawHarvest, cfg: &DiscoveryConfig) -> Ex
         }
     }
     if cfg.wildcard_min_labels > 0 {
+        // gfd-lint: allow(nondeterminism) — output lands in `frequent`, fully re-sorted with a total tie-break before use
         for (&(x, dir, el), (labels, pivots)) in by_edge_label.iter_mut() {
             if labels.len() >= cfg.wildcard_min_labels && pivots.finish().len() >= threshold {
                 let ext = make_new_node_ext(x, dir, PLabel::Is(el), PLabel::Wildcard);
@@ -639,6 +646,7 @@ pub fn proposals_from_harvest(raw: &mut RawHarvest, cfg: &DiscoveryConfig) -> Ex
                 proposals.frequent.push((ext, pivots.finish().len()));
             }
         }
+        // gfd-lint: allow(nondeterminism) — output lands in `frequent`, fully re-sorted with a total tie-break before use
         for (&(x, dir, nl), (labels, pivots)) in by_node_label.iter_mut() {
             if labels.len() >= cfg.wildcard_min_labels && pivots.finish().len() >= threshold {
                 let ext = make_new_node_ext(x, dir, PLabel::Wildcard, PLabel::Is(nl));
@@ -648,6 +656,7 @@ pub fn proposals_from_harvest(raw: &mut RawHarvest, cfg: &DiscoveryConfig) -> Ex
         }
     }
 
+    // gfd-lint: allow(nondeterminism) — feeds `seen` (membership-only set) and `frequent`, which is fully re-sorted with a total tie-break below
     for (&(x, y, el), pivots) in raw.closing.iter_mut() {
         let ext = Extension {
             src: End::Var(x),

@@ -17,6 +17,8 @@ use gfd_graph::{Graph, GraphBuilder, NodeId};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+use crate::noise::{inject_noise, NoiseConfig};
+
 /// Parameters of a benchmark scenario. All fields are part of the recorded
 /// provenance: two runs with equal configs produce identical graphs.
 #[derive(Clone, Debug, PartialEq)]
@@ -48,6 +50,10 @@ pub struct ScenarioConfig {
     pub degree_skew: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Optional Exp-5 noise pass applied after generation (`α`/`β`
+    /// corruption with a ground-truth dirty-node set). `None` keeps the
+    /// clean graph; the `*-noisy` scenarios set this.
+    pub noise: Option<NoiseConfig>,
 }
 
 impl ScenarioConfig {
@@ -86,6 +92,23 @@ impl ScenarioConfig {
             correlation: 0.75,
             degree_skew: 0.25,
             seed: 0xBE2C,
+            noise: None,
+        }
+    }
+
+    /// The tiny scenario with the Exp-5 noise pass applied: exercises
+    /// discovery over a dirtied graph (out-of-vocabulary values, corrupted
+    /// edge labels) while staying CI-cheap.
+    pub fn tiny_noisy() -> ScenarioConfig {
+        ScenarioConfig {
+            name: "tiny-noisy",
+            noise: Some(NoiseConfig {
+                alpha: 0.10,
+                beta: 0.6,
+                edge_share: 0.3,
+                seed: 0xD1A7,
+            }),
+            ..ScenarioConfig::tiny()
         }
     }
 
@@ -93,6 +116,7 @@ impl ScenarioConfig {
     pub fn named(name: &str) -> Option<ScenarioConfig> {
         match name {
             "tiny" => Some(ScenarioConfig::tiny()),
+            "tiny-noisy" => Some(ScenarioConfig::tiny_noisy()),
             "small" => Some(ScenarioConfig::small()),
             "medium" => Some(ScenarioConfig::medium()),
             _ => None,
@@ -152,7 +176,11 @@ pub fn bench_scenario(cfg: &ScenarioConfig) -> Graph {
             b.add_edge(src, dst, &edge_labels[li2]);
         }
     }
-    b.build()
+    let g = b.build();
+    match &cfg.noise {
+        Some(noise) => inject_noise(&g, noise).graph,
+        None => g,
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +190,10 @@ mod tests {
     #[test]
     fn named_lookup() {
         assert_eq!(ScenarioConfig::named("tiny"), Some(ScenarioConfig::tiny()));
+        assert_eq!(
+            ScenarioConfig::named("tiny-noisy"),
+            Some(ScenarioConfig::tiny_noisy())
+        );
         assert_eq!(
             ScenarioConfig::named("medium"),
             Some(ScenarioConfig::medium())
@@ -184,6 +216,28 @@ mod tests {
         // Multiplicity adds parallel edges beyond the base count.
         assert!(g.edge_count() > cfg.edges);
         assert!(g.edge_count() < cfg.edges * 2);
+    }
+
+    #[test]
+    fn noisy_scenario_is_deterministic() {
+        let a = bench_scenario(&ScenarioConfig::tiny_noisy());
+        let b = bench_scenario(&ScenarioConfig::tiny_noisy());
+        assert_eq!(gfd_graph::io::to_text(&a), gfd_graph::io::to_text(&b));
+    }
+
+    #[test]
+    fn noisy_scenario_dirties_the_clean_graph() {
+        let clean = bench_scenario(&ScenarioConfig::tiny());
+        let noisy = bench_scenario(&ScenarioConfig::tiny_noisy());
+        // Structure is preserved: noise rewrites values/labels in place.
+        assert_eq!(noisy.node_count(), clean.node_count());
+        assert_eq!(noisy.edge_count(), clean.edge_count());
+        // But the content differs, and out-of-vocabulary markers appear.
+        let clean_text = gfd_graph::io::to_text(&clean);
+        let noisy_text = gfd_graph::io::to_text(&noisy);
+        assert_ne!(clean_text, noisy_text);
+        assert!(!clean_text.contains("__noise"));
+        assert!(noisy_text.contains("__noise"));
     }
 
     #[test]

@@ -1,0 +1,441 @@
+//! Rule engine: file context, escape comments, and the workspace walk.
+//!
+//! The engine lexes one file, builds a [`FileContext`] (code-token index,
+//! `#[cfg(test)]` line ranges, comment maps), runs every rule, then
+//! applies inline escapes:
+//!
+//! ```text
+//! // gfd-lint: allow(<rule>) — <justification>
+//! ```
+//!
+//! An escape suppresses diagnostics of `<rule>` on its own line or the
+//! line directly below. The justification is mandatory — an escape
+//! without one does **not** suppress and is itself reported (under
+//! `hygiene`), as is a stale escape that no longer suppresses anything.
+//! Doc comments (`///`, `//!`) are inert: they can *describe* the escape
+//! syntax without enacting it.
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::rules::{all_rules, rule_names};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// A single finding: rule, file, 1-based line, message.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// The rule that produced this finding.
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub rel: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: deny({}): {}",
+            self.rel, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// Sentinel returned for out-of-range code-token lookups so rules can
+/// look ahead without bounds checks.
+const EOF_TOK: Tok<'static> = Tok {
+    kind: TokKind::Ws,
+    text: "",
+    line: 0,
+};
+
+/// Everything a rule needs to inspect one file.
+pub struct FileContext<'a> {
+    /// Workspace-relative path (unix separators).
+    pub rel: &'a str,
+    /// The full token stream, whitespace and comments included.
+    pub toks: &'a [Tok<'a>],
+    /// Indices into `toks` of the code tokens (no whitespace/comments).
+    code: Vec<usize>,
+    /// `test_line[line]` is true inside a `#[cfg(test)]` module (1-based).
+    test_line: Vec<bool>,
+    /// `comment_line[line]` is true if a comment token starts there.
+    comment_line: Vec<bool>,
+    /// `safety_line[line]` is true if a `SAFETY:` comment starts there.
+    safety_line: Vec<bool>,
+}
+
+impl<'a> FileContext<'a> {
+    /// Builds the context for `rel` from its token stream.
+    pub fn new(rel: &'a str, toks: &'a [Tok<'a>]) -> Self {
+        let nlines = toks.last().map_or(0, |t| t.line as usize) + 2;
+        let code: Vec<usize> = (0..toks.len()).filter(|&i| toks[i].is_code()).collect();
+        let mut comment_line = vec![false; nlines];
+        let mut safety_line = vec![false; nlines];
+        for t in toks {
+            if matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+                comment_line[t.line as usize] = true;
+                if t.text.contains("SAFETY:") {
+                    safety_line[t.line as usize] = true;
+                }
+            }
+        }
+        let test_line = mark_test_lines(toks, &code, nlines);
+        FileContext {
+            rel,
+            toks,
+            code,
+            test_line,
+            comment_line,
+            safety_line,
+        }
+    }
+
+    /// Number of code tokens.
+    pub fn code_len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// The `ci`-th code token, or an empty sentinel past the end.
+    pub fn ctok(&self, ci: usize) -> &Tok<'a> {
+        match self.code.get(ci) {
+            Some(&ti) => &self.toks[ti],
+            None => &EOF_TOK,
+        }
+    }
+
+    /// Text of the `ci`-th code token (empty past the end).
+    pub fn ct(&self, ci: usize) -> &'a str {
+        self.ctok(ci).text
+    }
+
+    /// Whether `line` falls inside a `#[cfg(test)]` module.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_line.get(line as usize).copied().unwrap_or(false)
+    }
+
+    /// Whether a `// SAFETY:` comment appears on `line` or within the
+    /// three lines above it.
+    pub fn has_safety_comment(&self, line: u32) -> bool {
+        let line = line as usize;
+        (line.saturating_sub(3)..=line).any(|l| self.safety_line.get(l).copied().unwrap_or(false))
+    }
+
+    /// Whether any comment starts on `line` (used for same-line
+    /// justifications next to `#[allow(…)]`).
+    pub fn has_trailing_comment(&self, line: u32) -> bool {
+        self.comment_line
+            .get(line as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Convenience constructor for a [`Diagnostic`] in this file.
+    pub fn diag(&self, rule: &'static str, line: u32, msg: String) -> Diagnostic {
+        Diagnostic {
+            rule,
+            rel: self.rel.to_string(),
+            line,
+            msg,
+        }
+    }
+}
+
+/// Marks the lines covered by `#[cfg(test)] mod … { … }` ranges.
+fn mark_test_lines(toks: &[Tok<'_>], code: &[usize], nlines: usize) -> Vec<bool> {
+    let mut test = vec![false; nlines];
+    let ct = |ci: usize| -> &Tok<'_> {
+        match code.get(ci) {
+            Some(&ti) => &toks[ti],
+            None => &EOF_TOK,
+        }
+    };
+    let mut ci = 0;
+    while ci < code.len() {
+        // Match `#[cfg(test)]` exactly.
+        let is_cfg_test = ct(ci).text == "#"
+            && ct(ci + 1).text == "["
+            && ct(ci + 2).text == "cfg"
+            && ct(ci + 3).text == "("
+            && ct(ci + 4).text == "test"
+            && ct(ci + 5).text == ")"
+            && ct(ci + 6).text == "]";
+        if !is_cfg_test {
+            ci += 1;
+            continue;
+        }
+        // Skip any further attributes, then find the item's opening `{`
+        // (module or fn) and mark through its matching `}`.
+        let mut k = ci + 7;
+        while ct(k).text == "#" && ct(k + 1).text == "[" {
+            let mut depth = 0i32;
+            k += 1;
+            while k < code.len() {
+                match ct(k).text {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+        while k < code.len() && ct(k).text != "{" && ct(k).text != ";" {
+            k += 1;
+        }
+        if ct(k).text == "{" {
+            let start_line = ct(ci).line as usize;
+            let mut depth = 0i32;
+            while k < code.len() {
+                match ct(k).text {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            let end_line = ct(k.min(code.len().saturating_sub(1))).line as usize;
+            let last = end_line.min(nlines - 1);
+            for t in test.iter_mut().take(last + 1).skip(start_line) {
+                *t = true;
+            }
+        }
+        ci = k.max(ci + 1);
+    }
+    test
+}
+
+/// A parsed `gfd-lint: allow(…)` escape comment.
+#[derive(Clone, Debug)]
+pub struct Escape {
+    /// Rule name inside the parentheses.
+    pub rule: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Whether a real justification follows the closing paren.
+    pub justified: bool,
+}
+
+const ESCAPE_KEY: &str = "gfd-lint: allow(";
+
+/// Extracts escapes from plain (non-doc) line comments.
+pub fn parse_escapes(toks: &[Tok<'_>]) -> Vec<Escape> {
+    let mut out = Vec::new();
+    for t in toks {
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        // Doc comments are inert so documentation can quote the syntax.
+        if t.text.starts_with("///") || t.text.starts_with("//!") {
+            continue;
+        }
+        let Some(pos) = t.text.find(ESCAPE_KEY) else {
+            continue;
+        };
+        let after = &t.text[pos + ESCAPE_KEY.len()..];
+        let Some(close) = after.find(')') else {
+            continue;
+        };
+        let rule = after[..close].trim().to_string();
+        let rest = after[close + 1..]
+            .trim_start_matches(|c: char| c.is_whitespace() || matches!(c, '-' | '—' | '–' | ':'));
+        // A justification must be real prose, not a dash or a word.
+        let justified = rest.chars().filter(|c| c.is_alphanumeric()).count() >= 12;
+        out.push(Escape {
+            rule,
+            line: t.line,
+            justified,
+        });
+    }
+    out
+}
+
+/// Lints one file: runs every rule, then applies escapes and appends
+/// escape-hygiene findings. Returns diagnostics sorted by line.
+pub fn lint_source(rel: &str, text: &str) -> Vec<Diagnostic> {
+    let toks = lex(text);
+    let ctx = FileContext::new(rel, &toks);
+    let mut raw = Vec::new();
+    for rule in all_rules() {
+        rule.check(&ctx, &mut raw);
+    }
+    let escapes = parse_escapes(&toks);
+    let known = rule_names();
+    let mut used = vec![false; escapes.len()];
+    let mut out = Vec::new();
+    for d in raw {
+        let hit = escapes
+            .iter()
+            .position(|e| e.rule == d.rule && (e.line == d.line || e.line + 1 == d.line));
+        match hit {
+            Some(ei) if escapes[ei].justified => used[ei] = true,
+            Some(ei) => {
+                // Matched but unjustified: the diagnostic stands and the
+                // escape itself is reported below.
+                used[ei] = true;
+                out.push(d);
+            }
+            None => out.push(d),
+        }
+    }
+    for (e, &u) in escapes.iter().zip(&used) {
+        if !known.contains(&e.rule.as_str()) {
+            out.push(ctx.diag(
+                "hygiene",
+                e.line,
+                format!("escape references unknown rule `{}`", e.rule),
+            ));
+        } else if !u {
+            out.push(ctx.diag(
+                "hygiene",
+                e.line,
+                format!(
+                    "stale escape: `allow({})` no longer suppresses anything — delete it",
+                    e.rule
+                ),
+            ));
+        } else if !e.justified {
+            out.push(ctx.diag(
+                "hygiene",
+                e.line,
+                format!(
+                    "escape `allow({})` lacks a justification — say why the invariant holds",
+                    e.rule
+                ),
+            ));
+        }
+    }
+    out.sort_by_key(|d| (d.line, d.rule));
+    out
+}
+
+/// Directories never descended into during the workspace walk. Fixture
+/// corpora are linted only by the self-tests, with per-rule scoping.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", "node_modules"];
+
+/// Collects every `.rs` file under `root`, sorted for deterministic
+/// output (directory read order is OS-dependent).
+pub fn workspace_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                if !SKIP_DIRS.contains(&name) {
+                    stack.push(path);
+                }
+            } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Lints every workspace `.rs` file under `root`.
+pub fn lint_workspace(root: &Path) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for path in workspace_files(root) {
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        out.extend(lint_source(&rel, &text));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_suppresses_with_justification() {
+        let src = "struct S { m: FxHashMap<u32, u32> }\n\
+                   fn f(s: &S) -> usize {\n\
+                   // gfd-lint: allow(nondeterminism) — values feed a commutative sum, order free\n\
+                   s.m.values().count()\n\
+                   }\n";
+        let diags = lint_source("crates/core/src/x.rs", src);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn unjustified_escape_keeps_diag_and_reports_escape() {
+        let src = "struct S { m: FxHashMap<u32, u32> }\n\
+                   fn f(s: &S) -> usize {\n\
+                   // gfd-lint: allow(nondeterminism)\n\
+                   s.m.values().count()\n\
+                   }\n";
+        let diags = lint_source("crates/core/src/x.rs", src);
+        assert!(diags.iter().any(|d| d.rule == "nondeterminism"));
+        assert!(diags.iter().any(|d| d.rule == "hygiene"));
+    }
+
+    #[test]
+    fn stale_escape_is_reported() {
+        let src = "// gfd-lint: allow(perf) — this used to cover a format call in a loop here\n\
+                   fn f() {}\n";
+        let diags = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].msg.contains("stale escape"));
+    }
+
+    #[test]
+    fn unknown_rule_escape_is_reported() {
+        let src = "// gfd-lint: allow(made-up-rule) — justification text that is long enough\n\
+                   fn f() {}\n";
+        let diags = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].msg.contains("unknown rule"));
+    }
+
+    #[test]
+    fn doc_comments_do_not_enact_escapes() {
+        let src = "/// Write `// gfd-lint: allow(perf) — reason` above the line.\n\
+                   fn f() {}\n";
+        let diags = lint_source("crates/core/src/x.rs", src);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let src = "struct S { m: FxHashMap<u32, u32> }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   fn f(s: &super::S) -> usize { s.m.values().count() }\n\
+                   }\n";
+        let diags = lint_source("crates/core/src/x.rs", src);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn out_of_scope_paths_are_clean() {
+        let src = "struct S { m: FxHashMap<u32, u32> }\n\
+                   fn f(s: &S) -> usize { s.m.values().count() }\n";
+        let diags = lint_source("crates/cli/src/x.rs", src);
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+}

@@ -1,0 +1,417 @@
+//! A hand-rolled Rust lexer for the lint pass.
+//!
+//! The build image has no crates.io access, so — like the vendored
+//! `rand`/`proptest` stand-ins — this is a small, self-contained token
+//! scanner rather than a `syn`/`proc-macro2` dependency. It is built for
+//! *linting*, not compilation:
+//!
+//! * **total**: every byte of the input lands in exactly one token, so
+//!   concatenating token texts reproduces the source verbatim (the
+//!   round-trip property pinned by the lexer proptest), and arbitrary
+//!   token soup never panics — unterminated strings and comments simply
+//!   run to end of input;
+//! * **trivia-preserving**: whitespace and comments are tokens too, so
+//!   rules can inspect escape comments, `// SAFETY:` annotations, and
+//!   `TODO` markers (the hygiene rule's issue-reference check) with
+//!   exact line spans;
+//! * **approximate where it is safe to be**: numeric literals are scanned
+//!   greedily and multi-character operators arrive as single-character
+//!   [`TokKind::Punct`] tokens — rules match short token sequences, which
+//!   is both simpler and more robust than a full grammar.
+
+use std::fmt;
+
+/// Token classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the lexer does not distinguish them).
+    Ident,
+    /// A lifetime such as `'a` (without a closing quote).
+    Lifetime,
+    /// Numeric literal, scanned greedily with suffixes.
+    Num,
+    /// String-ish literal: `"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// Character or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// `// …` comment (including `///` and `//!` doc comments).
+    LineComment,
+    /// `/* … */` comment, nesting-aware.
+    BlockComment,
+    /// A single punctuation character.
+    Punct,
+    /// A run of whitespace.
+    Ws,
+    /// Any byte sequence the scanner has no better answer for.
+    Unknown,
+}
+
+/// One token: classification, verbatim text, and the 1-based line of its
+/// first character.
+#[derive(Clone, Copy, Debug)]
+pub struct Tok<'a> {
+    /// Classification.
+    pub kind: TokKind,
+    /// The exact source slice.
+    pub text: &'a str,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl fmt::Display for Tok<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}({:?})@{}", self.kind, self.text, self.line)
+    }
+}
+
+impl Tok<'_> {
+    /// Whether this token is code (not whitespace or a comment).
+    pub fn is_code(&self) -> bool {
+        !matches!(
+            self.kind,
+            TokKind::Ws | TokKind::LineComment | TokKind::BlockComment
+        )
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphabetic()
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+/// Lexes `src` into a total, round-tripping token stream.
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    let bytes = src.as_bytes();
+    let mut toks: Vec<Tok<'_>> = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < bytes.len() {
+        let start = i;
+        let start_line = line;
+        let c = bytes[i];
+        let kind = match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                while i < bytes.len() && matches!(bytes[i], b' ' | b'\t' | b'\r' | b'\n') {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                TokKind::Ws
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                TokKind::LineComment
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                let mut depth = 1usize;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                TokKind::BlockComment
+            }
+            b'"' => {
+                i += 1;
+                scan_plain_string(bytes, &mut i, &mut line, b'"');
+                TokKind::Str
+            }
+            b'r' | b'b' => scan_prefixed(bytes, &mut i, &mut line),
+            b'\'' => scan_quote(bytes, &mut i, &mut line),
+            _ if is_ident_start(c) => {
+                while i < bytes.len() && is_ident_cont(bytes[i]) {
+                    i += 1;
+                }
+                TokKind::Ident
+            }
+            _ if c.is_ascii_digit() => {
+                scan_number(bytes, &mut i);
+                TokKind::Num
+            }
+            _ if c < 0x80 => {
+                i += 1;
+                TokKind::Punct
+            }
+            _ => {
+                // Non-ASCII: decode one char; alphanumerics join idents.
+                match src[i..].chars().next() {
+                    Some(ch) if ch.is_alphanumeric() || ch == '_' => {
+                        i += ch.len_utf8();
+                        while i < bytes.len() {
+                            if bytes[i] < 0x80 {
+                                if !is_ident_cont(bytes[i]) {
+                                    break;
+                                }
+                                i += 1;
+                            } else {
+                                match src[i..].chars().next() {
+                                    Some(ch) if ch.is_alphanumeric() || ch == '_' => {
+                                        i += ch.len_utf8()
+                                    }
+                                    _ => break,
+                                }
+                            }
+                        }
+                        TokKind::Ident
+                    }
+                    Some(ch) => {
+                        if ch == '\n' {
+                            line += 1;
+                        }
+                        i += ch.len_utf8();
+                        TokKind::Unknown
+                    }
+                    None => {
+                        i += 1;
+                        TokKind::Unknown
+                    }
+                }
+            }
+        };
+        toks.push(Tok {
+            kind,
+            text: &src[start..i],
+            line: start_line,
+        });
+    }
+    toks
+}
+
+/// Scans past the body of a `"…"`-style string (the opening quote is
+/// already consumed); stops after the closing quote or at end of input.
+fn scan_plain_string(bytes: &[u8], i: &mut usize, line: &mut u32, quote: u8) {
+    while *i < bytes.len() {
+        match bytes[*i] {
+            b'\\' => *i += if *i + 1 < bytes.len() { 2 } else { 1 },
+            b'\n' => {
+                *line += 1;
+                *i += 1;
+            }
+            b if b == quote => {
+                *i += 1;
+                return;
+            }
+            _ => *i += 1,
+        }
+    }
+}
+
+/// Scans a raw string body: `#…#"` already seen up to and including the
+/// opening quote; the terminator is `"` followed by `hashes` `#`s.
+fn scan_raw_string(bytes: &[u8], i: &mut usize, line: &mut u32, hashes: usize) {
+    while *i < bytes.len() {
+        if bytes[*i] == b'\n' {
+            *line += 1;
+        }
+        if bytes[*i] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && bytes.get(*i + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                *i += 1 + hashes;
+                return;
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Dispatches an `r`/`b`-prefixed token: raw string (`r"…"`, `r#"…"#`,
+/// `br"…"`), byte string (`b"…"`), byte char (`b'…'`), or a plain
+/// identifier that merely starts with `r`/`b`.
+fn scan_prefixed(bytes: &[u8], i: &mut usize, line: &mut u32) -> TokKind {
+    let c = bytes[*i];
+    let raw_start = if c == b'r' {
+        Some(*i + 1)
+    } else if bytes.get(*i + 1) == Some(&b'r') {
+        Some(*i + 2)
+    } else {
+        None
+    };
+    if let Some(mut j) = raw_start {
+        let mut hashes = 0usize;
+        while bytes.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if bytes.get(j) == Some(&b'"') {
+            *i = j + 1;
+            scan_raw_string(bytes, i, line, hashes);
+            return TokKind::Str;
+        }
+    }
+    if c == b'b' {
+        match bytes.get(*i + 1) {
+            Some(&b'"') => {
+                *i += 2;
+                scan_plain_string(bytes, i, line, b'"');
+                return TokKind::Str;
+            }
+            Some(&b'\'') => {
+                // b'…': always a byte literal, never a lifetime.
+                *i += 2;
+                scan_plain_string(bytes, i, line, b'\'');
+                return TokKind::Char;
+            }
+            _ => {}
+        }
+    }
+    // Just an identifier starting with r/b.
+    *i += 1;
+    while *i < bytes.len() && is_ident_cont(bytes[*i]) {
+        *i += 1;
+    }
+    TokKind::Ident
+}
+
+/// Disambiguates `'` into a char literal or a lifetime.
+fn scan_quote(bytes: &[u8], i: &mut usize, line: &mut u32) -> TokKind {
+    let j = *i + 1;
+    match bytes.get(j) {
+        Some(&b'\\') => {
+            // Escaped char literal.
+            *i = j;
+            scan_plain_string(bytes, i, line, b'\'');
+            TokKind::Char
+        }
+        Some(&b) if is_ident_start(b) => {
+            let mut k = j;
+            while k < bytes.len() && is_ident_cont(bytes[k]) {
+                k += 1;
+            }
+            if bytes.get(k) == Some(&b'\'') {
+                *i = k + 1;
+                TokKind::Char
+            } else {
+                *i = k;
+                TokKind::Lifetime
+            }
+        }
+        Some(&b) if b < 0x80 && b != b'\'' && bytes.get(j + 1) == Some(&b'\'') => {
+            // Things like '1' or '('. The closing quote makes it a char;
+            // anything else falls through to a bare punct quote below.
+            *i = j + 2;
+            TokKind::Char
+        }
+        _ => {
+            *i = j;
+            TokKind::Punct
+        }
+    }
+}
+
+/// Scans a numeric literal greedily: digits, radix prefixes, underscores,
+/// suffixes, one decimal point (but never `..`), and signed exponents.
+fn scan_number(bytes: &[u8], i: &mut usize) {
+    let mut seen_dot = false;
+    *i += 1;
+    while *i < bytes.len() {
+        let b = bytes[*i];
+        if is_ident_cont(b) {
+            // Also covers hex digits, suffixes (u64), exponent letters.
+            if (b == b'e' || b == b'E')
+                && matches!(bytes.get(*i + 1), Some(&b'+') | Some(&b'-'))
+                && bytes.get(*i + 2).is_some_and(u8::is_ascii_digit)
+            {
+                *i += 2;
+            }
+            *i += 1;
+        } else if b == b'.'
+            && !seen_dot
+            && bytes.get(*i + 1).is_some_and(u8::is_ascii_digit)
+            && bytes.get(*i + 1) != Some(&b'.')
+        {
+            seen_dot = true;
+            *i += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) {
+        let toks = lex(src);
+        let rebuilt: String = toks.iter().map(|t| t.text).collect();
+        assert_eq!(rebuilt, src);
+    }
+
+    #[test]
+    fn roundtrips_everyday_rust() {
+        let src = r##"
+//! Module docs.
+use std::collections::HashMap; // trailing
+fn main() {
+    let r#type = 1_000u64;
+    let s = "str \" with quote";
+    let raw = r#"raw "body" here"#;
+    let b = b"bytes";
+    let c = 'x';
+    let nl = '\n';
+    let lt: &'static str = s;
+    /* block /* nested */ comment */
+    for i in 0..10 { println!("{i} {}", 1.5e-3); }
+}
+"##;
+        roundtrip(src);
+    }
+
+    #[test]
+    fn classifies_core_kinds() {
+        let toks: Vec<Tok> = lex("let m = 'a'; &'a str // hi")
+            .into_iter()
+            .filter(Tok::is_code)
+            .collect();
+        assert_eq!(toks[0].kind, TokKind::Ident);
+        assert!(toks.iter().any(|t| t.kind == TokKind::Char));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Lifetime));
+        let all = lex("let m = 'a'; &'a str // hi");
+        assert!(all.iter().any(|t| t.kind == TokKind::LineComment));
+    }
+
+    #[test]
+    fn survives_unterminated_forms() {
+        roundtrip("let s = \"never closed");
+        roundtrip("/* never closed");
+        roundtrip("let r = r#\"never closed");
+        roundtrip("let c = '");
+        roundtrip("b'");
+    }
+
+    #[test]
+    fn tracks_lines() {
+        let toks = lex("a\nb\n  c");
+        let c = toks.iter().find(|t| t.text == "c").unwrap();
+        assert_eq!(c.line, 3);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks: Vec<Tok> = lex("0..10").into_iter().filter(Tok::is_code).collect();
+        assert_eq!(toks[0].text, "0");
+        assert_eq!(toks[1].text, ".");
+        assert_eq!(toks[2].text, ".");
+        assert_eq!(toks[3].text, "10");
+    }
+}

@@ -1,0 +1,34 @@
+//! `gfd-lint`: workspace static analysis for determinism and hot-path
+//! invariants.
+//!
+//! The repo's headline correctness claim — bit-identical rule output
+//! across `SeqDis`, the barrier runtime, and the steal runtime at any
+//! worker count — rests on invariants that ordinary compilation cannot
+//! check: no hash-order iteration on output-affecting paths, no panics
+//! inside worker bodies, no wall-clock reads in modelled cost accounting.
+//! This crate enforces them as deny-by-default diagnostics over a
+//! hand-rolled token stream (no crates.io access, so no `syn`):
+//!
+//! - [`lexer`] — a total, panic-free Rust lexer: every byte lands in
+//!   exactly one token and concatenating token texts reproduces the
+//!   source, so the walker can never desynchronise from the file.
+//! - [`rules`] — the six shipped rule families (`nondeterminism`,
+//!   `no-panic`, `unsafe-code`, `simulated-cost`, `perf`, `hygiene`).
+//! - [`engine`] — per-file context, `gfd-lint: allow(…)` escape
+//!   handling, and the workspace walk.
+//!
+//! Run it as `cargo run -p gfd-lint -- --deny`; suppress a finding with a
+//! justified plain-comment escape on the offending line or the line above.
+//! The static pass is cross-checked dynamically by the
+//! `schedule_perturbation` suite in `crates/parallel`, which perturbs the
+//! steal runtime's scheduling and asserts output equality with `SeqDis`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{lint_source, lint_workspace, workspace_files, Diagnostic};
+pub use rules::{all_rules, rule_names};

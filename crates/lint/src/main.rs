@@ -1,0 +1,148 @@
+//! The `gfd-lint` binary: lints every workspace `.rs` file.
+//!
+//! ```text
+//! gfd-lint [PATHS…] [--deny [RULE]] [--allow RULE] [--list-rules] [--root DIR]
+//! ```
+//!
+//! With no paths, the whole workspace (discovered by walking up from the
+//! current directory to the `[workspace]` `Cargo.toml`) is linted. Every
+//! rule denies by default; `--allow RULE` downgrades one rule to
+//! advisory (printed, not fatal), and a bare `--deny` re-asserts
+//! deny-everything (the CI invocation). Exits 1 if any denied rule
+//! fires.
+
+#![forbid(unsafe_code)]
+
+use gfd_lint::rules::all_rules;
+use gfd_lint::{lint_source, lint_workspace, rule_names, Diagnostic};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gfd-lint [PATHS…] [--deny [RULE]] [--allow RULE] [--list-rules] [--root DIR]"
+    );
+    std::process::exit(2);
+}
+
+/// Walks up from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let known = rule_names();
+    let mut allow: BTreeSet<String> = BTreeSet::new();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut root_override: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list-rules" => {
+                for rule in all_rules() {
+                    println!("{:16} {}", rule.name(), rule.describe());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--deny" => {
+                // Optional rule operand; bare `--deny` = deny everything,
+                // which is already the default (and clears prior allows).
+                match args.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        let rule = args.next().expect("peeked");
+                        if !known.contains(&rule.as_str()) {
+                            eprintln!("gfd-lint: unknown rule `{rule}`");
+                            return ExitCode::from(2);
+                        }
+                        allow.remove(&rule);
+                    }
+                    _ => allow.clear(),
+                }
+            }
+            "--allow" => {
+                let Some(rule) = args.next() else { usage() };
+                if !known.contains(&rule.as_str()) {
+                    eprintln!("gfd-lint: unknown rule `{rule}`");
+                    return ExitCode::from(2);
+                }
+                allow.insert(rule);
+            }
+            "--root" => {
+                let Some(dir) = args.next() else { usage() };
+                root_override = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => usage(),
+            _ if arg.starts_with("--") => usage(),
+            _ => paths.push(PathBuf::from(arg)),
+        }
+    }
+
+    let root = match root_override {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            find_workspace_root(&cwd).unwrap_or(cwd)
+        }
+    };
+
+    let diags: Vec<Diagnostic> = if paths.is_empty() {
+        lint_workspace(&root)
+    } else {
+        let mut out = Vec::new();
+        for path in &paths {
+            // A directory operand lints every `.rs` file beneath it.
+            let files: Vec<PathBuf> = if path.is_dir() {
+                gfd_lint::workspace_files(path)
+            } else {
+                vec![path.clone()]
+            };
+            for file in &files {
+                match std::fs::read_to_string(file) {
+                    Ok(text) => {
+                        let rel = file
+                            .strip_prefix(&root)
+                            .unwrap_or(file)
+                            .to_string_lossy()
+                            .replace('\\', "/");
+                        out.extend(lint_source(&rel, &text));
+                    }
+                    Err(e) => {
+                        eprintln!("gfd-lint: cannot read {}: {e}", file.display());
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+        }
+        out
+    };
+
+    let mut denied = 0usize;
+    for d in &diags {
+        if allow.contains(d.rule) {
+            println!("{}:{}: allow({}): {}", d.rel, d.line, d.rule, d.msg);
+        } else {
+            println!("{d}");
+            denied += 1;
+        }
+    }
+    if denied > 0 {
+        eprintln!("gfd-lint: {denied} denied diagnostic(s)");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,14 @@
+//! Bad fixture: untracked markers, blanket allows, and a stale escape.
+
+// TODO: fix this someday
+#[allow(dead_code)]
+fn stale() {}
+
+// FIXME make it faster
+#[allow(unused_variables)]
+fn blanket(x: u32) {
+    let _ = x;
+}
+
+// gfd-lint: allow(perf) — this escape suppresses nothing and must be reported stale
+fn innocent() {}

@@ -1,0 +1,9 @@
+//! Good fixture: tracked markers and justified allows.
+
+// TODO(#42): tracked — retire once the fuzz corpus lands.
+fn tracked() {}
+
+#[allow(dead_code)] // kept: exercised only by the fuzz harness target
+fn justified() {
+    tracked();
+}

@@ -1,0 +1,15 @@
+//! Bad fixture: every panicking shape the rule catches.
+
+/// A worker body that can abort the wave four different ways.
+pub fn worker(v: &[u32], i: usize) -> u32 {
+    let first = v.first().unwrap();
+    let second = v.get(1).expect("second row");
+    if v.len() > 64 {
+        panic!("oversized unit");
+    }
+    first + second + v[wrap(i, v.len())]
+}
+
+fn wrap(i: usize, n: usize) -> usize {
+    i % n
+}

@@ -1,0 +1,20 @@
+//! Good fixture: the panic-free shapes the rule demands, plus the
+//! `#[cfg(test)]` exemption.
+
+/// Errors are plumbed, indices bounded, lookups checked.
+pub fn worker(v: &[u32], i: usize) -> Option<u32> {
+    let first = v.first()?;
+    let second = v.get(1)?;
+    let wrapped = i % v.len().max(1);
+    let tail = v.get(wrapped)?;
+    Some(first + second + tail)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v = vec![1u32, 2];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,12 @@
+//! Bad fixture: hash-order iteration reaches an output vector.
+
+use std::collections::HashMap;
+
+/// Collects values in hasher order — the returned Vec is nondeterministic.
+pub fn leak_order(counts: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut out: Vec<u32> = counts.values().copied().collect();
+    for pair in counts {
+        out.push(*pair.1);
+    }
+    out
+}

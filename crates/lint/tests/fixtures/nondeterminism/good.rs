@@ -1,0 +1,14 @@
+//! Good fixture: hash maps used for membership only; ordered iteration
+//! goes through a BTreeMap.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Point lookups never observe iteration order.
+pub fn lookup(counts: &HashMap<u32, u32>, k: u32) -> Option<u32> {
+    counts.get(&k).copied()
+}
+
+/// Ordered collections may be iterated freely.
+pub fn ordered(ranked: &BTreeMap<u32, u32>) -> Vec<u32> {
+    ranked.values().copied().collect()
+}

@@ -1,0 +1,14 @@
+//! Bad fixture: allocation churn inside a per-row loop.
+
+use std::sync::Arc;
+
+pub fn churn(rows: &[u32], shared: &Arc<Vec<u32>>) -> Vec<String> {
+    let mut out = Vec::new();
+    for r in rows {
+        let tag = format!("row-{r}");
+        let copy = rows.to_vec();
+        let s = Arc::clone(shared);
+        out.push(tag + &copy.len().to_string() + &s.len().to_string());
+    }
+    out
+}

@@ -1,0 +1,14 @@
+//! Good fixture: the same work with every allocation hoisted out of the
+//! per-row loop.
+
+use std::sync::Arc;
+
+pub fn hoisted(rows: &[u32], shared: &Arc<Vec<u32>>) -> Vec<usize> {
+    let copy = rows.to_vec();
+    let s = Arc::clone(shared);
+    let mut out = Vec::with_capacity(rows.len());
+    for r in rows {
+        out.push(*r as usize + copy.len() + s.len());
+    }
+    out
+}

@@ -1,0 +1,11 @@
+//! Bad fixture: wall-clock readings leak into cost accounting.
+
+use std::time::Instant;
+use std::time::SystemTime;
+
+/// Charges a modelled cost from a wall-clock measurement.
+pub fn charge() -> u128 {
+    let t0 = Instant::now();
+    let cost = t0.elapsed().as_nanos();
+    cost
+}

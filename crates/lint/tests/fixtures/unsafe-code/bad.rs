@@ -1,0 +1,6 @@
+//! Bad fixture: no `#![forbid(unsafe_code)]`, and an undocumented
+//! `unsafe` block.
+
+pub fn raw_read(p: *const u32) -> u32 {
+    unsafe { *p }
+}

@@ -1,0 +1,12 @@
+//! Good fixture: the forbid attribute is present and the lone `unsafe`
+//! carries a SAFETY comment. (Fixtures are never compiled, so the
+//! contradiction between the two is invisible to rustc and irrelevant to
+//! the lexical rule under test.)
+
+#![forbid(unsafe_code)]
+
+pub fn documented_read(v: &[u32]) -> u32 {
+    // SAFETY: the slice is non-empty by the caller's contract, checked
+    // one frame up, so index 0 is in bounds.
+    unsafe { *v.as_ptr() }
+}

@@ -250,6 +250,7 @@ impl WorkerCtx {
     /// unit `Q(F_s) ⋈ e(F_t), t ≠ s`: every matching edge outside the local
     /// fragment, 12 bytes each (src, dst, label).
     fn shipped_bytes(&self, label: PLabel) -> usize {
+        // gfd-lint: allow(nondeterminism) — commutative sum; visit order cannot change a total
         let total_all: usize = self.global_label_counts.values().sum();
         let (total, local) = match label {
             PLabel::Is(l) => (
@@ -320,8 +321,10 @@ impl WorkerCtx {
                 let child_ms = extend_matches(q, ms, &ext, &self.g);
                 let rows = child_ms.len();
                 let cost = (ms.len() + rows) as u64;
-                let mut pivots: Vec<NodeId> =
-                    child_ms.iter().map(|m| m[child_pattern.pivot()]).collect();
+                // The pivot is a pattern variable, so it is in bounds for
+                // every match row (rows have exactly pattern-width entries).
+                let pivot_var = child_pattern.pivot();
+                let mut pivots: Vec<NodeId> = child_ms.iter().map(|m| m[pivot_var]).collect();
                 pivots.sort_unstable();
                 pivots.dedup();
                 let shipped = self.shipped_bytes(ext.label);
@@ -447,7 +450,10 @@ impl Cluster {
                     while let Ok(WorkerMsg::Task(task)) = task_rx.recv() {
                         let t0 = Instant::now();
                         let (r, cost) = state.process(*task);
-                        let _ = res_tx.send((r, cost, t0.elapsed()));
+                        // Wall time is measured into its own binding: the
+                        // modelled `cost` channel never touches the clock.
+                        let wall = t0.elapsed();
+                        let _ = res_tx.send((r, cost, wall));
                     }
                 });
                 threads.push(ThreadWorker {
@@ -495,10 +501,12 @@ impl Cluster {
                     self.threads[i]
                         .tx
                         .send(WorkerMsg::Task(Box::new(task)))
+                        // gfd-lint: allow(no-panic) — worker threads only exit when the pool drops their task sender, so the channel outlives every run
                         .expect("worker alive");
                     let _ = i;
                 }
                 for (i, t) in self.threads.iter().enumerate() {
+                    // gfd-lint: allow(no-panic) — each worker sends exactly one result per task; a missing result means a worker died, which is unrecoverable here
                     let (r, cost, d) = t.rx.recv().expect("worker result");
                     results.push(r);
                     costs[i] = cost;

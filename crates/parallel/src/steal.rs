@@ -62,6 +62,8 @@ use gfd_logic::{Gfd, Literal, Rhs};
 use gfd_pattern::{
     extend_matches_range, CompiledPattern, Extension, MatchSet, MatcherScratch, PLabel, Pattern,
 };
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
 use crate::cluster::{Clocks, ExecMode};
 use crate::pardis::{emit_negative, ParDisReport};
@@ -88,6 +90,18 @@ pub struct StealConfig {
     /// run as a single [`Unit::Mine`] on one worker, which avoids
     /// per-candidate scheduling for the long tail of small patterns.
     pub range_rows_threshold: usize,
+    /// Adversarial-scheduling seed for the determinism audit. `Some(seed)`
+    /// perturbs every scheduling decision the output must *not* depend on:
+    /// unit push order at wave boundaries is shuffled, affinity placement
+    /// is replaced by seeded random queue assignment, and each worker
+    /// steals from siblings in a seeded biased order instead of ring
+    /// order. (In [`ExecMode::Simulated`], units are processed in shuffled
+    /// order, exercising accumulator fold order.) Modelled costs and the
+    /// greedy `work_makespan` schedule are computed from unit order and
+    /// are unaffected. The `schedule_perturbation` suite asserts discovery
+    /// output is bit-identical under any seed; production paths leave this
+    /// `None`.
+    pub perturb: Option<u64>,
 }
 
 impl StealConfig {
@@ -105,7 +119,15 @@ impl StealConfig {
             mode,
             range_min_rows: 1024,
             range_rows_threshold: 262_144,
+            perturb: None,
         }
+    }
+
+    /// Returns the config with adversarial scheduling enabled (see
+    /// [`StealConfig::perturb`]).
+    pub fn with_perturbation(mut self, seed: u64) -> StealConfig {
+        self.perturb = Some(seed);
+        self
     }
 }
 
@@ -371,7 +393,10 @@ impl WorkerState {
             Unit::Join { q, ms, ext, lo, hi } => {
                 let child = q.extend(&ext);
                 let out = extend_matches_range(&q, &ms, &ext, &self.g, lo, hi);
-                let mut pivots: Vec<NodeId> = out.iter().map(|m| m[child.pivot()]).collect();
+                // The pivot is a pattern variable, so it is in bounds for
+                // every match row (rows have exactly pattern-width entries).
+                let pivot_var = child.pivot();
+                let mut pivots: Vec<NodeId> = out.iter().map(|m| m[pivot_var]).collect();
                 pivots.sort_unstable();
                 pivots.dedup();
                 let cost = (hi - lo + out.len()) as u64;
@@ -438,15 +463,14 @@ fn ensure_shard<'a>(
     range: usize,
 ) -> &'a mut (Arc<MatchTable>, BitmapIndex) {
     let key = (spec.node, range);
-    if !cache.contains_key(&key) {
-        if cache.len() >= SHARD_CACHE_CAP {
-            cache.clear();
-        }
+    if !cache.contains_key(&key) && cache.len() >= SHARD_CACHE_CAP {
+        cache.clear();
+    }
+    cache.entry(key).or_insert_with(|| {
         let t = spec.shard_table(g, range);
         let idx = BitmapIndex::new(&t);
-        cache.insert(key, (t, idx));
-    }
-    cache.get_mut(&key).expect("shard just ensured")
+        (t, idx)
+    })
 }
 
 /// Evaluator over one warm shard (drives [`Unit::MineRhs`] lattices).
@@ -492,6 +516,35 @@ pub struct StealPool {
     /// models a shared-memory machine).
     pub clocks: Clocks,
     rr: usize,
+    /// Adversarial-scheduling seed (see [`StealConfig::perturb`]).
+    perturb: Option<u64>,
+}
+
+/// Seeded Fisher–Yates shuffle (the vendored `rand` has no shuffle
+/// helper).
+fn shuffle<T>(xs: &mut [T], rng: &mut StdRng) {
+    for i in (1..xs.len()).rev() {
+        let j = rng.random_range(0..=i);
+        xs.swap(i, j);
+    }
+}
+
+/// Per-worker steal-victim visit orders: ring order `id+1, id+2, …` by
+/// default, a seeded per-worker biased shuffle under perturbation.
+fn victim_orders(n: usize, perturb: Option<u64>) -> Vec<Vec<usize>> {
+    (0..n)
+        .map(|id| {
+            let mut order: Vec<usize> = (1..n).map(|off| (id + off) % n).collect();
+            if let Some(seed) = perturb {
+                let mut rng = StdRng::seed_from_u64(
+                    seed.wrapping_add(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_mul(id as u64 + 1),
+                );
+                shuffle(&mut order, &mut rng);
+            }
+            order
+        })
+        .collect()
 }
 
 impl StealPool {
@@ -516,7 +569,8 @@ impl StealPool {
                 let (acc_tx, acc_rx) = unbounded::<ProposalAccumulator>();
                 results = Some(res_rx);
                 accums = Some(acc_rx);
-                for id in 0..n {
+                let orders = victim_orders(n, cfg.perturb);
+                for (id, victims) in orders.into_iter().enumerate() {
                     let (wake_tx, wake_rx) = unbounded::<PoolMsg>();
                     wake.push(wake_tx);
                     let queues = queues.clone();
@@ -527,10 +581,14 @@ impl StealPool {
                         let mut state = WorkerState::new(g);
                         loop {
                             // Drain own deque first, then steal.
-                            while let Some((idx, unit)) = pop_any(id, &queues) {
+                            while let Some((idx, unit)) = pop_any(id, &queues, &victims) {
                                 let t0 = Instant::now();
                                 let (r, cost) = state.process(unit);
-                                let _ = res_tx.send((idx, id, r, cost, t0.elapsed()));
+                                // Wall time in its own binding: the
+                                // modelled `cost` channel never touches
+                                // the clock.
+                                let wall = t0.elapsed();
+                                let _ = res_tx.send((idx, id, r, cost, wall));
                             }
                             match wake_rx.recv() {
                                 Ok(PoolMsg::Wake) => continue,
@@ -556,6 +614,7 @@ impl StealPool {
             sim,
             clocks: Clocks::default(),
             rr: 0,
+            perturb: cfg.perturb,
         }
     }
 
@@ -595,10 +654,27 @@ impl StealPool {
         let mut costs = vec![0u64; n];
         let mut durs = vec![Duration::ZERO; n];
 
+        // Determinism audit: under perturbation, force a seeded unit
+        // reordering at this wave boundary. Results land by unit index and
+        // emissions replay in SeqDis order, so the mined output must not
+        // change; the greedy cost schedule below iterates unit order, so
+        // `work_makespan` must not change either.
+        let mut wave_rng = self.perturb.map(|seed| {
+            let wave = self.clocks.barriers as u64 + 1;
+            StdRng::seed_from_u64(seed ^ wave.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        });
+
         match self.mode {
             ExecMode::Simulated => {
+                // gfd-lint: allow(no-panic) — `sim` is Some exactly when mode is Simulated, established once in the constructor
                 let state = self.sim.as_mut().expect("simulated state");
-                for (idx, unit) in units.into_iter().enumerate() {
+                let mut order: Vec<(usize, Unit)> = units.into_iter().enumerate().collect();
+                if let Some(rng) = &mut wave_rng {
+                    // Shuffled processing order exercises shard-cache and
+                    // accumulator fold order without touching results.
+                    shuffle(&mut order, rng);
+                }
+                for (idx, unit) in order {
                     let t0 = Instant::now();
                     let (r, cost) = state.process(unit);
                     durs[idx] = t0.elapsed();
@@ -607,15 +683,26 @@ impl StealPool {
                 }
             }
             ExecMode::Threads => {
-                for (idx, unit) in units.into_iter().enumerate() {
-                    let w = self.affinity(&unit);
+                let mut order: Vec<(usize, Unit)> = units.into_iter().enumerate().collect();
+                if let Some(rng) = &mut wave_rng {
+                    shuffle(&mut order, rng);
+                }
+                for (idx, unit) in order {
+                    // Perturbed placement ignores affinity entirely: any
+                    // queue must be a correct home for any unit.
+                    let w = match &mut wave_rng {
+                        Some(rng) => rng.random_range(0..self.workers),
+                        None => self.affinity(&unit),
+                    };
                     self.queues[w].push((idx, unit));
                 }
                 for tx in &self.wake {
                     let _ = tx.send(PoolMsg::Wake);
                 }
+                // gfd-lint: allow(no-panic) — `results` is Some exactly when mode is Threads, established once in the constructor
                 let rx = self.results.as_ref().expect("threads results");
                 for _ in 0..n {
+                    // gfd-lint: allow(no-panic) — workers only exit when the pool drops their wake sender, so exactly n results arrive per wave
                     let (idx, _wid, r, cost, dur) = rx.recv().expect("worker alive");
                     out[idx] = Some(r);
                     costs[idx] = cost;
@@ -641,6 +728,7 @@ impl StealPool {
         self.clocks.busy += durs.iter().sum::<Duration>();
         self.clocks.barriers += 1;
 
+        // gfd-lint: allow(no-panic) — the loop above stores one result at every index 0..n before reaching here
         out.into_iter().map(|r| r.expect("result placed")).collect()
     }
 
@@ -658,15 +746,18 @@ impl StealPool {
     pub fn drain_accumulators(&mut self) -> ProposalAccumulator {
         match self.mode {
             ExecMode::Simulated => {
+                // gfd-lint: allow(no-panic) — `sim` is Some exactly when mode is Simulated, established once in the constructor
                 std::mem::take(&mut self.sim.as_mut().expect("simulated state").accum)
             }
             ExecMode::Threads => {
                 for tx in &self.wake {
                     let _ = tx.send(PoolMsg::Drain);
                 }
+                // gfd-lint: allow(no-panic) — `accums` is Some exactly when mode is Threads, established once in the constructor
                 let rx = self.accums.as_ref().expect("threads accums");
                 let mut merged = ProposalAccumulator::default();
                 for _ in 0..self.workers {
+                    // gfd-lint: allow(no-panic) — every worker answers each Drain with exactly one accumulator before blocking again
                     merged.merge(rx.recv().expect("worker alive"));
                 }
                 merged
@@ -688,14 +779,19 @@ fn steal_one<T>(q: &Injector<T>) -> Option<T> {
     }
 }
 
-/// Pops from the worker's own deque, stealing from siblings when empty.
-fn pop_any(id: usize, queues: &[Arc<Injector<(usize, Unit)>>]) -> Option<(usize, Unit)> {
+/// Pops from the worker's own deque, stealing from siblings (visited in
+/// `victims` order — ring order normally, a seeded biased order under
+/// perturbation) when empty.
+fn pop_any(
+    id: usize,
+    queues: &[Arc<Injector<(usize, Unit)>>],
+    victims: &[usize],
+) -> Option<(usize, Unit)> {
     if let Some(t) = steal_one(&queues[id]) {
         return Some(t);
     }
-    let n = queues.len();
-    for off in 1..n {
-        if let Some(t) = steal_one(&queues[(id + off) % n]) {
+    for &v in victims {
+        if let Some(t) = steal_one(&queues[v]) {
             return Some(t);
         }
     }
