@@ -25,10 +25,24 @@ fn bench_cover(c: &mut Criterion) {
             b.iter(|| black_box(seq_cover(&sigma).len()))
         });
         group.bench_with_input(BenchmarkId::new("ParCover n=4", count), &count, |b, _| {
-            b.iter(|| black_box(par_cover(&sigma, 4, ExecMode::Threads, true).cover.len()))
+            b.iter(|| {
+                black_box(
+                    par_cover(&sigma, 4, ExecMode::Threads, true)
+                        .expect("fault-free")
+                        .cover
+                        .len(),
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("ParCovern n=4", count), &count, |b, _| {
-            b.iter(|| black_box(par_cover(&sigma, 4, ExecMode::Threads, false).cover.len()))
+            b.iter(|| {
+                black_box(
+                    par_cover(&sigma, 4, ExecMode::Threads, false)
+                        .expect("fault-free")
+                        .cover
+                        .len(),
+                )
+            })
         });
     }
     group.finish();

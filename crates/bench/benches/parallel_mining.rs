@@ -22,13 +22,25 @@ fn bench_mining(c: &mut Criterion) {
     c.bench_function("mine/ParDis threads n=2", |b| {
         b.iter(|| {
             let ccfg = ClusterConfig::new(2, ExecMode::Threads);
-            black_box(par_dis(&arc, &cfg, &ccfg).result.gfds.len())
+            black_box(
+                par_dis(&arc, &cfg, &ccfg)
+                    .expect("fault-free")
+                    .result
+                    .gfds
+                    .len(),
+            )
         })
     });
     c.bench_function("mine/ParDis simulated n=8", |b| {
         b.iter(|| {
             let ccfg = ClusterConfig::new(8, ExecMode::Simulated);
-            black_box(par_dis(&arc, &cfg, &ccfg).result.gfds.len())
+            black_box(
+                par_dis(&arc, &cfg, &ccfg)
+                    .expect("fault-free")
+                    .result
+                    .gfds
+                    .len(),
+            )
         })
     });
 }

@@ -125,7 +125,8 @@ fn run(name: &str, scale: Scale) {
             assert!(!want.is_empty(), "steal smoke mined no rules");
             for mode in [ExecMode::Threads, ExecMode::Simulated] {
                 let ccfg = ClusterConfig::new(4, mode);
-                let par = par_dis_with_runtime(&g, &mining, &ccfg, Runtime::Steal);
+                let par =
+                    par_dis_with_runtime(&g, &mining, &ccfg, Runtime::Steal).expect("fault-free");
                 assert_eq!(
                     fingerprint(&par.result),
                     want,
@@ -139,6 +140,72 @@ fn run(name: &str, scale: Scale) {
                     par.wall,
                 );
             }
+        }
+        // CI chaos smoke: the steal runtime under a seeded fault plan
+        // (panics, a crash, drops, stragglers), plus a killed-and-resumed
+        // checkpointed run — both pinned to the sequential output.
+        "chaos-smoke" => {
+            use gfd_core::{seq_dis, DiscoveryConfig};
+            use gfd_datagen::{bench_scenario, ScenarioConfig};
+            use gfd_parallel::{par_dis_steal, ExecMode, FaultConfig, FaultError, StealConfig};
+            use std::sync::Arc;
+            let cfg = ScenarioConfig::tiny();
+            let g = Arc::new(bench_scenario(&cfg));
+            let mut mining = DiscoveryConfig::new(3, (g.node_count() / 40).max(5));
+            mining.max_edges = 2;
+            mining.max_lhs_size = 1;
+            mining.values_per_attr = 2;
+            mining.max_catalog_literals = 12;
+            mining.wildcard_min_labels = 0;
+            mining.max_patterns_per_level = 200;
+            let seq = seq_dis(&g, &mining);
+            let fingerprint = |r: &gfd_core::DiscoveryResult| -> Vec<String> {
+                r.gfds
+                    .iter()
+                    .map(|d| format!("{} @{}", d.gfd.display(g.interner()), d.support))
+                    .collect()
+            };
+            let want = fingerprint(&seq);
+            assert!(!want.is_empty(), "chaos smoke mined no rules");
+            for (seed, mode) in [(11u64, ExecMode::Threads), (17, ExecMode::Simulated)] {
+                let scfg = StealConfig::new(4, mode).with_faults(FaultConfig::with_seed(seed));
+                let par = par_dis_steal(&g, &mining, &scfg).expect("chaos run failed to recover");
+                assert_eq!(
+                    fingerprint(&par.result),
+                    want,
+                    "chaos output diverged (seed {seed}, {mode:?})"
+                );
+                println!(
+                    "chaos-smoke seed={seed} {mode:?}: gfds={} retries={} requeued={} \
+                     speculative_wins={} recovered_waves={}",
+                    par.result.gfds.len(),
+                    par.result.stats.retries,
+                    par.result.stats.requeued_units,
+                    par.result.stats.speculative_wins,
+                    par.result.stats.recovered_waves,
+                );
+            }
+            // Kill after the level-1 checkpoint, then resume to the end.
+            let ck = std::env::temp_dir().join(format!("gfd-chaos-smoke-{}", std::process::id()));
+            std::fs::remove_file(&ck).ok();
+            let mut scfg = StealConfig::new(3, ExecMode::Threads);
+            scfg.checkpoint = Some(ck.clone());
+            scfg.halt_after_level = Some(1);
+            match par_dis_steal(&g, &mining, &scfg) {
+                Err(FaultError::Halted { level: 1 }) => {}
+                other => panic!("expected halt after level 1, got {other:?}"),
+            }
+            let mut scfg = StealConfig::new(4, ExecMode::Threads);
+            scfg.checkpoint = Some(ck.clone());
+            scfg.resume = true;
+            let resumed = par_dis_steal(&g, &mining, &scfg).expect("resume failed");
+            assert_eq!(fingerprint(&resumed.result), want, "resume output diverged");
+            std::fs::remove_file(&ck).ok();
+            println!(
+                "chaos-smoke resume: gfds={} waves={} (killed after level 1, resumed)",
+                resumed.result.gfds.len(),
+                resumed.barriers,
+            );
         }
         other => {
             eprintln!("unknown experiment `{other}`; known: {ALL:?}");

@@ -164,7 +164,7 @@ fn main() {
         }
         Some(rt) => {
             let ccfg = ClusterConfig::new(workers, mode);
-            let report = par_dis_with_runtime(&g, &mining, &ccfg, rt);
+            let report = par_dis_with_runtime(&g, &mining, &ccfg, rt).expect("fault-free");
             format!(
                 concat!(
                     "{{\n",
@@ -185,7 +185,11 @@ fn main() {
                     "  \"work_makespan\": {wms},\n",
                     "  \"work_busy\": {wb},\n",
                     "  \"waves\": {waves},\n",
-                    "  \"comm_bytes\": {comm}\n",
+                    "  \"comm_bytes\": {comm},\n",
+                    "  \"retries\": {retries},\n",
+                    "  \"requeued_units\": {requeued},\n",
+                    "  \"speculative_wins\": {spec_wins},\n",
+                    "  \"recovered_waves\": {recovered}\n",
                     "}}"
                 ),
                 label = label,
@@ -209,6 +213,10 @@ fn main() {
                 wb = report.work_busy,
                 waves = report.barriers,
                 comm = report.comm_bytes,
+                retries = report.result.stats.retries,
+                requeued = report.result.stats.requeued_units,
+                spec_wins = report.result.stats.speculative_wins,
+                recovered = report.result.stats.recovered_waves,
             )
         }
     };

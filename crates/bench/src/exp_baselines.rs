@@ -28,7 +28,8 @@ pub fn fig5d(scale: Scale) -> Table {
     );
 
     let t0 = Instant::now();
-    let gfd_run = par_dis(&g, &cfg, &ClusterConfig::new(8, ExecMode::Simulated));
+    let gfd_run =
+        par_dis(&g, &cfg, &ClusterConfig::new(8, ExecMode::Simulated)).expect("fault-free");
     let _ = t0.elapsed();
     t.row(vec![
         "DisGFD".into(),

@@ -41,8 +41,8 @@ pub fn fig5_cover_workers(profile: KbProfile, scale: Scale) -> Table {
         &["n", "ParCover(s)", "ParCovern(s)", "cover", "groups"],
     );
     for n in WORKER_SWEEP {
-        let grouped = par_cover(&sigma, n, ExecMode::Simulated, true);
-        let ungrouped = par_cover(&sigma, n, ExecMode::Simulated, false);
+        let grouped = par_cover(&sigma, n, ExecMode::Simulated, true).expect("fault-free");
+        let ungrouped = par_cover(&sigma, n, ExecMode::Simulated, false).expect("fault-free");
         t.row(vec![
             n.to_string(),
             f(secs(grouped.simulated)),
@@ -73,8 +73,8 @@ pub fn fig5l(scale: Scale) -> Table {
                 ..Default::default()
             },
         );
-        let grouped = par_cover(&sigma, 4, ExecMode::Simulated, true);
-        let ungrouped = par_cover(&sigma, 4, ExecMode::Simulated, false);
+        let grouped = par_cover(&sigma, 4, ExecMode::Simulated, true).expect("fault-free");
+        let ungrouped = par_cover(&sigma, 4, ExecMode::Simulated, false).expect("fault-free");
         t.row(vec![
             count.to_string(),
             f(secs(grouped.simulated)),
@@ -125,8 +125,8 @@ mod tests {
                 ..Default::default()
             },
         );
-        let grouped = par_cover(&sigma, 4, ExecMode::Simulated, true);
-        let ungrouped = par_cover(&sigma, 4, ExecMode::Simulated, false);
+        let grouped = par_cover(&sigma, 4, ExecMode::Simulated, true).expect("fault-free");
+        let ungrouped = par_cover(&sigma, 4, ExecMode::Simulated, false).expect("fault-free");
         // Both compute valid covers of the same input.
         assert!(!grouped.cover.is_empty());
         assert!(!ungrouped.cover.is_empty());

@@ -34,9 +34,9 @@ pub fn fig5_workers(profile: KbProfile, scale: Scale) -> Table {
     );
     for n in WORKER_SWEEP {
         let mut ccfg = ClusterConfig::new(n, ExecMode::Simulated);
-        let balanced = par_dis(&g, &cfg, &ccfg);
+        let balanced = par_dis(&g, &cfg, &ccfg).expect("fault-free");
         ccfg.load_balance = false;
-        let unbalanced = par_dis(&g, &cfg, &ccfg);
+        let unbalanced = par_dis(&g, &cfg, &ccfg).expect("fault-free");
         t.row(vec![
             n.to_string(),
             f(secs(balanced.simulated)),
@@ -68,9 +68,9 @@ pub fn fig5e(scale: Scale) -> Table {
         }));
         let cfg = bench_cfg(&g, 4);
         let mut ccfg = ClusterConfig::new(20, ExecMode::Simulated);
-        let balanced = par_dis(&g, &cfg, &ccfg);
+        let balanced = par_dis(&g, &cfg, &ccfg).expect("fault-free");
         ccfg.load_balance = false;
-        let unbalanced = par_dis(&g, &cfg, &ccfg);
+        let unbalanced = par_dis(&g, &cfg, &ccfg).expect("fault-free");
         t.row(vec![
             nodes.to_string(),
             edges.to_string(),
@@ -118,10 +118,10 @@ pub fn runtime_comparison(profile: KbProfile, scale: Scale) -> Table {
     for n in [2usize, 4, 8] {
         let sim = ClusterConfig::new(n, ExecMode::Simulated);
         let thr = ClusterConfig::new(n, ExecMode::Threads);
-        let b_sim = par_dis_with_runtime(&g, &cfg, &sim, Runtime::Barrier);
-        let s_sim = par_dis_with_runtime(&g, &cfg, &sim, Runtime::Steal);
-        let b_thr = par_dis_with_runtime(&g, &cfg, &thr, Runtime::Barrier);
-        let s_thr = par_dis_with_runtime(&g, &cfg, &thr, Runtime::Steal);
+        let b_sim = par_dis_with_runtime(&g, &cfg, &sim, Runtime::Barrier).expect("fault-free");
+        let s_sim = par_dis_with_runtime(&g, &cfg, &sim, Runtime::Steal).expect("fault-free");
+        let b_thr = par_dis_with_runtime(&g, &cfg, &thr, Runtime::Barrier).expect("fault-free");
+        let s_thr = par_dis_with_runtime(&g, &cfg, &thr, Runtime::Steal).expect("fault-free");
         assert_eq!(
             fingerprint(&b_sim.result),
             fingerprint(&s_sim.result),
@@ -178,7 +178,8 @@ mod tests {
         let g = bench_kb(KbProfile::Yago2, Scale(0.05));
         let cfg = bench_cfg(&g, 3);
         let run = |n: usize| {
-            let r = par_dis(&g, &cfg, &ClusterConfig::new(n, ExecMode::Simulated));
+            let r =
+                par_dis(&g, &cfg, &ClusterConfig::new(n, ExecMode::Simulated)).expect("fault-free");
             (r.work_makespan, r.result.gfds.len())
         };
         let (w4, rules4) = run(4);
@@ -198,8 +199,8 @@ mod tests {
         let g = bench_kb(KbProfile::Yago2, Scale(0.05));
         let cfg = bench_cfg(&g, 3);
         let ccfg = ClusterConfig::new(4, ExecMode::Simulated);
-        let barrier = par_dis_with_runtime(&g, &cfg, &ccfg, Runtime::Barrier);
-        let steal = par_dis_with_runtime(&g, &cfg, &ccfg, Runtime::Steal);
+        let barrier = par_dis_with_runtime(&g, &cfg, &ccfg, Runtime::Barrier).expect("fault-free");
+        let steal = par_dis_with_runtime(&g, &cfg, &ccfg, Runtime::Steal).expect("fault-free");
         assert_eq!(barrier.result.gfds.len(), steal.result.gfds.len());
         assert!(
             steal.work_makespan < barrier.work_makespan,

@@ -17,9 +17,9 @@ pub fn fig5f(scale: Scale) -> Table {
     for k in 2..=5usize {
         let cfg = bench_cfg(&g, k);
         let mut ccfg = ClusterConfig::new(8, ExecMode::Simulated);
-        let a = par_dis(&g, &cfg, &ccfg);
+        let a = par_dis(&g, &cfg, &ccfg).expect("fault-free");
         ccfg.load_balance = false;
-        let b = par_dis(&g, &cfg, &ccfg);
+        let b = par_dis(&g, &cfg, &ccfg).expect("fault-free");
         t.row(vec![
             k.to_string(),
             f(secs(a.simulated)),
@@ -42,7 +42,7 @@ pub fn fig5g(scale: Scale) -> Table {
         let mut cfg = base.clone();
         cfg.sigma = base.sigma * mult;
         let ccfg = ClusterConfig::new(8, ExecMode::Simulated);
-        let a = par_dis(&g, &cfg, &ccfg);
+        let a = par_dis(&g, &cfg, &ccfg).expect("fault-free");
         t.row(vec![
             cfg.sigma.to_string(),
             f(secs(a.simulated)),
@@ -68,7 +68,7 @@ pub fn fig5h(scale: Scale) -> Table {
         let mut cfg = base.clone();
         cfg.active_attrs = all_attrs[..m].to_vec();
         let ccfg = ClusterConfig::new(8, ExecMode::Simulated);
-        let a = par_dis(&g, &cfg, &ccfg);
+        let a = par_dis(&g, &cfg, &ccfg).expect("fault-free");
         t.row(vec![
             m.to_string(),
             f(secs(a.simulated)),

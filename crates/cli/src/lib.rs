@@ -32,7 +32,7 @@ use gfd_incremental::{MonitorRule, UpdateBatch, ViolationMonitor};
 use gfd_logic::{
     explain_violations, find_violations, is_satisfiable, parse_rules, render_rules, Gfd,
 };
-use gfd_parallel::{par_dis, ClusterConfig, ExecMode};
+use gfd_parallel::{par_dis, par_dis_steal, ClusterConfig, ExecMode, FaultConfig, StealConfig};
 
 /// CLI failure, with the process exit code it maps to.
 #[derive(Debug)]
@@ -71,6 +71,7 @@ usage: gfd <command> [options]
   generate  --profile <dbpedia|yago2|imdb> | --nodes N --edges M   [--scale S] [--seed K] [--error-rate R] -o <graph>
   stats     <graph>
   discover  <graph> [--k K] [--sigma S] [--max-lhs L] [--parallel N] [--no-negative] [--confidence C] [--cover] [-o <rules>]
+            [--runtime <barrier|steal>] [--checkpoint <file>] [--resume] [--fault <spec>] [--fault-seed K]
   xdiscover <graph> [--k K] [--sigma S] [--max-lhs L] [--confidence C] [--limit N] [-o <rules>]
   validate  <graph> <rules> [--limit N]
   explain   <graph> <rules> [--limit N]
@@ -81,7 +82,12 @@ usage: gfd <command> [options]
 update scripts (`monitor`): one op per line —
   set <node> <attr> <value>   del <node> <attr>
   edge <src> <dst> <label>    unedge <src> <dst> <label>
-  node <label>                batch   (applies queued ops atomically)";
+  node <label>                batch   (applies queued ops atomically)
+
+fault specs (`discover --fault`): comma-separated list of
+  panic@W.I   drop@W.I   slow@W.I:MS   crash@W.wK[:U]
+(`--fault-seed K` samples a chaos mix instead; either flag, `--checkpoint`,
+or `--resume` selects the fault-tolerant work-stealing runtime)";
 
 /// Tiny argument cursor.
 struct Args<'a> {
@@ -250,6 +256,11 @@ fn cmd_discover(mut a: Args) -> Result<String, CliError> {
     let mut cover = false;
     let mut confidence = 1.0f64;
     let mut out_path: Option<String> = None;
+    let mut steal = false;
+    let mut checkpoint: Option<String> = None;
+    let mut resume = false;
+    let mut fault_spec: Option<String> = None;
+    let mut fault_seed: Option<u64> = None;
     while let Some(flag) = a.next() {
         match flag {
             "--k" => k = a.parse("--k")?,
@@ -259,6 +270,17 @@ fn cmd_discover(mut a: Args) -> Result<String, CliError> {
             "--no-negative" => negative = false,
             "--cover" => cover = true,
             "--confidence" => confidence = a.parse("--confidence")?,
+            "--runtime" => {
+                steal = match a.value("--runtime")? {
+                    "steal" => true,
+                    "barrier" => false,
+                    other => return Err(CliError::Usage(format!("unknown runtime `{other}`"))),
+                }
+            }
+            "--checkpoint" => checkpoint = Some(a.value("--checkpoint")?.to_owned()),
+            "--resume" => resume = true,
+            "--fault" => fault_spec = Some(a.value("--fault")?.to_owned()),
+            "--fault-seed" => fault_seed = Some(a.parse("--fault-seed")?),
             "-o" => out_path = Some(a.value("-o")?.to_owned()),
             other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
         }
@@ -266,6 +288,10 @@ fn cmd_discover(mut a: Args) -> Result<String, CliError> {
     if !(0.0..=1.0).contains(&confidence) {
         return Err(CliError::Usage("--confidence must be in [0, 1]".into()));
     }
+    // Fault injection, checkpointing, and resume all live in the
+    // work-stealing runtime; asking for any of them selects it.
+    let steal =
+        steal || resume || checkpoint.is_some() || fault_spec.is_some() || fault_seed.is_some();
     let g = load_graph(&path)?;
     let mut cfg = DiscoveryConfig::new(k.max(2), sigma.max(1));
     cfg.max_lhs_size = max_lhs;
@@ -273,9 +299,32 @@ fn cmd_discover(mut a: Args) -> Result<String, CliError> {
     cfg.min_confidence = confidence;
 
     let g = Arc::new(g);
-    let mut mined = match parallel {
-        Some(n) if n > 1 => par_dis(&g, &cfg, &ClusterConfig::new(n, ExecMode::Threads)).result,
-        _ => seq_dis(&g, &cfg),
+    let mut mined = if steal {
+        let fault = match (&fault_spec, fault_seed) {
+            (Some(spec), seed) => {
+                let mut f = FaultConfig::parse(spec).map_err(CliError::Usage)?;
+                f.seed = seed;
+                f
+            }
+            (None, Some(seed)) => FaultConfig::with_seed(seed),
+            (None, None) => FaultConfig::default(),
+        };
+        let mut scfg =
+            StealConfig::new(parallel.unwrap_or(4).max(1), ExecMode::Threads).with_faults(fault);
+        scfg.checkpoint = checkpoint.as_deref().map(std::path::PathBuf::from);
+        scfg.resume = resume;
+        par_dis_steal(&g, &cfg, &scfg)
+            .map_err(|e| CliError::Io(format!("discovery failed: {e}")))?
+            .result
+    } else {
+        match parallel {
+            Some(n) if n > 1 => {
+                par_dis(&g, &cfg, &ClusterConfig::new(n, ExecMode::Threads))
+                    .map_err(|e| CliError::Io(format!("discovery failed: {e}")))?
+                    .result
+            }
+            _ => seq_dis(&g, &cfg),
+        }
     };
     let total = mined.gfds.len();
     if cover {
@@ -294,6 +343,14 @@ fn cmd_discover(mut a: Args) -> Result<String, CliError> {
         mined.positive_count(),
         mined.negative_count(),
     );
+    let st = &mined.stats;
+    if st.retries + st.requeued_units + st.speculative_wins + st.recovered_waves > 0 {
+        let _ = writeln!(
+            out,
+            "fault recovery: {} retries, {} units requeued, {} speculative wins, {} waves recovered",
+            st.retries, st.requeued_units, st.speculative_wins, st.recovered_waves
+        );
+    }
     let rules: Vec<Gfd> = mined.gfds.iter().map(|d| d.gfd.clone()).collect();
     write_out(
         out_path.as_deref(),
@@ -910,6 +967,99 @@ e 0 1 create
             updates.to_str().unwrap(),
         ]));
         assert!(matches!(res, Err(CliError::Io(m)) if m.contains("line 1")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn discover_steal_runtime_and_faults_match_sequential() {
+        let dir = tmpdir();
+        let graph = dir.join("kb.graph");
+        run(&s(&[
+            "generate",
+            "--profile",
+            "yago2",
+            "--scale",
+            "150",
+            "--error-rate",
+            "0.0",
+            "-o",
+            graph.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let rules = dir.join("rules.gfd");
+        let discover = |extra: &[&str]| {
+            let mut args = vec![
+                "discover",
+                graph.to_str().unwrap(),
+                "--k",
+                "3",
+                "--sigma",
+                "15",
+            ];
+            args.extend_from_slice(extra);
+            args.extend_from_slice(&["-o", rules.to_str().unwrap()]);
+            let out = run(&s(&args)).unwrap();
+            (out, std::fs::read_to_string(&rules).unwrap())
+        };
+        let (_, baseline) = discover(&[]);
+        // The steal runtime, fault-free and under a seeded chaos plan,
+        // mines exactly the sequential rule set.
+        let (_, steal_rules) = discover(&["--parallel", "2", "--runtime", "steal"]);
+        assert_eq!(steal_rules, baseline);
+        let (_, chaotic_rules) = discover(&["--parallel", "3", "--fault-seed", "42"]);
+        assert_eq!(chaotic_rules, baseline);
+        // An explicit fault plan parses and recovers too.
+        let (explicit, explicit_rules) =
+            discover(&["--parallel", "2", "--fault", "panic@1.0,slow@2.1:5"]);
+        assert!(explicit.contains("discovered"), "{explicit}");
+        assert_eq!(explicit_rules, baseline);
+        // A malformed plan is a usage error.
+        let res = run(&s(&[
+            "discover",
+            graph.to_str().unwrap(),
+            "--fault",
+            "explode@1.0",
+        ]));
+        assert!(matches!(res, Err(CliError::Usage(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn discover_checkpoint_resume_roundtrip() {
+        let dir = tmpdir();
+        let graph = dir.join("kb.graph");
+        let ck = dir.join("run.ckpt");
+        run(&s(&[
+            "generate",
+            "--profile",
+            "yago2",
+            "--scale",
+            "150",
+            "--error-rate",
+            "0.0",
+            "-o",
+            graph.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let base_args = [
+            "discover",
+            graph.to_str().unwrap(),
+            "--k",
+            "3",
+            "--sigma",
+            "15",
+        ];
+        let baseline = run(&s(&base_args)).unwrap();
+        // A checkpointed run leaves a resumable snapshot behind …
+        let mut args = base_args.to_vec();
+        args.extend_from_slice(&["--parallel", "2", "--checkpoint", ck.to_str().unwrap()]);
+        let checkpointed = run(&s(&args)).unwrap();
+        assert_eq!(checkpointed, baseline);
+        assert!(ck.exists(), "checkpoint file not written");
+        // … and resuming from it reproduces the same rules.
+        args.push("--resume");
+        let resumed = run(&s(&args)).unwrap();
+        assert_eq!(resumed, baseline);
         std::fs::remove_dir_all(&dir).ok();
     }
 

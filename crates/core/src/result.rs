@@ -53,6 +53,16 @@ pub struct DiscoveryStats {
     pub patterns_deduped: usize,
     /// Literal-lattice counters.
     pub hspawn: HSpawnStats,
+    /// Failed work units re-queued within the retry budget (parallel
+    /// fault-tolerant runs; zero elsewhere).
+    pub retries: u64,
+    /// Work units moved off a crashed worker or re-dispatched by the
+    /// straggler watermark.
+    pub requeued_units: u64,
+    /// Speculative re-executions that beat the original result.
+    pub speculative_wins: u64,
+    /// Waves that needed any recovery action.
+    pub recovered_waves: u64,
     /// Positive GFDs emitted.
     pub positive: usize,
     /// Negative GFDs emitted.

@@ -35,6 +35,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(SimulatedCost),
         Box::new(PerfHotLoop),
         Box::new(Hygiene),
+        Box::new(FaultBoundary),
     ]
 }
 
@@ -661,6 +662,88 @@ impl Rule for Hygiene {
                              same-line comment saying why it must stay"
                         ),
                     ));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// fault-boundary
+// ---------------------------------------------------------------------------
+
+/// Panic-recovery discipline in the parallel runtime.
+///
+/// Recovery from injected and genuine worker panics hinges on two
+/// invariants: every `catch_unwind` site is a *deliberate* fault boundary
+/// (documented with a `fault-boundary:` comment saying what failure it
+/// absorbs and why state stays consistent), and channel results are never
+/// `unwrap`ed/`expect`ed — a crashed peer closes its channel, and that
+/// `RecvError` must turn into `WorkerLost` recovery, not a master panic.
+/// `fault.rs` itself is exempt: it is the boundary module the rest of the
+/// runtime delegates to.
+pub struct FaultBoundary;
+
+impl Rule for FaultBoundary {
+    fn name(&self) -> &'static str {
+        "fault-boundary"
+    }
+
+    fn describe(&self) -> &'static str {
+        "catch_unwind without a `fault-boundary:` justification; unwrap()/expect() on channel recv results in the parallel runtime"
+    }
+
+    fn check(&self, ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
+        if !in_scope(ctx, self.name(), &["crates/parallel/src/"]) || ctx.rel.ends_with("fault.rs") {
+            return;
+        }
+        // Lines carrying a `fault-boundary` justification comment.
+        let boundary_lines: BTreeSet<u32> = ctx
+            .toks
+            .iter()
+            .filter(|t| {
+                matches!(t.kind, TokKind::LineComment | TokKind::BlockComment)
+                    && t.text.contains("fault-boundary")
+            })
+            .map(|t| t.line)
+            .collect();
+        for ci in 0..ctx.code_len() {
+            let t = ctx.ctok(ci);
+            if t.kind != TokKind::Ident || ctx.is_test_line(t.line) {
+                continue;
+            }
+            if t.text == "catch_unwind" {
+                let justified =
+                    (t.line.saturating_sub(3)..=t.line).any(|l| boundary_lines.contains(&l));
+                if !justified {
+                    out.push(
+                        ctx.diag(
+                            self.name(),
+                            t.line,
+                            "`catch_unwind` without a `fault-boundary:` comment — say what \
+                         failure this boundary absorbs and why state stays consistent"
+                                .to_string(),
+                        ),
+                    );
+                }
+            }
+            if matches!(t.text, "recv" | "recv_timeout") && ctx.ct(ci + 1) == "(" {
+                // `.unwrap()`/`.expect(` within a few tokens of the call
+                // means the channel result is not error-handled.
+                let limit = (ci + 10).min(ctx.code_len());
+                for k in ci + 1..limit {
+                    if ctx.ct(k) == "." && matches!(ctx.ct(k + 1), "unwrap" | "expect") {
+                        out.push(ctx.diag(
+                            self.name(),
+                            t.line,
+                            format!(
+                                "`.{}()` on a channel result — a crashed peer closes its \
+                                 channel; route the `RecvError` into `WorkerLost` recovery",
+                                ctx.ct(k + 1)
+                            ),
+                        ));
+                        break;
+                    }
                 }
             }
         }

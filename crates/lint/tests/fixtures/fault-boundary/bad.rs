@@ -1,0 +1,18 @@
+//! Bad fixture for `fault-boundary`: an undocumented panic boundary and
+//! channel results consumed with panicking combinators.
+
+fn undocumented_boundary(unit: Unit) -> Result<UnitResult, String> {
+    // Absorbs panics, but says nothing about what failure it handles or
+    // why worker state stays consistent afterwards.
+    std::panic::catch_unwind(|| process(unit)).map_err(|_| "worker panicked".to_string())
+}
+
+fn master_collect(rx: &Receiver<WorkerReply>) -> WorkerReply {
+    // A crashed worker closes its channel: this panics the master instead
+    // of recovering.
+    rx.recv().unwrap()
+}
+
+fn master_collect_deadline(rx: &Receiver<WorkerReply>, t: Duration) -> WorkerReply {
+    rx.recv_timeout(t).expect("worker reply")
+}

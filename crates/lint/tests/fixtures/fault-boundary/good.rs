@@ -1,0 +1,27 @@
+//! Good fixture for `fault-boundary`: the panic boundary carries its
+//! justification, and channel errors are routed into recovery.
+
+fn documented_boundary(unit: Unit) -> Result<UnitResult, String> {
+    // fault-boundary: absorbs injected and genuine unit panics so the
+    // worker can report Failed and keep pulling; the unit touched no
+    // shared state before this point, so a retry starts clean.
+    std::panic::catch_unwind(|| process(unit)).map_err(|_| "worker panicked".to_string())
+}
+
+fn master_collect(rx: &Receiver<WorkerReply>) -> Result<WorkerReply, FaultError> {
+    match rx.recv() {
+        Ok(reply) => Ok(reply),
+        Err(_) => Err(FaultError::WorkerLost { worker: 0 }),
+    }
+}
+
+fn master_collect_deadline(
+    rx: &Receiver<WorkerReply>,
+    t: Duration,
+) -> Result<Option<WorkerReply>, FaultError> {
+    match rx.recv_timeout(t) {
+        Ok(reply) => Ok(Some(reply)),
+        Err(RecvTimeoutError::Timeout) => Ok(None),
+        Err(RecvTimeoutError::Disconnected) => Err(FaultError::WorkerLost { worker: 0 }),
+    }
+}

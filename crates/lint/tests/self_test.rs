@@ -15,6 +15,7 @@ const RULES: &[(&str, usize)] = &[
     ("simulated-cost", 2), // SystemTime + Instant-into-cost statement
     ("perf", 3),           // format!, .to_vec(), Arc::clone in a loop
     ("hygiene", 5),        // 2 untracked markers, 2 blanket allows, stale escape
+    ("fault-boundary", 3), // undocumented catch_unwind + recv unwrap + recv_timeout expect
 ];
 
 fn fixture(rule: &str, kind: &str) -> (String, String) {

@@ -20,12 +20,13 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use gfd_core::{BitmapIndex, CatalogCounts, DiscoveryConfig, MatchTable, PartialStats, RawHarvest};
 use gfd_graph::{AttrId, FxHashMap, Graph, LabelId, NodeId};
 use gfd_logic::{Literal, Rhs};
 use gfd_pattern::{extend_matches, Extension, MatchSet, PLabel, Pattern};
 
+use crate::fault::{self, FaultConfig, FaultError, FaultPlan, FaultStats, UnitFault};
 use crate::partition::{node_owner, Fragment};
 
 /// Execution mode of a [`Cluster`].
@@ -52,6 +53,12 @@ pub struct ClusterConfig {
     /// A pattern's matches are re-balanced when the largest fragment share
     /// exceeds `skew_factor × (total / n)`.
     pub skew_factor: f64,
+    /// Fault-injection plan (inactive by default). Worker crashes are
+    /// unrecoverable in this runtime — a crashed worker takes its fragment
+    /// state with it — and surface as [`FaultError::WorkerLost`]; unit
+    /// panics, drops, and stragglers are recovered by bounded same-worker
+    /// retry.
+    pub fault: FaultConfig,
 }
 
 impl ClusterConfig {
@@ -63,6 +70,7 @@ impl ClusterConfig {
             bandwidth_bytes_per_sec: 1e9,
             load_balance: true,
             skew_factor: 2.0,
+            fault: FaultConfig::default(),
         }
     }
 }
@@ -88,6 +96,11 @@ pub struct Clocks {
     pub work_makespan: u64,
     /// Σ of all modelled work units (deterministic counterpart of `busy`).
     pub work_busy: u64,
+    /// Modelled retry/backoff charge from fault recovery, in backoff
+    /// units (`2^attempt` per retry). Kept apart from `work_makespan` so
+    /// recovery never perturbs the deterministic schedule the
+    /// scalability tests compare.
+    pub fault_backoff: u64,
 }
 
 impl Clocks {
@@ -402,13 +415,23 @@ impl WorkerCtx {
 }
 
 enum WorkerMsg {
-    Task(Box<Task>),
+    Task {
+        /// Wave (barrier) number, for stale-reply filtering at the master.
+        wave: u64,
+        /// Retry attempt of this dispatch (0 = original).
+        attempt: u32,
+        task: Box<Task>,
+    },
     Stop,
 }
 
+/// One worker reply: `(wave, attempt, outcome)`. `Err` carries the panic
+/// message of a task that unwound inside the worker's fault boundary.
+type ClusterReply = (u64, u32, Result<(TaskResult, u64, Duration), String>);
+
 struct ThreadWorker {
     tx: Sender<WorkerMsg>,
-    rx: Receiver<(TaskResult, u64, Duration)>,
+    rx: Receiver<ClusterReply>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -423,6 +446,17 @@ pub struct Cluster {
     pub clocks: Clocks,
     bandwidth: f64,
     workers: usize,
+    plan: FaultPlan,
+    /// Whether any recovery machinery is armed (non-empty plan or a
+    /// configured wave timeout).
+    fault_mode: bool,
+    max_retries: u32,
+    wave_timeout: Option<Duration>,
+    /// Sticky failure: once a barrier errors, every later one
+    /// short-circuits.
+    failed: Option<FaultError>,
+    /// Recovery counters, folded into `DiscoveryStats` by the driver.
+    pub fstats: FaultStats,
 }
 
 impl Cluster {
@@ -441,19 +475,82 @@ impl Cluster {
             .map(|(i, f)| WorkerCtx::new(i, n, Arc::clone(&g), f, Arc::clone(&global)))
             .collect();
 
+        let plan = FaultPlan::from_config(&cfg.fault, n);
+        let fault_mode = !plan.is_empty() || cfg.fault.wave_timeout.is_some();
+        let shared_plan = Arc::new(plan.clone());
+
         let mut threads = Vec::new();
         if cfg.mode == ExecMode::Threads {
+            if fault_mode {
+                fault::install_quiet_panic_hook();
+            }
             for mut state in states.drain(..) {
                 let (task_tx, task_rx) = unbounded::<WorkerMsg>();
-                let (res_tx, res_rx) = unbounded::<(TaskResult, u64, Duration)>();
+                let (res_tx, res_rx) = unbounded::<ClusterReply>();
+                let plan = Arc::clone(&shared_plan);
                 let handle = std::thread::spawn(move || {
-                    while let Ok(WorkerMsg::Task(task)) = task_rx.recv() {
-                        let t0 = Instant::now();
-                        let (r, cost) = state.process(*task);
-                        // Wall time is measured into its own binding: the
-                        // modelled `cost` channel never touches the clock.
-                        let wall = t0.elapsed();
-                        let _ = res_tx.send((r, cost, wall));
+                    let id = state.id;
+                    // Units this worker completed in the current wave —
+                    // the crash plan's trigger coordinate.
+                    let mut progress: (u64, usize) = (0, 0);
+                    while let Ok(msg) = task_rx.recv() {
+                        let WorkerMsg::Task {
+                            wave,
+                            attempt,
+                            task,
+                        } = msg
+                        else {
+                            break;
+                        };
+                        if progress.0 != wave {
+                            progress = (wave, 0);
+                        }
+                        if let Some(after) = plan.crash_point(wave, id) {
+                            if progress.1 >= after {
+                                // Crashed worker: stop pulling work. The
+                                // dropped channels surface as WorkerLost
+                                // at the master — fragment state is gone,
+                                // so there is nothing to hand over.
+                                return;
+                            }
+                        }
+                        let injected = plan.unit_fault(wave, id, attempt);
+                        // A re-executed TakeMatches returns nothing (the
+                        // rows left with the first execution), so losing
+                        // the first reply would lose rows: never inject a
+                        // drop on it.
+                        let droppable = !matches!(&*task, Task::TakeMatches { .. });
+                        // fault-boundary: a panicking task (injected or
+                        // genuine) becomes an Err reply; injection fires
+                        // before `process`, so fragment state is untouched
+                        // and the master's same-worker retry is safe.
+                        let out = fault::run_guarded(|| {
+                            if matches!(injected, Some(UnitFault::Panic)) {
+                                fault::injected_panic(wave, id);
+                            }
+                            let t0 = Instant::now();
+                            let (r, cost) = state.process(*task);
+                            // Wall time is measured into its own binding:
+                            // the modelled `cost` channel never touches
+                            // the clock.
+                            let wall = t0.elapsed();
+                            (r, cost, wall)
+                        });
+                        progress.1 += 1;
+                        match out {
+                            Ok(done) => {
+                                if let Some(UnitFault::Straggle(d)) = injected {
+                                    std::thread::sleep(d);
+                                }
+                                if matches!(injected, Some(UnitFault::DropResult)) && droppable {
+                                    continue;
+                                }
+                                let _ = res_tx.send((wave, attempt, Ok(done)));
+                            }
+                            Err(msg) => {
+                                let _ = res_tx.send((wave, attempt, Err(msg)));
+                            }
+                        }
                     }
                 });
                 threads.push(ThreadWorker {
@@ -471,6 +568,12 @@ impl Cluster {
             clocks: Clocks::default(),
             bandwidth: cfg.bandwidth_bytes_per_sec,
             workers: n,
+            plan,
+            fault_mode,
+            max_retries: cfg.fault.max_retries,
+            wave_timeout: cfg.fault.wave_timeout,
+            failed: None,
+            fstats: FaultStats::default(),
         }
     }
 
@@ -480,14 +583,37 @@ impl Cluster {
     }
 
     /// Executes one barrier: task `i` on worker `i`. Returns results in
-    /// worker order and charges the barrier's makespan.
-    pub fn run(&mut self, tasks: Vec<Task>) -> Vec<TaskResult> {
+    /// worker order and charges the barrier's makespan. Failures are
+    /// sticky: once a barrier errors, every later one short-circuits to
+    /// the same error.
+    pub fn run(&mut self, tasks: Vec<Task>) -> Result<Vec<TaskResult>, FaultError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        match self.try_run(tasks) {
+            Ok(out) => Ok(out),
+            Err(e) => {
+                self.failed = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    fn try_run(&mut self, tasks: Vec<Task>) -> Result<Vec<TaskResult>, FaultError> {
         assert_eq!(tasks.len(), self.workers, "one task per worker");
+        let wave = self.clocks.barriers as u64 + 1;
         let mut durations = vec![Duration::ZERO; self.workers];
         let mut costs = vec![0u64; self.workers];
         let mut results: Vec<TaskResult> = Vec::with_capacity(self.workers);
         match self.mode {
             ExecMode::Simulated => {
+                // A planned crash at this barrier: the fragment and every
+                // match set on it are gone — unrecoverable by design.
+                for i in 0..self.workers {
+                    if self.plan.crash_point(wave, i).is_some() {
+                        return Err(FaultError::WorkerLost { worker: i });
+                    }
+                }
                 for (i, task) in tasks.into_iter().enumerate() {
                     let t0 = Instant::now();
                     let (r, cost) = self.states[i].process(task);
@@ -495,23 +621,48 @@ impl Cluster {
                     costs[i] = cost;
                     durations[i] = t0.elapsed();
                 }
+                // Pure simulation-clock perturbations: panics and drops
+                // cost a retry + backoff charge, stragglers stretch their
+                // worker's measured time. Results are already in hand, so
+                // output invariance is structural here.
+                if !self.plan.is_empty() {
+                    let mut recovered = false;
+                    for (i, dur) in durations.iter_mut().enumerate() {
+                        match self.plan.unit_fault(wave, i, 0) {
+                            Some(UnitFault::Panic) | Some(UnitFault::DropResult) => {
+                                self.fstats.retries += 1;
+                                self.clocks.fault_backoff += 2;
+                                recovered = true;
+                            }
+                            Some(UnitFault::Straggle(d)) => {
+                                *dur += d;
+                                recovered = true;
+                            }
+                            None => {}
+                        }
+                    }
+                    if recovered {
+                        self.fstats.recovered_waves += 1;
+                    }
+                }
             }
             ExecMode::Threads => {
+                let backup: Vec<Task> = if self.fault_mode {
+                    tasks.clone()
+                } else {
+                    Vec::new()
+                };
                 for (i, task) in tasks.into_iter().enumerate() {
-                    self.threads[i]
-                        .tx
-                        .send(WorkerMsg::Task(Box::new(task)))
-                        // gfd-lint: allow(no-panic) — worker threads only exit when the pool drops their task sender, so the channel outlives every run
-                        .expect("worker alive");
-                    let _ = i;
+                    let send = self.threads[i].tx.send(WorkerMsg::Task {
+                        wave,
+                        attempt: 0,
+                        task: Box::new(task),
+                    });
+                    if send.is_err() {
+                        return Err(FaultError::WorkerLost { worker: i });
+                    }
                 }
-                for (i, t) in self.threads.iter().enumerate() {
-                    // gfd-lint: allow(no-panic) — each worker sends exactly one result per task; a missing result means a worker died, which is unrecoverable here
-                    let (r, cost, d) = t.rx.recv().expect("worker result");
-                    results.push(r);
-                    costs[i] = cost;
-                    durations[i] = d;
-                }
+                self.collect_barrier(wave, &backup, &mut results, &mut costs, &mut durations)?;
             }
         }
         let max = durations.iter().max().copied().unwrap_or_default();
@@ -520,12 +671,149 @@ impl Cluster {
         self.clocks.work_makespan += costs.iter().max().copied().unwrap_or(0);
         self.clocks.work_busy += costs.iter().sum::<u64>();
         self.clocks.barriers += 1;
-        results
+        Ok(results)
+    }
+
+    /// Threaded barrier collection with recovery: stale-wave replies are
+    /// skipped (per-worker FIFO channels and strictly increasing wave
+    /// numbers make that safe), failed tasks retry on the *same* worker
+    /// (its fragment state lives there), dropped replies are re-sent
+    /// after a timeout, and a dead worker's closed channel surfaces as
+    /// [`FaultError::WorkerLost`].
+    fn collect_barrier(
+        &mut self,
+        wave: u64,
+        backup: &[Task],
+        results: &mut Vec<TaskResult>,
+        costs: &mut [u64],
+        durations: &mut [Duration],
+    ) -> Result<(), FaultError> {
+        // Re-send cadence: the configured wave deadline, or a fixed
+        // resend tick when the plan can swallow replies.
+        let tick = self
+            .wave_timeout
+            .or_else(|| self.plan.has_drops().then(|| Duration::from_millis(50)));
+        let mut recovered = false;
+        for i in 0..self.workers {
+            let mut attempts = 0u32;
+            let started = Instant::now();
+            loop {
+                let reply = match tick {
+                    None => match self.threads[i].rx.recv() {
+                        Ok(r) => Some(r),
+                        Err(_) => return Err(FaultError::WorkerLost { worker: i }),
+                    },
+                    Some(t) => match self.threads[i].rx.recv_timeout(t) {
+                        Ok(r) => Some(r),
+                        Err(RecvTimeoutError::Timeout) => None,
+                        Err(RecvTimeoutError::Disconnected) => {
+                            return Err(FaultError::WorkerLost { worker: i })
+                        }
+                    },
+                };
+                let Some((rwave, rattempt, outcome)) = reply else {
+                    // Nothing arrived within the tick: enforce the wave
+                    // deadline, then re-send (the reply may have been
+                    // dropped; a duplicate of a completed task is skipped
+                    // by the stale filter on the next barrier).
+                    if let Some(limit) = self.wave_timeout {
+                        if started.elapsed() > limit {
+                            return Err(FaultError::WaveTimeout {
+                                wave,
+                                outstanding: self.workers - i,
+                            });
+                        }
+                    }
+                    attempts += 1;
+                    if attempts > self.max_retries {
+                        return Err(FaultError::RetryBudgetExhausted {
+                            wave,
+                            unit: i,
+                            attempts,
+                            msg: "reply never arrived".into(),
+                        });
+                    }
+                    self.fstats.requeued_units += 1;
+                    recovered = true;
+                    let send = self.threads[i].tx.send(WorkerMsg::Task {
+                        wave,
+                        attempt: attempts,
+                        task: Box::new(backup[i].clone()),
+                    });
+                    if send.is_err() {
+                        return Err(FaultError::WorkerLost { worker: i });
+                    }
+                    continue;
+                };
+                if rwave != wave {
+                    // A duplicate reply of an earlier barrier's re-sent
+                    // task; this barrier's reply is still behind it.
+                    continue;
+                }
+                match outcome {
+                    Ok((r, cost, d)) => {
+                        // First result wins, whatever its attempt tag.
+                        results.push(r);
+                        costs[i] = cost;
+                        durations[i] = d;
+                        break;
+                    }
+                    Err(_) if rattempt < attempts => {
+                        // A superseded attempt's failure; its replacement
+                        // is already queued.
+                        continue;
+                    }
+                    Err(msg) => {
+                        if !self.fault_mode {
+                            // No recovery armed: surface a genuine panic
+                            // as a clean error.
+                            return Err(FaultError::UnitPanicked { wave, unit: i, msg });
+                        }
+                        attempts += 1;
+                        if attempts > self.max_retries {
+                            return Err(FaultError::RetryBudgetExhausted {
+                                wave,
+                                unit: i,
+                                attempts,
+                                msg,
+                            });
+                        }
+                        self.fstats.retries += 1;
+                        // Backoff is charged to its own clock only, so
+                        // recovery never perturbs the deterministic
+                        // schedule.
+                        self.clocks.fault_backoff += 1u64 << attempts.min(16);
+                        recovered = true;
+                        let send = self.threads[i].tx.send(WorkerMsg::Task {
+                            wave,
+                            attempt: attempts,
+                            task: Box::new(backup[i].clone()),
+                        });
+                        if send.is_err() {
+                            return Err(FaultError::WorkerLost { worker: i });
+                        }
+                    }
+                }
+            }
+        }
+        if recovered {
+            self.fstats.recovered_waves += 1;
+        }
+        Ok(())
     }
 
     /// Broadcasts one task to every worker.
-    pub fn broadcast(&mut self, task: Task) -> Vec<TaskResult> {
+    pub fn broadcast(&mut self, task: Task) -> Result<Vec<TaskResult>, FaultError> {
         self.run(vec![task; self.workers])
+    }
+
+    /// The sticky failure of an earlier barrier, if any — for drivers
+    /// whose inner evaluators cannot propagate errors mid-lattice.
+    pub fn check(&self) -> Result<(), FaultError> {
+        match &self.failed {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
     }
 
     /// Charges a communication barrier: worker `i` receives
@@ -580,10 +868,12 @@ mod tests {
         let (g, mut cluster) = toy_cluster(mode, 3);
         let person = PLabel::Is(g.interner().lookup_label("person").unwrap());
         let q = Pattern::single(person);
-        let results = cluster.broadcast(Task::SeedRoot {
-            node: 0,
-            pattern: q,
-        });
+        let results = cluster
+            .broadcast(Task::SeedRoot {
+                node: 0,
+                pattern: q,
+            })
+            .expect("fault-free");
         let mut total = 0;
         let mut all_pivots = Vec::new();
         for r in results {
@@ -616,20 +906,24 @@ mod tests {
         let person = PLabel::Is(g.interner().lookup_label("person").unwrap());
         let film = PLabel::Is(g.interner().lookup_label("film").unwrap());
         let create = PLabel::Is(g.interner().lookup_label("create").unwrap());
-        cluster.broadcast(Task::SeedRoot {
-            node: 0,
-            pattern: Pattern::single(person),
-        });
+        cluster
+            .broadcast(Task::SeedRoot {
+                node: 0,
+                pattern: Pattern::single(person),
+            })
+            .expect("fault-free");
         let ext = Extension {
             src: gfd_pattern::End::Var(0),
             dst: gfd_pattern::End::New(film),
             label: create,
         };
-        let results = cluster.broadcast(Task::Join {
-            parent: 0,
-            child: 1,
-            ext,
-        });
+        let results = cluster
+            .broadcast(Task::Join {
+                parent: 0,
+                child: 1,
+                ext,
+            })
+            .expect("fault-free");
         let mut rows_total = 0;
         let mut shipped_any = false;
         for r in results {
@@ -649,11 +943,15 @@ mod tests {
         let (g, mut cluster) = toy_cluster(ExecMode::Simulated, 2);
         let person = PLabel::Is(g.interner().lookup_label("person").unwrap());
         let q = Pattern::single(person);
-        cluster.broadcast(Task::SeedRoot {
-            node: 7,
-            pattern: q.clone(),
-        });
-        let taken = cluster.broadcast(Task::TakeMatches { node: 7 });
+        cluster
+            .broadcast(Task::SeedRoot {
+                node: 7,
+                pattern: q.clone(),
+            })
+            .expect("fault-free");
+        let taken = cluster
+            .broadcast(Task::TakeMatches { node: 7 })
+            .expect("fault-free");
         let mut pool = MatchSet::new(1);
         for r in taken {
             if let TaskResult::Matches(ms) = r {
@@ -662,7 +960,9 @@ mod tests {
         }
         assert_eq!(pool.len(), 8);
         // Second take returns empties.
-        let again = cluster.broadcast(Task::TakeMatches { node: 7 });
+        let again = cluster
+            .broadcast(Task::TakeMatches { node: 7 })
+            .expect("fault-free");
         for r in again {
             if let TaskResult::Matches(ms) = r {
                 assert!(ms.is_empty());
@@ -678,8 +978,10 @@ mod tests {
                 ms,
             })
             .collect();
-        cluster.run(tasks);
-        let back = cluster.broadcast(Task::TakeMatches { node: 7 });
+        cluster.run(tasks).expect("fault-free");
+        let back = cluster
+            .broadcast(Task::TakeMatches { node: 7 })
+            .expect("fault-free");
         let sizes: Vec<usize> = back
             .into_iter()
             .map(|r| match r {
@@ -705,15 +1007,21 @@ mod tests {
     fn drop_nodes_clears_state() {
         let (g, mut cluster) = toy_cluster(ExecMode::Simulated, 2);
         let person = PLabel::Is(g.interner().lookup_label("person").unwrap());
-        cluster.broadcast(Task::SeedRoot {
-            node: 0,
-            pattern: Pattern::single(person),
-        });
-        cluster.broadcast(Task::DropNodes { nodes: vec![0] });
-        let res = cluster.broadcast(Task::Harvest {
-            node: 0,
-            cfg: DiscoveryConfig::new(2, 1),
-        });
+        cluster
+            .broadcast(Task::SeedRoot {
+                node: 0,
+                pattern: Pattern::single(person),
+            })
+            .expect("fault-free");
+        cluster
+            .broadcast(Task::DropNodes { nodes: vec![0] })
+            .expect("fault-free");
+        let res = cluster
+            .broadcast(Task::Harvest {
+                node: 0,
+                cfg: DiscoveryConfig::new(2, 1),
+            })
+            .expect("fault-free");
         for r in res {
             if let TaskResult::Harvested(h) = r {
                 assert!(h.new_node.is_empty() && h.closing.is_empty());

@@ -27,12 +27,14 @@
 #![forbid(unsafe_code)]
 
 pub mod cluster;
+pub mod fault;
 pub mod parcover;
 pub mod pardis;
 pub mod partition;
 pub mod steal;
 
 pub use cluster::{Clocks, Cluster, ClusterConfig, ExecMode, Task, TaskResult, WorkerCtx};
+pub use fault::{Checkpoint, FaultConfig, FaultError, FaultPlan, FaultStats, UnitFault};
 pub use parcover::{par_cover, par_cover_with_runtime, ParCoverReport};
 pub use pardis::{par_dis, par_dis_with_runtime, ParDisReport, Runtime};
 pub use partition::{node_owner, split_ranges, vertex_cut, Fragment, Partition};

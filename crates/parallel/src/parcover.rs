@@ -27,6 +27,7 @@ use gfd_logic::{implies_refs, Gfd};
 use gfd_pattern::{canonical_code_unpivoted, is_embedded, CanonicalCode};
 
 use crate::cluster::ExecMode;
+use crate::fault::{self, FaultError};
 use crate::pardis::Runtime;
 
 /// Outcome of a parallel cover run.
@@ -147,7 +148,12 @@ fn process_group(sigma: &[Gfd], group: &Group) -> (Vec<usize>, u64) {
 /// Computes a cover of `sigma` in parallel with `n` workers.
 ///
 /// `grouping = false` reproduces the `ParCovern` ablation.
-pub fn par_cover(sigma: &[Gfd], n: usize, mode: ExecMode, grouping: bool) -> ParCoverReport {
+pub fn par_cover(
+    sigma: &[Gfd],
+    n: usize,
+    mode: ExecMode,
+    grouping: bool,
+) -> Result<ParCoverReport, FaultError> {
     par_cover_with_runtime(sigma, n, mode, grouping, Runtime::Barrier)
 }
 
@@ -165,7 +171,7 @@ pub fn par_cover_with_runtime(
     mode: ExecMode,
     grouping: bool,
     runtime: Runtime,
-) -> ParCoverReport {
+) -> Result<ParCoverReport, FaultError> {
     assert!(n > 0);
     let wall0 = Instant::now();
     if !grouping {
@@ -196,29 +202,41 @@ fn drain_group_queues(
     sigma: &[Gfd],
     groups: &[Group],
     queues: &[&Injector<usize>],
-) -> Vec<(Vec<usize>, u64, Duration)> {
+) -> Result<Vec<(Vec<usize>, u64, Duration)>, FaultError> {
     std::thread::scope(|scope| {
         let handles: Vec<_> = queues
             .iter()
             .map(|queue| {
                 let queue = *queue;
                 scope.spawn(move || {
-                    let t0 = Instant::now();
-                    let mut removed = Vec::new();
-                    let mut work = 0u64;
-                    while let Some(gi) = steal_group(queue) {
-                        let (r, w) = process_group(sigma, &groups[gi]);
-                        removed.extend(r);
-                        work += w;
-                    }
-                    // Wall time in its own binding: the modelled `work`
-                    // channel never touches the clock.
-                    let wall = t0.elapsed();
-                    (removed, work, wall)
+                    // fault-boundary: a panic inside group processing
+                    // becomes an Err result instead of tearing down the
+                    // scope; the worker stops pulling further groups.
+                    fault::run_guarded(|| {
+                        let t0 = Instant::now();
+                        let mut removed = Vec::new();
+                        let mut work = 0u64;
+                        while let Some(gi) = steal_group(queue) {
+                            let (r, w) = process_group(sigma, &groups[gi]);
+                            removed.extend(r);
+                            work += w;
+                        }
+                        // Wall time in its own binding: the modelled
+                        // `work` channel never touches the clock.
+                        let wall = t0.elapsed();
+                        (removed, work, wall)
+                    })
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(w, h)| match h.join() {
+                Ok(Ok(r)) => Ok(r),
+                Ok(Err(_)) | Err(_) => Err(FaultError::WorkerLost { worker: w }),
+            })
+            .collect()
     })
 }
 
@@ -253,7 +271,11 @@ fn grouped_report(
 
 /// Dynamic group stealing: one shared injector of group ids in
 /// descending-cost order, `n` workers draining it.
-fn par_cover_steal_threads(sigma: &[Gfd], n: usize, wall0: Instant) -> ParCoverReport {
+fn par_cover_steal_threads(
+    sigma: &[Gfd],
+    n: usize,
+    wall0: Instant,
+) -> Result<ParCoverReport, FaultError> {
     let m0 = Instant::now();
     let groups = build_groups(sigma);
     let mut order: Vec<usize> = (0..groups.len()).collect();
@@ -266,11 +288,22 @@ fn par_cover_steal_threads(sigma: &[Gfd], n: usize, wall0: Instant) -> ParCoverR
     let master_prep = m0.elapsed();
 
     let shared: Vec<&Injector<usize>> = vec![&queue; n];
-    let per_worker = drain_group_queues(sigma, &groups, &shared);
-    grouped_report(sigma, groups.len(), per_worker, master_prep, wall0)
+    let per_worker = drain_group_queues(sigma, &groups, &shared)?;
+    Ok(grouped_report(
+        sigma,
+        groups.len(),
+        per_worker,
+        master_prep,
+        wall0,
+    ))
 }
 
-fn par_cover_grouped(sigma: &[Gfd], n: usize, mode: ExecMode, wall0: Instant) -> ParCoverReport {
+fn par_cover_grouped(
+    sigma: &[Gfd],
+    n: usize,
+    mode: ExecMode,
+    wall0: Instant,
+) -> Result<ParCoverReport, FaultError> {
     let m0 = Instant::now();
     let groups = build_groups(sigma);
     let assignment = lpt_assign(&groups, n);
@@ -306,13 +339,24 @@ fn par_cover_grouped(sigma: &[Gfd], n: usize, mode: ExecMode, wall0: Instant) ->
                 })
                 .collect();
             let views: Vec<&Injector<usize>> = queues.iter().collect();
-            drain_group_queues(sigma, &groups, &views)
+            drain_group_queues(sigma, &groups, &views)?
         }
     };
-    grouped_report(sigma, groups.len(), per_worker, master_prep, wall0)
+    Ok(grouped_report(
+        sigma,
+        groups.len(),
+        per_worker,
+        master_prep,
+        wall0,
+    ))
 }
 
-fn par_cover_ungrouped(sigma: &[Gfd], n: usize, mode: ExecMode, wall0: Instant) -> ParCoverReport {
+fn par_cover_ungrouped(
+    sigma: &[Gfd],
+    n: usize,
+    mode: ExecMode,
+    wall0: Instant,
+) -> Result<ParCoverReport, FaultError> {
     // Each candidate tested against the *whole* Σ — no context reduction.
     let chunks: Vec<Vec<usize>> = (0..n)
         .map(|w| (0..sigma.len()).filter(|i| i % n == w).collect())
@@ -346,21 +390,34 @@ fn par_cover_ungrouped(sigma: &[Gfd], n: usize, mode: ExecMode, wall0: Instant) 
             }
         }
         ExecMode::Threads => {
-            let results: Vec<(Vec<usize>, Duration)> = std::thread::scope(|scope| {
-                let handles: Vec<_> = chunks
-                    .iter()
-                    .map(|chunk| {
-                        scope.spawn(move || {
-                            let t0 = Instant::now();
-                            let removed: Vec<usize> =
-                                chunk.iter().copied().filter(|&i| test(i)).collect();
-                            (removed, t0.elapsed())
+            let results: Result<Vec<(Vec<usize>, Duration)>, FaultError> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = chunks
+                        .iter()
+                        .map(|chunk| {
+                            scope.spawn(move || {
+                                // fault-boundary: a panic inside a
+                                // candidate test becomes an Err result
+                                // instead of tearing down the scope.
+                                fault::run_guarded(|| {
+                                    let t0 = Instant::now();
+                                    let removed: Vec<usize> =
+                                        chunk.iter().copied().filter(|&i| test(i)).collect();
+                                    (removed, t0.elapsed())
+                                })
+                            })
                         })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
-            });
-            for (w, (removed, d)) in results.into_iter().enumerate() {
+                        .collect();
+                    handles
+                        .into_iter()
+                        .enumerate()
+                        .map(|(w, h)| match h.join() {
+                            Ok(Ok(r)) => Ok(r),
+                            Ok(Err(_)) | Err(_) => Err(FaultError::WorkerLost { worker: w }),
+                        })
+                        .collect()
+                });
+            for (w, (removed, d)) in results?.into_iter().enumerate() {
                 work += chunks[w].len() as u64 * per_test;
                 proposed.extend(removed);
                 wall_times[w] = d;
@@ -390,13 +447,13 @@ fn par_cover_ungrouped(sigma: &[Gfd], n: usize, mode: ExecMode, wall0: Instant) 
     let makespan = wall_times.iter().max().copied().unwrap_or_default();
     let cover: Vec<usize> = (0..sigma.len()).filter(|&i| !removed[i]).collect();
     let wall = wall0.elapsed();
-    ParCoverReport {
+    Ok(ParCoverReport {
         cover,
         wall,
         simulated: makespan + master,
         groups: 0,
         work,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -465,7 +522,7 @@ mod tests {
         let sigma = mixed_sigma();
         let seq = gfd_core::cover_indices(&sigma);
         for n in [1, 2, 4] {
-            let rep = par_cover(&sigma, n, ExecMode::Simulated, true);
+            let rep = par_cover(&sigma, n, ExecMode::Simulated, true).expect("fault-free");
             check_is_cover(&sigma, &rep.cover);
             assert_eq!(rep.cover.len(), seq.len(), "n={n}");
             assert!(rep.groups >= 3);
@@ -475,7 +532,7 @@ mod tests {
     #[test]
     fn grouped_cover_threads_mode() {
         let sigma = mixed_sigma();
-        let rep = par_cover(&sigma, 2, ExecMode::Threads, true);
+        let rep = par_cover(&sigma, 2, ExecMode::Threads, true).expect("fault-free");
         check_is_cover(&sigma, &rep.cover);
     }
 
@@ -484,7 +541,8 @@ mod tests {
         let sigma = mixed_sigma();
         let seq = gfd_core::cover_indices(&sigma);
         for n in [1, 2, 4] {
-            let rep = par_cover_with_runtime(&sigma, n, ExecMode::Threads, true, Runtime::Steal);
+            let rep = par_cover_with_runtime(&sigma, n, ExecMode::Threads, true, Runtime::Steal)
+                .expect("fault-free");
             check_is_cover(&sigma, &rep.cover);
             assert_eq!(rep.cover.len(), seq.len(), "n={n}");
             assert!(rep.groups >= 3);
@@ -495,7 +553,7 @@ mod tests {
     #[test]
     fn ungrouped_cover_is_valid() {
         let sigma = mixed_sigma();
-        let rep = par_cover(&sigma, 3, ExecMode::Simulated, false);
+        let rep = par_cover(&sigma, 3, ExecMode::Simulated, false).expect("fault-free");
         check_is_cover(&sigma, &rep.cover);
         assert_eq!(rep.groups, 0);
     }
@@ -507,7 +565,7 @@ mod tests {
         let rhs = Rhs::Lit(Literal::constant(0, AttrId(0), Value::Int(1)));
         let sigma = vec![Gfd::new(q.clone(), vec![], rhs), Gfd::new(q, vec![], rhs)];
         for grouping in [true, false] {
-            let rep = par_cover(&sigma, 2, ExecMode::Simulated, grouping);
+            let rep = par_cover(&sigma, 2, ExecMode::Simulated, grouping).expect("fault-free");
             assert_eq!(rep.cover.len(), 1, "grouping={grouping}");
         }
     }
@@ -521,7 +579,7 @@ mod tests {
             Gfd::new(q.clone(), vec![], rhs),
             Gfd::new(q.with_pivot(1), vec![], rhs),
         ];
-        let rep = par_cover(&sigma, 2, ExecMode::Simulated, true);
+        let rep = par_cover(&sigma, 2, ExecMode::Simulated, true).expect("fault-free");
         assert_eq!(rep.cover.len(), 1);
         check_is_cover(&sigma, &rep.cover);
     }
@@ -553,9 +611,9 @@ mod tests {
 
     #[test]
     fn empty_sigma() {
-        let rep = par_cover(&[], 4, ExecMode::Simulated, true);
+        let rep = par_cover(&[], 4, ExecMode::Simulated, true).expect("fault-free");
         assert!(rep.cover.is_empty());
-        let rep = par_cover(&[], 4, ExecMode::Simulated, false);
+        let rep = par_cover(&[], 4, ExecMode::Simulated, false).expect("fault-free");
         assert!(rep.cover.is_empty());
     }
 }

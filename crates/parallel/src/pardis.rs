@@ -87,11 +87,17 @@ impl<'a> ClusterEvaluator<'a> {
 
 impl CandidateEvaluator for ClusterEvaluator<'_> {
     fn evaluate(&mut self, x: &[Literal], rhs: &Rhs) -> CandidateStats {
-        let results = self.cluster.broadcast(Task::Evaluate {
-            node: self.node,
-            x: x.into(),
-            rhs: *rhs,
-        });
+        // A barrier failure cannot surface through this trait; the sticky
+        // error is re-checked by the driver (`cluster.check()`) right
+        // after mining, so the neutral value returned here never escapes.
+        let results = self
+            .cluster
+            .broadcast(Task::Evaluate {
+                node: self.node,
+                x: x.into(),
+                rhs: *rhs,
+            })
+            .unwrap_or_default();
         self.acc = PartialStats::default();
         self.bytes.clear();
         for r in &results {
@@ -105,10 +111,13 @@ impl CandidateEvaluator for ClusterEvaluator<'_> {
     }
 
     fn lhs_empty(&mut self, x: &[Literal]) -> bool {
-        let results = self.cluster.broadcast(Task::LhsEmpty {
+        let results = match self.cluster.broadcast(Task::LhsEmpty {
             node: self.node,
             x: x.into(),
-        });
+        }) {
+            Ok(r) => r,
+            Err(_) => return true,
+        };
         self.bytes.clear();
         self.bytes.resize(results.len(), 1);
         self.cluster.charge_comm(&self.bytes);
@@ -156,19 +165,24 @@ pub fn par_dis_with_runtime(
     cfg: &DiscoveryConfig,
     ccfg: &ClusterConfig,
     runtime: Runtime,
-) -> ParDisReport {
+) -> Result<ParDisReport, crate::fault::FaultError> {
     match runtime {
         Runtime::Barrier => par_dis(g, cfg, ccfg),
         Runtime::Steal => crate::steal::par_dis_steal(
             g,
             cfg,
-            &crate::steal::StealConfig::new(ccfg.workers, ccfg.mode),
+            &crate::steal::StealConfig::new(ccfg.workers, ccfg.mode)
+                .with_faults(ccfg.fault.clone()),
         ),
     }
 }
 
 /// Runs parallel discovery with `ccfg.workers` workers.
-pub fn par_dis(g: &Arc<Graph>, cfg: &DiscoveryConfig, ccfg: &ClusterConfig) -> ParDisReport {
+pub fn par_dis(
+    g: &Arc<Graph>,
+    cfg: &DiscoveryConfig,
+    ccfg: &ClusterConfig,
+) -> Result<ParDisReport, crate::fault::FaultError> {
     let wall0 = Instant::now();
     let partition = vertex_cut(g, ccfg.workers);
     let replication_factor = partition.replication_factor;
@@ -203,7 +217,7 @@ pub fn par_dis(g: &Arc<Graph>, cfg: &DiscoveryConfig, ccfg: &ClusterConfig) -> P
         let results = cluster.broadcast(Task::SeedRoot {
             node: id,
             pattern: q,
-        });
+        })?;
         let (rows, support, _) = merge_join_results(&mut cluster, results);
         tree.node_mut(id).support = support;
         let frequent = support >= cfg.sigma || !cfg.enable_pruning;
@@ -214,7 +228,7 @@ pub fn par_dis(g: &Arc<Graph>, cfg: &DiscoveryConfig, ccfg: &ClusterConfig) -> P
         };
         if frequent && rows > 0 {
             result.stats.patterns_verified += 1;
-            mine_node(&mut cluster, &mut tree, id, rows, &attrs, cfg, &mut result);
+            mine_node(&mut cluster, &mut tree, id, rows, &attrs, cfg, &mut result)?;
         }
     }
 
@@ -238,7 +252,7 @@ pub fn par_dis(g: &Arc<Graph>, cfg: &DiscoveryConfig, ccfg: &ClusterConfig) -> P
             let harvest_results = cluster.broadcast(Task::Harvest {
                 node: pid,
                 cfg: cfg.clone(),
-            });
+            })?;
             let m0 = Instant::now();
             let mut acc = ProposalAccumulator::default();
             let mut bytes = Vec::with_capacity(harvest_results.len());
@@ -286,7 +300,7 @@ pub fn par_dis(g: &Arc<Graph>, cfg: &DiscoveryConfig, ccfg: &ClusterConfig) -> P
                     parent: pid,
                     child: cid,
                     ext,
-                });
+                })?;
                 let (rows, support, sizes) = merge_join_results(&mut cluster, join_results);
 
                 if rows == 0 {
@@ -303,7 +317,7 @@ pub fn par_dis(g: &Arc<Graph>, cfg: &DiscoveryConfig, ccfg: &ClusterConfig) -> P
                 if overflow || (support < cfg.sigma && cfg.enable_pruning) {
                     tree.node_mut(cid).state = NodeState::Infrequent;
                     result.stats.patterns_infrequent += 1;
-                    cluster.broadcast(Task::DropNodes { nodes: vec![cid] });
+                    cluster.broadcast(Task::DropNodes { nodes: vec![cid] })?;
                     continue;
                 }
                 tree.node_mut(cid).state = NodeState::Frequent;
@@ -311,13 +325,13 @@ pub fn par_dis(g: &Arc<Graph>, cfg: &DiscoveryConfig, ccfg: &ClusterConfig) -> P
 
                 // Skew re-balancing (§6.2) — the DisGFD/ParGFDnb difference.
                 if ccfg.load_balance {
-                    rebalance_if_skewed(&mut cluster, &tree, cid, &sizes, ccfg);
+                    rebalance_if_skewed(&mut cluster, &tree, cid, &sizes, ccfg)?;
                 }
 
                 // Inherit covered signatures, then mine.
                 let covered = tree.node(pid).covered.clone();
                 tree.node_mut(cid).covered = covered;
-                mine_node(&mut cluster, &mut tree, cid, rows, &attrs, cfg, &mut result);
+                mine_node(&mut cluster, &mut tree, cid, rows, &attrs, cfg, &mut result)?;
             }
 
             // NVSpawn: guaranteed-zero-support extensions.
@@ -345,14 +359,15 @@ pub fn par_dis(g: &Arc<Graph>, cfg: &DiscoveryConfig, ccfg: &ClusterConfig) -> P
             .filter(|n| n.level < level)
             .map(|n| n.id)
             .collect();
-        cluster.broadcast(Task::DropNodes { nodes: stale });
+        cluster.broadcast(Task::DropNodes { nodes: stale })?;
     }
 
+    cluster.fstats.apply_to(&mut result.stats);
     result.stats.positive = result.positive_count();
     result.stats.negative = result.negative_count();
     let wall = wall0.elapsed();
     result.stats.total_time = wall;
-    ParDisReport {
+    Ok(ParDisReport {
         result,
         wall,
         simulated: cluster.clocks.simulated_total(),
@@ -361,7 +376,7 @@ pub fn par_dis(g: &Arc<Graph>, cfg: &DiscoveryConfig, ccfg: &ClusterConfig) -> P
         work_makespan: cluster.clocks.work_makespan,
         work_busy: cluster.clocks.work_busy,
         replication_factor,
-    }
+    })
 }
 
 /// Merges join results: total rows, exact support (pivot-set union), local
@@ -400,18 +415,18 @@ fn rebalance_if_skewed(
     cid: usize,
     sizes: &[usize],
     ccfg: &ClusterConfig,
-) {
+) -> Result<(), crate::fault::FaultError> {
     let total: usize = sizes.iter().sum();
     let n = sizes.len();
     if total == 0 || n < 2 {
-        return;
+        return Ok(());
     }
     let max = sizes.iter().max().copied().unwrap_or(0);
     let avg = total as f64 / n as f64;
     if (max as f64) <= ccfg.skew_factor * avg {
-        return;
+        return Ok(());
     }
-    let taken = cluster.broadcast(Task::TakeMatches { node: cid });
+    let taken = cluster.broadcast(Task::TakeMatches { node: cid })?;
     let pattern = tree.node(cid).pattern.clone();
     let mut pool = gfd_pattern::MatchSet::new(pattern.node_count());
     for r in taken {
@@ -431,7 +446,8 @@ fn rebalance_if_skewed(
             ms,
         })
         .collect();
-    cluster.run(tasks);
+    cluster.run(tasks)?;
+    Ok(())
 }
 
 /// Parallel horizontal spawning on one verified pattern.
@@ -444,12 +460,12 @@ fn mine_node(
     attrs: &[gfd_graph::AttrId],
     cfg: &DiscoveryConfig,
     result: &mut DiscoveryResult,
-) {
+) -> Result<(), crate::fault::FaultError> {
     // Build fragment tables, merge literal-candidate counts.
     let count_results = cluster.broadcast(Task::BuildTable {
         node: id,
         attrs: attrs.to_vec(),
-    });
+    })?;
     let m0 = Instant::now();
     let mut counts = CatalogCounts::default();
     let mut bytes = Vec::with_capacity(count_results.len());
@@ -475,6 +491,10 @@ fn mine_node(
         let mut eval = ClusterEvaluator::new(cluster, id);
         mine_dependencies_with(&mut eval, &catalog, &mut covered, cfg)
     };
+    // The evaluator swallows barrier errors (the trait cannot carry
+    // them); surface the sticky failure before emitting a partial
+    // outcome.
+    cluster.check()?;
     tree.node_mut(id).covered = covered;
     result.stats.hspawn.merge(&hstats);
     for dep in deps {
@@ -486,7 +506,8 @@ fn mine_node(
             confidence,
         });
     }
-    cluster.broadcast(Task::DropTable { node: id });
+    cluster.broadcast(Task::DropTable { node: id })?;
+    Ok(())
 }
 
 /// Emits `Q'(∅ → false)` unless a smaller emitted negative embeds into it.
@@ -578,7 +599,7 @@ mod tests {
         assert!(!seq.gfds.is_empty());
         for n in [1, 2, 4, 7] {
             let ccfg = ClusterConfig::new(n, crate::cluster::ExecMode::Simulated);
-            let par = par_dis(&g, &c, &ccfg);
+            let par = par_dis(&g, &c, &ccfg).expect("fault-free");
             assert_eq!(
                 canonical(&par.result, &g),
                 canonical(&seq, &g),
@@ -595,7 +616,7 @@ mod tests {
         let c = cfg();
         let seq = seq_dis(&g, &c);
         let ccfg = ClusterConfig::new(3, crate::cluster::ExecMode::Threads);
-        let par = par_dis(&g, &c, &ccfg);
+        let par = par_dis(&g, &c, &ccfg).expect("fault-free");
         assert_eq!(canonical(&par.result, &g), canonical(&seq, &g));
     }
 
@@ -607,7 +628,7 @@ mod tests {
         let seq = seq_dis(&g, &c);
         let mut ccfg = ClusterConfig::new(4, crate::cluster::ExecMode::Simulated);
         ccfg.load_balance = false;
-        let par = par_dis(&g, &c, &ccfg);
+        let par = par_dis(&g, &c, &ccfg).expect("fault-free");
         assert_eq!(canonical(&par.result, &g), canonical(&seq, &g));
     }
 
@@ -618,7 +639,7 @@ mod tests {
         c.wildcard_min_labels = 2;
         let seq = seq_dis(&g, &c);
         let ccfg = ClusterConfig::new(3, crate::cluster::ExecMode::Simulated);
-        let par = par_dis(&g, &c, &ccfg);
+        let par = par_dis(&g, &c, &ccfg).expect("fault-free");
         assert_eq!(canonical(&par.result, &g), canonical(&seq, &g));
     }
 
@@ -626,7 +647,7 @@ mod tests {
     fn discovered_rules_hold_globally() {
         let g = kb();
         let ccfg = ClusterConfig::new(3, crate::cluster::ExecMode::Simulated);
-        let par = par_dis(&g, &cfg(), &ccfg);
+        let par = par_dis(&g, &cfg(), &ccfg).expect("fault-free");
         for d in &par.result.gfds {
             assert!(
                 gfd_logic::satisfies(&g, &d.gfd),

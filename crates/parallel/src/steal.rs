@@ -43,11 +43,25 @@
 //! order, so the mined [`DiscoveryResult`] — rules, supports, statistics —
 //! matches the sequential algorithm's, and two runs on the same input are
 //! identical regardless of thread interleaving.
+//!
+//! **Fault tolerance.** Determinism makes recovery output-invariant, so the
+//! pool absorbs partial failure ([`crate::fault`]): worker bodies run each
+//! unit inside a guarded `catch_unwind` boundary and report panics as
+//! `Failed` replies; the master requeues failed units with bounded retry
+//! (backoff charged to [`Clocks::fault_backoff`], never to the modelled
+//! work schedule), drains a crashed worker's deque back onto survivors,
+//! and speculatively re-executes units silent past the
+//! [`FaultConfig::speculate_after`] watermark — first result wins, so
+//! folding stays idempotent (harvests ship to the master instead of
+//! per-worker accumulators whenever re-execution is possible). Completed
+//! levels checkpoint to [`StealConfig::checkpoint`] and
+//! [`StealConfig::resume`] continues a killed run to the same output.
 
+use std::path::PathBuf;
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use crossbeam::deque::{Injector, Steal};
 use gfd_core::{
     finish_negatives, harvest_range, merge_rhs_outcome, mine_dependencies_with, mine_rhs_with,
@@ -66,6 +80,9 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::cluster::{Clocks, ExecMode};
+use crate::fault::{
+    self, Checkpoint, FaultConfig, FaultError, FaultPlan, FaultStats, FrontierNode, UnitFault,
+};
 use crate::pardis::{emit_negative, ParDisReport};
 use crate::partition::split_ranges;
 
@@ -102,6 +119,18 @@ pub struct StealConfig {
     /// output is bit-identical under any seed; production paths leave this
     /// `None`.
     pub perturb: Option<u64>,
+    /// Fault-injection plan and recovery knobs (see [`crate::fault`]).
+    pub fault: FaultConfig,
+    /// Checkpoint file: when set, the driver snapshots the discovery
+    /// frontier after every completed level (atomic temp-file + rename).
+    pub checkpoint: Option<PathBuf>,
+    /// Resume from [`StealConfig::checkpoint`] when the file exists (a
+    /// missing file means a fresh run, not an error).
+    pub resume: bool,
+    /// Deterministic kill switch: stop with [`FaultError::Halted`] right
+    /// after checkpointing this level — the crash half of crash/resume
+    /// tests and smokes.
+    pub halt_after_level: Option<usize>,
 }
 
 impl StealConfig {
@@ -120,6 +149,10 @@ impl StealConfig {
             range_min_rows: 1024,
             range_rows_threshold: 262_144,
             perturb: None,
+            fault: FaultConfig::default(),
+            checkpoint: None,
+            resume: false,
+            halt_after_level: None,
         }
     }
 
@@ -127,6 +160,12 @@ impl StealConfig {
     /// [`StealConfig::perturb`]).
     pub fn with_perturbation(mut self, seed: u64) -> StealConfig {
         self.perturb = Some(seed);
+        self
+    }
+
+    /// Returns the config with the given fault-injection plan.
+    pub fn with_faults(mut self, fault: FaultConfig) -> StealConfig {
+        self.fault = fault;
         self
     }
 }
@@ -196,7 +235,10 @@ impl EvalSpec {
     }
 }
 
-/// One work unit pulled by a worker.
+/// One work unit pulled by a worker. Units are cheap to clone (shared
+/// state travels behind `Arc`s), which is what lets the master keep a
+/// backup of an in-flight wave for retry and speculation.
+#[derive(Clone)]
 pub enum Unit {
     /// Match a compiled pattern over the pivot candidates `[lo, hi)`.
     Seed {
@@ -306,6 +348,17 @@ pub enum UnitResult {
     /// A harvest range was folded into the worker's accumulator (the
     /// pivots travel via [`StealPool::drain_accumulators`], not per unit).
     HarvestFolded,
+    /// A harvest range's raw proposals, shipped whole to the master.
+    /// Fault-tolerant threaded waves use this instead of per-worker
+    /// folding: a re-executed or speculated harvest unit may run twice,
+    /// and only the master knows which copy won — it folds exactly one
+    /// per unit index, keeping the accumulator idempotent.
+    Harvested {
+        /// Generation-tree node id (the accumulator key).
+        node: usize,
+        /// The raw harvest of the range.
+        raw: Box<gfd_core::RawHarvest>,
+    },
     /// Join output: child rows (in parent-row order) plus the range's
     /// distinct pivot images (sorted).
     Joined {
@@ -342,6 +395,9 @@ struct WorkerState {
     cache: FxHashMap<(usize, usize), (Arc<MatchTable>, BitmapIndex)>,
     /// Harvests folded mid-wave, drained by the master once per wave.
     accum: ProposalAccumulator,
+    /// Fault-tolerant waves ship raw harvests to the master instead of
+    /// folding locally: local folds are not idempotent under re-execution.
+    ship_harvests: bool,
 }
 
 impl WorkerState {
@@ -352,6 +408,19 @@ impl WorkerState {
             closure: ClosureScratch::new(),
             cache: FxHashMap::default(),
             accum: ProposalAccumulator::default(),
+            ship_harvests: false,
+        }
+    }
+
+    /// Discards every cache a panicking unit may have left half-written
+    /// (shard bitmaps mid-build, closure scratch mid-union). The matcher
+    /// scratch is immune — `process` takes it out before use and a fresh
+    /// default replaces a lost one.
+    fn reset_after_panic(&mut self) {
+        self.cache.clear();
+        self.closure = ClosureScratch::new();
+        if self.scratch.is_none() {
+            self.scratch = Some(MatcherScratch::new());
         }
     }
 
@@ -385,6 +454,18 @@ impl WorkerState {
             } => {
                 let raw = harvest_range(&q, &ms, &self.g, &cfg, lo, hi);
                 let cost = (hi - lo).max(1) as u64;
+                if self.ship_harvests {
+                    // Fault-tolerant wave: the master folds the winning
+                    // copy of each unit, so re-execution cannot double-
+                    // count (the fold is not idempotent; first-wins is).
+                    return (
+                        UnitResult::Harvested {
+                            node,
+                            raw: Box::new(raw),
+                        },
+                        cost,
+                    );
+                }
                 // The merge rides the wave: folding here is the per-worker
                 // half; the master only combines ≤ `workers` accumulators.
                 self.accum.fold(node, raw);
@@ -496,16 +577,41 @@ enum PoolMsg {
     Stop,
 }
 
-type WaveResult = (usize, usize, UnitResult, u64, Duration);
+/// One queued unit: `(wave, index-in-wave, attempt, unit)`. The wave tag
+/// filters stale replies; the attempt tag makes fault injection fire on
+/// first executions only and distinguishes speculative copies.
+type QueueItem = (u64, usize, u32, Unit);
+
+/// What a worker sends back per pulled unit.
+enum WorkerReply {
+    /// The unit completed.
+    Done {
+        wave: u64,
+        idx: usize,
+        attempt: u32,
+        result: UnitResult,
+        cost: u64,
+        wall: Duration,
+    },
+    /// The unit panicked inside the fault boundary.
+    Failed {
+        wave: u64,
+        idx: usize,
+        attempt: u32,
+        msg: String,
+    },
+    /// The worker hit its planned crash point and stopped pulling work.
+    Crashed { worker: usize },
+}
 
 /// The master-side handle to the pool.
 pub struct StealPool {
     mode: ExecMode,
     workers: usize,
     /// Per-worker affinity deques (threads mode).
-    queues: Vec<Arc<Injector<(usize, Unit)>>>,
+    queues: Vec<Arc<Injector<QueueItem>>>,
     wake: Vec<Sender<PoolMsg>>,
-    results: Option<Receiver<WaveResult>>,
+    results: Option<Receiver<WorkerReply>>,
     /// Per-worker accumulator hand-off (threads mode).
     accums: Option<Receiver<ProposalAccumulator>>,
     handles: Vec<std::thread::JoinHandle<()>>,
@@ -518,6 +624,22 @@ pub struct StealPool {
     rr: usize,
     /// Adversarial-scheduling seed (see [`StealConfig::perturb`]).
     perturb: Option<u64>,
+    /// The materialised fault schedule (empty without injection).
+    plan: FaultPlan,
+    /// Whether any recovery machinery is armed: master-side harvest
+    /// folding, retry/requeue, speculation, and timeouts all key off this.
+    fault_mode: bool,
+    max_retries: u32,
+    speculate_after: Option<Duration>,
+    wave_timeout: Option<Duration>,
+    /// Workers observed dead (crash replies); routing avoids them.
+    dead: Vec<bool>,
+    /// Sticky failure: once a wave fails, later waves short-circuit.
+    failed: Option<FaultError>,
+    /// Winning harvests folded by the master (fault-tolerant waves only).
+    master_accum: ProposalAccumulator,
+    /// Recovery counters for [`gfd_core::DiscoveryStats`].
+    pub fstats: FaultStats,
 }
 
 /// Seeded Fisher–Yates shuffle (the vendored `rand` has no shuffle
@@ -552,7 +674,16 @@ impl StealPool {
     pub fn new(g: Arc<Graph>, cfg: &StealConfig) -> StealPool {
         assert!(cfg.workers > 0, "at least one worker required");
         let n = cfg.workers;
-        let queues: Vec<Arc<Injector<(usize, Unit)>>> =
+        let plan = FaultPlan::from_config(&cfg.fault, n);
+        let mut speculate_after = cfg.fault.speculate_after;
+        if cfg.mode == ExecMode::Threads && plan.has_drops() && speculate_after.is_none() {
+            // A dropped result leaves nothing to receive: without a
+            // watermark the master would wait forever. Arm a default.
+            speculate_after = Some(Duration::from_millis(25));
+        }
+        let fault_mode =
+            !plan.is_empty() || speculate_after.is_some() || cfg.fault.wave_timeout.is_some();
+        let queues: Vec<Arc<Injector<QueueItem>>> =
             (0..n).map(|_| Arc::new(Injector::new())).collect();
         let mut wake = Vec::new();
         let mut handles = Vec::new();
@@ -565,7 +696,10 @@ impl StealPool {
                 sim = Some(WorkerState::new(g));
             }
             ExecMode::Threads => {
-                let (res_tx, res_rx) = unbounded::<WaveResult>();
+                if fault_mode {
+                    fault::install_quiet_panic_hook();
+                }
+                let (res_tx, res_rx) = unbounded::<WorkerReply>();
                 let (acc_tx, acc_rx) = unbounded::<ProposalAccumulator>();
                 results = Some(res_rx);
                 accums = Some(acc_rx);
@@ -577,18 +711,74 @@ impl StealPool {
                     let res_tx = res_tx.clone();
                     let acc_tx = acc_tx.clone();
                     let g = Arc::clone(&g);
+                    let plan = plan.clone();
                     handles.push(std::thread::spawn(move || {
                         let mut state = WorkerState::new(g);
+                        state.ship_harvests = fault_mode;
+                        // Units completed in the wave currently being
+                        // pulled — the planned crash point counts these.
+                        let mut progress: (u64, usize) = (0, 0);
                         loop {
                             // Drain own deque first, then steal.
-                            while let Some((idx, unit)) = pop_any(id, &queues, &victims) {
+                            while let Some((wave, idx, attempt, unit)) =
+                                pop_any(id, &queues, &victims)
+                            {
+                                if wave != progress.0 {
+                                    progress = (wave, 0);
+                                }
+                                if let Some(after) = plan.crash_point(wave, id) {
+                                    if progress.1 >= after {
+                                        // Put the unit back for survivors,
+                                        // announce the crash, stop pulling.
+                                        queues[id].push((wave, idx, attempt, unit));
+                                        let _ = res_tx.send(WorkerReply::Crashed { worker: id });
+                                        return;
+                                    }
+                                }
+                                let injected = plan.unit_fault(wave, idx, attempt);
                                 let t0 = Instant::now();
-                                let (r, cost) = state.process(unit);
+                                // fault-boundary: a panicking unit (injected
+                                // or genuine) becomes a Failed reply; the
+                                // caches it may have half-written are reset
+                                // below before the state is reused.
+                                let outcome = fault::run_guarded(|| {
+                                    if matches!(injected, Some(UnitFault::Panic)) {
+                                        fault::injected_panic(wave, idx);
+                                    }
+                                    state.process(unit)
+                                });
                                 // Wall time in its own binding: the
                                 // modelled `cost` channel never touches
                                 // the clock.
                                 let wall = t0.elapsed();
-                                let _ = res_tx.send((idx, id, r, cost, wall));
+                                progress.1 += 1;
+                                match outcome {
+                                    Ok((result, cost)) => {
+                                        if let Some(UnitFault::Straggle(d)) = injected {
+                                            std::thread::sleep(d);
+                                        }
+                                        if matches!(injected, Some(UnitFault::DropResult)) {
+                                            continue;
+                                        }
+                                        let _ = res_tx.send(WorkerReply::Done {
+                                            wave,
+                                            idx,
+                                            attempt,
+                                            result,
+                                            cost,
+                                            wall,
+                                        });
+                                    }
+                                    Err(msg) => {
+                                        state.reset_after_panic();
+                                        let _ = res_tx.send(WorkerReply::Failed {
+                                            wave,
+                                            idx,
+                                            attempt,
+                                            msg,
+                                        });
+                                    }
+                                }
                             }
                             match wake_rx.recv() {
                                 Ok(PoolMsg::Wake) => continue,
@@ -615,6 +805,15 @@ impl StealPool {
             clocks: Clocks::default(),
             rr: 0,
             perturb: cfg.perturb,
+            plan,
+            fault_mode,
+            max_retries: cfg.fault.max_retries,
+            speculate_after,
+            wave_timeout: cfg.fault.wave_timeout,
+            dead: vec![false; n],
+            failed: None,
+            master_accum: ProposalAccumulator::default(),
+            fstats: FaultStats::default(),
         }
     }
 
@@ -643,12 +842,37 @@ impl StealPool {
 
     /// Runs one wave of units to completion and returns results in unit
     /// order. Within a wave there is no barrier: workers pull units until
-    /// none remain, stealing across deques as they drain.
-    pub fn run_wave(&mut self, units: Vec<Unit>) -> Vec<UnitResult> {
+    /// none remain, stealing across deques as they drain. Failures are
+    /// sticky: once a wave errors, every later wave short-circuits to the
+    /// same error ([`StealPool::check`] exposes it between waves).
+    pub fn run_wave(&mut self, units: Vec<Unit>) -> Result<Vec<UnitResult>, FaultError> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        match self.try_wave(units) {
+            Ok(out) => Ok(out),
+            Err(e) => {
+                self.failed = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    /// The sticky failure of an earlier wave, if any — for drivers whose
+    /// inner evaluators cannot propagate errors mid-lattice.
+    pub fn check(&self) -> Result<(), FaultError> {
+        match &self.failed {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    fn try_wave(&mut self, units: Vec<Unit>) -> Result<Vec<UnitResult>, FaultError> {
         let n = units.len();
         if n == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
+        let wave = self.clocks.barriers as u64 + 1;
         let mut out: Vec<Option<UnitResult>> = Vec::with_capacity(n);
         out.resize_with(n, || None);
         let mut costs = vec![0u64; n];
@@ -659,10 +883,9 @@ impl StealPool {
         // emissions replay in SeqDis order, so the mined output must not
         // change; the greedy cost schedule below iterates unit order, so
         // `work_makespan` must not change either.
-        let mut wave_rng = self.perturb.map(|seed| {
-            let wave = self.clocks.barriers as u64 + 1;
-            StdRng::seed_from_u64(seed ^ wave.wrapping_mul(0x9e37_79b9_7f4a_7c15))
-        });
+        let mut wave_rng = self
+            .perturb
+            .map(|seed| StdRng::seed_from_u64(seed ^ wave.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
 
         match self.mode {
             ExecMode::Simulated => {
@@ -681,8 +904,14 @@ impl StealPool {
                     costs[idx] = cost;
                     out[idx] = Some(r);
                 }
+                self.simulate_faults(wave, n, &mut durs)?;
             }
             ExecMode::Threads => {
+                let backup: Vec<Unit> = if self.fault_mode {
+                    units.clone()
+                } else {
+                    Vec::new()
+                };
                 let mut order: Vec<(usize, Unit)> = units.into_iter().enumerate().collect();
                 if let Some(rng) = &mut wave_rng {
                     shuffle(&mut order, rng);
@@ -694,20 +923,20 @@ impl StealPool {
                         Some(rng) => rng.random_range(0..self.workers),
                         None => self.affinity(&unit),
                     };
-                    self.queues[w].push((idx, unit));
+                    // gfd-lint: allow(no-panic) — route() reduces mod self.workers == queues.len()
+                    self.queues[self.route(w)].push((wave, idx, 0, unit));
                 }
-                for tx in &self.wake {
-                    let _ = tx.send(PoolMsg::Wake);
-                }
-                // gfd-lint: allow(no-panic) — `results` is Some exactly when mode is Threads, established once in the constructor
-                let rx = self.results.as_ref().expect("threads results");
-                for _ in 0..n {
-                    // gfd-lint: allow(no-panic) — workers only exit when the pool drops their wake sender, so exactly n results arrive per wave
-                    let (idx, _wid, r, cost, dur) = rx.recv().expect("worker alive");
-                    out[idx] = Some(r);
-                    costs[idx] = cost;
-                    durs[idx] = dur;
-                }
+                self.wake_live();
+                // The receiver moves out for the collection loop (which
+                // mutates queues/counters) and back in afterwards, error
+                // or not.
+                let Some(rx) = self.results.take() else {
+                    return Err(FaultError::AllWorkersLost);
+                };
+                let collected =
+                    self.collect_wave(&rx, wave, &backup, &mut out, &mut costs, &mut durs);
+                self.results = Some(rx);
+                collected?;
             }
         }
 
@@ -715,10 +944,23 @@ impl StealPool {
         // stealing approximates — charged identically in both modes so the
         // work-makespan (and the simulated time derived from the same
         // schedule) is deterministic and thread-interleaving-independent.
+        // Under fault injection the schedule runs over the *planned*
+        // survivors: actual thread death may lag the plan (an idle worker
+        // only notices its crash when it next pulls), and modelled clocks
+        // must not depend on that race.
+        let planned_dead = self.plan.planned_dead(wave, self.workers);
+        let survivors: Vec<usize> = (0..self.workers).filter(|&w| !planned_dead[w]).collect();
+        if survivors.is_empty() {
+            return Err(FaultError::AllWorkersLost);
+        }
         let mut load = vec![0u64; self.workers];
         let mut busy = vec![Duration::ZERO; self.workers];
         for i in 0..n {
-            let w = (0..self.workers).min_by_key(|&w| load[w]).unwrap_or(0);
+            let w = survivors
+                .iter()
+                .copied()
+                .min_by_key(|&w| load[w])
+                .unwrap_or(0);
             load[w] += costs[i];
             busy[w] += durs[i];
         }
@@ -728,8 +970,251 @@ impl StealPool {
         self.clocks.busy += durs.iter().sum::<Duration>();
         self.clocks.barriers += 1;
 
-        // gfd-lint: allow(no-panic) — the loop above stores one result at every index 0..n before reaching here
-        out.into_iter().map(|r| r.expect("result placed")).collect()
+        // gfd-lint: allow(no-panic) — the loops above store one result at every index 0..n before reaching here
+        Ok(out.into_iter().map(|r| r.expect("result placed")).collect())
+    }
+
+    /// Applies the wave's planned faults to the simulated clocks: panics
+    /// and drops become retry/backoff charges, stragglers extend their
+    /// unit's measured duration, crashes shrink the planned survivor set
+    /// used by the greedy schedule. Inline execution already produced
+    /// every result, so output invariance is structural here; the threaded
+    /// mode proves the hard half.
+    fn simulate_faults(
+        &mut self,
+        wave: u64,
+        n: usize,
+        durs: &mut [Duration],
+    ) -> Result<(), FaultError> {
+        if self.plan.is_empty() {
+            return Ok(());
+        }
+        let mut recovered = false;
+        for (idx, dur) in durs.iter_mut().enumerate().take(n) {
+            match self.plan.unit_fault(wave, idx, 0) {
+                Some(UnitFault::Panic) | Some(UnitFault::DropResult) => {
+                    self.fstats.retries += 1;
+                    self.clocks.fault_backoff += 2;
+                    recovered = true;
+                }
+                Some(UnitFault::Straggle(d)) => {
+                    *dur += d;
+                    recovered = true;
+                }
+                None => {}
+            }
+        }
+        let planned_dead = self.plan.planned_dead(wave, self.workers);
+        for (w, planned) in planned_dead.iter().enumerate().take(self.workers) {
+            if *planned && !self.dead[w] {
+                self.dead[w] = true;
+                self.fstats.requeued_units += 1;
+                recovered = true;
+            }
+        }
+        if recovered {
+            self.fstats.recovered_waves += 1;
+        }
+        Ok(())
+    }
+
+    /// Threaded result collection with recovery: first-result-wins dedup,
+    /// bounded retry of failed units, crash drain + redistribution, the
+    /// speculation watermark, and the configured wave deadline.
+    fn collect_wave(
+        &mut self,
+        rx: &Receiver<WorkerReply>,
+        wave: u64,
+        backup: &[Unit],
+        out: &mut [Option<UnitResult>],
+        costs: &mut [u64],
+        durs: &mut [Duration],
+    ) -> Result<(), FaultError> {
+        let n = out.len();
+        let started = Instant::now();
+        let mut sent_at = vec![started; n];
+        let mut attempts = vec![0u32; n];
+        let mut speculated = vec![false; n];
+        let mut remaining = n;
+        let mut recovered = false;
+        // Poll cadence: half the tightest armed deadline (watermark or
+        // wave timeout); no deadline means plain blocking receives.
+        let tick = [self.speculate_after, self.wave_timeout]
+            .into_iter()
+            .flatten()
+            .min()
+            .map(|d| (d / 2).max(Duration::from_millis(1)));
+
+        while remaining > 0 {
+            let reply = match tick {
+                None => match rx.recv() {
+                    Ok(r) => Some(r),
+                    Err(_) => return Err(FaultError::AllWorkersLost),
+                },
+                Some(t) => match rx.recv_timeout(t) {
+                    Ok(r) => Some(r),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => return Err(FaultError::AllWorkersLost),
+                },
+            };
+            let Some(reply) = reply else {
+                // Tick with nothing received: check the wave deadline,
+                // then speculate on units silent past the watermark.
+                if let Some(limit) = self.wave_timeout {
+                    if started.elapsed() > limit {
+                        return Err(FaultError::WaveTimeout {
+                            wave,
+                            outstanding: remaining,
+                        });
+                    }
+                }
+                if let Some(watermark) = self.speculate_after {
+                    let mut launched = false;
+                    for idx in 0..n {
+                        if out[idx].is_some() || speculated[idx] {
+                            continue;
+                        }
+                        if sent_at[idx].elapsed() <= watermark {
+                            continue;
+                        }
+                        // At most one speculative copy per unit: enough to
+                        // survive one drop/straggler without amplifying
+                        // load quadratically.
+                        speculated[idx] = true;
+                        attempts[idx] += 1;
+                        let w = self.route(idx + attempts[idx] as usize);
+                        self.queues[w].push((wave, idx, attempts[idx], backup[idx].clone()));
+                        sent_at[idx] = Instant::now();
+                        self.fstats.requeued_units += 1;
+                        recovered = true;
+                        launched = true;
+                    }
+                    if launched {
+                        self.wake_live();
+                    }
+                }
+                continue;
+            };
+            match reply {
+                WorkerReply::Done {
+                    wave: rwave,
+                    idx,
+                    attempt,
+                    result,
+                    cost,
+                    wall,
+                } => {
+                    // Stale wave or an already-settled unit: first result
+                    // wins, duplicates (late originals, lost speculation
+                    // races) are discarded unseen.
+                    if rwave != wave || out[idx].is_some() {
+                        continue;
+                    }
+                    if attempt > 0 && speculated[idx] {
+                        self.fstats.speculative_wins += 1;
+                    }
+                    let result = match result {
+                        UnitResult::Harvested { node, raw } => {
+                            // Master-side fold of the winning copy only —
+                            // the idempotence half of first-result-wins.
+                            self.master_accum.fold(node, *raw);
+                            UnitResult::HarvestFolded
+                        }
+                        r => r,
+                    };
+                    out[idx] = Some(result);
+                    costs[idx] = cost;
+                    durs[idx] = wall;
+                    remaining -= 1;
+                }
+                WorkerReply::Failed {
+                    wave: rwave,
+                    idx,
+                    attempt,
+                    msg,
+                } => {
+                    if rwave != wave || out[idx].is_some() || attempt < attempts[idx] {
+                        continue;
+                    }
+                    if !self.fault_mode {
+                        // No recovery armed: surface the panic as a clean
+                        // error instead of hanging on a missing result.
+                        return Err(FaultError::UnitPanicked {
+                            wave,
+                            unit: idx,
+                            msg,
+                        });
+                    }
+                    attempts[idx] += 1;
+                    if attempts[idx] > self.max_retries {
+                        return Err(FaultError::RetryBudgetExhausted {
+                            wave,
+                            unit: idx,
+                            attempts: attempts[idx],
+                            msg,
+                        });
+                    }
+                    self.fstats.retries += 1;
+                    // Exponential backoff, charged to the fault clock only:
+                    // the winning execution's modelled cost is attempt-
+                    // independent, so `work_makespan` stays deterministic.
+                    self.clocks.fault_backoff += 1u64 << attempts[idx].min(16);
+                    let w = self.route(idx + attempts[idx] as usize);
+                    self.queues[w].push((wave, idx, attempts[idx], backup[idx].clone()));
+                    sent_at[idx] = Instant::now();
+                    recovered = true;
+                    self.wake_live();
+                }
+                WorkerReply::Crashed { worker } => {
+                    if self.dead[worker] {
+                        continue;
+                    }
+                    self.dead[worker] = true;
+                    recovered = true;
+                    if self.dead.iter().all(|&d| d) {
+                        return Err(FaultError::AllWorkersLost);
+                    }
+                    // Drain the dead worker's deque back through the
+                    // master and spread it over the survivors.
+                    let mut offset = 1usize;
+                    while let Some(item) = steal_one(&self.queues[worker]) {
+                        let w = self.route(worker + offset);
+                        offset += 1;
+                        self.queues[w].push(item);
+                        self.fstats.requeued_units += 1;
+                    }
+                    self.wake_live();
+                }
+            }
+        }
+        if recovered {
+            self.fstats.recovered_waves += 1;
+        }
+        Ok(())
+    }
+
+    /// The nearest live worker at or after `pref` (wrapping): initial
+    /// placement, retries, and crash redistribution all route through
+    /// this so no unit lands on a dead queue.
+    fn route(&self, pref: usize) -> usize {
+        let n = self.workers;
+        let pref = pref % n;
+        if !self.dead[pref] {
+            return pref;
+        }
+        (1..n)
+            .map(|off| (pref + off) % n)
+            .find(|&w| !self.dead[w])
+            .unwrap_or(pref)
+    }
+
+    /// Wakes every worker still believed alive.
+    fn wake_live(&self) {
+        for (w, tx) in self.wake.iter().enumerate() {
+            if !self.dead[w] {
+                let _ = tx.send(PoolMsg::Wake);
+            }
+        }
     }
 
     /// Adds master-side compute to the clock.
@@ -749,16 +1234,28 @@ impl StealPool {
                 // gfd-lint: allow(no-panic) — `sim` is Some exactly when mode is Simulated, established once in the constructor
                 std::mem::take(&mut self.sim.as_mut().expect("simulated state").accum)
             }
+            ExecMode::Threads if self.fault_mode => {
+                // Under fault tolerance workers ship raw harvests and the
+                // master folds the winning copy of each unit, so the
+                // per-worker accumulators are empty by construction.
+                std::mem::take(&mut self.master_accum)
+            }
             ExecMode::Threads => {
                 for tx in &self.wake {
                     let _ = tx.send(PoolMsg::Drain);
                 }
-                // gfd-lint: allow(no-panic) — `accums` is Some exactly when mode is Threads, established once in the constructor
-                let rx = self.accums.as_ref().expect("threads accums");
+                let Some(rx) = self.accums.as_ref() else {
+                    return ProposalAccumulator::default();
+                };
                 let mut merged = ProposalAccumulator::default();
                 for _ in 0..self.workers {
-                    // gfd-lint: allow(no-panic) — every worker answers each Drain with exactly one accumulator before blocking again
-                    merged.merge(rx.recv().expect("worker alive"));
+                    // A worker that died before answering Drain shipped
+                    // its harvests raw (fault mode) — but this arm only
+                    // runs fault-free, where every worker answers once.
+                    match rx.recv() {
+                        Ok(a) => merged.merge(a),
+                        Err(_) => break,
+                    }
                 }
                 merged
             }
@@ -782,11 +1279,7 @@ fn steal_one<T>(q: &Injector<T>) -> Option<T> {
 /// Pops from the worker's own deque, stealing from siblings (visited in
 /// `victims` order — ring order normally, a seeded biased order under
 /// perturbation) when empty.
-fn pop_any(
-    id: usize,
-    queues: &[Arc<Injector<(usize, Unit)>>],
-    victims: &[usize],
-) -> Option<(usize, Unit)> {
+fn pop_any(id: usize, queues: &[Arc<Injector<QueueItem>>], victims: &[usize]) -> Option<QueueItem> {
     if let Some(t) = steal_one(&queues[id]) {
         return Some(t);
     }
@@ -829,9 +1322,14 @@ impl CandidateEvaluator for PoolEvaluator<'_> {
             })
             .collect();
         let mut acc = PartialStats::default();
-        for r in self.pool.run_wave(units) {
-            if let UnitResult::Stats(s) = r {
-                acc.merge(&s);
+        // A wave failure cannot surface through this trait; the sticky
+        // error is re-checked by the driver (`pool.check()`) right after
+        // mining, so the neutral value returned here is never emitted.
+        if let Ok(results) = self.pool.run_wave(units) {
+            for r in results {
+                if let UnitResult::Stats(s) = r {
+                    acc.merge(&s);
+                }
             }
         }
         acc.finalize()
@@ -846,10 +1344,10 @@ impl CandidateEvaluator for PoolEvaluator<'_> {
                 x: Arc::clone(&x),
             })
             .collect();
-        self.pool
-            .run_wave(units)
-            .iter()
-            .all(|r| matches!(r, UnitResult::Empty(true)))
+        match self.pool.run_wave(units) {
+            Ok(results) => results.iter().all(|r| matches!(r, UnitResult::Empty(true))),
+            Err(_) => true,
+        }
     }
 }
 
@@ -895,8 +1393,14 @@ enum Event {
 /// `SeqDis`'s exact schedule — insertions, verdicts, and emissions in the
 /// same order — so the returned [`DiscoveryResult`] is identical to
 /// [`gfd_core::seq_dis`]'s (rules, supports, and counters; only timings
-/// differ), for every worker count and both execution modes.
-pub fn par_dis_steal(g: &Arc<Graph>, cfg: &DiscoveryConfig, scfg: &StealConfig) -> ParDisReport {
+/// differ), for every worker count and both execution modes — including
+/// runs recovering from injected faults, and runs resumed from a wave
+/// checkpoint (`StealConfig::checkpoint` / `resume`).
+pub fn par_dis_steal(
+    g: &Arc<Graph>,
+    cfg: &DiscoveryConfig,
+    scfg: &StealConfig,
+) -> Result<ParDisReport, FaultError> {
     let wall0 = Instant::now();
     let mut pool = StealPool::new(Arc::clone(g), scfg);
     let attrs = Arc::new(cfg.resolve_active_attrs(g));
@@ -909,91 +1413,159 @@ pub fn par_dis_steal(g: &Arc<Graph>, cfg: &DiscoveryConfig, scfg: &StealConfig) 
     // through per-unit `Arc`s, never a broadcast).
     let mut live: FxHashMap<usize, Arc<MatchSet>> = FxHashMap::default();
     let max_parts = scfg.workers * RANGE_OVERSPLIT;
+    let cfg_fp = fault::config_fingerprint(cfg);
 
-    // --- Cold start: seed roots over pivot ranges. ---
-    let mut roots: Vec<Pattern> = Vec::new();
-    for (label, count) in g.node_label_frequencies() {
-        if (count as usize) >= cfg.sigma || !cfg.enable_pruning {
-            roots.push(Pattern::single(PLabel::Is(label)));
+    let resumed: Option<Checkpoint> = if scfg.resume {
+        match &scfg.checkpoint {
+            Some(path) => Checkpoint::load_if_exists(path)?,
+            None => None,
         }
-    }
-    if cfg.wildcard_min_labels > 0
-        && cfg.wildcard_root
-        && g.node_label_frequencies().len() >= cfg.wildcard_min_labels
-        && g.node_count() >= cfg.sigma
-    {
-        roots.push(Pattern::single(PLabel::Wildcard));
-    }
+    } else {
+        None
+    };
 
-    let m0 = Instant::now();
-    let mut seed_units: Vec<Unit> = Vec::new();
-    let mut root_jobs: Vec<(usize, usize, usize)> = Vec::new(); // (id, off, cnt)
-    for q in roots {
-        let Inserted::Fresh(id) = tree.insert(q.clone(), None, None) else {
-            continue;
-        };
-        let pivots: Arc<Vec<NodeId>> = Arc::new(match q.node_label(0) {
-            PLabel::Is(l) => g.nodes_with_label(l).to_vec(),
-            PLabel::Wildcard => g.nodes().collect(),
-        });
-        let cp = Arc::new(CompiledPattern::new(&q));
-        let ranges = split_ranges(pivots.len(), scfg.range_min_rows, max_parts);
-        let off = seed_units.len();
-        for &(lo, hi) in &ranges {
-            seed_units.push(Unit::Seed {
-                cp: Arc::clone(&cp),
-                pivots: Arc::clone(&pivots),
-                lo,
-                hi,
-            });
-        }
-        root_jobs.push((id, off, ranges.len()));
-    }
-    pool.charge_master(m0.elapsed());
-    let seeded = pool.run_wave(seed_units);
-
-    let mut mine_jobs: Vec<MineJob> = Vec::new();
-    let mut frequent_roots: Vec<usize> = Vec::new();
-    for &(id, off, cnt) in &root_jobs {
-        let mut ms = MatchSet::new(1);
-        for r in &seeded[off..off + cnt] {
-            if let UnitResult::Seeded(part) = r {
-                ms.extend(part);
+    let mut pending = ProposalAccumulator::default();
+    let start_level: usize;
+    if let Some(ck) = resumed {
+        // --- Warm start: restore the frontier of the last completed
+        // level and continue exactly where the killed run left off. ---
+        ck.validate(g.node_count(), g.edge_count(), cfg_fp)?;
+        ck.restore_stats(&mut result.stats);
+        result.gfds = ck.rules;
+        negative_patterns = ck.negative_patterns;
+        let frontier_level = ck.level;
+        start_level = ck.level + 1;
+        for fnode in ck.frontier {
+            // Fresh by construction: frontier patterns are pairwise
+            // non-isomorphic (they were distinct generation-tree nodes).
+            if let Inserted::Fresh(id) = tree.insert(fnode.pattern, None, None) {
+                let node = tree.node_mut(id);
+                node.state = NodeState::Frequent;
+                node.support = fnode.support;
+                node.covered = fnode.covered;
+                live.insert(id, Arc::new(fnode.matches));
             }
         }
-        let support = ms.len();
-        tree.node_mut(id).support = support;
-        let frequent = support >= cfg.sigma || !cfg.enable_pruning;
-        tree.node_mut(id).state = if frequent {
-            NodeState::Frequent
-        } else {
-            NodeState::Infrequent
-        };
-        if frequent {
-            result.stats.patterns_verified += 1;
-            let ms = Arc::new(ms);
-            live.insert(id, Arc::clone(&ms));
-            mine_jobs.push(MineJob {
-                id,
-                q: Arc::new(tree.node(id).pattern.clone()),
-                ms,
-                covered: Vec::new(),
-            });
-            frequent_roots.push(id);
+        // Rebuild the frontier's harvests — on the cold path they ride
+        // the mining wave that died with the original run. The fold is a
+        // monoid merge, so the accumulator is worker-count independent.
+        if start_level <= cfg.level_cap() {
+            let mut units: Vec<Unit> = Vec::new();
+            for &id in tree.level(frontier_level) {
+                let Some(ms) = live.get(&id) else { continue };
+                let q = Arc::new(tree.node(id).pattern.clone());
+                for &(lo, hi) in &split_ranges(ms.len(), scfg.range_min_rows, max_parts) {
+                    units.push(Unit::Harvest {
+                        node: id,
+                        q: Arc::clone(&q),
+                        ms: Arc::clone(ms),
+                        cfg: Arc::clone(&cfg_arc),
+                        lo,
+                        hi,
+                    });
+                }
+            }
+            pool.run_wave(units)?;
+            pending = pool.drain_accumulators();
         }
-    }
-    // Harvests for the next level ride the mining wave: `run_mining`
-    // returns the per-worker accumulators already merged down to one.
-    // Roots are always below the level cap (level_cap() ≥ 1), so their
-    // harvests are always wanted.
-    let (mut outcomes, mut pending) =
-        run_mining(&mut pool, mine_jobs, &attrs, &cfg_arc, scfg, true);
-    for id in frequent_roots {
-        apply_outcome(&mut tree, id, &mut outcomes, &mut result);
+    } else {
+        // --- Cold start: seed roots over pivot ranges. ---
+        let mut roots: Vec<Pattern> = Vec::new();
+        for (label, count) in g.node_label_frequencies() {
+            if (count as usize) >= cfg.sigma || !cfg.enable_pruning {
+                roots.push(Pattern::single(PLabel::Is(label)));
+            }
+        }
+        if cfg.wildcard_min_labels > 0
+            && cfg.wildcard_root
+            && g.node_label_frequencies().len() >= cfg.wildcard_min_labels
+            && g.node_count() >= cfg.sigma
+        {
+            roots.push(Pattern::single(PLabel::Wildcard));
+        }
+
+        let m0 = Instant::now();
+        let mut seed_units: Vec<Unit> = Vec::new();
+        let mut root_jobs: Vec<(usize, usize, usize)> = Vec::new(); // (id, off, cnt)
+        for q in roots {
+            let Inserted::Fresh(id) = tree.insert(q.clone(), None, None) else {
+                continue;
+            };
+            let pivots: Arc<Vec<NodeId>> = Arc::new(match q.node_label(0) {
+                PLabel::Is(l) => g.nodes_with_label(l).to_vec(),
+                PLabel::Wildcard => g.nodes().collect(),
+            });
+            let cp = Arc::new(CompiledPattern::new(&q));
+            let ranges = split_ranges(pivots.len(), scfg.range_min_rows, max_parts);
+            let off = seed_units.len();
+            for &(lo, hi) in &ranges {
+                seed_units.push(Unit::Seed {
+                    cp: Arc::clone(&cp),
+                    pivots: Arc::clone(&pivots),
+                    lo,
+                    hi,
+                });
+            }
+            root_jobs.push((id, off, ranges.len()));
+        }
+        pool.charge_master(m0.elapsed());
+        let seeded = pool.run_wave(seed_units)?;
+
+        let mut mine_jobs: Vec<MineJob> = Vec::new();
+        let mut frequent_roots: Vec<usize> = Vec::new();
+        for &(id, off, cnt) in &root_jobs {
+            let mut ms = MatchSet::new(1);
+            for r in &seeded[off..off + cnt] {
+                if let UnitResult::Seeded(part) = r {
+                    ms.extend(part);
+                }
+            }
+            let support = ms.len();
+            tree.node_mut(id).support = support;
+            let frequent = support >= cfg.sigma || !cfg.enable_pruning;
+            tree.node_mut(id).state = if frequent {
+                NodeState::Frequent
+            } else {
+                NodeState::Infrequent
+            };
+            if frequent {
+                result.stats.patterns_verified += 1;
+                let ms = Arc::new(ms);
+                live.insert(id, Arc::clone(&ms));
+                mine_jobs.push(MineJob {
+                    id,
+                    q: Arc::new(tree.node(id).pattern.clone()),
+                    ms,
+                    covered: Vec::new(),
+                });
+                frequent_roots.push(id);
+            }
+        }
+        // Harvests for the next level ride the mining wave: `run_mining`
+        // returns the per-worker accumulators already merged down to one.
+        // Roots are always below the level cap (level_cap() ≥ 1), so their
+        // harvests are always wanted.
+        let (mut outcomes, cold_pending) =
+            run_mining(&mut pool, mine_jobs, &attrs, &cfg_arc, scfg, true)?;
+        pending = cold_pending;
+        for id in frequent_roots {
+            apply_outcome(&mut tree, id, &mut outcomes, &mut result);
+        }
+        write_checkpoint(
+            g,
+            cfg_fp,
+            0,
+            &tree,
+            &live,
+            &result,
+            &negative_patterns,
+            scfg,
+        )?;
+        start_level = 1;
     }
 
     // --- Levelwise waves. ---
-    for level in 1..=cfg.level_cap() {
+    for level in start_level..=cfg.level_cap() {
         let parents: Vec<usize> = tree
             .level(level - 1)
             .iter()
@@ -1080,7 +1652,7 @@ pub fn par_dis_steal(g: &Arc<Graph>, cfg: &DiscoveryConfig, scfg: &StealConfig) 
         pool.charge_master(m0.elapsed());
 
         // Wave J: all of the level's `(Q ⋈ e, pivot-range)` joins at once.
-        let joined = pool.run_wave(join_units);
+        let joined = pool.run_wave(join_units)?;
 
         // Master: verdicts in event order; queue frequent children for
         // mining.
@@ -1150,7 +1722,7 @@ pub fn par_dis_steal(g: &Arc<Graph>, cfg: &DiscoveryConfig, scfg: &StealConfig) 
             &cfg_arc,
             scfg,
             level < cfg.level_cap(),
-        );
+        )?;
         pending = next_pending;
 
         // Emission replay, in `SeqDis`'s exact order.
@@ -1173,13 +1745,25 @@ pub fn par_dis_steal(g: &Arc<Graph>, cfg: &DiscoveryConfig, scfg: &StealConfig) 
 
         // Reclaim matches below the new frontier.
         live.retain(|&id, _| tree.node(id).level >= level);
+
+        write_checkpoint(
+            g,
+            cfg_fp,
+            level,
+            &tree,
+            &live,
+            &result,
+            &negative_patterns,
+            scfg,
+        )?;
     }
 
+    pool.fstats.apply_to(&mut result.stats);
     result.stats.positive = result.positive_count();
     result.stats.negative = result.negative_count();
     let wall = wall0.elapsed();
     result.stats.total_time = wall;
-    ParDisReport {
+    Ok(ParDisReport {
         result,
         wall,
         simulated: pool.clocks.simulated_total(),
@@ -1188,7 +1772,58 @@ pub fn par_dis_steal(g: &Arc<Graph>, cfg: &DiscoveryConfig, scfg: &StealConfig) 
         work_makespan: pool.clocks.work_makespan,
         work_busy: pool.clocks.work_busy,
         replication_factor: 1.0,
+    })
+}
+
+/// Serialises the completed level's frontier to `StealConfig::checkpoint`
+/// (atomic temp-file + rename), then honours `halt_after_level` — the
+/// crash-simulation hook the resume tests kill runs with.
+#[allow(clippy::too_many_arguments)]
+fn write_checkpoint(
+    g: &Graph,
+    cfg_fp: u64,
+    level: usize,
+    tree: &GenTree,
+    live: &FxHashMap<usize, Arc<MatchSet>>,
+    result: &DiscoveryResult,
+    negative_patterns: &[Pattern],
+    scfg: &StealConfig,
+) -> Result<(), FaultError> {
+    if let Some(path) = &scfg.checkpoint {
+        // The frontier is exactly the nodes the next level will read:
+        // this level's frequent patterns with retained matches, in tree
+        // order (= `SeqDis` insertion order, which resume must replay).
+        let mut frontier: Vec<FrontierNode> = Vec::new();
+        for &id in tree.level(level) {
+            if tree.node(id).state != NodeState::Frequent {
+                continue;
+            }
+            let Some(ms) = live.get(&id) else { continue };
+            frontier.push(FrontierNode {
+                pattern: tree.node(id).pattern.clone(),
+                support: tree.node(id).support,
+                covered: tree.node(id).covered.clone(),
+                matches: (**ms).clone(),
+            });
+        }
+        let mut ck = Checkpoint {
+            graph_nodes: g.node_count(),
+            graph_edges: g.edge_count(),
+            cfg_fingerprint: cfg_fp,
+            level,
+            counters: [0; 5],
+            hspawn: HSpawnStats::default(),
+            rules: result.gfds.clone(),
+            negative_patterns: negative_patterns.to_vec(),
+            frontier,
+        };
+        ck.record_stats(&result.stats);
+        ck.save(path)?;
     }
+    if scfg.halt_after_level == Some(level) {
+        return Err(FaultError::Halted { level });
+    }
+    Ok(())
 }
 
 /// Mines the queued lattices in three phases:
@@ -1214,7 +1849,7 @@ fn run_mining(
     cfg: &Arc<DiscoveryConfig>,
     scfg: &StealConfig,
     harvest_children: bool,
-) -> (FxHashMap<usize, MineOutcome>, ProposalAccumulator) {
+) -> Result<(FxHashMap<usize, MineOutcome>, ProposalAccumulator), FaultError> {
     let mut outcomes: FxHashMap<usize, MineOutcome> = FxHashMap::default();
     let max_parts = pool.workers() * RANGE_OVERSPLIT;
 
@@ -1260,7 +1895,7 @@ fn run_mining(
             }
         }
     }
-    let wave = pool.run_wave(build_units);
+    let wave = pool.run_wave(build_units)?;
     let m0 = Instant::now();
     let harvests = if harvest_children {
         pool.drain_accumulators()
@@ -1304,7 +1939,7 @@ fn run_mining(
             });
         }
     }
-    let mut rhs_results = pool.run_wave(rhs_units).into_iter();
+    let mut rhs_results = pool.run_wave(rhs_units)?.into_iter();
     let m0 = Instant::now();
     for (i, job) in jobs.iter().enumerate() {
         if specs[i].1 {
@@ -1345,6 +1980,10 @@ fn run_mining(
             };
             mine_dependencies_with(&mut eval, &catalogs[i], &mut covered, cfg)
         };
+        // The evaluator swallows wave errors (the trait cannot carry
+        // them); surface the sticky failure before installing a partial
+        // outcome.
+        pool.check()?;
         outcomes.insert(
             job.id,
             MineOutcome {
@@ -1354,7 +1993,7 @@ fn run_mining(
             },
         );
     }
-    (outcomes, harvests)
+    Ok((outcomes, harvests))
 }
 
 /// Installs a mined outcome on the tree and appends its dependencies —
@@ -1459,7 +2098,7 @@ mod tests {
                     let mut scfg = StealConfig::new(n, mode);
                     scfg.range_min_rows = 2; // force real multi-range waves
                     scfg.range_rows_threshold = threshold;
-                    let par = par_dis_steal(&g, &c, &scfg);
+                    let par = par_dis_steal(&g, &c, &scfg).expect("fault-free run");
                     assert_eq!(
                         fingerprint(&par.result, &g),
                         want,
@@ -1478,7 +2117,8 @@ mod tests {
         let g = kb();
         let c = cfg();
         let seq = seq_dis(&g, &c);
-        let par = par_dis_steal(&g, &c, &StealConfig::new(3, ExecMode::Simulated));
+        let par = par_dis_steal(&g, &c, &StealConfig::new(3, ExecMode::Simulated))
+            .expect("fault-free run");
         let s = &seq.stats;
         let p = &par.result.stats;
         assert_eq!(
@@ -1502,7 +2142,7 @@ mod tests {
         let run = |n: usize| {
             let mut scfg = StealConfig::new(n, ExecMode::Simulated);
             scfg.range_min_rows = 1;
-            let r = par_dis_steal(&g, &c, &scfg);
+            let r = par_dis_steal(&g, &c, &scfg).expect("fault-free run");
             (r.work_makespan, r.result.gfds.len())
         };
         let (w1, rules1) = run(1);
@@ -1519,8 +2159,8 @@ mod tests {
         let c = cfg();
         let mut scfg = StealConfig::new(4, ExecMode::Threads);
         scfg.range_min_rows = 2;
-        let a = par_dis_steal(&g, &c, &scfg);
-        let b = par_dis_steal(&g, &c, &scfg);
+        let a = par_dis_steal(&g, &c, &scfg).expect("fault-free run");
+        let b = par_dis_steal(&g, &c, &scfg).expect("fault-free run");
         assert_eq!(fingerprint(&a.result, &g), fingerprint(&b.result, &g));
         assert_eq!(a.work_makespan, b.work_makespan);
         assert_eq!(a.work_busy, b.work_busy);
@@ -1555,10 +2195,12 @@ mod tests {
         // Build the catalog the way run_mining does, then mine every
         // consequence as its own unit: affinity spreads them over both
         // workers.
-        let built = pool.run_wave(vec![Unit::BuildRange {
-            spec: Arc::clone(&spec),
-            range: 0,
-        }]);
+        let built = pool
+            .run_wave(vec![Unit::BuildRange {
+                spec: Arc::clone(&spec),
+                range: 0,
+            }])
+            .expect("fault-free wave");
         let UnitResult::Counts(counts) = &built[0] else {
             panic!("build result expected");
         };
@@ -1575,7 +2217,7 @@ mod tests {
                 cfg: Arc::clone(&c),
             })
             .collect();
-        pool.run_wave(units);
+        pool.run_wave(units).expect("fault-free wave");
 
         let table = spec.built_table(0).expect("table built during the wave");
         assert!(
@@ -1589,7 +2231,8 @@ mod tests {
     #[test]
     fn steal_rules_hold_globally() {
         let g = kb();
-        let par = par_dis_steal(&g, &cfg(), &StealConfig::new(3, ExecMode::Threads));
+        let par = par_dis_steal(&g, &cfg(), &StealConfig::new(3, ExecMode::Threads))
+            .expect("fault-free run");
         for d in &par.result.gfds {
             assert!(
                 gfd_logic::satisfies(&g, &d.gfd),

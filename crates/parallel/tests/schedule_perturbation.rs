@@ -129,11 +129,11 @@ fn adversarial_schedules_reproduce_seq_dis_on_fixed_kb() {
     let want_cover = cover_indices(&seq.rules());
     for mode in [ExecMode::Simulated, ExecMode::Threads] {
         for n in [1usize, 2, 4] {
-            let baseline = par_dis_steal(&g, &cfg, &StealConfig::new(n, mode));
+            let baseline = par_dis_steal(&g, &cfg, &StealConfig::new(n, mode)).expect("fault-free");
             assert_eq!(fingerprint(&baseline.result, &g), want);
             for seed in [1u64, 7, 42, 0xdead_beef, u64::MAX] {
                 let scfg = StealConfig::new(n, mode).with_perturbation(seed);
-                let par = par_dis_steal(&g, &cfg, &scfg);
+                let par = par_dis_steal(&g, &cfg, &scfg).expect("fault-free");
                 assert_eq!(
                     fingerprint(&par.result, &g),
                     want,
@@ -172,7 +172,7 @@ fn adversarial_range_unit_path_reproduces_seq_dis() {
             let mut scfg = StealConfig::new(4, mode).with_perturbation(seed);
             scfg.range_rows_threshold = 0;
             scfg.range_min_rows = 1;
-            let par = par_dis_steal(&g, &cfg, &scfg);
+            let par = par_dis_steal(&g, &cfg, &scfg).expect("fault-free");
             assert_eq!(
                 fingerprint(&par.result, &g),
                 want,
@@ -197,7 +197,7 @@ proptest! {
         for mode in [ExecMode::Simulated, ExecMode::Threads] {
             for n in [1usize, 2, 4] {
                 let scfg = StealConfig::new(n, mode).with_perturbation(seed);
-                let par = par_dis_steal(&g, &cfg, &scfg);
+                let par = par_dis_steal(&g, &cfg, &scfg).expect("fault-free");
                 prop_assert_eq!(
                     fingerprint(&par.result, &g),
                     want.clone(),
@@ -215,10 +215,10 @@ proptest! {
     fn perturbation_is_deterministic_and_clock_invisible(p in kb_strategy()) {
         let g = build_kb(&p);
         let cfg = mining_cfg();
-        let base = par_dis_steal(&g, &cfg, &StealConfig::new(4, ExecMode::Threads));
+        let base = par_dis_steal(&g, &cfg, &StealConfig::new(4, ExecMode::Threads)).expect("fault-free");
         let scfg = StealConfig::new(4, ExecMode::Threads).with_perturbation(5);
-        let a = par_dis_steal(&g, &cfg, &scfg);
-        let b = par_dis_steal(&g, &cfg, &scfg);
+        let a = par_dis_steal(&g, &cfg, &scfg).expect("fault-free");
+        let b = par_dis_steal(&g, &cfg, &scfg).expect("fault-free");
         prop_assert_eq!(fingerprint(&a.result, &g), fingerprint(&b.result, &g));
         prop_assert_eq!(a.work_makespan, base.work_makespan);
         prop_assert_eq!(a.work_busy, base.work_busy);

@@ -99,7 +99,7 @@ proptest! {
         let seq_cover = cover_indices(&seq.rules());
         for mode in [ExecMode::Simulated, ExecMode::Threads] {
             for n in [1usize, 2, 4] {
-                let par = par_dis_steal(&g, &cfg, &StealConfig::new(n, mode));
+                let par = par_dis_steal(&g, &cfg, &StealConfig::new(n, mode)).expect("fault-free");
                 prop_assert_eq!(
                     fingerprint(&par.result, &g),
                     want.clone(),
@@ -129,7 +129,7 @@ proptest! {
             let mut scfg = StealConfig::new(2, mode);
             scfg.range_rows_threshold = 0;
             scfg.range_min_rows = 1;
-            let par = par_dis_steal(&g, &cfg, &scfg);
+            let par = par_dis_steal(&g, &cfg, &scfg).expect("fault-free");
             prop_assert_eq!(
                 fingerprint(&par.result, &g),
                 want.clone(),
@@ -145,8 +145,8 @@ proptest! {
         let g = build_kb(&p);
         let cfg = mining_cfg();
         let scfg = StealConfig::new(4, ExecMode::Threads);
-        let a = par_dis_steal(&g, &cfg, &scfg);
-        let b = par_dis_steal(&g, &cfg, &scfg);
+        let a = par_dis_steal(&g, &cfg, &scfg).expect("fault-free");
+        let b = par_dis_steal(&g, &cfg, &scfg).expect("fault-free");
         prop_assert_eq!(fingerprint(&a.result, &g), fingerprint(&b.result, &g));
         prop_assert_eq!(a.work_makespan, b.work_makespan);
         prop_assert_eq!(a.work_busy, b.work_busy);

@@ -44,7 +44,7 @@ fn main() {
     let mut base = None;
     for n in [1, 2, 4, 8, 12, 16, 20] {
         let ccfg = ClusterConfig::new(n, ExecMode::Simulated);
-        let report = par_dis(&g, &cfg, &ccfg);
+        let report = par_dis(&g, &cfg, &ccfg).expect("fault-free");
         let sim = report.simulated;
         let baseline = *base.get_or_insert(sim);
         let equal = canonical(&report.result) == seq_rules;
@@ -62,7 +62,7 @@ fn main() {
     println!("\nParCover over {} mined rules:", seq.gfds.len());
     let rules: Vec<Gfd> = seq.gfds.iter().map(|d| d.gfd.clone()).collect();
     for n in [1, 4, 8, 16] {
-        let rep = par_cover(&rules, n, ExecMode::Simulated, true);
+        let rep = par_cover(&rules, n, ExecMode::Simulated, true).expect("fault-free");
         println!(
             "  n={:>2}: cover {} / {} rules, {} groups, simulated {:?}",
             n,

@@ -117,9 +117,10 @@ pub fn discover_parallel(
     workers: usize,
 ) -> Vec<DiscoveredGfd> {
     let ccfg = ClusterConfig::new(workers, ExecMode::Threads);
-    let report = par_dis(g, cfg, &ccfg);
+    let report = par_dis(g, cfg, &ccfg).expect("fault-free parallel discovery");
     let rules: Vec<Gfd> = report.result.gfds.iter().map(|d| d.gfd.clone()).collect();
-    let cover = par_cover(&rules, workers, ExecMode::Threads, true);
+    let cover =
+        par_cover(&rules, workers, ExecMode::Threads, true).expect("fault-free parallel cover");
     cover
         .cover
         .into_iter()

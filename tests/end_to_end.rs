@@ -83,7 +83,8 @@ fn parallel_pipeline_equals_sequential_on_kb() {
     };
     let seq_key = key(&seq);
     for n in [2, 5] {
-        let report = par_dis(&g, &cfg, &ClusterConfig::new(n, ExecMode::Simulated));
+        let report =
+            par_dis(&g, &cfg, &ClusterConfig::new(n, ExecMode::Simulated)).expect("fault-free");
         assert_eq!(key(&report.result), seq_key, "n={n}");
     }
 }
@@ -101,7 +102,7 @@ fn parallel_cover_agrees_with_sequential_cover_semantics() {
     );
     let seq = seq_cover(&sigma);
     for grouping in [true, false] {
-        let par = par_cover(&sigma, 4, ExecMode::Simulated, grouping);
+        let par = par_cover(&sigma, 4, ExecMode::Simulated, grouping).expect("fault-free");
         let par_rules: Vec<Gfd> = par.cover.iter().map(|&i| sigma[i].clone()).collect();
         // Both covers imply the full set (equivalence) …
         for phi in &sigma {

@@ -141,7 +141,7 @@ fn approximate_mining_matches_parallel_path() {
     cfg.mine_negative = false;
     cfg.min_confidence = 0.85;
     let seq = seq_dis(&g, &cfg);
-    let par = par_dis(&g, &cfg, &ClusterConfig::new(3, ExecMode::Simulated));
+    let par = par_dis(&g, &cfg, &ClusterConfig::new(3, ExecMode::Simulated)).expect("fault-free");
     let key = |d: &DiscoveredGfd| (d.gfd.display(g.interner()), d.support);
     let mut a: Vec<_> = seq.gfds.iter().map(key).collect();
     let mut b: Vec<_> = par.result.gfds.iter().map(key).collect();

@@ -241,19 +241,23 @@ fn fragment_match_union_equals_global() {
         parts.fragments,
         &ClusterConfig::new(4, ExecMode::Simulated),
     );
-    cluster.broadcast(Task::SeedRoot {
-        node: 0,
-        pattern: Pattern::single(PLabel::Is(i.lookup_label("person").unwrap())),
-    });
-    let results = cluster.broadcast(Task::Join {
-        parent: 0,
-        child: 1,
-        ext: Extension {
-            src: End::Var(0),
-            dst: End::New(PLabel::Is(i.lookup_label("product").unwrap())),
-            label: PLabel::Is(i.lookup_label("create").unwrap()),
-        },
-    });
+    cluster
+        .broadcast(Task::SeedRoot {
+            node: 0,
+            pattern: Pattern::single(PLabel::Is(i.lookup_label("person").unwrap())),
+        })
+        .expect("fault-free");
+    let results = cluster
+        .broadcast(Task::Join {
+            parent: 0,
+            child: 1,
+            ext: Extension {
+                src: End::Var(0),
+                dst: End::New(PLabel::Is(i.lookup_label("product").unwrap())),
+                label: PLabel::Is(i.lookup_label("create").unwrap()),
+            },
+        })
+        .expect("fault-free");
     let mut rows = 0usize;
     for r in results {
         if let TaskResult::Joined { rows: rw, .. } = r {

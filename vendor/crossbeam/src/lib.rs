@@ -18,7 +18,9 @@
 
 /// Multi-producer channels, mirroring `crossbeam::channel`.
 pub mod channel {
-    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
 
     /// Creates an unbounded channel, like `crossbeam::channel::unbounded`.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
