@@ -141,6 +141,48 @@ fn run(name: &str, scale: Scale) {
                 );
             }
         }
+        // CI smoke: the lattice under both literal expansion orders on the
+        // tiny scenario. The rule set must be bit-identical (ordering is a
+        // pure traversal choice for exact mining); the candidate counts
+        // show what selectivity ordering prunes.
+        "lattice-smoke" => {
+            use gfd_core::{seq_dis, DiscoveryConfig, LiteralOrder};
+            use gfd_datagen::{bench_scenario, ScenarioConfig};
+            let cfg = ScenarioConfig::tiny();
+            let g = bench_scenario(&cfg);
+            let mut mining = DiscoveryConfig::new(3, (g.node_count() / 40).max(5));
+            mining.max_edges = 2;
+            mining.max_lhs_size = 2;
+            mining.values_per_attr = 2;
+            mining.max_catalog_literals = 12;
+            mining.wildcard_min_labels = 0;
+            mining.max_patterns_per_level = 200;
+            let fingerprint = |r: &gfd_core::DiscoveryResult| -> Vec<String> {
+                r.gfds
+                    .iter()
+                    .map(|d| format!("{} @{}", d.gfd.display(g.interner()), d.support))
+                    .collect()
+            };
+            let mut runs = Vec::new();
+            for order in [LiteralOrder::Catalog, LiteralOrder::Selectivity] {
+                mining.literal_order = order;
+                let result = seq_dis(&g, &mining);
+                println!(
+                    "lattice-smoke {order:?}: gfds={} candidates={} pruned_support={} \
+                     evaluation_work={}",
+                    result.gfds.len(),
+                    result.stats.hspawn.candidates,
+                    result.stats.hspawn.pruned_support,
+                    result.stats.evaluation_work,
+                );
+                runs.push((fingerprint(&result), result.stats.hspawn.candidates));
+            }
+            assert!(!runs[0].0.is_empty(), "lattice smoke mined no rules");
+            assert_eq!(
+                runs[0].0, runs[1].0,
+                "rule sets diverged between literal orders"
+            );
+        }
         // CI chaos smoke: the steal runtime under a seeded fault plan
         // (panics, a crash, drops, stragglers), plus a killed-and-resumed
         // checkpointed run — both pinned to the sequential output.
@@ -240,7 +282,7 @@ fn main() {
         eprintln!(
             "usage: experiments [--scale X] <all | fig5a … fig5l | fig6 | fig7 | fig8 | runtime | smoke | smoke-steal>"
         );
-        eprintln!("known experiments: {ALL:?} plus `runtime` (barrier vs steal), `smoke` and `smoke-steal` (CI sanity runs)");
+        eprintln!("known experiments: {ALL:?} plus `runtime` (barrier vs steal), `smoke`, `smoke-steal`, `lattice-smoke`, and `chaos-smoke` (CI sanity runs)");
         std::process::exit(2);
     }
     println!(

@@ -125,6 +125,7 @@ fn main() {
                     "  \"patterns_verified\": {verified},\n",
                     "  \"hspawn_candidates\": {cands},\n",
                     "  \"spawning_work\": {spawning_work},\n",
+                    "  \"evaluation_work\": {evaluation_work},\n",
                     "  \"generation_secs\": {gen:.3},\n",
                     "  \"stage_secs\": {{\n",
                     "    \"matching\": {matching:.3},\n",
@@ -150,6 +151,7 @@ fn main() {
                 verified = s.patterns_verified,
                 cands = s.hspawn.candidates,
                 spawning_work = s.spawning_work,
+                evaluation_work = s.evaluation_work,
                 gen = gen_secs,
                 matching = matching,
                 spawning = spawning,

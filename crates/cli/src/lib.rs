@@ -24,7 +24,7 @@ use std::fmt::Write as _;
 use std::path::Path;
 use std::sync::Arc;
 
-use gfd_core::{seq_cover_discovered, seq_dis, DiscoveryConfig};
+use gfd_core::{seq_cover_discovered, seq_dis, DiscoveryConfig, LiteralOrder};
 use gfd_datagen::{knowledge_base, synthetic, KbConfig, KbProfile, SyntheticConfig};
 use gfd_extended::{discover_extended, parse_xrules, render_xrules, XDiscoveryConfig, XGfd};
 use gfd_graph::{io as gio, summarize, triple_stats, Graph, NodeId, Value};
@@ -71,7 +71,8 @@ usage: gfd <command> [options]
   generate  --profile <dbpedia|yago2|imdb> | --nodes N --edges M   [--scale S] [--seed K] [--error-rate R] -o <graph>
   stats     <graph>
   discover  <graph> [--k K] [--sigma S] [--max-lhs L] [--parallel N] [--no-negative] [--confidence C] [--cover] [-o <rules>]
-            [--runtime <barrier|steal>] [--checkpoint <file>] [--resume] [--fault <spec>] [--fault-seed K]
+            [--literal-order <catalog|selectivity>] [--runtime <barrier|steal>]
+            [--checkpoint <file>] [--resume] [--fault <spec>] [--fault-seed K]
   xdiscover <graph> [--k K] [--sigma S] [--max-lhs L] [--confidence C] [--limit N] [-o <rules>]
   validate  <graph> <rules> [--limit N]
   explain   <graph> <rules> [--limit N]
@@ -255,6 +256,7 @@ fn cmd_discover(mut a: Args) -> Result<String, CliError> {
     let mut negative = true;
     let mut cover = false;
     let mut confidence = 1.0f64;
+    let mut literal_order = LiteralOrder::default();
     let mut out_path: Option<String> = None;
     let mut steal = false;
     let mut checkpoint: Option<String> = None;
@@ -270,6 +272,11 @@ fn cmd_discover(mut a: Args) -> Result<String, CliError> {
             "--no-negative" => negative = false,
             "--cover" => cover = true,
             "--confidence" => confidence = a.parse("--confidence")?,
+            "--literal-order" => {
+                let v = a.value("--literal-order")?;
+                literal_order = LiteralOrder::parse(v)
+                    .ok_or_else(|| CliError::Usage(format!("unknown literal order `{v}`")))?;
+            }
             "--runtime" => {
                 steal = match a.value("--runtime")? {
                     "steal" => true,
@@ -297,6 +304,7 @@ fn cmd_discover(mut a: Args) -> Result<String, CliError> {
     cfg.max_lhs_size = max_lhs;
     cfg.mine_negative = negative;
     cfg.min_confidence = confidence;
+    cfg.literal_order = literal_order;
 
     let g = Arc::new(g);
     let mut mined = if steal {

@@ -35,6 +35,14 @@ pub struct BitmapIndex {
     tmp: Vec<u64>,
     stamp: Vec<u32>,
     epoch: u32,
+    /// Prefix-accumulator stack for the DFS lattice: `levels[d]` holds the
+    /// AND of the first `d` premise literals on the current DFS path
+    /// (`levels[0]` = all rows), so a child set costs one AND against its
+    /// parent instead of re-ANDing the whole LHS.
+    levels: Vec<Vec<u64>>,
+    depth: usize,
+    child: Vec<u64>,
+    work: u64,
 }
 
 fn build_bitmap(table: &MatchTable, lit: &Literal) -> Box<[u64]> {
@@ -85,7 +93,19 @@ impl BitmapIndex {
             tmp: Vec::new(),
             stamp: vec![0; table.pivot_group_count()],
             epoch: 0,
+            levels: Vec::new(),
+            depth: 0,
+            child: Vec::new(),
+            work: 0,
         }
+    }
+
+    /// Deterministic work counter: bitmap words ANDed or popcounted plus
+    /// set rows walked in pivot-group counts so far. A pure function of
+    /// the evaluation sequence, independent of timing — each unit is one
+    /// memory touch, comparable to one row of a scan-based pass.
+    pub fn work(&self) -> u64 {
+        self.work
     }
 
     fn ensure(&mut self, table: &MatchTable, lit: &Literal) {
@@ -115,6 +135,7 @@ impl BitmapIndex {
             *a &= w;
             any |= *a != 0;
         }
+        self.work += self.acc.len() as u64;
         any
     }
 
@@ -190,11 +211,13 @@ impl BitmapIndex {
             return CandidateStats::default();
         }
         let lhs_matches: usize = self.acc.iter().map(|w| w.count_ones() as usize).sum();
+        self.work += self.acc.len() as u64;
         if lhs_matches == 0 {
             return CandidateStats::default();
         }
         let epoch = self.next_epoch();
         let lhs_pivots = Self::count_groups(&mut self.stamp, epoch, table, &self.acc);
+        self.work += lhs_matches as u64;
         match rhs {
             Rhs::False => CandidateStats {
                 support: 0,
@@ -209,6 +232,7 @@ impl BitmapIndex {
                 self.tmp
                     .extend(self.acc.iter().zip(bm.iter()).map(|(a, b)| a & b));
                 let satisfied: usize = self.tmp.iter().map(|w| w.count_ones() as usize).sum();
+                self.work += 2 * self.tmp.len() as u64 + satisfied as u64;
                 let epoch = self.next_epoch();
                 let support = Self::count_groups(&mut self.stamp, epoch, table, &self.tmp);
                 CandidateStats {
@@ -238,11 +262,13 @@ impl BitmapIndex {
             return PartialStats::default();
         }
         let lhs_matches: usize = self.acc.iter().map(|w| w.count_ones() as usize).sum();
+        self.work += self.acc.len() as u64;
         if lhs_matches == 0 {
             return PartialStats::default();
         }
         let epoch = self.next_epoch();
         let lhs_pivots = Self::collect_pivots(&mut self.stamp, epoch, table, &self.acc);
+        self.work += lhs_matches as u64;
         match rhs {
             Rhs::False => PartialStats {
                 support_pivots: Vec::new(),
@@ -257,6 +283,7 @@ impl BitmapIndex {
                 self.tmp
                     .extend(self.acc.iter().zip(bm.iter()).map(|(a, b)| a & b));
                 let satisfied: usize = self.tmp.iter().map(|w| w.count_ones() as usize).sum();
+                self.work += 2 * self.tmp.len() as u64 + satisfied as u64;
                 let epoch = self.next_epoch();
                 let support_pivots = Self::collect_pivots(&mut self.stamp, epoch, table, &self.tmp);
                 PartialStats {
@@ -266,6 +293,122 @@ impl BitmapIndex {
                     violations: lhs_matches - satisfied,
                 }
             }
+        }
+    }
+
+    /// Resets the prefix-accumulator stack for one consequence's lattice:
+    /// level 0 becomes the all-rows bitmap (tail bits masked off).
+    pub fn stack_begin(&mut self, table: &MatchTable) {
+        let rows = table.rows();
+        let words = rows.div_ceil(64);
+        if self.levels.is_empty() {
+            self.levels.push(Vec::new());
+        }
+        let root = &mut self.levels[0];
+        root.clear();
+        root.resize(words, u64::MAX);
+        if !rows.is_multiple_of(64) {
+            if let Some(last) = root.last_mut() {
+                *last = (1u64 << (rows % 64)) - 1;
+            }
+        }
+        self.depth = 1;
+    }
+
+    /// Commits the most recent [`Self::stack_eval_child`] accumulator as
+    /// the new top of the prefix stack (descending into that child).
+    pub fn stack_push(&mut self) {
+        if self.levels.len() <= self.depth {
+            self.levels.push(Vec::new());
+        }
+        std::mem::swap(&mut self.levels[self.depth], &mut self.child);
+        self.depth += 1;
+    }
+
+    /// Pops the top prefix accumulator (returning to the parent set).
+    pub fn stack_pop(&mut self) {
+        debug_assert!(self.depth > 1, "stack_pop below the root accumulator");
+        self.depth -= 1;
+    }
+
+    /// Evaluates `X ∪ {cand} → rhs` where `X` is the current prefix stack:
+    /// one word-wise AND against the cached parent accumulator instead of
+    /// re-ANDing all of `X`.
+    ///
+    /// Returned stats are **decision-exact**, not value-exact: every branch
+    /// the lattice driver takes (vacuous satisfaction, Lemma 4(c) σ-cutoff,
+    /// satisfied/violated, approximate acceptance) is identical to a full
+    /// [`Self::evaluate`], but two shortcuts skip work whose exact value the
+    /// driver never reads:
+    ///
+    /// * `lhs_pivots` is always 0 (no caller reads it on this path);
+    /// * when `fast` is set and `min(parent_sat_hint, |rows ⊨ X∪{cand}|)`
+    ///   is already `< sigma`, Lemma 4(c) is guaranteed to fire (pivoted
+    ///   support is bounded by satisfied rows, which both bound), so only
+    ///   the satisfied/violated bit is computed — a subset test with
+    ///   per-word early exit, no consequence popcount, no pivot-group walk.
+    ///   `support` is reported as 0 (truthfully `< sigma`) and `violations`
+    ///   as 0/1. Callers needing exact support must pass
+    ///   `parent_sat_hint = usize::MAX` and `fast = false`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn stack_eval_child(
+        &mut self,
+        table: &MatchTable,
+        cand: Literal,
+        rhs: Literal,
+        parent_sat_hint: usize,
+        sigma: usize,
+        fast: bool,
+    ) -> CandidateStats {
+        if table.rows() == 0 {
+            return CandidateStats::default();
+        }
+        debug_assert!(self.depth >= 1, "stack_begin before stack_eval_child");
+        self.ensure(table, &cand);
+        let parent = &self.levels[self.depth - 1];
+        let bm = &self.cache[&cand];
+        self.child.clear();
+        self.child
+            .extend(parent.iter().zip(bm.iter()).map(|(a, b)| a & b));
+        let child_rows: usize = self.child.iter().map(|w| w.count_ones() as usize).sum();
+        self.work += 2 * self.child.len() as u64;
+        if child_rows == 0 {
+            // No row satisfies X∪{cand}: vacuously satisfied, exactly the
+            // default stats the scan path returns.
+            return CandidateStats::default();
+        }
+        self.ensure(table, &rhs);
+        let bm = &self.cache[&rhs];
+        if fast && parent_sat_hint.min(child_rows) < sigma {
+            let mut satisfied = true;
+            let mut scanned = self.child.len();
+            for (i, (&a, &b)) in self.child.iter().zip(bm.iter()).enumerate() {
+                if a & !b != 0 {
+                    satisfied = false;
+                    scanned = i + 1;
+                    break;
+                }
+            }
+            self.work += scanned as u64;
+            return CandidateStats {
+                support: 0,
+                lhs_pivots: 0,
+                lhs_matches: child_rows,
+                violations: usize::from(!satisfied),
+            };
+        }
+        self.tmp.clear();
+        self.tmp
+            .extend(self.child.iter().zip(bm.iter()).map(|(a, b)| a & b));
+        let satisfied: usize = self.tmp.iter().map(|w| w.count_ones() as usize).sum();
+        self.work += 2 * self.tmp.len() as u64 + satisfied as u64;
+        let epoch = self.next_epoch();
+        let support = Self::count_groups(&mut self.stamp, epoch, table, &self.tmp);
+        CandidateStats {
+            support,
+            lhs_pivots: 0,
+            lhs_matches: child_rows,
+            violations: child_rows - satisfied,
         }
     }
 
@@ -398,6 +541,57 @@ mod tests {
             idx.partial_evaluate(&t, &[], &Rhs::False),
             PartialStats::default()
         );
+    }
+
+    /// The prefix-stack path returns the same (read) stats as a full
+    /// accumulate-and-evaluate, and the σ fast path preserves decisions.
+    #[test]
+    fn stack_eval_matches_full_evaluate_and_fast_path_is_decision_exact() {
+        let (_g, t, lits) = setup();
+        let mut scan = BitmapIndex::new(&t);
+        let mut idx = BitmapIndex::new(&t);
+        for &l in &lits {
+            for &a in &lits {
+                if a == l {
+                    continue;
+                }
+                idx.stack_begin(&t);
+                let exact = idx.stack_eval_child(&t, a, l, usize::MAX, 0, false);
+                let full = scan.evaluate(&t, &[a], &Rhs::Lit(l));
+                assert_eq!(
+                    (exact.support, exact.lhs_matches, exact.violations),
+                    (full.support, full.lhs_matches, full.violations),
+                    "a={a:?} l={l:?}"
+                );
+                // Fast σ-cutoff path: the satisfied decision is exact and
+                // the reported support still lands below any σ that the
+                // true support is below.
+                let sat_rows = full.lhs_matches - full.violations;
+                let fast = idx.stack_eval_child(&t, a, l, sat_rows, usize::MAX, true);
+                assert_eq!(fast.lhs_matches, full.lhs_matches);
+                assert_eq!(fast.violations == 0, full.violations == 0);
+                assert!(fast.support <= full.support);
+                // Two-level prefix: push {a}, evaluate {a, b}.
+                let _ = idx.stack_eval_child(&t, a, l, usize::MAX, 0, false);
+                idx.stack_push();
+                for &b in &lits {
+                    if b == l || b == a {
+                        continue;
+                    }
+                    let two = idx.stack_eval_child(&t, b, l, usize::MAX, 0, false);
+                    let mut x = vec![a, b];
+                    x.sort_unstable();
+                    let fullx = scan.evaluate(&t, &x, &Rhs::Lit(l));
+                    assert_eq!(
+                        (two.support, two.lhs_matches, two.violations),
+                        (fullx.support, fullx.lhs_matches, fullx.violations),
+                        "x={x:?} l={l:?}"
+                    );
+                }
+                idx.stack_pop();
+            }
+        }
+        assert!(idx.work() > 0 && scan.work() > 0);
     }
 
     /// Rows beyond a multiple of 64 exercise the tail mask.

@@ -15,6 +15,7 @@ use gfd_graph::{AttrId, FxHashMap, Value};
 use gfd_logic::Literal;
 use gfd_pattern::Var;
 
+use crate::config::LiteralOrder;
 use crate::table::MatchTable;
 
 /// Mergeable literal-candidate counts for one pattern.
@@ -146,10 +147,12 @@ impl CatalogCounts {
             ranked_literals.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
             ranked_literals.truncate(max_literals);
         }
-        let mut literals: Vec<Literal> = ranked_literals.into_iter().map(|(l, _)| l).collect();
-        literals.sort_unstable();
-        literals.dedup();
-        LiteralCatalog { literals }
+        // Canonical catalog order, carrying each literal's row count so the
+        // lattice can order premises by selectivity without re-counting.
+        ranked_literals.sort_unstable_by(|a, b| a.0.cmp(&b.0).then_with(|| b.1.cmp(&a.1)));
+        ranked_literals.dedup_by(|a, b| a.0 == b.0);
+        let (literals, counts) = ranked_literals.into_iter().unzip();
+        LiteralCatalog { literals, counts }
     }
 }
 
@@ -159,6 +162,11 @@ pub struct LiteralCatalog {
     /// All candidate literals, sorted (the lattice enumerates subsets in
     /// this order).
     pub literals: Vec<Literal>,
+    /// Row count of each literal, aligned with `literals`. Counts are exact
+    /// per-fragment sums, so they merge identically however the match rows
+    /// are cut — the selectivity order derived from them is the same
+    /// sequentially and in parallel.
+    pub counts: Vec<usize>,
 }
 
 impl LiteralCatalog {
@@ -186,6 +194,25 @@ impl LiteralCatalog {
     /// True when the catalog is empty.
     pub fn is_empty(&self) -> bool {
         self.literals.is_empty()
+    }
+
+    /// The premise enumeration order for the lattice: the catalog order
+    /// itself, or ascending row count (count asc, literal asc — a total
+    /// order, so ties cannot depend on construction history) under
+    /// [`LiteralOrder::Selectivity`]. Falls back to catalog order when
+    /// per-literal counts are unavailable (e.g. a hand-built catalog).
+    pub fn premise_order(&self, order: LiteralOrder) -> Vec<Literal> {
+        if order == LiteralOrder::Catalog || self.counts.len() != self.literals.len() {
+            return self.literals.clone();
+        }
+        let mut paired: Vec<(usize, Literal)> = self
+            .counts
+            .iter()
+            .copied()
+            .zip(self.literals.iter().copied())
+            .collect();
+        paired.sort_unstable_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        paired.into_iter().map(|(_, l)| l).collect()
     }
 }
 
@@ -297,6 +324,33 @@ mod tests {
             LiteralCatalog::harvest_capped(&t, 5, 1, 0).len(),
             full.len()
         );
+    }
+
+    #[test]
+    fn counts_align_and_selectivity_orders_ascending() {
+        let (g, q, surname) = family_graph();
+        let ms = find_all(&q, &g);
+        let t = MatchTable::build(&q, &ms, &g, &[surname]);
+        let cat = LiteralCatalog::harvest(&t, 5, 1);
+        assert_eq!(cat.counts.len(), cat.literals.len());
+        // Catalog order is the identity.
+        assert_eq!(cat.premise_order(LiteralOrder::Catalog), cat.literals);
+        // Selectivity order is a permutation with ascending counts.
+        let sel = cat.premise_order(LiteralOrder::Selectivity);
+        let mut sorted = sel.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, cat.literals);
+        let count_of = |l: &Literal| {
+            let i = cat.literals.iter().position(|c| c == l).unwrap();
+            cat.counts[i]
+        };
+        assert!(sel.windows(2).all(|w| count_of(&w[0]) <= count_of(&w[1])));
+        // A hand-built catalog without counts falls back to catalog order.
+        let bare = LiteralCatalog {
+            literals: cat.literals.clone(),
+            counts: Vec::new(),
+        };
+        assert_eq!(bare.premise_order(LiteralOrder::Selectivity), cat.literals);
     }
 
     #[test]

@@ -3,6 +3,36 @@
 
 use gfd_graph::{AttrId, Graph};
 
+/// Order in which the literal lattice enumerates premise candidates.
+///
+/// The *enumeration* order shapes the canonical subset tree (each set is
+/// generated once, extending only past its maximum element in this order),
+/// so it decides which literal roots the largest subtrees. Mined output is
+/// canonicalised (deps, covered sets, and negatives re-sorted into catalog
+/// order with total tie-breaks), so both orders produce bit-identical rule
+/// sets under exact mining.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LiteralOrder {
+    /// Catalog (sorted-literal) order — the historical enumeration.
+    Catalog,
+    /// Ascending support: low-selectivity literals come first and therefore
+    /// root the largest subtrees, so Lemma 4(c) kills the biggest branches
+    /// at level 1 (the default).
+    #[default]
+    Selectivity,
+}
+
+impl LiteralOrder {
+    /// Parses a CLI value (`catalog` | `selectivity`).
+    pub fn parse(s: &str) -> Option<LiteralOrder> {
+        match s {
+            "catalog" => Some(LiteralOrder::Catalog),
+            "selectivity" => Some(LiteralOrder::Selectivity),
+            _ => None,
+        }
+    }
+}
+
 /// Parameters of a discovery run.
 ///
 /// The formal problem takes `(G, k, σ)` and returns a cover of all
@@ -64,6 +94,10 @@ pub struct DiscoveryConfig {
     /// never spawn `NHSpawn` negatives (a violated base is no proof of
     /// non-existence).
     pub min_confidence: f64,
+    /// Premise enumeration order for the literal lattice (see
+    /// [`LiteralOrder`]). Output is canonicalised, so this is a pure
+    /// performance knob under exact mining.
+    pub literal_order: LiteralOrder,
 }
 
 impl Default for DiscoveryConfig {
@@ -84,6 +118,7 @@ impl Default for DiscoveryConfig {
             max_negative_candidates: 64,
             max_catalog_literals: 0,
             min_confidence: 1.0,
+            literal_order: LiteralOrder::default(),
         }
     }
 }

@@ -40,6 +40,47 @@ pub trait CandidateEvaluator {
     fn lhs_empty(&mut self, x: &[Literal]) -> bool {
         self.evaluate(x, &Rhs::False).lhs_matches == 0
     }
+
+    /// Resets prefix-sharing state before one consequence's DFS lattice.
+    /// Backends without prefix sharing ignore it.
+    fn begin_rhs(&mut self) {}
+
+    /// Evaluates `X ∪ {cand} → l` where `X` is the committed DFS prefix
+    /// and `x` is the full canonical premise set (`X ∪ {cand}`, sorted).
+    ///
+    /// The default re-evaluates the whole set — exact and correct for any
+    /// backend. Prefix-sharing backends override it with one AND against
+    /// the cached parent accumulator and may return *decision-exact*
+    /// shortcuts (see [`BitmapIndex::stack_eval_child`]): when `fast` is
+    /// set and `min(parent_sat_hint, |rows ⊨ X∪{cand}|) < sigma`, support
+    /// may be reported as `0` (the true value is provably `< sigma`) and
+    /// `violations` as a 0/1 indicator; `lhs_pivots` may always be `0`.
+    /// The lattice driver only branches on decisions these preserve.
+    fn eval_child(
+        &mut self,
+        x: &[Literal],
+        cand: Literal,
+        l: Literal,
+        parent_sat_hint: usize,
+        sigma: usize,
+        fast: bool,
+    ) -> CandidateStats {
+        let _ = (cand, parent_sat_hint, sigma, fast);
+        self.evaluate(x, &Rhs::Lit(l))
+    }
+
+    /// Commits the last [`Self::eval_child`] result as the DFS prefix
+    /// (descending into that child). No-op without prefix sharing.
+    fn push_prefix(&mut self) {}
+
+    /// Returns to the parent DFS prefix. No-op without prefix sharing.
+    fn pop_prefix(&mut self) {}
+
+    /// Deterministic evaluation work performed so far (bitmap words ANDed +
+    /// popcounted); `0` for backends that do not meter themselves.
+    fn work(&self) -> u64 {
+        0
+    }
 }
 
 /// Sequential evaluator over one match table, riding the per-literal
@@ -67,6 +108,35 @@ impl CandidateEvaluator for TableEvaluator<'_> {
 
     fn lhs_empty(&mut self, x: &[Literal]) -> bool {
         !self.index.lhs_satisfiable(self.table, x)
+    }
+
+    fn begin_rhs(&mut self) {
+        self.index.stack_begin(self.table);
+    }
+
+    fn eval_child(
+        &mut self,
+        _x: &[Literal],
+        cand: Literal,
+        l: Literal,
+        parent_sat_hint: usize,
+        sigma: usize,
+        fast: bool,
+    ) -> CandidateStats {
+        self.index
+            .stack_eval_child(self.table, cand, l, parent_sat_hint, sigma, fast)
+    }
+
+    fn push_prefix(&mut self) {
+        self.index.stack_push();
+    }
+
+    fn pop_prefix(&mut self) {
+        self.index.stack_pop();
+    }
+
+    fn work(&self) -> u64 {
+        self.index.work()
     }
 }
 
@@ -303,10 +373,333 @@ pub struct RhsMineOutcome {
     pub stats: HSpawnStats,
 }
 
+/// Canonical output order for one sub-lattice: graded lexicographic on the
+/// premise set. Under catalog enumeration this is exactly the frontier
+/// emission order (a no-op); under selectivity enumeration it restores the
+/// same order, making rule sets bit-identical across literal orders.
+fn canonicalize(o: &mut RhsMineOutcome) {
+    o.deps.sort_unstable_by(|a, b| {
+        a.lhs
+            .len()
+            .cmp(&b.lhs.len())
+            .then_with(|| a.lhs.cmp(&b.lhs))
+    });
+    o.covered_additions
+        .sort_unstable_by(|a, b| a.0.len().cmp(&b.0.len()).then_with(|| a.0.cmp(&b.0)));
+}
+
+/// Per-consequence covered-set index (Lemma 4(b)): entries bucketed by
+/// their minimum literal, so a candidate `X` scans only the buckets of its
+/// own elements instead of every covered entry — the former linear chain
+/// walk per candidate was quadratic across the lattice. Every non-empty
+/// subset's minimum is an element of `X`, so bucket probing is complete.
+struct CoveredIndex {
+    has_empty: bool,
+    by_min: FxHashMap<Literal, Vec<Vec<Literal>>>,
+}
+
+impl CoveredIndex {
+    /// Indexes the inherited entries carrying consequence `l`.
+    fn new(inherited: &[Covered], l: Literal) -> CoveredIndex {
+        let mut idx = CoveredIndex {
+            has_empty: false,
+            by_min: FxHashMap::default(),
+        };
+        for (cx, cl) in inherited {
+            if *cl == l {
+                idx.insert(cx.clone());
+            }
+        }
+        idx
+    }
+
+    fn insert(&mut self, cx: Vec<Literal>) {
+        match cx.first() {
+            None => self.has_empty = true,
+            Some(&m) => self.by_min.entry(m).or_default().push(cx),
+        }
+    }
+
+    /// Whether some indexed set is a subset of (or equal to) sorted `x`.
+    fn covers(&self, x: &[Literal]) -> bool {
+        if self.has_empty {
+            return true;
+        }
+        x.iter().any(|m| {
+            self.by_min
+                .get(m)
+                .is_some_and(|sets| sets.iter().any(|s| is_subset(s, x)))
+        })
+    }
+}
+
+/// The DFS lattice walker: one stack frame per committed premise literal,
+/// sharing the accumulated LHS bitmap with every descendant through the
+/// evaluator's prefix stack.
+struct LatticeDfs<'a, E: CandidateEvaluator> {
+    eval: &'a mut E,
+    catalog: &'a LiteralCatalog,
+    order: &'a [Literal],
+    l: Literal,
+    cfg: &'a DiscoveryConfig,
+    scratch: &'a mut ClosureScratch,
+    cov: CoveredIndex,
+    o: RhsMineOutcome,
+    negatives: FxHashMap<Vec<Literal>, usize>,
+    /// Current premise set in canonical (sorted) form — enumeration order
+    /// and canonical order differ under selectivity ordering.
+    x: Vec<Literal>,
+}
+
+impl<E: CandidateEvaluator> LatticeDfs<'_, E> {
+    /// Visits the children of the current set: positions `start..` of the
+    /// enumeration order, in **descending** position order. Descending is
+    /// what makes DFS decisions identical to the levelwise frontier: at the
+    /// first position where a proper non-prefix subset diverges from a set,
+    /// the subset takes a *larger* position, so its branch completes before
+    /// the superset's branch starts — every subset is still decided before
+    /// any of its supersets, exactly as in breadth-first order (prefix
+    /// subsets are DFS ancestors). Covered sets of equal size cannot prune
+    /// each other (`is_subset` on equal-length distinct sets fails), so no
+    /// other ordering constraint exists.
+    fn visit_children(&mut self, start: usize, parent_sat_hint: usize) {
+        for pos in (start..self.order.len()).rev() {
+            let cand = self.order[pos];
+            if cand == self.l {
+                continue;
+            }
+            let ins = self.x.partition_point(|&e| e < cand);
+            self.x.insert(ins, cand);
+            self.visit(pos, cand, parent_sat_hint);
+            self.x.remove(ins);
+        }
+    }
+
+    /// Processes the candidate set `self.x` (= committed prefix ∪ `cand`).
+    fn visit(&mut self, pos: usize, cand: Literal, parent_sat_hint: usize) {
+        // Lemma 4(b) + pattern-reduction: skip sets covered by a satisfied
+        // subset (here or on an ancestor pattern).
+        if self.cov.covers(&self.x) {
+            self.o.stats.pruned_covered += 1;
+            return;
+        }
+        // Lemma 4(a): trivial candidates.
+        let closure = self.scratch.of_literals(&self.x);
+        if closure.is_conflicting() || closure.holds(&self.l) {
+            self.o.stats.pruned_trivial += 1;
+            return;
+        }
+
+        self.o.stats.candidates += 1;
+        let fast = self.cfg.enable_pruning;
+        let s = self
+            .eval
+            .eval_child(&self.x, cand, self.l, parent_sat_hint, self.cfg.sigma, fast);
+
+        if s.satisfied() {
+            self.cov.insert(self.x.clone());
+            self.o.covered_additions.push((self.x.clone(), self.l));
+            if s.support >= self.cfg.sigma {
+                self.o.deps.push(MinedDependency {
+                    lhs: self.x.clone(),
+                    rhs: Rhs::Lit(self.l),
+                    support: s.support,
+                    lhs_matches: s.lhs_matches,
+                    violations: 0,
+                });
+                if self.cfg.mine_negative {
+                    nhspawn(
+                        self.eval,
+                        self.catalog,
+                        &self.x,
+                        self.l,
+                        s.support,
+                        &mut self.negatives,
+                        &mut self.o.stats,
+                        self.scratch,
+                    );
+                }
+            }
+            if self.cfg.enable_pruning {
+                return; // no supersets for this l
+            }
+        } else if self.cfg.min_confidence < 1.0
+            && s.support >= self.cfg.sigma
+            && s.confidence() >= self.cfg.min_confidence
+        {
+            // Approximate acceptance: report the minimal premise set and
+            // stop expanding — supersets would be non-reduced.
+            self.o.deps.push(MinedDependency {
+                lhs: self.x.clone(),
+                rhs: Rhs::Lit(self.l),
+                support: s.support,
+                lhs_matches: s.lhs_matches,
+                violations: s.violations,
+            });
+            return;
+        } else if self.cfg.enable_pruning && s.support < self.cfg.sigma {
+            // Lemma 4(c): no superset can reach σ.
+            self.o.stats.pruned_support += 1;
+            return;
+        }
+
+        if self.x.len() < self.cfg.max_lhs_size {
+            // Expanded nodes always took the exact evaluation path (the σ
+            // fast path only fires on branches that `return` above), so
+            // their satisfied-row count is a sound monotone bound for every
+            // child: rows ⊨ child-X ∧ l ⊆ rows ⊨ X ∧ l.
+            let child_hint = if fast {
+                s.lhs_matches - s.violations
+            } else {
+                usize::MAX
+            };
+            self.eval.push_prefix();
+            self.visit_children(pos + 1, child_hint);
+            self.eval.pop_prefix();
+        }
+    }
+}
+
 /// Mines the sub-lattice of one consequence `l` against the inherited
 /// covered set (entries for other consequences are ignored by
 /// construction).
+///
+/// Depth-first with prefix-shared accumulation: each premise set is
+/// evaluated as one AND against its parent's cached accumulator (via
+/// [`CandidateEvaluator::eval_child`]), enumeration follows
+/// `cfg.literal_order`, and output is canonicalised so the result is
+/// bit-identical to the levelwise [`mine_rhs_reference`] under either
+/// order (the test suite pins the two together).
 pub fn mine_rhs_with<E: CandidateEvaluator>(
+    eval: &mut E,
+    catalog: &LiteralCatalog,
+    l: Literal,
+    covered: &[Covered],
+    cfg: &DiscoveryConfig,
+    scratch: &mut ClosureScratch,
+) -> RhsMineOutcome {
+    let mut o = RhsMineOutcome {
+        deps: Vec::new(),
+        covered_additions: Vec::new(),
+        negatives: Vec::new(),
+        stats: HSpawnStats::default(),
+    };
+
+    // Upper bound for every candidate with this consequence.
+    let mut root_bound: Option<CandidateStats> = None;
+    if cfg.enable_pruning {
+        let bound = eval.evaluate(&[], &Rhs::Lit(l));
+        if bound.support < cfg.sigma {
+            o.stats.pruned_support += 1;
+            return o;
+        }
+        root_bound = Some(bound);
+    }
+
+    // Root ∅ — processed exactly as the frontier's level-0 set.
+    let cov = CoveredIndex::new(covered, l);
+    if cov.has_empty {
+        o.stats.pruned_covered += 1;
+        return o;
+    }
+    let closure = scratch.of_literals(&[]);
+    if closure.is_conflicting() || closure.holds(&l) {
+        o.stats.pruned_trivial += 1;
+        return o;
+    }
+    o.stats.candidates += 1;
+    // With pruning on, the σ-bound above *is* the root's evaluation
+    // (deterministic evaluator, identical stats) — reuse it, saving a scan.
+    let s = match root_bound {
+        Some(b) => b,
+        None => eval.evaluate(&[], &Rhs::Lit(l)),
+    };
+
+    let order = catalog.premise_order(cfg.literal_order);
+    let mut dfs = LatticeDfs {
+        eval,
+        catalog,
+        order: &order,
+        l,
+        cfg,
+        scratch,
+        cov,
+        o,
+        negatives: FxHashMap::default(),
+        x: Vec::new(),
+    };
+
+    let mut expand_root = true;
+    if s.satisfied() {
+        dfs.cov.insert(Vec::new());
+        dfs.o.covered_additions.push((Vec::new(), l));
+        if s.support >= cfg.sigma {
+            dfs.o.deps.push(MinedDependency {
+                lhs: Vec::new(),
+                rhs: Rhs::Lit(l),
+                support: s.support,
+                lhs_matches: s.lhs_matches,
+                violations: 0,
+            });
+            if cfg.mine_negative {
+                nhspawn(
+                    dfs.eval,
+                    catalog,
+                    &[],
+                    l,
+                    s.support,
+                    &mut dfs.negatives,
+                    &mut dfs.o.stats,
+                    dfs.scratch,
+                );
+            }
+        }
+        if cfg.enable_pruning {
+            expand_root = false;
+        }
+    } else if cfg.min_confidence < 1.0
+        && s.support >= cfg.sigma
+        && s.confidence() >= cfg.min_confidence
+    {
+        dfs.o.deps.push(MinedDependency {
+            lhs: Vec::new(),
+            rhs: Rhs::Lit(l),
+            support: s.support,
+            lhs_matches: s.lhs_matches,
+            violations: s.violations,
+        });
+        expand_root = false;
+    } else if cfg.enable_pruning && s.support < cfg.sigma {
+        dfs.o.stats.pruned_support += 1;
+        expand_root = false;
+    }
+
+    if expand_root && cfg.max_lhs_size > 0 {
+        let hint = if cfg.enable_pruning {
+            s.lhs_matches - s.violations
+        } else {
+            usize::MAX
+        };
+        dfs.eval.begin_rhs();
+        dfs.visit_children(0, hint);
+    }
+
+    let mut o = dfs.o;
+    // gfd-lint: allow(nondeterminism) — drained into a Vec that is fully sorted on the next line; hash order never escapes
+    let mut negatives: Vec<(Vec<Literal>, usize)> = dfs.negatives.into_iter().collect();
+    negatives.sort_unstable();
+    o.negatives = negatives;
+    canonicalize(&mut o);
+    o
+}
+
+/// The levelwise frontier implementation of [`mine_rhs_with`] — the
+/// original algorithm, kept verbatim (linear covered scans, full LHS
+/// re-accumulation per candidate) as the equivalence oracle for the
+/// DFS/prefix-shared path. It honours the same enumeration order and the
+/// same output canonicalisation, so `mine_rhs_with` must reproduce it bit
+/// for bit.
+pub fn mine_rhs_reference<E: CandidateEvaluator>(
     eval: &mut E,
     catalog: &LiteralCatalog,
     l: Literal,
@@ -330,13 +723,17 @@ pub fn mine_rhs_with<E: CandidateEvaluator>(
         }
     }
 
+    let order = catalog.premise_order(cfg.literal_order);
     let mut negatives: FxHashMap<Vec<Literal>, usize> = FxHashMap::default();
-    let mut frontier: Vec<Vec<Literal>> = vec![Vec::new()];
+    // Frontier sets as ascending positions into the enumeration order.
+    let mut frontier: Vec<Vec<usize>> = vec![Vec::new()];
     let mut level = 0usize;
 
     while !frontier.is_empty() && level <= cfg.max_lhs_size {
-        let mut next: Vec<Vec<Literal>> = Vec::new();
-        for x in frontier {
+        let mut next: Vec<Vec<usize>> = Vec::new();
+        for xp in frontier {
+            let mut x: Vec<Literal> = xp.iter().map(|&p| order[p]).collect();
+            x.sort_unstable();
             // Lemma 4(b) + pattern-reduction: skip sets covered by a
             // satisfied subset (here or on an ancestor pattern).
             if covered
@@ -355,6 +752,7 @@ pub fn mine_rhs_with<E: CandidateEvaluator>(
             }
 
             o.stats.candidates += 1;
+            // gfd-lint: allow(perf) — the BFS reference is deliberately the unshared full-set evaluation the DFS is proptested against
             let s = eval.evaluate(&x, &Rhs::Lit(l));
 
             if s.satisfied() {
@@ -406,8 +804,18 @@ pub fn mine_rhs_with<E: CandidateEvaluator>(
                 continue;
             }
 
-            if x.len() < cfg.max_lhs_size {
-                expand(&x, catalog, l, &mut next);
+            if xp.len() < cfg.max_lhs_size {
+                // Canonical expansion: extend only past the maximum
+                // position so every set is generated exactly once.
+                let start = xp.last().map_or(0, |&p| p + 1);
+                for (p, &lit) in order.iter().enumerate().skip(start) {
+                    if lit == l {
+                        continue;
+                    }
+                    let mut child = xp.clone();
+                    child.push(p);
+                    next.push(child);
+                }
             }
         }
         frontier = next;
@@ -418,26 +826,8 @@ pub fn mine_rhs_with<E: CandidateEvaluator>(
     let mut negatives: Vec<(Vec<Literal>, usize)> = negatives.into_iter().collect();
     negatives.sort_unstable();
     o.negatives = negatives;
+    canonicalize(&mut o);
     o
-}
-
-/// Canonical expansion: append only literals greater than the current
-/// maximum so every set is generated exactly once.
-fn expand(x: &[Literal], catalog: &LiteralCatalog, l: Literal, next: &mut Vec<Vec<Literal>>) {
-    let floor = x.last().copied();
-    for &cand in &catalog.literals {
-        if cand == l {
-            continue;
-        }
-        if let Some(f) = floor {
-            if cand <= f {
-                continue;
-            }
-        }
-        let mut child = x.to_vec();
-        child.push(cand);
-        next.push(child);
-    }
 }
 
 /// `NHSpawn` (§5.1): from the σ-frequent verified base `Q(X → l)`, test
@@ -457,6 +847,7 @@ fn nhspawn<E: CandidateEvaluator>(
         if extra == l || x.contains(&extra) {
             continue;
         }
+        // gfd-lint: allow(perf) — the map key must own its premise set; X' is rebuilt per extra literal by construction
         let mut x2 = x.to_vec();
         x2.push(extra);
         x2.sort_unstable();

@@ -37,12 +37,12 @@ pub mod vspawn;
 
 pub use bitmap::BitmapIndex;
 pub use catalog::{CatalogCounts, LiteralCatalog};
-pub use config::DiscoveryConfig;
+pub use config::{DiscoveryConfig, LiteralOrder};
 pub use gentree::{GenNode, GenTree, Inserted, NodeState};
 pub use hspawn::{
-    finish_negatives, merge_rhs_outcome, mine_dependencies, mine_dependencies_with, mine_rhs_with,
-    CandidateEvaluator, Covered, HSpawnStats, MinedDependency, RangeEvaluator, RhsMineOutcome,
-    TableEvaluator,
+    finish_negatives, merge_rhs_outcome, mine_dependencies, mine_dependencies_with,
+    mine_rhs_reference, mine_rhs_with, CandidateEvaluator, Covered, HSpawnStats, MinedDependency,
+    RangeEvaluator, RhsMineOutcome, TableEvaluator,
 };
 pub use result::{DiscoveredGfd, DiscoveryResult, DiscoveryStats};
 pub use seqcover::{cover_indices, seq_cover, seq_cover_discovered};
@@ -50,7 +50,7 @@ pub use seqdis::{seq_dis, seq_dis_with_tree};
 pub use support::{distinct_pivots, evaluate, lhs_satisfiable, CandidateStats, PartialStats};
 pub use table::MatchTable;
 pub use vspawn::{
-    harvest, harvest_range, harvest_range_reference, proposals_from_harvest, propose_extensions,
-    propose_negative_extensions, Dir, ExtensionProposals, PivotAcc, ProposalAccumulator,
-    RawHarvest,
+    harvest, harvest_range, harvest_range_cached, harvest_range_reference, proposals_from_harvest,
+    propose_extensions, propose_negative_extensions, Dir, ExtensionProposals, PivotAcc,
+    ProposalAccumulator, RawHarvest, SignatureCache,
 };

@@ -81,6 +81,12 @@ pub struct DiscoveryStats {
     /// visited by the harvest — a pure function of the input, gated in CI
     /// against the checked-in benchmark value.
     pub spawning_work: u64,
+    /// Deterministic lattice-evaluation work: bitmap words ANDed +
+    /// popcounted by the sequential miner's candidate evaluation — a pure
+    /// function of the input, gated in CI against the checked-in benchmark
+    /// value. Parallel runs report `0` (their evaluation work is metered
+    /// per work unit by the scheduler's cost model instead).
+    pub evaluation_work: u64,
     /// Wall time in dependency validation (table build + literal harvest +
     /// lattice evaluation).
     pub validation_time: Duration,

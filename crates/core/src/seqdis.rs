@@ -21,11 +21,13 @@ use gfd_pattern::{extend_matches, is_embedded, MatchSet, PLabel, Pattern};
 use crate::catalog::LiteralCatalog;
 use crate::config::DiscoveryConfig;
 use crate::gentree::{GenTree, Inserted, NodeState};
-use crate::hspawn::mine_dependencies;
+use crate::hspawn::{mine_dependencies_with, CandidateEvaluator, TableEvaluator};
 use crate::result::{DiscoveredGfd, DiscoveryResult};
 use crate::support::distinct_pivots;
 use crate::table::MatchTable;
-use crate::vspawn::{harvest, proposals_from_harvest, propose_negative_extensions};
+use crate::vspawn::{
+    harvest_range_cached, proposals_from_harvest, propose_negative_extensions, SignatureCache,
+};
 
 /// Runs sequential discovery, returning the mined set `Σ` and the
 /// generation tree (consumed by cover computation and `ParCover` grouping).
@@ -37,6 +39,9 @@ pub fn seq_dis_with_tree(g: &Graph, cfg: &DiscoveryConfig) -> (DiscoveryResult, 
     let mut result = DiscoveryResult::default();
     // Patterns of emitted `(∅ → false)` negatives: minimality filter.
     let mut negative_patterns: Vec<Pattern> = Vec::new();
+    // Node-signature summaries memoise across every pattern of the run —
+    // the graph is frozen, so they never invalidate.
+    let mut sig_cache = SignatureCache::default();
 
     // Cold start (§5.1): single-node patterns for σ-frequent labels, plus
     // the wildcard root when upgrades are enabled.
@@ -84,7 +89,8 @@ pub fn seq_dis_with_tree(g: &Graph, cfg: &DiscoveryConfig) -> (DiscoveryResult, 
                     continue;
                 };
                 let t0 = Instant::now();
-                let mut raw = harvest(&parent.pattern, ms, g, cfg);
+                let mut raw =
+                    harvest_range_cached(&parent.pattern, ms, g, cfg, 0, ms.len(), &mut sig_cache);
                 result.stats.spawning_work += raw.work;
                 result.stats.spawning_harvest_time += t0.elapsed();
                 let t1 = Instant::now();
@@ -280,7 +286,9 @@ fn mine_node(
     result.stats.catalog_time += t0.elapsed();
     let t1 = Instant::now();
     let mut covered = std::mem::take(&mut tree.node_mut(id).covered);
-    let (deps, hstats) = mine_dependencies(&table, &catalog, &mut covered, cfg);
+    let mut eval = TableEvaluator::new(&table);
+    let (deps, hstats) = mine_dependencies_with(&mut eval, &catalog, &mut covered, cfg);
+    result.stats.evaluation_work += eval.work();
     result.stats.lattice_time += t1.elapsed();
     tree.node_mut(id).covered = covered;
     result.stats.hspawn.merge(&hstats);

@@ -249,13 +249,89 @@ pub fn harvest(q: &Pattern, ms: &MatchSet, g: &Graph, cfg: &DiscoveryConfig) -> 
 }
 
 /// One distinct extension signature of a node, from its label-run summary.
-#[derive(Clone, Copy)]
+#[derive(Clone, Copy, Debug)]
 struct SigEntry {
     dir: Dir,
     el: LabelId,
     nl: LabelId,
     /// Distinct neighbours carrying the signature.
     cnt: u32,
+}
+
+/// A cached node-signature span in a [`SignatureCache`] arena.
+#[derive(Clone, Copy, Debug)]
+struct SigSpan {
+    start: u32,
+    end: u32,
+    /// Adjacency work the summary originally cost — re-charged on every
+    /// per-call first hit so [`RawHarvest::work`] stays a pure function of
+    /// `(Q, rows, G)`, independent of cache state.
+    work: u64,
+    /// Last call that charged this span (one charge per call, matching the
+    /// once-per-distinct-image accounting of an uncached harvest).
+    stamp: u32,
+}
+
+/// Generation-scoped memo of node extension signatures. The graph is
+/// frozen for the whole discovery run, so per-(node, label) run summaries
+/// never invalidate: the sequential miner keeps one cache across every
+/// pattern, and each work-stealing worker keeps one across every harvest
+/// unit it executes. Cache state never leaks into results *or* work
+/// accounting — a cache hit recharges the span's original cost, so
+/// [`harvest_range_cached`] returns bit-identical harvests (including
+/// `work`) to a cold [`harvest_range`].
+#[derive(Debug, Default)]
+pub struct SignatureCache {
+    arena: Vec<SigEntry>,
+    spans: FxHashMap<NodeId, SigSpan>,
+    call: u32,
+}
+
+impl SignatureCache {
+    /// Starts a new harvest call: spans charge their work once per call.
+    fn begin_call(&mut self) {
+        if self.call == u32::MAX {
+            // gfd-lint: allow(nondeterminism) — uniform stamp reset over every span; visit order cannot matter
+            for sp in self.spans.values_mut() {
+                sp.stamp = 0;
+            }
+            self.call = 0;
+        }
+        self.call += 1;
+    }
+
+    /// The cached span for `n`, summarising on first sight. `work` is
+    /// charged exactly once per call per node, hit or miss.
+    fn lookup_or_insert(&mut self, g: &Graph, n: NodeId, work: &mut u64) -> (u32, u32) {
+        if let Some(sp) = self.spans.get_mut(&n) {
+            if sp.stamp != self.call {
+                sp.stamp = self.call;
+                *work += sp.work;
+            }
+            return (sp.start, sp.end);
+        }
+        let start = self.arena.len() as u32;
+        let before = *work;
+        node_signature(g, n, &mut self.arena, work);
+        let sp = SigSpan {
+            start,
+            end: self.arena.len() as u32,
+            work: *work - before,
+            stamp: self.call,
+        };
+        self.spans.insert(n, sp);
+        (sp.start, sp.end)
+    }
+
+    /// Distinct nodes summarised so far.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether nothing has been summarised yet.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
 }
 
 /// Appends `n`'s incident extension signatures to the arena, from its
@@ -332,6 +408,23 @@ pub fn harvest_range(
     lo: usize,
     hi: usize,
 ) -> RawHarvest {
+    // A fresh cache reproduces the historical uncached behaviour exactly.
+    harvest_range_cached(q, ms, g, cfg, lo, hi, &mut SignatureCache::default())
+}
+
+/// [`harvest_range`] with a generation-scoped [`SignatureCache`]: node
+/// summaries computed for earlier patterns (or earlier ranges) are reused
+/// instead of re-walking the adjacency runs. Output — including the
+/// deterministic `work` — is bit-identical to the uncached call.
+pub fn harvest_range_cached(
+    q: &Pattern,
+    ms: &MatchSet,
+    g: &Graph,
+    cfg: &DiscoveryConfig,
+    lo: usize,
+    hi: usize,
+    cache: &mut SignatureCache,
+) -> RawHarvest {
     assert!(lo <= hi && hi <= ms.len(), "range out of bounds");
     let mut raw = RawHarvest::default();
     let can_grow = q.node_count() < cfg.k;
@@ -339,14 +432,12 @@ pub fn harvest_range(
     let arity = q.node_count();
     let rows = hi - lo;
     raw.work += rows as u64;
+    cache.begin_call();
 
     // Pivot image per row (the pivot column runs in row order, which the
     // adjacent-duplicate collapse below exploits).
     let pivots: Vec<NodeId> = (lo..hi).map(|i| ms.get(i)[pivot]).collect();
 
-    // Each distinct image is summarised once per call, into one arena.
-    let mut sig_arena: Vec<SigEntry> = Vec::new();
-    let mut sig_spans: FxHashMap<NodeId, (u32, u32)> = FxHashMap::default();
     // Per-other-variable pair cache: edges between the anchor image and a
     // bound image are probed once per *run* of equal endpoints, not per
     // row (incremental joins emit rows in parent order, so images run).
@@ -364,16 +455,7 @@ pub fn harvest_range(
             }
 
             let span = if can_grow {
-                match sig_spans.get(&n) {
-                    Some(&s) => s,
-                    None => {
-                        let a = sig_arena.len() as u32;
-                        node_signature(g, n, &mut sig_arena, &mut raw.work);
-                        let s = (a, sig_arena.len() as u32);
-                        sig_spans.insert(n, s);
-                        s
-                    }
-                }
+                cache.lookup_or_insert(g, n, &mut raw.work)
             } else {
                 (0, 0) // closing proposals only: no new-node signatures
             };
@@ -438,7 +520,7 @@ pub fn harvest_range(
 
             // Bulk new-node proposals: a row exhibits a signature unless
             // its bound edges cover every neighbour carrying it.
-            let signature = &sig_arena[span.0 as usize..span.1 as usize];
+            let signature = &cache.arena[span.0 as usize..span.1 as usize];
             let mut slices: Vec<&[NodeId]> = Vec::new();
             for s in signature {
                 slices.clear();
@@ -937,6 +1019,38 @@ mod tests {
             assert_eq!(a.frequent, b.frequent, "pattern {src}-{edge}->{dst}");
             assert_eq!(a.seen, b.seen, "pattern {src}-{edge}->{dst}");
         }
+    }
+
+    /// A warm signature cache — shared across patterns and repeated calls —
+    /// must reproduce the cold harvest bit for bit, including `work`.
+    #[test]
+    fn warm_signature_cache_matches_cold_harvest() {
+        let g = kb();
+        let mut cache = SignatureCache::default();
+        let c = cfg(1);
+        for _round in 0..2 {
+            for (src, edge, dst) in [
+                ("person", "create", "product"),
+                ("product", "receive", "award"),
+                ("person", "parent", "person"),
+            ] {
+                let q = Pattern::edge(
+                    PLabel::Is(g.interner().label(src)),
+                    PLabel::Is(g.interner().label(edge)),
+                    PLabel::Is(g.interner().label(dst)),
+                );
+                let ms = find_all(&q, &g);
+                let mut cold = harvest(&q, &ms, &g, &c);
+                let mut warm = harvest_range_cached(&q, &ms, &g, &c, 0, ms.len(), &mut cache);
+                assert_eq!(cold.work, warm.work, "pattern {src}-{edge}->{dst}");
+                let a = proposals_from_harvest(&mut cold, &c);
+                let b = proposals_from_harvest(&mut warm, &c);
+                assert_eq!(a.frequent, b.frequent, "pattern {src}-{edge}->{dst}");
+                assert_eq!(a.seen, b.seen, "pattern {src}-{edge}->{dst}");
+            }
+        }
+        assert!(!cache.is_empty());
+        assert!(!cache.is_empty());
     }
 
     #[test]

@@ -1,0 +1,302 @@
+//! Equivalence suite for the literal lattice: the prefix-shared DFS miner
+//! (`mine_rhs_with` behind `mine_dependencies_with`) must reproduce the
+//! levelwise BFS reference (`mine_rhs_reference`) bit for bit — deps,
+//! covered additions, negatives, and counters — on random small graphs ×
+//! random patterns × random configs, under **both** literal orders,
+//! with pruning on and off, and with approximate acceptance
+//! (`min_confidence < 1`). Across the two orders, the exact positive rule
+//! set must also agree (approximate acceptance legitimately truncates
+//! different branches per order, so cross-order equality is asserted only
+//! at `min_confidence == 1`).
+
+use gfd_core::{
+    finish_negatives, merge_rhs_outcome, mine_dependencies_with, mine_rhs_reference, Covered,
+    DiscoveryConfig, HSpawnStats, LiteralCatalog, LiteralOrder, MatchTable, MinedDependency,
+    TableEvaluator,
+};
+use gfd_graph::{FxHashMap, Graph, GraphBuilder, NodeId};
+use gfd_logic::{ClosureScratch, Literal, Rhs};
+use gfd_pattern::{find_all, MatchSet, PEdge, PLabel, Pattern};
+use proptest::prelude::*;
+
+const NODE_LABELS: usize = 2;
+const EDGE_LABELS: usize = 2;
+const ATTRS: usize = 3;
+const VALUES: usize = 3;
+
+/// A graph blueprint: node labels, attribute values, and labelled edges.
+#[derive(Clone, Debug)]
+struct ProtoGraph {
+    nodes: Vec<usize>,
+    /// Per node: `attrs[a] = Some(v)` sets attribute `a` to value `v`.
+    attrs: Vec<Vec<Option<usize>>>,
+    edges: Vec<(usize, usize, usize)>,
+}
+
+/// A pattern blueprint: `None` labels are wildcards.
+#[derive(Clone, Debug)]
+struct ProtoPattern {
+    nodes: Vec<Option<usize>>,
+    edges: Vec<(usize, usize, Option<usize>)>,
+    pivot: usize,
+}
+
+/// Discovery-config knobs the lattice depends on.
+#[derive(Clone, Debug)]
+struct ProtoCfg {
+    sigma: usize,
+    max_lhs: usize,
+    enable_pruning: bool,
+    mine_negative: bool,
+    /// `None` → exact (`min_confidence = 1`), `Some(c)` → approximate.
+    confidence: Option<f64>,
+}
+
+fn graph_strategy() -> impl Strategy<Value = ProtoGraph> {
+    (2usize..=6).prop_flat_map(|n| {
+        (
+            prop::collection::vec(0usize..NODE_LABELS, n..=n),
+            prop::collection::vec(
+                prop::collection::vec(prop::option::of(0usize..VALUES), ATTRS..=ATTRS),
+                n..=n,
+            ),
+            prop::collection::vec((0usize..n, 0usize..n, 0usize..EDGE_LABELS), 0..=10),
+        )
+            .prop_map(|(nodes, attrs, edges)| ProtoGraph {
+                nodes,
+                attrs,
+                edges,
+            })
+    })
+}
+
+fn pattern_strategy() -> impl Strategy<Value = ProtoPattern> {
+    (1usize..=3).prop_flat_map(|n| {
+        (
+            prop::collection::vec(prop::option::of(0usize..NODE_LABELS), n..=n),
+            prop::collection::vec(
+                (0usize..n, 0usize..n, prop::option::of(0usize..EDGE_LABELS)),
+                0..=3,
+            ),
+            0usize..n,
+        )
+            .prop_map(|(nodes, edges, pivot)| ProtoPattern {
+                nodes,
+                edges,
+                pivot,
+            })
+    })
+}
+
+fn cfg_strategy() -> impl Strategy<Value = ProtoCfg> {
+    (
+        1usize..=3,
+        0usize..=3,
+        prop_oneof![Just(false), Just(true)],
+        prop_oneof![Just(false), Just(true)],
+        prop_oneof![Just(None), Just(Some(0.5)), Just(Some(0.8))],
+    )
+        .prop_map(
+            |(sigma, max_lhs, enable_pruning, mine_negative, confidence)| ProtoCfg {
+                sigma,
+                max_lhs,
+                enable_pruning,
+                mine_negative,
+                confidence,
+            },
+        )
+}
+
+fn build_graph(p: &ProtoGraph) -> Graph {
+    let mut b = GraphBuilder::new();
+    let ids: Vec<NodeId> = p
+        .nodes
+        .iter()
+        .map(|&l| b.add_node(&format!("L{l}")))
+        .collect();
+    for (i, attrs) in p.attrs.iter().enumerate() {
+        for (a, v) in attrs.iter().enumerate() {
+            if let Some(v) = v {
+                b.set_attr(ids[i], &format!("a{a}"), format!("v{v}").as_str());
+            }
+        }
+    }
+    for &(s, d, l) in &p.edges {
+        b.add_edge(ids[s], ids[d], &format!("r{l}"));
+    }
+    b.build()
+}
+
+fn build_pattern(p: &ProtoPattern, g: &Graph) -> Pattern {
+    let nl = |l: Option<usize>| match l {
+        Some(i) => PLabel::Is(g.interner().label(&format!("L{i}"))),
+        None => PLabel::Wildcard,
+    };
+    let el = |l: Option<usize>| match l {
+        Some(i) => PLabel::Is(g.interner().label(&format!("r{i}"))),
+        None => PLabel::Wildcard,
+    };
+    Pattern::new(
+        p.nodes.iter().map(|&l| nl(l)).collect(),
+        p.edges
+            .iter()
+            .map(|&(s, d, l)| PEdge {
+                src: s,
+                dst: d,
+                label: el(l),
+            })
+            .collect(),
+        p.pivot,
+    )
+}
+
+fn build_cfg(p: &ProtoCfg, order: LiteralOrder) -> DiscoveryConfig {
+    let mut cfg = DiscoveryConfig::new(3, p.sigma);
+    cfg.max_lhs_size = p.max_lhs;
+    cfg.enable_pruning = p.enable_pruning;
+    cfg.mine_negative = p.mine_negative;
+    cfg.min_confidence = p.confidence.unwrap_or(1.0);
+    cfg.values_per_attr = VALUES;
+    cfg.literal_order = order;
+    cfg
+}
+
+/// The shared setup of `mine_node`: match table and capped catalog.
+fn table_and_catalog(
+    q: &Pattern,
+    ms: &MatchSet,
+    g: &Graph,
+    cfg: &DiscoveryConfig,
+) -> (MatchTable, LiteralCatalog) {
+    let attrs = cfg.resolve_active_attrs(g);
+    let table = MatchTable::build(q, ms, g, &attrs);
+    let catalog = LiteralCatalog::harvest_capped(
+        &table,
+        cfg.values_per_attr,
+        cfg.sigma.min(ms.len()),
+        cfg.max_catalog_literals,
+    );
+    (table, catalog)
+}
+
+/// Full lattice via the prefix-shared DFS (the production path).
+fn mine_dfs(
+    table: &MatchTable,
+    catalog: &LiteralCatalog,
+    cfg: &DiscoveryConfig,
+) -> (Vec<MinedDependency>, Vec<Covered>, HSpawnStats) {
+    let mut covered: Vec<Covered> = Vec::new();
+    let mut eval = TableEvaluator::new(table);
+    let (deps, stats) = mine_dependencies_with(&mut eval, catalog, &mut covered, cfg);
+    (deps, covered, stats)
+}
+
+/// Full lattice via the levelwise BFS reference, through the same
+/// per-consequence merge the production drivers use.
+fn mine_bfs(
+    table: &MatchTable,
+    catalog: &LiteralCatalog,
+    cfg: &DiscoveryConfig,
+) -> (Vec<MinedDependency>, Vec<Covered>, HSpawnStats) {
+    let mut covered: Vec<Covered> = Vec::new();
+    let mut deps: Vec<MinedDependency> = Vec::new();
+    let mut stats = HSpawnStats::default();
+    let mut negatives: FxHashMap<Vec<Literal>, usize> = FxHashMap::default();
+    let mut scratch = ClosureScratch::new();
+    let mut eval = TableEvaluator::new(table);
+    for &l in &catalog.literals {
+        let o = mine_rhs_reference(&mut eval, catalog, l, &covered.clone(), cfg, &mut scratch);
+        merge_rhs_outcome(o, &mut deps, &mut covered, &mut negatives, &mut stats);
+    }
+    finish_negatives(negatives, &mut deps);
+    (deps, covered, stats)
+}
+
+fn render_deps(deps: &[MinedDependency]) -> Vec<String> {
+    deps.iter()
+        .map(|d| {
+            format!(
+                "{:?} -> {:?} supp={} lhs={} viol={}",
+                d.lhs, d.rhs, d.support, d.lhs_matches, d.violations
+            )
+        })
+        .collect()
+}
+
+fn render_covered(covered: &[Covered]) -> Vec<String> {
+    covered.iter().map(|c| format!("{c:?}")).collect()
+}
+
+proptest! {
+    // Each case mines two full lattices over a freshly matched random
+    // pattern; 48 cases keeps the suite a few tens of seconds in debug CI.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The DFS lattice reproduces the BFS reference bit for bit — deps,
+    /// covered additions, negatives, and counters — under both literal
+    /// orders, exact and approximate.
+    #[test]
+    fn dfs_matches_bfs_reference(
+        pg in graph_strategy(),
+        pq in pattern_strategy(),
+        pc in cfg_strategy(),
+        selectivity in prop_oneof![Just(false), Just(true)],
+    ) {
+        let g = build_graph(&pg);
+        let q = build_pattern(&pq, &g);
+        let ms = find_all(&q, &g);
+        prop_assume!(!ms.is_empty());
+        let order = if selectivity { LiteralOrder::Selectivity } else { LiteralOrder::Catalog };
+        let cfg = build_cfg(&pc, order);
+        let (table, catalog) = table_and_catalog(&q, &ms, &g, &cfg);
+        prop_assume!(!catalog.literals.is_empty());
+
+        let (d1, c1, s1) = mine_dfs(&table, &catalog, &cfg);
+        let (d2, c2, s2) = mine_bfs(&table, &catalog, &cfg);
+        prop_assert_eq!(render_deps(&d1), render_deps(&d2),
+            "deps diverge: graph {:?} pattern {:?} cfg {:?} order {:?}", pg, pq, pc, order);
+        prop_assert_eq!(render_covered(&c1), render_covered(&c2),
+            "covered diverges: graph {:?} pattern {:?} cfg {:?} order {:?}", pg, pq, pc, order);
+        prop_assert_eq!(format!("{s1:?}"), format!("{s2:?}"),
+            "stats diverge: graph {:?} pattern {:?} cfg {:?} order {:?}", pg, pq, pc, order);
+    }
+
+    /// Exact mining emits the same positive rule set whichever way the
+    /// premise literals are ordered (selectivity ordering is a pure
+    /// traversal choice; canonicalisation makes the emission order equal
+    /// too). Covered sets and negatives may legitimately differ — which
+    /// satisfied-but-infrequent sets get *visited* is order-dependent.
+    #[test]
+    fn literal_orders_agree_on_exact_rules(
+        pg in graph_strategy(),
+        pq in pattern_strategy(),
+        sigma in 1usize..=3,
+        max_lhs in 0usize..=3,
+        pruning in prop_oneof![Just(false), Just(true)],
+    ) {
+        let g = build_graph(&pg);
+        let q = build_pattern(&pq, &g);
+        let ms = find_all(&q, &g);
+        prop_assume!(!ms.is_empty());
+        let pc = ProtoCfg {
+            sigma,
+            max_lhs,
+            enable_pruning: pruning,
+            mine_negative: false,
+            confidence: None,
+        };
+        let cfg_cat = build_cfg(&pc, LiteralOrder::Catalog);
+        let cfg_sel = build_cfg(&pc, LiteralOrder::Selectivity);
+        let (table, catalog) = table_and_catalog(&q, &ms, &g, &cfg_cat);
+        prop_assume!(!catalog.literals.is_empty());
+
+        let (d_cat, _, _) = mine_dfs(&table, &catalog, &cfg_cat);
+        let (d_sel, _, _) = mine_dfs(&table, &catalog, &cfg_sel);
+        let pos = |deps: &[MinedDependency]| {
+            render_deps(&deps.iter().filter(|d| d.rhs != Rhs::False).cloned().collect::<Vec<_>>())
+        };
+        prop_assert_eq!(pos(&d_cat), pos(&d_sel),
+            "orders disagree: graph {:?} pattern {:?} sigma {} max_lhs {} pruning {}",
+            pg, pq, sigma, max_lhs, pruning);
+    }
+}

@@ -533,7 +533,11 @@ impl SimulatedCost {
 // ---------------------------------------------------------------------------
 
 /// Allocation-churn calls inside per-row/per-edge loops of the matcher
-/// and harvest hot paths: `Arc::clone`, `.to_vec()`, `format!`.
+/// and harvest hot paths (`Arc::clone`, `.to_vec()`, `format!`), and
+/// full-LHS re-accumulation inside lattice loops (`evaluate`/
+/// `accumulate_lhs` per visited node re-ANDs the whole premise set; the
+/// prefix-shared stack ANDs one literal against the cached parent
+/// accumulator instead).
 pub struct PerfHotLoop;
 
 impl Rule for PerfHotLoop {
@@ -542,29 +546,42 @@ impl Rule for PerfHotLoop {
     }
 
     fn describe(&self) -> &'static str {
-        "Arc::clone/.to_vec()/format! inside loops of the matcher and harvest hot paths"
+        "Arc::clone/.to_vec()/format! in matcher/harvest loops; full-LHS re-accumulation in lattice loops"
     }
 
     fn check(&self, ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
         if !in_scope(
             ctx,
             self.name(),
-            &["crates/pattern/src/matcher.rs", "crates/core/src/vspawn.rs"],
+            &[
+                "crates/pattern/src/matcher.rs",
+                "crates/core/src/vspawn.rs",
+                "crates/core/src/hspawn.rs",
+                "crates/core/src/bitmap.rs",
+            ],
         ) {
             return;
         }
         // Brace-frame tracking: a frame opened after for/while/loop is a
         // loop body; any enclosing loop frame puts us on a per-row path.
+        // The `for` of an `impl Trait for Type` header is not a loop.
         let mut frames: Vec<bool> = Vec::new();
         let mut pending_loop = false;
+        let mut impl_header = false;
         for ci in 0..ctx.code_len() {
             let t = ctx.ctok(ci);
             match t.text {
+                "impl" if t.kind == TokKind::Ident => impl_header = true,
+                "for" if t.kind == TokKind::Ident && impl_header => {}
                 "for" | "while" | "loop" if t.kind == TokKind::Ident => pending_loop = true,
-                ";" => pending_loop = false,
+                ";" => {
+                    pending_loop = false;
+                    impl_header = false;
+                }
                 "{" => {
                     frames.push(pending_loop);
                     pending_loop = false;
+                    impl_header = false;
                 }
                 "}" => {
                     frames.pop();
@@ -584,6 +601,15 @@ impl Rule for PerfHotLoop {
                 Some("`Arc::clone` bumps a shared refcount per iteration")
             } else if t.text == "." && ctx.ct(ci + 1) == "to_vec" && ctx.ct(ci + 2) == "(" {
                 Some("`.to_vec()` copies per iteration")
+            } else if (t.text == "evaluate" || t.text == "accumulate_lhs")
+                && t.kind == TokKind::Ident
+                && ctx.ct(ci + 1) == "("
+                && (ci == 0 || ctx.ct(ci - 1) != "fn")
+            {
+                Some(
+                    "full-LHS re-accumulation per lattice node — the prefix stack \
+                     (`stack_eval_child`) ANDs one literal against the cached parent accumulator",
+                )
             } else {
                 None
             };

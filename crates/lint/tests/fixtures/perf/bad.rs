@@ -12,3 +12,22 @@ pub fn churn(rows: &[u32], shared: &Arc<Vec<u32>>) -> Vec<String> {
     }
     out
 }
+
+/// Full-LHS re-accumulation: every visited lattice node re-ANDs the whole
+/// premise set from scratch instead of extending the parent accumulator.
+pub fn relattice(premises: &[u32]) -> u32 {
+    let mut total = 0;
+    for cand in premises {
+        total += evaluate(premises, *cand);
+        total += accumulate_lhs(premises);
+    }
+    total
+}
+
+fn evaluate(xs: &[u32], cand: u32) -> u32 {
+    xs.iter().fold(cand, |a, b| a & b)
+}
+
+fn accumulate_lhs(xs: &[u32]) -> u32 {
+    xs.iter().fold(u32::MAX, |a, b| a & b)
+}

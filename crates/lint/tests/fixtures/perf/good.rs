@@ -12,3 +12,15 @@ pub fn hoisted(rows: &[u32], shared: &Arc<Vec<u32>>) -> Vec<usize> {
     }
     out
 }
+
+/// Prefix-shared accumulation: each child is one AND against the cached
+/// parent accumulator (the `stack_eval_child` shape), never a re-fold of
+/// the whole premise set inside the loop.
+pub fn prefix_shared(premises: &[u32]) -> u32 {
+    let parent_acc = premises.iter().fold(u32::MAX, |a, b| a & b);
+    let mut total = 0;
+    for cand in premises {
+        total += parent_acc & cand;
+    }
+    total
+}

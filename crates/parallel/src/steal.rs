@@ -64,11 +64,11 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use crossbeam::deque::{Injector, Steal};
 use gfd_core::{
-    finish_negatives, harvest_range, merge_rhs_outcome, mine_dependencies_with, mine_rhs_with,
-    proposals_from_harvest, propose_negative_extensions, BitmapIndex, CandidateEvaluator,
-    CandidateStats, CatalogCounts, Covered, DiscoveredGfd, DiscoveryConfig, DiscoveryResult,
-    GenTree, HSpawnStats, Inserted, LiteralCatalog, MatchTable, MinedDependency, NodeState,
-    PartialStats, ProposalAccumulator, RhsMineOutcome,
+    finish_negatives, harvest_range_cached, merge_rhs_outcome, mine_dependencies_with,
+    mine_rhs_with, proposals_from_harvest, propose_negative_extensions, BitmapIndex,
+    CandidateEvaluator, CandidateStats, CatalogCounts, Covered, DiscoveredGfd, DiscoveryConfig,
+    DiscoveryResult, GenTree, HSpawnStats, Inserted, LiteralCatalog, MatchTable, MinedDependency,
+    NodeState, PartialStats, ProposalAccumulator, RhsMineOutcome, SignatureCache,
 };
 use gfd_graph::{triple_stats, AttrId, FxHashMap, Graph, NodeId};
 use gfd_logic::ClosureScratch;
@@ -90,6 +90,16 @@ use crate::partition::split_ranges;
 /// a little over-splitting gives the stealer something to grab when
 /// per-range costs are uneven.
 const RANGE_OVERSPLIT: usize = 2;
+
+/// Virtual node ids for adaptively split sub-lattice specs: allocated
+/// downward from `usize::MAX` so they can never collide with a
+/// generation-tree node id in the workers' `(node, range)` shard caches —
+/// those caches outlive waves — and never repeat within the process.
+static VIRTUAL_NODE: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+fn next_virtual_node() -> usize {
+    usize::MAX - VIRTUAL_NODE.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
 
 /// Configuration of the work-stealing runtime.
 #[derive(Clone, Debug)]
@@ -398,6 +408,11 @@ struct WorkerState {
     /// Fault-tolerant waves ship raw harvests to the master instead of
     /// folding locally: local folds are not idempotent under re-execution.
     ship_harvests: bool,
+    /// Generation-scoped node-signature cache for harvest units. The graph
+    /// is frozen for the whole run so entries never invalidate; cache hits
+    /// recharge the original scan work, keeping `spawning_work` a pure
+    /// function of the input regardless of which units this worker ran.
+    sig_cache: SignatureCache,
 }
 
 impl WorkerState {
@@ -409,6 +424,7 @@ impl WorkerState {
             cache: FxHashMap::default(),
             accum: ProposalAccumulator::default(),
             ship_harvests: false,
+            sig_cache: SignatureCache::default(),
         }
     }
 
@@ -419,6 +435,7 @@ impl WorkerState {
     fn reset_after_panic(&mut self) {
         self.cache.clear();
         self.closure = ClosureScratch::new();
+        self.sig_cache = SignatureCache::default();
         if self.scratch.is_none() {
             self.scratch = Some(MatcherScratch::new());
         }
@@ -452,7 +469,7 @@ impl WorkerState {
                 lo,
                 hi,
             } => {
-                let raw = harvest_range(&q, &ms, &self.g, &cfg, lo, hi);
+                let raw = harvest_range_cached(&q, &ms, &self.g, &cfg, lo, hi, &mut self.sig_cache);
                 let cost = (hi - lo).max(1) as u64;
                 if self.ship_harvests {
                     // Fault-tolerant wave: the master folds the winning
@@ -496,14 +513,18 @@ impl WorkerState {
                 rhs,
             } => {
                 let (t, idx) = self.shard(&spec, range);
+                let w0 = idx.work();
                 let stats = idx.partial_evaluate(t, &x, &rhs);
-                let cost = t.rows().max(1) as u64;
+                // Metered by the evaluator's deterministic memory-touch
+                // counter, the same currency as the MineRhs units.
+                let cost = (idx.work() - w0).max(1);
                 (UnitResult::Stats(Box::new(stats)), cost)
             }
             Unit::LhsEmpty { spec, range, x } => {
                 let (t, idx) = self.shard(&spec, range);
+                let w0 = idx.work();
                 let empty = !idx.lhs_satisfiable(t, &x);
-                let cost = t.rows().max(1) as u64;
+                let cost = (idx.work() - w0).max(1);
                 (UnitResult::Empty(empty), cost)
             }
             Unit::MineRhs {
@@ -519,13 +540,20 @@ impl WorkerState {
                 // the closure scratch from `self.closure`.
                 let closure = &mut self.closure;
                 let (t, idx) = ensure_shard(&mut self.cache, &self.g, &spec, 0);
+                let w0 = idx.work();
                 let mut eval = ShardEval { t: t.as_ref(), idx };
                 let o = mine_rhs_with(&mut eval, &catalog, l, &covered, &cfg, closure);
-                // Modelled cost mirrors the barrier schedule's: one full
-                // table scan per evaluated candidate plus the σ-bound scan
-                // (the shard build is charged by its BuildRange unit).
-                let scans = 1 + o.stats.candidates + o.stats.negative_candidates;
-                let cost = rows.max(1) as u64 * scans as u64;
+                // Modelled cost: one σ-bound scan (`rows`) plus the
+                // evaluator's own deterministic memory-touch meter (words
+                // ANDed/popcounted + pivot rows walked) — a pure function
+                // of the unit's input, schedule-independent, and in the
+                // same one-touch-per-unit currency as the row-scan units.
+                // The legacy full-scan model charged `rows` per candidate;
+                // the prefix-shared DFS's real word-level savings now show
+                // up as modelled savings (the shard build itself is
+                // charged by its BuildRange unit).
+                let dw = eval.idx.work() - w0;
+                let cost = rows.max(1) as u64 + dw;
                 (UnitResult::RhsMined(Box::new(o)), cost)
             }
         }
@@ -567,6 +595,31 @@ impl CandidateEvaluator for ShardEval<'_> {
 
     fn lhs_empty(&mut self, x: &[Literal]) -> bool {
         !self.idx.lhs_satisfiable(self.t, x)
+    }
+
+    fn begin_rhs(&mut self) {
+        self.idx.stack_begin(self.t);
+    }
+
+    fn eval_child(
+        &mut self,
+        _x: &[Literal],
+        cand: Literal,
+        l: Literal,
+        parent_sat_hint: usize,
+        sigma: usize,
+        fast: bool,
+    ) -> CandidateStats {
+        self.idx
+            .stack_eval_child(self.t, cand, l, parent_sat_hint, sigma, fast)
+    }
+
+    fn push_prefix(&mut self) {
+        self.idx.stack_push();
+    }
+
+    fn pop_prefix(&mut self) {
+        self.idx.stack_pop();
     }
 }
 
@@ -829,10 +882,12 @@ impl StealPool {
     /// else round-robins.
     fn affinity(&mut self, unit: &Unit) -> usize {
         match unit {
+            // Wrapping: adaptively split specs carry virtual node ids
+            // allocated downward from `usize::MAX`.
             Unit::BuildRange { spec, range }
             | Unit::Evaluate { spec, range, .. }
-            | Unit::LhsEmpty { spec, range, .. } => (spec.node + range) % self.workers,
-            Unit::MineRhs { spec, l_idx, .. } => (spec.node + l_idx) % self.workers,
+            | Unit::LhsEmpty { spec, range, .. } => spec.node.wrapping_add(*range) % self.workers,
+            Unit::MineRhs { spec, l_idx, .. } => spec.node.wrapping_add(*l_idx) % self.workers,
             _ => {
                 self.rr = (self.rr + 1) % self.workers;
                 self.rr
@@ -1921,15 +1976,51 @@ fn run_mining(
         .collect();
     pool.charge_master(m0.elapsed());
 
-    // Phase 2: per-consequence sub-lattices for the small patterns.
+    // Phase 2: per-consequence sub-lattices for the small patterns. The
+    // catalogs' exact per-literal row counts (the σ-bound scan's actual
+    // row mass, merged identically however the rows were cut) drive an
+    // adaptive split: a consequence whose mass alone reaches an even
+    // per-slot share of the wave would pin `work_makespan` as one
+    // monolithic `MineRhs` unit, so its lattice runs at the master
+    // instead, each candidate fanning out over `(rule, pivot-range)`
+    // units — the phase-3 recipe, applied per consequence by measured
+    // weight rather than per pattern by the fixed `range_rows_threshold`.
+    let slots = (pool.workers() * RANGE_OVERSPLIT).max(1) as u64;
+    let light_mass: u64 = jobs
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !specs[*i].1)
+        .map(|(i, _)| catalogs[i].counts.iter().map(|&c| c as u64).sum::<u64>())
+        .sum();
+    let heavy_cut = (light_mass / slots).max(scfg.range_min_rows as u64).max(1);
     let mut rhs_units: Vec<Unit> = Vec::new();
+    let mut heavy: Vec<(usize, usize, Arc<EvalSpec>)> = Vec::new();
     for (i, job) in jobs.iter().enumerate() {
         let (spec, large) = &specs[i];
         if *large {
             continue;
         }
         let covered = Arc::new(job.covered.clone());
+        let split = split_ranges(job.ms.len(), scfg.range_min_rows, max_parts);
         for l_idx in 0..catalogs[i].literals.len() {
+            let mass = catalogs[i].counts.get(l_idx).copied().unwrap_or(0) as u64;
+            if mass >= heavy_cut && split.len() > 1 {
+                // A fresh spec under a virtual node id: worker shard
+                // caches key `(node, range)`, and the split shards must
+                // not collide with this pattern's full-table shard (or
+                // any other pattern's). Virtual ids descend from
+                // `usize::MAX`, far above any generation-tree id, and
+                // never repeat across the run.
+                let hspec = Arc::new(EvalSpec::new(
+                    next_virtual_node(),
+                    Arc::clone(&job.q),
+                    Arc::clone(&job.ms),
+                    Arc::clone(attrs),
+                    split.clone(),
+                ));
+                heavy.push((i, l_idx, hspec));
+                continue;
+            }
             rhs_units.push(Unit::MineRhs {
                 spec: Arc::clone(spec),
                 catalog: Arc::clone(&catalogs[i]),
@@ -1940,6 +2031,29 @@ fn run_mining(
         }
     }
     let mut rhs_results = pool.run_wave(rhs_units)?.into_iter();
+    // Heavy consequences mine after the light wave with the phase-3
+    // evaluator; outcomes park in a map until the in-order merge below,
+    // which reproduces `mine_dependencies`'s catalog order exactly.
+    let mut heavy_outcomes: FxHashMap<(usize, usize), RhsMineOutcome> = FxHashMap::default();
+    let mut closure = ClosureScratch::new();
+    for (i, l_idx, hspec) in heavy {
+        let l = catalogs[i].literals[l_idx];
+        let o = {
+            let mut eval = PoolEvaluator { pool, spec: hspec };
+            mine_rhs_with(
+                &mut eval,
+                &catalogs[i],
+                l,
+                &jobs[i].covered,
+                cfg,
+                &mut closure,
+            )
+        };
+        // The evaluator swallows wave errors (the trait cannot carry
+        // them); surface the sticky failure before parking the outcome.
+        pool.check()?;
+        heavy_outcomes.insert((i, l_idx), o);
+    }
     let m0 = Instant::now();
     for (i, job) in jobs.iter().enumerate() {
         if specs[i].1 {
@@ -1949,10 +2063,15 @@ fn run_mining(
         let mut covered = job.covered.clone();
         let mut negatives = FxHashMap::default();
         let mut hstats = HSpawnStats::default();
-        for r in rhs_results.by_ref().take(catalogs[i].literals.len()) {
-            if let UnitResult::RhsMined(o) = r {
-                merge_rhs_outcome(*o, &mut deps, &mut covered, &mut negatives, &mut hstats);
-            }
+        for l_idx in 0..catalogs[i].literals.len() {
+            let o = match heavy_outcomes.remove(&(i, l_idx)) {
+                Some(o) => o,
+                None => match rhs_results.next() {
+                    Some(UnitResult::RhsMined(o)) => *o,
+                    _ => continue,
+                },
+            };
+            merge_rhs_outcome(o, &mut deps, &mut covered, &mut negatives, &mut hstats);
         }
         finish_negatives(negatives, &mut deps);
         outcomes.insert(
