@@ -249,6 +249,74 @@ fn run(name: &str, scale: Scale) {
                 resumed.barriers,
             );
         }
+        // CI scale smoke: the million-node power-law scenario end-to-end,
+        // sequential vs the steal runtime at 1/2/4 workers. This is the
+        // acceptance run for the frozen SoA CSR + edge-cut shard path at
+        // scale: rule sets must be bit-identical everywhere, and the run
+        // reports the peak-memory counters so a regression in graph
+        // footprint is visible in CI logs.
+        "large-smoke" => {
+            use gfd_core::{seq_dis, DiscoveryConfig};
+            use gfd_datagen::Scenario;
+            use gfd_parallel::{par_dis_with_runtime, ClusterConfig, ExecMode, Runtime};
+            use std::sync::Arc;
+            let sc = Scenario::named("large").expect("large scenario");
+            let t_gen = std::time::Instant::now();
+            let g = Arc::new(sc.build());
+            let gen = t_gen.elapsed();
+            // Mirrors perf.rs `perf_cfg_scale`: bounded so the lattice
+            // stays CI-sized while matching/spawning still stream the
+            // full 1M-node graph.
+            let mut mining = DiscoveryConfig::new(3, (g.node_count() / 100).max(100));
+            mining.max_edges = 2;
+            mining.max_lhs_size = 1;
+            mining.values_per_attr = 2;
+            mining.max_catalog_literals = 8;
+            mining.wildcard_min_labels = 0;
+            mining.wildcard_root = false;
+            mining.max_matches_per_pattern = 400_000;
+            mining.max_patterns_per_level = 64;
+            mining.max_negative_candidates = 8;
+            let seq = seq_dis(&g, &mining);
+            let fingerprint = |r: &gfd_core::DiscoveryResult| -> Vec<String> {
+                r.gfds
+                    .iter()
+                    .map(|d| format!("{} @{}", d.gfd.display(g.interner()), d.support))
+                    .collect()
+            };
+            let want = fingerprint(&seq);
+            assert!(!want.is_empty(), "large smoke mined no rules");
+            let mib = |b: u64| b as f64 / (1024.0 * 1024.0);
+            println!(
+                "large-smoke seq: |V|={} |E|={} gfds={} gen={:?} discover={:?} \
+                 peak_rss={:.1}MiB graph={:.1}MiB reallocs={}",
+                g.node_count(),
+                g.edge_count(),
+                seq.gfds.len(),
+                gen,
+                seq.stats.total_time,
+                mib(seq.stats.peak_rss_bytes),
+                mib(seq.stats.graph_bytes),
+                seq.stats.graph_reallocs,
+            );
+            for workers in [1usize, 2, 4] {
+                let ccfg = ClusterConfig::new(workers, ExecMode::Threads);
+                let par =
+                    par_dis_with_runtime(&g, &mining, &ccfg, Runtime::Steal).expect("fault-free");
+                assert_eq!(
+                    fingerprint(&par.result),
+                    want,
+                    "steal output diverged at {workers} workers"
+                );
+                println!(
+                    "large-smoke steal w={workers}: gfds={} waves={} wall={:?} peak_rss={:.1}MiB",
+                    par.result.gfds.len(),
+                    par.barriers,
+                    par.wall,
+                    mib(par.result.stats.peak_rss_bytes),
+                );
+            }
+        }
         other => {
             eprintln!("unknown experiment `{other}`; known: {ALL:?}");
             std::process::exit(2);
@@ -282,7 +350,7 @@ fn main() {
         eprintln!(
             "usage: experiments [--scale X] <all | fig5a … fig5l | fig6 | fig7 | fig8 | runtime | smoke | smoke-steal>"
         );
-        eprintln!("known experiments: {ALL:?} plus `runtime` (barrier vs steal), `smoke`, `smoke-steal`, `lattice-smoke`, and `chaos-smoke` (CI sanity runs)");
+        eprintln!("known experiments: {ALL:?} plus `runtime` (barrier vs steal), `smoke`, `smoke-steal`, `lattice-smoke`, `chaos-smoke`, and `large-smoke` (CI sanity runs)");
         std::process::exit(2);
     }
     println!(

@@ -10,10 +10,17 @@
 //!   deterministic `work_makespan` (the CI regression gate rides this —
 //!   it cannot flake under machine load the way wall-clock does).
 //!
+//! Every record carries the memory counters (`peak_rss_bytes` from
+//! `VmHWM`, plus the frozen graph's exact `graph_bytes` and its builder
+//! realloc count). Scenario names resolve through [`Scenario::named`], so
+//! the million-node power-law family (`large`, `xlarge`) is available next
+//! to the classic `tiny`/`small`/`medium` — scale scenarios get a bounded
+//! mining config ([`perf_cfg_scale`]).
+//!
 //! ```text
 //! cargo run -p gfd-bench --release --bin perf -- --scenario medium --label after
 //! cargo run -p gfd-bench --release --bin perf -- --scenario small --runtime steal --workers 4
-//! cargo run -p gfd-bench --release --bin perf -- --scenario tiny --runtime steal --mode simulated
+//! cargo run -p gfd-bench --release --bin perf -- --scenario large --runtime steal --workers 4
 //! ```
 
 #![forbid(unsafe_code)]
@@ -22,11 +29,12 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use gfd_core::{seq_dis, DiscoveryConfig};
-use gfd_datagen::{bench_scenario, ScenarioConfig};
+use gfd_datagen::Scenario;
 use gfd_parallel::{par_dis_with_runtime, ClusterConfig, ExecMode, Runtime};
 
-/// Mining configuration for the perf scenarios: deep enough that all three
-/// hot layers (matching, spawning, evaluation) carry real weight.
+/// Mining configuration for the classic perf scenarios: deep enough that
+/// all three hot layers (matching, spawning, evaluation) carry real
+/// weight.
 fn perf_cfg(nodes: usize) -> DiscoveryConfig {
     let mut cfg = DiscoveryConfig::new(4, (nodes / 40).max(10));
     cfg.max_edges = 3;
@@ -40,9 +48,27 @@ fn perf_cfg(nodes: usize) -> DiscoveryConfig {
     cfg
 }
 
+/// Bounded mining configuration for the million-node power-law family:
+/// shallow patterns (`k = 3`, two edges), a high support floor, and hard
+/// caps on stored matches — the point of `large`/`xlarge` runs is graph
+/// loading, matching throughput, and peak memory, not lattice depth.
+fn perf_cfg_scale(nodes: usize) -> DiscoveryConfig {
+    let mut cfg = DiscoveryConfig::new(3, (nodes / 100).max(100));
+    cfg.max_edges = 2;
+    cfg.max_lhs_size = 1;
+    cfg.values_per_attr = 2;
+    cfg.max_catalog_literals = 8;
+    cfg.wildcard_min_labels = 0;
+    cfg.wildcard_root = false;
+    cfg.max_matches_per_pattern = 400_000;
+    cfg.max_patterns_per_level = 64;
+    cfg.max_negative_candidates = 8;
+    cfg
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: perf [--scenario tiny|small|medium] [--label L] [--out FILE] \
+        "usage: perf [--scenario tiny|small|medium|large|xlarge] [--label L] [--out FILE] \
          [--runtime seq|barrier|steal] [--workers N] [--mode threads|simulated]"
     );
     std::process::exit(2);
@@ -87,15 +113,19 @@ fn main() {
             }
         }
     }
-    let Some(cfg) = ScenarioConfig::named(&scenario) else {
-        eprintln!("unknown scenario `{scenario}` (tiny|small|medium)");
+    let Some(sc) = Scenario::named(&scenario) else {
+        eprintln!("unknown scenario `{scenario}` (tiny|small|medium|large|xlarge)");
         std::process::exit(2);
     };
 
     let t0 = Instant::now();
-    let g = Arc::new(bench_scenario(&cfg));
+    let g = Arc::new(sc.build());
     let gen_secs = t0.elapsed().as_secs_f64();
-    let mining = perf_cfg(g.node_count());
+    let mining = if sc.is_scale() {
+        perf_cfg_scale(g.node_count())
+    } else {
+        perf_cfg(g.node_count())
+    };
 
     let json = match runtime {
         None => {
@@ -126,6 +156,9 @@ fn main() {
                     "  \"hspawn_candidates\": {cands},\n",
                     "  \"spawning_work\": {spawning_work},\n",
                     "  \"evaluation_work\": {evaluation_work},\n",
+                    "  \"peak_rss_bytes\": {peak_rss},\n",
+                    "  \"graph_bytes\": {graph_bytes},\n",
+                    "  \"graph_reallocs\": {graph_reallocs},\n",
                     "  \"generation_secs\": {gen:.3},\n",
                     "  \"stage_secs\": {{\n",
                     "    \"matching\": {matching:.3},\n",
@@ -141,10 +174,10 @@ fn main() {
                     "}}"
                 ),
                 label = label,
-                scenario = cfg.name,
+                scenario = sc.name(),
                 nodes = g.node_count(),
                 edges = g.edge_count(),
-                seed = cfg.seed,
+                seed = sc.seed(),
                 sigma = mining.sigma,
                 k = mining.k,
                 gfds = result.gfds.len(),
@@ -152,6 +185,9 @@ fn main() {
                 cands = s.hspawn.candidates,
                 spawning_work = s.spawning_work,
                 evaluation_work = s.evaluation_work,
+                peak_rss = s.peak_rss_bytes,
+                graph_bytes = s.graph_bytes,
+                graph_reallocs = s.graph_reallocs,
                 gen = gen_secs,
                 matching = matching,
                 spawning = spawning,
@@ -188,6 +224,9 @@ fn main() {
                     "  \"work_busy\": {wb},\n",
                     "  \"waves\": {waves},\n",
                     "  \"comm_bytes\": {comm},\n",
+                    "  \"peak_rss_bytes\": {peak_rss},\n",
+                    "  \"graph_bytes\": {graph_bytes},\n",
+                    "  \"graph_reallocs\": {graph_reallocs},\n",
                     "  \"retries\": {retries},\n",
                     "  \"requeued_units\": {requeued},\n",
                     "  \"speculative_wins\": {spec_wins},\n",
@@ -195,7 +234,7 @@ fn main() {
                     "}}"
                 ),
                 label = label,
-                scenario = cfg.name,
+                scenario = sc.name(),
                 runtime = rt.name(),
                 workers = workers,
                 mode = match mode {
@@ -204,7 +243,7 @@ fn main() {
                 },
                 nodes = g.node_count(),
                 edges = g.edge_count(),
-                seed = cfg.seed,
+                seed = sc.seed(),
                 sigma = mining.sigma,
                 k = mining.k,
                 gfds = report.result.gfds.len(),
@@ -215,6 +254,9 @@ fn main() {
                 wb = report.work_busy,
                 waves = report.barriers,
                 comm = report.comm_bytes,
+                peak_rss = report.result.stats.peak_rss_bytes,
+                graph_bytes = report.result.stats.graph_bytes,
+                graph_reallocs = report.result.stats.graph_reallocs,
                 retries = report.result.stats.retries,
                 requeued = report.result.stats.requeued_units,
                 spec_wins = report.result.stats.speculative_wins,

@@ -72,7 +72,7 @@ usage: gfd <command> [options]
   stats     <graph>
   discover  <graph> [--k K] [--sigma S] [--max-lhs L] [--parallel N] [--no-negative] [--confidence C] [--cover] [-o <rules>]
             [--literal-order <catalog|selectivity>] [--runtime <barrier|steal>]
-            [--checkpoint <file>] [--resume] [--fault <spec>] [--fault-seed K]
+            [--checkpoint <file>] [--resume] [--fault <spec>] [--fault-seed K] [--range-rows N]
   xdiscover <graph> [--k K] [--sigma S] [--max-lhs L] [--confidence C] [--limit N] [-o <rules>]
   validate  <graph> <rules> [--limit N]
   explain   <graph> <rules> [--limit N]
@@ -263,6 +263,7 @@ fn cmd_discover(mut a: Args) -> Result<String, CliError> {
     let mut resume = false;
     let mut fault_spec: Option<String> = None;
     let mut fault_seed: Option<u64> = None;
+    let mut range_rows: Option<usize> = None;
     while let Some(flag) = a.next() {
         match flag {
             "--k" => k = a.parse("--k")?,
@@ -288,6 +289,7 @@ fn cmd_discover(mut a: Args) -> Result<String, CliError> {
             "--resume" => resume = true,
             "--fault" => fault_spec = Some(a.value("--fault")?.to_owned()),
             "--fault-seed" => fault_seed = Some(a.parse("--fault-seed")?),
+            "--range-rows" => range_rows = Some(a.parse("--range-rows")?),
             "-o" => out_path = Some(a.value("-o")?.to_owned()),
             other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
         }
@@ -295,10 +297,14 @@ fn cmd_discover(mut a: Args) -> Result<String, CliError> {
     if !(0.0..=1.0).contains(&confidence) {
         return Err(CliError::Usage("--confidence must be in [0, 1]".into()));
     }
-    // Fault injection, checkpointing, and resume all live in the
-    // work-stealing runtime; asking for any of them selects it.
-    let steal =
-        steal || resume || checkpoint.is_some() || fault_spec.is_some() || fault_seed.is_some();
+    // Fault injection, checkpointing, resume, and the range knob all live
+    // in the work-stealing runtime; asking for any of them selects it.
+    let steal = steal
+        || resume
+        || checkpoint.is_some()
+        || fault_spec.is_some()
+        || fault_seed.is_some()
+        || range_rows.is_some();
     let g = load_graph(&path)?;
     let mut cfg = DiscoveryConfig::new(k.max(2), sigma.max(1));
     cfg.max_lhs_size = max_lhs;
@@ -318,7 +324,11 @@ fn cmd_discover(mut a: Args) -> Result<String, CliError> {
             (None, None) => FaultConfig::default(),
         };
         let mut scfg =
-            StealConfig::new(parallel.unwrap_or(4).max(1), ExecMode::Threads).with_faults(fault);
+            StealConfig::tuned(parallel.unwrap_or(4).max(1), ExecMode::Threads, g.size())
+                .with_faults(fault);
+        if let Some(rows) = range_rows {
+            scfg.range_rows_threshold = rows;
+        }
         scfg.checkpoint = checkpoint.as_deref().map(std::path::PathBuf::from);
         scfg.resume = resume;
         par_dis_steal(&g, &cfg, &scfg)
@@ -357,6 +367,16 @@ fn cmd_discover(mut a: Args) -> Result<String, CliError> {
             out,
             "fault recovery: {} retries, {} units requeued, {} speculative wins, {} waves recovered",
             st.retries, st.requeued_units, st.speculative_wins, st.recovered_waves
+        );
+    }
+    if st.peak_rss_bytes > 0 || st.graph_bytes > 0 {
+        let mib = |b: u64| b as f64 / (1024.0 * 1024.0);
+        let _ = writeln!(
+            out,
+            "memory: peak rss {:.1} MiB, graph {:.1} MiB ({} builder reallocs)",
+            mib(st.peak_rss_bytes),
+            mib(st.graph_bytes),
+            st.graph_reallocs
         );
     }
     let rules: Vec<Gfd> = mined.gfds.iter().map(|d| d.gfd.clone()).collect();
@@ -705,6 +725,10 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("discovered"));
+        if cfg!(target_os = "linux") {
+            assert!(out.contains("memory: peak rss"), "{out}");
+            assert!(out.contains("builder reallocs"), "{out}");
+        }
         let rule_text = std::fs::read_to_string(&rules).unwrap();
         assert!(rule_text.lines().any(|l| l.starts_with("Q[")));
 
@@ -1029,6 +1053,13 @@ e 0 1 create
             "explode@1.0",
         ]));
         assert!(matches!(res, Err(CliError::Usage(_))));
+        // `--range-rows` selects the steal runtime and, being a pure
+        // schedule knob, cannot change the mined rules — the override
+        // survives the size-tuned defaults at both extremes.
+        let (_, forced_ranges) = discover(&["--parallel", "2", "--range-rows", "0"]);
+        assert_eq!(forced_ranges, baseline);
+        let (_, forced_mine) = discover(&["--parallel", "2", "--range-rows", "99999999"]);
+        assert_eq!(forced_mine, baseline);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -1057,16 +1088,25 @@ e 0 1 create
             "--sigma",
             "15",
         ];
-        let baseline = run(&s(&base_args)).unwrap();
+        // The memory line reports the process-wide RSS high-water mark,
+        // which legitimately differs between runs — everything else must
+        // be bit-identical.
+        let sans_memory = |out: &str| -> String {
+            out.lines()
+                .filter(|l| !l.starts_with("memory:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let baseline = sans_memory(&run(&s(&base_args)).unwrap());
         // A checkpointed run leaves a resumable snapshot behind …
         let mut args = base_args.to_vec();
         args.extend_from_slice(&["--parallel", "2", "--checkpoint", ck.to_str().unwrap()]);
-        let checkpointed = run(&s(&args)).unwrap();
+        let checkpointed = sans_memory(&run(&s(&args)).unwrap());
         assert_eq!(checkpointed, baseline);
         assert!(ck.exists(), "checkpoint file not written");
         // … and resuming from it reproduces the same rules.
         args.push("--resume");
-        let resumed = run(&s(&args)).unwrap();
+        let resumed = sans_memory(&run(&s(&args)).unwrap());
         assert_eq!(resumed, baseline);
         std::fs::remove_dir_all(&dir).ok();
     }

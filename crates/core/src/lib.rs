@@ -44,7 +44,7 @@ pub use hspawn::{
     mine_rhs_reference, mine_rhs_with, CandidateEvaluator, Covered, HSpawnStats, MinedDependency,
     RangeEvaluator, RhsMineOutcome, TableEvaluator,
 };
-pub use result::{DiscoveredGfd, DiscoveryResult, DiscoveryStats};
+pub use result::{peak_rss_bytes, DiscoveredGfd, DiscoveryResult, DiscoveryStats};
 pub use seqcover::{cover_indices, seq_cover, seq_cover_discovered};
 pub use seqdis::{seq_dis, seq_dis_with_tree};
 pub use support::{distinct_pivots, evaluate, lhs_satisfiable, CandidateStats, PartialStats};

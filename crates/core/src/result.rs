@@ -98,6 +98,55 @@ pub struct DiscoveryStats {
     pub lattice_time: Duration,
     /// Total wall time.
     pub total_time: Duration,
+    /// Peak resident set of the whole process, sampled when the run
+    /// finishes (`VmHWM` on Linux; `0` where the kernel doesn't expose
+    /// it). A process-wide high-water mark, not a per-run delta — but the
+    /// perf harness runs one discovery per process, so the number is the
+    /// run's footprint.
+    pub peak_rss_bytes: u64,
+    /// Exact bytes held by the input graph's frozen flat arrays
+    /// ([`gfd_graph::Graph::memory_bytes`]).
+    pub graph_bytes: u64,
+    /// Capacity-growth events while the input graph was built: zero when
+    /// it came through the pre-reserving streaming loader or datagen.
+    pub graph_reallocs: u64,
+}
+
+/// Peak resident set size of this process in bytes: `VmHWM` from
+/// `/proc/self/status` on Linux, `0` on platforms without procfs. Cheap
+/// enough to sample once per run (one tiny file read).
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_rss_is_sane() {
+        let rss = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            // Any running test binary has touched at least a megabyte and
+            // far less than a terabyte.
+            assert!(rss > 1 << 20, "implausibly small VmHWM: {rss}");
+            assert!(rss < 1 << 40, "implausibly large VmHWM: {rss}");
+        }
+    }
 }
 
 /// The result of `SeqDis`/`ParDis`: the set `Σ` (before cover computation)

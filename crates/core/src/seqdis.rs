@@ -181,6 +181,9 @@ pub fn seq_dis_with_tree(g: &Graph, cfg: &DiscoveryConfig) -> (DiscoveryResult, 
     result.stats.positive = result.positive_count();
     result.stats.negative = result.negative_count();
     result.stats.total_time = started.elapsed();
+    result.stats.peak_rss_bytes = crate::result::peak_rss_bytes();
+    result.stats.graph_bytes = g.build_stats().graph_bytes;
+    result.stats.graph_reallocs = g.build_stats().builder_reallocs;
     (result, tree)
 }
 

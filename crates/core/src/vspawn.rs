@@ -339,31 +339,23 @@ impl SignatureCache {
 /// label, endpoint label)` with the count of distinct neighbours carrying
 /// it. Each distinct image is summarised once per harvest call.
 fn node_signature(g: &Graph, n: NodeId, arena: &mut Vec<SigEntry>, work: &mut u64) {
-    for (el, edges) in g.out_label_runs(n) {
+    for (el, edges, nbrs) in g.out_label_runs(n) {
         *work += edges.len() as u64;
-        signature_run(g, Dir::Out, el, edges, arena);
+        signature_run(g, Dir::Out, el, nbrs, arena);
     }
-    for (el, edges) in g.in_label_runs(n) {
+    for (el, edges, nbrs) in g.in_label_runs(n) {
         *work += edges.len() as u64;
-        signature_run(g, Dir::In, el, edges, arena);
+        signature_run(g, Dir::In, el, nbrs, arena);
     }
 }
 
-/// Folds one `(label, edges)` adjacency run into the signature summary:
-/// runs are neighbour-sorted, so parallel edges collapse and each distinct
-/// neighbour bumps its endpoint label's count once.
-fn signature_run(
-    g: &Graph,
-    dir: Dir,
-    el: LabelId,
-    edges: &[gfd_graph::EdgeId],
-    out: &mut Vec<SigEntry>,
-) {
+/// Folds one adjacency run into the signature summary from its packed
+/// neighbour slice: runs are neighbour-sorted, so parallel edges collapse
+/// and each distinct neighbour bumps its endpoint label's count once.
+fn signature_run(g: &Graph, dir: Dir, el: LabelId, nbrs: &[NodeId], out: &mut Vec<SigEntry>) {
     let start = out.len();
     let mut prev: Option<NodeId> = None;
-    for &eid in edges {
-        let e = g.edge(eid);
-        let d = if dir == Dir::Out { e.dst } else { e.src };
+    for &d in nbrs {
         if prev == Some(d) {
             continue;
         }
@@ -595,12 +587,12 @@ impl PairCache {
         self.closing.clear();
         self.deltas.clear();
         let nl = g.node_label(d);
-        let out = g.edges_between(n, d);
+        let (out, out_labels) = g.edges_between_labeled(n, d);
         *work += out.len() as u64;
         let mut idx = 0;
         while idx < out.len() {
-            let el = g.edge(out[idx]).label;
-            while idx < out.len() && g.edge(out[idx]).label == el {
+            let el = out_labels[idx];
+            while idx < out.len() && out_labels[idx] == el {
                 idx += 1;
             }
             if !has_pattern_edge(q, x, y, el) {
@@ -611,12 +603,12 @@ impl PairCache {
             }
         }
         if grow {
-            let inn = g.edges_between(d, n);
+            let (inn, in_labels) = g.edges_between_labeled(d, n);
             *work += inn.len() as u64;
             let mut idx = 0;
             while idx < inn.len() {
-                let el = g.edge(inn[idx]).label;
-                while idx < inn.len() && g.edge(inn[idx]).label == el {
+                let el = in_labels[idx];
+                while idx < inn.len() && in_labels[idx] == el {
                     idx += 1;
                 }
                 self.deltas.push((Dir::In, el, nl));

@@ -13,7 +13,9 @@
 //! * [`gfdgen`] — random `Σ` sets (|Σ| ≤ 10⁴, k ≤ 6) with built-in
 //!   redundancy for cover experiments,
 //! * [`scenario`] — named, seed-pinned benchmark scenarios consumed by the
-//!   `gfd-bench` perf harness (`BENCH_*.json`).
+//!   `gfd-bench` perf harness (`BENCH_*.json`),
+//! * [`powerlaw`] — the million-node power-law family (`large`/`xlarge`)
+//!   generated streamingly into a pre-reserved builder.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -21,11 +23,13 @@
 pub mod gfdgen;
 pub mod kb;
 pub mod noise;
+pub mod powerlaw;
 pub mod scenario;
 pub mod synthetic;
 
 pub use gfdgen::{generate_gfds, GfdGenConfig};
 pub use kb::{knowledge_base, KbConfig, KbProfile};
 pub use noise::{detection_accuracy, inject_noise, NoiseConfig, Noised};
-pub use scenario::{bench_scenario, ScenarioConfig};
+pub use powerlaw::{power_law_graph, PowerLawConfig};
+pub use scenario::{bench_scenario, Scenario, ScenarioConfig};
 pub use synthetic::{synthetic, SyntheticConfig};

@@ -124,6 +124,66 @@ impl ScenarioConfig {
     }
 }
 
+/// A named benchmark scenario of either family: the classic seed-pinned
+/// configs above, or the power-law million-node family
+/// ([`crate::powerlaw`]). The perf harness resolves `--scenario` through
+/// this so `large`/`xlarge` are first-class scenario names.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Scenario {
+    /// Classic scenario (`tiny`/`small`/`medium`/`tiny-noisy`).
+    Classic(ScenarioConfig),
+    /// Power-law scale scenario (`large`/`xlarge`).
+    PowerLaw(crate::powerlaw::PowerLawConfig),
+}
+
+impl Scenario {
+    /// Looks any scenario up by name.
+    pub fn named(name: &str) -> Option<Scenario> {
+        if let Some(c) = ScenarioConfig::named(name) {
+            return Some(Scenario::Classic(c));
+        }
+        crate::powerlaw::PowerLawConfig::named(name).map(Scenario::PowerLaw)
+    }
+
+    /// The scenario's name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::Classic(c) => c.name,
+            Scenario::PowerLaw(c) => c.name,
+        }
+    }
+
+    /// `|V|`.
+    pub fn nodes(&self) -> usize {
+        match self {
+            Scenario::Classic(c) => c.nodes,
+            Scenario::PowerLaw(c) => c.nodes,
+        }
+    }
+
+    /// The pinned RNG seed (recorded in the benchmark JSON).
+    pub fn seed(&self) -> u64 {
+        match self {
+            Scenario::Classic(c) => c.seed,
+            Scenario::PowerLaw(c) => c.seed,
+        }
+    }
+
+    /// True for the million-node power-law family: the perf harness picks
+    /// a bounded mining config for these.
+    pub fn is_scale(&self) -> bool {
+        matches!(self, Scenario::PowerLaw(_))
+    }
+
+    /// Generates the graph.
+    pub fn build(&self) -> Graph {
+        match self {
+            Scenario::Classic(c) => bench_scenario(c),
+            Scenario::PowerLaw(c) => crate::powerlaw::power_law_graph(c),
+        }
+    }
+}
+
 /// Generates the scenario's graph.
 pub fn bench_scenario(cfg: &ScenarioConfig) -> Graph {
     let mut rng = StdRng::seed_from_u64(cfg.seed);

@@ -9,7 +9,11 @@
 //! graphs.
 //!
 //! Graphs are built with [`GraphBuilder`] and then frozen into an immutable
-//! [`Graph`] with CSR out/in adjacency and per-label node indexes. All hot
+//! [`Graph`]. The frozen layout is **structure-of-arrays CSR** throughout:
+//! every index is one offsets array plus packed flat payload arrays (edge
+//! ids, neighbour ids, attribute tuples, per-label node lists) — no
+//! per-node `Vec`s anywhere, so a million-node graph is a handful of large
+//! allocations and every hot-path walk is a contiguous slice scan. All hot
 //! paths work on compact ids; strings live in a shared [`Interner`].
 
 use std::sync::Arc;
@@ -30,23 +34,83 @@ pub struct Edge {
     pub label: LabelId,
 }
 
+/// Plain CSR adjacency: one offsets array plus packed edge-id,
+/// neighbour-id and edge-label arrays (parallel, all sorted by
+/// `(neighbour, label)` per node). The packed neighbour array lets
+/// `edges_between` binary-search without dereferencing the edge table, and
+/// the packed label array serves the per-pair label walks the harvest
+/// performs on the resulting slice.
 #[derive(Clone, Debug, Default)]
 struct Csr {
     offsets: Vec<u32>,
     list: Vec<EdgeId>,
+    nbrs: Vec<NodeId>,
+    labels: Vec<LabelId>,
 }
 
 impl Csr {
+    fn build(
+        n: usize,
+        edges: &[Edge],
+        endpoint: impl Fn(&Edge) -> NodeId,
+        neighbour: impl Fn(&Edge) -> NodeId,
+    ) -> Csr {
+        let mut counts = vec![0u32; n + 1];
+        for e in edges {
+            counts[endpoint(e).index() + 1] += 1;
+        }
+        for i in 1..=n {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts;
+        let mut cursor = offsets.clone();
+        let mut list = vec![EdgeId(0); edges.len()];
+        for (i, e) in edges.iter().enumerate() {
+            let slot = &mut cursor[endpoint(e).index()];
+            list[*slot as usize] = EdgeId::from_index(i);
+            *slot += 1;
+        }
+        for w in offsets.windows(2) {
+            let (lo, hi) = (w[0] as usize, w[1] as usize);
+            list[lo..hi].sort_unstable_by_key(|&eid| {
+                let e = &edges[eid.index()];
+                (neighbour(e), e.label)
+            });
+        }
+        let nbrs = list.iter().map(|&e| neighbour(&edges[e.index()])).collect();
+        let labels = list.iter().map(|&e| edges[e.index()].label).collect();
+        Csr {
+            offsets,
+            list,
+            nbrs,
+            labels,
+        }
+    }
+
+    #[inline]
+    fn bounds(&self, n: NodeId) -> (usize, usize) {
+        (
+            self.offsets[n.index()] as usize,
+            self.offsets[n.index() + 1] as usize,
+        )
+    }
+
+    #[inline]
     fn slice(&self, n: NodeId) -> &[EdgeId] {
-        let lo = self.offsets[n.index()] as usize;
-        let hi = self.offsets[n.index() + 1] as usize;
+        let (lo, hi) = self.bounds(n);
         &self.list[lo..hi]
+    }
+
+    #[inline]
+    fn nbr_slice(&self, n: NodeId) -> &[NodeId] {
+        let (lo, hi) = self.bounds(n);
+        &self.nbrs[lo..hi]
     }
 }
 
 /// One contiguous run of a node's adjacency holding every incident edge
 /// with a single label (`lo..hi` indexes into the owning [`LabelCsr`]'s
-/// edge list).
+/// packed arrays).
 #[derive(Clone, Copy, Debug)]
 struct LabelRange {
     label: LabelId,
@@ -54,11 +118,13 @@ struct LabelRange {
     hi: u32,
 }
 
-/// Label-partitioned CSR adjacency: per node, incident edge ids sorted by
-/// `(label, neighbour, edge id)`, plus a per-node index of the contiguous
-/// range occupied by each distinct label. An anchor step with a concrete
-/// edge label binary-searches the (small) per-node label index and walks a
-/// contiguous slice instead of filtering the node's full adjacency.
+/// Label-partitioned CSR adjacency in structure-of-arrays form: per node,
+/// incident edge ids sorted by `(label, neighbour, edge id)` in one packed
+/// array, the corresponding neighbour ids in a parallel packed array, plus
+/// a per-node index of the contiguous range occupied by each distinct
+/// label. An anchor step with a concrete edge label binary-searches the
+/// (small) per-node label index and walks a contiguous neighbour slice —
+/// no per-entry edge-table dereference.
 ///
 /// The per-node `ranges` double as the node's **neighbour-label-frequency
 /// (NLF) summary**: `degree(n, l) = |slice(n, l)|` in `O(log L_n)` where
@@ -66,6 +132,7 @@ struct LabelRange {
 #[derive(Clone, Debug, Default)]
 struct LabelCsr {
     list: Vec<EdgeId>,
+    nbrs: Vec<NodeId>,
     range_offsets: Vec<u32>,
     ranges: Vec<LabelRange>,
 }
@@ -117,8 +184,10 @@ impl LabelCsr {
             }
             range_offsets.push(ranges.len() as u32);
         }
+        let nbrs = list.iter().map(|&e| neighbour(&edges[e.index()])).collect();
         LabelCsr {
             list,
+            nbrs,
             range_offsets,
             ranges,
         }
@@ -132,32 +201,85 @@ impl LabelCsr {
     }
 
     #[inline]
-    fn slice(&self, n: NodeId, l: LabelId) -> &[EdgeId] {
+    fn find(&self, n: NodeId, l: LabelId) -> Option<(usize, usize)> {
         let ranges = self.node_ranges(n);
-        match ranges.binary_search_by_key(&l, |r| r.label) {
-            Ok(i) => &self.list[ranges[i].lo as usize..ranges[i].hi as usize],
-            Err(_) => &[],
+        ranges
+            .binary_search_by_key(&l, |r| r.label)
+            .ok()
+            .map(|i| (ranges[i].lo as usize, ranges[i].hi as usize))
+    }
+
+    #[inline]
+    fn slice(&self, n: NodeId, l: LabelId) -> &[EdgeId] {
+        match self.find(n, l) {
+            Some((lo, hi)) => &self.list[lo..hi],
+            None => &[],
+        }
+    }
+
+    #[inline]
+    fn nbr_slice(&self, n: NodeId, l: LabelId) -> &[NodeId] {
+        match self.find(n, l) {
+            Some((lo, hi)) => &self.nbrs[lo..hi],
+            None => &[],
+        }
+    }
+
+    #[inline]
+    fn pair_slices(&self, n: NodeId, l: LabelId) -> (&[EdgeId], &[NodeId]) {
+        match self.find(n, l) {
+            Some((lo, hi)) => (&self.list[lo..hi], &self.nbrs[lo..hi]),
+            None => (&[], &[]),
         }
     }
 
     #[inline]
     fn degree(&self, n: NodeId, l: LabelId) -> usize {
-        let ranges = self.node_ranges(n);
-        match ranges.binary_search_by_key(&l, |r| r.label) {
-            Ok(i) => (ranges[i].hi - ranges[i].lo) as usize,
-            Err(_) => 0,
+        match self.find(n, l) {
+            Some((lo, hi)) => hi - lo,
+            None => 0,
         }
     }
 
     #[inline]
-    fn runs(&self, n: NodeId) -> impl Iterator<Item = (LabelId, &[EdgeId])> + '_ {
-        self.node_ranges(n)
-            .iter()
-            .map(move |r| (r.label, &self.list[r.lo as usize..r.hi as usize]))
+    fn runs(&self, n: NodeId) -> impl Iterator<Item = (LabelId, &[EdgeId], &[NodeId])> + '_ {
+        self.node_ranges(n).iter().map(move |r| {
+            (
+                r.label,
+                &self.list[r.lo as usize..r.hi as usize],
+                &self.nbrs[r.lo as usize..r.hi as usize],
+            )
+        })
     }
 }
 
+/// Allocation counters recorded while building and freezing a [`Graph`],
+/// surfaced through [`Graph::build_stats`] so perf runs can report how much
+/// the construction path reallocated and how big the frozen arrays are.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GraphBuildStats {
+    /// Capacity-growth events across the builder's append arrays (node
+    /// labels, attribute log, edge list). Zero when the builder was
+    /// pre-reserved to its final size (the streaming loader/datagen path).
+    pub builder_reallocs: u64,
+    /// Raw `set_attr` calls recorded in the append log, including
+    /// overwrites later resolved last-wins at freeze time.
+    pub attr_writes: u64,
+    /// Exact bytes held by the frozen graph's flat arrays (excluding the
+    /// shared interner).
+    pub graph_bytes: u64,
+}
+
+fn slice_bytes<T>(s: &[T]) -> u64 {
+    std::mem::size_of_val(s) as u64
+}
+
 /// Mutable construction state for a [`Graph`].
+///
+/// Nodes, attributes and edges are *appended*: attributes go to a flat
+/// `(node, attr, value)` log resolved last-wins at freeze time, so building
+/// never allocates per node. [`GraphBuilder::with_capacity`] pre-reserves
+/// the append arrays for bounded-allocation streaming construction.
 ///
 /// ```
 /// use gfd_graph::GraphBuilder;
@@ -174,14 +296,24 @@ impl LabelCsr {
 pub struct GraphBuilder {
     interner: Arc<Interner>,
     labels: Vec<LabelId>,
-    attrs: Vec<Vec<(AttrId, Value)>>,
+    attr_log: Vec<(NodeId, AttrId, Value)>,
     edges: Vec<Edge>,
+    reallocs: u64,
 }
 
 impl Default for GraphBuilder {
     fn default() -> Self {
         Self::new()
     }
+}
+
+macro_rules! push_counted {
+    ($self:ident, $vec:ident, $val:expr) => {{
+        if $self.$vec.len() == $self.$vec.capacity() {
+            $self.reallocs += 1;
+        }
+        $self.$vec.push($val);
+    }};
 }
 
 impl GraphBuilder {
@@ -196,9 +328,27 @@ impl GraphBuilder {
         GraphBuilder {
             interner,
             labels: Vec::new(),
-            attrs: Vec::new(),
+            attr_log: Vec::new(),
             edges: Vec::new(),
+            reallocs: 0,
         }
+    }
+
+    /// New builder pre-reserved for `nodes` nodes, `edges` edges and
+    /// `attrs` attribute writes — streaming construction at a known size
+    /// then appends without a single reallocation.
+    pub fn with_capacity(nodes: usize, edges: usize, attrs: usize) -> Self {
+        let mut b = Self::new();
+        b.reserve(nodes, edges, attrs);
+        b
+    }
+
+    /// Reserves room for `nodes` more nodes, `edges` more edges and
+    /// `attrs` more attribute writes.
+    pub fn reserve(&mut self, nodes: usize, edges: usize, attrs: usize) {
+        self.labels.reserve(nodes);
+        self.edges.reserve(edges);
+        self.attr_log.reserve(attrs);
     }
 
     /// The shared interner.
@@ -215,8 +365,7 @@ impl GraphBuilder {
     /// Adds a node with an already-interned label.
     pub fn add_node_by_id(&mut self, label: LabelId) -> NodeId {
         let id = NodeId::from_index(self.labels.len());
-        self.labels.push(label);
-        self.attrs.push(Vec::new());
+        push_counted!(self, labels, label);
         id
     }
 
@@ -228,13 +377,12 @@ impl GraphBuilder {
         self.set_attr_by_id(n, a, v);
     }
 
-    /// Sets an attribute with pre-interned ids.
+    /// Sets an attribute with pre-interned ids. Appends to the attribute
+    /// log; rewrites of the same `(node, attr)` resolve last-wins when the
+    /// builder freezes.
     pub fn set_attr_by_id(&mut self, n: NodeId, attr: AttrId, value: Value) {
-        let tuple = &mut self.attrs[n.index()];
-        match tuple.iter_mut().find(|(a, _)| *a == attr) {
-            Some(slot) => slot.1 = value,
-            None => tuple.push((attr, value)),
-        }
+        debug_assert!(n.index() < self.labels.len(), "attr node out of range");
+        push_counted!(self, attr_log, (n, attr, value));
     }
 
     /// Adds a directed edge `src → dst` labelled `label`.
@@ -248,7 +396,7 @@ impl GraphBuilder {
         assert!(src.index() < self.labels.len(), "edge src out of range");
         assert!(dst.index() < self.labels.len(), "edge dst out of range");
         let id = EdgeId::from_index(self.edges.len());
-        self.edges.push(Edge { src, dst, label });
+        push_counted!(self, edges, Edge { src, dst, label });
         id
     }
 
@@ -267,89 +415,104 @@ impl GraphBuilder {
         let GraphBuilder {
             interner,
             labels,
-            mut attrs,
+            mut attr_log,
             edges,
+            reallocs,
         } = self;
         let n = labels.len();
+        let attr_writes = attr_log.len() as u64;
 
-        for tuple in &mut attrs {
-            tuple.sort_unstable_by_key(|(a, _)| *a);
+        // Resolve the attribute log into one packed tuple array: stable
+        // sort groups writes by (node, attr) preserving write order, so the
+        // last entry of each group is the surviving binding.
+        attr_log.sort_by_key(|&(node, attr, _)| (node, attr));
+        let mut attr_offsets = vec![0u32; n + 1];
+        let mut attr_entries: Vec<(AttrId, Value)> = Vec::with_capacity(attr_log.len());
+        let mut i = 0;
+        while i < attr_log.len() {
+            let (node, attr, _) = attr_log[i];
+            let mut j = i + 1;
+            while j < attr_log.len() && attr_log[j].0 == node && attr_log[j].1 == attr {
+                j += 1;
+            }
+            attr_entries.push((attr, attr_log[j - 1].2));
+            attr_offsets[node.index() + 1] += 1;
+            i = j;
         }
-        let attrs: Vec<Box<[(AttrId, Value)]>> =
-            attrs.into_iter().map(|t| t.into_boxed_slice()).collect();
+        for i in 1..=n {
+            attr_offsets[i] += attr_offsets[i - 1];
+        }
+        drop(attr_log);
 
         // Out-CSR sorted by (dst, label) per node: enables binary-searched
         // `has_edge` / `edges_between` used when the matcher closes cycles.
-        let out = build_csr(n, &edges, |e| e.src, |e| (e.dst, e.label));
-        let inn = build_csr(n, &edges, |e| e.dst, |e| (e.src, e.label));
+        let out = Csr::build(n, &edges, |e| e.src, |e| e.dst);
+        let inn = Csr::build(n, &edges, |e| e.dst, |e| e.src);
         // Label-partitioned CSRs sorted by (label, neighbour): anchor steps
         // with concrete edge labels walk one contiguous slice, and the
         // per-node label ranges serve as the NLF summary.
         let out_labeled = LabelCsr::build(n, &edges, |e| e.src, |e| e.dst);
         let in_labeled = LabelCsr::build(n, &edges, |e| e.dst, |e| e.src);
 
-        let mut nodes_by_label: Vec<Vec<NodeId>> = Vec::new();
+        // Per-label node index as one offsets array + one packed node
+        // array (counting sort by label; ascending node id within label).
+        let num_labels = labels.iter().map(|l| l.index() + 1).max().unwrap_or(0);
+        let mut label_node_offsets = vec![0u32; num_labels + 1];
+        for &l in &labels {
+            label_node_offsets[l.index() + 1] += 1;
+        }
+        for i in 1..=num_labels {
+            label_node_offsets[i] += label_node_offsets[i - 1];
+        }
+        let mut cursor = label_node_offsets.clone();
+        let mut label_nodes = vec![NodeId(0); n];
         for (i, &l) in labels.iter().enumerate() {
-            if nodes_by_label.len() <= l.index() {
-                nodes_by_label.resize_with(l.index() + 1, Vec::new);
-            }
-            nodes_by_label[l.index()].push(NodeId::from_index(i));
+            let slot = &mut cursor[l.index()];
+            label_nodes[*slot as usize] = NodeId::from_index(i);
+            *slot += 1;
         }
 
-        Graph {
+        let mut g = Graph {
             interner,
             labels,
-            attrs,
+            attr_offsets,
+            attr_entries,
             edges,
             out,
             inn,
             out_labeled,
             in_labeled,
-            nodes_by_label,
-        }
+            label_node_offsets,
+            label_nodes,
+            build_stats: GraphBuildStats {
+                builder_reallocs: reallocs,
+                attr_writes,
+                graph_bytes: 0,
+            },
+        };
+        g.build_stats.graph_bytes = g.memory_bytes();
+        g
     }
 }
 
-fn build_csr(
-    n: usize,
-    edges: &[Edge],
-    endpoint: impl Fn(&Edge) -> NodeId,
-    sort_key: impl Fn(&Edge) -> (NodeId, LabelId),
-) -> Csr {
-    let mut counts = vec![0u32; n + 1];
-    for e in edges {
-        counts[endpoint(e).index() + 1] += 1;
-    }
-    for i in 1..=n {
-        counts[i] += counts[i - 1];
-    }
-    let offsets = counts;
-    let mut cursor = offsets.clone();
-    let mut list = vec![EdgeId(0); edges.len()];
-    for (i, e) in edges.iter().enumerate() {
-        let slot = &mut cursor[endpoint(e).index()];
-        list[*slot as usize] = EdgeId::from_index(i);
-        *slot += 1;
-    }
-    for w in offsets.windows(2) {
-        let (lo, hi) = (w[0] as usize, w[1] as usize);
-        list[lo..hi].sort_unstable_by_key(|&eid| sort_key(&edges[eid.index()]));
-    }
-    Csr { offsets, list }
-}
-
-/// An immutable property graph with CSR adjacency and label indexes.
+/// An immutable property graph in structure-of-arrays CSR layout: flat
+/// offsets + packed payload arrays for adjacency (plain and
+/// label-partitioned, both directions), attribute tuples, and the
+/// per-label node index.
 #[derive(Debug)]
 pub struct Graph {
     interner: Arc<Interner>,
     labels: Vec<LabelId>,
-    attrs: Vec<Box<[(AttrId, Value)]>>,
+    attr_offsets: Vec<u32>,
+    attr_entries: Vec<(AttrId, Value)>,
     edges: Vec<Edge>,
     out: Csr,
     inn: Csr,
     out_labeled: LabelCsr,
     in_labeled: LabelCsr,
-    nodes_by_label: Vec<Vec<NodeId>>,
+    label_node_offsets: Vec<u32>,
+    label_nodes: Vec<NodeId>,
+    build_stats: GraphBuildStats,
 }
 
 impl Graph {
@@ -400,16 +563,19 @@ impl Graph {
         self.edges[e.index()]
     }
 
-    /// The attribute tuple `F_A(v)`, sorted by attribute id.
+    /// The attribute tuple `F_A(v)`, sorted by attribute id — one slice of
+    /// the packed tuple array.
     #[inline]
     pub fn attrs(&self, n: NodeId) -> &[(AttrId, Value)] {
-        &self.attrs[n.index()]
+        let lo = self.attr_offsets[n.index()] as usize;
+        let hi = self.attr_offsets[n.index() + 1] as usize;
+        &self.attr_entries[lo..hi]
     }
 
     /// Value of attribute `a` at node `n`, if present.
     #[inline]
     pub fn attr(&self, n: NodeId, a: AttrId) -> Option<Value> {
-        let tuple = &self.attrs[n.index()];
+        let tuple = self.attrs(n);
         tuple
             .binary_search_by_key(&a, |(x, _)| *x)
             .ok()
@@ -426,6 +592,19 @@ impl Graph {
     #[inline]
     pub fn in_edges(&self, n: NodeId) -> &[EdgeId] {
         self.inn.slice(n)
+    }
+
+    /// Destinations of `n`'s outgoing edges, parallel to
+    /// [`Graph::out_edges`] (sorted, so repeated neighbours are adjacent).
+    #[inline]
+    pub fn out_nbrs(&self, n: NodeId) -> &[NodeId] {
+        self.out.nbr_slice(n)
+    }
+
+    /// Sources of `n`'s incoming edges, parallel to [`Graph::in_edges`].
+    #[inline]
+    pub fn in_nbrs(&self, n: NodeId) -> &[NodeId] {
+        self.inn.nbr_slice(n)
     }
 
     /// Out-degree of `n`.
@@ -454,6 +633,35 @@ impl Graph {
         self.in_labeled.slice(n, l)
     }
 
+    /// Destinations of `n`'s outgoing `l`-labelled edges, parallel to
+    /// [`Graph::out_edges_labeled`] — the packed neighbour walk used by
+    /// anchor steps (sorted ascending, parallel edges adjacent).
+    #[inline]
+    pub fn out_nbrs_labeled(&self, n: NodeId, l: LabelId) -> &[NodeId] {
+        self.out_labeled.nbr_slice(n, l)
+    }
+
+    /// Sources of `n`'s incoming `l`-labelled edges, parallel to
+    /// [`Graph::in_edges_labeled`].
+    #[inline]
+    pub fn in_nbrs_labeled(&self, n: NodeId, l: LabelId) -> &[NodeId] {
+        self.in_labeled.nbr_slice(n, l)
+    }
+
+    /// Both parallel slices of `n`'s outgoing `l`-labelled adjacency at
+    /// once: `(edge ids, destinations)`.
+    #[inline]
+    pub fn out_adj_labeled(&self, n: NodeId, l: LabelId) -> (&[EdgeId], &[NodeId]) {
+        self.out_labeled.pair_slices(n, l)
+    }
+
+    /// Both parallel slices of `n`'s incoming `l`-labelled adjacency at
+    /// once: `(edge ids, sources)`.
+    #[inline]
+    pub fn in_adj_labeled(&self, n: NodeId, l: LabelId) -> (&[EdgeId], &[NodeId]) {
+        self.in_labeled.pair_slices(n, l)
+    }
+
     /// Number of outgoing edges of `n` labelled `l` — the out-side
     /// neighbour-label-frequency (NLF) summary used for candidate pruning.
     #[inline]
@@ -468,20 +676,27 @@ impl Graph {
     }
 
     /// Iterates the label-partitioned out-adjacency of `n` as one
-    /// `(label, edges)` run per distinct edge label, each run sorted by
-    /// `(dst, edge id)` — the range-iteration helper behind label-indexed
-    /// harvesting: per-label degrees and per-label neighbour walks come
-    /// from one pass over the (small) per-node label index instead of
-    /// filtering the full adjacency.
+    /// `(label, edge ids, destinations)` run per distinct edge label, the
+    /// two payload slices parallel and sorted by `(dst, edge id)` — the
+    /// range-iteration helper behind label-indexed harvesting: per-label
+    /// degrees and per-label neighbour walks come from one pass over the
+    /// (small) per-node label index, and the packed neighbour slice means
+    /// no per-entry edge-table dereference.
     #[inline]
-    pub fn out_label_runs(&self, n: NodeId) -> impl Iterator<Item = (LabelId, &[EdgeId])> + '_ {
+    pub fn out_label_runs(
+        &self,
+        n: NodeId,
+    ) -> impl Iterator<Item = (LabelId, &[EdgeId], &[NodeId])> + '_ {
         self.out_labeled.runs(n)
     }
 
     /// Iterates the label-partitioned in-adjacency of `n` as
-    /// `(label, edges)` runs, each sorted by `(src, edge id)`.
+    /// `(label, edge ids, sources)` runs, each sorted by `(src, edge id)`.
     #[inline]
-    pub fn in_label_runs(&self, n: NodeId) -> impl Iterator<Item = (LabelId, &[EdgeId])> + '_ {
+    pub fn in_label_runs(
+        &self,
+        n: NodeId,
+    ) -> impl Iterator<Item = (LabelId, &[EdgeId], &[NodeId])> + '_ {
         self.in_labeled.runs(n)
     }
 
@@ -496,38 +711,98 @@ impl Graph {
         self.nodes().map(|n| self.degree(n)).max().unwrap_or(0)
     }
 
-    /// Nodes carrying label `l` (empty for labels absent from the graph —
+    /// Nodes carrying label `l`, ascending, as one slice of the packed
+    /// per-label node array (empty for labels absent from the graph —
     /// including labels interned after the freeze, e.g. by patterns).
     pub fn nodes_with_label(&self, l: LabelId) -> &[NodeId] {
-        self.nodes_by_label
-            .get(l.index())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        let i = l.index();
+        if i + 1 >= self.label_node_offsets.len() {
+            return &[];
+        }
+        let lo = self.label_node_offsets[i] as usize;
+        let hi = self.label_node_offsets[i + 1] as usize;
+        &self.label_nodes[lo..hi]
     }
 
-    /// Edge ids from `src` to `dst` (any label), via binary search.
+    /// Edge ids from `src` to `dst` (any label), via binary search over the
+    /// packed neighbour array.
     pub fn edges_between(&self, src: NodeId, dst: NodeId) -> &[EdgeId] {
-        let list = self.out.slice(src);
-        let lo = list.partition_point(|&e| self.edges[e.index()].dst < dst);
-        let hi = list.partition_point(|&e| self.edges[e.index()].dst <= dst);
-        &list[lo..hi]
+        self.edges_between_labeled(src, dst).0
     }
 
-    /// Whether an edge `src → dst` with exactly label `label` exists.
+    /// Edge ids from `src` to `dst` plus the parallel slice of their edge
+    /// labels (sorted ascending — the slice is a label-sorted run, so
+    /// per-label grouping is a linear walk with no edge-table lookups).
+    pub fn edges_between_labeled(&self, src: NodeId, dst: NodeId) -> (&[EdgeId], &[LabelId]) {
+        let (lo_bound, hi_bound) = self.out.bounds(src);
+        let nbrs = &self.out.nbrs[lo_bound..hi_bound];
+        let lo = lo_bound + nbrs.partition_point(|&d| d < dst);
+        let hi = lo_bound + nbrs.partition_point(|&d| d <= dst);
+        (&self.out.list[lo..hi], &self.out.labels[lo..hi])
+    }
+
+    /// Edge ids from `dst`'s in-adjacency arriving from `src`, plus the
+    /// parallel label slice (the in-side mirror of
+    /// [`Graph::edges_between_labeled`], same edge set).
+    pub fn in_edges_between_labeled(&self, dst: NodeId, src: NodeId) -> (&[EdgeId], &[LabelId]) {
+        let (lo_bound, hi_bound) = self.inn.bounds(dst);
+        let nbrs = &self.inn.nbrs[lo_bound..hi_bound];
+        let lo = lo_bound + nbrs.partition_point(|&d| d < src);
+        let hi = lo_bound + nbrs.partition_point(|&d| d <= src);
+        (&self.inn.list[lo..hi], &self.inn.labels[lo..hi])
+    }
+
+    /// Whether an edge `src → dst` with exactly label `label` exists
+    /// (binary search in the label-partitioned neighbour slice).
     pub fn has_edge(&self, src: NodeId, dst: NodeId, label: LabelId) -> bool {
-        self.edges_between(src, dst)
-            .iter()
-            .any(|&e| self.edges[e.index()].label == label)
+        self.out_labeled
+            .nbr_slice(src, label)
+            .binary_search(&dst)
+            .is_ok()
     }
 
     /// Whether any edge `src → dst` exists.
     pub fn has_any_edge(&self, src: NodeId, dst: NodeId) -> bool {
-        !self.edges_between(src, dst).is_empty()
+        self.out.nbr_slice(src).binary_search(&dst).is_ok()
     }
 
     /// The shared string interner.
     pub fn interner(&self) -> &Arc<Interner> {
         &self.interner
+    }
+
+    /// Allocation counters from construction (see [`GraphBuildStats`]).
+    pub fn build_stats(&self) -> GraphBuildStats {
+        self.build_stats
+    }
+
+    /// Exact bytes held by the frozen flat arrays (offsets, packed edge and
+    /// neighbour lists, attribute tuples, label index; the shared interner
+    /// is excluded). The frozen layout is a fixed set of large flat
+    /// allocations, so this is an exact census, not an estimate.
+    pub fn memory_bytes(&self) -> u64 {
+        let csr = |c: &Csr| {
+            slice_bytes(&c.offsets)
+                + slice_bytes(&c.list)
+                + slice_bytes(&c.nbrs)
+                + slice_bytes(&c.labels)
+        };
+        let lcsr = |c: &LabelCsr| {
+            slice_bytes(&c.list)
+                + slice_bytes(&c.nbrs)
+                + slice_bytes(&c.range_offsets)
+                + slice_bytes(&c.ranges)
+        };
+        slice_bytes(&self.labels)
+            + slice_bytes(&self.attr_offsets)
+            + slice_bytes(&self.attr_entries)
+            + slice_bytes(&self.edges)
+            + csr(&self.out)
+            + csr(&self.inn)
+            + lcsr(&self.out_labeled)
+            + lcsr(&self.in_labeled)
+            + slice_bytes(&self.label_node_offsets)
+            + slice_bytes(&self.label_nodes)
     }
 
     /// Distinct values of attribute `a`, with occurrence counts, sorted by
@@ -548,11 +823,11 @@ impl Graph {
     /// descending count.
     pub fn node_label_frequencies(&self) -> Vec<(LabelId, u32)> {
         let mut out: Vec<(LabelId, u32)> = self
-            .nodes_by_label
-            .iter()
+            .label_node_offsets
+            .windows(2)
             .enumerate()
-            .filter(|(_, v)| !v.is_empty())
-            .map(|(i, v)| (LabelId::from_index(i), v.len() as u32))
+            .filter(|(_, w)| w[1] > w[0])
+            .map(|(i, w)| (LabelId::from_index(i), w[1] - w[0]))
             .collect();
         out.sort_unstable_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
         out
@@ -617,6 +892,27 @@ mod tests {
     }
 
     #[test]
+    fn attr_overwrites_interleaved_across_nodes_resolve_last_wins() {
+        let mut b = GraphBuilder::new();
+        let x = b.add_node("t");
+        let y = b.add_node("t");
+        b.set_attr(x, "a", "x1");
+        b.set_attr(y, "a", "y1");
+        b.set_attr(x, "b", 1i64);
+        b.set_attr(x, "a", "x2");
+        b.set_attr(y, "a", "y2");
+        b.set_attr(x, "a", "x3");
+        let g = b.build();
+        assert_eq!(g.attrs(x).len(), 2);
+        assert_eq!(g.attrs(y).len(), 1);
+        let a = g.interner().lookup_attr("a").unwrap();
+        let x3 = g.interner().lookup_symbol("x3").unwrap();
+        let y2 = g.interner().lookup_symbol("y2").unwrap();
+        assert_eq!(g.attr(x, a), Some(Value::Str(x3)));
+        assert_eq!(g.attr(y, a), Some(Value::Str(y2)));
+    }
+
+    #[test]
     fn adjacency_and_degrees() {
         let g = toy();
         assert_eq!(g.out_degree(NodeId(0)), 2);
@@ -637,6 +933,7 @@ mod tests {
         assert!(g.has_edge(NodeId(0), NodeId(1), follow));
         assert!(g.has_edge(NodeId(1), NodeId(0), follow));
         assert!(!g.has_any_edge(NodeId(2), NodeId(1)));
+        assert!(g.has_any_edge(NodeId(0), NodeId(2)));
         assert_eq!(g.edges_between(NodeId(0), NodeId(2)).len(), 1);
     }
 
@@ -744,11 +1041,39 @@ mod tests {
     }
 
     #[test]
+    fn packed_neighbour_slices_parallel_the_edge_slices() {
+        let g = toy();
+        for n in g.nodes() {
+            let out_expect: Vec<NodeId> = g.out_edges(n).iter().map(|&e| g.edge(e).dst).collect();
+            assert_eq!(g.out_nbrs(n), out_expect.as_slice());
+            let in_expect: Vec<NodeId> = g.in_edges(n).iter().map(|&e| g.edge(e).src).collect();
+            assert_eq!(g.in_nbrs(n), in_expect.as_slice());
+            for (l, edges, nbrs) in g.out_label_runs(n) {
+                assert_eq!(edges.len(), nbrs.len());
+                let expect: Vec<NodeId> = edges.iter().map(|&e| g.edge(e).dst).collect();
+                assert_eq!(nbrs, expect.as_slice());
+                let (pe, pn) = g.out_adj_labeled(n, l);
+                assert_eq!(pe, edges);
+                assert_eq!(pn, nbrs);
+                assert_eq!(g.out_nbrs_labeled(n, l), nbrs);
+            }
+            for (l, edges, nbrs) in g.in_label_runs(n) {
+                let expect: Vec<NodeId> = edges.iter().map(|&e| g.edge(e).src).collect();
+                assert_eq!(nbrs, expect.as_slice());
+                let (pe, pn) = g.in_adj_labeled(n, l);
+                assert_eq!(pe, edges);
+                assert_eq!(pn, nbrs);
+                assert_eq!(g.in_nbrs_labeled(n, l), nbrs);
+            }
+        }
+    }
+
+    #[test]
     fn label_runs_cover_the_adjacency_exactly_once() {
         let g = toy();
         for n in g.nodes() {
             let mut out_run_edges: Vec<EdgeId> = Vec::new();
-            for (l, edges) in g.out_label_runs(n) {
+            for (l, edges, _) in g.out_label_runs(n) {
                 assert_eq!(edges, g.out_edges_labeled(n, l));
                 assert_eq!(edges.len(), g.out_label_degree(n, l));
                 out_run_edges.extend_from_slice(edges);
@@ -759,7 +1084,7 @@ mod tests {
             assert_eq!(out_run_edges, expect);
 
             let mut in_run_edges: Vec<EdgeId> = Vec::new();
-            for (l, edges) in g.in_label_runs(n) {
+            for (l, edges, _) in g.in_label_runs(n) {
                 assert_eq!(edges, g.in_edges_labeled(n, l));
                 in_run_edges.extend_from_slice(edges);
             }
@@ -776,6 +1101,7 @@ mod tests {
         let missing = LabelId(999);
         assert_eq!(g.out_edges_labeled(NodeId(0), missing), &[]);
         assert_eq!(g.in_edges_labeled(NodeId(0), missing), &[]);
+        assert_eq!(g.out_nbrs_labeled(NodeId(0), missing), &[]);
         assert_eq!(g.out_label_degree(NodeId(0), missing), 0);
         assert_eq!(g.in_label_degree(NodeId(0), missing), 0);
     }
@@ -799,8 +1125,50 @@ mod tests {
         assert_eq!(g.edge(rs[0]).dst, y);
         assert_eq!(g.edge(rs[1]).dst, y);
         assert_eq!(g.edge(rs[2]).dst, z);
+        assert_eq!(g.out_nbrs_labeled(x, r), &[y, y, z]);
         assert_eq!(g.out_label_degree(x, r), 3);
         assert_eq!(g.out_label_degree(x, s), 1);
         assert_eq!(g.in_label_degree(y, r), 2);
+    }
+
+    #[test]
+    fn preallocated_builder_appends_without_reallocating() {
+        let mut b = GraphBuilder::with_capacity(10, 12, 8);
+        let ns: Vec<NodeId> = (0..10).map(|_| b.add_node("t")).collect();
+        for i in 0..8 {
+            b.set_attr(ns[i % 10], "a", i as i64);
+        }
+        for i in 0..12 {
+            b.add_edge(ns[i % 10], ns[(i + 1) % 10], "r");
+        }
+        let g = b.build();
+        let st = g.build_stats();
+        assert_eq!(st.builder_reallocs, 0, "{st:?}");
+        assert_eq!(st.attr_writes, 8);
+        assert!(st.graph_bytes > 0);
+        assert_eq!(st.graph_bytes, g.memory_bytes());
+    }
+
+    #[test]
+    fn unreserved_builder_counts_reallocs() {
+        let mut b = GraphBuilder::new();
+        for _ in 0..100 {
+            let n = b.add_node("t");
+            b.set_attr(n, "a", 1i64);
+        }
+        let g = b.build();
+        assert!(g.build_stats().builder_reallocs > 0);
+    }
+
+    #[test]
+    fn memory_bytes_grows_with_the_graph() {
+        let small = toy();
+        let mut b = GraphBuilder::new();
+        let ns: Vec<NodeId> = (0..100).map(|_| b.add_node("t")).collect();
+        for i in 0..99 {
+            b.add_edge(ns[i], ns[i + 1], "r");
+        }
+        let big = b.build();
+        assert!(big.memory_bytes() > small.memory_bytes());
     }
 }

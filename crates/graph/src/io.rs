@@ -53,21 +53,19 @@ fn escape(s: &str, out: &mut String) {
 
 fn unescape(s: &str) -> Result<String, String> {
     let mut out = String::with_capacity(s.len());
-    let bytes = s.as_bytes();
-    let mut i = 0;
-    while i < bytes.len() {
-        if bytes[i] == b'%' {
-            let hex = s
-                .get(i + 1..i + 3)
-                .ok_or_else(|| "truncated escape".to_string())?;
-            let code = u8::from_str_radix(hex, 16).map_err(|_| format!("bad escape %{hex}"))?;
-            out.push(code as char);
-            i += 3;
-        } else {
-            out.push(bytes[i] as char);
-            i += 1;
-        }
+    let mut rest = s;
+    // Copy between escapes str-wise (not byte-wise): tokens may contain
+    // multi-byte UTF-8, which per-byte `as char` casts would mangle.
+    while let Some(i) = rest.find('%') {
+        out.push_str(&rest[..i]);
+        let hex = rest
+            .get(i + 1..i + 3)
+            .ok_or_else(|| "truncated escape".to_string())?;
+        let code = u8::from_str_radix(hex, 16).map_err(|_| format!("bad escape %{hex}"))?;
+        out.push(code as char);
+        rest = &rest[i + 3..];
     }
+    out.push_str(rest);
     Ok(out)
 }
 
@@ -105,63 +103,242 @@ pub fn to_text(g: &Graph) -> String {
     out
 }
 
+/// Parses one non-blank, non-comment record line into `b`.
+fn parse_line(b: &mut GraphBuilder, line: &str, lineno: usize) -> Result<(), ParseError> {
+    let err = |message: String| ParseError {
+        line: lineno,
+        message,
+    };
+    let mut parts = line.split_ascii_whitespace();
+    match parts.next() {
+        Some("n") => {
+            let label = parts
+                .next()
+                .ok_or_else(|| err("node line missing label".into()))?;
+            let label = unescape(label).map_err(&err)?;
+            let node = b.add_node(&label);
+            for kv in parts {
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| err(format!("bad attribute `{kv}`")))?;
+                let k = unescape(k).map_err(&err)?;
+                let v = unescape(v).map_err(&err)?;
+                b.set_attr(node, &k, sniff(&v));
+            }
+        }
+        Some("e") => {
+            let src: usize = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err("edge line missing src".into()))?;
+            let dst: usize = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| err("edge line missing dst".into()))?;
+            let label = parts
+                .next()
+                .ok_or_else(|| err("edge line missing label".into()))?;
+            let label = unescape(label).map_err(&err)?;
+            if src >= b.node_count() || dst >= b.node_count() {
+                return Err(err(format!("edge {src}->{dst} references unknown node")));
+            }
+            b.add_edge(
+                crate::ids::NodeId::from_index(src),
+                crate::ids::NodeId::from_index(dst),
+                &label,
+            );
+        }
+        Some(other) => return Err(err(format!("unknown record `{other}`"))),
+        None => unreachable!("blank lines filtered by callers"),
+    }
+    Ok(())
+}
+
+/// Incremental parser for the text format: feed the input in arbitrary
+/// chunks — chunk boundaries may fall mid-line or mid-escape — and every
+/// split of the same text produces the identical frozen graph.
+///
+/// Memory is bounded by one line: only the trailing partial line of the
+/// previous chunk is carried between `feed` calls; complete lines stream
+/// straight into the [`GraphBuilder`].
+pub struct ChunkedParser {
+    b: GraphBuilder,
+    carry: String,
+    lineno: usize,
+}
+
+impl Default for ChunkedParser {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChunkedParser {
+    /// A parser building into an empty, unreserved builder.
+    pub fn new() -> ChunkedParser {
+        ChunkedParser {
+            b: GraphBuilder::new(),
+            carry: String::new(),
+            lineno: 0,
+        }
+    }
+
+    /// A parser whose builder is pre-reserved for `nodes`/`edges`/`attrs`
+    /// records, so a sized load appends without reallocating.
+    pub fn with_capacity(nodes: usize, edges: usize, attrs: usize) -> ChunkedParser {
+        ChunkedParser {
+            b: GraphBuilder::with_capacity(nodes, edges, attrs),
+            carry: String::new(),
+            lineno: 0,
+        }
+    }
+
+    fn line(&mut self, line: &str) -> Result<(), ParseError> {
+        self.lineno += 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(());
+        }
+        parse_line(&mut self.b, line, self.lineno)
+    }
+
+    /// Consumes the next chunk of input.
+    pub fn feed(&mut self, mut chunk: &str) -> Result<(), ParseError> {
+        // Complete the carried partial line first.
+        if !self.carry.is_empty() {
+            match chunk.find('\n') {
+                None => {
+                    self.carry.push_str(chunk);
+                    return Ok(());
+                }
+                Some(i) => {
+                    self.carry.push_str(&chunk[..i]);
+                    let line = std::mem::take(&mut self.carry);
+                    self.line(&line)?;
+                    chunk = &chunk[i + 1..];
+                }
+            }
+        }
+        // Stream the complete lines; the trailing fragment becomes carry.
+        while let Some(i) = chunk.find('\n') {
+            // Borrow-split keeps this zero-copy for full lines.
+            let (line, rest) = chunk.split_at(i);
+            self.line(line)?;
+            chunk = &rest[1..];
+        }
+        self.carry.push_str(chunk);
+        Ok(())
+    }
+
+    /// Flushes a final unterminated line and freezes the graph.
+    pub fn finish(mut self) -> Result<Graph, ParseError> {
+        if !self.carry.is_empty() {
+            let line = std::mem::take(&mut self.carry);
+            self.line(&line)?;
+        }
+        Ok(self.b.build())
+    }
+}
+
 /// Parses a graph from the text format.
 pub fn from_text(text: &str) -> Result<Graph, ParseError> {
-    let mut b = GraphBuilder::new();
-    for (idx, raw) in text.lines().enumerate() {
-        let lineno = idx + 1;
-        let line = raw.trim();
+    let mut p = ChunkedParser::new();
+    p.feed(text)?;
+    p.finish()
+}
+
+/// Record counts from a sizing pass over the text format, used to
+/// pre-reserve the builder so the build pass never reallocates.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TextSizing {
+    /// `n` records seen.
+    pub nodes: usize,
+    /// `e` records seen.
+    pub edges: usize,
+    /// Attribute assignments across all `n` records.
+    pub attrs: usize,
+}
+
+/// Counts records without building anything; memory is bounded by one
+/// line (the read buffer is reused across lines).
+pub fn sizing_pass<R: std::io::BufRead>(mut r: R) -> std::io::Result<TextSizing> {
+    let mut sizing = TextSizing::default();
+    let mut buf = String::new();
+    loop {
+        buf.clear();
+        if r.read_line(&mut buf)? == 0 {
+            return Ok(sizing);
+        }
+        let line = buf.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let err = |message: String| ParseError {
-            line: lineno,
-            message,
-        };
         let mut parts = line.split_ascii_whitespace();
         match parts.next() {
             Some("n") => {
-                let label = parts
-                    .next()
-                    .ok_or_else(|| err("node line missing label".into()))?;
-                let label = unescape(label).map_err(&err)?;
-                let node = b.add_node(&label);
-                for kv in parts {
-                    let (k, v) = kv
-                        .split_once('=')
-                        .ok_or_else(|| err(format!("bad attribute `{kv}`")))?;
-                    let k = unescape(k).map_err(&err)?;
-                    let v = unescape(v).map_err(&err)?;
-                    b.set_attr(node, &k, sniff(&v));
-                }
+                sizing.nodes += 1;
+                // Tokens after the label are `attr=value` pairs.
+                sizing.attrs += parts.count().saturating_sub(1);
             }
-            Some("e") => {
-                let src: usize = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| err("edge line missing src".into()))?;
-                let dst: usize = parts
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .ok_or_else(|| err("edge line missing dst".into()))?;
-                let label = parts
-                    .next()
-                    .ok_or_else(|| err("edge line missing label".into()))?;
-                let label = unescape(label).map_err(&err)?;
-                if src >= b.node_count() || dst >= b.node_count() {
-                    return Err(err(format!("edge {src}->{dst} references unknown node")));
-                }
-                b.add_edge(
-                    crate::ids::NodeId::from_index(src),
-                    crate::ids::NodeId::from_index(dst),
-                    &label,
-                );
-            }
-            Some(other) => return Err(err(format!("unknown record `{other}`"))),
-            None => unreachable!("blank lines filtered above"),
+            Some("e") => sizing.edges += 1,
+            _ => {} // malformed lines are diagnosed by the build pass
         }
     }
-    Ok(b.build())
+}
+
+/// Default chunk size for [`load_streamed`].
+pub const STREAM_CHUNK_BYTES: usize = 64 * 1024;
+
+/// Loads a graph from `path` in two bounded-memory passes: a sizing pass
+/// counts records, then the build pass streams fixed-size chunks through a
+/// [`ChunkedParser`] whose builder is pre-reserved from the sizing — the
+/// file is never resident as one string and the builder never reallocates.
+pub fn load_streamed(path: &Path) -> std::io::Result<Graph> {
+    load_chunked(path, STREAM_CHUNK_BYTES)
+}
+
+/// [`load_streamed`] with an explicit chunk size (any size ≥ 8 yields the
+/// identical graph; tiny sizes exist for the invariance tests).
+pub fn load_chunked(path: &Path, chunk_bytes: usize) -> std::io::Result<Graph> {
+    use std::io::Read;
+    let sizing = sizing_pass(std::io::BufReader::new(std::fs::File::open(path)?))?;
+    let mut p = ChunkedParser::with_capacity(sizing.nodes, sizing.edges, sizing.attrs);
+    let mut f = std::fs::File::open(path)?;
+    // `tail` carries bytes of a UTF-8 sequence split by the chunk edge
+    // (at most 3), so `valid` below is always a char boundary.
+    let mut buf = vec![0u8; chunk_bytes.max(8)];
+    let mut tail = 0usize;
+    loop {
+        let n = f.read(&mut buf[tail..])?;
+        if n == 0 {
+            break;
+        }
+        let filled = tail + n;
+        let valid = match std::str::from_utf8(&buf[..filled]) {
+            Ok(s) => s.len(),
+            Err(e) => e.valid_up_to(),
+        };
+        let chunk = std::str::from_utf8(&buf[..valid])
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        p.feed(chunk)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        buf.copy_within(valid..filled, 0);
+        tail = filled - valid;
+        if tail >= 4 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "invalid UTF-8 in graph text",
+            ));
+        }
+    }
+    if tail != 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "truncated UTF-8 at end of graph text",
+        ));
+    }
+    p.finish()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
 
 /// Writes `g` to `path` in the text format.
@@ -169,10 +346,9 @@ pub fn save(g: &Graph, path: &Path) -> std::io::Result<()> {
     std::fs::write(path, to_text(g))
 }
 
-/// Loads a graph from `path`.
+/// Loads a graph from `path` (streaming; see [`load_streamed`]).
 pub fn load(path: &Path) -> std::io::Result<Graph> {
-    let text = std::fs::read_to_string(path)?;
-    from_text(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    load_streamed(path)
 }
 
 #[cfg(test)]
@@ -241,6 +417,100 @@ mod tests {
         assert!(err.message.contains("unknown node"));
         let err = from_text("e 0\n").unwrap_err();
         assert!(err.message.contains("missing"));
+    }
+
+    /// A graph big enough that an unreserved builder would reallocate.
+    fn bigger() -> Graph {
+        let mut b = GraphBuilder::new();
+        let mut nodes = Vec::new();
+        for i in 0..300 {
+            let n = b.add_node(["person", "product", "city"][i % 3]);
+            b.set_attr(n, "rank", i as i64);
+            if i % 2 == 0 {
+                b.set_attr(n, "tag", ["hot", "cold"][i % 4 / 2]);
+            }
+            nodes.push(n);
+        }
+        for i in 0..600 {
+            b.add_edge(nodes[i % 300], nodes[(i * 7 + 1) % 300], "link");
+        }
+        b.build()
+    }
+
+    #[test]
+    fn chunk_split_invariance() {
+        let g = bigger();
+        let text = to_text(&g);
+        let whole = to_text(&from_text(&text).unwrap());
+        for chunk in [1usize, 2, 3, 5, 17, 64, 1000, usize::MAX] {
+            let mut p = ChunkedParser::new();
+            let mut rest = text.as_str();
+            while !rest.is_empty() {
+                let take = chunk.min(rest.len());
+                // Stay on a char boundary (the text here is ASCII, but
+                // keep the loop honest).
+                let take = (take..=rest.len())
+                    .find(|&i| rest.is_char_boundary(i))
+                    .unwrap();
+                p.feed(&rest[..take]).unwrap();
+                rest = &rest[take..];
+            }
+            let h = p.finish().unwrap();
+            assert_eq!(to_text(&h), whole, "chunk size {chunk} diverged");
+        }
+    }
+
+    #[test]
+    fn sizing_pass_counts_records() {
+        let g = bigger();
+        let text = to_text(&g);
+        let s = sizing_pass(std::io::Cursor::new(text.as_bytes())).unwrap();
+        assert_eq!(s.nodes, 300);
+        assert_eq!(s.edges, 600);
+        assert_eq!(s.attrs, 300 + 150);
+    }
+
+    #[test]
+    fn streamed_load_is_preallocated_and_identical() {
+        let g = bigger();
+        let dir = std::env::temp_dir().join("gfd-io-stream-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("big.graph");
+        save(&g, &path).unwrap();
+        for chunk in [7usize, 256, STREAM_CHUNK_BYTES] {
+            let h = load_chunked(&path, chunk).unwrap();
+            assert_eq!(to_text(&h), to_text(&g), "chunk {chunk}");
+            assert_eq!(
+                h.build_stats().builder_reallocs,
+                0,
+                "sized load must not reallocate (chunk {chunk})"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn errors_survive_chunking() {
+        let text = "n a\ne 0 5 r\n";
+        for chunk in [1usize, 4, 100] {
+            let mut p = ChunkedParser::new();
+            let mut rest = text;
+            let mut failed = None;
+            while !rest.is_empty() {
+                let take = chunk.min(rest.len());
+                if let Err(e) = p.feed(&rest[..take]) {
+                    failed = Some(e);
+                    break;
+                }
+                rest = &rest[take..];
+            }
+            let err = match failed {
+                Some(e) => e,
+                None => p.finish().unwrap_err(),
+            };
+            assert_eq!(err.line, 2, "chunk {chunk}");
+            assert!(err.message.contains("unknown node"));
+        }
     }
 
     #[test]

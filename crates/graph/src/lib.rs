@@ -29,7 +29,7 @@ pub mod triples;
 pub mod value;
 
 pub use fxhash::{FxHashMap, FxHashSet};
-pub use graph::{Edge, Graph, GraphBuilder};
+pub use graph::{Edge, Graph, GraphBuildStats, GraphBuilder};
 pub use ids::{AttrId, EdgeId, LabelId, NodeId, SymbolId};
 pub use interner::Interner;
 pub use stats::{summarize, triple_stats, GraphSummary, TripleStat};

@@ -538,6 +538,12 @@ impl SimulatedCost {
 /// `accumulate_lhs` per visited node re-ANDs the whole premise set; the
 /// prefix-shared stack ANDs one literal against the cached parent
 /// accumulator instead).
+///
+/// In the frozen-graph crate (`crates/graph/src/`) the rule additionally
+/// flags nested `Vec<Vec<…>>` anywhere — construction and read paths
+/// there are structure-of-arrays CSR by design (offset ranges into flat
+/// arrays); a vec-of-vecs is a per-node allocation and a pointer chase per
+/// access, exactly the layout the scale refactor removed.
 pub struct PerfHotLoop;
 
 impl Rule for PerfHotLoop {
@@ -546,11 +552,17 @@ impl Rule for PerfHotLoop {
     }
 
     fn describe(&self) -> &'static str {
-        "Arc::clone/.to_vec()/format! in matcher/harvest loops; full-LHS re-accumulation in lattice loops"
+        "Arc::clone/.to_vec()/format! in matcher/harvest loops; full-LHS re-accumulation in lattice loops; Vec<Vec< in frozen-graph paths"
     }
 
     fn check(&self, ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
-        if !in_scope(
+        // Two jurisdictions: the loop-allocation checks guard the matcher/
+        // harvest/lattice hot paths; the nested-Vec layout check guards the
+        // frozen graph's SoA representation. The perf fixtures exercise
+        // both.
+        let nested_scope =
+            ctx.rel.contains("crates/graph/src/") || ctx.rel.contains("fixtures/perf/");
+        let loop_scope = in_scope(
             ctx,
             self.name(),
             &[
@@ -559,7 +571,8 @@ impl Rule for PerfHotLoop {
                 "crates/core/src/hspawn.rs",
                 "crates/core/src/bitmap.rs",
             ],
-        ) {
+        );
+        if !nested_scope && !loop_scope {
             return;
         }
         // Brace-frame tracking: a frame opened after for/while/loop is a
@@ -588,7 +601,24 @@ impl Rule for PerfHotLoop {
                 }
                 _ => {}
             }
-            if !frames.iter().any(|&l| l) || ctx.is_test_line(t.line) {
+            if nested_scope
+                && t.text == "Vec"
+                && t.kind == TokKind::Ident
+                && ctx.ct(ci + 1) == "<"
+                && ctx.ct(ci + 2) == "Vec"
+                && !ctx.is_test_line(t.line)
+            {
+                out.push(
+                    ctx.diag(
+                        self.name(),
+                        t.line,
+                        "nested `Vec<Vec<…>>` in a frozen-graph path — use the flat \
+                     structure-of-arrays CSR shape (offset ranges into one flat array) instead"
+                            .to_string(),
+                    ),
+                );
+            }
+            if !loop_scope || !frames.iter().any(|&l| l) || ctx.is_test_line(t.line) {
                 continue;
             }
             let flagged = if t.text == "format" && ctx.ct(ci + 1) == "!" {

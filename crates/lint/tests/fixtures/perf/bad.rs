@@ -31,3 +31,17 @@ fn evaluate(xs: &[u32], cand: u32) -> u32 {
 fn accumulate_lhs(xs: &[u32]) -> u32 {
     xs.iter().fold(u32::MAX, |a, b| a & b)
 }
+
+/// Array-of-structs adjacency: one heap allocation per node and a pointer
+/// chase per neighbour access — the layout the frozen-graph CSR replaced.
+pub struct JaggedAdjacency {
+    pub out: Vec<Vec<u32>>,
+}
+
+pub fn collect_jagged(n: usize, edges: &[(u32, u32)]) -> Vec<Vec<u32>> {
+    let mut adj = vec![Vec::new(); n];
+    for &(s, d) in edges {
+        adj[s as usize].push(d);
+    }
+    adj
+}

@@ -24,3 +24,30 @@ pub fn prefix_shared(premises: &[u32]) -> u32 {
     }
     total
 }
+
+/// Structure-of-arrays adjacency: one flat neighbour array plus offset
+/// ranges — no per-node allocations, contiguous scans.
+pub struct CsrAdjacency {
+    pub offsets: Vec<u32>,
+    pub nbrs: Vec<u32>,
+}
+
+pub fn collect_csr(n: usize, edges: &[(u32, u32)]) -> CsrAdjacency {
+    let mut counts = vec![0u32; n + 1];
+    for &(s, _) in edges {
+        counts[s as usize + 1] += 1;
+    }
+    for i in 0..n {
+        counts[i + 1] += counts[i];
+    }
+    let mut nbrs = vec![0u32; edges.len()];
+    let mut cursor = counts.clone();
+    for &(s, d) in edges {
+        nbrs[cursor[s as usize] as usize] = d;
+        cursor[s as usize] += 1;
+    }
+    CsrAdjacency {
+        offsets: counts,
+        nbrs,
+    }
+}

@@ -1,9 +1,17 @@
 //! The master/worker superstep runtime (§6).
 //!
-//! A [`Cluster`] owns `n` workers, each holding one vertex-cut fragment
-//! plus the per-pattern match sets and match tables assigned to it. The
-//! master drives supersteps by broadcasting [`Task`]s and merging
-//! [`TaskResult`]s at barriers.
+//! A [`Cluster`] owns `n` workers, each holding one disjoint edge-cut
+//! [`Shard`] (owned node range + explicit cut-edge boundary tables) plus
+//! the per-pattern match sets and match tables assigned to it. The master
+//! drives supersteps by broadcasting [`Task`]s and merging [`TaskResult`]s
+//! at barriers.
+//!
+//! Communication is modelled the way the paper's deployment ships data:
+//! constructing the cluster charges one broadcast that installs each
+//! worker's shard (owned labels + attributes + held edges + ghost ids —
+//! not an `Arc`'d whole graph), and every join charges the remote
+//! `e(F_t)` edge lists a worker needs beyond what its shard and boundary
+//! tables already hold.
 //!
 //! Two execution modes share the identical task-processing code:
 //!
@@ -27,7 +35,7 @@ use gfd_logic::{Literal, Rhs};
 use gfd_pattern::{extend_matches, Extension, MatchSet, PLabel, Pattern};
 
 use crate::fault::{self, FaultConfig, FaultError, FaultPlan, FaultStats, UnitFault};
-use crate::partition::{node_owner, Fragment};
+use crate::partition::Shard;
 
 /// Execution mode of a [`Cluster`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -219,16 +227,19 @@ pub enum TaskResult {
     Matches(MatchSet),
 }
 
-/// Per-worker state: the fragment plus pattern-indexed matches/tables.
+/// Per-worker state: the shard plus pattern-indexed matches/tables.
 pub struct WorkerCtx {
     /// Worker id.
     pub id: usize,
-    /// Shared read-only graph (node attributes live here; the vertex cut
-    /// replicates endpoint attributes in a real deployment).
+    /// Shared read-only graph. In-process this backs two modelled
+    /// transfers, both charged to `comm_bytes`: the shard installed at
+    /// construction (owned labels/attributes + held edges) and the remote
+    /// `e(F_t)` lists a join pulls through the shard boundary.
     pub g: Arc<Graph>,
-    /// The owned fragment.
-    pub fragment: Fragment,
-    /// Total workers (for node ownership hashing).
+    /// The owned shard: a disjoint node range plus cut-edge boundary
+    /// tables.
+    pub shard: Shard,
+    /// Total workers.
     pub n: usize,
     /// Global per-label edge counts (communication model).
     pub global_label_counts: Arc<FxHashMap<LabelId, usize>>,
@@ -244,13 +255,13 @@ impl WorkerCtx {
         id: usize,
         n: usize,
         g: Arc<Graph>,
-        fragment: Fragment,
+        shard: Shard,
         global_label_counts: Arc<FxHashMap<LabelId, usize>>,
     ) -> WorkerCtx {
         WorkerCtx {
             id,
             g,
-            fragment,
+            shard,
             n,
             global_label_counts,
             patterns: FxHashMap::default(),
@@ -260,17 +271,19 @@ impl WorkerCtx {
     }
 
     /// Bytes a real deployment would ship to this worker for the join work
-    /// unit `Q(F_s) ⋈ e(F_t), t ≠ s`: every matching edge outside the local
-    /// fragment, 12 bytes each (src, dst, label).
+    /// unit `Q(F_s) ⋈ e(F_t), t ≠ s`: every matching edge the shard does
+    /// not already hold — internal and boundary edges arrived with the
+    /// shard broadcast, so only truly remote edges cross the network, 12
+    /// bytes each (src, dst, label).
     fn shipped_bytes(&self, label: PLabel) -> usize {
         // gfd-lint: allow(nondeterminism) — commutative sum; visit order cannot change a total
         let total_all: usize = self.global_label_counts.values().sum();
         let (total, local) = match label {
             PLabel::Is(l) => (
                 self.global_label_counts.get(&l).copied().unwrap_or(0),
-                self.fragment.edges_with_label(l),
+                self.shard.edges_with_label(l),
             ),
-            PLabel::Wildcard => (total_all, self.fragment.edge_count()),
+            PLabel::Wildcard => (total_all, self.shard.held_edges()),
         };
         total.saturating_sub(local) * 12
     }
@@ -289,7 +302,9 @@ impl WorkerCtx {
                 };
                 let cost = candidates.len() as u64;
                 for v in candidates {
-                    if node_owner(v, self.n) == self.id {
+                    // Disjoint shard ownership: every node seeds exactly
+                    // one worker, so fragment match sets never overlap.
+                    if self.shard.owns(v) {
                         ms.push(&[v]);
                         pivots.push(v);
                     }
@@ -460,19 +475,22 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    /// Builds a cluster over the given fragments of `g`.
-    pub fn new(g: Arc<Graph>, fragments: Vec<Fragment>, cfg: &ClusterConfig) -> Cluster {
-        let n = fragments.len();
-        assert_eq!(n, cfg.workers, "one fragment per worker");
+    /// Builds a cluster over the given edge-cut shards of `g`, charging
+    /// the broadcast that installs each shard on its worker (the modelled
+    /// deployment ships shard tables, not `Arc`'d whole graphs).
+    pub fn new(g: Arc<Graph>, shards: Vec<Shard>, cfg: &ClusterConfig) -> Cluster {
+        let n = shards.len();
+        assert_eq!(n, cfg.workers, "one shard per worker");
+        let shard_bytes: Vec<usize> = shards.iter().map(|s| s.byte_size(&g)).collect();
         let mut global: FxHashMap<LabelId, usize> = FxHashMap::default();
         for e in g.edges() {
             *global.entry(e.label).or_insert(0) += 1;
         }
         let global = Arc::new(global);
-        let mut states: Vec<WorkerCtx> = fragments
+        let mut states: Vec<WorkerCtx> = shards
             .into_iter()
             .enumerate()
-            .map(|(i, f)| WorkerCtx::new(i, n, Arc::clone(&g), f, Arc::clone(&global)))
+            .map(|(i, s)| WorkerCtx::new(i, n, Arc::clone(&g), s, Arc::clone(&global)))
             .collect();
 
         let plan = FaultPlan::from_config(&cfg.fault, n);
@@ -561,7 +579,7 @@ impl Cluster {
             }
         }
 
-        Cluster {
+        let mut cluster = Cluster {
             mode: cfg.mode,
             states,
             threads,
@@ -574,7 +592,11 @@ impl Cluster {
             wave_timeout: cfg.fault.wave_timeout,
             failed: None,
             fstats: FaultStats::default(),
-        }
+        };
+        // The initial shard broadcast: every worker receives its owned
+        // nodes, attributes, held edges, and ghost ids.
+        cluster.charge_comm(&shard_bytes);
+        cluster
     }
 
     /// Number of workers.
@@ -847,7 +869,7 @@ impl Drop for Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::partition::vertex_cut;
+    use crate::partition::edge_cut;
     use gfd_graph::GraphBuilder;
 
     fn toy_cluster(mode: ExecMode, n: usize) -> (Arc<Graph>, Cluster) {
@@ -858,10 +880,23 @@ mod tests {
             b.add_edge(person, f, "create");
         }
         let g = Arc::new(b.build());
-        let parts = vertex_cut(&g, n);
+        let parts = edge_cut(&g, n);
         let cfg = ClusterConfig::new(n, mode);
-        let cluster = Cluster::new(Arc::clone(&g), parts.fragments, &cfg);
+        let cluster = Cluster::new(Arc::clone(&g), parts.shards, &cfg);
         (g, cluster)
+    }
+
+    #[test]
+    fn construction_charges_shard_broadcast() {
+        let (g, cluster) = toy_cluster(ExecMode::Simulated, 3);
+        // Every held edge and owned label crosses the wire exactly once
+        // per holding shard; the whole graph is never broadcast.
+        let shipped = cluster.clocks.comm_bytes;
+        assert!(shipped > 0);
+        let whole = (g.node_count() * 4 + g.edge_count() * 12) as u64;
+        // Cut edges + ghosts inflate the total over one graph copy, but
+        // it must stay far below three `Arc`'d copies.
+        assert!(shipped < 3 * whole, "shipped {shipped} vs whole {whole}");
     }
 
     fn seed_and_count(mode: ExecMode) {
@@ -995,8 +1030,11 @@ mod tests {
     #[test]
     fn comm_charges_accumulate() {
         let (_, mut cluster) = toy_cluster(ExecMode::Simulated, 2);
+        // Construction already charged the shard broadcast.
+        let base = cluster.clocks.comm_bytes;
+        assert!(base > 0);
         cluster.charge_comm(&[1000, 3000]);
-        assert_eq!(cluster.clocks.comm_bytes, 4000);
+        assert_eq!(cluster.clocks.comm_bytes, base + 4000);
         assert!(cluster.clocks.comm_time > Duration::ZERO);
         let before = cluster.clocks.comm_time;
         cluster.charge_comm(&[0, 0]);

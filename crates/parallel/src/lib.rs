@@ -37,5 +37,7 @@ pub use cluster::{Clocks, Cluster, ClusterConfig, ExecMode, Task, TaskResult, Wo
 pub use fault::{Checkpoint, FaultConfig, FaultError, FaultPlan, FaultStats, UnitFault};
 pub use parcover::{par_cover, par_cover_with_runtime, ParCoverReport};
 pub use pardis::{par_dis, par_dis_with_runtime, ParDisReport, Runtime};
-pub use partition::{node_owner, split_ranges, vertex_cut, Fragment, Partition};
+pub use partition::{
+    edge_cut, node_owner, split_ranges, vertex_cut, EdgeCutPartition, Fragment, Partition, Shard,
+};
 pub use steal::{par_dis_steal, StealConfig, StealPool, Unit, UnitResult};

@@ -15,9 +15,10 @@
 //!   per-fragment [`gfd_core::PartialStats`] merged, so the mined output is
 //!   identical to the sequential algorithm's.
 //!
-//! Supports are exact: workers return local distinct-pivot *sets* which the
-//! master unions (§6.2's `Σ_s supp(φ, F_s)` sketch would overcount pivots
-//! replicated by the vertex cut).
+//! Supports are exact: workers return local distinct-pivot *sets* which
+//! the master unions. The edge-cut shards ([`crate::partition::edge_cut`])
+//! own disjoint node ranges, so the sets never overlap and the union is
+//! `Σ_s supp(φ, F_s)` exactly — no sketch, no overcount.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -33,7 +34,7 @@ use gfd_logic::{Gfd, Literal, Rhs};
 use gfd_pattern::{is_embedded, PLabel, Pattern};
 
 use crate::cluster::{Cluster, ClusterConfig, Task, TaskResult};
-use crate::partition::vertex_cut;
+use crate::partition::edge_cut;
 
 /// Outcome of a parallel discovery run.
 #[derive(Debug)]
@@ -55,7 +56,8 @@ pub struct ParDisReport {
     pub work_makespan: u64,
     /// Σ of all workers' modelled work units across barriers.
     pub work_busy: u64,
-    /// Replication factor of the vertex cut.
+    /// Replication factor of the edge cut: average copies per node
+    /// (owned + ghost entries over `|V|`).
     pub replication_factor: f64,
 }
 
@@ -159,7 +161,10 @@ impl Runtime {
 }
 
 /// [`par_dis`] on the chosen runtime: both schedules take the same worker
-/// count and execution mode and produce the same `DiscoveryResult`.
+/// count and execution mode and produce the same `DiscoveryResult`. The
+/// steal runtime gets graph-size-aware range knobs
+/// ([`crate::steal::StealConfig::tuned`]), which cannot change the result —
+/// only the schedule.
 pub fn par_dis_with_runtime(
     g: &Arc<Graph>,
     cfg: &DiscoveryConfig,
@@ -171,7 +176,7 @@ pub fn par_dis_with_runtime(
         Runtime::Steal => crate::steal::par_dis_steal(
             g,
             cfg,
-            &crate::steal::StealConfig::new(ccfg.workers, ccfg.mode)
+            &crate::steal::StealConfig::tuned(ccfg.workers, ccfg.mode, g.size())
                 .with_faults(ccfg.fault.clone()),
         ),
     }
@@ -184,9 +189,9 @@ pub fn par_dis(
     ccfg: &ClusterConfig,
 ) -> Result<ParDisReport, crate::fault::FaultError> {
     let wall0 = Instant::now();
-    let partition = vertex_cut(g, ccfg.workers);
+    let partition = edge_cut(g, ccfg.workers);
     let replication_factor = partition.replication_factor;
-    let mut cluster = Cluster::new(Arc::clone(g), partition.fragments, ccfg);
+    let mut cluster = Cluster::new(Arc::clone(g), partition.shards, ccfg);
 
     let attrs = cfg.resolve_active_attrs(g);
     let triples = triple_stats(g);
@@ -367,6 +372,9 @@ pub fn par_dis(
     result.stats.negative = result.negative_count();
     let wall = wall0.elapsed();
     result.stats.total_time = wall;
+    result.stats.peak_rss_bytes = gfd_core::peak_rss_bytes();
+    result.stats.graph_bytes = g.build_stats().graph_bytes;
+    result.stats.graph_reallocs = g.build_stats().builder_reallocs;
     Ok(ParDisReport {
         result,
         wall,

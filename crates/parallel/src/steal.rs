@@ -86,10 +86,11 @@ use crate::fault::{
 use crate::pardis::{emit_negative, ParDisReport};
 use crate::partition::split_ranges;
 
-/// How many ranges to cut per row space, as a multiple of the worker count:
-/// a little over-splitting gives the stealer something to grab when
-/// per-range costs are uneven.
-const RANGE_OVERSPLIT: usize = 2;
+/// Default for [`StealConfig::range_oversplit`] — how many ranges to cut
+/// per row space, as a multiple of the worker count: a little
+/// over-splitting gives the stealer something to grab when per-range costs
+/// are uneven.
+pub const RANGE_OVERSPLIT: usize = 2;
 
 /// Virtual node ids for adaptively split sub-lattice specs: allocated
 /// downward from `usize::MAX` so they can never collide with a
@@ -117,6 +118,13 @@ pub struct StealConfig {
     /// run as a single [`Unit::Mine`] on one worker, which avoids
     /// per-candidate scheduling for the long tail of small patterns.
     pub range_rows_threshold: usize,
+    /// Ranges cut per row space, as a multiple of the worker count.
+    /// Bigger graphs benefit from more over-splitting: hub-heavy row
+    /// spaces have skewed per-range costs, and extra ranges are what the
+    /// stealer rebalances with. None of the three range knobs can change
+    /// discovery output (pinned by the `*_invariant_under_range_knobs`
+    /// tests) — only the schedule.
+    pub range_oversplit: usize,
     /// Adversarial-scheduling seed for the determinism audit. `Some(seed)`
     /// perturbs every scheduling decision the output must *not* depend on:
     /// unit push order at wave boundaries is shuffled, affinity placement
@@ -158,12 +166,39 @@ impl StealConfig {
             mode,
             range_min_rows: 1024,
             range_rows_threshold: 262_144,
+            range_oversplit: RANGE_OVERSPLIT,
             perturb: None,
             fault: FaultConfig::default(),
             checkpoint: None,
             resume: false,
             halt_after_level: None,
         }
+    }
+
+    /// Graph-size-aware defaults: [`StealConfig::new`]'s knobs were tuned
+    /// on 12k-node scenarios; at million-node scale the same constants cut
+    /// harvest/join row spaces into ranges too fine to amortise scheduling
+    /// and give the stealer too few ranges against hub skew. `size` is
+    /// `|V| + |E|` ([`Graph::size`]):
+    ///
+    /// * `range_min_rows` grows with size (≈ `size / 1024`, a power of
+    ///   two in `[1024, 16384]`) so per-range work stays coarse,
+    /// * `range_rows_threshold` grows with size (≈ `size / 16`, clamped
+    ///   to `[262144, 2097152]`) so mid-sized lattices keep the cheap
+    ///   single-`Mine` path even when tables are scaled up,
+    /// * `range_oversplit` doubles past one million so stolen ranges can
+    ///   absorb power-law hub skew.
+    ///
+    /// Every knob still accepts explicit override after construction (the
+    /// CLI's `--range-rows` does exactly that).
+    pub fn tuned(workers: usize, mode: ExecMode, size: usize) -> StealConfig {
+        let mut cfg = StealConfig::new(workers, mode);
+        cfg.range_min_rows = (size / 1024).next_power_of_two().clamp(1024, 16_384);
+        cfg.range_rows_threshold = (size / 16).next_power_of_two().clamp(262_144, 2_097_152);
+        if size >= 1 << 20 {
+            cfg.range_oversplit = 2 * RANGE_OVERSPLIT;
+        }
+        cfg
     }
 
     /// Returns the config with adversarial scheduling enabled (see
@@ -1467,7 +1502,7 @@ pub fn par_dis_steal(
     // Live matches per frequent node (the master's copy; workers see them
     // through per-unit `Arc`s, never a broadcast).
     let mut live: FxHashMap<usize, Arc<MatchSet>> = FxHashMap::default();
-    let max_parts = scfg.workers * RANGE_OVERSPLIT;
+    let max_parts = scfg.workers * scfg.range_oversplit;
     let cfg_fp = fault::config_fingerprint(cfg);
 
     let resumed: Option<Checkpoint> = if scfg.resume {
@@ -1818,6 +1853,9 @@ pub fn par_dis_steal(
     result.stats.negative = result.negative_count();
     let wall = wall0.elapsed();
     result.stats.total_time = wall;
+    result.stats.peak_rss_bytes = gfd_core::peak_rss_bytes();
+    result.stats.graph_bytes = g.build_stats().graph_bytes;
+    result.stats.graph_reallocs = g.build_stats().builder_reallocs;
     Ok(ParDisReport {
         result,
         wall,
@@ -1885,7 +1923,7 @@ fn write_checkpoint(
 ///
 /// 1. one **build wave** creating every pattern's `Arc`-shared table
 ///    shards and merging their literal counts into catalogs (single shard
-///    for small tables, `workers × `[`RANGE_OVERSPLIT`]` ranges past the
+///    for small tables, `workers × range_oversplit` ranges past the
 ///    row threshold) — and, when `harvest_children` is set, the same wave
 ///    harvests every pattern's extension proposals by row range, each
 ///    worker folding its harvests into a [`ProposalAccumulator`] that the
@@ -1906,7 +1944,7 @@ fn run_mining(
     harvest_children: bool,
 ) -> Result<(FxHashMap<usize, MineOutcome>, ProposalAccumulator), FaultError> {
     let mut outcomes: FxHashMap<usize, MineOutcome> = FxHashMap::default();
-    let max_parts = pool.workers() * RANGE_OVERSPLIT;
+    let max_parts = pool.workers() * scfg.range_oversplit;
 
     // Phase 1: shards + catalogs (+ next-level harvests) for every job,
     // one wave.
@@ -1985,7 +2023,7 @@ fn run_mining(
     // instead, each candidate fanning out over `(rule, pivot-range)`
     // units — the phase-3 recipe, applied per consequence by measured
     // weight rather than per pattern by the fixed `range_rows_threshold`.
-    let slots = (pool.workers() * RANGE_OVERSPLIT).max(1) as u64;
+    let slots = (pool.workers() * scfg.range_oversplit).max(1) as u64;
     let light_mass: u64 = jobs
         .iter()
         .enumerate()
@@ -2357,6 +2395,86 @@ mod tests {
                 gfd_logic::satisfies(&g, &d.gfd),
                 "violated: {}",
                 d.gfd.display(g.interner())
+            );
+        }
+    }
+
+    /// Pins the graph-size-aware defaults so a retune is a deliberate,
+    /// test-visible act: base knobs, the small-graph fixed point, and the
+    /// million-node scaling of [`StealConfig::tuned`].
+    #[test]
+    fn tuned_defaults_are_pinned() {
+        let base = StealConfig::new(4, ExecMode::Threads);
+        assert_eq!(
+            (
+                base.range_min_rows,
+                base.range_rows_threshold,
+                base.range_oversplit
+            ),
+            (1024, 262_144, RANGE_OVERSPLIT)
+        );
+
+        // Small graphs (everything the seed benchmarks run) keep the
+        // exact base knobs: tuned() is a no-op below the clamps.
+        let small = StealConfig::tuned(4, ExecMode::Threads, 48_000);
+        assert_eq!(
+            (
+                small.range_min_rows,
+                small.range_rows_threshold,
+                small.range_oversplit
+            ),
+            (1024, 262_144, RANGE_OVERSPLIT)
+        );
+
+        // The `large` scenario (1M nodes, |V|+|E| ≈ 4M) coarsens ranges
+        // and doubles over-splitting against hub skew.
+        let large = StealConfig::tuned(4, ExecMode::Threads, 4_000_000);
+        assert_eq!(
+            (
+                large.range_min_rows,
+                large.range_rows_threshold,
+                large.range_oversplit
+            ),
+            (4096, 262_144, 2 * RANGE_OVERSPLIT)
+        );
+
+        // `xlarge` (5M nodes) hits both upper clamps.
+        let xl = StealConfig::tuned(4, ExecMode::Threads, 20_000_000);
+        assert_eq!(
+            (
+                xl.range_min_rows,
+                xl.range_rows_threshold,
+                xl.range_oversplit
+            ),
+            (16_384, 2_097_152, 2 * RANGE_OVERSPLIT)
+        );
+    }
+
+    /// All three range knobs — including `range_oversplit` and the whole
+    /// tuned large-graph config — are schedule-only: discovery output is
+    /// bit-identical across the sweep.
+    #[test]
+    fn steal_output_invariant_under_range_knobs() {
+        let g = kb();
+        let c = cfg();
+        let want = fingerprint(&seq_dis(&g, &c), &g);
+        let mut sweep = vec![];
+        for oversplit in [1, 8] {
+            let mut scfg = StealConfig::new(3, ExecMode::Simulated);
+            scfg.range_min_rows = 2;
+            scfg.range_rows_threshold = 0;
+            scfg.range_oversplit = oversplit;
+            sweep.push(scfg);
+        }
+        sweep.push(StealConfig::tuned(3, ExecMode::Simulated, 20_000_000));
+        for scfg in sweep {
+            let par = par_dis_steal(&g, &c, &scfg).expect("fault-free run");
+            assert_eq!(
+                fingerprint(&par.result, &g),
+                want,
+                "divergence at oversplit={} threshold={}",
+                scfg.range_oversplit,
+                scfg.range_rows_threshold
             );
         }
     }

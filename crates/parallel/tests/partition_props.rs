@@ -1,0 +1,161 @@
+//! Property suite for the edge-cut partitioner.
+//!
+//! The laws every [`edge_cut`] result must satisfy, checked on random
+//! graphs and shard counts:
+//!
+//! * **Disjoint cover** — shards own contiguous, pairwise-disjoint node
+//!   ranges whose union is exactly `V`, and `EdgeCutPartition::owner`
+//!   agrees with the ranges.
+//! * **Edge conservation** — every edge is either internal to exactly one
+//!   shard, or cut: listed in exactly one `cut_out` (source side) and
+//!   exactly one `cut_in` (destination side), with `cut_edges` counting
+//!   each once.
+//! * **Ghost soundness** — ghosts are exactly the foreign endpoints of a
+//!   shard's boundary edges, sorted and deduplicated, never owned.
+//! * **Count consistency** — `label_counts` equals a recount of held
+//!   edges; the replication factor is `(|V| + Σ ghosts) / |V|`.
+//! * **Determinism** — partitioning is a pure function of `(G, n)`.
+
+use gfd_graph::{EdgeId, Graph, GraphBuilder, NodeId};
+use gfd_parallel::edge_cut;
+use proptest::prelude::*;
+
+const EDGE_LABELS: usize = 3;
+
+#[derive(Clone, Debug)]
+struct Proto {
+    nodes: usize,
+    edges: Vec<(usize, usize, usize)>,
+    shards: usize,
+}
+
+fn proto_strategy() -> impl Strategy<Value = Proto> {
+    (1usize..=24, 1usize..=6).prop_flat_map(|(n, shards)| {
+        prop::collection::vec((0usize..n, 0usize..n, 0usize..EDGE_LABELS), 0..=60).prop_map(
+            move |edges| Proto {
+                nodes: n,
+                edges,
+                shards,
+            },
+        )
+    })
+}
+
+fn build(p: &Proto) -> Graph {
+    let mut b = GraphBuilder::new();
+    let ids: Vec<NodeId> = (0..p.nodes).map(|_| b.add_node("v")).collect();
+    for &(s, d, l) in &p.edges {
+        b.add_edge(ids[s], ids[d], &format!("r{l}"));
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn edge_cut_laws(p in proto_strategy()) {
+        let g = build(&p);
+        let part = edge_cut(&g, p.shards);
+        prop_assert_eq!(part.shards.len(), p.shards);
+
+        // Disjoint contiguous cover of V, in id order.
+        let mut cursor = 0u32;
+        for (i, s) in part.shards.iter().enumerate() {
+            prop_assert_eq!(s.id, i);
+            prop_assert_eq!(s.lo.0, cursor, "gap or overlap at shard {}", i);
+            prop_assert!(s.lo <= s.hi);
+            cursor = s.hi.0;
+        }
+        prop_assert_eq!(cursor as usize, g.node_count());
+        for v in 0..g.node_count() {
+            let v = NodeId(v as u32);
+            let o = part.owner(v);
+            prop_assert!(part.shards[o].owns(v));
+            for (i, s) in part.shards.iter().enumerate() {
+                prop_assert_eq!(s.owns(v), i == o);
+            }
+        }
+
+        // Edge conservation: each edge internal once XOR cut once per side.
+        let mut internal_seen = vec![0usize; g.edge_count()];
+        let mut out_seen = vec![0usize; g.edge_count()];
+        let mut in_seen = vec![0usize; g.edge_count()];
+        for s in &part.shards {
+            for w in [&s.internal, &s.cut_out, &s.cut_in] {
+                prop_assert!(w.windows(2).all(|ab| ab[0] < ab[1]), "unsorted table");
+            }
+            for &e in &s.internal {
+                internal_seen[e.index()] += 1;
+                let e = g.edge(e);
+                prop_assert!(s.owns(e.src) && s.owns(e.dst));
+            }
+            for &e in &s.cut_out {
+                out_seen[e.index()] += 1;
+                let e = g.edge(e);
+                prop_assert!(s.owns(e.src) && !s.owns(e.dst));
+            }
+            for &e in &s.cut_in {
+                in_seen[e.index()] += 1;
+                let e = g.edge(e);
+                prop_assert!(!s.owns(e.src) && s.owns(e.dst));
+            }
+        }
+        let mut cut = 0usize;
+        for i in 0..g.edge_count() {
+            if internal_seen[i] == 1 {
+                prop_assert_eq!((out_seen[i], in_seen[i]), (0, 0), "edge {} double-held", i);
+            } else {
+                prop_assert_eq!(
+                    (internal_seen[i], out_seen[i], in_seen[i]),
+                    (0, 1, 1),
+                    "edge {} not conserved",
+                    i
+                );
+                cut += 1;
+            }
+        }
+        prop_assert_eq!(part.cut_edges, cut);
+
+        // Ghost soundness + count consistency per shard.
+        let mut total_ghosts = 0usize;
+        for s in &part.shards {
+            prop_assert!(s.ghosts.windows(2).all(|ab| ab[0] < ab[1]));
+            prop_assert!(s.ghosts.iter().all(|&v| !s.owns(v)));
+            let mut expect: Vec<NodeId> = s
+                .cut_out
+                .iter()
+                .map(|&e| g.edge(e).dst)
+                .chain(s.cut_in.iter().map(|&e| g.edge(e).src))
+                .collect();
+            expect.sort_unstable();
+            expect.dedup();
+            prop_assert_eq!(&s.ghosts, &expect);
+            total_ghosts += s.ghosts.len();
+
+            let held: Vec<EdgeId> = s
+                .internal
+                .iter()
+                .chain(&s.cut_out)
+                .chain(&s.cut_in)
+                .copied()
+                .collect();
+            prop_assert_eq!(s.held_edges(), held.len());
+            let mut recount: std::collections::HashMap<_, usize> = Default::default();
+            for &e in &held {
+                *recount.entry(g.edge(e).label).or_insert(0) += 1;
+            }
+            prop_assert_eq!(recount.len(), s.label_counts.len());
+            for (l, c) in &recount {
+                prop_assert_eq!(s.edges_with_label(*l), *c);
+            }
+        }
+        let expect_rf = (g.node_count() + total_ghosts) as f64 / g.node_count() as f64;
+        prop_assert!((part.replication_factor - expect_rf).abs() < 1e-9);
+
+        // Determinism: a second cut is structurally identical.
+        let again = edge_cut(&g, p.shards);
+        prop_assert_eq!(again.shards, part.shards);
+        prop_assert_eq!(again.cut_edges, part.cut_edges);
+    }
+}

@@ -64,28 +64,26 @@ pub fn extend_matches_range(
             for m in rows {
                 let src_img = m[*a];
                 // A concrete extension label walks its contiguous
-                // label-partitioned slice; a wildcard walks the full CSR.
-                let (edge_ids, check_label): (&[gfd_graph::EdgeId], bool) = match ext.label {
-                    PLabel::Is(l) => (g.out_edges_labeled(src_img, l), false),
-                    PLabel::Wildcard => (g.out_edges(src_img), true),
+                // label-partitioned packed-neighbour slice; a wildcard
+                // walks the full CSR's (every edge label satisfies it).
+                let nbrs: &[NodeId] = match ext.label {
+                    PLabel::Is(l) => g.out_nbrs_labeled(src_img, l),
+                    PLabel::Wildcard => g.out_nbrs(src_img),
                 };
                 let mut last: Option<NodeId> = None;
-                for &eid in edge_ids {
-                    let e = g.edge(eid);
-                    if (check_label && !ext.label.admits(e.label))
-                        || !nl.admits(g.node_label(e.dst))
-                    {
+                for &cand in nbrs {
+                    if !nl.admits(g.node_label(cand)) {
                         continue;
                     }
-                    if last == Some(e.dst) {
+                    if last == Some(cand) {
                         continue; // parallel edges: same candidate, dedup
                     }
-                    last = Some(e.dst);
-                    if m.contains(&e.dst) {
+                    last = Some(cand);
+                    if m.contains(&cand) {
                         continue; // injectivity
                     }
                     row[..m.len()].copy_from_slice(m);
-                    row[new_var] = e.dst;
+                    row[new_var] = cand;
                     out.push(&row);
                 }
             }
@@ -95,27 +93,24 @@ pub fn extend_matches_range(
             let mut row = vec![NodeId(0); q2.node_count()];
             for m in rows {
                 let dst_img = m[*b];
-                let (edge_ids, check_label): (&[gfd_graph::EdgeId], bool) = match ext.label {
-                    PLabel::Is(l) => (g.in_edges_labeled(dst_img, l), false),
-                    PLabel::Wildcard => (g.in_edges(dst_img), true),
+                let nbrs: &[NodeId] = match ext.label {
+                    PLabel::Is(l) => g.in_nbrs_labeled(dst_img, l),
+                    PLabel::Wildcard => g.in_nbrs(dst_img),
                 };
                 let mut last: Option<NodeId> = None;
-                for &eid in edge_ids {
-                    let e = g.edge(eid);
-                    if (check_label && !ext.label.admits(e.label))
-                        || !nl.admits(g.node_label(e.src))
-                    {
+                for &cand in nbrs {
+                    if !nl.admits(g.node_label(cand)) {
                         continue;
                     }
-                    if last == Some(e.src) {
+                    if last == Some(cand) {
                         continue;
                     }
-                    last = Some(e.src);
-                    if m.contains(&e.src) {
+                    last = Some(cand);
+                    if m.contains(&cand) {
                         continue;
                     }
                     row[..m.len()].copy_from_slice(m);
-                    row[new_var] = e.src;
+                    row[new_var] = cand;
                     out.push(&row);
                 }
             }

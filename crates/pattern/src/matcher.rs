@@ -123,25 +123,18 @@ impl PairCheck {
     pub(crate) fn feasible(&self, g: &Graph, ha: NodeId, hb: NodeId) -> bool {
         if let Some(want) = self.single {
             return match want {
-                // One concrete edge: binary-search the labelled slice
-                // (sorted by destination) for the target neighbour.
-                PLabel::Is(l) => {
-                    let s = g.out_edges_labeled(ha, l);
-                    let lo = s.partition_point(|&e| g.edge(e).dst < hb);
-                    lo < s.len() && g.edge(s[lo]).dst == hb
-                }
+                // One concrete edge: binary-search the packed labelled
+                // neighbour slice (sorted by destination) for the target.
+                PLabel::Is(l) => g.out_nbrs_labeled(ha, l).binary_search(&hb).is_ok(),
                 PLabel::Wildcard => g.has_any_edge(ha, hb),
             };
         }
-        let graph_edges = g.edges_between(ha, hb);
+        let (graph_edges, edge_labels) = g.edges_between_labeled(ha, hb);
         if graph_edges.len() < self.need_total {
             return false;
         }
         for &(l, need) in self.demand.iter() {
-            let avail = graph_edges
-                .iter()
-                .filter(|&&e| g.edge(e).label == l)
-                .count();
+            let avail = edge_labels.iter().filter(|&&el| el == l).count();
             if avail < need {
                 return false;
             }
@@ -545,19 +538,19 @@ where
             Some(anchor) => {
                 let image = self.assignment[anchor.bound_var];
                 // A concrete anchor label walks its contiguous
-                // label-partitioned slice; a wildcard walks the full CSR.
-                // Both are sorted with equal neighbours consecutive, so the
-                // last-tried guard dedups parallel edges without a set.
-                let edge_ids: &[gfd_graph::EdgeId] = match (anchor.label, anchor.outgoing) {
-                    (PLabel::Is(l), true) => g.out_edges_labeled(image, l),
-                    (PLabel::Is(l), false) => g.in_edges_labeled(image, l),
-                    (PLabel::Wildcard, true) => g.out_edges(image),
-                    (PLabel::Wildcard, false) => g.in_edges(image),
+                // label-partitioned packed-neighbour slice; a wildcard
+                // walks the full CSR's. Both are sorted with equal
+                // neighbours consecutive, so the last-tried guard dedups
+                // parallel edges without a set — and neither touches the
+                // edge table.
+                let nbrs: &[NodeId] = match (anchor.label, anchor.outgoing) {
+                    (PLabel::Is(l), true) => g.out_nbrs_labeled(image, l),
+                    (PLabel::Is(l), false) => g.in_nbrs_labeled(image, l),
+                    (PLabel::Wildcard, true) => g.out_nbrs(image),
+                    (PLabel::Wildcard, false) => g.in_nbrs(image),
                 };
                 let mut last_tried: Option<NodeId> = None;
-                for &eid in edge_ids {
-                    let edge = g.edge(eid);
-                    let cand = if anchor.outgoing { edge.dst } else { edge.src };
+                for &cand in nbrs {
                     if last_tried == Some(cand) {
                         continue;
                     }

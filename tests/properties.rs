@@ -235,10 +235,10 @@ fn fragment_match_union_equals_global() {
 
     // Seed single-node matches per worker, join one extension, sum rows.
     use gfd::parallel::{Cluster, ClusterConfig, Task, TaskResult};
-    let parts = gfd::parallel::vertex_cut(&g, 4);
+    let parts = gfd::parallel::edge_cut(&g, 4);
     let mut cluster = Cluster::new(
         g.clone(),
-        parts.fragments,
+        parts.shards,
         &ClusterConfig::new(4, ExecMode::Simulated),
     );
     cluster
