@@ -317,6 +317,130 @@ fn run(name: &str, scale: Scale) {
                 );
             }
         }
+        "validate-smoke" => {
+            // Bound vs full verdict equivalence on the 1M-node `large`
+            // scenario: every seeded per-entity query must produce a
+            // CandidateStats fingerprint bit-identical to the full path
+            // (global enumeration → pivot-filtered MatchTable → bitmap
+            // evaluator) answering the same bound question.
+            use std::ops::ControlFlow;
+
+            use gfd_core::{
+                seq_dis, BoundValidator, CandidateEvaluator, DiscoveryConfig, MatchTable,
+                TableEvaluator,
+            };
+            use gfd_datagen::Scenario;
+            use gfd_graph::AttrId;
+            use gfd_logic::{Gfd, Literal, Rhs};
+            use gfd_pattern::{CompiledPattern, MatchSet, PLabel};
+            use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+            let sc = Scenario::named("large").expect("large scenario");
+            let g = sc.build();
+            // Mirrors perf.rs `perf_cfg_scale` + validate mode's
+            // min_confidence 0.5: approximate positives are the rules with
+            // real matches and real violators.
+            let mut mining = DiscoveryConfig::new(3, (g.node_count() / 100).max(100));
+            mining.max_edges = 2;
+            mining.max_lhs_size = 1;
+            mining.values_per_attr = 2;
+            mining.max_catalog_literals = 8;
+            mining.wildcard_min_labels = 0;
+            mining.wildcard_root = false;
+            mining.max_matches_per_pattern = 400_000;
+            mining.max_patterns_per_level = 64;
+            mining.max_negative_candidates = 8;
+            mining.min_confidence = 0.5;
+            let result = seq_dis(&g, &mining);
+            let rules: Vec<Gfd> = result.gfds.iter().map(|d| d.gfd.clone()).collect();
+            assert!(!rules.is_empty(), "validate smoke mined no rules");
+
+            let rule_attrs = |phi: &Gfd| -> Vec<AttrId> {
+                let mut attrs: Vec<AttrId> = Vec::new();
+                let mut push = |a: AttrId| {
+                    if !attrs.contains(&a) {
+                        attrs.push(a);
+                    }
+                };
+                let mut lit = |l: &Literal| match *l {
+                    Literal::Const { attr, .. } => push(attr),
+                    Literal::VarVar { lattr, rattr, .. } => {
+                        push(lattr);
+                        push(rattr);
+                    }
+                };
+                for l in phi.lhs() {
+                    lit(l);
+                }
+                if let Rhs::Lit(l) = phi.rhs() {
+                    lit(&l);
+                }
+                attrs.sort_unstable();
+                attrs
+            };
+
+            let mut rng = StdRng::seed_from_u64(sc.seed() ^ 0xa11d);
+            let mut validator = BoundValidator::new(&g);
+            let mut full_work = 0u64;
+            let mut checked = 0usize;
+            for _ in 0..16 {
+                let ri = rng.random_range(0..rules.len());
+                let phi = &rules[ri];
+                let q = phi.pattern();
+                let node = match q.node_label(q.pivot()) {
+                    PLabel::Is(l) => {
+                        let class = g.nodes_with_label(l);
+                        if class.is_empty() {
+                            continue;
+                        }
+                        class[rng.random_range(0..class.len())]
+                    }
+                    PLabel::Wildcard => {
+                        gfd_graph::NodeId::from_index(rng.random_range(0..g.node_count()))
+                    }
+                };
+
+                let plan = CompiledPattern::new(q);
+                let bound = validator.verdict_at(phi, &plan, node);
+
+                // Full path answering the same bound question: enumerate
+                // everything, filter to the pivot, table + bitmap evaluate.
+                let mut ms = MatchSet::new(q.node_count());
+                let _ = plan.matcher(&g).for_each(|m| {
+                    ms.push(m);
+                    ControlFlow::Continue(())
+                });
+                full_work += (ms.len() * q.node_count()) as u64;
+                let mut at_pivot = MatchSet::new(q.node_count());
+                for m in ms.iter() {
+                    if m[q.pivot()] == node {
+                        at_pivot.push(m);
+                    }
+                }
+                let table = MatchTable::build(q, &at_pivot, &g, &rule_attrs(phi));
+                let mut ev = TableEvaluator::new(&table);
+                let full = ev.evaluate(phi.lhs(), &phi.rhs());
+                full_work += ev.work();
+
+                assert_eq!(
+                    format!("{bound:?}"),
+                    format!("{full:?}"),
+                    "bound vs full verdict diverged for rule {ri} at node {node:?}"
+                );
+                checked += 1;
+            }
+            assert!(checked > 0, "validate smoke checked no queries");
+            let bound_work = validator.work().max(1);
+            println!(
+                "validate-smoke: |V|={} |E|={} gfds={} queries={checked} \
+                 bound_work={bound_work} full_work={full_work} ratio={:.0}x \
+                 — all verdict fingerprints bit-identical",
+                g.node_count(),
+                g.edge_count(),
+                rules.len(),
+                full_work as f64 / bound_work as f64,
+            );
+        }
         other => {
             eprintln!("unknown experiment `{other}`; known: {ALL:?}");
             std::process::exit(2);
@@ -350,7 +474,7 @@ fn main() {
         eprintln!(
             "usage: experiments [--scale X] <all | fig5a … fig5l | fig6 | fig7 | fig8 | runtime | smoke | smoke-steal>"
         );
-        eprintln!("known experiments: {ALL:?} plus `runtime` (barrier vs steal), `smoke`, `smoke-steal`, `lattice-smoke`, `chaos-smoke`, and `large-smoke` (CI sanity runs)");
+        eprintln!("known experiments: {ALL:?} plus `runtime` (barrier vs steal), `smoke`, `smoke-steal`, `lattice-smoke`, `chaos-smoke`, `large-smoke`, and `validate-smoke` (CI sanity runs)");
         std::process::exit(2);
     }
     println!(

@@ -24,7 +24,9 @@ use std::fmt::Write as _;
 use std::path::Path;
 use std::sync::Arc;
 
-use gfd_core::{seq_cover_discovered, seq_dis, DiscoveryConfig, LiteralOrder};
+use gfd_core::{
+    seq_cover_discovered, seq_dis, BoundPlans, BoundValidator, DiscoveryConfig, LiteralOrder,
+};
 use gfd_datagen::{knowledge_base, synthetic, KbConfig, KbProfile, SyntheticConfig};
 use gfd_extended::{discover_extended, parse_xrules, render_xrules, XDiscoveryConfig, XGfd};
 use gfd_graph::{io as gio, summarize, triple_stats, Graph, NodeId, Value};
@@ -74,7 +76,7 @@ usage: gfd <command> [options]
             [--literal-order <catalog|selectivity>] [--runtime <barrier|steal>]
             [--checkpoint <file>] [--resume] [--fault <spec>] [--fault-seed K] [--range-rows N]
   xdiscover <graph> [--k K] [--sigma S] [--max-lhs L] [--confidence C] [--limit N] [-o <rules>]
-  validate  <graph> <rules> [--limit N]
+  validate  <graph> <rules> [--limit N] [--entity N[,N...]] [--any-var]
   explain   <graph> <rules> [--limit N]
   cover     <graph> <rules> [-o <rules>]
   reason    <graph> <rules>
@@ -392,14 +394,30 @@ fn cmd_validate(mut a: Args) -> Result<String, CliError> {
     let gpath = a.value("validate <graph>")?.to_owned();
     let rpath = a.value("validate <graph> <rules>")?.to_owned();
     let mut limit = 3usize;
+    let mut entities: Vec<u32> = Vec::new();
+    let mut any_var = false;
     while let Some(flag) = a.next() {
         match flag {
             "--limit" => limit = a.parse("--limit")?,
+            "--entity" => {
+                for part in a.value("--entity")?.split(',') {
+                    entities.push(part.trim().parse().map_err(|_| {
+                        CliError::Usage(format!("bad entity id `{part}` for --entity"))
+                    })?);
+                }
+            }
+            "--any-var" => any_var = true,
             other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
         }
     }
+    if any_var && entities.is_empty() {
+        return Err(CliError::Usage("--any-var requires --entity".into()));
+    }
     let g = load_graph(&gpath)?;
     let rules = load_rules(&rpath, &g)?;
+    if !entities.is_empty() {
+        return validate_entities(&g, &rules, &entities, any_var, limit);
+    }
     let mut out = String::new();
     let mut total = 0usize;
     for phi in &rules {
@@ -425,6 +443,99 @@ fn cmd_validate(mut a: Args) -> Result<String, CliError> {
     );
     if total > 0 {
         // Emit the report on stdout, then a non-zero exit like grep.
+        print!("{out}");
+        return Err(CliError::ViolationsFound(total));
+    }
+    Ok(out)
+}
+
+/// Demand-driven per-entity validation (`validate --entity`): each query
+/// seeds the rule's pivot-rooted plan at the entity and evaluates only the
+/// matches through it — no global match table, sub-graph-sized work. With
+/// `--any-var`, the entity is additionally probed at every non-pivot
+/// variable through pinned-start plans, reporting violations it merely
+/// participates in.
+fn validate_entities(
+    g: &Graph,
+    rules: &[Gfd],
+    entities: &[u32],
+    any_var: bool,
+    limit: usize,
+) -> Result<String, CliError> {
+    use gfd_pattern::{CompiledPattern, MatchSet};
+    for &e in entities {
+        if e as usize >= g.node_count() {
+            return Err(CliError::Usage(format!(
+                "--entity {e} out of range (graph has {} nodes)",
+                g.node_count()
+            )));
+        }
+    }
+    let plans: Vec<CompiledPattern> = rules
+        .iter()
+        .map(|phi| CompiledPattern::new(phi.pattern()))
+        .collect();
+    let bound_plans: Vec<BoundPlans> = if any_var {
+        rules
+            .iter()
+            .map(|phi| BoundPlans::compile(phi.pattern()))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let mut validator = BoundValidator::new(g);
+    let mut out = String::new();
+    let mut total = 0usize;
+    for &e in entities {
+        let node = NodeId(e);
+        let mut hits = 0usize;
+        for (i, phi) in rules.iter().enumerate() {
+            let mut ms = MatchSet::new(phi.pattern().node_count());
+            let n = validator.violations_at(phi, &plans[i], node, &mut ms);
+            if n > 0 {
+                hits += n;
+                let _ = writeln!(
+                    out,
+                    "entity {e}: VIOLATES{} {}",
+                    if n > limit {
+                        format!(" ({n} matches)")
+                    } else {
+                        String::new()
+                    },
+                    phi.display(g.interner())
+                );
+            }
+            if any_var {
+                let pivot = phi.pattern().pivot();
+                for var in 0..phi.pattern().node_count() {
+                    if var == pivot {
+                        continue;
+                    }
+                    if validator.violates_at(phi, bound_plans[i].plan(var), node) {
+                        hits += 1;
+                        let _ = writeln!(
+                            out,
+                            "entity {e}: participates (as x{var}) in violation of {}",
+                            phi.display(g.interner())
+                        );
+                    }
+                }
+            }
+        }
+        if hits == 0 {
+            let _ = writeln!(out, "entity {e}: clean");
+        }
+        total += hits;
+    }
+    let _ = writeln!(
+        out,
+        "validated {} entities against {} rules: {} violations (bound path, validation_work={})",
+        entities.len(),
+        rules.len(),
+        total,
+        validator.work()
+    );
+    if total > 0 {
         print!("{out}");
         return Err(CliError::ViolationsFound(total));
     }
@@ -784,6 +895,78 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("high_jumper"), "{out}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `validate --entity` takes the demand-driven bound path: per-entity
+    /// verdicts, grep-style exit code, and the deterministic work meter.
+    #[test]
+    fn validate_entity_bound_path() {
+        let dir = tmpdir();
+        let graph = dir.join("bad.graph");
+        let rules = dir.join("r.gfd");
+        std::fs::write(
+            &graph,
+            concat!(
+                "n person type=high_jumper\n",
+                "n product type=film\n",
+                "n person type=producer\n",
+                "e 0 1 create\n",
+                "e 2 1 create\n",
+            ),
+        )
+        .unwrap();
+        std::fs::write(
+            &rules,
+            "Q[x0:person*, x1:product; x0-create->x1](x1.type=\"film\" -> x0.type=\"producer\")\n",
+        )
+        .unwrap();
+
+        // Node 2 (producer) is clean through the bound path.
+        let out = run(&s(&[
+            "validate",
+            graph.to_str().unwrap(),
+            rules.to_str().unwrap(),
+            "--entity",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("entity 2: clean"), "{out}");
+        assert!(out.contains("validation_work="), "{out}");
+
+        // Node 0 violates; exit code matches the full validate path.
+        let res = run(&s(&[
+            "validate",
+            graph.to_str().unwrap(),
+            rules.to_str().unwrap(),
+            "--entity",
+            "0",
+        ]));
+        assert!(matches!(res, Err(CliError::ViolationsFound(1))), "{res:?}");
+
+        // --any-var reports the film's participation in node 0's violation.
+        let res = run(&s(&[
+            "validate",
+            graph.to_str().unwrap(),
+            rules.to_str().unwrap(),
+            "--entity",
+            "1,2",
+            "--any-var",
+        ]));
+        match res {
+            Err(CliError::ViolationsFound(n)) => assert_eq!(n, 1),
+            other => panic!("expected participation violation, got {other:?}"),
+        }
+
+        // Out-of-range entities are a usage error.
+        let res = run(&s(&[
+            "validate",
+            graph.to_str().unwrap(),
+            rules.to_str().unwrap(),
+            "--entity",
+            "99",
+        ]));
+        assert!(matches!(res, Err(CliError::Usage(_))), "{res:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,485 @@
+//! Demand-driven bound validation — the Magic Sets move (§3 validation via
+//! §4.1 locality).
+//!
+//! Full validation materialises a [`MatchTable`](crate::table::MatchTable)
+//! over *every* match of the rule's pattern and evaluates literal bitmaps
+//! over it. But a production query is usually bound: "does *this* entity
+//! violate the rule?" — and every match containing a node lives inside that
+//! node's `d_Q`-hop neighbourhood, so the per-entity match set is tiny on
+//! any graph whose neighbourhoods are bounded.
+//!
+//! [`BoundValidator`] evaluates one rule over exactly the matches through
+//! one queried node, seeded by a pinned-start
+//! [`CompiledPattern`](gfd_pattern::CompiledPattern) plan
+//! ([`CompiledPattern::compile_bound`](gfd_pattern::CompiledPattern::compile_bound)):
+//!
+//! * matches stream straight out of the backtracking matcher into a flat
+//!   row buffer — no global table, no per-row allocation;
+//! * literals evaluate **scalar** (straight [`Literal::satisfied`] per row)
+//!   while the row count is at or below the crossover
+//!   [`threshold`](BoundValidator::threshold), and through word-wise local
+//!   `u64` bitmaps above it — the same AND/popcount shape as
+//!   [`BitmapIndex`](crate::bitmap::BitmapIndex), built over the bound rows
+//!   only;
+//! * every path is metered by a deterministic memory-touch counter
+//!   ([`BoundValidator::work`]) — rows materialised, literal probes, words
+//!   ANDed/popcounted — a pure function of the input, CI-gateable like
+//!   `spawning_work`/`evaluation_work`.
+//!
+//! Both paths produce bit-identical [`CandidateStats`]; the scalar/bitmap
+//! boundary is pinned by `crates/core/tests/bound_validation_props.rs`.
+
+use std::ops::ControlFlow;
+
+use gfd_graph::{Graph, NodeId};
+use gfd_logic::{Gfd, Literal, Rhs};
+use gfd_pattern::{CompiledPattern, MatchSet, MatcherScratch, Pattern, Var};
+
+use crate::support::CandidateStats;
+
+/// Default scalar→bitmap crossover: bound match sets at or below this many
+/// rows evaluate literals row-by-row; larger sets build local word bitmaps.
+pub const DEFAULT_BITMAP_THRESHOLD: usize = 64;
+
+/// Pinned-start plans for one pattern: one
+/// [`CompiledPattern::compile_bound`] per variable, so a queried entity can
+/// be seeded at *any* position of the pattern, not just the pivot.
+#[derive(Debug)]
+pub struct BoundPlans {
+    plans: Vec<CompiledPattern>,
+}
+
+impl BoundPlans {
+    /// Compiles one pinned-start plan per pattern variable.
+    pub fn compile(q: &Pattern) -> BoundPlans {
+        BoundPlans {
+            plans: (0..q.node_count())
+                .map(|v| CompiledPattern::compile_bound(q, v))
+                .collect(),
+        }
+    }
+
+    /// The plan pinned at `start`.
+    pub fn plan(&self, start: Var) -> &CompiledPattern {
+        &self.plans[start]
+    }
+
+    /// The pattern arity (number of plans).
+    pub fn arity(&self) -> usize {
+        self.plans.len()
+    }
+}
+
+/// Per-entity rule evaluation over bound match sets, without building a
+/// global `MatchTable`. Reuse one validator across queries: the matcher
+/// scratch, row buffer, and bitmap words are allocated once and recycled.
+#[derive(Debug)]
+pub struct BoundValidator<'g> {
+    g: &'g Graph,
+    threshold: usize,
+    work: u64,
+    scratch: Option<MatcherScratch>,
+    /// Flat row buffer: `arity`-strided node images of the bound matches.
+    rows: Vec<NodeId>,
+    /// Bitmap-path scratch (LHS accumulator / literal / RHS words).
+    acc: Vec<u64>,
+    lit: Vec<u64>,
+    tmp: Vec<u64>,
+    /// Distinct-pivot scratch.
+    pivots: Vec<NodeId>,
+}
+
+impl<'g> BoundValidator<'g> {
+    /// Validator over `g` with the default scalar→bitmap threshold.
+    pub fn new(g: &'g Graph) -> BoundValidator<'g> {
+        BoundValidator::with_threshold(g, DEFAULT_BITMAP_THRESHOLD)
+    }
+
+    /// Validator with an explicit scalar→bitmap crossover (rows). The
+    /// threshold changes only the evaluation strategy, never the verdict.
+    pub fn with_threshold(g: &'g Graph, threshold: usize) -> BoundValidator<'g> {
+        BoundValidator {
+            g,
+            threshold,
+            work: 0,
+            scratch: Some(MatcherScratch::new()),
+            rows: Vec::new(),
+            acc: Vec::new(),
+            lit: Vec::new(),
+            tmp: Vec::new(),
+            pivots: Vec::new(),
+        }
+    }
+
+    /// The scalar→bitmap crossover in rows.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Deterministic memory-touch meter: row cells materialised, literal
+    /// probes, bitmap words ANDed/popcounted, pivot cells walked. A pure
+    /// function of `(graph, rule, plan, node)` — immune to wall clock and
+    /// runner load, so it can be CI-gated like `evaluation_work`.
+    pub fn work(&self) -> u64 {
+        self.work
+    }
+
+    /// Evaluates `gfd` over exactly the matches whose start-variable image
+    /// (under `plan`) is `node`. Stats follow the full evaluator's
+    /// conventions: pivots are distinct *pivot* images among the bound rows
+    /// (the queried node itself when the plan starts at the pivot), and a
+    /// candidate whose LHS holds nowhere reports all-zero stats.
+    pub fn verdict_at(
+        &mut self,
+        gfd: &Gfd,
+        plan: &CompiledPattern,
+        node: NodeId,
+    ) -> CandidateStats {
+        let arity = gfd.pattern().node_count();
+        let n = self.collect_rows(plan, node, arity);
+        if n == 0 {
+            return CandidateStats::default();
+        }
+        if n <= self.threshold {
+            self.verdict_scalar(gfd, arity, n)
+        } else {
+            self.verdict_bitmap(gfd, arity, n)
+        }
+    }
+
+    /// Materialises the violating bound matches (`X` holds, `l` fails)
+    /// through `node` into `out`; returns how many were appended. Always
+    /// row-at-a-time — the output is the rows themselves, so there is
+    /// nothing for a bitmap to batch.
+    pub fn violations_at(
+        &mut self,
+        gfd: &Gfd,
+        plan: &CompiledPattern,
+        node: NodeId,
+        out: &mut MatchSet,
+    ) -> usize {
+        let arity = gfd.pattern().node_count();
+        let n = self.collect_rows(plan, node, arity);
+        let mut found = 0;
+        for r in 0..n {
+            let row = &self.rows[r * arity..(r + 1) * arity];
+            self.work += 1;
+            if !lhs_holds(gfd.lhs(), row, self.g, &mut self.work) {
+                continue;
+            }
+            let violated = match gfd.rhs() {
+                Rhs::False => true,
+                Rhs::Lit(l) => {
+                    self.work += 1;
+                    !l.satisfied(row, self.g)
+                }
+            };
+            if violated {
+                out.push(row);
+                found += 1;
+            }
+        }
+        found
+    }
+
+    /// Whether `node` (seeded at `plan`'s start variable) participates in
+    /// any violation of `gfd`. Early-exits on the first violating row.
+    pub fn violates_at(&mut self, gfd: &Gfd, plan: &CompiledPattern, node: NodeId) -> bool {
+        let arity = gfd.pattern().node_count();
+        let n = self.collect_rows(plan, node, arity);
+        for r in 0..n {
+            let row = &self.rows[r * arity..(r + 1) * arity];
+            self.work += 1;
+            if !lhs_holds(gfd.lhs(), row, self.g, &mut self.work) {
+                continue;
+            }
+            match gfd.rhs() {
+                Rhs::False => return true,
+                Rhs::Lit(l) => {
+                    self.work += 1;
+                    if !l.satisfied(row, self.g) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Streams the bound matches through `node` into the flat row buffer.
+    fn collect_rows(&mut self, plan: &CompiledPattern, node: NodeId, arity: usize) -> usize {
+        self.rows.clear();
+        let scratch = self.scratch.take().unwrap_or_default();
+        let mut matcher = plan.matcher_from(self.g, scratch);
+        let rows = &mut self.rows;
+        let _ = matcher.for_each_at(node, |m| {
+            rows.extend_from_slice(m);
+            ControlFlow::Continue(())
+        });
+        self.scratch = Some(matcher.into_scratch());
+        let n = self.rows.len() / arity.max(1);
+        self.work += self.rows.len() as u64;
+        n
+    }
+
+    /// Scalar path: straight per-row literal probes against the graph.
+    fn verdict_scalar(&mut self, gfd: &Gfd, arity: usize, n: usize) -> CandidateStats {
+        let pivot = gfd.pattern().pivot();
+        let mut lhs_matches = 0usize;
+        let mut satisfied = 0usize;
+        self.pivots.clear();
+        let mut sat_pivots: Vec<NodeId> = Vec::new();
+        for r in 0..n {
+            let row = &self.rows[r * arity..(r + 1) * arity];
+            if !lhs_holds(gfd.lhs(), row, self.g, &mut self.work) {
+                continue;
+            }
+            lhs_matches += 1;
+            self.pivots.push(row[pivot]);
+            if let Rhs::Lit(l) = gfd.rhs() {
+                self.work += 1;
+                if l.satisfied(row, self.g) {
+                    satisfied += 1;
+                    sat_pivots.push(row[pivot]);
+                }
+            }
+        }
+        if lhs_matches == 0 {
+            return CandidateStats::default();
+        }
+        let lhs_pivots = distinct(&mut self.pivots, &mut self.work);
+        match gfd.rhs() {
+            Rhs::False => CandidateStats {
+                support: 0,
+                lhs_pivots,
+                lhs_matches,
+                violations: lhs_matches,
+            },
+            Rhs::Lit(_) => {
+                let support = distinct(&mut sat_pivots, &mut self.work);
+                CandidateStats {
+                    support,
+                    lhs_pivots,
+                    lhs_matches,
+                    violations: lhs_matches - satisfied,
+                }
+            }
+        }
+    }
+
+    /// Bitmap path: local word bitmaps over the bound rows — the
+    /// `BitmapIndex` AND/popcount shape without any global table.
+    fn verdict_bitmap(&mut self, gfd: &Gfd, arity: usize, n: usize) -> CandidateStats {
+        let pivot = gfd.pattern().pivot();
+        let words = n.div_ceil(64);
+        self.acc.clear();
+        self.acc.resize(words, u64::MAX);
+        if !n.is_multiple_of(64) {
+            self.acc[words - 1] = (1u64 << (n % 64)) - 1;
+        }
+        for l in gfd.lhs() {
+            self.build_literal_bitmap(*l, arity, n);
+            for (a, b) in self.acc.iter_mut().zip(self.lit.iter()) {
+                *a &= *b;
+            }
+            self.work += words as u64;
+        }
+        let lhs_matches: usize = self.acc.iter().map(|w| w.count_ones() as usize).sum();
+        self.work += words as u64;
+        if lhs_matches == 0 {
+            return CandidateStats::default();
+        }
+        self.pivots.clear();
+        for r in 0..n {
+            if self.acc[r / 64] & (1u64 << (r % 64)) != 0 {
+                self.pivots.push(self.rows[r * arity + pivot]);
+            }
+        }
+        let lhs_pivots = distinct(&mut self.pivots, &mut self.work);
+        self.work += lhs_matches as u64;
+        match gfd.rhs() {
+            Rhs::False => CandidateStats {
+                support: 0,
+                lhs_pivots,
+                lhs_matches,
+                violations: lhs_matches,
+            },
+            Rhs::Lit(l) => {
+                self.build_literal_bitmap(l, arity, n);
+                self.tmp.clear();
+                self.tmp
+                    .extend(self.acc.iter().zip(self.lit.iter()).map(|(a, b)| a & b));
+                let satisfied: usize = self.tmp.iter().map(|w| w.count_ones() as usize).sum();
+                self.work += 2 * words as u64 + satisfied as u64;
+                let mut sat_pivots: Vec<NodeId> = Vec::new();
+                for r in 0..n {
+                    if self.tmp[r / 64] & (1u64 << (r % 64)) != 0 {
+                        sat_pivots.push(self.rows[r * arity + pivot]);
+                    }
+                }
+                let support = distinct(&mut sat_pivots, &mut self.work);
+                CandidateStats {
+                    support,
+                    lhs_pivots,
+                    lhs_matches,
+                    violations: lhs_matches - satisfied,
+                }
+            }
+        }
+    }
+
+    /// Builds `lit` as the satisfaction bitmap of one literal over the
+    /// buffered rows (one probe per row, mirroring `BitmapIndex::ensure`).
+    fn build_literal_bitmap(&mut self, l: Literal, arity: usize, n: usize) {
+        let words = n.div_ceil(64);
+        self.lit.clear();
+        self.lit.resize(words, 0);
+        for r in 0..n {
+            let row = &self.rows[r * arity..(r + 1) * arity];
+            self.work += 1;
+            if l.satisfied(row, self.g) {
+                self.lit[r / 64] |= 1u64 << (r % 64);
+            }
+        }
+    }
+}
+
+/// Whether every LHS literal holds on `row`, metering one touch per probe.
+#[inline]
+fn lhs_holds(lhs: &[Literal], row: &[NodeId], g: &Graph, work: &mut u64) -> bool {
+    for l in lhs {
+        *work += 1;
+        if !l.satisfied(row, g) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Distinct count via sort+dedup on the (tiny) scratch, metering the walk.
+fn distinct(buf: &mut Vec<NodeId>, work: &mut u64) -> usize {
+    *work += buf.len() as u64;
+    buf.sort_unstable();
+    buf.dedup();
+    buf.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gfd_graph::{GraphBuilder, Value};
+    use gfd_pattern::PLabel;
+
+    fn pl(g: &Graph, name: &str) -> PLabel {
+        PLabel::Is(g.interner().label(name))
+    }
+
+    /// Two persons create one film; only one is typed "producer".
+    fn setup() -> (Graph, Gfd) {
+        let mut b = GraphBuilder::new();
+        let john = b.add_node("person");
+        let jack = b.add_node("person");
+        let film = b.add_node("product");
+        b.set_attr(john, "type", "producer");
+        b.set_attr(jack, "type", "artist");
+        b.set_attr(film, "type", "film");
+        b.add_edge(john, film, "create");
+        b.add_edge(jack, film, "create");
+        let g = b.build();
+        let q = Pattern::edge(pl(&g, "person"), pl(&g, "create"), pl(&g, "product"));
+        let int = g.interner();
+        let lhs = vec![Literal::constant(
+            1,
+            int.attr("type"),
+            Value::Str(int.symbol("film")),
+        )];
+        let rhs = Rhs::Lit(Literal::constant(
+            0,
+            int.attr("type"),
+            Value::Str(int.symbol("producer")),
+        ));
+        (g, Gfd::new(q, lhs, rhs))
+    }
+
+    #[test]
+    fn verdict_at_pivot_reports_per_entity_stats() {
+        let (g, phi) = setup();
+        let plan = CompiledPattern::new(phi.pattern());
+        let mut v = BoundValidator::new(&g);
+        // John (producer) satisfies the rule.
+        let ok = v.verdict_at(&phi, &plan, NodeId(0));
+        assert_eq!(
+            ok,
+            CandidateStats {
+                support: 1,
+                lhs_pivots: 1,
+                lhs_matches: 1,
+                violations: 0
+            }
+        );
+        // Jack (artist) violates it.
+        let bad = v.verdict_at(&phi, &plan, NodeId(1));
+        assert_eq!(bad.violations, 1);
+        assert_eq!(bad.support, 0);
+        // The product cannot seed the pivot-rooted plan.
+        assert_eq!(
+            v.verdict_at(&phi, &plan, NodeId(2)),
+            CandidateStats::default()
+        );
+        assert!(v.work() > 0);
+    }
+
+    #[test]
+    fn non_pivot_start_sees_all_pivots_through_the_node() {
+        let (g, phi) = setup();
+        let plans = BoundPlans::compile(phi.pattern());
+        let mut v = BoundValidator::new(&g);
+        // Seed the product variable: both person matches flow through it.
+        let stats = v.verdict_at(&phi, plans.plan(1), NodeId(2));
+        assert_eq!(stats.lhs_matches, 2);
+        assert_eq!(stats.lhs_pivots, 2);
+        assert_eq!(stats.violations, 1);
+        assert!(v.violates_at(&phi, plans.plan(1), NodeId(2)));
+    }
+
+    #[test]
+    fn scalar_and_bitmap_paths_agree() {
+        let (g, phi) = setup();
+        let plans = BoundPlans::compile(phi.pattern());
+        let mut scalar = BoundValidator::with_threshold(&g, usize::MAX);
+        let mut bitmap = BoundValidator::with_threshold(&g, 0);
+        for node in g.nodes() {
+            for start in 0..plans.arity() {
+                let plan = plans.plan(start);
+                assert_eq!(
+                    scalar.verdict_at(&phi, plan, node),
+                    bitmap.verdict_at(&phi, plan, node),
+                    "node={node:?} start={start}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn violations_materialise_the_offending_rows() {
+        let (g, phi) = setup();
+        let plan = CompiledPattern::new(phi.pattern());
+        let mut v = BoundValidator::new(&g);
+        let mut out = MatchSet::new(2);
+        assert_eq!(v.violations_at(&phi, &plan, NodeId(1), &mut out), 1);
+        assert_eq!(out.get(0), &[NodeId(1), NodeId(2)][..]);
+        assert_eq!(v.violations_at(&phi, &plan, NodeId(0), &mut out), 0);
+    }
+
+    #[test]
+    fn rhs_false_counts_every_lhs_row_as_violation() {
+        let (g, phi) = setup();
+        let neg = Gfd::new(phi.pattern().clone(), phi.lhs().to_vec(), Rhs::False);
+        let plan = CompiledPattern::new(neg.pattern());
+        let mut v = BoundValidator::new(&g);
+        let stats = v.verdict_at(&neg, &plan, NodeId(0));
+        assert_eq!(stats.violations, 1);
+        assert_eq!(stats.support, 0);
+        assert!(v.violates_at(&neg, &plan, NodeId(0)));
+    }
+}

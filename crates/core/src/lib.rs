@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bitmap;
+pub mod bound;
 pub mod catalog;
 pub mod config;
 pub mod gentree;
@@ -36,6 +37,7 @@ pub mod table;
 pub mod vspawn;
 
 pub use bitmap::BitmapIndex;
+pub use bound::{BoundPlans, BoundValidator, DEFAULT_BITMAP_THRESHOLD};
 pub use catalog::{CatalogCounts, LiteralCatalog};
 pub use config::{DiscoveryConfig, LiteralOrder};
 pub use gentree::{GenNode, GenTree, Inserted, NodeState};

@@ -87,6 +87,17 @@ pub struct DiscoveryStats {
     /// value. Parallel runs report `0` (their evaluation work is metered
     /// per work unit by the scheduler's cost model instead).
     pub evaluation_work: u64,
+    /// Deterministic bound-validation work: row cells materialised, literal
+    /// probes, and bitmap words touched by [`crate::bound::BoundValidator`]
+    /// while answering per-entity queries — a pure function of the input
+    /// and query workload, gated in CI against the checked-in benchmark
+    /// value. Zero for plain mining runs (they never take the bound path).
+    pub validation_work: u64,
+    /// Per-pivot bound queries answered through the demand-driven path.
+    pub bound_queries: u64,
+    /// Queries that crossed the crossover heuristic and fell back to full
+    /// materialization.
+    pub bound_fallbacks: u64,
     /// Wall time in dependency validation (table build + literal harvest +
     /// lattice evaluation).
     pub validation_time: Duration,

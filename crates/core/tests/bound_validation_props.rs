@@ -1,0 +1,306 @@
+//! Bound-validation equivalence: [`BoundValidator::verdict_at`] must be
+//! bit-identical to the full path — global enumeration, pivot-filtered
+//! [`MatchTable`], bitmap [`TableEvaluator`] — for every queried node,
+//! every start variable, and every scalar→bitmap threshold, including both
+//! sides of the crossover boundary. The threshold is a pure strategy
+//! choice; it must never change a verdict.
+
+use gfd_core::{
+    BoundValidator, CandidateEvaluator, MatchTable, TableEvaluator, DEFAULT_BITMAP_THRESHOLD,
+};
+use gfd_graph::{AttrId, Graph, GraphBuilder, NodeId, Value};
+use gfd_logic::{Gfd, Literal, Rhs};
+use gfd_pattern::{find_all, CompiledPattern, MatchSet, PEdge, PLabel, Pattern};
+use proptest::prelude::*;
+
+const NODE_LABELS: usize = 2;
+const EDGE_LABELS: usize = 2;
+const ATTRS: usize = 3;
+const VALUES: usize = 3;
+
+/// A graph blueprint: node labels, attribute values, and labelled edges.
+#[derive(Clone, Debug)]
+struct ProtoGraph {
+    nodes: Vec<usize>,
+    /// Per node: `attrs[a] = Some(v)` sets attribute `a` to value `v`.
+    attrs: Vec<Vec<Option<usize>>>,
+    edges: Vec<(usize, usize, usize)>,
+}
+
+/// A pattern blueprint: `None` labels are wildcards.
+#[derive(Clone, Debug)]
+struct ProtoPattern {
+    nodes: Vec<Option<usize>>,
+    edges: Vec<(usize, usize, Option<usize>)>,
+    pivot: usize,
+}
+
+/// A literal blueprint over pattern variables (resolved modulo arity).
+#[derive(Clone, Debug)]
+enum ProtoLiteral {
+    Const {
+        var: usize,
+        attr: usize,
+        value: usize,
+    },
+    VarVar {
+        lvar: usize,
+        lattr: usize,
+        rvar: usize,
+        rattr: usize,
+    },
+}
+
+/// A rule blueprint: premise literals plus a consequence (`None` → ⊥).
+#[derive(Clone, Debug)]
+struct ProtoRule {
+    lhs: Vec<ProtoLiteral>,
+    rhs: Option<ProtoLiteral>,
+}
+
+fn graph_strategy() -> impl Strategy<Value = ProtoGraph> {
+    (2usize..=6).prop_flat_map(|n| {
+        (
+            prop::collection::vec(0usize..NODE_LABELS, n..=n),
+            prop::collection::vec(
+                prop::collection::vec(prop::option::of(0usize..VALUES), ATTRS..=ATTRS),
+                n..=n,
+            ),
+            prop::collection::vec((0usize..n, 0usize..n, 0usize..EDGE_LABELS), 0..=10),
+        )
+            .prop_map(|(nodes, attrs, edges)| ProtoGraph {
+                nodes,
+                attrs,
+                edges,
+            })
+    })
+}
+
+fn pattern_strategy() -> impl Strategy<Value = ProtoPattern> {
+    (1usize..=3).prop_flat_map(|n| {
+        (
+            prop::collection::vec(prop::option::of(0usize..NODE_LABELS), n..=n),
+            prop::collection::vec(
+                (0usize..n, 0usize..n, prop::option::of(0usize..EDGE_LABELS)),
+                0..=3,
+            ),
+            0usize..n,
+        )
+            .prop_map(|(nodes, edges, pivot)| ProtoPattern {
+                nodes,
+                edges,
+                pivot,
+            })
+    })
+}
+
+fn literal_strategy() -> impl Strategy<Value = ProtoLiteral> {
+    prop_oneof![
+        (0usize..4, 0usize..ATTRS, 0usize..VALUES)
+            .prop_map(|(var, attr, value)| ProtoLiteral::Const { var, attr, value }),
+        (0usize..4, 0usize..ATTRS, 0usize..4, 0usize..ATTRS).prop_map(
+            |(lvar, lattr, rvar, rattr)| ProtoLiteral::VarVar {
+                lvar,
+                lattr,
+                rvar,
+                rattr
+            }
+        ),
+    ]
+}
+
+fn rule_strategy() -> impl Strategy<Value = ProtoRule> {
+    (
+        prop::collection::vec(literal_strategy(), 0..=3),
+        prop::option::of(literal_strategy()),
+    )
+        .prop_map(|(lhs, rhs)| ProtoRule { lhs, rhs })
+}
+
+fn build_graph(p: &ProtoGraph) -> Graph {
+    let mut b = GraphBuilder::new();
+    let ids: Vec<NodeId> = p
+        .nodes
+        .iter()
+        .map(|&l| b.add_node(&format!("L{l}")))
+        .collect();
+    for (i, attrs) in p.attrs.iter().enumerate() {
+        for (a, v) in attrs.iter().enumerate() {
+            if let Some(v) = v {
+                b.set_attr(ids[i], &format!("a{a}"), format!("v{v}").as_str());
+            }
+        }
+    }
+    for &(s, d, l) in &p.edges {
+        b.add_edge(ids[s], ids[d], &format!("r{l}"));
+    }
+    b.build()
+}
+
+fn build_pattern(p: &ProtoPattern, g: &Graph) -> Pattern {
+    let nl = |l: Option<usize>| match l {
+        Some(i) => PLabel::Is(g.interner().label(&format!("L{i}"))),
+        None => PLabel::Wildcard,
+    };
+    let el = |l: Option<usize>| match l {
+        Some(i) => PLabel::Is(g.interner().label(&format!("r{i}"))),
+        None => PLabel::Wildcard,
+    };
+    Pattern::new(
+        p.nodes.iter().map(|&l| nl(l)).collect(),
+        p.edges
+            .iter()
+            .map(|&(s, d, l)| PEdge {
+                src: s,
+                dst: d,
+                label: el(l),
+            })
+            .collect(),
+        p.pivot,
+    )
+}
+
+fn build_literal(p: &ProtoLiteral, arity: usize, g: &Graph) -> Literal {
+    let attr = |a: usize| g.interner().attr(&format!("a{a}"));
+    let val = |v: usize| Value::Str(g.interner().symbol(&format!("v{v}")));
+    match *p {
+        ProtoLiteral::Const {
+            var,
+            attr: a,
+            value,
+        } => Literal::Const {
+            var: var % arity,
+            attr: attr(a),
+            value: val(value),
+        },
+        ProtoLiteral::VarVar {
+            lvar,
+            lattr,
+            rvar,
+            rattr,
+        } => Literal::VarVar {
+            lvar: lvar % arity,
+            lattr: attr(lattr),
+            rvar: rvar % arity,
+            rattr: attr(rattr),
+        },
+    }
+}
+
+fn build_rule(p: &ProtoRule, q: &Pattern, g: &Graph) -> Gfd {
+    let arity = q.node_count();
+    let lhs = p.lhs.iter().map(|l| build_literal(l, arity, g)).collect();
+    let rhs = match &p.rhs {
+        Some(l) => Rhs::Lit(build_literal(l, arity, g)),
+        None => Rhs::False,
+    };
+    Gfd::new(q.clone(), lhs, rhs)
+}
+
+/// Every attribute any literal of `phi` reads — what the full-path table
+/// must materialise for the evaluator to see the same values.
+fn rule_attrs(phi: &Gfd) -> Vec<AttrId> {
+    let mut attrs: Vec<AttrId> = Vec::new();
+    let mut push = |a: AttrId| {
+        if !attrs.contains(&a) {
+            attrs.push(a);
+        }
+    };
+    let mut lit = |l: &Literal| match *l {
+        Literal::Const { attr, .. } => push(attr),
+        Literal::VarVar { lattr, rattr, .. } => {
+            push(lattr);
+            push(rattr);
+        }
+    };
+    for l in phi.lhs() {
+        lit(l);
+    }
+    if let Rhs::Lit(l) = phi.rhs() {
+        lit(&l);
+    }
+    attrs.sort_unstable();
+    attrs
+}
+
+/// The full path answering the bound question: all matches, filtered to
+/// `m[start] == node`, through a table and the bitmap evaluator.
+fn full_verdict(phi: &Gfd, all: &MatchSet, start: usize, node: NodeId, g: &Graph) -> String {
+    let q = phi.pattern();
+    let mut at = MatchSet::new(q.node_count());
+    for m in all.iter() {
+        if m[start] == node {
+            at.push(m);
+        }
+    }
+    let table = MatchTable::build(q, &at, g, &rule_attrs(phi));
+    let mut ev = TableEvaluator::new(&table);
+    format!("{:?}", ev.evaluate(phi.lhs(), &phi.rhs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bound verdicts are bit-identical to the full path for every node,
+    /// every start variable, and thresholds on both sides of the
+    /// scalar/bitmap crossover (0 → always bitmap, `usize::MAX` → always
+    /// scalar, the default in between).
+    #[test]
+    fn bound_verdicts_match_full_path(
+        pg in graph_strategy(),
+        pq in pattern_strategy(),
+        pr in rule_strategy(),
+    ) {
+        let g = build_graph(&pg);
+        let q = build_pattern(&pq, &g);
+        let phi = build_rule(&pr, &q, &g);
+        let all = find_all(&q, &g);
+        for start in 0..q.node_count() {
+            let plan = CompiledPattern::compile_bound(&q, start);
+            for threshold in [0usize, DEFAULT_BITMAP_THRESHOLD, usize::MAX] {
+                let mut validator = BoundValidator::with_threshold(&g, threshold);
+                for v in g.nodes() {
+                    let bound = format!("{:?}", validator.verdict_at(&phi, &plan, v));
+                    let full = full_verdict(&phi, &all, start, v, &g);
+                    prop_assert_eq!(
+                        &bound, &full,
+                        "start {} node {:?} threshold {} graph {:?} pattern {:?} rule {:?}",
+                        start, v, threshold, pg, pq, pr
+                    );
+                }
+            }
+        }
+    }
+
+    /// The exact crossover boundary: with the threshold pinned to the
+    /// bound row count `n` (scalar) and `n - 1` (bitmap), verdicts agree
+    /// with each other and with the full path.
+    #[test]
+    fn threshold_boundary_is_verdict_invariant(
+        pg in graph_strategy(),
+        pq in pattern_strategy(),
+        pr in rule_strategy(),
+    ) {
+        let g = build_graph(&pg);
+        let q = build_pattern(&pq, &g);
+        let phi = build_rule(&pr, &q, &g);
+        let all = find_all(&q, &g);
+        prop_assume!(!all.is_empty());
+        let plan = CompiledPattern::compile_bound(&q, q.pivot());
+        for v in g.nodes() {
+            let n = all.iter().filter(|m| m[q.pivot()] == v).count();
+            if n == 0 {
+                continue;
+            }
+            let mut scalar = BoundValidator::with_threshold(&g, n);
+            let mut bitmap = BoundValidator::with_threshold(&g, n.saturating_sub(1));
+            let s = format!("{:?}", scalar.verdict_at(&phi, &plan, v));
+            let b = format!("{:?}", bitmap.verdict_at(&phi, &plan, v));
+            let full = full_verdict(&phi, &all, q.pivot(), v, &g);
+            prop_assert_eq!(&s, &b,
+                "scalar vs bitmap at boundary n={}: node {:?} graph {:?} rule {:?}", n, v, pg, pr);
+            prop_assert_eq!(&s, &full,
+                "boundary vs full path n={}: node {:?} graph {:?} rule {:?}", n, v, pg, pr);
+        }
+    }
+}

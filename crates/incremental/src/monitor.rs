@@ -18,13 +18,15 @@
 //! one rule set, and reports per-batch deltas (violations introduced and
 //! repaired), which is what a knowledge-base curation pipeline consumes.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::ops::ControlFlow;
+use std::sync::Arc;
 
+use gfd_core::BoundValidator;
 use gfd_extended::XGfd;
 use gfd_graph::{Graph, NodeId};
 use gfd_logic::Gfd;
-use gfd_pattern::{CompiledPattern, Pattern};
+use gfd_pattern::{CompiledPattern, PLabel, Pattern};
 
 use crate::state::GraphState;
 use crate::update::UpdateBatch;
@@ -138,18 +140,66 @@ fn bounded_bfs(g: &Graph, sources: &[NodeId], depth: usize) -> Vec<u32> {
     dist
 }
 
+/// Demand-path counters: how monitor queries were routed and what they
+/// cost. All values are pure functions of the input sequence.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MonitorStats {
+    /// Per-pivot bound queries answered (one per `(rule, pivot)` probe).
+    pub bound_queries: u64,
+    /// Times a batch crossed the crossover heuristic and fell back to a
+    /// full per-rule re-enumeration.
+    pub bound_fallbacks: u64,
+    /// Deterministic memory-touch meter of the bound literal evaluation
+    /// (see [`BoundValidator::work`]).
+    pub validation_work: u64,
+    /// Plans recompiled (fingerprint misses) across construction and
+    /// catalog refreshes.
+    pub plans_compiled: u64,
+    /// Plans served from the fingerprint cache instead of recompiling.
+    pub plan_cache_hits: u64,
+}
+
+/// Per-rule outcome of a single-entity validation query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EntityVerdict {
+    /// Index of the violated rule in [`ViolationMonitor::rules`].
+    pub rule: usize,
+    /// The violating matches pivoted at the queried entity.
+    pub violations: Vec<Vec<NodeId>>,
+}
+
+/// When a batch's affected-pivot set grows past this fraction of the
+/// pivot's whole label class, the per-pivot bound path stops paying for
+/// its set bookkeeping and the monitor falls back to one full
+/// re-enumeration of the rule.
+const FALLBACK_NUM: usize = 1;
+const FALLBACK_DEN: usize = 2;
+
 /// Incrementally maintained violation sets for a rule set over an
 /// evolving graph.
 pub struct ViolationMonitor {
     rules: Vec<MonitorRule>,
-    /// Per rule: the pattern compiled once at construction and reused for
-    /// every re-validation pass (plans are graph-independent).
-    compiled: Vec<CompiledPattern>,
+    /// Per rule: the pattern compiled once and reused for every
+    /// re-validation pass (plans are graph-independent). `Arc`-shared with
+    /// `plan_cache` so a catalog refresh reuses unchanged rules' plans.
+    compiled: Vec<Arc<CompiledPattern>>,
+    /// Compiled plans keyed by rule fingerprint — survives catalog
+    /// refreshes, so re-registering an unchanged rule costs a map lookup,
+    /// not a plan compilation.
+    plan_cache: BTreeMap<String, Arc<CompiledPattern>>,
     radii: Vec<Option<usize>>,
     state: GraphState,
     graph: Graph,
     /// Per rule: violating matches, keyed by the full match vector.
     violations: Vec<BTreeSet<Vec<NodeId>>>,
+    stats: MonitorStats,
+}
+
+/// Deterministic plan-cache key: the rule's full structural debug form
+/// (pattern, literals, thresholds) — identical rules collide, any change
+/// misses.
+fn rule_fingerprint(rule: &MonitorRule) -> String {
+    format!("{rule:?}")
 }
 
 impl ViolationMonitor {
@@ -157,35 +207,107 @@ impl ViolationMonitor {
     pub fn new(g: &Graph, rules: Vec<MonitorRule>) -> ViolationMonitor {
         let state = GraphState::from_graph(g);
         let graph = state.freeze();
-        let radii: Vec<Option<usize>> = rules.iter().map(|r| r.pattern().radius()).collect();
-        let compiled: Vec<CompiledPattern> = rules
+        let mut mon = ViolationMonitor {
+            rules: Vec::new(),
+            compiled: Vec::new(),
+            plan_cache: BTreeMap::new(),
+            radii: Vec::new(),
+            state,
+            graph,
+            violations: Vec::new(),
+            stats: MonitorStats::default(),
+        };
+        mon.install_rules(rules);
+        mon
+    }
+
+    /// Replaces the monitored rule set and revalidates. Plans for rules
+    /// whose fingerprint is already cached (unchanged across the refresh)
+    /// are reused instead of recompiled.
+    pub fn refresh_catalog(&mut self, rules: Vec<MonitorRule>) {
+        self.install_rules(rules);
+    }
+
+    fn install_rules(&mut self, rules: Vec<MonitorRule>) {
+        self.radii = rules.iter().map(|r| r.pattern().radius()).collect();
+        self.compiled = rules
             .iter()
-            .map(|r| CompiledPattern::new(r.pattern()))
+            .map(|r| {
+                let key = rule_fingerprint(r);
+                if let Some(cp) = self.plan_cache.get(&key) {
+                    self.stats.plan_cache_hits += 1;
+                    Arc::clone(cp)
+                } else {
+                    self.stats.plans_compiled += 1;
+                    let cp = Arc::new(CompiledPattern::new(r.pattern()));
+                    self.plan_cache.insert(key, Arc::clone(&cp));
+                    cp
+                }
+            })
             .collect();
-        let mut violations = Vec::with_capacity(rules.len());
-        for (rule, cp) in rules.iter().zip(&compiled) {
+        self.violations = Vec::with_capacity(rules.len());
+        for (rule, cp) in rules.iter().zip(&self.compiled) {
             let mut set = BTreeSet::new();
-            let _ = cp.matcher(&graph).for_each(|m| {
-                if !rule.match_satisfies(m, &graph) {
+            let _ = cp.matcher(&self.graph).for_each(|m| {
+                if !rule.match_satisfies(m, &self.graph) {
                     set.insert(m.to_vec());
                 }
                 ControlFlow::Continue(())
             });
-            violations.push(set);
+            self.violations.push(set);
         }
-        ViolationMonitor {
-            rules,
-            compiled,
-            radii,
-            state,
-            graph,
-            violations,
-        }
+        self.rules = rules;
     }
 
     /// The monitored rules.
     pub fn rules(&self) -> &[MonitorRule] {
         &self.rules
+    }
+
+    /// Demand-path routing and work counters.
+    pub fn stats(&self) -> MonitorStats {
+        self.stats
+    }
+
+    /// Single-entity bound validation: "does *this* node currently pivot a
+    /// violation of any monitored rule?" Each rule is answered by seeding
+    /// its cached pivot-rooted plan at `v` and evaluating over only the
+    /// matches through `v` — base rules route through [`BoundValidator`]
+    /// (no global match table), extended rules check their built-in
+    /// predicates per streamed match. Returns the rules `v` violates, with
+    /// the offending matches.
+    pub fn validate_entity(&mut self, v: NodeId) -> Vec<EntityVerdict> {
+        let mut out = Vec::new();
+        let mut validator = BoundValidator::new(&self.graph);
+        for (i, rule) in self.rules.iter().enumerate() {
+            self.stats.bound_queries += 1;
+            let violations: Vec<Vec<NodeId>> = match rule {
+                MonitorRule::Base(gfd) => {
+                    let mut ms = gfd_pattern::MatchSet::new(gfd.pattern().node_count());
+                    validator.violations_at(gfd, &self.compiled[i], v, &mut ms);
+                    ms.iter().map(<[NodeId]>::to_vec).collect()
+                }
+                MonitorRule::Extended(_) => {
+                    let mut found = Vec::new();
+                    let mut matcher = self.compiled[i].matcher(&self.graph);
+                    let _ = matcher.for_each_at(v, |m| {
+                        if !rule.match_satisfies(m, &self.graph) {
+                            found.push(m.to_vec());
+                        }
+                        ControlFlow::Continue(())
+                    });
+                    found
+                }
+            };
+            if !violations.is_empty() {
+                out.push(EntityVerdict {
+                    rule: i,
+                    violations,
+                });
+            }
+        }
+        self.stats.validation_work += validator.work();
+        out
     }
 
     /// The current (post-update) graph.
@@ -223,51 +345,80 @@ impl ViolationMonitor {
         for (i, rule) in self.rules.iter().enumerate() {
             let q = rule.pattern();
             let pivot_label = q.node_label(q.pivot());
+            // Size of the pivot's whole label class — the cost of a full
+            // re-enumeration, and the denominator of the crossover test.
+            let class_size = match pivot_label {
+                PLabel::Is(l) => new_graph.nodes_with_label(l).len(),
+                PLabel::Wildcard => new_graph.node_count(),
+            };
             // Affected pivot candidates for this rule's radius. A pattern
             // without a finite radius (disconnected — excluded by §4 but
-            // tolerated here) falls back to a full re-check.
-            let affected: Vec<NodeId> = match self.radii[i] {
+            // tolerated here) always takes the full path.
+            let affected: Option<Vec<NodeId>> = match self.radii[i] {
                 Some(dq) => {
                     let dq = dq as u32;
-                    (0..new_graph.node_count())
+                    let candidates: Vec<NodeId> = (0..new_graph.node_count())
                         .map(NodeId::from_index)
                         .filter(|v| {
                             let near_new = dist_new[v.index()] <= dq;
                             let near_old = v.index() < dist_old.len() && dist_old[v.index()] <= dq;
                             (near_new || near_old) && pivot_label.admits(new_graph.node_label(*v))
                         })
-                        .collect()
+                        .collect();
+                    // Crossover: once the touched neighbourhood covers a
+                    // large fraction of the label class, per-pivot probing
+                    // plus stale-set bookkeeping costs more than one full
+                    // sweep of the class.
+                    if candidates.len() * FALLBACK_DEN > class_size * FALLBACK_NUM {
+                        None
+                    } else {
+                        Some(candidates)
+                    }
                 }
-                None => (0..new_graph.node_count())
-                    .map(NodeId::from_index)
-                    .filter(|v| pivot_label.admits(new_graph.node_label(*v)))
-                    .collect(),
+                None => None,
             };
-            affected_total += affected.len();
 
-            // Re-enumerate matches anchored at affected pivots, reusing
-            // the rule's compiled plan and one matcher's scratch buffers
-            // across the whole pivot set.
+            // Re-enumerate matches anchored at affected pivots (bound
+            // path), or the whole label class (fallback), reusing the
+            // rule's compiled plan and one matcher's scratch buffers.
             let mut fresh: BTreeSet<Vec<NodeId>> = BTreeSet::new();
-            let mut matcher = self.compiled[i].matcher(&new_graph);
-            for &v in &affected {
-                let _ = matcher.for_each_at(v, |m| {
+            {
+                let mut matcher = self.compiled[i].matcher(&new_graph);
+                let mut sink = |m: &[NodeId]| {
                     if !rule.match_satisfies(m, &new_graph) {
                         fresh.insert(m.to_vec());
                     }
                     ControlFlow::Continue(())
-                });
+                };
+                match &affected {
+                    Some(pivots) => {
+                        self.stats.bound_queries += pivots.len() as u64;
+                        for &v in pivots {
+                            let _ = matcher.for_each_at(v, &mut sink);
+                        }
+                    }
+                    None => {
+                        self.stats.bound_fallbacks += 1;
+                        let _ = matcher.for_each(&mut sink);
+                    }
+                }
             }
-            drop(matcher);
+            affected_total += affected.as_ref().map_or(class_size, Vec::len);
 
-            // Stored violations whose pivot is affected are stale.
-            let affected_set: BTreeSet<NodeId> = affected.iter().copied().collect();
+            // Stored violations whose pivot is affected are stale (all of
+            // them, after a full re-enumeration).
             let stored = &mut self.violations[i];
-            let stale: Vec<Vec<NodeId>> = stored
-                .iter()
-                .filter(|m| affected_set.contains(&m[q.pivot()]))
-                .cloned()
-                .collect();
+            let stale: Vec<Vec<NodeId>> = match &affected {
+                Some(pivots) => {
+                    let affected_set: BTreeSet<NodeId> = pivots.iter().copied().collect();
+                    stored
+                        .iter()
+                        .filter(|m| affected_set.contains(&m[q.pivot()]))
+                        .cloned()
+                        .collect()
+                }
+                None => stored.iter().cloned().collect(),
+            };
 
             let mut rd = RuleDelta::default();
             let stale_set: BTreeSet<&Vec<NodeId>> = stale.iter().collect();
@@ -448,5 +599,110 @@ mod tests {
         let delta = mon.apply(&UpdateBatch::new());
         assert!(delta.is_unchanged());
         assert_eq!(delta.affected_pivots, 0);
+    }
+
+    #[test]
+    fn validate_entity_answers_bound_queries() {
+        let (g, rules) = fixture();
+        let ty = g.interner().lookup_attr("type").unwrap();
+        let mut mon = ViolationMonitor::new(&g, rules);
+
+        // Clean graph: no entity pivots a violation.
+        assert!(mon.validate_entity(NodeId::from_index(0)).is_empty());
+
+        // Corrupt the creator of film 0, then query it directly.
+        let mut corrupt = UpdateBatch::new();
+        corrupt.set_attr(NodeId::from_index(0), ty, Value::Int(7));
+        mon.apply(&corrupt);
+        let verdicts = mon.validate_entity(NodeId::from_index(0));
+        assert_eq!(verdicts.len(), 1);
+        assert_eq!(verdicts[0].rule, 0);
+        assert_eq!(
+            verdicts[0].violations,
+            vec![vec![NodeId::from_index(0), NodeId::from_index(1)]]
+        );
+        // An untouched, satisfying creator stays clean; a product node can
+        // never pivot this rule.
+        assert!(mon.validate_entity(NodeId::from_index(2)).is_empty());
+        assert!(mon.validate_entity(NodeId::from_index(1)).is_empty());
+        let stats = mon.stats();
+        assert!(stats.bound_queries >= 4);
+        assert!(stats.validation_work > 0);
+    }
+
+    /// Entity verdicts must agree with the maintained violation sets — the
+    /// bound path and the stored full path answer identically.
+    #[test]
+    fn validate_entity_agrees_with_stored_violations() {
+        let (g, rules) = fixture();
+        let ty = g.interner().lookup_attr("type").unwrap();
+        let mut mon = ViolationMonitor::new(&g, rules);
+        let mut batch = UpdateBatch::new();
+        batch.set_attr(NodeId::from_index(0), ty, Value::Int(7));
+        batch.set_attr(NodeId::from_index(4), ty, Value::Int(9));
+        mon.apply(&batch);
+        for v in 0..mon.graph().node_count() {
+            let v = NodeId::from_index(v);
+            let bound: Vec<Vec<NodeId>> = mon
+                .validate_entity(v)
+                .into_iter()
+                .flat_map(|e| e.violations)
+                .collect();
+            let stored: Vec<Vec<NodeId>> = mon
+                .violations(0)
+                .filter(|m| m[0] == v)
+                .map(<[NodeId]>::to_vec)
+                .collect();
+            assert_eq!(bound, stored, "entity {v:?}");
+        }
+    }
+
+    /// A catalog refresh with unchanged rules hits the plan cache instead
+    /// of recompiling; changed rules compile exactly once.
+    #[test]
+    fn refresh_catalog_reuses_cached_plans() {
+        let (g, rules) = fixture();
+        let mut mon = ViolationMonitor::new(&g, rules.clone());
+        assert_eq!(mon.stats().plans_compiled, 1);
+        assert_eq!(mon.stats().plan_cache_hits, 0);
+
+        mon.refresh_catalog(rules.clone());
+        assert_eq!(mon.stats().plans_compiled, 1);
+        assert_eq!(mon.stats().plan_cache_hits, 1);
+
+        // A genuinely new rule compiles; the unchanged one still hits.
+        let person = PLabel::Is(g.interner().lookup_label("person").unwrap());
+        let create = PLabel::Is(g.interner().lookup_label("create").unwrap());
+        let product = PLabel::Is(g.interner().lookup_label("product").unwrap());
+        let ty = g.interner().lookup_attr("type").unwrap();
+        let extra = Gfd::new(
+            Pattern::edge(person, create, product),
+            vec![],
+            Rhs::Lit(Literal::constant(1, ty, Value::Int(0))),
+        );
+        let mut both = rules;
+        both.push(extra.into());
+        mon.refresh_catalog(both);
+        assert_eq!(mon.stats().plans_compiled, 2);
+        assert_eq!(mon.stats().plan_cache_hits, 2);
+    }
+
+    /// A batch touching most of the graph crosses the crossover heuristic
+    /// and falls back to one full re-enumeration — with identical deltas.
+    #[test]
+    fn wide_batch_falls_back_to_full_path() {
+        let (g, rules) = fixture();
+        let ty = g.interner().lookup_attr("type").unwrap();
+        let mut mon = ViolationMonitor::new(&g, rules);
+        let mut batch = UpdateBatch::new();
+        for i in 0..6 {
+            batch.set_attr(NodeId::from_index(2 * i), ty, Value::Int(i as i64));
+        }
+        let delta = mon.apply(&batch);
+        // Every film creator lost its "producer" type: films 0, 2, 4 each
+        // gain one violation (albums are unconstrained).
+        assert_eq!(delta.added(), 3);
+        assert_eq!(mon.stats().bound_fallbacks, 1);
+        assert_eq!(delta.affected_pivots, 6);
     }
 }

@@ -552,14 +552,15 @@ impl Rule for PerfHotLoop {
     }
 
     fn describe(&self) -> &'static str {
-        "Arc::clone/.to_vec()/format! in matcher/harvest loops; full-LHS re-accumulation in lattice loops; Vec<Vec< in frozen-graph paths"
+        "Arc::clone/.to_vec()/format! in matcher/harvest loops; full-LHS re-accumulation in lattice loops; Vec<Vec< in frozen-graph paths; MatchTable::build in bound-validation paths"
     }
 
     fn check(&self, ctx: &FileContext<'_>, out: &mut Vec<Diagnostic>) {
-        // Two jurisdictions: the loop-allocation checks guard the matcher/
+        // Three jurisdictions: the loop-allocation checks guard the matcher/
         // harvest/lattice hot paths; the nested-Vec layout check guards the
-        // frozen graph's SoA representation. The perf fixtures exercise
-        // both.
+        // frozen graph's SoA representation; the table-construction check
+        // guards the bound-validation paths. The perf fixtures exercise all
+        // of them.
         let nested_scope =
             ctx.rel.contains("crates/graph/src/") || ctx.rel.contains("fixtures/perf/");
         let loop_scope = in_scope(
@@ -572,7 +573,15 @@ impl Rule for PerfHotLoop {
                 "crates/core/src/bitmap.rs",
             ],
         );
-        if !nested_scope && !loop_scope {
+        let bound_scope = in_scope(
+            ctx,
+            self.name(),
+            &[
+                "crates/core/src/bound.rs",
+                "crates/incremental/src/monitor.rs",
+            ],
+        );
+        if !nested_scope && !loop_scope && !bound_scope {
             return;
         }
         // Brace-frame tracking: a frame opened after for/while/loop is a
@@ -614,6 +623,25 @@ impl Rule for PerfHotLoop {
                         t.line,
                         "nested `Vec<Vec<…>>` in a frozen-graph path — use the flat \
                      structure-of-arrays CSR shape (offset ranges into one flat array) instead"
+                            .to_string(),
+                    ),
+                );
+            }
+            if bound_scope
+                && t.text == "MatchTable"
+                && t.kind == TokKind::Ident
+                && ctx.ct(ci + 1) == ":"
+                && ctx.ct(ci + 2) == ":"
+                && ctx.ct(ci + 3) == "build"
+                && !ctx.is_test_line(t.line)
+            {
+                out.push(
+                    ctx.diag(
+                        self.name(),
+                        t.line,
+                        "full `MatchTable` construction in a bound-validation path — \
+                     `BoundValidator` evaluates literals over the per-pivot match set \
+                     directly; materialising a global table forfeits the k-hop locality win"
                             .to_string(),
                     ),
                 );

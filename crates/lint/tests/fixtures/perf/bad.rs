@@ -45,3 +45,20 @@ pub fn collect_jagged(n: usize, edges: &[(u32, u32)]) -> Vec<Vec<u32>> {
     }
     adj
 }
+
+/// Stand-in for the core match table, so the fixture shape mirrors the
+/// real bound-validation call site.
+pub struct MatchTable;
+
+impl MatchTable {
+    pub fn build(rows: &[u32]) -> usize {
+        rows.len()
+    }
+}
+
+/// Per-entity verdict that forfeits the bound-path win: it materialises a
+/// global table to answer one pivot's question.
+pub fn bound_verdict_via_table(rows: &[u32], pivot: u32) -> usize {
+    let table = MatchTable::build(rows);
+    table + pivot as usize
+}

@@ -51,3 +51,9 @@ pub fn collect_csr(n: usize, edges: &[(u32, u32)]) -> CsrAdjacency {
         nbrs,
     }
 }
+
+/// Bound verdict evaluated over the per-pivot rows directly — no global
+/// table construction between the matcher and the literal checks.
+pub fn bound_verdict_direct(rows: &[u32], pivot: u32) -> usize {
+    rows.iter().filter(|&&r| r == pivot).count()
+}

@@ -13,7 +13,7 @@ const RULES: &[(&str, usize)] = &[
     ("no-panic", 4),       // unwrap, expect, panic!, computed index
     ("unsafe-code", 2),    // missing forbid + SAFETY-less unsafe
     ("simulated-cost", 2), // SystemTime + Instant-into-cost statement
-    ("perf", 7), // format!, .to_vec(), Arc::clone, evaluate, accumulate_lhs in a loop; 2× Vec<Vec<
+    ("perf", 8), // format!, .to_vec(), Arc::clone, evaluate, accumulate_lhs in a loop; 2× Vec<Vec<; MatchTable::build
     ("hygiene", 5), // 2 untracked markers, 2 blanket allows, stale escape
     ("fault-boundary", 3), // undocumented catch_unwind + recv unwrap + recv_timeout expect
 ];

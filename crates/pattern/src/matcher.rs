@@ -44,7 +44,8 @@ use crate::pattern::{PLabel, Pattern, Var};
 /// Precomputed search plan for matching one pattern.
 #[derive(Debug)]
 pub struct MatchPlan {
-    /// Variable binding order; `order\[0\]` is the pivot.
+    /// Variable binding order; `order\[0\]` is the start variable (the
+    /// pivot for [`MatchPlan::new`], any variable for [`MatchPlan::rooted`]).
     order: Vec<Var>,
     /// Steps binding `order[1..]`.
     steps: Vec<Step>,
@@ -201,15 +202,26 @@ impl VarFilter {
 }
 
 impl MatchPlan {
-    /// Builds a plan for `q`. The plan is independent of any graph.
+    /// Builds a plan for `q` rooted at its pivot. The plan is independent of
+    /// any graph.
     pub fn new(q: &Pattern) -> MatchPlan {
+        MatchPlan::rooted(q, q.pivot())
+    }
+
+    /// Builds a plan whose binding order is re-rooted at `start` — the bound
+    /// query plan of §4.1's locality argument: seeding the search at a known
+    /// image of `start` confines exploration to that node's
+    /// `d_Q`-neighbourhood, walked through the same CSR labeled-run
+    /// iterators as the full plan.
+    pub fn rooted(q: &Pattern, start: Var) -> MatchPlan {
         let n = q.node_count();
+        assert!(start < n, "start variable out of range");
         let mut visited = vec![false; n];
         let mut order = Vec::with_capacity(n);
         let mut steps = Vec::with_capacity(n.saturating_sub(1));
 
-        visited[q.pivot()] = true;
-        order.push(q.pivot());
+        visited[start] = true;
+        order.push(start);
 
         while order.len() < n {
             // Choose the next variable: prefer most edges to bound vars,
@@ -295,55 +307,79 @@ impl MatchPlan {
             });
         }
 
-        // Self-loops on the pivot are not covered by any step; verify them
-        // in the root candidate filter via a synthetic step-less check.
+        // Self-loops on the start variable are not covered by any step;
+        // verify them in the root candidate filter via a synthetic
+        // step-less check.
         MatchPlan { order, steps }
     }
 
-    /// The binding order (first entry is the pivot).
+    /// The binding order (first entry is the start variable).
     pub fn order(&self) -> &[Var] {
         &self.order
     }
 }
 
 /// A pattern compiled for repeated matching: the [`MatchPlan`] plus
-/// per-variable candidate filters and the pivot's self-loop check. Build it
-/// once per pattern and reuse it across every pivot node and every level —
-/// the per-pivot `MatchPlan::new` recompilation this replaces dominated
-/// anchored matching.
+/// per-variable candidate filters and the start variable's self-loop check.
+/// Build it once per pattern and reuse it across every pivot node and every
+/// level — the per-pivot `MatchPlan::new` recompilation this replaces
+/// dominated anchored matching.
+///
+/// [`CompiledPattern::new`] roots the plan at the pattern's pivot;
+/// [`CompiledPattern::compile_bound`] pins the start at an arbitrary
+/// variable, which makes [`Matcher::for_each_at`] a *bound query*: seed any
+/// variable's image and enumerate only the matches through that node.
 #[derive(Debug)]
 pub struct CompiledPattern {
     q: Pattern,
     plan: MatchPlan,
     filters: Vec<VarFilter>,
-    /// Feasibility of pivot self-loops (not covered by any step).
-    pivot_loop: Option<PairCheck>,
+    /// The variable the plan is rooted at (`order\[0\]`).
+    start: Var,
+    /// Feasibility of start-variable self-loops (not covered by any step).
+    start_loop: Option<PairCheck>,
 }
 
 impl CompiledPattern {
-    /// Compiles `q` (graph-independent).
+    /// Compiles `q` rooted at its pivot (graph-independent).
     pub fn new(q: &Pattern) -> CompiledPattern {
-        let plan = MatchPlan::new(q);
+        CompiledPattern::compile_bound(q, q.pivot())
+    }
+
+    /// Compiles `q` with the search pinned to start at `start_var`:
+    /// [`Matcher::for_each_at`] then seeds `start_var` (rather than the
+    /// pivot) with the queried node and explores only its k-hop
+    /// neighbourhood. The pivot and match-row layout are unchanged — only
+    /// the binding order moves.
+    pub fn compile_bound(q: &Pattern, start_var: Var) -> CompiledPattern {
+        let plan = MatchPlan::rooted(q, start_var);
         let filters = (0..q.node_count())
             .map(|v| VarFilter::compile(q, v))
             .collect();
-        let pivot = q.pivot();
-        let pivot_loop = if q.edges_between(pivot, pivot).is_empty() {
+        let start_loop = if q.edges_between(start_var, start_var).is_empty() {
             None
         } else {
-            Some(PairCheck::compile(q, pivot, pivot))
+            Some(PairCheck::compile(q, start_var, start_var))
         };
         CompiledPattern {
             q: q.clone(),
             plan,
             filters,
-            pivot_loop,
+            start: start_var,
+            start_loop,
         }
     }
 
     /// The compiled pattern.
     pub fn pattern(&self) -> &Pattern {
         &self.q
+    }
+
+    /// The variable the plan is rooted at — the pattern's pivot for
+    /// [`CompiledPattern::new`], the pinned variable for
+    /// [`CompiledPattern::compile_bound`].
+    pub fn start_var(&self) -> Var {
+        self.start
     }
 
     /// The underlying search plan.
@@ -409,18 +445,20 @@ pub struct Matcher<'a> {
 }
 
 impl Matcher<'_> {
-    /// Streams matches whose pivot image is `pivot_node`.
-    pub fn for_each_at<F>(&mut self, pivot_node: NodeId, mut f: F) -> ControlFlow<()>
+    /// Streams matches whose start-variable image is `start_node` (the
+    /// pivot image for plans from [`CompiledPattern::new`]; the pinned
+    /// variable's image for [`CompiledPattern::compile_bound`] plans).
+    pub fn for_each_at<F>(&mut self, start_node: NodeId, mut f: F) -> ControlFlow<()>
     where
         F: FnMut(&[NodeId]) -> ControlFlow<()>,
     {
         let cp = self.cp;
-        let pivot = cp.q.pivot();
-        if !cp.filters[pivot].admits(self.g, pivot_node) {
+        let start = cp.start;
+        if !cp.filters[start].admits(self.g, start_node) {
             return ControlFlow::Continue(());
         }
-        if let Some(check) = &cp.pivot_loop {
-            if !check.feasible(self.g, pivot_node, pivot_node) {
+        if let Some(check) = &cp.start_loop {
+            if !check.feasible(self.g, start_node, start_node) {
                 return ControlFlow::Continue(());
             }
         }
@@ -431,10 +469,10 @@ impl Matcher<'_> {
             used: &mut self.scratch.used,
             sink: &mut f,
         };
-        search.assignment[pivot] = pivot_node;
-        search.used[pivot_node.index()] = true;
+        search.assignment[start] = start_node;
+        search.used[start_node.index()] = true;
         let flow = search.step(1);
-        search.used[pivot_node.index()] = false;
+        search.used[start_node.index()] = false;
         flow
     }
 
@@ -443,7 +481,7 @@ impl Matcher<'_> {
     where
         F: FnMut(&[NodeId]) -> ControlFlow<()>,
     {
-        match self.cp.q.node_label(self.cp.q.pivot()) {
+        match self.cp.q.node_label(self.cp.start) {
             PLabel::Is(l) => {
                 let candidates = self.g.nodes_with_label(l);
                 for &v in candidates {
@@ -459,7 +497,8 @@ impl Matcher<'_> {
         ControlFlow::Continue(())
     }
 
-    /// Whether any match is pivoted at `v`.
+    /// Whether any match has start-variable image `v` (pivoted at `v` for
+    /// pivot-rooted plans).
     pub fn has_match_at(&mut self, v: NodeId) -> bool {
         self.for_each_at(v, |_| ControlFlow::Break(())).is_break()
     }
@@ -487,10 +526,11 @@ impl Matcher<'_> {
         self.scratch
     }
 
-    /// The distinct pivot images over all matches, sorted.
+    /// The distinct start-variable images over all matches, sorted — the
+    /// pivot image `Q(G, z)` for pivot-rooted plans.
     pub fn pivot_image(&mut self) -> Vec<NodeId> {
         let mut out = Vec::new();
-        match self.cp.q.node_label(self.cp.q.pivot()) {
+        match self.cp.q.node_label(self.cp.start) {
             PLabel::Is(l) => {
                 let candidates = self.g.nodes_with_label(l);
                 for &v in candidates {
@@ -1154,5 +1194,90 @@ mod tests {
         let q = Pattern::new(vec![pl(&g, "person"), pl(&g, "product")], vec![], 0);
         // 2 persons × 1 product.
         assert_eq!(count_matches(&q, &g), 2);
+    }
+
+    /// Bound plans re-root the binding order at the pinned variable; the
+    /// pivot and row layout are untouched.
+    #[test]
+    fn bound_plan_re_roots_order() {
+        let g = g1();
+        let q = Pattern::edge(pl(&g, "person"), pl(&g, "create"), pl(&g, "product"));
+        let cp = CompiledPattern::compile_bound(&q, 1);
+        assert_eq!(cp.start_var(), 1);
+        assert_eq!(cp.plan().order(), &[1, 0]);
+        assert_eq!(cp.pattern().pivot(), q.pivot());
+        // Pivot-rooted compilation is the start_var == pivot special case.
+        assert_eq!(CompiledPattern::new(&q).start_var(), q.pivot());
+    }
+
+    /// Seeding a bound plan at a node enumerates exactly the full matcher's
+    /// rows whose pinned variable maps to that node.
+    #[test]
+    fn bound_matching_equals_filtered_full_matching() {
+        let g = g1();
+        let q = Pattern::edge(pl(&g, "person"), pl(&g, "create"), pl(&g, "product"));
+        let full = find_all(&q, &g);
+        for start in 0..q.node_count() {
+            let cp = CompiledPattern::compile_bound(&q, start);
+            let mut m = cp.matcher(&g);
+            for v in g.nodes() {
+                let mut bound: Vec<Vec<NodeId>> = Vec::new();
+                let _ = m.for_each_at(v, |mm| {
+                    assert_eq!(mm[start], v);
+                    bound.push(mm.to_vec());
+                    ControlFlow::Continue(())
+                });
+                bound.sort_unstable();
+                let mut expect: Vec<Vec<NodeId>> = full
+                    .iter()
+                    .filter(|mm| mm[start] == v)
+                    .map(<[NodeId]>::to_vec)
+                    .collect();
+                expect.sort_unstable();
+                assert_eq!(bound, expect, "start={start} v={v:?}");
+            }
+        }
+    }
+
+    /// Start-variable self-loops are enforced by bound plans (the pinned
+    /// variable takes over the root's synthetic self-loop check).
+    #[test]
+    fn bound_plan_checks_start_self_loop() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("t");
+        let c = b.add_node("t");
+        b.add_edge(a, a, "r");
+        b.add_edge(a, c, "s");
+        let g = b.build();
+        let t = pl(&g, "t");
+        // x0 -s-> x1 with a self-loop r on x1.
+        let q = Pattern::new(
+            vec![t, t],
+            vec![
+                crate::pattern::PEdge {
+                    src: 0,
+                    dst: 1,
+                    label: pl(&g, "s"),
+                },
+                crate::pattern::PEdge {
+                    src: 1,
+                    dst: 1,
+                    label: pl(&g, "r"),
+                },
+            ],
+            0,
+        );
+        assert_eq!(count_matches(&q, &g), 0); // only a has the loop, but a -s-> a absent
+                                              // Same interner order as `g`: "r" before "s".
+        let mut bg = GraphBuilder::new();
+        let x = bg.add_node("t");
+        let y = bg.add_node("t");
+        bg.add_edge(y, y, "r");
+        bg.add_edge(x, y, "s");
+        let g2 = bg.build();
+        let cp = CompiledPattern::compile_bound(&q, 1);
+        let mut m = cp.matcher(&g2);
+        assert!(m.has_match_at(y));
+        assert!(!m.has_match_at(x)); // no self-loop r at x
     }
 }

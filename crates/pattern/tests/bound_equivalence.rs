@@ -1,0 +1,160 @@
+//! Bound-matching equivalence: a pinned-start plan
+//! ([`CompiledPattern::compile_bound`]) seeded at any node must produce
+//! exactly the full matcher's rows filtered to that start-variable image —
+//! for *every* start variable, not just the pivot — and the union of the
+//! per-node bound match sets must reassemble the full set.
+
+use std::ops::ControlFlow;
+
+use gfd_graph::{Graph, GraphBuilder, NodeId};
+use gfd_pattern::{find_all_reference, CompiledPattern, PEdge, PLabel, Pattern};
+use proptest::prelude::*;
+
+const NODE_LABELS: usize = 3;
+const EDGE_LABELS: usize = 3;
+
+/// A graph blueprint: node labels (by index) and labelled edges.
+#[derive(Clone, Debug)]
+struct ProtoGraph {
+    nodes: Vec<usize>,
+    edges: Vec<(usize, usize, usize)>,
+}
+
+/// A pattern blueprint: `None` labels are wildcards.
+#[derive(Clone, Debug)]
+struct ProtoPattern {
+    nodes: Vec<Option<usize>>,
+    edges: Vec<(usize, usize, Option<usize>)>,
+    pivot: usize,
+}
+
+fn graph_strategy() -> impl Strategy<Value = ProtoGraph> {
+    (1usize..=6).prop_flat_map(|n| {
+        (
+            prop::collection::vec(0usize..NODE_LABELS, n..=n),
+            prop::collection::vec((0usize..n, 0usize..n, 0usize..EDGE_LABELS), 0..=12),
+        )
+            .prop_map(|(nodes, edges)| ProtoGraph { nodes, edges })
+    })
+}
+
+fn pattern_strategy() -> impl Strategy<Value = ProtoPattern> {
+    (1usize..=4).prop_flat_map(|n| {
+        (
+            prop::collection::vec(prop::option::of(0usize..NODE_LABELS), n..=n),
+            prop::collection::vec(
+                (0usize..n, 0usize..n, prop::option::of(0usize..EDGE_LABELS)),
+                0..=5,
+            ),
+            0usize..n,
+        )
+            .prop_map(|(nodes, edges, pivot)| ProtoPattern {
+                nodes,
+                edges,
+                pivot,
+            })
+    })
+}
+
+fn build_graph(p: &ProtoGraph) -> Graph {
+    let mut b = GraphBuilder::new();
+    let ids: Vec<NodeId> = p
+        .nodes
+        .iter()
+        .map(|&l| b.add_node(&format!("L{l}")))
+        .collect();
+    for &(s, d, l) in &p.edges {
+        b.add_edge(ids[s], ids[d], &format!("r{l}"));
+    }
+    b.build()
+}
+
+fn build_pattern(p: &ProtoPattern, g: &Graph) -> Pattern {
+    let nl = |l: Option<usize>| match l {
+        Some(i) => PLabel::Is(g.interner().label(&format!("L{i}"))),
+        None => PLabel::Wildcard,
+    };
+    let el = |l: Option<usize>| match l {
+        Some(i) => PLabel::Is(g.interner().label(&format!("r{i}"))),
+        None => PLabel::Wildcard,
+    };
+    Pattern::new(
+        p.nodes.iter().map(|&l| nl(l)).collect(),
+        p.edges
+            .iter()
+            .map(|&(s, d, l)| PEdge {
+                src: s,
+                dst: d,
+                label: el(l),
+            })
+            .collect(),
+        p.pivot,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// For every start variable and every graph node, the bound plan's
+    /// matches through that node are exactly the reference matcher's rows
+    /// with that start-variable image — and their union over all nodes is
+    /// the full match set.
+    #[test]
+    fn bound_matching_slices_full_set(pg in graph_strategy(), pq in pattern_strategy()) {
+        let g = build_graph(&pg);
+        let q = build_pattern(&pq, &g);
+        let all = find_all_reference(&q, &g);
+        for start in 0..q.node_count() {
+            let cp = CompiledPattern::compile_bound(&q, start);
+            prop_assert_eq!(cp.start_var(), start);
+            let mut matcher = cp.matcher(&g);
+            let mut union: Vec<Vec<NodeId>> = Vec::new();
+            for v in g.nodes() {
+                let mut at: Vec<Vec<NodeId>> = Vec::new();
+                let _ = matcher.for_each_at(v, |m| {
+                    at.push(m.to_vec());
+                    ControlFlow::Continue(())
+                });
+                at.sort();
+                let mut expect: Vec<Vec<NodeId>> = all
+                    .iter()
+                    .filter(|m| m[start] == v)
+                    .map(<[NodeId]>::to_vec)
+                    .collect();
+                expect.sort();
+                prop_assert_eq!(
+                    &at, &expect,
+                    "start {} node {:?} graph {:?} pattern {:?}",
+                    start, v, pg, pq
+                );
+                union.extend(at);
+            }
+            union.sort();
+            let mut full: Vec<Vec<NodeId>> = all.iter().map(<[NodeId]>::to_vec).collect();
+            full.sort();
+            prop_assert_eq!(union, full, "start {} graph {:?} pattern {:?}", start, pg, pq);
+        }
+    }
+
+    /// The bound plan's unanchored enumeration (`for_each`) also matches
+    /// the reference set exactly — re-rooting the search order never
+    /// changes the match set.
+    #[test]
+    fn bound_full_enumeration_agrees(pg in graph_strategy(), pq in pattern_strategy()) {
+        let g = build_graph(&pg);
+        let q = build_pattern(&pq, &g);
+        let mut full: Vec<Vec<NodeId>> =
+            find_all_reference(&q, &g).iter().map(<[NodeId]>::to_vec).collect();
+        full.sort();
+        for start in 0..q.node_count() {
+            let cp = CompiledPattern::compile_bound(&q, start);
+            let mut rows: Vec<Vec<NodeId>> = Vec::new();
+            let _ = cp.matcher(&g).for_each(|m| {
+                rows.push(m.to_vec());
+                ControlFlow::Continue(())
+            });
+            rows.sort();
+            prop_assert_eq!(&rows, &full, "start {} graph {:?} pattern {:?}", start, pg, pq);
+        }
+    }
+}
